@@ -1,0 +1,270 @@
+//! Budget Absorption (BA) — w-event DP over count streams.
+//!
+//! Kellaris, Papadopoulos, Xiao, Papadias: *Differentially private event
+//! sequences over infinite streams*, VLDB 2014. The stream of per-window
+//! indicator histograms is published under w-event ε-DP:
+//!
+//! * half the budget funds per-timestamp **dissimilarity** estimates
+//!   (`ε₁/w` each, where `ε₁ = ε_w/2`);
+//! * the other half is **uniformly pre-allocated** to timestamps
+//!   (`ε₂/w` each, `ε₂ = ε_w/2`); a timestamp that *skips* publication
+//!   (because the stream looks similar to the last release) donates its
+//!   allocation to the next publication, which **absorbs** it;
+//! * after a publication that absorbed `k` allocations, the next `k`
+//!   timestamps are **nullified** (forced to skip) so no window of `w`
+//!   timestamps ever spends more than `ε_w`.
+//!
+//! Counts are released with Laplace noise of scale `1/ε_pub`; the protected
+//! indicator is `released count > 0.5`. The nominal `ε_w` comes from the
+//! pattern-level conversion (see [`crate::conversion`]).
+
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, Laplace, SlidingWindowAccountant};
+use pdp_stream::{EventType, IndicatorVector, WindowedIndicators};
+
+/// The BA mechanism.
+#[derive(Debug, Clone)]
+pub struct BudgetAbsorption {
+    w: usize,
+    eps_w: Epsilon,
+}
+
+impl BudgetAbsorption {
+    /// Build with w-event window `w` (≥ 1) and nominal budget `ε_w`.
+    pub fn new(w: usize, eps_w: Epsilon) -> Self {
+        BudgetAbsorption { w: w.max(1), eps_w }
+    }
+
+    /// The w-event window length.
+    pub fn window(&self) -> usize {
+        self.w
+    }
+
+    /// The nominal w-event budget.
+    pub fn nominal_budget(&self) -> Epsilon {
+        self.eps_w
+    }
+
+    fn publish(
+        truth: &IndicatorVector,
+        eps_pub: f64,
+        rng: &mut DpRng,
+    ) -> Vec<f64> {
+        let lap = Laplace::with_scale(1.0 / eps_pub).expect("positive scale");
+        (0..truth.n_types())
+            .map(|i| {
+                let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+                lap.perturb(c, rng)
+            })
+            .collect()
+    }
+
+    /// Mean absolute dissimilarity between the true histogram and the last
+    /// release (sensitivity `1/n` per single-bit change).
+    fn dissimilarity(truth: &IndicatorVector, last: &[f64]) -> f64 {
+        let n = truth.n_types().max(1);
+        (0..n)
+            .map(|i| {
+                let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+                (c - last[i]).abs()
+            })
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Run BA over the stream, also returning the per-timestamp publication
+    /// spends (used by the w-event invariant test).
+    pub fn run_with_spends(
+        &self,
+        windows: &WindowedIndicators,
+        rng: &mut DpRng,
+    ) -> (WindowedIndicators, Vec<f64>) {
+        let n_types = windows.n_types();
+        let eps1 = self.eps_w.value() / 2.0; // dissimilarity half
+        let eps2 = self.eps_w.value() / 2.0; // publication half
+        let eps_dis = (eps1 / self.w as f64).max(f64::MIN_POSITIVE);
+        let per_ts = eps2 / self.w as f64;
+
+        let mut out = Vec::with_capacity(windows.len());
+        let mut spends = Vec::with_capacity(windows.len());
+        let mut last_release: Vec<f64> = vec![0.0; n_types];
+        let mut have_release = false;
+        // Allocations accumulated since (and including) the current
+        // timestamp that are available for absorption.
+        let mut absorbable = 0usize;
+        // Timestamps that must skip because their budget was absorbed.
+        let mut nullified = 0usize;
+
+        for truth in windows.iter() {
+            let mut spend = 0.0;
+            if nullified > 0 {
+                // Forced skip: this timestamp's allocation was already
+                // consumed by the absorbing publication — it contributes
+                // nothing further.
+                nullified -= 1;
+            } else {
+                // Absorption is capped at w allocations so no publication
+                // can exceed the half-budget ε₂.
+                absorbable = (absorbable + 1).min(self.w);
+                let eps_pub = per_ts * absorbable as f64;
+                let should_publish = if !have_release {
+                    true
+                } else {
+                    let dis = Self::dissimilarity(truth, &last_release);
+                    let noise = Laplace::with_scale(1.0 / (n_types.max(1) as f64 * eps_dis))
+                        .expect("positive scale");
+                    let noisy_dis = dis + noise.sample(rng);
+                    // publish when the observed change exceeds the error the
+                    // publication noise would introduce
+                    noisy_dis > 1.0 / eps_pub
+                };
+                if should_publish && eps_pub > 0.0 {
+                    last_release = Self::publish(truth, eps_pub, rng);
+                    have_release = true;
+                    spend = eps_pub;
+                    // this publication consumed `absorbable` allocations:
+                    // its own plus (absorbable − 1) others → nullify that many
+                    nullified = absorbable - 1;
+                    absorbable = 0;
+                }
+            }
+            spends.push(spend);
+            let bits = last_release
+                .iter()
+                .enumerate()
+                .fold(IndicatorVector::empty(n_types), |mut acc, (i, &v)| {
+                    acc.set(EventType(i as u32), v > 0.5);
+                    acc
+                });
+            out.push(bits);
+        }
+        (WindowedIndicators::new(out), spends)
+    }
+
+    /// Check the w-event invariant on recorded spends: no window of `w`
+    /// timestamps exceeds the publication half-budget.
+    pub fn satisfies_w_event(&self, spends: &[f64]) -> bool {
+        let mut acc = SlidingWindowAccountant::new(self.w);
+        for &s in spends {
+            acc.record(Epsilon::new_unchecked(s.max(0.0)));
+        }
+        acc.worst_window_total().value() <= self.eps_w.value() / 2.0 + 1e-9
+    }
+}
+
+impl Mechanism for BudgetAbsorption {
+    fn name(&self) -> String {
+        "ba".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        self.run_with_spends(windows, rng).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn constant_stream(n: usize, present: &[u32], n_types: usize) -> WindowedIndicators {
+        let iv = IndicatorVector::from_present(
+            present.iter().map(|&i| EventType(i)),
+            n_types,
+        );
+        WindowedIndicators::new(vec![iv; n])
+    }
+
+    #[test]
+    fn first_timestamp_always_publishes() {
+        let ba = BudgetAbsorption::new(4, eps(8.0));
+        let mut rng = DpRng::seed_from(1);
+        let (_, spends) = ba.run_with_spends(&constant_stream(1, &[0], 3), &mut rng);
+        assert!(spends[0] > 0.0);
+    }
+
+    #[test]
+    fn stable_stream_reuses_releases() {
+        let ba = BudgetAbsorption::new(5, eps(20.0));
+        let mut rng = DpRng::seed_from(2);
+        let (out, spends) = ba.run_with_spends(&constant_stream(50, &[0, 2], 4), &mut rng);
+        // most timestamps skip on a constant stream
+        let publications = spends.iter().filter(|&&s| s > 0.0).count();
+        assert!(publications < 30, "{publications} publications of 50");
+        // released bits mostly faithful at a healthy budget
+        let correct = out
+            .iter()
+            .filter(|w| w.get(EventType(0)) && w.get(EventType(2)) && !w.get(EventType(1)))
+            .count();
+        assert!(correct > 35, "only {correct} of 50 windows faithful");
+    }
+
+    #[test]
+    fn w_event_invariant_holds() {
+        let ba = BudgetAbsorption::new(4, eps(2.0));
+        let mut rng = DpRng::seed_from(3);
+        // alternating stream to force frequent publications
+        let mut windows = Vec::new();
+        for k in 0..60 {
+            let present: Vec<u32> = if k % 2 == 0 { vec![0, 1] } else { vec![2] };
+            windows.push(IndicatorVector::from_present(
+                present.into_iter().map(EventType),
+                3,
+            ));
+        }
+        let (_, spends) = ba.run_with_spends(&WindowedIndicators::new(windows), &mut rng);
+        assert!(ba.satisfies_w_event(&spends), "w-event budget exceeded");
+    }
+
+    #[test]
+    fn nullification_follows_absorption() {
+        let ba = BudgetAbsorption::new(3, eps(6.0));
+        let mut rng = DpRng::seed_from(4);
+        let mut windows = Vec::new();
+        for k in 0..30 {
+            let present: Vec<u32> = if k % 3 == 0 { vec![0] } else { vec![1] };
+            windows.push(IndicatorVector::from_present(
+                present.into_iter().map(EventType),
+                2,
+            ));
+        }
+        let (_, spends) = ba.run_with_spends(&WindowedIndicators::new(windows), &mut rng);
+        // after any publication with absorbed budget > own allocation,
+        // the following spends must include zeros (nullified)
+        let per_ts = 6.0 / 2.0 / 3.0;
+        for (i, &s) in spends.iter().enumerate() {
+            if s > per_ts * 1.5 {
+                let absorbed = (s / per_ts).round() as usize - 1;
+                for j in 1..=absorbed.min(spends.len() - 1 - i) {
+                    assert_eq!(spends[i + j], 0.0, "timestamp {} not nullified", i + j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn low_budget_destroys_faithfulness() {
+        let ba_strong = BudgetAbsorption::new(5, eps(50.0));
+        let ba_weak = BudgetAbsorption::new(5, eps(0.1));
+        let stream = constant_stream(40, &[0], 2);
+        let fidelity = |mech: &BudgetAbsorption, seed: u64| {
+            let mut rng = DpRng::seed_from(seed);
+            let out = mech.protect(&stream, &mut rng);
+            out.iter().filter(|w| w.get(EventType(0))).count()
+        };
+        assert!(fidelity(&ba_strong, 9) > fidelity(&ba_weak, 9));
+        assert_eq!(ba_weak.name(), "ba");
+    }
+
+    #[test]
+    fn accessors() {
+        let ba = BudgetAbsorption::new(7, eps(3.0));
+        assert_eq!(ba.window(), 7);
+        assert!((ba.nominal_budget().value() - 3.0).abs() < 1e-12);
+        // zero-w clamps to 1
+        assert_eq!(BudgetAbsorption::new(0, eps(1.0)).window(), 1);
+    }
+}

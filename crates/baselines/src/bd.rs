@@ -1,0 +1,222 @@
+//! Budget Distribution (BD) — w-event DP over count streams.
+//!
+//! Kellaris et al., VLDB 2014. Like BA, half of `ε_w` funds per-timestamp
+//! dissimilarity estimates. The publication half is distributed in
+//! **exponentially decaying shares**: a publication at timestamp `i` spends
+//! half of whatever publication budget remains unclaimed inside the current
+//! w-window (`ε_pub = (ε₂ − Σ recent spends)/2`), so early publications are
+//! accurate and budget is always left for future changes. Expired spends
+//! (older than `w − 1` timestamps) return to the pool.
+
+use std::collections::VecDeque;
+
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, Laplace, SlidingWindowAccountant};
+use pdp_stream::{EventType, IndicatorVector, WindowedIndicators};
+
+/// The BD mechanism.
+#[derive(Debug, Clone)]
+pub struct BudgetDistributionMechanism {
+    w: usize,
+    eps_w: Epsilon,
+}
+
+impl BudgetDistributionMechanism {
+    /// Build with w-event window `w` (≥ 1) and nominal budget `ε_w`.
+    pub fn new(w: usize, eps_w: Epsilon) -> Self {
+        BudgetDistributionMechanism { w: w.max(1), eps_w }
+    }
+
+    /// The w-event window length.
+    pub fn window(&self) -> usize {
+        self.w
+    }
+
+    /// The nominal w-event budget.
+    pub fn nominal_budget(&self) -> Epsilon {
+        self.eps_w
+    }
+
+    /// Run BD, also returning per-timestamp publication spends.
+    pub fn run_with_spends(
+        &self,
+        windows: &WindowedIndicators,
+        rng: &mut DpRng,
+    ) -> (WindowedIndicators, Vec<f64>) {
+        let n_types = windows.n_types();
+        let eps1 = self.eps_w.value() / 2.0;
+        let eps2 = self.eps_w.value() / 2.0;
+        let eps_dis = (eps1 / self.w as f64).max(f64::MIN_POSITIVE);
+
+        let mut out = Vec::with_capacity(windows.len());
+        let mut spends_log = Vec::with_capacity(windows.len());
+        // spends inside the active window, oldest first: (timestamp, spend)
+        let mut recent: VecDeque<(usize, f64)> = VecDeque::new();
+        let mut last_release: Vec<f64> = vec![0.0; n_types];
+        let mut have_release = false;
+
+        for (i, truth) in windows.iter().enumerate() {
+            // drop spends that fell out of the w-window
+            while let Some(&(t0, _)) = recent.front() {
+                if i >= self.w && t0 <= i - self.w {
+                    recent.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let used: f64 = recent.iter().map(|&(_, s)| s).sum();
+            let eps_pub = (eps2 - used).max(0.0) / 2.0;
+
+            let mut spend = 0.0;
+            let should_publish = if !have_release {
+                eps_pub > 0.0
+            } else if eps_pub <= 0.0 {
+                false
+            } else {
+                let dis = dissimilarity(truth, &last_release);
+                let noise = Laplace::with_scale(1.0 / (n_types.max(1) as f64 * eps_dis))
+                    .expect("positive scale");
+                dis + noise.sample(rng) > 1.0 / eps_pub
+            };
+            if should_publish {
+                let lap = Laplace::with_scale(1.0 / eps_pub).expect("positive scale");
+                last_release = (0..n_types)
+                    .map(|k| {
+                        let c = if truth.get(EventType(k as u32)) { 1.0 } else { 0.0 };
+                        lap.perturb(c, rng)
+                    })
+                    .collect();
+                have_release = true;
+                spend = eps_pub;
+                recent.push_back((i, spend));
+            }
+            spends_log.push(spend);
+            let bits = last_release.iter().enumerate().fold(
+                IndicatorVector::empty(n_types),
+                |mut acc, (k, &v)| {
+                    acc.set(EventType(k as u32), v > 0.5);
+                    acc
+                },
+            );
+            out.push(bits);
+        }
+        (WindowedIndicators::new(out), spends_log)
+    }
+
+    /// Check the w-event invariant: no window of `w` timestamps spends more
+    /// than the publication half-budget.
+    pub fn satisfies_w_event(&self, spends: &[f64]) -> bool {
+        let mut acc = SlidingWindowAccountant::new(self.w);
+        for &s in spends {
+            acc.record(Epsilon::new_unchecked(s.max(0.0)));
+        }
+        acc.worst_window_total().value() <= self.eps_w.value() / 2.0 + 1e-9
+    }
+}
+
+fn dissimilarity(truth: &IndicatorVector, last: &[f64]) -> f64 {
+    let n = truth.n_types().max(1);
+    (0..n)
+        .map(|i| {
+            let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+            (c - last[i]).abs()
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+impl Mechanism for BudgetDistributionMechanism {
+    fn name(&self) -> String {
+        "bd".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        self.run_with_spends(windows, rng).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn alternating_stream(n: usize, n_types: usize) -> WindowedIndicators {
+        let windows = (0..n)
+            .map(|k| {
+                let present: Vec<EventType> = if k % 2 == 0 {
+                    vec![EventType(0)]
+                } else {
+                    vec![EventType(1)]
+                };
+                IndicatorVector::from_present(present, n_types)
+            })
+            .collect();
+        WindowedIndicators::new(windows)
+    }
+
+    #[test]
+    fn first_publication_spends_quarter_of_nominal() {
+        let bd = BudgetDistributionMechanism::new(4, eps(8.0));
+        let mut rng = DpRng::seed_from(1);
+        let (_, spends) = bd.run_with_spends(&alternating_stream(1, 2), &mut rng);
+        // ε₂ = 4, first publication = ε₂/2 = 2 = ε_w/4
+        assert!((spends[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publication_budgets_decay_within_window() {
+        let bd = BudgetDistributionMechanism::new(8, eps(8.0));
+        let mut rng = DpRng::seed_from(2);
+        let (_, spends) = bd.run_with_spends(&alternating_stream(8, 2), &mut rng);
+        let nonzero: Vec<f64> = spends.iter().copied().filter(|&s| s > 0.0).collect();
+        for pair in nonzero.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "spends should decay within the window: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn w_event_invariant_holds() {
+        let bd = BudgetDistributionMechanism::new(5, eps(3.0));
+        let mut rng = DpRng::seed_from(3);
+        let (_, spends) = bd.run_with_spends(&alternating_stream(80, 3), &mut rng);
+        assert!(bd.satisfies_w_event(&spends));
+    }
+
+    #[test]
+    fn budget_recovers_after_window_slides() {
+        let bd = BudgetDistributionMechanism::new(3, eps(4.0));
+        let mut rng = DpRng::seed_from(4);
+        let (_, spends) = bd.run_with_spends(&alternating_stream(40, 2), &mut rng);
+        // after the early spends expire, later publications can spend again
+        let late_max = spends[10..].iter().copied().fold(0.0f64, f64::max);
+        assert!(late_max > 0.0, "no late publications at all");
+    }
+
+    #[test]
+    fn faithful_at_high_budget() {
+        let bd = BudgetDistributionMechanism::new(4, eps(80.0));
+        let mut rng = DpRng::seed_from(5);
+        let stream = alternating_stream(30, 2);
+        let out = bd.protect(&stream, &mut rng);
+        let correct = out
+            .iter()
+            .zip(stream.iter())
+            .filter(|(o, t)| o.get(EventType(0)) == t.get(EventType(0)))
+            .count();
+        assert!(correct > 20, "only {correct}/30 faithful at huge budget");
+        assert_eq!(bd.name(), "bd");
+    }
+
+    #[test]
+    fn accessors() {
+        let bd = BudgetDistributionMechanism::new(6, eps(2.5));
+        assert_eq!(bd.window(), 6);
+        assert!((bd.nominal_budget().value() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Event-level DP baseline (Dwork et al., "DP under continual
+//! observation", STOC'10 — discussed in the paper's related work).
+//!
+//! Event-level privacy protects **each single event occurrence**: every
+//! indicator bit receives its own full budget ε via randomized response.
+//! Compared with the pattern-level guarantee this is *weaker* (the
+//! adversary's neighboring streams differ in one event, not one pattern
+//! element across the stream's pattern instances), and compared with
+//! whole-stream RR at the converted budget it is *less noisy* (ε per bit
+//! instead of ε/m̄). It completes the related-work lineup for ablations —
+//! the paper's §II point is precisely that event/user/w-event-level
+//! guarantees ignore the structure pattern-level DP exploits.
+
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::{EventType, WindowedIndicators};
+
+/// Randomized response with the full budget per indicator bit.
+#[derive(Debug, Clone)]
+pub struct EventLevelRr {
+    flip: FlipProb,
+}
+
+impl EventLevelRr {
+    /// Build with the per-event budget ε.
+    pub fn new(eps: Epsilon) -> Self {
+        EventLevelRr {
+            flip: FlipProb::from_epsilon(eps),
+        }
+    }
+
+    /// The flip probability applied to every bit.
+    pub fn flip_prob(&self) -> FlipProb {
+        self.flip
+    }
+}
+
+impl Mechanism for EventLevelRr {
+    fn name(&self) -> String {
+        "event-level".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            for i in 0..w.n_types() {
+                let ty = EventType(i as u32);
+                let truth = w.get(ty);
+                w.set(ty, self.flip.apply(truth, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::IndicatorVector;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn full_budget_per_bit() {
+        let m = EventLevelRr::new(eps(2.0));
+        let expected = 1.0 / (1.0 + 2.0f64.exp());
+        assert!((m.flip_prob().value() - expected).abs() < 1e-12);
+        assert_eq!(m.name(), "event-level");
+    }
+
+    #[test]
+    fn less_noisy_than_converted_full_stream_rr() {
+        // full-stream RR at pattern-level ε uses ε/m̄ per bit; event-level
+        // uses ε per bit → smaller flip probability.
+        let event = EventLevelRr::new(eps(1.0));
+        let full = crate::full_rr::FullStreamRr::new(eps(1.0 / 3.0)); // m̄ = 3
+        assert!(event.flip_prob().value() < full.flip_prob().value());
+    }
+
+    #[test]
+    fn perturbs_every_type() {
+        let m = EventLevelRr::new(eps(0.0)); // p = 1/2 everywhere
+        let mut rng = DpRng::seed_from(8);
+        let wi = WindowedIndicators::new(vec![IndicatorVector::empty(3); 6000]);
+        let out = m.protect(&wi, &mut rng);
+        for i in 0..3u32 {
+            let ones = out.iter().filter(|w| w.get(EventType(i))).count();
+            let rate = ones as f64 / 6000.0;
+            assert!((rate - 0.5).abs() < 0.03, "type {i} rate {rate}");
+        }
+    }
+}

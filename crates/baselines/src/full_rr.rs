@@ -1,0 +1,96 @@
+//! Whole-stream randomized response: the simplest non-pattern-level PPM.
+//!
+//! Every event type in the universe is flipped with the same probability —
+//! the per-type budget is the converted `ε/m̄` (so the private pattern's
+//! aggregate matches pattern-level ε). This is what "add noise to the whole
+//! stream" costs when the noise mechanism itself is held fixed; the gap
+//! between this and `ProtectionPipeline::uniform` isolates the benefit of
+//! *only* perturbing pattern-correlated events.
+
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::WindowedIndicators;
+
+/// Uniform randomized response over the entire type universe.
+#[derive(Debug, Clone)]
+pub struct FullStreamRr {
+    per_type: FlipProb,
+}
+
+impl FullStreamRr {
+    /// Build with the per-type budget (already converted; see
+    /// [`crate::conversion`]).
+    pub fn new(per_type_eps: Epsilon) -> Self {
+        FullStreamRr {
+            per_type: FlipProb::from_epsilon(per_type_eps),
+        }
+    }
+
+    /// The flip probability applied to every type.
+    pub fn flip_prob(&self) -> FlipProb {
+        self.per_type
+    }
+}
+
+impl Mechanism for FullStreamRr {
+    fn name(&self) -> String {
+        "full-rr".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            for i in 0..w.n_types() {
+                let ty = pdp_stream::EventType(i as u32);
+                let truth = w.get(ty);
+                w.set(ty, self.per_type.apply(truth, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::{EventType, IndicatorVector};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    #[test]
+    fn flips_every_type_at_expected_rate() {
+        let mech = FullStreamRr::new(Epsilon::ZERO); // p = 1/2
+        let mut rng = DpRng::seed_from(5);
+        let n = 20_000;
+        let wi = WindowedIndicators::new(vec![IndicatorVector::empty(2); n]);
+        let out = mech.protect(&wi, &mut rng);
+        for ty in [t(0), t(1)] {
+            let ones = out.iter().filter(|w| w.get(ty)).count();
+            let rate = ones as f64 / n as f64;
+            assert!((rate - 0.5).abs() < 0.02, "type {ty} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn strong_budget_rarely_flips() {
+        let mech = FullStreamRr::new(Epsilon::new(6.0).unwrap());
+        let mut rng = DpRng::seed_from(6);
+        let wi = WindowedIndicators::new(vec![IndicatorVector::from_present([t(0)], 2); 5000]);
+        let out = mech.protect(&wi, &mut rng);
+        let kept = out.iter().filter(|w| w.get(t(0))).count();
+        assert!(kept > 4900, "kept {kept} of 5000");
+        assert_eq!(mech.name(), "full-rr");
+    }
+
+    #[test]
+    fn preserves_window_count_and_width() {
+        let mech = FullStreamRr::new(Epsilon::new(1.0).unwrap());
+        let mut rng = DpRng::seed_from(7);
+        let wi = WindowedIndicators::new(vec![IndicatorVector::empty(4); 13]);
+        let out = mech.protect(&wi, &mut rng);
+        assert_eq!(out.len(), 13);
+        assert_eq!(out.n_types(), 4);
+    }
+}

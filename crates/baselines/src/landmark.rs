@@ -1,0 +1,243 @@
+//! Landmark privacy (Katsomallos, Tzompanaki, Kotzinos — CODASPY 2022).
+//!
+//! Landmark privacy recognizes that "not all timestamps and data should be
+//! treated equally": user-designated **landmarks** (here: the event types
+//! that constitute private patterns) are protected *jointly*, while every
+//! regular timestamp still receives individual protection — the protected
+//! set of one guarantee is {all landmarks} ∪ {any one regular event}.
+//!
+//! The crucial difference from pattern-level DP (noted in the paper's
+//! related work): landmark privacy does **not** model connections *between*
+//! data tuples. Because any regular event is also in the protected set,
+//! regular event types must be perturbed too — which is exactly what costs
+//! it quality relative to pattern-level protection, where uncorrelated
+//! events pass through untouched.
+//!
+//! Allocation. The conversion of §VI-A.2 pins the budget landing on the
+//! private pattern's types: each landmark type receives `ε/m̄` so the
+//! pattern aggregate is the pattern-level ε. The remaining design freedom
+//! is the landmark/regular split `share`: each regular type receives
+//! `(1−share)/share · ε/m̄`. `share = 1/2` is the uniform allocation over
+//! the protected set (regulars get the same per-event budget as landmarks);
+//! the **adaptive** variant (the algorithm the paper compares against)
+//! raises `share` with the historical density of landmark activity —
+//! busier landmarks claim more of the joint budget, leaving regulars
+//! noisier.
+
+use std::collections::BTreeSet;
+
+use pdp_cep::{PatternId, PatternSet};
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::{EventType, WindowedIndicators};
+
+use crate::conversion::mean_pattern_len;
+
+/// The landmark-privacy mechanism over indicator streams.
+#[derive(Debug, Clone)]
+pub struct LandmarkPrivacy {
+    landmark_types: Vec<EventType>,
+    landmark_flip: FlipProb,
+    regular_flip: FlipProb,
+    share: f64,
+}
+
+impl LandmarkPrivacy {
+    /// The uniform allocation over the protected set.
+    pub const DEFAULT_SHARE: f64 = 0.5;
+
+    /// Build for the given private patterns and pattern-level budget.
+    ///
+    /// `landmark_share ∈ (0, 1)` — the landmarks' fraction of the joint
+    /// budget. Per-landmark budget is pinned to `ε/m̄` by the conversion;
+    /// each regular type receives `(1−share)/share · ε/m̄`.
+    pub fn new(
+        patterns: &PatternSet,
+        private: &[PatternId],
+        pattern_eps: Epsilon,
+        landmark_share: f64,
+    ) -> Self {
+        let share = landmark_share.clamp(0.05, 0.95);
+        let landmark_types: Vec<EventType> = private
+            .iter()
+            .filter_map(|&id| patterns.get(id))
+            .flat_map(|p| p.distinct_types())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mean_m = mean_pattern_len(patterns, private);
+        let eps_landmark_each = Epsilon::new_unchecked(pattern_eps.value() / mean_m.max(1.0));
+        let eps_regular_each =
+            Epsilon::new_unchecked(eps_landmark_each.value() * (1.0 - share) / share);
+        LandmarkPrivacy {
+            landmark_types,
+            landmark_flip: FlipProb::from_epsilon(eps_landmark_each),
+            regular_flip: FlipProb::from_epsilon(eps_regular_each),
+            share,
+        }
+    }
+
+    /// The adaptive allocation: derive the landmark share from historical
+    /// landmark activity. With `r` the fraction of windows containing any
+    /// landmark-type event, `share = 1/2 + r/4 ∈ [0.5, 0.75]` — busier
+    /// landmarks claim more of the joint budget.
+    pub fn with_adaptive_share(
+        patterns: &PatternSet,
+        private: &[PatternId],
+        pattern_eps: Epsilon,
+        history: &WindowedIndicators,
+    ) -> Self {
+        let probe = Self::new(patterns, private, pattern_eps, Self::DEFAULT_SHARE);
+        let rate = if history.is_empty() {
+            0.0
+        } else {
+            let hits = history
+                .iter()
+                .filter(|w| probe.landmark_types.iter().any(|&ty| w.get(ty)))
+                .count();
+            hits as f64 / history.len() as f64
+        };
+        Self::new(patterns, private, pattern_eps, 0.5 + rate / 4.0)
+    }
+
+    /// The landmark event types (private-pattern element types).
+    pub fn landmark_types(&self) -> &[EventType] {
+        &self.landmark_types
+    }
+
+    /// Flip probability applied to each landmark type.
+    pub fn landmark_flip(&self) -> FlipProb {
+        self.landmark_flip
+    }
+
+    /// Flip probability applied to each regular type.
+    pub fn regular_flip(&self) -> FlipProb {
+        self.regular_flip
+    }
+
+    /// The landmark share in force.
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+}
+
+impl Mechanism for LandmarkPrivacy {
+    fn name(&self) -> String {
+        "landmark".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        let landmark_set: BTreeSet<EventType> = self.landmark_types.iter().copied().collect();
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            for i in 0..w.n_types() {
+                let ty = EventType(i as u32);
+                let flip = if landmark_set.contains(&ty) {
+                    self.landmark_flip
+                } else {
+                    self.regular_flip
+                };
+                let truth = w.get(ty);
+                w.set(ty, flip.apply(truth, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_cep::Pattern;
+    use pdp_stream::IndicatorVector;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn setup() -> (PatternSet, Vec<PatternId>) {
+        let mut set = PatternSet::new();
+        let a = set.insert(Pattern::seq("a", vec![t(0), t(1)]).unwrap());
+        (set, vec![a])
+    }
+
+    #[test]
+    fn landmark_types_are_private_pattern_types() {
+        let (set, private) = setup();
+        let lm = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.5);
+        assert_eq!(lm.landmark_types(), &[t(0), t(1)]);
+    }
+
+    #[test]
+    fn conversion_matches_pattern_level_aggregate() {
+        let (set, private) = setup();
+        let lm = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.5);
+        // m̄ = 2 ⇒ per-landmark ε = 0.5; aggregate over m = 2 elements = 1.0 ✓
+        let per_landmark = lm.landmark_flip().epsilon().unwrap().value();
+        assert!((per_landmark * 2.0 - 1.0).abs() < 1e-9);
+        // share = 0.5 ⇒ regulars get the same per-event budget
+        let per_regular = lm.regular_flip().epsilon().unwrap().value();
+        assert!((per_regular - per_landmark).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_share_starves_regulars() {
+        let (set, private) = setup();
+        let even = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.5);
+        let greedy = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.75);
+        // landmark budget pinned by conversion
+        assert!(
+            (even.landmark_flip().value() - greedy.landmark_flip().value()).abs() < 1e-12
+        );
+        // regulars noisier under the greedier landmark share
+        assert!(greedy.regular_flip().value() > even.regular_flip().value());
+    }
+
+    #[test]
+    fn regular_types_are_perturbed_too() {
+        let (set, private) = setup();
+        let lm = LandmarkPrivacy::new(&set, &private, eps(0.01), 0.5);
+        let mut rng = DpRng::seed_from(11);
+        let wi = WindowedIndicators::new(vec![IndicatorVector::empty(4); 4000]);
+        let out = lm.protect(&wi, &mut rng);
+        // type 3 is regular; with per-type ε ≈ 0.005, flips ≈ half the time
+        let flipped = out.iter().filter(|w| w.get(t(3))).count();
+        assert!(flipped > 1500, "regular type barely perturbed: {flipped}");
+    }
+
+    #[test]
+    fn adaptive_share_grows_with_landmark_density() {
+        let (set, private) = setup();
+        let quiet = WindowedIndicators::new(vec![IndicatorVector::empty(4); 50]);
+        let busy =
+            WindowedIndicators::new(vec![IndicatorVector::from_present([t(0)], 4); 50]);
+        let lm_quiet = LandmarkPrivacy::with_adaptive_share(&set, &private, eps(1.0), &quiet);
+        let lm_busy = LandmarkPrivacy::with_adaptive_share(&set, &private, eps(1.0), &busy);
+        assert!((lm_quiet.share() - 0.5).abs() < 1e-9);
+        assert!((lm_busy.share() - 0.75).abs() < 1e-9);
+        assert!(lm_busy.regular_flip().value() > lm_quiet.regular_flip().value());
+    }
+
+    #[test]
+    fn landmarks_union_over_multiple_patterns() {
+        let mut set = PatternSet::new();
+        let a = set.insert(Pattern::seq("a", vec![t(0), t(1)]).unwrap());
+        let b = set.insert(Pattern::seq("b", vec![t(1), t(2)]).unwrap());
+        let lm = LandmarkPrivacy::new(&set, &[a, b], eps(1.0), 0.5);
+        assert_eq!(lm.landmark_types(), &[t(0), t(1), t(2)]);
+        assert_eq!(lm.name(), "landmark");
+    }
+
+    #[test]
+    fn noisier_than_pattern_level_on_uncorrelated_types() {
+        // the defining weakness: pattern-level leaves regular types
+        // untouched, landmark does not
+        let (set, private) = setup();
+        let lm = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.5);
+        assert!(lm.regular_flip().value() > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! User-level DP baseline (Dwork et al., continual observation — the
+//! strongest guarantee in the paper's §II lineup).
+//!
+//! User-level privacy protects **every event a data provider ever
+//! contributes**. Over an unbounded stream this is famously brutal: one
+//! user can influence up to one indicator bit per window, so a randomized
+//! response must stretch the budget over the whole horizon — per-bit
+//! budget `ε / horizon`. Even short horizons push the flip probability
+//! toward 1/2, which is precisely the paper's motivation for guarantees
+//! that exploit stream structure instead (w-event, landmark,
+//! pattern-level).
+
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::{EventType, WindowedIndicators};
+
+/// Randomized response with the budget divided over a user's horizon.
+#[derive(Debug, Clone)]
+pub struct UserLevelRr {
+    horizon: usize,
+    flip: FlipProb,
+}
+
+impl UserLevelRr {
+    /// Build for a protection horizon of `horizon` windows (≥ 1): each
+    /// indicator bit receives `ε / horizon`.
+    pub fn new(eps: Epsilon, horizon: usize) -> Self {
+        let horizon = horizon.max(1);
+        UserLevelRr {
+            horizon,
+            flip: FlipProb::from_epsilon(eps / horizon as f64),
+        }
+    }
+
+    /// The horizon the budget is stretched over.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The per-bit flip probability.
+    pub fn flip_prob(&self) -> FlipProb {
+        self.flip
+    }
+}
+
+impl Mechanism for UserLevelRr {
+    fn name(&self) -> String {
+        "user-level".to_owned()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            for i in 0..w.n_types() {
+                let ty = EventType(i as u32);
+                let truth = w.get(ty);
+                w.set(ty, self.flip.apply(truth, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::IndicatorVector;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn budget_divides_by_horizon() {
+        let m = UserLevelRr::new(eps(10.0), 100);
+        let per_bit = m.flip_prob().epsilon().unwrap().value();
+        assert!((per_bit - 0.1).abs() < 1e-9);
+        assert_eq!(m.horizon(), 100);
+        assert_eq!(m.name(), "user-level");
+    }
+
+    #[test]
+    fn long_horizons_approach_coin_flipping() {
+        let short = UserLevelRr::new(eps(1.0), 10);
+        let long = UserLevelRr::new(eps(1.0), 1000);
+        assert!(long.flip_prob().value() > short.flip_prob().value());
+        assert!((long.flip_prob().value() - 0.5).abs() < 0.001);
+    }
+
+    #[test]
+    fn zero_horizon_clamps_to_one() {
+        let m = UserLevelRr::new(eps(1.0), 0);
+        assert_eq!(m.horizon(), 1);
+    }
+
+    #[test]
+    fn protection_is_heavy() {
+        let m = UserLevelRr::new(eps(5.0), 500);
+        let mut rng = DpRng::seed_from(9);
+        let wi = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([EventType(0)], 2);
+            4000
+        ]);
+        let out = m.protect(&wi, &mut rng);
+        let kept = out.iter().filter(|w| w.get(EventType(0))).count();
+        // per-bit ε = 0.01 → flip prob ≈ 0.4975 → barely above chance
+        let rate = kept as f64 / 4000.0;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+}

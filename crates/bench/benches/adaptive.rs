@@ -1,0 +1,88 @@
+//! Algorithm 1 cost and quality: the ablation bench for the adaptive PPM's
+//! design knobs (step size δε, step rule, pattern length m).
+//!
+//! Run with: `cargo bench -p pdp-bench --bench adaptive`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pdp_core::{optimize_all, AdaptiveConfig, QualityModel, StepRule};
+use pdp_datasets::{SyntheticConfig, SyntheticDataset};
+use pdp_dp::Epsilon;
+use pdp_metrics::Alpha;
+
+fn workload(pattern_len: usize) -> (pdp_datasets::Workload, QualityModel) {
+    let config = SyntheticConfig {
+        n_windows: 200,
+        pattern_len,
+        forced_overlap: Some(0.6),
+        ..SyntheticConfig::default()
+    };
+    let w = SyntheticDataset::generate(&config, 777).workload;
+    let model = QualityModel::new(
+        w.windows.clone(),
+        &w.patterns,
+        &w.target,
+        Alpha::HALF,
+    )
+    .expect("model builds");
+    (w, model)
+}
+
+fn bench_pattern_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1/pattern_len");
+    group.sample_size(10);
+    for m in [2usize, 3, 5] {
+        let (w, model) = workload(m);
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| {
+                let out = optimize_all(
+                    &w.patterns,
+                    &w.private,
+                    Epsilon::new(1.0).unwrap(),
+                    &model,
+                    w.n_types,
+                    &AdaptiveConfig::default(),
+                )
+                .expect("optimizer runs");
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_rules(c: &mut Criterion) {
+    let (w, model) = workload(3);
+    let mut group = c.benchmark_group("algorithm1/step_rule");
+    group.sample_size(10);
+    for (label, rule, divisor) in [
+        ("conserving_100", StepRule::Conserving, 100.0),
+        ("conserving_20", StepRule::Conserving, 20.0),
+        ("paper_literal_100", StepRule::PaperLiteral, 100.0),
+    ] {
+        let config = AdaptiveConfig {
+            step_rule: rule,
+            step_divisor: divisor,
+            ..AdaptiveConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let out = optimize_all(
+                    &w.patterns,
+                    &w.private,
+                    Epsilon::new(1.0).unwrap(),
+                    &model,
+                    w.n_types,
+                    &config,
+                )
+                .expect("optimizer runs");
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_length, bench_step_rules);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! CEP substrate throughput: merge, window assignment, NFA matching,
+//! full detection.
+//!
+//! Run with: `cargo bench -p pdp-bench --bench cep`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pdp_cep::{Detector, Nfa, Pattern, PatternSet, Semantics};
+use pdp_dp::DpRng;
+use pdp_stream::{
+    merge_streams, Event, EventStream, EventType, TimeDelta, Timestamp, WindowAssigner,
+};
+
+fn random_stream(n: usize, n_types: u32, seed: u64) -> EventStream {
+    let mut rng = DpRng::seed_from(seed);
+    EventStream::from_unordered(
+        (0..n)
+            .map(|i| {
+                Event::new(
+                    EventType(rng.below(n_types as usize) as u32),
+                    Timestamp::from_millis(i as i64 * 10),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    for k in [2usize, 8, 32] {
+        let streams: Vec<EventStream> =
+            (0..k).map(|i| random_stream(2000, 10, i as u64)).collect();
+        group.throughput(Throughput::Elements((2000 * k) as u64));
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| black_box(merge_streams(black_box(streams.clone())).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_windowing(c: &mut Criterion) {
+    let stream = random_stream(20_000, 20, 1);
+    let mut group = c.benchmark_group("window_assignment");
+    group.throughput(Throughput::Elements(20_000));
+    let tumbling = WindowAssigner::tumbling(TimeDelta::from_millis(500)).unwrap();
+    group.bench_function("tumbling", |b| {
+        b.iter(|| black_box(tumbling.assign(black_box(&stream)).len()));
+    });
+    let sliding =
+        WindowAssigner::sliding(TimeDelta::from_millis(500), TimeDelta::from_millis(100))
+            .unwrap();
+    group.bench_function("sliding", |b| {
+        b.iter(|| black_box(sliding.assign(black_box(&stream)).len()));
+    });
+    group.finish();
+}
+
+fn bench_nfa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nfa_accepts");
+    let window: Vec<EventType> = {
+        let mut rng = DpRng::seed_from(3);
+        (0..1000).map(|_| EventType(rng.below(20) as u32)).collect()
+    };
+    group.throughput(Throughput::Elements(1000));
+    for m in [2usize, 4, 8] {
+        let nfa = Nfa::from_elements(
+            &(0..m as u32).map(EventType).collect::<Vec<_>>(),
+        );
+        group.bench_function(BenchmarkId::from_parameter(m), |b| {
+            b.iter(|| black_box(nfa.accepts(window.iter().copied())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let stream = random_stream(10_000, 20, 5);
+    let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(200)).unwrap();
+    let mut patterns = PatternSet::new();
+    let mut rng = DpRng::seed_from(6);
+    for k in 0..20 {
+        let elements: Vec<EventType> = (0..3)
+            .map(|_| EventType(rng.below(20) as u32))
+            .collect();
+        patterns.insert(Pattern::seq(&format!("p{k}"), elements).unwrap());
+    }
+    let mut group = c.benchmark_group("detector_10k_events_20_patterns");
+    group.throughput(Throughput::Elements(10_000));
+    for (label, semantics) in [
+        ("ordered", Semantics::Ordered),
+        ("conjunction", Semantics::Conjunction),
+    ] {
+        let detector = Detector::new(patterns.clone(), semantics);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    detector
+                        .detect_stream(black_box(&stream), &assigner)
+                        .n_windows(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_merge, bench_windowing, bench_nfa, bench_detector
+}
+criterion_main!(benches);

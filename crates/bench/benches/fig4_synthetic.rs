@@ -1,0 +1,64 @@
+//! Fig. 4 (synthetic): regenerates the MRE-vs-ε series the paper plots,
+//! then measures the per-mechanism protection cost on the same workload.
+//!
+//! Run with: `cargo bench -p pdp-bench --bench fig4_synthetic`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pdp_bench::bench_synthetic;
+use pdp_dp::{DpRng, Epsilon};
+use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
+use pdp_experiments::runner::{build_mechanism, MechanismSpec, RunConfig};
+use pdp_metrics::text_table;
+
+fn regenerate_series() {
+    let config = Fig4Config {
+        eps_grid: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+        trials: 8,
+        synthetic: pdp_datasets::SyntheticConfig {
+            n_windows: 300,
+            forced_overlap: Some(0.6),
+            ..Default::default()
+        },
+        ..Fig4Config::default()
+    };
+    let result = run_fig4(Dataset::Synthetic, &config);
+    println!("\n{}", text_table(&result.to_table()));
+}
+
+fn bench_protection(c: &mut Criterion) {
+    // print the actual figure series once, so `cargo bench` output carries
+    // the reproduction numbers alongside the timings
+    regenerate_series();
+
+    let workload = bench_synthetic();
+    let run = RunConfig::at_eps(Epsilon::new(1.0).unwrap());
+    let mut group = c.benchmark_group("fig4_synthetic/protect");
+    for spec in [
+        MechanismSpec::Uniform,
+        MechanismSpec::Adaptive,
+        MechanismSpec::Bd,
+        MechanismSpec::Ba,
+        MechanismSpec::Landmark,
+    ] {
+        // mechanism construction outside the loop: for adaptive this runs
+        // Algorithm 1 once (its cost is measured by the `adaptive` bench)
+        let mechanism = build_mechanism(spec, &workload, &run).expect("mechanism builds");
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            let mut rng = DpRng::seed_from(42);
+            b.iter(|| {
+                let out = mechanism.protect(black_box(&workload.windows), &mut rng);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_protection
+}
+criterion_main!(benches);

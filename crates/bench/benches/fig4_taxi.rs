@@ -1,0 +1,71 @@
+//! Fig. 4 (Taxi): regenerates the MRE-vs-ε series on the T-Drive
+//! substitute, then measures end-to-end protect+answer cost.
+//!
+//! Run with: `cargo bench -p pdp-bench --bench fig4_taxi`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pdp_bench::bench_taxi;
+use pdp_cep::match_indicator;
+use pdp_dp::{DpRng, Epsilon};
+use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
+use pdp_experiments::runner::{build_mechanism, MechanismSpec, RunConfig};
+use pdp_metrics::text_table;
+
+fn regenerate_series() {
+    let config = Fig4Config {
+        eps_grid: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+        trials: 8,
+        taxi: pdp_datasets::TaxiConfig {
+            grid_side: 10,
+            n_taxis: 60,
+            n_windows: 150,
+            ..Default::default()
+        },
+        ..Fig4Config::default()
+    };
+    let result = run_fig4(Dataset::Taxi, &config);
+    println!("\n{}", text_table(&result.to_table()));
+}
+
+fn bench_protect_and_answer(c: &mut Criterion) {
+    regenerate_series();
+
+    let workload = bench_taxi();
+    let run = RunConfig::at_eps(Epsilon::new(1.0).unwrap());
+    let targets: Vec<&pdp_cep::Pattern> = workload
+        .target
+        .iter()
+        .map(|&id| workload.patterns.get(id).expect("valid workload"))
+        .collect();
+
+    let mut group = c.benchmark_group("fig4_taxi/protect+answer");
+    for spec in [MechanismSpec::Uniform, MechanismSpec::Ba, MechanismSpec::Landmark] {
+        let mechanism = build_mechanism(spec, &workload, &run).expect("mechanism builds");
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            let mut rng = DpRng::seed_from(7);
+            b.iter(|| {
+                let protected = mechanism.protect(black_box(&workload.windows), &mut rng);
+                // answer every target query on the protected view
+                let mut positives = 0usize;
+                for w in protected.iter() {
+                    for pattern in &targets {
+                        if match_indicator(pattern, w) {
+                            positives += 1;
+                        }
+                    }
+                }
+                black_box(positives)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_protect_and_answer
+}
+criterion_main!(benches);

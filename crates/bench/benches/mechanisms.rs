@@ -1,0 +1,94 @@
+//! Microbenchmarks of the DP primitives and baseline mechanisms.
+//!
+//! Run with: `cargo bench -p pdp-bench --bench mechanisms`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pdp_baselines::{BudgetAbsorption, BudgetDistributionMechanism};
+use pdp_core::Mechanism;
+use pdp_dp::{DpRng, Epsilon, FlipProb, Laplace, RandomizedResponse, TwoSidedGeometric};
+use pdp_stream::{EventType, IndicatorVector, WindowedIndicators};
+
+fn windows(n: usize, n_types: usize, seed: u64) -> WindowedIndicators {
+    let mut rng = DpRng::seed_from(seed);
+    WindowedIndicators::new(
+        (0..n)
+            .map(|_| {
+                let present =
+                    (0..n_types).filter(|_| rng.bernoulli(0.3)).map(|i| EventType(i as u32));
+                IndicatorVector::from_present(present, n_types)
+            })
+            .collect(),
+    )
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.throughput(Throughput::Elements(1));
+
+    let lap = Laplace::with_scale(1.0).unwrap();
+    group.bench_function("laplace", |b| {
+        let mut rng = DpRng::seed_from(1);
+        b.iter(|| black_box(lap.sample(&mut rng)));
+    });
+
+    let geo = TwoSidedGeometric::for_query(1, Epsilon::new(1.0).unwrap()).unwrap();
+    group.bench_function("geometric", |b| {
+        let mut rng = DpRng::seed_from(2);
+        b.iter(|| black_box(geo.sample(&mut rng)));
+    });
+
+    let p = FlipProb::from_epsilon(Epsilon::new(1.0).unwrap());
+    group.bench_function("rr_flip", |b| {
+        let mut rng = DpRng::seed_from(3);
+        b.iter(|| black_box(p.apply(true, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_rr_vector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("randomized_response");
+    for width in [20usize, 256, 4096] {
+        let mech = RandomizedResponse::from_epsilons(&vec![
+            Epsilon::new(0.5).unwrap();
+            width
+        ]);
+        group.throughput(Throughput::Elements(width as u64));
+        group.bench_function(BenchmarkId::from_parameter(width), |b| {
+            let mut rng = DpRng::seed_from(4);
+            let mut bits = vec![false; width];
+            b.iter(|| {
+                mech.apply(black_box(&mut bits), &mut rng);
+                black_box(bits[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_w_event(c: &mut Criterion) {
+    let stream = windows(500, 20, 9);
+    let mut group = c.benchmark_group("w_event_stream_500x20");
+    group.throughput(Throughput::Elements(500));
+
+    let ba = BudgetAbsorption::new(10, Epsilon::new(5.0).unwrap());
+    group.bench_function("ba", |b| {
+        let mut rng = DpRng::seed_from(5);
+        b.iter(|| black_box(ba.protect(&stream, &mut rng).len()));
+    });
+
+    let bd = BudgetDistributionMechanism::new(10, Epsilon::new(5.0).unwrap());
+    group.bench_function("bd", |b| {
+        let mut rng = DpRng::seed_from(6);
+        b.iter(|| black_box(bd.protect(&stream, &mut rng).len()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_samplers, bench_rr_vector, bench_w_event
+}
+criterion_main!(benches);

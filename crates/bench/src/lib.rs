@@ -1,0 +1,39 @@
+//! # `pdp-bench` — benchmark support
+//!
+//! The Criterion benches live in `benches/`; this library hosts the shared
+//! fixtures so every bench builds the same workloads.
+
+use pdp_datasets::{SyntheticConfig, SyntheticDataset, TaxiConfig, TaxiDataset, Workload};
+
+/// The synthetic workload used by the Fig. 4 benches (smaller than the
+/// experiment harness default so `cargo bench` stays responsive).
+pub fn bench_synthetic() -> Workload {
+    let config = SyntheticConfig {
+        n_windows: 300,
+        forced_overlap: Some(0.6),
+        ..SyntheticConfig::default()
+    };
+    SyntheticDataset::generate(&config, 1234).workload
+}
+
+/// The taxi workload used by the Fig. 4 benches.
+pub fn bench_taxi() -> Workload {
+    let config = TaxiConfig {
+        grid_side: 10,
+        n_taxis: 60,
+        n_windows: 150,
+        ..TaxiConfig::default()
+    };
+    TaxiDataset::generate(&config, 1234).workload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_valid_workloads() {
+        assert!(bench_synthetic().validate().is_ok());
+        assert!(bench_taxi().validate().is_ok());
+    }
+}

@@ -1,0 +1,166 @@
+//! Pattern → executable matcher compilation.
+//!
+//! Compiles each registered pattern to the representation its semantics
+//! needs: an [`Nfa`] for ordered matching, the distinct-type list for
+//! conjunction matching. Compilation is done once per pattern set and reused
+//! across every window.
+
+use std::collections::HashMap;
+
+use pdp_stream::EventType;
+
+use crate::nfa::Nfa;
+use crate::pattern::{PatternId, PatternSet};
+use crate::query::Semantics;
+
+/// A compiled pattern ready for per-window evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    /// The pattern's id in its set.
+    pub id: PatternId,
+    /// NFA for ordered semantics.
+    pub nfa: Nfa,
+    /// Distinct element types for conjunction semantics.
+    pub distinct: Vec<EventType>,
+}
+
+/// All patterns of a set, compiled.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledSet {
+    compiled: HashMap<PatternId, CompiledPattern>,
+}
+
+impl CompiledSet {
+    /// Compile every pattern in `set`.
+    pub fn compile(set: &PatternSet) -> Self {
+        let compiled = set
+            .iter()
+            .map(|(id, p)| {
+                (
+                    id,
+                    CompiledPattern {
+                        id,
+                        nfa: Nfa::from_elements(p.elements()),
+                        distinct: p.distinct_types().into_iter().collect(),
+                    },
+                )
+            })
+            .collect();
+        CompiledSet { compiled }
+    }
+
+    /// The compiled form of one pattern.
+    pub fn get(&self, id: PatternId) -> Option<&CompiledPattern> {
+        self.compiled.get(&id)
+    }
+
+    /// Number of compiled patterns.
+    pub fn len(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// True when no patterns are compiled.
+    pub fn is_empty(&self) -> bool {
+        self.compiled.is_empty()
+    }
+
+    /// Evaluate one pattern against a window of ordered event types.
+    ///
+    /// `OrderedWithin` needs timestamps; use
+    /// [`CompiledSet::detect_timed`] for it — here it degrades to plain
+    /// ordered matching (span unchecked).
+    pub fn detect(&self, id: PatternId, window: &[EventType], semantics: Semantics) -> bool {
+        let Some(cp) = self.compiled.get(&id) else {
+            return false;
+        };
+        match semantics {
+            Semantics::Ordered | Semantics::OrderedWithin(_) => {
+                cp.nfa.accepts(window.iter().copied())
+            }
+            Semantics::Conjunction => cp
+                .distinct
+                .iter()
+                .all(|ty| window.contains(ty)),
+        }
+    }
+
+    /// Evaluate one pattern against timestamped window events, honouring
+    /// span constraints.
+    pub fn detect_timed(
+        &self,
+        id: PatternId,
+        window: &[(EventType, pdp_stream::Timestamp)],
+        semantics: Semantics,
+    ) -> bool {
+        let Some(cp) = self.compiled.get(&id) else {
+            return false;
+        };
+        match semantics {
+            Semantics::Ordered => cp.nfa.accepts(window.iter().map(|&(ty, _)| ty)),
+            Semantics::Conjunction => cp
+                .distinct
+                .iter()
+                .all(|ty| window.iter().any(|(w, _)| w == ty)),
+            Semantics::OrderedWithin(span) => match cp.nfa.min_span(window) {
+                Some(best) => best <= span,
+                None => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn compiled() -> (CompiledSet, PatternId) {
+        let mut set = PatternSet::new();
+        let id = set.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+        (CompiledSet::compile(&set), id)
+    }
+
+    #[test]
+    fn ordered_vs_conjunction() {
+        let (cs, id) = compiled();
+        let reversed = [t(1), t(0)];
+        assert!(!cs.detect(id, &reversed, Semantics::Ordered));
+        assert!(cs.detect(id, &reversed, Semantics::Conjunction));
+        let ordered = [t(0), t(5), t(1)];
+        assert!(cs.detect(id, &ordered, Semantics::Ordered));
+        assert!(cs.detect(id, &ordered, Semantics::Conjunction));
+    }
+
+    #[test]
+    fn missing_pattern_is_not_detected() {
+        let (cs, _) = compiled();
+        assert!(!cs.detect(PatternId(9), &[t(0), t(1)], Semantics::Ordered));
+    }
+
+    #[test]
+    fn compiles_all_patterns() {
+        let mut set = PatternSet::new();
+        set.insert(Pattern::single("a", t(0)));
+        set.insert(Pattern::single("b", t(1)));
+        let cs = CompiledSet::compile(&set);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.get(PatternId(0)).is_some());
+        assert!(cs.get(PatternId(2)).is_none());
+    }
+
+    #[test]
+    fn conjunction_with_repeated_elements_uses_distinct() {
+        let mut set = PatternSet::new();
+        let id = set.insert(Pattern::seq("pp", vec![t(0), t(0)]).unwrap());
+        let cs = CompiledSet::compile(&set);
+        // conjunction only needs one occurrence of each distinct type …
+        assert!(cs.detect(id, &[t(0)], Semantics::Conjunction));
+        // … but ordered needs two.
+        assert!(!cs.detect(id, &[t(0)], Semantics::Ordered));
+        assert!(cs.detect(id, &[t(0), t(0)], Semantics::Ordered));
+    }
+}

@@ -1,0 +1,238 @@
+//! Continuous detection: event stream → pattern stream (Fig. 1).
+//!
+//! A [`Detector`] evaluates every registered pattern against every window of
+//! a stream, producing the per-window detection table that downstream
+//! metrics and mechanisms consume. The paper's pattern stream
+//! `S_P = (P₁, P₂, …)` corresponds to the `true` entries of this table in
+//! window order.
+
+use pdp_stream::{EventStream, EventType, WindowAssigner, WindowedIndicators};
+
+use crate::compile::CompiledSet;
+use crate::matcher::match_indicator;
+use crate::pattern::{PatternId, PatternSet};
+use crate::query::Semantics;
+
+/// One pattern's detection outcome in one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Window index.
+    pub window: usize,
+    /// Which pattern.
+    pub pattern: PatternId,
+    /// Whether it was detected.
+    pub detected: bool,
+}
+
+/// Per-window detection table: `table[window][pattern.0] = detected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionTable {
+    n_patterns: usize,
+    rows: Vec<Vec<bool>>,
+}
+
+impl DetectionTable {
+    /// Build an empty table.
+    pub fn new(n_patterns: usize) -> Self {
+        DetectionTable {
+            n_patterns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one window's detections.
+    pub fn push_window(&mut self, detections: Vec<bool>) {
+        debug_assert_eq!(detections.len(), self.n_patterns);
+        self.rows.push(detections);
+    }
+
+    /// Detection flag for `(window, pattern)`.
+    pub fn get(&self, window: usize, pattern: PatternId) -> bool {
+        self.rows
+            .get(window)
+            .and_then(|r| r.get(pattern.0 as usize))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of windows.
+    pub fn n_windows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of patterns per window.
+    pub fn n_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// Count of windows in which `pattern` is detected.
+    pub fn detection_count(&self, pattern: PatternId) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.get(pattern.0 as usize).copied().unwrap_or(false))
+            .count()
+    }
+
+    /// Iterate all detections as [`Detection`] records.
+    pub fn iter(&self) -> impl Iterator<Item = Detection> + '_ {
+        self.rows.iter().enumerate().flat_map(|(w, row)| {
+            row.iter().enumerate().map(move |(p, &d)| Detection {
+                window: w,
+                pattern: PatternId(p as u32),
+                detected: d,
+            })
+        })
+    }
+}
+
+/// Evaluates all patterns of a set over windows of a stream.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    patterns: PatternSet,
+    compiled: CompiledSet,
+    semantics: Semantics,
+}
+
+impl Detector {
+    /// Build a detector for `patterns` with the given semantics.
+    pub fn new(patterns: PatternSet, semantics: Semantics) -> Self {
+        let compiled = CompiledSet::compile(&patterns);
+        Detector {
+            patterns,
+            compiled,
+            semantics,
+        }
+    }
+
+    /// The pattern set under detection.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The detection semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Detect over the windows of an event stream.
+    pub fn detect_stream(&self, stream: &EventStream, assigner: &WindowAssigner) -> DetectionTable {
+        let mut table = DetectionTable::new(self.patterns.len());
+        for (_, events) in assigner.assign(stream) {
+            let timed: Vec<(EventType, pdp_stream::Timestamp)> =
+                events.iter().map(|e| (e.ty, e.ts)).collect();
+            let row = self
+                .patterns
+                .iter()
+                .map(|(id, _)| self.compiled.detect_timed(id, &timed, self.semantics))
+                .collect();
+            table.push_window(row);
+        }
+        table
+    }
+
+    /// Detect over pre-computed indicator vectors (conjunction semantics:
+    /// indicators carry no ordering information).
+    pub fn detect_indicators(&self, indicators: &WindowedIndicators) -> DetectionTable {
+        let mut table = DetectionTable::new(self.patterns.len());
+        for iv in indicators.iter() {
+            let row = self
+                .patterns
+                .iter()
+                .map(|(_, p)| match_indicator(p, iv))
+                .collect();
+            table.push_window(row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn ev(ty: u32, ms: i64) -> Event {
+        Event::new(t(ty), Timestamp::from_millis(ms))
+    }
+
+    fn patterns() -> PatternSet {
+        let mut set = PatternSet::new();
+        set.insert(Pattern::seq("ab", vec![t(0), t(1)]).unwrap());
+        set.insert(Pattern::single("c", t(2)));
+        set
+    }
+
+    #[test]
+    fn detect_stream_per_window() {
+        let detector = Detector::new(patterns(), Semantics::Ordered);
+        // window [0,10): a then b → ab detected; window [10,20): b then a → not
+        let stream = EventStream::from_unordered(vec![
+            ev(0, 1),
+            ev(1, 5),
+            ev(1, 11),
+            ev(0, 15),
+            ev(2, 16),
+        ]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let table = detector.detect_stream(&stream, &assigner);
+        assert_eq!(table.n_windows(), 2);
+        assert!(table.get(0, PatternId(0)));
+        assert!(!table.get(0, PatternId(1)));
+        assert!(!table.get(1, PatternId(0))); // wrong order
+        assert!(table.get(1, PatternId(1)));
+    }
+
+    #[test]
+    fn conjunction_semantics_in_stream_detection() {
+        let detector = Detector::new(patterns(), Semantics::Conjunction);
+        let stream = EventStream::from_unordered(vec![ev(1, 1), ev(0, 5)]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let table = detector.detect_stream(&stream, &assigner);
+        assert!(table.get(0, PatternId(0))); // order ignored
+    }
+
+    #[test]
+    fn detect_indicators_matches_conjunction() {
+        let detector = Detector::new(patterns(), Semantics::Conjunction);
+        let w0 = IndicatorVector::from_present([t(0), t(1)], 3);
+        let w1 = IndicatorVector::from_present([t(2)], 3);
+        let wi = WindowedIndicators::new(vec![w0, w1]);
+        let table = detector.detect_indicators(&wi);
+        assert!(table.get(0, PatternId(0)));
+        assert!(!table.get(0, PatternId(1)));
+        assert!(!table.get(1, PatternId(0)));
+        assert!(table.get(1, PatternId(1)));
+    }
+
+    #[test]
+    fn ordered_within_in_stream_detection() {
+        let detector = Detector::new(
+            patterns(),
+            Semantics::OrderedWithin(TimeDelta::from_millis(3)),
+        );
+        // window 0: a@1 → b@9 (span 8 > 3, rejected); window 1: a@11 → b@13
+        let stream =
+            EventStream::from_unordered(vec![ev(0, 1), ev(1, 9), ev(0, 11), ev(1, 13)]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let table = detector.detect_stream(&stream, &assigner);
+        assert!(!table.get(0, PatternId(0)));
+        assert!(table.get(1, PatternId(0)));
+    }
+
+    #[test]
+    fn table_counts_and_iterates() {
+        let mut table = DetectionTable::new(2);
+        table.push_window(vec![true, false]);
+        table.push_window(vec![true, true]);
+        assert_eq!(table.detection_count(PatternId(0)), 2);
+        assert_eq!(table.detection_count(PatternId(1)), 1);
+        assert_eq!(table.iter().count(), 4);
+        assert_eq!(table.iter().filter(|d| d.detected).count(), 3);
+        assert!(!table.get(9, PatternId(0))); // out of range
+    }
+}

@@ -1,0 +1,304 @@
+//! The CEP engine: registered queries evaluated continuously over windows.
+//!
+//! This is the unprotected engine — the `Q_ord` of the paper's Eq. 4 is
+//! measured on its answers. The trusted, privacy-preserving engine of §III-A
+//! (Fig. 2) wraps this one and lives in `pdp-core::engine`.
+
+use pdp_stream::{EventStream, WindowAssigner, WindowedIndicators};
+
+use crate::detector::{DetectionTable, Detector};
+use crate::error::CepError;
+use crate::pattern::{Pattern, PatternId, PatternSet};
+use crate::query::{Query, QueryId, Semantics};
+
+/// Per-window binary answers for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAnswers {
+    /// The query that was answered.
+    pub query: QueryId,
+    /// One answer per window, in window order.
+    pub answers: Vec<bool>,
+}
+
+impl QueryAnswers {
+    /// Number of windows answered.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// True if no windows were answered.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Number of positive answers.
+    pub fn positives(&self) -> usize {
+        self.answers.iter().filter(|&&a| a).count()
+    }
+}
+
+/// A CEP engine holding pattern definitions and registered queries.
+#[derive(Debug, Clone, Default)]
+pub struct CepEngine {
+    patterns: PatternSet,
+    queries: Vec<Query>,
+}
+
+impl CepEngine {
+    /// An engine with no patterns or queries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a pattern type, returning its id.
+    pub fn add_pattern(&mut self, pattern: Pattern) -> PatternId {
+        self.patterns.insert(pattern)
+    }
+
+    /// Register a query; validates that it references known patterns.
+    pub fn add_query(&mut self, query: Query) -> Result<QueryId, CepError> {
+        query.expr.validate(&self.patterns)?;
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push(query);
+        Ok(id)
+    }
+
+    /// Parse and register a textual query (see [`crate::parse`]); any
+    /// patterns the text references are registered into this engine's
+    /// pattern set and event names are interned into `types`.
+    pub fn add_query_text(
+        &mut self,
+        name: &str,
+        text: &str,
+        types: &pdp_stream::TypeRegistry,
+    ) -> Result<QueryId, CepError> {
+        let query = crate::parse::parse_query(name, text, types, &mut self.patterns)?;
+        self.add_query(query)
+    }
+
+    /// The registered patterns.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The registered queries.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Look up a query.
+    pub fn query(&self, id: QueryId) -> Option<&Query> {
+        self.queries.get(id.0 as usize)
+    }
+
+    /// Evaluate every registered query over the windows of `stream`.
+    pub fn run(
+        &self,
+        stream: &EventStream,
+        assigner: &WindowAssigner,
+    ) -> Result<Vec<QueryAnswers>, CepError> {
+        // Detect once per distinct semantics actually in use, then evaluate
+        // query expressions against the tables.
+        let tables = self.detection_tables(|sem| {
+            Detector::new(self.patterns.clone(), sem).detect_stream(stream, assigner)
+        });
+        self.answer_from_tables(&tables)
+    }
+
+    /// Evaluate every registered query over pre-computed indicators.
+    ///
+    /// Indicators carry neither order nor timestamps, so every query is
+    /// answered with conjunction semantics regardless of its declared one.
+    pub fn run_indicators(
+        &self,
+        indicators: &WindowedIndicators,
+    ) -> Result<Vec<QueryAnswers>, CepError> {
+        let table = Detector::new(self.patterns.clone(), Semantics::Conjunction)
+            .detect_indicators(indicators);
+        let tables: Vec<(Semantics, DetectionTable)> = self
+            .distinct_semantics()
+            .into_iter()
+            .map(|sem| (sem, table.clone()))
+            .collect();
+        self.answer_from_tables(&tables)
+    }
+
+    fn distinct_semantics(&self) -> Vec<Semantics> {
+        let mut out: Vec<Semantics> = Vec::new();
+        for q in &self.queries {
+            if !out.contains(&q.semantics) {
+                out.push(q.semantics);
+            }
+        }
+        out
+    }
+
+    fn detection_tables<F: Fn(Semantics) -> DetectionTable>(
+        &self,
+        detect: F,
+    ) -> Vec<(Semantics, DetectionTable)> {
+        self.distinct_semantics()
+            .into_iter()
+            .map(|sem| (sem, detect(sem)))
+            .collect()
+    }
+
+    fn answer_from_tables(
+        &self,
+        tables: &[(Semantics, DetectionTable)],
+    ) -> Result<Vec<QueryAnswers>, CepError> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(qi, q)| {
+                let table = tables
+                    .iter()
+                    .find(|(sem, _)| *sem == q.semantics)
+                    .map(|(_, t)| t)
+                    .ok_or_else(|| CepError::InvalidQuery("missing detection table".into()))?;
+                let answers = (0..table.n_windows())
+                    .map(|w| q.expr.eval(|pid| table.get(w, pid)))
+                    .collect();
+                Ok(QueryAnswers {
+                    query: QueryId(qi as u32),
+                    answers,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryExpr;
+    use pdp_stream::{Event, EventType, IndicatorVector, TimeDelta, Timestamp};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn ev(ty: u32, ms: i64) -> Event {
+        Event::new(t(ty), Timestamp::from_millis(ms))
+    }
+
+    fn engine() -> (CepEngine, PatternId, PatternId) {
+        let mut e = CepEngine::new();
+        let ab = e.add_pattern(Pattern::seq("ab", vec![t(0), t(1)]).unwrap());
+        let c = e.add_pattern(Pattern::single("c", t(2)));
+        (e, ab, c)
+    }
+
+    #[test]
+    fn rejects_query_on_unknown_pattern() {
+        let (mut e, _, _) = engine();
+        let q = Query::pattern("bad", PatternId(99), Semantics::Ordered);
+        assert!(matches!(e.add_query(q), Err(CepError::UnknownPattern(99))));
+    }
+
+    #[test]
+    fn runs_simple_pattern_queries() {
+        let (mut e, ab, c) = engine();
+        let q1 = e
+            .add_query(Query::pattern("ab?", ab, Semantics::Ordered))
+            .unwrap();
+        let q2 = e
+            .add_query(Query::pattern("c?", c, Semantics::Ordered))
+            .unwrap();
+        let stream =
+            EventStream::from_unordered(vec![ev(0, 1), ev(1, 2), ev(2, 11), ev(1, 21), ev(0, 22)]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let answers = e.run(&stream, &assigner).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[q1.0 as usize].answers, vec![true, false, false]);
+        assert_eq!(answers[q2.0 as usize].answers, vec![false, true, false]);
+        assert_eq!(answers[0].positives(), 1);
+    }
+
+    #[test]
+    fn boolean_query_composition() {
+        let (mut e, ab, c) = engine();
+        let q = e
+            .add_query(Query::new(
+                "ab and not c",
+                QueryExpr::And(vec![
+                    QueryExpr::Pattern(ab),
+                    QueryExpr::Not(Box::new(QueryExpr::Pattern(c))),
+                ]),
+                Semantics::Conjunction,
+            ))
+            .unwrap();
+        let stream = EventStream::from_unordered(vec![
+            ev(0, 1),
+            ev(1, 2), // window 0: ab, no c → true
+            ev(0, 11),
+            ev(1, 12),
+            ev(2, 13), // window 1: ab and c → false
+        ]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let answers = e.run(&stream, &assigner).unwrap();
+        assert_eq!(answers[q.0 as usize].answers, vec![true, false]);
+    }
+
+    #[test]
+    fn mixed_semantics_use_separate_tables() {
+        let (mut e, ab, _) = engine();
+        e.add_query(Query::pattern("ordered", ab, Semantics::Ordered))
+            .unwrap();
+        e.add_query(Query::pattern("conj", ab, Semantics::Conjunction))
+            .unwrap();
+        // b before a: conjunction sees it, ordered does not
+        let stream = EventStream::from_unordered(vec![ev(1, 1), ev(0, 2)]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let answers = e.run(&stream, &assigner).unwrap();
+        assert_eq!(answers[0].answers, vec![false]);
+        assert_eq!(answers[1].answers, vec![true]);
+    }
+
+    #[test]
+    fn run_on_indicators() {
+        let (mut e, ab, c) = engine();
+        e.add_query(Query::pattern("ab?", ab, Semantics::Conjunction))
+            .unwrap();
+        e.add_query(Query::pattern("c?", c, Semantics::Conjunction))
+            .unwrap();
+        let wi = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0), t(1)], 3),
+            IndicatorVector::from_present([t(2)], 3),
+        ]);
+        let answers = e.run_indicators(&wi).unwrap();
+        assert_eq!(answers[0].answers, vec![true, false]);
+        assert_eq!(answers[1].answers, vec![false, true]);
+    }
+
+    #[test]
+    fn textual_queries_run_end_to_end() {
+        let types = pdp_stream::TypeRegistry::new();
+        let mut e = CepEngine::new();
+        let q = e
+            .add_query_text("seq?", "SEQ(alpha, beta) WITHIN 5s", &types)
+            .unwrap();
+        let alpha = types.get("alpha").unwrap();
+        let beta = types.get("beta").unwrap();
+        let stream = EventStream::from_unordered(vec![
+            Event::new(alpha, Timestamp::from_secs(1)),
+            Event::new(beta, Timestamp::from_secs(3)), // span 2 s ≤ 5 s
+            Event::new(alpha, Timestamp::from_secs(61)),
+            Event::new(beta, Timestamp::from_secs(119)), // span 58 s > 5 s
+        ]);
+        let assigner = WindowAssigner::tumbling(TimeDelta::from_secs(60)).unwrap();
+        let answers = e.run(&stream, &assigner).unwrap();
+        assert_eq!(answers[q.0 as usize].answers, vec![true, false]);
+    }
+
+    #[test]
+    fn query_lookup() {
+        let (mut e, ab, _) = engine();
+        let id = e
+            .add_query(Query::pattern("x", ab, Semantics::Ordered))
+            .unwrap();
+        assert_eq!(e.query(id).unwrap().name, "x");
+        assert!(e.query(QueryId(5)).is_none());
+        assert_eq!(e.queries().len(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the CEP substrate.
+
+use std::fmt;
+
+/// Errors raised by pattern/query construction and the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CepError {
+    /// A pattern was declared with no elements.
+    EmptyPattern,
+    /// A query referenced an unknown pattern id.
+    UnknownPattern(u32),
+    /// A query referenced an unknown query id.
+    UnknownQuery(u32),
+    /// A query definition was structurally invalid.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for CepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CepError::EmptyPattern => write!(f, "pattern must have at least one element"),
+            CepError::UnknownPattern(id) => write!(f, "unknown pattern id {id}"),
+            CepError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            CepError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            CepError::EmptyPattern.to_string(),
+            "pattern must have at least one element"
+        );
+        assert!(CepError::UnknownPattern(3).to_string().contains('3'));
+        assert!(CepError::InvalidQuery("bad".into()).to_string().contains("bad"));
+    }
+}

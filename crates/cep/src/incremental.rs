@@ -1,0 +1,321 @@
+//! Incremental (push-based) detection over an unbounded stream.
+//!
+//! The batch [`Detector`](crate::detector::Detector) re-scans windows; a
+//! long-running CEP engine instead consumes events one at a time and emits
+//! a detection row whenever a tumbling window closes. [`IncrementalDetector`]
+//! does exactly that, tracking per-pattern NFA states (ordered semantics)
+//! or presence sets (conjunction) inside the open window.
+
+use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
+
+use crate::compile::CompiledSet;
+use crate::error::CepError;
+use crate::pattern::PatternSet;
+use crate::query::Semantics;
+
+/// A closed window's detection row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedWindow {
+    /// Sequential index of the closed window.
+    pub index: usize,
+    /// Start of the closed window.
+    pub start: Timestamp,
+    /// Per-pattern detection flags, indexed by pattern id.
+    pub detections: Vec<bool>,
+}
+
+/// Push-based tumbling-window detector.
+#[derive(Debug, Clone)]
+pub struct IncrementalDetector {
+    patterns: PatternSet,
+    compiled: CompiledSet,
+    semantics: Semantics,
+    window_len: TimeDelta,
+    /// Grid index of the currently open window (None before first event).
+    open_window: Option<i64>,
+    emitted: usize,
+    /// Ordered semantics: per-pattern NFA state.
+    nfa_states: Vec<usize>,
+    /// Conjunction semantics: per-type presence in the open window.
+    present: Vec<bool>,
+    /// OrderedWithin semantics: the open window's timestamped events.
+    timed: Vec<(EventType, Timestamp)>,
+    last_ts: Option<Timestamp>,
+}
+
+impl IncrementalDetector {
+    /// Build for tumbling windows of `window_len`.
+    pub fn new(
+        patterns: PatternSet,
+        semantics: Semantics,
+        window_len: TimeDelta,
+        n_types: usize,
+    ) -> Result<Self, CepError> {
+        if !window_len.is_positive() {
+            return Err(CepError::InvalidQuery(
+                "window length must be positive".into(),
+            ));
+        }
+        let compiled = CompiledSet::compile(&patterns);
+        let n_patterns = patterns.len();
+        Ok(IncrementalDetector {
+            patterns,
+            compiled,
+            semantics,
+            window_len,
+            open_window: None,
+            emitted: 0,
+            nfa_states: vec![0; n_patterns],
+            present: vec![false; n_types],
+            timed: Vec::new(),
+            last_ts: None,
+        })
+    }
+
+    /// Push one event; returns the windows that closed *before* it (empty
+    /// windows between events are emitted too, so downstream mechanisms see
+    /// the full timeline). Events must arrive in temporal order.
+    pub fn push(&mut self, event: &Event) -> Result<Vec<ClosedWindow>, CepError> {
+        if let Some(last) = self.last_ts {
+            if event.ts < last {
+                return Err(CepError::InvalidQuery(format!(
+                    "events must be pushed in order: {} after {}",
+                    event.ts, last
+                )));
+            }
+        }
+        self.last_ts = Some(event.ts);
+        let grid = event.ts.window_index(self.window_len);
+        let mut closed = Vec::new();
+        match self.open_window {
+            None => self.open_window = Some(grid),
+            Some(open) if grid > open => {
+                closed.push(self.close_current(open));
+                for empty in (open + 1)..grid {
+                    closed.push(self.close_current(empty));
+                }
+                self.open_window = Some(grid);
+            }
+            _ => {}
+        }
+        self.observe(event.ty, event.ts);
+        Ok(closed)
+    }
+
+    /// Flush the open window (end of stream).
+    pub fn finish(&mut self) -> Option<ClosedWindow> {
+        let open = self.open_window.take()?;
+        Some(self.close_current(open))
+    }
+
+    /// Number of windows emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    fn observe(&mut self, ty: EventType, ts: Timestamp) {
+        match self.semantics {
+            Semantics::Ordered => {
+                for (k, (id, _)) in self.patterns.iter().enumerate() {
+                    let cp = self.compiled.get(id).expect("compiled in lockstep");
+                    self.nfa_states[k] = cp.nfa.advance(self.nfa_states[k], &[ty]);
+                }
+            }
+            Semantics::Conjunction => {
+                if let Some(slot) = self.present.get_mut(ty.index()) {
+                    *slot = true;
+                }
+            }
+            Semantics::OrderedWithin(_) => {
+                self.timed.push((ty, ts));
+            }
+        }
+    }
+
+    fn close_current(&mut self, grid: i64) -> ClosedWindow {
+        let detections = match self.semantics {
+            Semantics::Ordered => self
+                .patterns
+                .iter()
+                .enumerate()
+                .map(|(k, (id, _))| {
+                    let cp = self.compiled.get(id).expect("compiled in lockstep");
+                    cp.nfa.is_accepting(self.nfa_states[k])
+                })
+                .collect(),
+            Semantics::Conjunction => self
+                .patterns
+                .iter()
+                .map(|(_, p)| {
+                    p.distinct_types()
+                        .iter()
+                        .all(|ty| self.present.get(ty.index()).copied().unwrap_or(false))
+                })
+                .collect(),
+            Semantics::OrderedWithin(_) => self
+                .patterns
+                .iter()
+                .map(|(id, _)| {
+                    let cp = self.compiled.get(id).expect("compiled in lockstep");
+                    cp.nfa.min_span(&self.timed).is_some_and(|best| match self.semantics {
+                        Semantics::OrderedWithin(span) => best <= span,
+                        _ => unreachable!("arm guarded by outer match"),
+                    })
+                })
+                .collect(),
+        };
+        // reset per-window state
+        self.nfa_states.iter_mut().for_each(|s| *s = 0);
+        self.present.iter_mut().for_each(|b| *b = false);
+        self.timed.clear();
+        let index = self.emitted;
+        self.emitted += 1;
+        ClosedWindow {
+            index,
+            start: Timestamp::from_millis(grid * self.window_len.millis()),
+            detections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use crate::pattern::Pattern;
+    use pdp_stream::{EventStream, WindowAssigner};
+    use proptest::prelude::*;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn e(ty: u32, ms: i64) -> Event {
+        Event::new(t(ty), Timestamp::from_millis(ms))
+    }
+
+    fn patterns() -> PatternSet {
+        let mut set = PatternSet::new();
+        set.insert(Pattern::seq("ab", vec![t(0), t(1)]).unwrap());
+        set.insert(Pattern::single("c", t(2)));
+        set
+    }
+
+    #[test]
+    fn emits_on_window_close_including_gaps() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        assert!(det.push(&e(0, 1)).unwrap().is_empty());
+        assert!(det.push(&e(1, 5)).unwrap().is_empty());
+        // jumping to t=35 closes window 0 and two empty windows
+        let closed = det.push(&e(2, 35)).unwrap();
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].detections, vec![true, false]);
+        assert_eq!(closed[1].detections, vec![false, false]);
+        assert_eq!(closed[2].detections, vec![false, false]);
+        let last = det.finish().unwrap();
+        assert_eq!(last.detections, vec![false, true]);
+        assert_eq!(det.emitted(), 4);
+        assert!(det.finish().is_none());
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 5)).unwrap();
+        assert!(det.push(&e(0, 3)).is_err());
+    }
+
+    #[test]
+    fn conjunction_semantics_ignore_order() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(1, 1)).unwrap();
+        det.push(&e(0, 2)).unwrap();
+        let w = det.finish().unwrap();
+        assert_eq!(w.detections, vec![true, false]);
+    }
+
+    #[test]
+    fn ordered_within_semantics_incremental() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::OrderedWithin(TimeDelta::from_millis(3)),
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(1, 9)).unwrap(); // span 8 > 3
+        let w0 = det.push(&e(0, 11)).unwrap();
+        assert_eq!(w0[0].detections, vec![false, false]);
+        det.push(&e(1, 13)).unwrap(); // span 2 ≤ 3
+        let w1 = det.finish().unwrap();
+        assert_eq!(w1.detections, vec![true, false]);
+    }
+
+    #[test]
+    fn invalid_window_rejected() {
+        assert!(IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::ZERO,
+            3
+        )
+        .is_err());
+    }
+
+    proptest! {
+        /// Incremental detection agrees with the batch detector on random
+        /// streams, for both semantics.
+        #[test]
+        fn matches_batch_detector(
+            events in proptest::collection::vec((0u32..3, 0i64..200), 1..60),
+            ordered in any::<bool>(),
+        ) {
+            let semantics = if ordered { Semantics::Ordered } else { Semantics::Conjunction };
+            let stream = EventStream::from_unordered(
+                events.iter().map(|&(ty, ms)| e(ty, ms)).collect(),
+            );
+            let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(25)).unwrap();
+            let batch = Detector::new(patterns(), semantics).detect_stream(&stream, &assigner);
+
+            let mut inc = IncrementalDetector::new(
+                patterns(), semantics, TimeDelta::from_millis(25), 3,
+            ).unwrap();
+            let mut rows = Vec::new();
+            for ev in stream.iter() {
+                rows.extend(inc.push(ev).unwrap());
+            }
+            if let Some(last) = inc.finish() {
+                rows.push(last);
+            }
+            prop_assert_eq!(rows.len(), batch.n_windows());
+            for (w, row) in rows.iter().enumerate() {
+                for p in 0..2u32 {
+                    prop_assert_eq!(
+                        row.detections[p as usize],
+                        batch.get(w, crate::pattern::PatternId(p)),
+                        "window {} pattern {}", w, p
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # `pdp-cep` — complex event processing substrate
+//!
+//! The CEP layer of the paper's system model (§III): patterns over event
+//! streams, the pattern-type/pattern-instance distinction (Def. 2), binary
+//! continuous queries, and a detection engine that turns an event stream
+//! `S_E` into a pattern stream `S_P` (Fig. 1).
+//!
+//! Two detection semantics are supported, because the paper uses both:
+//!
+//! * **ordered sequence** (`seq(e₁, …, eₘ)`): the NFA matcher requires the
+//!   elements in temporal order within a window — the general CEP case;
+//! * **conjunction** (`all(e₁, …, eₘ)`): a pattern is detected in a window
+//!   iff every element occurs in it, regardless of order — exactly the
+//!   semantics of the paper's synthetic benchmark (Algorithm 2: "If all
+//!   three events are contained in one Lm, then their corresponding pattern
+//!   is regarded as being detected").
+
+pub mod compile;
+pub mod detector;
+pub mod engine;
+pub mod error;
+pub mod incremental;
+pub mod matcher;
+pub mod nfa;
+pub mod parse;
+pub mod pattern;
+pub mod pattern_stream;
+pub mod query;
+
+pub use compile::{CompiledPattern, CompiledSet};
+pub use detector::{Detection, DetectionTable, Detector};
+pub use engine::{CepEngine, QueryAnswers};
+pub use error::CepError;
+pub use incremental::{ClosedWindow, IncrementalDetector};
+pub use matcher::{match_indicator, match_window, WindowMatch};
+pub use pattern_stream::{Occurrence, PatternStream};
+pub use nfa::Nfa;
+pub use parse::parse_query;
+pub use pattern::{Pattern, PatternId, PatternSet};
+pub use query::{Query, QueryExpr, QueryId, Semantics};

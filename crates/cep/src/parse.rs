@@ -1,0 +1,488 @@
+//! A small textual query language for binary continuous queries.
+//!
+//! The system model (§III-A) has data subjects and consumers *send queries
+//! to* the trusted engine; this module gives them a concrete syntax:
+//!
+//! ```text
+//! SEQ(door.open, motion.hall, door.close) WITHIN 30s
+//! ALL(gps.cell4, gps.cell5) AND NOT traffic.jam
+//! SEQ(a, b) OR SEQ(b, a)
+//! ```
+//!
+//! Grammar (recursive descent, longest-match tokens, case-sensitive
+//! keywords):
+//!
+//! ```text
+//! query  := expr
+//! expr   := term ( OR term )*
+//! term   := factor ( AND factor )*
+//! factor := NOT factor | '(' expr ')' | patref
+//! patref := SEQ '(' idents ')' [ WITHIN dur ] | ALL '(' idents ')' | ident
+//! dur    := integer ( 'ms' | 's' | 'm' )
+//! ```
+//!
+//! `SEQ` resolves to ordered semantics (`WITHIN` adds the span bound),
+//! `ALL` and bare identifiers to conjunction. A [`Query`] carries one
+//! semantics, so mixing `SEQ` and `ALL` inside one query is rejected with
+//! a descriptive error. Identifiers are interned into the given
+//! [`TypeRegistry`]; every `patref` registers a [`Pattern`] in the given
+//! [`PatternSet`] and the expression references it by id.
+
+use pdp_stream::{TimeDelta, TypeRegistry};
+
+use crate::error::CepError;
+use crate::pattern::{Pattern, PatternSet};
+use crate::query::{Query, QueryExpr, Semantics};
+
+/// Parse `text` into a [`Query`], registering referenced patterns.
+pub fn parse_query(
+    name: &str,
+    text: &str,
+    types: &TypeRegistry,
+    patterns: &mut PatternSet,
+) -> Result<Query, CepError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        types,
+        patterns,
+        semantics: None,
+    };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(CepError::InvalidQuery(format!(
+            "unexpected trailing input at token {}",
+            parser.pos
+        )));
+    }
+    Ok(Query::new(
+        name,
+        expr,
+        parser.semantics.unwrap_or(Semantics::Conjunction),
+    ))
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Seq,
+    All,
+    Within,
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Comma,
+    Ident(String),
+    Duration(TimeDelta),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, CepError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value: i64 = chars[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|_| CepError::InvalidQuery("number too large".into()))?;
+                let unit_start = i;
+                while i < chars.len() && chars[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let unit: String = chars[unit_start..i].iter().collect();
+                let delta = match unit.as_str() {
+                    "ms" => TimeDelta::from_millis(value),
+                    "s" => TimeDelta::from_secs(value),
+                    "m" => TimeDelta::from_secs(value * 60),
+                    other => {
+                        return Err(CepError::InvalidQuery(format!(
+                            "unknown duration unit '{other}' (use ms, s or m)"
+                        )))
+                    }
+                };
+                out.push(Token::Duration(delta));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || matches!(chars[i], '_' | '.' | '-'))
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(match word.as_str() {
+                    "SEQ" => Token::Seq,
+                    "ALL" => Token::All,
+                    "WITHIN" => Token::Within,
+                    "AND" => Token::And,
+                    "OR" => Token::Or,
+                    "NOT" => Token::Not,
+                    _ => Token::Ident(word),
+                });
+            }
+            other => {
+                return Err(CepError::InvalidQuery(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    types: &'a TypeRegistry,
+    patterns: &'a mut PatternSet,
+    semantics: Option<Semantics>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: Token, what: &str) -> Result<(), CepError> {
+        match self.bump() {
+            Some(t) if t == token => Ok(()),
+            other => Err(CepError::InvalidQuery(format!(
+                "expected {what}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<QueryExpr, CepError> {
+        let mut operands = vec![self.term()?];
+        while self.peek() == Some(&Token::Or) {
+            self.bump();
+            operands.push(self.term()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            QueryExpr::Or(operands)
+        })
+    }
+
+    fn term(&mut self) -> Result<QueryExpr, CepError> {
+        let mut operands = vec![self.factor()?];
+        while self.peek() == Some(&Token::And) {
+            self.bump();
+            operands.push(self.factor()?);
+        }
+        Ok(if operands.len() == 1 {
+            operands.pop().expect("one operand")
+        } else {
+            QueryExpr::And(operands)
+        })
+    }
+
+    fn factor(&mut self) -> Result<QueryExpr, CepError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.bump();
+                Ok(QueryExpr::Not(Box::new(self.factor()?)))
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => self.patref(),
+        }
+    }
+
+    fn patref(&mut self) -> Result<QueryExpr, CepError> {
+        match self.bump() {
+            Some(Token::Seq) => {
+                let elements = self.ident_list()?;
+                let mut semantics = Semantics::Ordered;
+                if self.peek() == Some(&Token::Within) {
+                    self.bump();
+                    match self.bump() {
+                        Some(Token::Duration(d)) => {
+                            semantics = Semantics::OrderedWithin(d);
+                        }
+                        other => {
+                            return Err(CepError::InvalidQuery(format!(
+                                "WITHIN needs a duration, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                self.register(
+                    &format!("seq[{}]", elements.join(",")),
+                    &elements,
+                    semantics,
+                )
+            }
+            Some(Token::All) => {
+                let elements = self.ident_list()?;
+                self.register(
+                    &format!("all[{}]", elements.join(",")),
+                    &elements,
+                    Semantics::Conjunction,
+                )
+            }
+            Some(Token::Ident(name)) => {
+                self.register(&name.clone(), &[name], Semantics::Conjunction)
+            }
+            other => Err(CepError::InvalidQuery(format!(
+                "expected SEQ, ALL or an event name, found {other:?}"
+            ))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, CepError> {
+        self.expect(Token::LParen, "'('")?;
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Ident(name)) => out.push(name),
+                other => {
+                    return Err(CepError::InvalidQuery(format!(
+                        "expected an event name, found {other:?}"
+                    )))
+                }
+            }
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(CepError::InvalidQuery(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn register<S: AsRef<str>>(
+        &mut self,
+        name: &str,
+        elements: &[S],
+        semantics: Semantics,
+    ) -> Result<QueryExpr, CepError> {
+        match self.semantics {
+            None => self.semantics = Some(semantics),
+            Some(existing) if existing == semantics => {}
+            Some(existing) => {
+                return Err(CepError::InvalidQuery(format!(
+                    "mixed semantics in one query: {existing:?} and {semantics:?} \
+                     (split into separate queries)"
+                )))
+            }
+        }
+        let types: Vec<_> = elements
+            .iter()
+            .map(|n| self.types.intern(n.as_ref()))
+            .collect();
+        let pattern = Pattern::seq(name, types)?;
+        Ok(QueryExpr::Pattern(self.patterns.insert(pattern)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternId;
+    use pdp_stream::EventType;
+
+    fn setup() -> (TypeRegistry, PatternSet) {
+        (TypeRegistry::new(), PatternSet::new())
+    }
+
+    #[test]
+    fn parses_simple_seq() {
+        let (types, mut patterns) = setup();
+        let q = parse_query("q", "SEQ(a, b, c)", &types, &mut patterns).unwrap();
+        assert_eq!(q.semantics, Semantics::Ordered);
+        assert_eq!(patterns.len(), 1);
+        let p = patterns.get(PatternId(0)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(types.len(), 3);
+        assert_eq!(q.expr, QueryExpr::Pattern(PatternId(0)));
+    }
+
+    #[test]
+    fn parses_within_durations() {
+        let (types, mut patterns) = setup();
+        let q = parse_query("q", "SEQ(a, b) WITHIN 30s", &types, &mut patterns).unwrap();
+        assert_eq!(
+            q.semantics,
+            Semantics::OrderedWithin(TimeDelta::from_secs(30))
+        );
+        let q2 = parse_query("q", "SEQ(a, b) WITHIN 150ms", &types, &mut patterns).unwrap();
+        assert_eq!(
+            q2.semantics,
+            Semantics::OrderedWithin(TimeDelta::from_millis(150))
+        );
+        let q3 = parse_query("q", "SEQ(a, b) WITHIN 2m", &types, &mut patterns).unwrap();
+        assert_eq!(
+            q3.semantics,
+            Semantics::OrderedWithin(TimeDelta::from_secs(120))
+        );
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let (types, mut patterns) = setup();
+        let q = parse_query(
+            "q",
+            "ALL(a, b) AND NOT c OR d",
+            &types,
+            &mut patterns,
+        )
+        .unwrap();
+        // OR binds loosest: ((ALL(a,b) AND NOT c) OR d)
+        match &q.expr {
+            QueryExpr::Or(xs) => {
+                assert_eq!(xs.len(), 2);
+                assert!(matches!(&xs[0], QueryExpr::And(inner) if inner.len() == 2));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        assert_eq!(q.semantics, Semantics::Conjunction);
+        assert_eq!(patterns.len(), 3);
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let (types, mut patterns) = setup();
+        let q = parse_query("q", "a AND (b OR c)", &types, &mut patterns).unwrap();
+        match &q.expr {
+            QueryExpr::And(xs) => {
+                assert!(matches!(&xs[1], QueryExpr::Or(_)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mixed_semantics() {
+        let (types, mut patterns) = setup();
+        let err = parse_query("q", "SEQ(a, b) AND ALL(c, d)", &types, &mut patterns)
+            .unwrap_err();
+        assert!(err.to_string().contains("mixed semantics"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let (types, mut patterns) = setup();
+        for bad in [
+            "SEQ(a,)",
+            "SEQ a, b)",
+            "SEQ(a, b) WITHIN",
+            "SEQ(a, b) WITHIN 10x",
+            "AND a",
+            "a AND",
+            "a b",
+            "@bad",
+            "()",
+        ] {
+            assert!(
+                parse_query("q", bad, &types, &mut PatternSet::new()).is_err(),
+                "'{bad}' should not parse"
+            );
+        }
+        // trailing garbage
+        assert!(parse_query("q", "a )", &types, &mut patterns).is_err());
+    }
+
+    #[test]
+    fn identifiers_intern_consistently() {
+        let (types, mut patterns) = setup();
+        parse_query("q1", "SEQ(door.open, door.close)", &types, &mut patterns).unwrap();
+        parse_query("q2", "door.open", &types, &mut patterns).unwrap();
+        // same name → same interned type
+        assert_eq!(types.len(), 2);
+        let open = types.get("door.open").unwrap();
+        assert_eq!(open, EventType(0));
+        // both patterns reference the shared type
+        assert_eq!(patterns.containing(open).len(), 2);
+    }
+
+    #[test]
+    fn deeply_nested_queries_parse() {
+        let (types, mut patterns) = setup();
+        let q = parse_query(
+            "q",
+            "NOT (NOT (a AND (b OR NOT c)))",
+            &types,
+            &mut patterns,
+        )
+        .unwrap();
+        assert!(q.expr.validate(&patterns).is_ok());
+        // truth table spot-check: a ∧ (b ∨ ¬c)
+        let val = |a: bool, b: bool, c: bool| {
+            q.expr.eval(|id| match id.0 {
+                0 => a,
+                1 => b,
+                _ => c,
+            })
+        };
+        assert!(val(true, true, true));
+        assert!(val(true, false, false));
+        assert!(!val(true, false, true));
+        assert!(!val(false, true, false));
+    }
+
+    proptest::proptest! {
+        /// The parser never panics on arbitrary input and, when it accepts,
+        /// produces a query that validates against the patterns it
+        /// registered.
+        #[test]
+        fn parser_never_panics(input in "[a-zA-Z0-9_.,() ]{0,60}") {
+            let types = TypeRegistry::new();
+            let mut patterns = PatternSet::new();
+            if let Ok(q) = parse_query("fuzz", &input, &types, &mut patterns) {
+                proptest::prop_assert!(q.expr.validate(&patterns).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        let (types, mut patterns) = setup();
+        let q = parse_query("q", "ALL(a, b) AND NOT c", &types, &mut patterns).unwrap();
+        // oracle: pattern 0 = all(a,b) detected, pattern 1 = c absent
+        assert!(q.expr.eval(|id| id == PatternId(0)));
+        assert!(!q.expr.eval(|_| true));
+        assert!(q.expr.validate(&patterns).is_ok());
+    }
+}

@@ -1,0 +1,174 @@
+//! The pattern stream `S_P = (P₁, P₂, …)` of Fig. 1.
+//!
+//! A [`PatternStream`] is the temporally ordered sequence of detected
+//! pattern *occurrences* that the detection layer abstracts an event stream
+//! into. It also carries the overlap analysis the paper's §III-A defines:
+//! two occurrences are *overlapping* when their pattern types share events.
+
+use serde::{Deserialize, Serialize};
+
+use crate::detector::DetectionTable;
+use crate::pattern::{PatternId, PatternSet};
+
+/// One detected pattern occurrence: pattern `pattern` in window `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occurrence {
+    /// Window index (temporal position).
+    pub window: usize,
+    /// Which pattern type occurred.
+    pub pattern: PatternId,
+}
+
+/// The detected pattern stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PatternStream {
+    occurrences: Vec<Occurrence>,
+}
+
+impl PatternStream {
+    /// Extract the pattern stream from a detection table: occurrences in
+    /// window order, ties broken by pattern id (the paper: equal-time
+    /// ordering is arbitrary).
+    pub fn from_table(table: &DetectionTable) -> Self {
+        let occurrences = table
+            .iter()
+            .filter(|d| d.detected)
+            .map(|d| Occurrence {
+                window: d.window,
+                pattern: d.pattern,
+            })
+            .collect();
+        PatternStream { occurrences }
+    }
+
+    /// Number of occurrences.
+    pub fn len(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// True when nothing was detected.
+    pub fn is_empty(&self) -> bool {
+        self.occurrences.is_empty()
+    }
+
+    /// All occurrences in temporal order.
+    pub fn occurrences(&self) -> &[Occurrence] {
+        &self.occurrences
+    }
+
+    /// Occurrences of one pattern type.
+    pub fn of_pattern(&self, pattern: PatternId) -> Vec<Occurrence> {
+        self.occurrences
+            .iter()
+            .copied()
+            .filter(|o| o.pattern == pattern)
+            .collect()
+    }
+
+    /// Occurrences within one window.
+    pub fn in_window(&self, window: usize) -> Vec<Occurrence> {
+        self.occurrences
+            .iter()
+            .copied()
+            .filter(|o| o.window == window)
+            .collect()
+    }
+
+    /// Pairs of same-window occurrences whose pattern types overlap (share
+    /// at least one event type) — the paper's *overlapping patterns*,
+    /// whose co-detection is correlated through the shared events.
+    pub fn overlapping_pairs(&self, patterns: &PatternSet) -> Vec<(Occurrence, Occurrence)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.occurrences.len() {
+            let mut j = i + 1;
+            while j < self.occurrences.len()
+                && self.occurrences[j].window == self.occurrences[i].window
+            {
+                let a = self.occurrences[i];
+                let b = self.occurrences[j];
+                if let (Some(pa), Some(pb)) = (patterns.get(a.pattern), patterns.get(b.pattern))
+                {
+                    if pa.overlaps(pb) {
+                        out.push((a, b));
+                    }
+                }
+                j += 1;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Detection count per pattern, indexed by pattern id.
+    pub fn counts(&self, n_patterns: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n_patterns];
+        for o in &self.occurrences {
+            if let Some(c) = counts.get_mut(o.pattern.0 as usize) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectionTable;
+    use crate::pattern::Pattern;
+    use pdp_stream::EventType;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn table() -> DetectionTable {
+        let mut table = DetectionTable::new(3);
+        table.push_window(vec![true, false, true]); // w0: P0, P2
+        table.push_window(vec![false, false, false]); // w1: nothing
+        table.push_window(vec![true, true, false]); // w2: P0, P1
+        table
+    }
+
+    #[test]
+    fn extraction_preserves_temporal_order() {
+        let ps = PatternStream::from_table(&table());
+        assert_eq!(ps.len(), 4);
+        let windows: Vec<usize> = ps.occurrences().iter().map(|o| o.window).collect();
+        assert_eq!(windows, [0, 0, 2, 2]);
+        assert!(!ps.is_empty());
+    }
+
+    #[test]
+    fn per_pattern_and_per_window_queries() {
+        let ps = PatternStream::from_table(&table());
+        assert_eq!(ps.of_pattern(PatternId(0)).len(), 2);
+        assert_eq!(ps.of_pattern(PatternId(1)).len(), 1);
+        assert_eq!(ps.in_window(0).len(), 2);
+        assert!(ps.in_window(1).is_empty());
+        assert_eq!(ps.counts(3), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn overlapping_pairs_need_shared_events_and_same_window() {
+        let mut set = PatternSet::new();
+        set.insert(Pattern::seq("p0", vec![t(0), t(1)]).unwrap());
+        set.insert(Pattern::seq("p1", vec![t(1), t(2)]).unwrap()); // overlaps p0
+        set.insert(Pattern::single("p2", t(5))); // disjoint
+        let ps = PatternStream::from_table(&table());
+        let pairs = ps.overlapping_pairs(&set);
+        // w0 has P0+P2 (disjoint → no pair); w2 has P0+P1 (overlap → pair)
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0.pattern, PatternId(0));
+        assert_eq!(pairs[0].1.pattern, PatternId(1));
+        assert_eq!(pairs[0].0.window, 2);
+    }
+
+    #[test]
+    fn empty_table_gives_empty_stream() {
+        let ps = PatternStream::from_table(&DetectionTable::new(2));
+        assert!(ps.is_empty());
+        assert_eq!(ps.counts(2), vec![0, 0]);
+    }
+}

@@ -1,0 +1,420 @@
+//! Algorithm 1: bidirectional stepwise privacy-budget distribution.
+//!
+//! Starting from the uniform distribution, the optimizer repeatedly probes,
+//! for each element `i`, the redistribution "give `i` one step `δε` more,
+//! take it from the others", scores each candidate with the historical
+//! quality model, and commits the best probe while it does not degrade
+//! quality. The paper suggests `δε = m·ε/100` (Algorithm 1, line 2).
+//!
+//! Two step rules are provided (see DESIGN.md §3):
+//!
+//! * [`StepRule::Conserving`] (default) — the others lose `δε/(m−1)`, so
+//!   `Σεᵢ = ε` holds exactly at every step;
+//! * [`StepRule::PaperLiteral`] — the others lose `δε/m` exactly as the
+//!   pseudocode reads (which drifts by `+δε/m` per step); the result is
+//!   renormalized to `Σεᵢ = ε` after every step so the Theorem 1 budget
+//!   stays honest.
+//!
+//! Termination: the paper's loop accepts while `maxᵢ Qᵢ ≥ Q`, which cycles
+//! on plateaus; we accept strictly improving probes and stop otherwise
+//! (plus an iteration cap), which is the standard stepwise-regression
+//! reading of "bidirectional stepwise".
+
+use serde::{Deserialize, Serialize};
+
+use pdp_cep::{PatternId, PatternSet};
+use pdp_dp::Epsilon;
+
+use crate::distribution::BudgetDistribution;
+use crate::error::CoreError;
+use crate::protect::{FlipTable, ProtectionPipeline};
+use crate::quality_model::QualityModel;
+
+/// How a probe redistributes budget (Algorithm 1, line 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StepRule {
+    /// Exact conservation: others lose `δε/(m−1)`.
+    #[default]
+    Conserving,
+    /// The paper's literal `δε/m`, renormalized after each step.
+    PaperLiteral,
+}
+
+/// Tuning knobs for the adaptive optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Probe redistribution rule.
+    pub step_rule: StepRule,
+    /// `δε = m·ε / step_divisor`; the paper's suggestion is 100.
+    pub step_divisor: f64,
+    /// Hard cap on accepted steps (safety against plateaus).
+    pub max_iters: usize,
+    /// Coordinate-descent rounds over multiple private patterns.
+    pub rounds: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            step_rule: StepRule::Conserving,
+            step_divisor: 100.0,
+            max_iters: 200,
+            rounds: 1,
+        }
+    }
+}
+
+/// Optimize the budget distribution of one private pattern, holding the
+/// distributions of `others` fixed.
+pub fn optimize_single(
+    patterns: &PatternSet,
+    private: PatternId,
+    others: &[(PatternId, BudgetDistribution)],
+    eps: Epsilon,
+    model: &QualityModel,
+    n_types: usize,
+    config: &AdaptiveConfig,
+) -> Result<BudgetDistribution, CoreError> {
+    let pattern = patterns
+        .get(private)
+        .ok_or(CoreError::UnknownPattern(private.0))?;
+    let m = pattern.len();
+    let mut current = BudgetDistribution::uniform(eps, m)?;
+    if m == 1 || eps.is_zero() {
+        // Nothing to redistribute.
+        return Ok(current);
+    }
+    let step = m as f64 * eps.value() / config.step_divisor;
+
+    let score = |dist: &BudgetDistribution| -> Result<f64, CoreError> {
+        let mut assignments = others.to_vec();
+        assignments.push((private, dist.clone()));
+        let table = FlipTable::from_distributions(patterns, &assignments, n_types)?;
+        Ok(model.expected_quality(&table).q)
+    };
+
+    let mut best_q = score(&current)?;
+    for _ in 0..config.max_iters {
+        let mut best_probe: Option<(BudgetDistribution, f64)> = None;
+        for i in 0..m {
+            let Some(candidate) = probe(&current, i, step, eps, config.step_rule) else {
+                continue;
+            };
+            let q = score(&candidate)?;
+            if best_probe.as_ref().is_none_or(|(_, bq)| q > *bq) {
+                best_probe = Some((candidate, q));
+            }
+        }
+        match best_probe {
+            Some((candidate, q)) if q > best_q + 1e-12 => {
+                current = candidate;
+                best_q = q;
+            }
+            _ => break,
+        }
+    }
+    Ok(current)
+}
+
+/// Build a probe: share `i` gains `step`, the others shrink per `rule`;
+/// shares are clamped to `[0, ε]` and renormalized to sum exactly `ε`.
+/// Returns `None` when the probe is a no-op (e.g. everything already at
+/// the bounds).
+fn probe(
+    current: &BudgetDistribution,
+    i: usize,
+    step: f64,
+    eps: Epsilon,
+    rule: StepRule,
+) -> Option<BudgetDistribution> {
+    let m = current.len();
+    let mut values: Vec<f64> = current.shares().iter().map(|s| s.value()).collect();
+    let gain = step.min(eps.value() - values[i]);
+    if gain <= 0.0 {
+        return None;
+    }
+    let loss_per_other = match rule {
+        StepRule::Conserving => gain / (m as f64 - 1.0),
+        StepRule::PaperLiteral => step / m as f64,
+    };
+    values[i] += gain;
+    for (j, v) in values.iter_mut().enumerate() {
+        if j != i {
+            *v = (*v - loss_per_other).max(0.0);
+        }
+    }
+    // Renormalize to Σ = ε (clamping and the paper-literal rule both drift).
+    let sum: f64 = values.iter().sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    let scale = eps.value() / sum;
+    let shares: Vec<Epsilon> = values
+        .iter()
+        .map(|&v| Epsilon::new_unchecked((v * scale).min(eps.value())))
+        .collect();
+    let dist = BudgetDistribution::from_shares(eps, shares).ok()?;
+    // Reject no-ops (within tolerance) so the search terminates.
+    let moved = dist
+        .shares()
+        .iter()
+        .zip(current.shares())
+        .any(|(a, b)| (a.value() - b.value()).abs() > 1e-12);
+    moved.then_some(dist)
+}
+
+/// Optimize all private patterns by coordinate descent: each round
+/// re-optimizes every pattern with the others held at their latest
+/// distributions.
+pub fn optimize_all(
+    patterns: &PatternSet,
+    private: &[PatternId],
+    eps: Epsilon,
+    model: &QualityModel,
+    n_types: usize,
+    config: &AdaptiveConfig,
+) -> Result<Vec<(PatternId, BudgetDistribution)>, CoreError> {
+    let mut assignments: Vec<(PatternId, BudgetDistribution)> = private
+        .iter()
+        .map(|&id| {
+            let p = patterns.get(id).ok_or(CoreError::UnknownPattern(id.0))?;
+            Ok((id, BudgetDistribution::uniform(eps, p.len())?))
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+    for _ in 0..config.rounds.max(1) {
+        for k in 0..assignments.len() {
+            let (id, _) = assignments[k];
+            let others: Vec<(PatternId, BudgetDistribution)> = assignments
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != k)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let optimized =
+                optimize_single(patterns, id, &others, eps, model, n_types, config)?;
+            assignments[k].1 = optimized;
+        }
+    }
+    Ok(assignments)
+}
+
+impl ProtectionPipeline {
+    /// The adaptive PPM (§V-B): Algorithm 1 over historical data.
+    pub fn adaptive(
+        patterns: &PatternSet,
+        private: &[PatternId],
+        eps: Epsilon,
+        model: &QualityModel,
+        n_types: usize,
+        config: &AdaptiveConfig,
+    ) -> Result<Self, CoreError> {
+        let assignments = optimize_all(patterns, private, eps, model, n_types, config)?;
+        ProtectionPipeline::from_assignments("adaptive", patterns, assignments, n_types)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protect::Mechanism;
+    use pdp_cep::Pattern;
+    use pdp_metrics::Alpha;
+    use pdp_stream::{EventType, IndicatorVector, WindowedIndicators};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    /// A workload where element 0 of the private pattern is critical for
+    /// the target while element 1 is not: the optimizer should shift budget
+    /// toward element 0 (more budget = less noise = higher quality).
+    ///
+    /// Types: 0 (shared private/target), 1 (private only), 2 (target only).
+    /// Private pattern: seq(0, 1). Target pattern: seq(0, 2).
+    fn skewed_fixture() -> (PatternSet, PatternId, PatternId, QualityModel) {
+        let mut set = PatternSet::new();
+        let private = set.insert(Pattern::seq("private", vec![t(0), t(1)]).unwrap());
+        let target = set.insert(Pattern::seq("target", vec![t(0), t(2)]).unwrap());
+        // Windows where the target is frequently present through type 0.
+        let mut windows = Vec::new();
+        for k in 0..40 {
+            let mut present = Vec::new();
+            if k % 2 == 0 {
+                present.push(t(0));
+                present.push(t(2));
+            }
+            if k % 5 == 0 {
+                present.push(t(1));
+            }
+            windows.push(IndicatorVector::from_present(present, 3));
+        }
+        let model = QualityModel::new(
+            WindowedIndicators::new(windows),
+            &set,
+            &[target],
+            Alpha::HALF,
+        )
+        .unwrap();
+        (set, private, target, model)
+    }
+
+    #[test]
+    fn adaptive_shifts_budget_toward_shared_element() {
+        let (set, private, _, model) = skewed_fixture();
+        let config = AdaptiveConfig::default();
+        let dist =
+            optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
+        // Element 0 (shared with the target) should end with more budget
+        // than element 1 (private-only).
+        assert!(
+            dist.shares()[0].value() > dist.shares()[1].value(),
+            "expected skew toward shared element, got {:?}",
+            dist.shares()
+        );
+        // Conservation invariant.
+        let sum: f64 = dist.shares().iter().map(|s| s.value()).sum();
+        assert!((sum - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_never_degrades_expected_quality_vs_uniform() {
+        let (set, private, _, model) = skewed_fixture();
+        let config = AdaptiveConfig::default();
+        let adaptive_dist =
+            optimize_single(&set, private, &[], eps(1.0), &model, 3, &config).unwrap();
+        let uniform_dist = BudgetDistribution::uniform(eps(1.0), 2).unwrap();
+        let q = |d: &BudgetDistribution| {
+            let table =
+                FlipTable::from_distributions(&set, &[(private, d.clone())], 3).unwrap();
+            model.expected_quality(&table).q
+        };
+        assert!(q(&adaptive_dist) >= q(&uniform_dist) - 1e-12);
+    }
+
+    #[test]
+    fn paper_literal_rule_also_conserves_after_renormalization() {
+        let (set, private, _, model) = skewed_fixture();
+        let config = AdaptiveConfig {
+            step_rule: StepRule::PaperLiteral,
+            ..AdaptiveConfig::default()
+        };
+        let dist =
+            optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
+        let sum: f64 = dist.shares().iter().map(|s| s.value()).sum();
+        assert!((sum - 2.0).abs() < 1e-9, "paper-literal drifted: {sum}");
+    }
+
+    #[test]
+    fn single_element_pattern_stays_uniform() {
+        let mut set = PatternSet::new();
+        let private = set.insert(Pattern::single("p", t(0)));
+        let target = set.insert(Pattern::single("t", t(0)));
+        let windows = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0)], 1);
+            5
+        ]);
+        let model = QualityModel::new(windows, &set, &[target], Alpha::HALF).unwrap();
+        let dist = optimize_single(
+            &set,
+            private,
+            &[],
+            eps(1.0),
+            &model,
+            1,
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(dist.len(), 1);
+        assert!((dist.shares()[0].value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_short_circuits() {
+        let (set, private, _, model) = skewed_fixture();
+        let dist = optimize_single(
+            &set,
+            private,
+            &[],
+            Epsilon::ZERO,
+            &model,
+            3,
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert!(dist.shares().iter().all(|s| s.is_zero()));
+    }
+
+    #[test]
+    fn optimize_all_handles_multiple_patterns() {
+        let mut set = PatternSet::new();
+        let p1 = set.insert(Pattern::seq("p1", vec![t(0), t(1)]).unwrap());
+        let p2 = set.insert(Pattern::seq("p2", vec![t(2), t(3)]).unwrap());
+        let target = set.insert(Pattern::seq("t", vec![t(0), t(2)]).unwrap());
+        let mut windows = Vec::new();
+        for k in 0..30 {
+            let mut present = Vec::new();
+            if k % 2 == 0 {
+                present.extend([t(0), t(2)]);
+            }
+            if k % 3 == 0 {
+                present.extend([t(1), t(3)]);
+            }
+            windows.push(IndicatorVector::from_present(present, 4));
+        }
+        let model = QualityModel::new(
+            WindowedIndicators::new(windows),
+            &set,
+            &[target],
+            Alpha::HALF,
+        )
+        .unwrap();
+        let config = AdaptiveConfig {
+            rounds: 2,
+            ..AdaptiveConfig::default()
+        };
+        let assignments =
+            optimize_all(&set, &[p1, p2], eps(1.5), &model, 4, &config).unwrap();
+        assert_eq!(assignments.len(), 2);
+        for (_, d) in &assignments {
+            let sum: f64 = d.shares().iter().map(|s| s.value()).sum();
+            assert!((sum - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adaptive_pipeline_constructor() {
+        let (set, private, _, model) = skewed_fixture();
+        let pipeline = ProtectionPipeline::adaptive(
+            &set,
+            &[private],
+            eps(1.0),
+            &model,
+            3,
+            &AdaptiveConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(pipeline.name(), "adaptive");
+        assert_eq!(pipeline.assignments().len(), 1);
+        // type 2 (target-only) must remain unprotected
+        assert_eq!(pipeline.flip_table().prob(t(2)).value(), 0.0);
+    }
+
+    #[test]
+    fn probe_respects_bounds() {
+        let current = BudgetDistribution::uniform(eps(1.0), 3).unwrap();
+        let p = probe(&current, 0, 0.1, eps(1.0), StepRule::Conserving).unwrap();
+        let sum: f64 = p.shares().iter().map(|s| s.value()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(p.shares()[0].value() > current.shares()[0].value());
+        // share already at the cap → probe is None
+        let capped =
+            BudgetDistribution::from_shares(eps(1.0), vec![eps(1.0), eps(0.0), eps(0.0)])
+                .unwrap();
+        assert!(probe(&capped, 0, 0.1, eps(1.0), StepRule::Conserving).is_none());
+    }
+}

@@ -1,0 +1,450 @@
+//! The trusted CEP engine middleware (§III-A, Fig. 2).
+//!
+//! The engine sits between data subjects and data consumers:
+//!
+//! * **setup phase** — data subjects register private patterns; data
+//!   consumers register target-pattern queries and the quality weight α;
+//!   data subjects may grant access to historical data (required by the
+//!   adaptive PPM);
+//! * **service phase** — data subjects stream raw data; the engine applies
+//!   the configured pattern-level PPM and answers the consumers' binary
+//!   queries from the *protected* view only, accounting each pattern's
+//!   budget in a ledger.
+
+use pdp_cep::{match_indicator, Pattern, PatternId, PatternSet, QueryId};
+use pdp_dp::{BudgetLedger, DpRng, Epsilon};
+use pdp_metrics::Alpha;
+use pdp_stream::WindowedIndicators;
+
+use crate::adaptive::AdaptiveConfig;
+use crate::error::CoreError;
+use crate::protect::{Mechanism, ProtectionPipeline};
+use crate::quality_model::QualityModel;
+
+/// Which pattern-level PPM the engine applies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PpmKind {
+    /// §V-A: uniform budget distribution.
+    Uniform {
+        /// Pattern-level budget per private pattern.
+        eps: Epsilon,
+    },
+    /// §V-B: adaptive budget distribution (Algorithm 1).
+    Adaptive {
+        /// Pattern-level budget per private pattern.
+        eps: Epsilon,
+        /// Optimizer knobs.
+        config: AdaptiveConfig,
+    },
+    /// No protection — answers reflect the raw stream (for measuring
+    /// `Q_ord`).
+    PassThrough,
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustedEngineConfig {
+    /// Size of the event-type universe.
+    pub n_types: usize,
+    /// The consumers' quality weight (Eq. 3).
+    pub alpha: Alpha,
+    /// The PPM to apply.
+    pub ppm: PpmKind,
+}
+
+/// Per-query protected answers for one served batch of windows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtectedAnswer {
+    /// The consumer query answered.
+    pub query: QueryId,
+    /// The query's display name.
+    pub name: String,
+    /// One binary answer per window.
+    pub answers: Vec<bool>,
+}
+
+/// The trusted middleware.
+#[derive(Debug, Clone)]
+pub struct TrustedEngine {
+    config: TrustedEngineConfig,
+    patterns: PatternSet,
+    private: Vec<PatternId>,
+    queries: Vec<(String, PatternId)>,
+    history: Option<WindowedIndicators>,
+    pipeline: Option<ProtectionPipeline>,
+    ledger: BudgetLedger<PatternId>,
+}
+
+impl TrustedEngine {
+    /// A fresh engine in the setup phase.
+    pub fn new(config: TrustedEngineConfig) -> Self {
+        TrustedEngine {
+            config,
+            patterns: PatternSet::new(),
+            private: Vec::new(),
+            queries: Vec::new(),
+            history: None,
+            pipeline: None,
+            ledger: BudgetLedger::unlimited(),
+        }
+    }
+
+    /// Data subject: declare a private pattern to protect.
+    pub fn register_private_pattern(&mut self, pattern: Pattern) -> PatternId {
+        let id = self.patterns.insert(pattern);
+        self.private.push(id);
+        self.pipeline = None; // invalidate any earlier setup
+        id
+    }
+
+    /// Data consumer: declare a target pattern and a binary query on it.
+    pub fn register_target_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
+        let pid = self.patterns.insert(pattern);
+        let qid = QueryId(self.queries.len() as u32);
+        self.queries.push((name.to_owned(), pid));
+        self.pipeline = None;
+        (qid, pid)
+    }
+
+    /// Data subject: grant access to historical data (adaptive PPM input).
+    pub fn provide_history(&mut self, windows: WindowedIndicators) {
+        self.history = Some(windows);
+        self.pipeline = None;
+    }
+
+    /// Complete the setup phase: build the protection pipeline.
+    pub fn setup(&mut self) -> Result<(), CoreError> {
+        let pipeline = match &self.config.ppm {
+            PpmKind::PassThrough => {
+                ProtectionPipeline::from_assignments("pass-through", &self.patterns, Vec::new(), self.config.n_types)?
+            }
+            PpmKind::Uniform { eps } => ProtectionPipeline::uniform(
+                &self.patterns,
+                &self.private,
+                *eps,
+                self.config.n_types,
+            )?,
+            PpmKind::Adaptive { eps, config } => {
+                let history = self.history.as_ref().ok_or(CoreError::MissingHistory)?;
+                let target_ids: Vec<PatternId> =
+                    self.queries.iter().map(|(_, pid)| *pid).collect();
+                let model = QualityModel::new(
+                    history.clone(),
+                    &self.patterns,
+                    &target_ids,
+                    self.config.alpha,
+                )?;
+                ProtectionPipeline::adaptive(
+                    &self.patterns,
+                    &self.private,
+                    *eps,
+                    &model,
+                    self.config.n_types,
+                    config,
+                )?
+            }
+        };
+        self.pipeline = Some(pipeline);
+        Ok(())
+    }
+
+    /// True once [`TrustedEngine::setup`] has completed.
+    pub fn is_set_up(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// The registered pattern set (private + target).
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Ids of the registered private patterns.
+    pub fn private_patterns(&self) -> &[PatternId] {
+        &self.private
+    }
+
+    /// The active pipeline (after setup).
+    pub fn pipeline(&self) -> Option<&ProtectionPipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// Budget spent so far on one private pattern.
+    pub fn budget_spent(&self, id: PatternId) -> Epsilon {
+        self.ledger.spent(&id)
+    }
+
+    /// Widen the active protection to latent correlates of the private
+    /// patterns (§V-C): event types whose historical lift against a
+    /// private pattern exceeds `threshold` receive randomized response
+    /// with per-type budget `correlate_eps`, composed onto the existing
+    /// table. Requires setup and historical data. Returns the flagged
+    /// correlates.
+    pub fn widen_for_correlates(
+        &mut self,
+        threshold: f64,
+        correlate_eps: Epsilon,
+    ) -> Result<Vec<crate::correlation::Correlate>, CoreError> {
+        let history = self.history.as_ref().ok_or(CoreError::MissingHistory)?;
+        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
+        let correlates = crate::correlation::find_correlates(
+            history,
+            &self.patterns,
+            &self.private,
+            threshold,
+        )?;
+        let widened = crate::correlation::widen_protection(
+            pipeline.flip_table(),
+            &correlates,
+            correlate_eps,
+        )?;
+        self.pipeline = Some(ProtectionPipeline::from_table(
+            &format!("{}+correlates", pipeline.name()),
+            widened,
+            pipeline.assignments().to_vec(),
+        ));
+        Ok(correlates)
+    }
+
+    /// Service phase: protect a batch of windows and answer every
+    /// registered consumer query on the protected view.
+    pub fn serve(
+        &mut self,
+        windows: &WindowedIndicators,
+        rng: &mut DpRng,
+    ) -> Result<Vec<ProtectedAnswer>, CoreError> {
+        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
+        if windows.n_types() != self.config.n_types && !windows.is_empty() {
+            return Err(CoreError::WidthMismatch {
+                expected: self.config.n_types,
+                got: windows.n_types(),
+            });
+        }
+        let protected = pipeline.protect(windows, rng);
+        // Account the spend: each protected pattern's full budget is
+        // consumed by this release (sequential composition across serves).
+        for (id, eps) in pipeline.budgets() {
+            self.ledger
+                .spend(id, eps)
+                .expect("unlimited ledger never refuses");
+        }
+        let answers = self
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(qi, (name, pid))| {
+                let pattern = self
+                    .patterns
+                    .get(*pid)
+                    .expect("registered queries reference registered patterns");
+                ProtectedAnswer {
+                    query: QueryId(qi as u32),
+                    name: name.clone(),
+                    answers: protected
+                        .iter()
+                        .map(|w| match_indicator(pattern, w))
+                        .collect(),
+                }
+            })
+            .collect();
+        Ok(answers)
+    }
+
+    /// The protected indicator view itself (what a consumer with raw-stream
+    /// access would receive).
+    pub fn protected_view(
+        &mut self,
+        windows: &WindowedIndicators,
+        rng: &mut DpRng,
+    ) -> Result<WindowedIndicators, CoreError> {
+        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
+        let out = pipeline.protect(windows, rng);
+        for (id, eps) in pipeline.budgets() {
+            self.ledger
+                .spend(id, eps)
+                .expect("unlimited ledger never refuses");
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::{EventType, IndicatorVector};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn windows() -> WindowedIndicators {
+        WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0), t(1)], 4),
+            IndicatorVector::from_present([t(2), t(3)], 4),
+            IndicatorVector::from_present([t(0), t(2)], 4),
+        ])
+    }
+
+    fn engine(ppm: PpmKind) -> TrustedEngine {
+        TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm,
+        })
+    }
+
+    #[test]
+    fn serve_requires_setup() {
+        let mut e = engine(PpmKind::PassThrough);
+        let mut rng = DpRng::seed_from(1);
+        assert!(matches!(
+            e.serve(&windows(), &mut rng),
+            Err(CoreError::NotSetUp)
+        ));
+        assert!(!e.is_set_up());
+    }
+
+    #[test]
+    fn pass_through_answers_truth() {
+        let mut e = engine(PpmKind::PassThrough);
+        let (qid, _) = e.register_target_query("t0?", Pattern::single("t0", t(0)));
+        e.setup().unwrap();
+        let mut rng = DpRng::seed_from(1);
+        let answers = e.serve(&windows(), &mut rng).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].query, qid);
+        assert_eq!(answers[0].answers, vec![true, false, true]);
+    }
+
+    #[test]
+    fn uniform_ppm_protects_only_private_types() {
+        let mut e = engine(PpmKind::Uniform { eps: eps(1.0) });
+        let private = e.register_private_pattern(Pattern::seq("priv", vec![t(0), t(1)]).unwrap());
+        e.register_target_query("t2?", Pattern::single("t2", t(2)));
+        e.setup().unwrap();
+        let table = e.pipeline().unwrap().flip_table();
+        assert!(table.prob(t(0)).value() > 0.0);
+        assert!(table.prob(t(1)).value() > 0.0);
+        assert_eq!(table.prob(t(2)).value(), 0.0);
+        assert_eq!(table.prob(t(3)).value(), 0.0);
+        assert_eq!(e.private_patterns(), &[private]);
+        // a query about the uncorrelated type 2 is answered exactly
+        let mut rng = DpRng::seed_from(9);
+        let answers = e.serve(&windows(), &mut rng).unwrap();
+        assert_eq!(answers[0].answers, vec![false, true, true]);
+    }
+
+    #[test]
+    fn ledger_accumulates_across_serves() {
+        let mut e = engine(PpmKind::Uniform { eps: eps(0.5) });
+        let private = e.register_private_pattern(Pattern::single("p", t(0)));
+        e.register_target_query("q", Pattern::single("t", t(2)));
+        e.setup().unwrap();
+        let mut rng = DpRng::seed_from(2);
+        e.serve(&windows(), &mut rng).unwrap();
+        e.serve(&windows(), &mut rng).unwrap();
+        assert!((e.budget_spent(private).value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_requires_history() {
+        let mut e = engine(PpmKind::Adaptive {
+            eps: eps(1.0),
+            config: AdaptiveConfig::default(),
+        });
+        e.register_private_pattern(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+        e.register_target_query("q", Pattern::single("t", t(0)));
+        assert!(matches!(e.setup(), Err(CoreError::MissingHistory)));
+        e.provide_history(windows());
+        e.setup().unwrap();
+        assert!(e.is_set_up());
+        assert_eq!(e.pipeline().unwrap().name(), "adaptive");
+    }
+
+    #[test]
+    fn registration_invalidates_setup() {
+        let mut e = engine(PpmKind::PassThrough);
+        e.register_target_query("q", Pattern::single("t", t(0)));
+        e.setup().unwrap();
+        assert!(e.is_set_up());
+        e.register_private_pattern(Pattern::single("p", t(1)));
+        assert!(!e.is_set_up());
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut e = engine(PpmKind::PassThrough);
+        e.register_target_query("q", Pattern::single("t", t(0)));
+        e.setup().unwrap();
+        let mut rng = DpRng::seed_from(3);
+        let narrow = WindowedIndicators::new(vec![IndicatorVector::empty(2)]);
+        assert!(matches!(
+            e.serve(&narrow, &mut rng),
+            Err(CoreError::WidthMismatch { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn widening_requires_history_and_setup() {
+        let mut e = engine(PpmKind::Uniform { eps: eps(1.0) });
+        e.register_private_pattern(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+        assert!(matches!(
+            e.widen_for_correlates(1.5, eps(1.0)),
+            Err(CoreError::MissingHistory)
+        ));
+        e.provide_history(windows());
+        assert!(matches!(
+            e.widen_for_correlates(1.5, eps(1.0)),
+            Err(CoreError::NotSetUp)
+        ));
+    }
+
+    #[test]
+    fn widening_extends_the_flip_table() {
+        use pdp_stream::IndicatorVector;
+        let mut e = engine(PpmKind::Uniform { eps: eps(1.0) });
+        e.register_private_pattern(Pattern::single("p", t(0)));
+        // history where t(2) rides along with t(0)
+        let mut history = Vec::new();
+        for k in 0..60 {
+            let mut present = Vec::new();
+            if k % 2 == 0 {
+                present.extend([t(0), t(2)]);
+            }
+            if k % 7 == 0 {
+                present.push(t(2));
+            }
+            history.push(IndicatorVector::from_present(present, 4));
+        }
+        e.provide_history(WindowedIndicators::new(history));
+        e.setup().unwrap();
+        assert_eq!(e.pipeline().unwrap().flip_table().prob(t(2)).value(), 0.0);
+        let correlates = e.widen_for_correlates(1.3, eps(1.0)).unwrap();
+        assert!(correlates.iter().any(|c| c.ty == t(2)));
+        let table = e.pipeline().unwrap().flip_table();
+        assert!(table.prob(t(2)).value() > 0.0);
+        assert_eq!(e.pipeline().unwrap().name(), "uniform+correlates");
+        // declared element keeps its protection
+        assert!(table.prob(t(0)).value() > 0.0);
+    }
+
+    #[test]
+    fn protected_view_spends_budget() {
+        let mut e = engine(PpmKind::Uniform { eps: eps(2.0) });
+        let p = e.register_private_pattern(Pattern::single("p", t(0)));
+        e.setup().unwrap();
+        let mut rng = DpRng::seed_from(4);
+        let view = e.protected_view(&windows(), &mut rng).unwrap();
+        assert_eq!(view.len(), 3);
+        assert!((e.budget_spent(p).value() - 2.0).abs() < 1e-12);
+        // non-private types pass through exactly
+        for (w_in, w_out) in windows().iter().zip(view.iter()) {
+            for ty in [t(1), t(2), t(3)] {
+                assert_eq!(w_in.get(ty), w_out.get(ty));
+            }
+        }
+    }
+}

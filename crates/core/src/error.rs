@@ -1,0 +1,79 @@
+//! Error type for pattern-level DP.
+
+use std::fmt;
+
+use pdp_dp::DpError;
+
+/// Errors raised by distribution construction, protection and the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A budget distribution violated `Σεᵢ = ε` or `εᵢ ∈ [0, ε]`.
+    InvalidDistribution(String),
+    /// An underlying DP primitive rejected its parameters.
+    Dp(DpError),
+    /// A referenced pattern id is unknown.
+    UnknownPattern(u32),
+    /// The adaptive optimizer was invoked without historical data.
+    MissingHistory,
+    /// The engine was asked to serve before `setup()` completed.
+    NotSetUp,
+    /// A flip table width did not match the indicator width.
+    WidthMismatch {
+        /// Expected number of event types.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidDistribution(msg) => write!(f, "invalid budget distribution: {msg}"),
+            CoreError::Dp(e) => write!(f, "dp primitive error: {e}"),
+            CoreError::UnknownPattern(id) => write!(f, "unknown pattern id {id}"),
+            CoreError::MissingHistory => {
+                write!(f, "adaptive PPM requires historical data; none provided")
+            }
+            CoreError::NotSetUp => write!(f, "engine must complete setup before serving"),
+            CoreError::WidthMismatch { expected, got } => {
+                write!(f, "flip table width {got} does not match {expected} event types")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DpError> for CoreError {
+    fn from(e: DpError) -> Self {
+        CoreError::Dp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_source() {
+        use std::error::Error;
+        let e = CoreError::from(DpError::InvalidEpsilon(-1.0));
+        assert!(e.to_string().contains("dp primitive"));
+        assert!(e.source().is_some());
+        assert!(CoreError::MissingHistory.source().is_none());
+        assert!(CoreError::WidthMismatch {
+            expected: 3,
+            got: 5
+        }
+        .to_string()
+        .contains('5'));
+    }
+}

@@ -1,0 +1,188 @@
+//! Pattern-level ε-DP (Def. 4) and Theorem 1.
+//!
+//! **Def. 4.** A mechanism `M` over pattern streams satisfies pattern-level
+//! ε-DP of pattern type `P` iff for any pattern-level neighbors `S`, `S′`
+//! and any response set `R`: `Pr[M(S) ∈ R] ≤ e^ε · Pr[M(S′) ∈ R]`.
+//!
+//! **Theorem 1.** A randomized response with flip probabilities
+//! `p₁, …, pₘ ≤ 1/2` over the elements of `P` guarantees
+//! `Σᵢ ln((1−pᵢ)/pᵢ)`-pattern-level DP.
+//!
+//! This module provides the budget arithmetic both PPMs rely on, and an
+//! *exact* verifier of the Def. 4 bound for small indicator universes
+//! (used extensively in tests — no sampling, no flakiness).
+
+use pdp_dp::{DpError, Epsilon, FlipProb, RandomizedResponse};
+use pdp_stream::{EventType, IndicatorVector};
+
+use crate::neighbors::indicator_neighbors;
+
+/// Theorem 1: the pattern-level budget afforded by per-element flip
+/// probabilities — `ε = Σᵢ ln((1−pᵢ)/pᵢ)`.
+///
+/// Errors with [`DpError::InvalidProbability`] if any `pᵢ = 0` (an
+/// unprotected element means no finite pattern-level guarantee).
+pub fn pattern_epsilon(probs: &[FlipProb]) -> Result<Epsilon, DpError> {
+    let mut total = Epsilon::ZERO;
+    for p in probs {
+        match p.epsilon() {
+            Some(e) => total += e,
+            None => return Err(DpError::InvalidProbability(0.0)),
+        }
+    }
+    Ok(total)
+}
+
+/// The flip probability of the uniform distribution (Fig. 3):
+/// each of `m` elements receives `ε/m`, so `p = 1 / (1 + e^{ε/m})`.
+pub fn uniform_flip_prob(eps: Epsilon, m: usize) -> Result<FlipProb, DpError> {
+    if m == 0 {
+        return Err(DpError::InvalidParameter(
+            "pattern length must be at least 1".into(),
+        ));
+    }
+    Ok(FlipProb::from_epsilon(eps / m as f64))
+}
+
+/// Exact verification of the Def. 4 likelihood-ratio bound on one window.
+///
+/// For every indicator-level neighbor of `window` with respect to
+/// `pattern_types`, and every possible response vector, checks
+/// `Pr[M(w) = r] ≤ e^ε · Pr[M(w′) = r]`. Exponential in width — intended
+/// for tests on small universes (width ≤ 16).
+///
+/// `probs` must give the flip probability per event type (0 for
+/// unperturbed types). Returns the largest observed `ln` likelihood ratio
+/// across neighbor pairs, which must be ≤ `eps` for the guarantee to hold.
+pub fn max_log_ratio(
+    window: &IndicatorVector,
+    pattern_types: &[EventType],
+    probs: &[FlipProb],
+) -> f64 {
+    let mechanism = RandomizedResponse::new(probs.to_vec());
+    let base_bits: Vec<bool> = window.bits().to_vec();
+    let base_dist = mechanism.output_distribution(&base_bits);
+    let mut worst: f64 = 0.0;
+    for neighbor in indicator_neighbors(window, pattern_types) {
+        let n_bits: Vec<bool> = neighbor.bits().to_vec();
+        let n_dist = mechanism.output_distribution(&n_bits);
+        for ((_, p1), (_, p2)) in base_dist.iter().zip(n_dist.iter()) {
+            if *p1 > 0.0 && *p2 > 0.0 {
+                let ratio = (p1 / p2).ln().abs();
+                if ratio > worst {
+                    worst = ratio;
+                }
+            } else if (*p1 > 0.0) != (*p2 > 0.0) {
+                return f64::INFINITY;
+            }
+        }
+    }
+    worst
+}
+
+/// Convenience: does the mechanism satisfy pattern-level `eps`-DP on this
+/// window (up to float tolerance)?
+pub fn satisfies_pattern_level_dp(
+    window: &IndicatorVector,
+    pattern_types: &[EventType],
+    probs: &[FlipProb],
+    eps: Epsilon,
+) -> bool {
+    max_log_ratio(window, pattern_types, probs) <= eps.value() + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn theorem1_budget_sums() {
+        let probs = vec![
+            FlipProb::from_epsilon(eps(0.5)),
+            FlipProb::from_epsilon(eps(1.0)),
+            FlipProb::from_epsilon(eps(0.25)),
+        ];
+        let total = pattern_epsilon(&probs).unwrap();
+        assert!((total.value() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unprotected_element_fails_theorem1() {
+        let probs = vec![FlipProb::new(0.0).unwrap()];
+        assert!(pattern_epsilon(&probs).is_err());
+    }
+
+    #[test]
+    fn uniform_prob_matches_closed_form() {
+        let p = uniform_flip_prob(eps(3.0), 3).unwrap();
+        let expected = 1.0 / (1.0 + 1.0f64.exp());
+        assert!((p.value() - expected).abs() < 1e-12);
+        assert!(uniform_flip_prob(eps(1.0), 0).is_err());
+    }
+
+    #[test]
+    fn uniform_mechanism_meets_its_budget_exactly() {
+        // 3 event types, pattern = {0, 1}, ε = 1.2 split over 2 elements.
+        let total = eps(1.2);
+        let per = FlipProb::from_epsilon(total / 2.0);
+        let probs = vec![per, per, FlipProb::new(0.0).unwrap()];
+        let w = IndicatorVector::from_present([t(0), t(2)], 3);
+        // Def. 3 neighbors change ONE pattern element, so the binding bound
+        // is the per-element budget ε/2, not the total.
+        let worst = max_log_ratio(&w, &[t(0), t(1)], &probs);
+        assert!(
+            (worst - 0.6).abs() < 1e-9,
+            "worst log-ratio {worst}, expected 0.6"
+        );
+        assert!(satisfies_pattern_level_dp(&w, &[t(0), t(1)], &probs, total));
+    }
+
+    #[test]
+    fn unprotected_pattern_bit_blows_the_bound() {
+        // pattern covers type 0 but type 0 has p = 0 → infinite ratio
+        let probs = vec![FlipProb::new(0.0).unwrap(), FlipProb::new(0.25).unwrap()];
+        let w = IndicatorVector::from_present([t(0)], 2);
+        let worst = max_log_ratio(&w, &[t(0)], &probs);
+        assert!(worst.is_infinite());
+        assert!(!satisfies_pattern_level_dp(&w, &[t(0)], &probs, eps(100.0)));
+    }
+
+    #[test]
+    fn non_pattern_types_do_not_affect_ratio() {
+        // heavy noise on type 1 (not in pattern) must not change the bound
+        let base = vec![FlipProb::new(0.2).unwrap(), FlipProb::new(0.0).unwrap()];
+        let noisy = vec![FlipProb::new(0.2).unwrap(), FlipProb::new(0.4).unwrap()];
+        let w = IndicatorVector::from_present([t(0)], 2);
+        let r1 = max_log_ratio(&w, &[t(0)], &base);
+        let r2 = max_log_ratio(&w, &[t(0)], &noisy);
+        assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_budget_means_smaller_ratio() {
+        let w = IndicatorVector::from_present([t(0)], 2);
+        let loose = vec![FlipProb::from_epsilon(eps(2.0)), FlipProb::new(0.0).unwrap()];
+        let tight = vec![FlipProb::from_epsilon(eps(0.5)), FlipProb::new(0.0).unwrap()];
+        assert!(
+            max_log_ratio(&w, &[t(0)], &tight) < max_log_ratio(&w, &[t(0)], &loose)
+        );
+    }
+
+    #[test]
+    fn half_probability_gives_zero_epsilon() {
+        let probs = vec![FlipProb::HALF, FlipProb::HALF];
+        let total = pattern_epsilon(&probs).unwrap();
+        assert!(total.value().abs() < 1e-12);
+        let w = IndicatorVector::from_present([t(0)], 2);
+        // perfect indistinguishability
+        assert!(max_log_ratio(&w, &[t(0), t(1)], &probs) < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `pdp-core` — pattern-level ε-differential privacy (the paper's contribution)
+//!
+//! Implements §IV and §V of *"Differential Privacy for Protecting Private
+//! Patterns in Data Streams"* (ICDE 2023):
+//!
+//! * [`neighbors`] — Def. 1 (in-pattern neighbors) and Def. 3 (pattern-level
+//!   neighbors), with generators used by the DP verification tests;
+//! * [`guarantee`] — Def. 4 (pattern-level ε-DP) and **Theorem 1**: a
+//!   randomized response with flip probabilities `pᵢ ≤ 1/2` over a pattern's
+//!   elements guarantees `Σᵢ ln((1−pᵢ)/pᵢ)`-pattern-level DP;
+//! * [`distribution`] — per-element budget shares: the **uniform**
+//!   distribution (Fig. 3) and the **adaptive** bidirectional stepwise
+//!   Algorithm 1 driven by historical data;
+//! * [`quality_model`] — closed-form and Monte-Carlo estimators of the
+//!   quality metric `Q = α·Prec + (1−α)·Rec` under per-event flips;
+//! * [`protect`] — the protection pipeline: flip tables composed across
+//!   overlapping private patterns, applied **only** to events that correlate
+//!   with private patterns;
+//! * [`engine`] — the trusted CEP engine middleware of §III-A (Fig. 2).
+
+pub mod adaptive;
+pub mod correlation;
+pub mod distribution;
+pub mod engine;
+pub mod error;
+pub mod extensions;
+pub mod guarantee;
+pub mod neighbors;
+pub mod protect;
+pub mod quality_model;
+
+pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
+pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
+pub use distribution::BudgetDistribution;
+pub use engine::{PpmKind, ProtectedAnswer, TrustedEngine, TrustedEngineConfig};
+pub use error::CoreError;
+pub use extensions::{CategoricalQuery, CountQuery, NoisyArgmax};
+pub use guarantee::{
+    max_log_ratio, pattern_epsilon, satisfies_pattern_level_dp, uniform_flip_prob,
+};
+pub use neighbors::{
+    in_pattern_neighbors, indicator_neighbors, is_in_pattern_neighbor, is_indicator_neighbor,
+};
+pub use protect::{FlipTable, Mechanism, ProtectionPipeline};
+pub use quality_model::{expected_quality, QualityModel};

@@ -1,0 +1,161 @@
+//! Neighboring relations (Defs. 1 and 3 of the paper).
+//!
+//! *In-pattern neighbors* (Def. 1): two same-length patterns differing in
+//! exactly one element. *Pattern-level neighbors* (Def. 3): two pattern
+//! streams identical everywhere except that instances of the protected
+//! pattern type may be replaced by in-pattern neighbors.
+//!
+//! For mechanism verification we also work at the indicator level: within a
+//! window, changing one *element event* of the private pattern flips one
+//! indicator bit belonging to the pattern — [`indicator_neighbors`]
+//! enumerates those single-bit variants. The empirical DP tests in this
+//! crate and in `tests/` check the Def. 4 likelihood-ratio bound over these
+//! neighbor sets exactly.
+
+use pdp_stream::{EventType, IndicatorVector};
+
+/// Def. 1: true iff `a` and `b` have the same length and differ in exactly
+/// one position.
+pub fn is_in_pattern_neighbor(a: &[EventType], b: &[EventType]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let diffs = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    diffs == 1
+}
+
+/// Enumerate all in-pattern neighbors of `instance` over `alphabet`:
+/// every single-position substitution by a different event type.
+pub fn in_pattern_neighbors(
+    instance: &[EventType],
+    alphabet: &[EventType],
+) -> Vec<Vec<EventType>> {
+    let mut out = Vec::new();
+    for i in 0..instance.len() {
+        for &ty in alphabet {
+            if ty != instance[i] {
+                let mut n = instance.to_vec();
+                n[i] = ty;
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// Indicator-level neighbors with respect to a private pattern: all
+/// variants of `window` obtained by flipping exactly one indicator position
+/// belonging to `pattern_types`.
+pub fn indicator_neighbors(
+    window: &IndicatorVector,
+    pattern_types: &[EventType],
+) -> Vec<IndicatorVector> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for &ty in pattern_types {
+        if !seen.insert(ty) {
+            continue; // repeated elements flip the same indicator bit
+        }
+        let mut v = window.clone();
+        v.flip(ty);
+        out.push(v);
+    }
+    out
+}
+
+/// True iff two indicator vectors differ in exactly one position, and that
+/// position belongs to `pattern_types`.
+pub fn is_indicator_neighbor(
+    a: &IndicatorVector,
+    b: &IndicatorVector,
+    pattern_types: &[EventType],
+) -> bool {
+    if a.n_types() != b.n_types() {
+        return false;
+    }
+    let mut diff: Option<usize> = None;
+    for i in 0..a.n_types() {
+        let ty = EventType(i as u32);
+        if a.get(ty) != b.get(ty) {
+            if diff.is_some() {
+                return false;
+            }
+            diff = Some(i);
+        }
+    }
+    match diff {
+        Some(i) => pattern_types.contains(&EventType(i as u32)),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    #[test]
+    fn def1_exactly_one_difference() {
+        let a = [t(0), t(1), t(2)];
+        assert!(is_in_pattern_neighbor(&a, &[t(0), t(9), t(2)]));
+        assert!(!is_in_pattern_neighbor(&a, &a)); // zero differences
+        assert!(!is_in_pattern_neighbor(&a, &[t(9), t(9), t(2)])); // two
+        assert!(!is_in_pattern_neighbor(&a, &[t(0), t(1)])); // length
+    }
+
+    #[test]
+    fn neighbor_enumeration_counts() {
+        let alphabet = [t(0), t(1), t(2), t(3)];
+        let instance = [t(0), t(1)];
+        let ns = in_pattern_neighbors(&instance, &alphabet);
+        // each of 2 positions can take 3 other values
+        assert_eq!(ns.len(), 6);
+        for n in &ns {
+            assert!(is_in_pattern_neighbor(&instance, n));
+        }
+    }
+
+    #[test]
+    fn indicator_neighbors_flip_one_pattern_bit() {
+        let w = IndicatorVector::from_present([t(0), t(2)], 4);
+        let ns = indicator_neighbors(&w, &[t(0), t(3)]);
+        assert_eq!(ns.len(), 2);
+        for n in &ns {
+            assert!(is_indicator_neighbor(&w, n, &[t(0), t(3)]));
+        }
+        // flipping t(0): present → absent
+        assert!(!ns[0].get(t(0)));
+        // flipping t(3): absent → present
+        assert!(ns[1].get(t(3)));
+    }
+
+    #[test]
+    fn repeated_pattern_elements_yield_one_indicator_neighbor() {
+        let w = IndicatorVector::empty(3);
+        let ns = indicator_neighbors(&w, &[t(1), t(1)]);
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn is_indicator_neighbor_rejects_non_pattern_bits() {
+        let a = IndicatorVector::from_present([t(0)], 3);
+        let mut b = a.clone();
+        b.flip(t(2));
+        assert!(is_indicator_neighbor(&a, &b, &[t(2)]));
+        assert!(!is_indicator_neighbor(&a, &b, &[t(0)]));
+        assert!(!is_indicator_neighbor(&a, &a, &[t(0)])); // identical
+        let mut c = b.clone();
+        c.flip(t(1));
+        assert!(!is_indicator_neighbor(&a, &c, &[t(1), t(2)])); // two diffs
+    }
+
+    #[test]
+    fn width_mismatch_is_not_neighbor() {
+        let a = IndicatorVector::empty(3);
+        let b = IndicatorVector::empty(4);
+        assert!(!is_indicator_neighbor(&a, &b, &[t(0)]));
+    }
+}

@@ -1,0 +1,349 @@
+//! The protection pipeline: per-event flip tables applied to windows.
+//!
+//! The defining property of a pattern-level PPM (§I, §IV): noise lands
+//! **only** on events that correlate with private patterns; all other events
+//! pass through untouched, preserving the quality of the rest of the stream.
+//!
+//! A [`FlipTable`] maps every event type to its flip probability: 0 for
+//! uncorrelated types, and for types appearing in private patterns the
+//! *serial composition* of the per-element flips of every private pattern
+//! (and every repeated element) that contains them — the paper's treatment
+//! of overlapping/repeating patterns, which "only brings more noise to the
+//! private information".
+
+use pdp_cep::{PatternId, PatternSet};
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::{EventType, IndicatorVector, WindowedIndicators};
+
+use crate::distribution::BudgetDistribution;
+use crate::error::CoreError;
+
+/// Per-event-type flip probabilities over a fixed type universe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipTable {
+    probs: Vec<FlipProb>,
+}
+
+impl FlipTable {
+    /// A table that never flips anything.
+    pub fn identity(n_types: usize) -> Self {
+        FlipTable {
+            probs: vec![FlipProb::new(0.0).expect("0 is a valid flip probability"); n_types],
+        }
+    }
+
+    /// Build from private patterns and their budget distributions.
+    ///
+    /// For each pattern element `eᵢ` with share `εᵢ`, the flip
+    /// `pᵢ = 1/(1+e^{εᵢ})` is composed into the slot of `eᵢ`'s event type.
+    pub fn from_distributions(
+        patterns: &PatternSet,
+        assignments: &[(PatternId, BudgetDistribution)],
+        n_types: usize,
+    ) -> Result<Self, CoreError> {
+        let mut table = FlipTable::identity(n_types);
+        for (id, dist) in assignments {
+            let pattern = patterns
+                .get(*id)
+                .ok_or(CoreError::UnknownPattern(id.0))?;
+            if pattern.len() != dist.len() {
+                return Err(CoreError::InvalidDistribution(format!(
+                    "distribution has {} shares for pattern of length {}",
+                    dist.len(),
+                    pattern.len()
+                )));
+            }
+            for (element, &share) in pattern.elements().iter().zip(dist.shares()) {
+                if element.index() >= n_types {
+                    return Err(CoreError::WidthMismatch {
+                        expected: n_types,
+                        got: element.index() + 1,
+                    });
+                }
+                let p = FlipProb::from_epsilon(share);
+                let slot = &mut table.probs[element.index()];
+                *slot = slot.compose(p);
+            }
+        }
+        Ok(table)
+    }
+
+    /// The flip probability of one event type.
+    pub fn prob(&self, ty: EventType) -> FlipProb {
+        self.probs
+            .get(ty.index())
+            .copied()
+            .unwrap_or(FlipProb::new(0.0).expect("0 is valid"))
+    }
+
+    /// Set the flip probability of one event type directly.
+    pub fn set_prob(&mut self, ty: EventType, p: FlipProb) -> Result<(), CoreError> {
+        match self.probs.get_mut(ty.index()) {
+            Some(slot) => {
+                *slot = p;
+                Ok(())
+            }
+            None => Err(CoreError::WidthMismatch {
+                expected: self.probs.len(),
+                got: ty.index() + 1,
+            }),
+        }
+    }
+
+    /// Number of event types covered.
+    pub fn width(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Event types with non-zero flip probability (the "protected" types).
+    pub fn protected_types(&self) -> Vec<EventType> {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.value() > 0.0)
+            .map(|(i, _)| EventType(i as u32))
+            .collect()
+    }
+
+    /// All flip probabilities, indexed by type id.
+    pub fn probs(&self) -> &[FlipProb] {
+        &self.probs
+    }
+
+    /// Perturb a single window in place.
+    pub fn apply_window(&self, window: &mut IndicatorVector, rng: &mut DpRng) {
+        debug_assert_eq!(window.n_types(), self.probs.len());
+        for (i, &p) in self.probs.iter().enumerate() {
+            if p.value() > 0.0 {
+                let ty = EventType(i as u32);
+                let truth = window.get(ty);
+                window.set(ty, p.apply(truth, rng));
+            }
+        }
+    }
+
+    /// Produce the protected view of a windowed history.
+    pub fn apply(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            self.apply_window(w, rng);
+        }
+        out
+    }
+}
+
+/// A privacy-preserving mechanism over windowed indicator streams.
+///
+/// Both pattern-level PPMs and every baseline implement this, which is what
+/// lets the experiment harness sweep them uniformly.
+pub trait Mechanism {
+    /// Short display name ("uniform", "adaptive", "bd", …).
+    fn name(&self) -> String;
+
+    /// The protected view of the stream.
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators;
+}
+
+/// The pattern-level protection pipeline: a flip table plus the
+/// distributions that produced it.
+#[derive(Debug, Clone)]
+pub struct ProtectionPipeline {
+    label: String,
+    table: FlipTable,
+    assignments: Vec<(PatternId, BudgetDistribution)>,
+}
+
+impl ProtectionPipeline {
+    /// The uniform PPM (§V-A): every private pattern's budget is split
+    /// evenly over its elements.
+    pub fn uniform(
+        patterns: &PatternSet,
+        private: &[PatternId],
+        eps: Epsilon,
+        n_types: usize,
+    ) -> Result<Self, CoreError> {
+        let assignments = private
+            .iter()
+            .map(|&id| {
+                let p = patterns.get(id).ok_or(CoreError::UnknownPattern(id.0))?;
+                Ok((id, BudgetDistribution::uniform(eps, p.len())?))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Self::from_assignments("uniform", patterns, assignments, n_types)
+    }
+
+    /// A pipeline from explicit distributions (the adaptive PPM builds its
+    /// optimized distributions and passes them here).
+    pub fn from_assignments(
+        label: &str,
+        patterns: &PatternSet,
+        assignments: Vec<(PatternId, BudgetDistribution)>,
+        n_types: usize,
+    ) -> Result<Self, CoreError> {
+        let table = FlipTable::from_distributions(patterns, &assignments, n_types)?;
+        Ok(ProtectionPipeline {
+            label: label.to_owned(),
+            table,
+            assignments,
+        })
+    }
+
+    /// A pipeline wrapping an explicit flip table (used when a table is
+    /// post-processed, e.g. widened with latent correlates).
+    pub fn from_table(
+        label: &str,
+        table: FlipTable,
+        assignments: Vec<(PatternId, BudgetDistribution)>,
+    ) -> Self {
+        ProtectionPipeline {
+            label: label.to_owned(),
+            table,
+            assignments,
+        }
+    }
+
+    /// The flip table in force.
+    pub fn flip_table(&self) -> &FlipTable {
+        &self.table
+    }
+
+    /// The per-pattern distributions.
+    pub fn assignments(&self) -> &[(PatternId, BudgetDistribution)] {
+        &self.assignments
+    }
+
+    /// Total pattern-level budget of each protected pattern.
+    pub fn budgets(&self) -> Vec<(PatternId, Epsilon)> {
+        self.assignments
+            .iter()
+            .map(|(id, d)| (*id, d.total()))
+            .collect()
+    }
+}
+
+impl Mechanism for ProtectionPipeline {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
+        self.table.apply(windows, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_cep::Pattern;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn patterns() -> (PatternSet, PatternId, PatternId) {
+        let mut set = PatternSet::new();
+        let a = set.insert(Pattern::seq("a", vec![t(0), t(1)]).unwrap());
+        let b = set.insert(Pattern::seq("b", vec![t(1), t(2)]).unwrap());
+        (set, a, b)
+    }
+
+    #[test]
+    fn uncorrelated_types_never_flip() {
+        let (set, a, _) = patterns();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a], eps(1.0), 5).unwrap();
+        let table = pipeline.flip_table();
+        assert_eq!(table.protected_types(), vec![t(0), t(1)]);
+        assert_eq!(table.prob(t(3)).value(), 0.0);
+        assert_eq!(table.prob(t(4)).value(), 0.0);
+
+        // a type-3/4-only window is passed through bit-for-bit
+        let mut rng = DpRng::seed_from(0);
+        let wi = WindowedIndicators::new(vec![IndicatorVector::from_present([t(3), t(4)], 5)]);
+        let out = pipeline.protect(&wi, &mut rng);
+        assert_eq!(out.window(0).bits(), wi.window(0).bits());
+    }
+
+    #[test]
+    fn overlapping_patterns_compose_flips() {
+        let (set, a, b) = patterns();
+        // both patterns uniform with ε = 2 → each element share = 1
+        let pipeline =
+            ProtectionPipeline::uniform(&set, &[a, b], eps(2.0), 3).unwrap();
+        let table = pipeline.flip_table();
+        let p_share = FlipProb::from_epsilon(eps(1.0));
+        // type 1 is in both patterns: composed flip
+        let expected = p_share.compose(p_share);
+        assert!((table.prob(t(1)).value() - expected.value()).abs() < 1e-12);
+        // types 0 and 2 are in one pattern each
+        assert!((table.prob(t(0)).value() - p_share.value()).abs() < 1e-12);
+        assert!((table.prob(t(2)).value() - p_share.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_elements_compose_within_one_pattern() {
+        let mut set = PatternSet::new();
+        let id = set.insert(Pattern::seq("rr", vec![t(0), t(0)]).unwrap());
+        let pipeline = ProtectionPipeline::uniform(&set, &[id], eps(2.0), 1).unwrap();
+        let p_share = FlipProb::from_epsilon(eps(1.0));
+        let expected = p_share.compose(p_share);
+        assert!((pipeline.flip_table().prob(t(0)).value() - expected.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_length_must_match_pattern() {
+        let (set, a, _) = patterns();
+        let bad = vec![(a, BudgetDistribution::uniform(eps(1.0), 3).unwrap())];
+        assert!(FlipTable::from_distributions(&set, &bad, 3).is_err());
+    }
+
+    #[test]
+    fn unknown_pattern_rejected() {
+        let (set, _, _) = patterns();
+        assert!(ProtectionPipeline::uniform(&set, &[PatternId(9)], eps(1.0), 3).is_err());
+    }
+
+    #[test]
+    fn type_universe_too_small_rejected() {
+        let (set, a, _) = patterns();
+        // pattern "a" uses types 0 and 1, but n_types = 1
+        assert!(ProtectionPipeline::uniform(&set, &[a], eps(1.0), 1).is_err());
+    }
+
+    #[test]
+    fn apply_flips_at_expected_rate() {
+        let (set, a, _) = patterns();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a], eps(0.0), 3).unwrap();
+        // ε = 0 → p = 1/2 on types 0 and 1
+        let mut rng = DpRng::seed_from(77);
+        let n = 20_000;
+        let wi = WindowedIndicators::new(vec![IndicatorVector::empty(3); n]);
+        let out = pipeline.protect(&wi, &mut rng);
+        let ones = out.iter().filter(|w| w.get(t(0))).count();
+        let rate = ones as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+        // type 2 untouched
+        assert!(out.iter().all(|w| !w.get(t(2))));
+    }
+
+    #[test]
+    fn budgets_report_totals() {
+        let (set, a, b) = patterns();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a, b], eps(1.5), 3).unwrap();
+        let budgets = pipeline.budgets();
+        assert_eq!(budgets.len(), 2);
+        assert!(budgets.iter().all(|(_, e)| (e.value() - 1.5).abs() < 1e-12));
+        assert_eq!(pipeline.name(), "uniform");
+    }
+
+    #[test]
+    fn set_prob_bounds_checked() {
+        let mut table = FlipTable::identity(2);
+        assert!(table.set_prob(t(1), FlipProb::new(0.3).unwrap()).is_ok());
+        assert!(table.set_prob(t(5), FlipProb::new(0.3).unwrap()).is_err());
+        assert!((table.prob(t(1)).value() - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,252 @@
+//! Quality estimation under per-event flips.
+//!
+//! Algorithm 1 needs `Q = α·Prec + (1−α)·Rec` as a function of the budget
+//! shares, evaluated on historical data. The paper does not fix the
+//! estimator; we provide two that agree (tested against each other):
+//!
+//! * **closed form** ([`QualityModel::expected_quality`]): each window's
+//!   detection probability is the product of per-element report
+//!   probabilities, accumulated into expected confusion counts and plugged
+//!   into the precision/recall ratios. Deterministic and smooth — what the
+//!   stepwise search wants.
+//! * **Monte Carlo** ([`QualityModel::monte_carlo_quality`]): actually runs
+//!   the mechanism `trials` times and averages hard confusion counts.
+
+use pdp_cep::{PatternId, PatternSet};
+use pdp_dp::DpRng;
+use pdp_metrics::{Alpha, ConfusionMatrix, FractionalConfusion, QualityReport};
+use pdp_stream::{EventType, WindowedIndicators};
+
+use crate::error::CoreError;
+use crate::protect::FlipTable;
+
+/// Historical windows + target patterns + α, with detection truth
+/// precomputed, ready to score candidate flip tables.
+#[derive(Debug, Clone)]
+pub struct QualityModel {
+    windows: WindowedIndicators,
+    /// Distinct element types per target pattern.
+    targets: Vec<Vec<EventType>>,
+    /// `truth[t][w]`: was target `t` truly detected in window `w`?
+    truth: Vec<Vec<bool>>,
+    alpha: Alpha,
+}
+
+impl QualityModel {
+    /// Build from historical windows and the ids of the target patterns.
+    pub fn new(
+        windows: WindowedIndicators,
+        patterns: &PatternSet,
+        target_ids: &[PatternId],
+        alpha: Alpha,
+    ) -> Result<Self, CoreError> {
+        let mut targets = Vec::with_capacity(target_ids.len());
+        for &id in target_ids {
+            let p = patterns.get(id).ok_or(CoreError::UnknownPattern(id.0))?;
+            targets.push(p.distinct_types().into_iter().collect::<Vec<_>>());
+        }
+        let truth = targets
+            .iter()
+            .map(|tys| {
+                windows
+                    .iter()
+                    .map(|w| tys.iter().all(|&ty| w.get(ty)))
+                    .collect()
+            })
+            .collect();
+        Ok(QualityModel {
+            windows,
+            targets,
+            truth,
+            alpha,
+        })
+    }
+
+    /// The historical windows.
+    pub fn windows(&self) -> &WindowedIndicators {
+        &self.windows
+    }
+
+    /// The α in force.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Number of target patterns scored.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Probability that target `t` is detected in window `w` under `table`.
+    fn detect_prob(&self, t: usize, w: usize, table: &FlipTable) -> f64 {
+        let window = self.windows.window(w);
+        self.targets[t]
+            .iter()
+            .map(|&ty| table.prob(ty).report_one_prob(window.get(ty)))
+            .product()
+    }
+
+    /// Closed-form expected quality under `table`.
+    pub fn expected_quality(&self, table: &FlipTable) -> QualityReport {
+        let mut conf = FractionalConfusion::new();
+        for t in 0..self.targets.len() {
+            for w in 0..self.windows.len() {
+                conf.record(self.truth[t][w], self.detect_prob(t, w, table));
+            }
+        }
+        QualityReport::from_fractional(&conf, self.alpha)
+    }
+
+    /// Monte-Carlo quality: run the mechanism `trials` times and average.
+    pub fn monte_carlo_quality(
+        &self,
+        table: &FlipTable,
+        trials: usize,
+        rng: &mut DpRng,
+    ) -> QualityReport {
+        let mut conf = ConfusionMatrix::new();
+        for trial in 0..trials {
+            let mut trial_rng = rng.fork(trial as u64);
+            let protected = table.apply(&self.windows, &mut trial_rng);
+            for (t, tys) in self.targets.iter().enumerate() {
+                for w in 0..protected.len() {
+                    let detected = tys.iter().all(|&ty| protected.window(w).get(ty));
+                    conf.record(self.truth[t][w], detected);
+                }
+            }
+        }
+        QualityReport::from_confusion(&conf, self.alpha)
+    }
+
+    /// The unprotected quality `Q_ord` (identity table). With exact truth
+    /// playback this is 1 by construction — exposed for MRE baselines and
+    /// as a sanity check.
+    pub fn baseline_quality(&self) -> QualityReport {
+        self.expected_quality(&FlipTable::identity(self.windows.n_types()))
+    }
+}
+
+/// Convenience: expected `Q` under `table` for the given targets.
+pub fn expected_quality(
+    windows: &WindowedIndicators,
+    patterns: &PatternSet,
+    target_ids: &[PatternId],
+    table: &FlipTable,
+    alpha: Alpha,
+) -> Result<f64, CoreError> {
+    Ok(QualityModel::new(windows.clone(), patterns, target_ids, alpha)?
+        .expected_quality(table)
+        .q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_cep::Pattern;
+    use pdp_dp::{Epsilon, FlipProb};
+    use pdp_stream::IndicatorVector;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    /// 4 windows over 3 types; target = {0, 1}; truth: detected in w0, w1.
+    fn fixture() -> (WindowedIndicators, PatternSet, Vec<PatternId>) {
+        let windows = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0), t(1)], 3),
+            IndicatorVector::from_present([t(0), t(1), t(2)], 3),
+            IndicatorVector::from_present([t(0)], 3),
+            IndicatorVector::empty(3),
+        ]);
+        let mut set = PatternSet::new();
+        let target = set.insert(Pattern::seq("target", vec![t(0), t(1)]).unwrap());
+        (windows, set, vec![target])
+    }
+
+    #[test]
+    fn baseline_quality_is_perfect() {
+        let (w, set, targets) = fixture();
+        let model = QualityModel::new(w, &set, &targets, Alpha::HALF).unwrap();
+        let base = model.baseline_quality();
+        assert!((base.q - 1.0).abs() < 1e-12);
+        assert!((base.precision - 1.0).abs() < 1e-12);
+        assert!((base.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_quality_closed_form_hand_check() {
+        let (w, set, targets) = fixture();
+        let model = QualityModel::new(w, &set, &targets, Alpha::HALF).unwrap();
+        // flip type 1 with p = 0.25; types 0, 2 untouched.
+        let mut table = FlipTable::identity(3);
+        table.set_prob(t(1), FlipProb::new(0.25).unwrap()).unwrap();
+        // detection probs per window: w0: 1·0.75, w1: 1·0.75,
+        // w2: 1·0.25 (type1 absent, flips in), w3: 0·… = 0 (type0 absent)
+        // truth: [T, T, F, F]
+        // E[TP] = 1.5, E[FN] = 0.5, E[FP] = 0.25, E[TN] = 1.75
+        let r = model.expected_quality(&table);
+        let prec = 1.5 / 1.75;
+        let rec = 0.75;
+        assert!((r.precision - prec).abs() < 1e-12);
+        assert!((r.recall - rec).abs() < 1e-12);
+        assert!((r.q - 0.5 * (prec + rec)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let (w, set, targets) = fixture();
+        let model = QualityModel::new(w, &set, &targets, Alpha::HALF).unwrap();
+        let mut table = FlipTable::identity(3);
+        table.set_prob(t(0), FlipProb::new(0.2).unwrap()).unwrap();
+        table.set_prob(t(1), FlipProb::new(0.3).unwrap()).unwrap();
+        let expected = model.expected_quality(&table);
+        let mut rng = DpRng::seed_from(42);
+        let mc = model.monte_carlo_quality(&table, 4000, &mut rng);
+        assert!(
+            (mc.q - expected.q).abs() < 0.03,
+            "MC {} vs closed-form {}",
+            mc.q,
+            expected.q
+        );
+    }
+
+    #[test]
+    fn more_noise_means_less_quality() {
+        let (w, set, targets) = fixture();
+        let model = QualityModel::new(w, &set, &targets, Alpha::HALF).unwrap();
+        let mut mild = FlipTable::identity(3);
+        mild.set_prob(t(0), FlipProb::from_epsilon(Epsilon::new(3.0).unwrap()))
+            .unwrap();
+        let mut heavy = FlipTable::identity(3);
+        heavy
+            .set_prob(t(0), FlipProb::from_epsilon(Epsilon::new(0.2).unwrap()))
+            .unwrap();
+        let qm = model.expected_quality(&mild).q;
+        let qh = model.expected_quality(&heavy).q;
+        assert!(qh < qm, "heavy noise {qh} should be below mild {qm}");
+    }
+
+    #[test]
+    fn unknown_target_rejected() {
+        let (w, set, _) = fixture();
+        assert!(QualityModel::new(w, &set, &[PatternId(9)], Alpha::HALF).is_err());
+    }
+
+    #[test]
+    fn convenience_function_matches_model() {
+        let (w, set, targets) = fixture();
+        let table = FlipTable::identity(3);
+        let q = expected_quality(&w, &set, &targets, &table, Alpha::HALF).unwrap();
+        assert!((q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_targets_accumulate() {
+        let (w, mut set, mut targets) = fixture();
+        targets.push(set.insert(Pattern::single("solo", t(2))));
+        let model = QualityModel::new(w, &set, &targets, Alpha::HALF).unwrap();
+        assert_eq!(model.n_targets(), 2);
+        // identity still perfect with several targets
+        assert!((model.baseline_quality().q - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Workload persistence: JSON round-trips for generated datasets.
+//!
+//! Generated workloads are deterministic given their config and seed, but
+//! persisting them decouples experiment replays from generator versions
+//! (and lets externally recorded traces — e.g. a real T-Drive extract —
+//! be dropped into the same pipeline).
+
+use std::fs;
+use std::path::Path;
+
+use crate::workload::Workload;
+
+/// Errors raised by workload persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    File(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The decoded workload failed structural validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::File(e) => write!(f, "file error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Invalid(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serialize a workload to a JSON string.
+pub fn workload_to_json(workload: &Workload) -> Result<String, IoError> {
+    serde_json::to_string(workload).map_err(IoError::Json)
+}
+
+/// Deserialize a workload from JSON, re-indexing the pattern set (its
+/// derived type index is skipped by serde) and validating structure.
+pub fn workload_from_json(json: &str) -> Result<Workload, IoError> {
+    let mut workload: Workload = serde_json::from_str(json).map_err(IoError::Json)?;
+    workload.patterns.reindex();
+    workload.validate().map_err(IoError::Invalid)?;
+    Ok(workload)
+}
+
+/// Write a workload to `path` as JSON.
+pub fn save_workload<P: AsRef<Path>>(workload: &Workload, path: P) -> Result<(), IoError> {
+    fs::write(path, workload_to_json(workload)?).map_err(IoError::File)
+}
+
+/// Read a workload back from `path`.
+pub fn load_workload<P: AsRef<Path>>(path: P) -> Result<Workload, IoError> {
+    let json = fs::read_to_string(path).map_err(IoError::File)?;
+    workload_from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticDataset};
+    use pdp_stream::EventType;
+
+    fn sample() -> Workload {
+        SyntheticDataset::generate(
+            &SyntheticConfig {
+                n_windows: 30,
+                ..SyntheticConfig::default()
+            },
+            5,
+        )
+        .workload
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_workload() {
+        let w = sample();
+        let json = workload_to_json(&w).unwrap();
+        let back = workload_from_json(&json).unwrap();
+        assert_eq!(back.name, w.name);
+        assert_eq!(back.n_types, w.n_types);
+        assert_eq!(back.windows, w.windows);
+        assert_eq!(back.private, w.private);
+        assert_eq!(back.target, w.target);
+        assert_eq!(back.patterns.len(), w.patterns.len());
+    }
+
+    #[test]
+    fn reindex_restores_pattern_lookup() {
+        let w = sample();
+        let back = workload_from_json(&workload_to_json(&w).unwrap()).unwrap();
+        // the type index is rebuilt: containment queries work
+        let some_type = back
+            .patterns
+            .get(back.private[0])
+            .unwrap()
+            .elements()[0];
+        assert!(!back.patterns.containing(some_type).is_empty());
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(matches!(
+            workload_from_json("{not json"),
+            Err(IoError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_workload_rejected() {
+        let w = sample();
+        let mut v: serde_json::Value =
+            serde_json::from_str(&workload_to_json(&w).unwrap()).unwrap();
+        v["n_types"] = serde_json::json!(1); // patterns now out of range
+        let err = workload_from_json(&v.to_string()).unwrap_err();
+        assert!(matches!(err, IoError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let w = sample();
+        let path = std::env::temp_dir().join("pdp_workload_test.json");
+        save_workload(&w, &path).unwrap();
+        let back = load_workload(&path).unwrap();
+        assert_eq!(back.windows, w.windows);
+        let _ = std::fs::remove_file(&path);
+        assert!(load_workload("/nonexistent/path.json").is_err());
+    }
+
+    #[test]
+    fn loaded_workload_detects_identically() {
+        use pdp_cep::{Detector, Semantics};
+        let w = sample();
+        let back = workload_from_json(&workload_to_json(&w).unwrap()).unwrap();
+        let d1 = Detector::new(w.patterns.clone(), Semantics::Conjunction)
+            .detect_indicators(&w.windows);
+        let d2 = Detector::new(back.patterns.clone(), Semantics::Conjunction)
+            .detect_indicators(&back.windows);
+        for win in 0..d1.n_windows() {
+            for p in 0..d1.n_patterns() {
+                assert_eq!(
+                    d1.get(win, pdp_cep::PatternId(p as u32)),
+                    d2.get(win, pdp_cep::PatternId(p as u32))
+                );
+            }
+        }
+        let _ = EventType(0); // silence unused import lint in some cfgs
+    }
+}

@@ -1,0 +1,298 @@
+//! The Taxi workload generator: fleet simulation → indicator windows →
+//! private/target patterns.
+
+use pdp_cep::{Pattern, PatternSet};
+use pdp_dp::DpRng;
+use pdp_stream::{EventType, IndicatorVector, TimeDelta, WindowedIndicators};
+use serde::{Deserialize, Serialize};
+
+use super::grid::Grid;
+use super::mobility::{Fleet, MobilityConfig};
+use super::regions::RegionAssignment;
+use crate::workload::Workload;
+
+/// T-Drive's sampling interval: one fleet tick every ~177 seconds.
+pub const SAMPLING_INTERVAL: TimeDelta = TimeDelta(177_000);
+
+/// Knobs for the Taxi workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxiConfig {
+    /// Cells per grid side (universe = side²).
+    pub grid_side: u32,
+    /// Fleet size. T-Drive has 10,357 taxis; the default is scaled so that
+    /// per-cell occupancy stays informative (≈ fleet/cells of the real
+    /// data's effective density).
+    pub n_taxis: usize,
+    /// Number of sampling ticks = evaluation windows.
+    pub n_windows: usize,
+    /// Mobility model.
+    pub mobility: MobilityConfig,
+    /// Fraction of cells in the private area (paper: 0.20).
+    pub private_frac: f64,
+    /// Fraction of cells in the target area (paper: 0.50).
+    pub target_frac: f64,
+    /// Fraction of the private area folded into the target area
+    /// (paper: 0.50).
+    pub overlap_frac: f64,
+    /// Use length-2 *enter* patterns (`seq(neighbor, cell)`) for the private
+    /// area. `false` degrades private patterns to bare presence (length 1),
+    /// under which uniform and adaptive coincide exactly.
+    pub enter_patterns: bool,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            grid_side: 16,
+            n_taxis: 100,
+            n_windows: 300,
+            mobility: MobilityConfig::default(),
+            private_frac: 0.20,
+            target_frac: 0.50,
+            overlap_frac: 0.50,
+            enter_patterns: true,
+        }
+    }
+}
+
+impl TaxiConfig {
+    /// A configuration at the paper's fleet scale (10,357 taxis). Heavy —
+    /// used by the throughput benches, not the quality experiments.
+    pub fn paper_scale() -> Self {
+        TaxiConfig {
+            grid_side: 64,
+            n_taxis: 10_357,
+            n_windows: 488, // one simulated day at 177 s per tick
+            ..TaxiConfig::default()
+        }
+    }
+}
+
+/// A generated Taxi dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaxiDataset {
+    /// The evaluation workload.
+    pub workload: Workload,
+    /// The drawn regions.
+    pub regions: RegionAssignment,
+}
+
+/// Generate the raw attributed GPS event stream (the `S_D`-level view):
+/// one event per taxi per tick, typed by occupied cell, carrying the taxi
+/// id and grid coordinates — the shape a real T-Drive extract would have.
+/// Windowing this stream with a tumbling window of [`SAMPLING_INTERVAL`]
+/// reproduces the indicator view the workload carries (tested below).
+pub fn generate_event_stream(
+    config: &TaxiConfig,
+    seed: u64,
+) -> pdp_stream::EventStream {
+    use pdp_stream::{AttrValue, Event, EventType, Timestamp};
+    let mut rng = DpRng::seed_from(seed);
+    let grid = Grid::new(config.grid_side);
+    // consume the region draw exactly as `generate` does, so the fleet
+    // trajectories match the workload for the same seed
+    let _ = RegionAssignment::draw(
+        grid.n_cells(),
+        config.private_frac,
+        config.target_frac,
+        config.overlap_frac,
+        &mut rng,
+    );
+    let mut fleet = Fleet::spawn(grid, config.n_taxis, config.mobility.clone(), &mut rng);
+    let mut events = Vec::with_capacity(config.n_taxis * config.n_windows);
+    for tick in 0..config.n_windows {
+        let ts = Timestamp::from_millis(tick as i64 * SAMPLING_INTERVAL.millis());
+        for (taxi, cell) in fleet.tick(&mut rng).into_iter().enumerate() {
+            let (x, y) = grid.coords(cell);
+            events.push(
+                Event::new(EventType(cell.0), ts)
+                    .with_attr("taxi", AttrValue::Int(taxi as i64))
+                    .with_attr("cell", AttrValue::Location(x as f64, y as f64)),
+            );
+        }
+    }
+    pdp_stream::EventStream::from_ordered(events).expect("ticks are ordered")
+}
+
+impl TaxiDataset {
+    /// Simulate the fleet and build the workload.
+    pub fn generate(config: &TaxiConfig, seed: u64) -> TaxiDataset {
+        let mut rng = DpRng::seed_from(seed);
+        let grid = Grid::new(config.grid_side);
+        let n_cells = grid.n_cells();
+
+        // regions per §VI-A.1
+        let regions = RegionAssignment::draw(
+            n_cells,
+            config.private_frac,
+            config.target_frac,
+            config.overlap_frac,
+            &mut rng,
+        );
+
+        // fleet simulation → per-tick occupancy indicators
+        let mut fleet = Fleet::spawn(grid, config.n_taxis, config.mobility.clone(), &mut rng);
+        let windows: Vec<IndicatorVector> = (0..config.n_windows)
+            .map(|_| {
+                let positions = fleet.tick(&mut rng);
+                IndicatorVector::from_present(
+                    positions.into_iter().map(|c| EventType(c.0)),
+                    n_cells,
+                )
+            })
+            .collect();
+
+        // patterns: enter-<cell> (private), in-<cell> (target)
+        let mut patterns = PatternSet::new();
+        let mut private = Vec::with_capacity(regions.private_cells.len());
+        for &cell in &regions.private_cells {
+            let pattern = if config.enter_patterns {
+                let from = grid.approach_neighbor(cell);
+                Pattern::seq(
+                    &format!("enter-{}", cell.0),
+                    vec![EventType(from.0), EventType(cell.0)],
+                )
+                .expect("two elements")
+            } else {
+                Pattern::single(&format!("in-priv-{}", cell.0), EventType(cell.0))
+            };
+            private.push(patterns.insert(pattern));
+        }
+        let mut target = Vec::with_capacity(regions.target_cells.len());
+        for &cell in &regions.target_cells {
+            target.push(patterns.insert(Pattern::single(
+                &format!("in-{}", cell.0),
+                EventType(cell.0),
+            )));
+        }
+
+        let workload = Workload {
+            name: "taxi".into(),
+            n_types: n_cells,
+            windows: WindowedIndicators::new(windows),
+            patterns,
+            private,
+            target,
+        };
+        TaxiDataset { workload, regions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TaxiConfig {
+        TaxiConfig {
+            grid_side: 8,
+            n_taxis: 40,
+            n_windows: 60,
+            ..TaxiConfig::default()
+        }
+    }
+
+    #[test]
+    fn workload_structure_matches_fractions() {
+        let d = TaxiDataset::generate(&small(), 1);
+        let w = &d.workload;
+        assert!(w.validate().is_ok());
+        assert_eq!(w.n_types, 64);
+        assert_eq!(w.windows.len(), 60);
+        assert_eq!(w.private.len(), 13); // 20 % of 64 ≈ 13
+        assert_eq!(w.target.len(), 32); // 50 %
+        assert_eq!(d.regions.overlap().len(), 7); // 50 % of 13 ≈ 7
+    }
+
+    #[test]
+    fn enter_patterns_have_length_two() {
+        let d = TaxiDataset::generate(&small(), 2);
+        for &id in &d.workload.private {
+            assert_eq!(d.workload.patterns.get(id).unwrap().len(), 2);
+        }
+        for &id in &d.workload.target {
+            assert_eq!(d.workload.patterns.get(id).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn presence_patterns_when_disabled() {
+        let config = TaxiConfig {
+            enter_patterns: false,
+            ..small()
+        };
+        let d = TaxiDataset::generate(&config, 2);
+        for &id in &d.workload.private {
+            assert_eq!(d.workload.patterns.get(id).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn occupancy_is_informative() {
+        // neither empty nor saturated: some cells occupied, not all
+        let d = TaxiDataset::generate(&small(), 3);
+        let mut any_present = 0usize;
+        let mut total = 0usize;
+        for w in d.workload.windows.iter() {
+            any_present += w.count_present();
+            total += w.n_types();
+        }
+        let density = any_present as f64 / total as f64;
+        assert!(
+            (0.05..0.95).contains(&density),
+            "degenerate occupancy {density}"
+        );
+    }
+
+    #[test]
+    fn overlapping_targets_exist() {
+        let d = TaxiDataset::generate(&small(), 4);
+        // cells shared between regions make some target patterns overlap
+        // private patterns (they share the cell-presence event type)
+        assert!(
+            !d.workload.overlapping_targets().is_empty(),
+            "evaluation needs target/private overlap"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TaxiDataset::generate(&small(), 9);
+        let b = TaxiDataset::generate(&small(), 9);
+        assert_eq!(a.workload.windows, b.workload.windows);
+        assert_eq!(a.regions, b.regions);
+    }
+
+    #[test]
+    fn sampling_interval_matches_tdrive() {
+        assert_eq!(SAMPLING_INTERVAL.millis(), 177_000);
+    }
+
+    #[test]
+    fn event_stream_reproduces_indicator_view() {
+        use pdp_stream::{WindowAssigner, WindowedIndicators};
+        let config = small();
+        let dataset = TaxiDataset::generate(&config, 21);
+        let stream = generate_event_stream(&config, 21);
+        assert_eq!(stream.len(), config.n_taxis * config.n_windows);
+        let assigner = WindowAssigner::tumbling(SAMPLING_INTERVAL).unwrap();
+        let windows = WindowedIndicators::from_stream(&stream, &assigner, 64);
+        assert_eq!(windows, dataset.workload.windows);
+    }
+
+    #[test]
+    fn event_stream_carries_attribution() {
+        let config = TaxiConfig {
+            grid_side: 4,
+            n_taxis: 3,
+            n_windows: 2,
+            ..TaxiConfig::default()
+        };
+        let stream = generate_event_stream(&config, 1);
+        for e in stream.iter() {
+            let taxi = e.attr("taxi").and_then(|v| v.as_int()).unwrap();
+            assert!((0..3).contains(&taxi));
+            let (x, y) = e.attr("cell").and_then(|v| v.as_location()).unwrap();
+            assert!(x < 4.0 && y < 4.0);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Privacy budgets: the validated `ε` newtype and a spend ledger.
+//!
+//! Pattern-level DP distributes one total budget `ε` over the elements of a
+//! private pattern (`Σ εᵢ = ε`, §V-B). [`Epsilon`] keeps budgets finite and
+//! non-negative so distribution arithmetic cannot silently produce nonsense;
+//! [`BudgetLedger`] tracks cumulative spend per protected entity.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::error::DpError;
+
+/// A validated privacy budget: finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// The zero budget (perfect indistinguishability under RR: `p = 1/2`).
+    pub const ZERO: Epsilon = Epsilon(0.0);
+
+    /// Construct a budget, rejecting negatives, NaN and infinities.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Epsilon(value))
+        } else {
+            Err(DpError::InvalidEpsilon(value))
+        }
+    }
+
+    /// Construct without validation; panics in debug builds on bad input.
+    ///
+    /// Use for compile-time constants and arithmetic whose operands are
+    /// already validated.
+    pub fn new_unchecked(value: f64) -> Self {
+        debug_assert!(value.is_finite() && value >= 0.0, "invalid epsilon {value}");
+        Epsilon(value)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True for the zero budget.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Split evenly into `n` shares (`Σ shares = self` up to float error).
+    pub fn split_even(self, n: usize) -> Result<Vec<Epsilon>, DpError> {
+        if n == 0 {
+            return Err(DpError::InvalidParameter(
+                "cannot split a budget into zero shares".into(),
+            ));
+        }
+        Ok(vec![Epsilon(self.0 / n as f64); n])
+    }
+
+    /// Saturating subtraction: never goes below zero.
+    pub fn saturating_sub(self, rhs: Epsilon) -> Epsilon {
+        Epsilon((self.0 - rhs.0).max(0.0))
+    }
+
+    /// The smaller of two budgets.
+    pub fn min(self, rhs: Epsilon) -> Epsilon {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The larger of two budgets.
+    pub fn max(self, rhs: Epsilon) -> Epsilon {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Epsilon {
+    type Output = Epsilon;
+    fn add(self, rhs: Epsilon) -> Epsilon {
+        Epsilon(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Epsilon {
+    fn add_assign(&mut self, rhs: Epsilon) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Epsilon {
+    type Output = Epsilon;
+    /// Panics in debug builds if the result would be negative; use
+    /// [`Epsilon::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: Epsilon) -> Epsilon {
+        Epsilon::new_unchecked(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Epsilon {
+    type Output = Epsilon;
+    fn mul(self, rhs: f64) -> Epsilon {
+        Epsilon::new_unchecked(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Epsilon {
+    type Output = Epsilon;
+    fn div(self, rhs: f64) -> Epsilon {
+        Epsilon::new_unchecked(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// Tracks cumulative budget spend per protected entity.
+///
+/// The trusted engine keeps one ledger keyed by private-pattern id so that
+/// repeated protections account their total exposure (sequential
+/// composition: spends add).
+#[derive(Debug, Clone)]
+pub struct BudgetLedger<K: Eq + Hash> {
+    limit: Option<Epsilon>,
+    spent: HashMap<K, Epsilon>,
+}
+
+impl<K: Eq + Hash + Clone> BudgetLedger<K> {
+    /// A ledger with no cap: spends are recorded but never refused.
+    pub fn unlimited() -> Self {
+        BudgetLedger {
+            limit: None,
+            spent: HashMap::new(),
+        }
+    }
+
+    /// A ledger that refuses spends pushing any key past `limit`.
+    pub fn with_limit(limit: Epsilon) -> Self {
+        BudgetLedger {
+            limit: Some(limit),
+            spent: HashMap::new(),
+        }
+    }
+
+    /// Record a spend for `key`; errors if the cap would be exceeded.
+    pub fn spend(&mut self, key: K, amount: Epsilon) -> Result<(), DpError> {
+        let current = self.spent.get(&key).copied().unwrap_or(Epsilon::ZERO);
+        if let Some(limit) = self.limit {
+            let remaining = limit.saturating_sub(current);
+            if amount.value() > remaining.value() + 1e-12 {
+                return Err(DpError::BudgetExhausted {
+                    requested: amount.value(),
+                    remaining: remaining.value(),
+                });
+            }
+        }
+        self.spent.insert(key, current + amount);
+        Ok(())
+    }
+
+    /// Total spent for `key` so far.
+    pub fn spent(&self, key: &K) -> Epsilon {
+        self.spent.get(key).copied().unwrap_or(Epsilon::ZERO)
+    }
+
+    /// Remaining budget for `key` (`None` if the ledger is unlimited).
+    pub fn remaining(&self, key: &K) -> Option<Epsilon> {
+        self.limit.map(|l| l.saturating_sub(self.spent(key)))
+    }
+
+    /// Number of keys with recorded spend.
+    pub fn tracked_keys(&self) -> usize {
+        self.spent.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_budgets() {
+        assert!(Epsilon::new(-0.1).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(0.0).is_ok());
+        assert!(Epsilon::new(3.5).is_ok());
+    }
+
+    #[test]
+    fn split_even_sums_back() {
+        let e = Epsilon::new(1.0).unwrap();
+        let shares = e.split_even(3).unwrap();
+        assert_eq!(shares.len(), 3);
+        let total: f64 = shares.iter().map(|s| s.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(e.split_even(0).is_err());
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Epsilon::new(2.0).unwrap();
+        let b = Epsilon::new(0.5).unwrap();
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((a * 2.0).value(), 4.0);
+        assert_eq!((a / 4.0).value(), 0.5);
+        assert_eq!(b.saturating_sub(a), Epsilon::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn ledger_caps_spend_per_key() {
+        let mut ledger = BudgetLedger::with_limit(Epsilon::new(1.0).unwrap());
+        ledger.spend("pat", Epsilon::new(0.6).unwrap()).unwrap();
+        ledger.spend("pat", Epsilon::new(0.4).unwrap()).unwrap();
+        let err = ledger.spend("pat", Epsilon::new(0.1).unwrap()).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        // other keys unaffected
+        ledger.spend("other", Epsilon::new(1.0).unwrap()).unwrap();
+        assert_eq!(ledger.tracked_keys(), 2);
+        assert!(ledger.remaining(&"pat").unwrap().value() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_ledger_never_refuses() {
+        let mut ledger = BudgetLedger::unlimited();
+        for _ in 0..100 {
+            ledger.spend(0u32, Epsilon::new(10.0).unwrap()).unwrap();
+        }
+        assert!((ledger.spent(&0).value() - 1000.0).abs() < 1e-9);
+        assert_eq!(ledger.remaining(&0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn split_even_conserves(total in 0.0f64..100.0, n in 1usize..50) {
+            let e = Epsilon::new(total).unwrap();
+            let shares = e.split_even(n).unwrap();
+            let sum: f64 = shares.iter().map(|s| s.value()).sum();
+            prop_assert!((sum - total).abs() < 1e-9);
+        }
+
+        #[test]
+        fn saturating_sub_never_negative(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+            let r = Epsilon::new(a).unwrap().saturating_sub(Epsilon::new(b).unwrap());
+            prop_assert!(r.value() >= 0.0);
+        }
+    }
+}

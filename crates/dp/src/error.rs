@@ -1,0 +1,58 @@
+//! Error type for DP primitives.
+
+use std::fmt;
+
+/// Errors raised by budget arithmetic and mechanism construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A privacy budget was negative, NaN or otherwise unusable.
+    InvalidEpsilon(f64),
+    /// A probability parameter left `[0, 1]` (or the randomized-response
+    /// constraint `p ≤ 1/2` from Theorem 1).
+    InvalidProbability(f64),
+    /// A mechanism parameter (scale, sensitivity, window) was invalid.
+    InvalidParameter(String),
+    /// A budget ledger ran out of budget.
+    BudgetExhausted {
+        /// What was requested.
+        requested: f64,
+        /// What remained.
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidEpsilon(v) => write!(f, "invalid privacy budget epsilon = {v}"),
+            DpError::InvalidProbability(p) => write!(f, "invalid probability {p}"),
+            DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidProbability(1.5).to_string().contains("1.5"));
+        assert!(DpError::BudgetExhausted {
+            requested: 2.0,
+            remaining: 0.5
+        }
+        .to_string()
+        .contains("requested 2"));
+    }
+}

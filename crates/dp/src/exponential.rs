@@ -1,0 +1,137 @@
+//! The exponential mechanism for categorical selection.
+//!
+//! Selects one of `k` candidates with probability proportional to
+//! `exp(ε·u(c) / (2·Δu))`, where `u` is a utility score with sensitivity
+//! `Δu`. Used by `pdp-core::extensions` for the paper's future-work
+//! direction of categorical query answers.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use crate::rng::DpRng;
+
+/// The exponential mechanism over a fixed candidate set.
+#[derive(Debug, Clone)]
+pub struct Exponential {
+    eps: Epsilon,
+    sensitivity: f64,
+}
+
+impl Exponential {
+    /// Build with budget `ε` and utility sensitivity `Δu > 0`.
+    pub fn new(eps: Epsilon, sensitivity: f64) -> Result<Self, DpError> {
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "utility sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        Ok(Exponential { eps, sensitivity })
+    }
+
+    /// The selection probabilities for the given utilities (normalized,
+    /// numerically stabilized by max-shift).
+    pub fn probabilities(&self, utilities: &[f64]) -> Vec<f64> {
+        if utilities.is_empty() {
+            return Vec::new();
+        }
+        let scale = self.eps.value() / (2.0 * self.sensitivity);
+        let max = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = utilities.iter().map(|&u| ((u - max) * scale).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Sample a candidate index.
+    pub fn select(&self, utilities: &[f64], rng: &mut DpRng) -> Option<usize> {
+        let probs = self.probabilities(utilities);
+        if probs.is_empty() {
+            return None;
+        }
+        let mut u = rng.unit();
+        for (i, p) in probs.iter().enumerate() {
+            if u < *p {
+                return Some(i);
+            }
+            u -= p;
+        }
+        Some(probs.len() - 1) // float remainder lands on the last candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_sensitivity() {
+        assert!(Exponential::new(eps(1.0), 0.0).is_err());
+        assert!(Exponential::new(eps(1.0), -1.0).is_err());
+        assert!(Exponential::new(eps(1.0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn probabilities_normalize_and_order_by_utility() {
+        let m = Exponential::new(eps(2.0), 1.0).unwrap();
+        let probs = m.probabilities(&[0.0, 1.0, 3.0]);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(probs[0] < probs[1] && probs[1] < probs[2]);
+    }
+
+    #[test]
+    fn zero_budget_is_uniform() {
+        let m = Exponential::new(Epsilon::ZERO, 1.0).unwrap();
+        let probs = m.probabilities(&[0.0, 5.0, -3.0]);
+        for p in probs {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dp_ratio_bound_holds() {
+        // neighboring utility vectors differ by ≤ Δu per candidate;
+        // probability ratios must stay within e^ε
+        let e = 1.5;
+        let m = Exponential::new(eps(e), 1.0).unwrap();
+        let u1 = [2.0, 0.0, 1.0];
+        let u2 = [1.0, 1.0, 0.0]; // each entry shifted by ≤ 1 = Δu
+        let p1 = m.probabilities(&u1);
+        let p2 = m.probabilities(&u2);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!(a / b <= e.exp() + 1e-9, "ratio {}", a / b);
+            assert!(b / a <= e.exp() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn selection_frequencies_match_probabilities() {
+        let m = Exponential::new(eps(1.0), 1.0).unwrap();
+        let utilities = [0.0, 2.0];
+        let probs = m.probabilities(&utilities);
+        let mut rng = DpRng::seed_from(31);
+        let n = 40_000;
+        let picks_of_1 = (0..n)
+            .filter(|_| m.select(&utilities, &mut rng) == Some(1))
+            .count();
+        let rate = picks_of_1 as f64 / n as f64;
+        assert!((rate - probs[1]).abs() < 0.02, "rate {rate} vs {}", probs[1]);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let m = Exponential::new(eps(1.0), 1.0).unwrap();
+        let mut rng = DpRng::seed_from(1);
+        assert_eq!(m.select(&[], &mut rng), None);
+        assert!(m.probabilities(&[]).is_empty());
+    }
+
+    #[test]
+    fn extreme_utilities_are_stable() {
+        let m = Exponential::new(eps(5.0), 1.0).unwrap();
+        let probs = m.probabilities(&[1e6, 1e6 - 1.0]);
+        assert!(probs.iter().all(|p| p.is_finite()));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! The two-sided geometric mechanism: the discrete analogue of Laplace.
+//!
+//! For integer-valued queries (counts of detected patterns), adding noise
+//! drawn from the two-sided geometric distribution with parameter
+//! `α = e^{−ε/Δ}` yields ε-DP without leaving the integers — useful when a
+//! downstream consumer thresholds counts, as the w-event baselines do.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use crate::rng::DpRng;
+
+/// Two-sided geometric noise: `Pr[X = k] = (1−α)/(1+α) · α^{|k|}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSidedGeometric {
+    alpha: f64,
+}
+
+impl TwoSidedGeometric {
+    /// Construct for an `ε`-DP release of an integer query with L1
+    /// `sensitivity` Δ: `α = e^{−ε/Δ}`. Requires `ε > 0`.
+    pub fn for_query(sensitivity: u64, eps: Epsilon) -> Result<Self, DpError> {
+        if eps.is_zero() {
+            return Err(DpError::InvalidEpsilon(0.0));
+        }
+        if sensitivity == 0 {
+            return Err(DpError::InvalidParameter(
+                "sensitivity must be at least 1".into(),
+            ));
+        }
+        Ok(TwoSidedGeometric {
+            alpha: (-eps.value() / sensitivity as f64).exp(),
+        })
+    }
+
+    /// The decay parameter `α ∈ (0, 1)`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw one noise value.
+    ///
+    /// Sampled as the difference of two one-sided geometric draws, which has
+    /// exactly the two-sided geometric law.
+    pub fn sample(&self, rng: &mut DpRng) -> i64 {
+        self.one_sided(rng) - self.one_sided(rng)
+    }
+
+    /// One-sided geometric on `{0, 1, 2, …}` with `Pr[k] = (1−α)α^k`,
+    /// via inverse CDF.
+    fn one_sided(&self, rng: &mut DpRng) -> i64 {
+        let u = rng.unit();
+        // F(k) = 1 − α^{k+1}  ⇒  k = ⌈ln(1−u)/ln α⌉ − 1
+        let k = ((1.0 - u).ln() / self.alpha.ln()).ceil() - 1.0;
+        k.max(0.0) as i64
+    }
+
+    /// Release `value + noise`.
+    pub fn perturb(&self, value: i64, rng: &mut DpRng) -> i64 {
+        value + self.sample(rng)
+    }
+
+    /// `Pr[X = k]` in closed form (used by tests).
+    pub fn pmf(&self, k: i64) -> f64 {
+        (1.0 - self.alpha) / (1.0 + self.alpha) * self.alpha.powi(k.unsigned_abs() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TwoSidedGeometric::for_query(1, Epsilon::ZERO).is_err());
+        assert!(TwoSidedGeometric::for_query(0, eps(1.0)).is_err());
+        let g = TwoSidedGeometric::for_query(1, eps(1.0)).unwrap();
+        assert!((g.alpha() - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = TwoSidedGeometric::for_query(1, eps(0.5)).unwrap();
+        let total: f64 = (-200..=200).map(|k| g.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf total {total}");
+    }
+
+    #[test]
+    fn empirical_pmf_matches_closed_form() {
+        let g = TwoSidedGeometric::for_query(1, eps(1.0)).unwrap();
+        let mut rng = DpRng::seed_from(17);
+        let n = 80_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(g.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for k in -3..=3 {
+            let emp = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            let theo = g.pmf(k);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "pmf mismatch at {k}: emp {emp} vs theo {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_is_symmetric() {
+        let g = TwoSidedGeometric::for_query(1, eps(0.8)).unwrap();
+        let mut rng = DpRng::seed_from(29);
+        let n = 60_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn perturb_preserves_integrality() {
+        let g = TwoSidedGeometric::for_query(2, eps(2.0)).unwrap();
+        let mut rng = DpRng::seed_from(5);
+        let out = g.perturb(42, &mut rng);
+        // trivially integral by type; sanity-check the magnitude is sane
+        assert!((out - 42).abs() < 100);
+    }
+
+    #[test]
+    fn dp_ratio_bound_on_pmf() {
+        // For sensitivity 1, neighbouring outputs differ by a shift of 1:
+        // pmf(k)/pmf(k−1) ≤ e^ε must hold for all k.
+        let e = 1.3;
+        let g = TwoSidedGeometric::for_query(1, eps(e)).unwrap();
+        for k in -20..=20i64 {
+            let ratio = g.pmf(k) / g.pmf(k - 1);
+            assert!(ratio <= e.exp() + 1e-9, "ratio {ratio} at k={k}");
+            assert!(ratio >= (-e).exp() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The Laplace mechanism for numeric queries.
+//!
+//! The w-event baselines (Budget Distribution / Budget Absorption, Kellaris
+//! et al. VLDB'14) publish per-timestamp counts with Laplace noise of scale
+//! `sensitivity / ε`. The sampler uses the inverse-CDF transform so its
+//! distribution is exactly testable against the closed form.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use crate::rng::DpRng;
+
+/// A Laplace distribution centred at 0 with scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Construct with an explicit scale `b > 0`.
+    pub fn with_scale(scale: f64) -> Result<Self, DpError> {
+        if scale.is_finite() && scale > 0.0 {
+            Ok(Laplace { scale })
+        } else {
+            Err(DpError::InvalidParameter(format!(
+                "Laplace scale must be positive and finite, got {scale}"
+            )))
+        }
+    }
+
+    /// Construct for an `ε`-DP release of a query with the given L1
+    /// `sensitivity` (scale = sensitivity / ε). Requires `ε > 0`.
+    pub fn for_query(sensitivity: f64, eps: Epsilon) -> Result<Self, DpError> {
+        if eps.is_zero() {
+            return Err(DpError::InvalidEpsilon(0.0));
+        }
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "sensitivity must be positive, got {sensitivity}"
+            )));
+        }
+        Laplace::with_scale(sensitivity / eps.value())
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draw one sample via inverse CDF: for `u ~ U(-1/2, 1/2)`,
+    /// `x = −b · sgn(u) · ln(1 − 2|u|)`.
+    pub fn sample(&self, rng: &mut DpRng) -> f64 {
+        let u = rng.unit() - 0.5;
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Release `value + Laplace(b)`.
+    pub fn perturb(&self, value: f64, rng: &mut DpRng) -> f64 {
+        value + self.sample(rng)
+    }
+
+    /// The CDF of the distribution at `x` (used by tests).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.scale).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.scale).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Laplace::with_scale(0.0).is_err());
+        assert!(Laplace::with_scale(-1.0).is_err());
+        assert!(Laplace::with_scale(f64::NAN).is_err());
+        assert!(Laplace::for_query(1.0, Epsilon::ZERO).is_err());
+        assert!(Laplace::for_query(0.0, Epsilon::new(1.0).unwrap()).is_err());
+        assert!(Laplace::for_query(1.0, Epsilon::new(1.0).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn scale_is_sensitivity_over_epsilon() {
+        let l = Laplace::for_query(2.0, Epsilon::new(0.5).unwrap()).unwrap();
+        assert!((l.scale() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_mean_near_zero_and_spread_matches_scale() {
+        let l = Laplace::with_scale(2.0).unwrap();
+        let mut rng = DpRng::seed_from(2024);
+        let n = 60_000;
+        let samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        // Var of Laplace(b) is 2b² = 8
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn empirical_cdf_matches_closed_form() {
+        let l = Laplace::with_scale(1.0).unwrap();
+        let mut rng = DpRng::seed_from(7);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[-2.0, -1.0, 0.0, 0.5, 1.5] {
+            let emp = samples.partition_point(|&x| x < q) as f64 / n as f64;
+            let theo = l.cdf(q);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "CDF mismatch at {q}: emp {emp} vs theo {theo}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_adds_noise_to_value() {
+        let l = Laplace::with_scale(0.5).unwrap();
+        let mut rng = DpRng::seed_from(3);
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| l.perturb(10.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let l = Laplace::with_scale(1.5).unwrap();
+        let mut prev = 0.0;
+        let mut x = -10.0;
+        while x <= 10.0 {
+            let c = l.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev);
+            prev = c;
+            x += 0.25;
+        }
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! The sparse vector technique (AboveThreshold).
+//!
+//! The classic streaming-DP primitive behind adaptive stream mechanisms
+//! like PeGaSus (the paper's related work \[4\]): answer a long stream of threshold
+//! queries ("is this count above T?") while *only* paying budget for the
+//! positives. The threshold is perturbed once with `ε/2`; each query's
+//! count is perturbed with `ε/4` (scale `4c/ε` for up to `c` positives);
+//! after `c` above-threshold answers the mechanism halts.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use crate::laplace::Laplace;
+use crate::rng::DpRng;
+
+/// One AboveThreshold run: answers threshold queries until `c` positives.
+#[derive(Debug)]
+pub struct SparseVector {
+    noisy_threshold: f64,
+    query_noise: Laplace,
+    remaining_positives: usize,
+    answered: usize,
+}
+
+impl SparseVector {
+    /// Start a run with total budget `ε`, public `threshold`, query
+    /// sensitivity 1, and a cap of `max_positives` above-threshold answers.
+    pub fn new(
+        eps: Epsilon,
+        threshold: f64,
+        max_positives: usize,
+        rng: &mut DpRng,
+    ) -> Result<Self, DpError> {
+        if eps.is_zero() {
+            return Err(DpError::InvalidEpsilon(0.0));
+        }
+        if max_positives == 0 {
+            return Err(DpError::InvalidParameter(
+                "max_positives must be at least 1".into(),
+            ));
+        }
+        let threshold_noise = Laplace::with_scale(2.0 / eps.value())?;
+        let query_noise =
+            Laplace::with_scale(4.0 * max_positives as f64 / eps.value())?;
+        Ok(SparseVector {
+            noisy_threshold: threshold + threshold_noise.sample(rng),
+            query_noise,
+            remaining_positives: max_positives,
+            answered: 0,
+        })
+    }
+
+    /// Answer one query (`count` with sensitivity 1). `None` once the
+    /// positive budget is exhausted; `Some(true)` consumes one positive.
+    pub fn query(&mut self, count: f64, rng: &mut DpRng) -> Option<bool> {
+        if self.remaining_positives == 0 {
+            return None;
+        }
+        self.answered += 1;
+        let noisy = count + self.query_noise.sample(rng);
+        if noisy >= self.noisy_threshold {
+            self.remaining_positives -= 1;
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Positives still available.
+    pub fn remaining_positives(&self) -> usize {
+        self.remaining_positives
+    }
+
+    /// Queries answered so far.
+    pub fn answered(&self) -> usize {
+        self.answered
+    }
+
+    /// True once the run has halted.
+    pub fn exhausted(&self) -> bool {
+        self.remaining_positives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut rng = DpRng::seed_from(1);
+        assert!(SparseVector::new(Epsilon::ZERO, 5.0, 1, &mut rng).is_err());
+        assert!(SparseVector::new(eps(1.0), 5.0, 0, &mut rng).is_err());
+        assert!(SparseVector::new(eps(1.0), 5.0, 1, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn halts_after_max_positives() {
+        let mut rng = DpRng::seed_from(2);
+        let mut sv = SparseVector::new(eps(50.0), 10.0, 2, &mut rng).unwrap();
+        // feed clearly-above counts until it halts
+        let mut positives = 0;
+        for _ in 0..100 {
+            match sv.query(1000.0, &mut rng) {
+                Some(true) => positives += 1,
+                Some(false) => {}
+                None => break,
+            }
+        }
+        assert_eq!(positives, 2);
+        assert!(sv.exhausted());
+        assert_eq!(sv.query(1000.0, &mut rng), None);
+    }
+
+    #[test]
+    fn discriminates_clear_cases_at_high_budget() {
+        let mut rng = DpRng::seed_from(3);
+        let mut correct = 0;
+        let n = 200;
+        for k in 0..n {
+            let mut sv = SparseVector::new(eps(100.0), 50.0, 1, &mut rng).unwrap();
+            let (count, expected) = if k % 2 == 0 { (90.0, true) } else { (10.0, false) };
+            if sv.query(count, &mut rng) == Some(expected) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 190, "only {correct}/{n} correct at huge budget");
+    }
+
+    #[test]
+    fn negatives_are_free() {
+        let mut rng = DpRng::seed_from(4);
+        let mut sv = SparseVector::new(eps(10.0), 1_000.0, 1, &mut rng).unwrap();
+        for _ in 0..500 {
+            assert!(sv.query(0.0, &mut rng).is_some());
+        }
+        assert_eq!(sv.answered(), 500);
+        assert_eq!(sv.remaining_positives(), 1);
+    }
+
+    #[test]
+    fn noise_scales_with_positive_cap() {
+        let mut rng = DpRng::seed_from(5);
+        let sv1 = SparseVector::new(eps(1.0), 0.0, 1, &mut rng).unwrap();
+        let sv5 = SparseVector::new(eps(1.0), 0.0, 5, &mut rng).unwrap();
+        assert!(sv5.query_noise.scale() > sv1.query_noise.scale());
+    }
+}

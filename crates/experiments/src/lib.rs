@@ -1,0 +1,22 @@
+//! # `pdp-experiments` — the evaluation harness (§VI)
+//!
+//! Regenerates the paper's results:
+//!
+//! * [`fig4`] — **Fig. 4**: MRE of the quality metric vs. privacy budget ε
+//!   for five mechanisms (uniform, adaptive, BD, BA, landmark) on the Taxi
+//!   and synthetic datasets;
+//! * [`ablations`] — sensitivity sweeps over α, pattern length, the
+//!   private/target overlap fraction, Algorithm 1's step size, and the
+//!   w-event window;
+//! * [`runner`] — the shared machinery: build a mechanism, protect a
+//!   workload, score MRE over seeded trials.
+//!
+//! The `experiments` binary drives everything and prints the tables
+//! recorded in EXPERIMENTS.md.
+
+pub mod ablations;
+pub mod fig4;
+pub mod runner;
+
+pub use fig4::{run_fig4, Fig4Config};
+pub use runner::{MechanismSpec, RunConfig, TrialOutcome};

@@ -1,0 +1,163 @@
+//! The `experiments` binary: regenerates every table/figure of the paper.
+//!
+//! ```text
+//! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
+//! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
+//! experiments all            # everything, printed as markdown + saved as JSON
+//! ```
+
+use std::env;
+use std::fs;
+
+use pdp_experiments::ablations::{self, AblationConfig};
+use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
+use pdp_metrics::{markdown_table, text_table};
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "fig4" => {
+            let (dataset, config) = parse_fig4(&args[1..]);
+            run_fig4_command(dataset, &config);
+        }
+        "ablation" => {
+            let which = args.get(1).map(String::as_str).unwrap_or("all");
+            run_ablation_command(which, &parse_ablation(&args[2..]));
+        }
+        "all" => {
+            let (_, config) = parse_fig4(&args[1..]);
+            run_fig4_command("both", &config);
+            run_ablation_command("all", &parse_ablation(&args[1..]));
+        }
+        other => {
+            eprintln!("unknown command '{other}'");
+            eprintln!("usage: experiments <fig4|ablation|all> [options]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_fig4(args: &[String]) -> (&str, Fig4Config) {
+    let mut dataset = "both";
+    let mut config = Fig4Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                dataset = args.get(i + 1).map(String::as_str).unwrap_or("both");
+                // leak is fine for a CLI lifetime; avoid by matching below
+                i += 1;
+            }
+            "--trials" => {
+                config.trials = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.trials);
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed);
+                i += 1;
+            }
+            "--datasets" => {
+                config.n_datasets = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.n_datasets);
+                i += 1;
+            }
+            "--quick" => {
+                config = Fig4Config {
+                    eps_grid: vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0],
+                    trials: 8,
+                    ..config
+                };
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let dataset = match dataset {
+        "taxi" => "taxi",
+        "synthetic" => "synthetic",
+        _ => "both",
+    };
+    (dataset, config)
+}
+
+fn parse_ablation(args: &[String]) -> AblationConfig {
+    let mut config = AblationConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                config.trials = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.trials);
+                i += 1;
+            }
+            "--seed" => {
+                config.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(config.seed);
+                i += 1;
+            }
+            "--quick" => {
+                config.trials = 4;
+                config.n_windows = 150;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    config
+}
+
+fn run_fig4_command(dataset: &str, config: &Fig4Config) {
+    let datasets: Vec<Dataset> = match dataset {
+        "taxi" => vec![Dataset::Taxi],
+        "synthetic" => vec![Dataset::Synthetic],
+        _ => vec![Dataset::Taxi, Dataset::Synthetic],
+    };
+    for d in datasets {
+        eprintln!(
+            "running Fig. 4 sweep on {} (eps grid {:?}, {} trials)…",
+            d.label(),
+            config.eps_grid,
+            config.trials
+        );
+        let result = run_fig4(d, config);
+        let table = result.to_table();
+        println!("{}", text_table(&table));
+        println!("{}", markdown_table(&table));
+        if let Ok(json) = serde_json::to_string_pretty(&result) {
+            let path = format!("fig4_{}.json", d.label());
+            if fs::write(&path, json).is_ok() {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
+
+fn run_ablation_command(which: &str, config: &AblationConfig) {
+    let tables = match which {
+        "alpha" => vec![ablations::ablation_alpha(config)],
+        "pattern-len" => vec![ablations::ablation_pattern_len(config)],
+        "overlap" => vec![ablations::ablation_overlap(config)],
+        "step-size" => vec![ablations::ablation_step_size(config)],
+        "w-event" => vec![ablations::ablation_w_event(config)],
+        "guarantee-levels" => vec![ablations::ablation_guarantee_levels(config)],
+        "history" => vec![ablations::ablation_history(config)],
+        _ => ablations::run_all(config),
+    };
+    for table in tables {
+        println!("{}", text_table(&table));
+        println!("{}", markdown_table(&table));
+    }
+}

@@ -1,0 +1,20 @@
+//! # `pdp-metrics` — data-quality metrics (§III-B of the paper)
+//!
+//! * Eq. 1 — recall `Rec = TP / (TP + FN)`
+//! * Eq. 2 — precision `Prec = TP / (TP + FP)`
+//! * Eq. 3 — quality `Q = α·Prec + (1 − α)·Rec`
+//! * Eq. 4 — `MRE_Q = (Q_ord − Q_PPM) / Q_ord`
+//!
+//! plus confusion-matrix accumulation, expected-count (fractional) confusion
+//! for closed-form quality estimation, and trial statistics (mean / std /
+//! 95 % CI) for the experiment harness.
+
+pub mod confusion;
+pub mod quality;
+pub mod report;
+pub mod stats;
+
+pub use confusion::{ConfusionMatrix, FractionalConfusion};
+pub use quality::{f1, mre, quality, Alpha, QualityReport};
+pub use report::{csv_table, markdown_table, text_table, Table};
+pub use stats::Summary;

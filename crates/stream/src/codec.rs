@@ -1,0 +1,211 @@
+//! Trace persistence: CSV encoding of event streams and indicator
+//! histories.
+//!
+//! Recorded traces (simulator output, captured sensor data) round-trip
+//! through a minimal CSV dialect so experiments can be replayed outside
+//! this process. Attributes ride along as `name=value` pairs with a typed
+//! prefix; full-fidelity structured persistence is available via the serde
+//! impls on every type in this crate.
+
+use crate::error::StreamError;
+use crate::event::{AttrValue, Event, EventType};
+use crate::indicator::{IndicatorVector, WindowedIndicators};
+use crate::stream::EventStream;
+use crate::time::Timestamp;
+
+/// Encode a stream as CSV: `ts_ms,type_id,attrs…` with one event per line.
+pub fn stream_to_csv(stream: &EventStream) -> String {
+    let mut out = String::from("ts_ms,type_id,attrs\n");
+    for e in stream.iter() {
+        let attrs: Vec<String> = e
+            .attrs()
+            .map(|(name, value)| format!("{name}={}", encode_attr(value)))
+            .collect();
+        out.push_str(&format!(
+            "{},{},{}\n",
+            e.ts.millis(),
+            e.ty.0,
+            attrs.join(";")
+        ));
+    }
+    out
+}
+
+fn encode_attr(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Int(v) => format!("i:{v}"),
+        AttrValue::Float(v) => format!("f:{v}"),
+        AttrValue::Str(v) => format!("s:{v}"),
+        AttrValue::Bool(v) => format!("b:{v}"),
+        AttrValue::Location(x, y) => format!("l:{x}|{y}"),
+    }
+}
+
+fn decode_attr(text: &str) -> Result<AttrValue, StreamError> {
+    let (kind, rest) = text
+        .split_once(':')
+        .ok_or_else(|| StreamError::Codec(format!("attribute '{text}' missing type prefix")))?;
+    let bad = |what: &str| StreamError::Codec(format!("bad {what} attribute '{rest}'"));
+    match kind {
+        "i" => rest.parse().map(AttrValue::Int).map_err(|_| bad("int")),
+        "f" => rest.parse().map(AttrValue::Float).map_err(|_| bad("float")),
+        "s" => Ok(AttrValue::Str(rest.to_owned())),
+        "b" => rest.parse().map(AttrValue::Bool).map_err(|_| bad("bool")),
+        "l" => {
+            let (x, y) = rest.split_once('|').ok_or_else(|| bad("location"))?;
+            Ok(AttrValue::Location(
+                x.parse().map_err(|_| bad("location"))?,
+                y.parse().map_err(|_| bad("location"))?,
+            ))
+        }
+        _ => Err(StreamError::Codec(format!("unknown attribute kind '{kind}'"))),
+    }
+}
+
+/// Decode a stream from the CSV dialect of [`stream_to_csv`].
+pub fn stream_from_csv(csv: &str) -> Result<EventStream, StreamError> {
+    let mut events = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let mut parts = line.splitn(3, ',');
+        let ts: i64 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| StreamError::Codec(format!("line {lineno}: bad timestamp")))?;
+        let ty: u32 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| StreamError::Codec(format!("line {lineno}: bad type id")))?;
+        let mut event = Event::new(EventType(ty), Timestamp::from_millis(ts));
+        if let Some(attrs) = parts.next() {
+            for pair in attrs.split(';').filter(|p| !p.is_empty()) {
+                let (name, value) = pair.split_once('=').ok_or_else(|| {
+                    StreamError::Codec(format!("line {lineno}: bad attribute '{pair}'"))
+                })?;
+                event.set_attr(name, decode_attr(value)?);
+            }
+        }
+        events.push(event);
+    }
+    Ok(EventStream::from_unordered(events))
+}
+
+/// Encode windowed indicators as CSV: one row per window, one 0/1 column
+/// per event type.
+pub fn indicators_to_csv(windows: &WindowedIndicators) -> String {
+    let n = windows.n_types();
+    let mut out = String::from("window");
+    for i in 0..n {
+        out.push_str(&format!(",e{i}"));
+    }
+    out.push('\n');
+    for (w, iv) in windows.iter().enumerate() {
+        out.push_str(&w.to_string());
+        for b in iv.bits() {
+            out.push_str(if *b { ",1" } else { ",0" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode windowed indicators from the CSV dialect of
+/// [`indicators_to_csv`].
+pub fn indicators_from_csv(csv: &str) -> Result<WindowedIndicators, StreamError> {
+    let mut lines = csv.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StreamError::Codec("empty indicator csv".into()))?;
+    let n_types = header.split(',').count().saturating_sub(1);
+    let mut windows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != n_types + 1 {
+            return Err(StreamError::Codec(format!(
+                "row {lineno}: expected {} cells, got {}",
+                n_types + 1,
+                cells.len()
+            )));
+        }
+        let mut iv = IndicatorVector::empty(n_types);
+        for (i, cell) in cells[1..].iter().enumerate() {
+            match *cell {
+                "1" => iv.set(EventType(i as u32), true),
+                "0" => {}
+                other => {
+                    return Err(StreamError::Codec(format!(
+                        "row {lineno}: bad indicator '{other}'"
+                    )))
+                }
+            }
+        }
+        windows.push(iv);
+    }
+    Ok(WindowedIndicators::new(windows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> EventStream {
+        EventStream::from_unordered(vec![
+            Event::new(EventType(0), Timestamp::from_millis(10))
+                .with_attr("taxi", AttrValue::Int(42))
+                .with_attr("cell", AttrValue::Location(3.5, -1.0)),
+            Event::new(EventType(2), Timestamp::from_millis(25))
+                .with_attr("note", AttrValue::Str("hello".into()))
+                .with_attr("hot", AttrValue::Bool(true))
+                .with_attr("speed", AttrValue::Float(13.25)),
+            Event::new(EventType(1), Timestamp::from_millis(25)),
+        ])
+    }
+
+    #[test]
+    fn stream_csv_roundtrip() {
+        let s = sample_stream();
+        let csv = stream_to_csv(&s);
+        let back = stream_from_csv(&csv).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_stream_roundtrip() {
+        let s = EventStream::new();
+        assert_eq!(stream_from_csv(&stream_to_csv(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        assert!(stream_from_csv("ts_ms,type_id,attrs\nnot-a-number,0,").is_err());
+        assert!(stream_from_csv("ts_ms,type_id,attrs\n5,xyz,").is_err());
+        assert!(stream_from_csv("ts_ms,type_id,attrs\n5,0,broken").is_err());
+        assert!(stream_from_csv("ts_ms,type_id,attrs\n5,0,a=z:1").is_err());
+        assert!(stream_from_csv("ts_ms,type_id,attrs\n5,0,a=l:nope").is_err());
+    }
+
+    #[test]
+    fn indicators_csv_roundtrip() {
+        let wi = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([EventType(0), EventType(2)], 3),
+            IndicatorVector::empty(3),
+            IndicatorVector::from_present([EventType(1)], 3),
+        ]);
+        let csv = indicators_to_csv(&wi);
+        assert!(csv.starts_with("window,e0,e1,e2\n"));
+        let back = indicators_from_csv(&csv).unwrap();
+        assert_eq!(back, wi);
+    }
+
+    #[test]
+    fn indicator_csv_rejects_bad_cells() {
+        assert!(indicators_from_csv("window,e0\n0,2").is_err());
+        assert!(indicators_from_csv("window,e0\n0,1,1").is_err());
+        assert!(indicators_from_csv("").is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-window indicator vectors: the view the DP mechanisms operate on.
+//!
+//! Def. 5 of the paper feeds randomized response with "the existence of
+//! events `I(e_i) ∈ {0, 1}`". An [`IndicatorVector`] records, for one window,
+//! whether each event type occurred at least once; [`WindowedIndicators`] is
+//! the whole windowed history (the synthetic dataset's 1000 `Lm` lists map to
+//! exactly this shape).
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventType};
+use crate::stream::EventStream;
+use crate::window::WindowAssigner;
+
+/// Presence of each event type within one window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndicatorVector {
+    bits: Vec<bool>,
+}
+
+impl IndicatorVector {
+    /// An all-absent vector over `n_types` event types.
+    pub fn empty(n_types: usize) -> Self {
+        IndicatorVector {
+            bits: vec![false; n_types],
+        }
+    }
+
+    /// Build from the events of one window.
+    pub fn from_events(events: &[Event], n_types: usize) -> Self {
+        let mut v = Self::empty(n_types);
+        for e in events {
+            if e.ty.index() < n_types {
+                v.bits[e.ty.index()] = true;
+            }
+        }
+        v
+    }
+
+    /// Build directly from present types.
+    pub fn from_present<I: IntoIterator<Item = EventType>>(present: I, n_types: usize) -> Self {
+        let mut v = Self::empty(n_types);
+        for ty in present {
+            if ty.index() < n_types {
+                v.bits[ty.index()] = true;
+            }
+        }
+        v
+    }
+
+    /// `I(e)` for one event type. Types beyond the vector are absent.
+    pub fn get(&self, ty: EventType) -> bool {
+        self.bits.get(ty.index()).copied().unwrap_or(false)
+    }
+
+    /// Set `I(e)` for one event type.
+    pub fn set(&mut self, ty: EventType, present: bool) {
+        if let Some(b) = self.bits.get_mut(ty.index()) {
+            *b = present;
+        }
+    }
+
+    /// Flip `I(e)` for one event type, returning the new value.
+    pub fn flip(&mut self, ty: EventType) -> bool {
+        match self.bits.get_mut(ty.index()) {
+            Some(b) => {
+                *b = !*b;
+                *b
+            }
+            None => false,
+        }
+    }
+
+    /// Number of event types tracked.
+    pub fn n_types(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of types present.
+    pub fn count_present(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterate over the present types in id order.
+    pub fn present_types(&self) -> impl Iterator<Item = EventType> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| EventType(i as u32))
+    }
+
+    /// True if every type in `types` is present (conjunction detection).
+    pub fn all_present(&self, types: &[EventType]) -> bool {
+        types.iter().all(|&t| self.get(t))
+    }
+
+    /// Raw bits, indexed by type id.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// The per-window indicator history of a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedIndicators {
+    n_types: usize,
+    windows: Vec<IndicatorVector>,
+}
+
+impl WindowedIndicators {
+    /// Build from explicit per-window vectors (they must agree on width).
+    pub fn new(windows: Vec<IndicatorVector>) -> Self {
+        let n_types = windows.first().map(IndicatorVector::n_types).unwrap_or(0);
+        debug_assert!(
+            windows.iter().all(|w| w.n_types() == n_types),
+            "all windows must track the same number of event types"
+        );
+        WindowedIndicators { n_types, windows }
+    }
+
+    /// Build by windowing an event stream.
+    pub fn from_stream(stream: &EventStream, assigner: &WindowAssigner, n_types: usize) -> Self {
+        let windows = assigner
+            .assign(stream)
+            .into_iter()
+            .map(|(_, events)| IndicatorVector::from_events(&events, n_types))
+            .collect();
+        WindowedIndicators { n_types, windows }
+    }
+
+    /// Number of windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True if there are no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of event types tracked per window.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    /// Borrow one window's vector.
+    pub fn window(&self, i: usize) -> &IndicatorVector {
+        &self.windows[i]
+    }
+
+    /// Mutably borrow one window's vector.
+    pub fn window_mut(&mut self, i: usize) -> &mut IndicatorVector {
+        &mut self.windows[i]
+    }
+
+    /// Iterate over windows in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, IndicatorVector> {
+        self.windows.iter()
+    }
+
+    /// Iterate mutably over windows in order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, IndicatorVector> {
+        self.windows.iter_mut()
+    }
+
+    /// Fraction of windows in which `ty` is present (its empirical
+    /// occurrence rate — the `Pr(e_i)` of Algorithm 2).
+    pub fn occurrence_rate(&self, ty: EventType) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        let hits = self.windows.iter().filter(|w| w.get(ty)).count();
+        hits as f64 / self.windows.len() as f64
+    }
+}
+
+impl<'a> IntoIterator for &'a WindowedIndicators {
+    type Item = &'a IndicatorVector;
+    type IntoIter = std::slice::Iter<'a, IndicatorVector>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.windows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{TimeDelta, Timestamp};
+    use proptest::prelude::*;
+
+    fn e(ty: u32, ms: i64) -> Event {
+        Event::new(EventType(ty), Timestamp::from_millis(ms))
+    }
+
+    #[test]
+    fn from_events_sets_presence_once() {
+        let v = IndicatorVector::from_events(&[e(1, 0), e(1, 1), e(3, 2)], 5);
+        assert!(!v.get(EventType(0)));
+        assert!(v.get(EventType(1)));
+        assert!(v.get(EventType(3)));
+        assert_eq!(v.count_present(), 2);
+    }
+
+    #[test]
+    fn out_of_range_types_ignored() {
+        let mut v = IndicatorVector::from_events(&[e(9, 0)], 3);
+        assert_eq!(v.count_present(), 0);
+        assert!(!v.get(EventType(9)));
+        v.set(EventType(9), true);
+        assert_eq!(v.count_present(), 0);
+        assert!(!v.flip(EventType(9)));
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = IndicatorVector::empty(2);
+        assert!(v.flip(EventType(0)));
+        assert!(!v.flip(EventType(0)));
+        assert!(!v.get(EventType(0)));
+    }
+
+    #[test]
+    fn all_present_conjunction() {
+        let v = IndicatorVector::from_present([EventType(0), EventType(2)], 4);
+        assert!(v.all_present(&[EventType(0)]));
+        assert!(v.all_present(&[EventType(0), EventType(2)]));
+        assert!(!v.all_present(&[EventType(0), EventType(1)]));
+        assert!(v.all_present(&[])); // vacuous truth
+    }
+
+    #[test]
+    fn present_types_in_id_order() {
+        let v = IndicatorVector::from_present([EventType(3), EventType(1)], 5);
+        let tys: Vec<u32> = v.present_types().map(|t| t.0).collect();
+        assert_eq!(tys, [1, 3]);
+    }
+
+    #[test]
+    fn windowed_from_stream() {
+        let s = EventStream::from_unordered(vec![e(0, 1), e(1, 5), e(0, 12), e(2, 25)]);
+        let a = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
+        let wi = WindowedIndicators::from_stream(&s, &a, 3);
+        assert_eq!(wi.len(), 3);
+        assert!(wi.window(0).get(EventType(0)));
+        assert!(wi.window(0).get(EventType(1)));
+        assert!(wi.window(1).get(EventType(0)));
+        assert!(!wi.window(1).get(EventType(1)));
+        assert!(wi.window(2).get(EventType(2)));
+    }
+
+    #[test]
+    fn occurrence_rate_counts_windows() {
+        let w0 = IndicatorVector::from_present([EventType(0)], 2);
+        let w1 = IndicatorVector::from_present([EventType(0), EventType(1)], 2);
+        let w2 = IndicatorVector::empty(2);
+        let wi = WindowedIndicators::new(vec![w0, w1, w2]);
+        assert!((wi.occurrence_rate(EventType(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((wi.occurrence_rate(EventType(1)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            WindowedIndicators::new(vec![]).occurrence_rate(EventType(0)),
+            0.0
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn count_present_matches_iterator(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let types: Vec<EventType> = bits.iter().enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| EventType(i as u32))
+                .collect();
+            let v = IndicatorVector::from_present(types.iter().copied(), bits.len());
+            prop_assert_eq!(v.count_present(), types.len());
+            prop_assert_eq!(v.present_types().count(), types.len());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Bounded out-of-order handling: the reorder buffer.
+//!
+//! IoT sources deliver late events (radio retries, batching gateways).
+//! Downstream components in this workspace require temporal order, so
+//! ingestion runs through a [`ReorderBuffer`] with a bounded lateness
+//! `max_delay`: an event is released once the watermark — the maximum
+//! timestamp seen so far minus `max_delay` — passes it. Events later than
+//! the watermark at arrival are counted and dropped (the standard
+//! watermark contract).
+
+use std::collections::BinaryHeap;
+
+use crate::event::Event;
+use crate::stream::EventStream;
+use crate::time::{TimeDelta, Timestamp};
+
+/// Min-heap entry ordered by timestamp, then insertion sequence (stable).
+struct Pending {
+    event: Event,
+    seq: u64,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // reversed: BinaryHeap is a max-heap, we pop earliest first
+        other
+            .event
+            .ts
+            .cmp(&self.event.ts)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A watermark-driven reorder buffer with bounded delay.
+#[derive(Default)]
+pub struct ReorderBuffer {
+    max_delay: TimeDelta,
+    heap: BinaryHeap<Pending>,
+    max_seen: Option<Timestamp>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl ReorderBuffer {
+    /// Tolerate events arriving up to `max_delay` late.
+    pub fn new(max_delay: TimeDelta) -> Self {
+        ReorderBuffer {
+            max_delay,
+            heap: BinaryHeap::new(),
+            max_seen: None,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The current watermark: events at or before it are final.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.max_seen.map(|t| t - self.max_delay)
+    }
+
+    /// Offer one event; returns the events released (in order) by the
+    /// advanced watermark. Events older than the watermark are dropped.
+    pub fn push(&mut self, event: Event) -> Vec<Event> {
+        if let Some(wm) = self.watermark() {
+            if event.ts < wm {
+                self.dropped += 1;
+                return self.release();
+            }
+        }
+        self.max_seen = Some(match self.max_seen {
+            Some(m) if m >= event.ts => m,
+            _ => event.ts,
+        });
+        self.heap.push(Pending {
+            event,
+            seq: self.seq,
+        });
+        self.seq += 1;
+        self.release()
+    }
+
+    fn release(&mut self) -> Vec<Event> {
+        let Some(wm) = self.watermark() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.event.ts <= wm {
+                out.push(self.heap.pop().expect("peeked").event);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Drain everything still buffered (end of stream), in order.
+    pub fn flush(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(p) = self.heap.pop() {
+            out.push(p.event);
+        }
+        out
+    }
+
+    /// How many events arrived too late and were dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently buffered.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Convenience: reorder a whole recorded batch into an ordered stream
+    /// (no drops — batch mode sorts everything).
+    pub fn reorder_batch(events: Vec<Event>) -> EventStream {
+        EventStream::from_unordered(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventType;
+    use proptest::prelude::*;
+
+    fn e(ty: u32, ms: i64) -> Event {
+        Event::new(EventType(ty), Timestamp::from_millis(ms))
+    }
+
+    #[test]
+    fn releases_once_watermark_passes() {
+        let mut buf = ReorderBuffer::new(TimeDelta::from_millis(10));
+        assert!(buf.push(e(0, 100)).is_empty()); // watermark 90
+        assert!(buf.push(e(1, 95)).is_empty()); // within delay, buffered
+        // t=120 → watermark 110 → both release in order
+        let out = buf.push(e(2, 120));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ts, Timestamp::from_millis(95));
+        assert_eq!(out[1].ts, Timestamp::from_millis(100));
+        assert_eq!(buf.pending(), 1);
+        let rest = buf.flush();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn too_late_events_are_dropped() {
+        let mut buf = ReorderBuffer::new(TimeDelta::from_millis(5));
+        buf.push(e(0, 100)); // watermark 95
+        buf.push(e(1, 90)); // older than watermark → dropped
+        assert_eq!(buf.dropped(), 1);
+        let all: Vec<Event> = buf.flush();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut buf = ReorderBuffer::new(TimeDelta::from_millis(10));
+        buf.push(e(0, 100));
+        buf.push(e(1, 50)); // late but does not pull watermark back
+        assert_eq!(buf.watermark(), Some(Timestamp::from_millis(90)));
+        buf.push(e(2, 95));
+        assert_eq!(buf.watermark(), Some(Timestamp::from_millis(90)));
+    }
+
+    #[test]
+    fn equal_timestamps_release_in_arrival_order() {
+        let mut buf = ReorderBuffer::new(TimeDelta::from_millis(1));
+        buf.push(e(7, 10));
+        buf.push(e(8, 10));
+        let out = buf.push(e(9, 30));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].ty, EventType(7));
+        assert_eq!(out[1].ty, EventType(8));
+    }
+
+    proptest! {
+        /// Whatever the arrival order, released ∪ flushed is ordered, and
+        /// with a delay larger than the maximum disturbance nothing drops.
+        #[test]
+        fn releases_are_ordered_and_lossless_with_big_delay(
+            ms in proptest::collection::vec(0i64..500, 1..60),
+        ) {
+            let mut buf = ReorderBuffer::new(TimeDelta::from_millis(1000));
+            let mut out = Vec::new();
+            for (i, &m) in ms.iter().enumerate() {
+                out.extend(buf.push(e(i as u32, m)));
+            }
+            out.extend(buf.flush());
+            prop_assert_eq!(out.len(), ms.len());
+            prop_assert_eq!(buf.dropped(), 0);
+            for pair in out.windows(2) {
+                prop_assert!(pair[0].ts <= pair[1].ts);
+            }
+        }
+
+        /// Released events are always ordered, drops only ever shrink the
+        /// output, and released + dropped accounts for every input.
+        #[test]
+        fn conservation_with_small_delay(
+            ms in proptest::collection::vec(0i64..200, 1..60),
+            delay in 1i64..50,
+        ) {
+            let mut buf = ReorderBuffer::new(TimeDelta::from_millis(delay));
+            let mut out = Vec::new();
+            for (i, &m) in ms.iter().enumerate() {
+                out.extend(buf.push(e(i as u32, m)));
+            }
+            out.extend(buf.flush());
+            prop_assert_eq!(out.len() as u64 + buf.dropped(), ms.len() as u64);
+            for pair in out.windows(2) {
+                prop_assert!(pair[0].ts <= pair[1].ts);
+            }
+        }
+    }
+}

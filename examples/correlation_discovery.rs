@@ -1,0 +1,92 @@
+//! §V-C future improvement, implemented: discovering latent correlates of
+//! a private pattern from historical data.
+//!
+//! Data subjects are not privacy experts. Here the declared private
+//! pattern is `seq(garage, driveway)` ("leaving by car") — but the user
+//! forgot that the `lobby` sensor almost always fires on the same
+//! occasions. An adversary watching the unprotected `lobby` bit can guess
+//! the private pattern even after the declared events are perturbed.
+//!
+//! The correlation module estimates co-occurrence lift from history, flags
+//! `lobby`, and widens the flip table; the example measures the adversary's
+//! guessing advantage before and after.
+//!
+//! Run with: `cargo run --release --example correlation_discovery`
+
+use pattern_dp_repro::cep::{Pattern, PatternSet};
+use pattern_dp_repro::core::{find_correlates, widen_protection, ProtectionPipeline};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::stream::{EventType, IndicatorVector, WindowedIndicators};
+
+fn main() {
+    let garage = EventType(0);
+    let driveway = EventType(1);
+    let lobby = EventType(2);
+    let kitchen = EventType(3);
+
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("leave-by-car", vec![garage, driveway]).unwrap());
+
+    // History: whenever the private pattern occurs, lobby fires with 90 %;
+    // kitchen is independent.
+    let mut rng = DpRng::seed_from(2);
+    let mut history = Vec::new();
+    for _ in 0..2000 {
+        let mut present = Vec::new();
+        let leaving = rng.bernoulli(0.3);
+        if leaving {
+            present.extend([garage, driveway]);
+            if rng.bernoulli(0.9) {
+                present.push(lobby);
+            }
+        } else if rng.bernoulli(0.1) {
+            present.push(lobby);
+        }
+        if rng.bernoulli(0.5) {
+            present.push(kitchen);
+        }
+        history.push(IndicatorVector::from_present(present, 4));
+    }
+    let history = WindowedIndicators::new(history);
+
+    // 1. Discover correlates from history.
+    let correlates = find_correlates(&history, &patterns, &[private], 1.5).unwrap();
+    println!("flagged correlates (lift > 1.5):");
+    for c in &correlates {
+        println!("  type E{} with lift {:.2} against {}", c.ty.0, c.lift,
+            patterns.get(c.pattern).unwrap().name());
+    }
+    assert_eq!(correlates.len(), 1);
+    assert_eq!(correlates[0].ty, lobby);
+
+    // 2. Base protection covers only the declared elements.
+    let eps = Epsilon::new(1.0).unwrap();
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[private], eps, 4).unwrap();
+    let base_table = pipeline.flip_table().clone();
+    let widened = widen_protection(&base_table, &correlates, eps).unwrap();
+    println!(
+        "\nlobby flip probability: base {:.3} → widened {:.3}",
+        base_table.prob(lobby).value(),
+        widened.prob(lobby).value()
+    );
+
+    // 3. Adversary's guess: "private pattern occurred iff the released
+    //    lobby bit is 1". Measure its accuracy advantage over the 50 %
+    //    coin under both tables.
+    for (label, table) in [("declared-only", &base_table), ("widened     ", &widened)] {
+        let mut rng = DpRng::seed_from(7);
+        let released = table.apply(&history, &mut rng);
+        let mut correct = 0usize;
+        for (truth_w, rel_w) in history.iter().zip(released.iter()) {
+            let truth = truth_w.get(garage) && truth_w.get(driveway);
+            let guess = rel_w.get(lobby);
+            if guess == truth {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / history.len() as f64;
+        println!("adversary accuracy via lobby bit ({label}): {acc:.3}");
+    }
+    println!("\nwidening pushes the side-channel toward coin-flipping while the");
+    println!("declared pattern's own ε-guarantee is untouched (noise only composes).");
+}

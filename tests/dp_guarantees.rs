@@ -1,0 +1,187 @@
+//! Exact verification of the privacy guarantees (Def. 4, Theorem 1).
+//!
+//! These tests compute output distributions *exactly* (no sampling) over
+//! small indicator universes and check the pattern-level DP likelihood
+//! bound for every neighbor pair, for both PPMs and under overlapping
+//! private patterns.
+
+use pattern_dp_repro::cep::{Pattern, PatternSet};
+use pattern_dp_repro::core::{
+    max_log_ratio, optimize_single, pattern_epsilon, satisfies_pattern_level_dp, AdaptiveConfig,
+    BudgetDistribution, FlipTable, ProtectionPipeline, QualityModel,
+};
+use pattern_dp_repro::dp::{Epsilon, FlipProb};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{EventType, IndicatorVector, WindowedIndicators};
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// All 2^n windows over an n-type universe.
+fn all_windows(n: usize) -> Vec<IndicatorVector> {
+    (0..(1u32 << n))
+        .map(|mask| {
+            let present = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| t(i as u32));
+            IndicatorVector::from_present(present, n)
+        })
+        .collect()
+}
+
+#[test]
+fn uniform_ppm_satisfies_pattern_level_dp_on_every_window() {
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1), t(2)]).unwrap());
+    let total = eps(1.8);
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[private], total, 4).unwrap();
+    let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
+    let pattern_types = [t(0), t(1), t(2)];
+    for window in all_windows(4) {
+        assert!(
+            satisfies_pattern_level_dp(&window, &pattern_types, &probs, total),
+            "Def. 4 violated on window {:?}",
+            window.bits()
+        );
+    }
+}
+
+#[test]
+fn per_element_bound_is_tight_for_uniform() {
+    // Def. 3 neighbors differ in ONE pattern element, so the binding bound
+    // is the per-element budget ε/m; verify tightness to 1e-9.
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+    let total = eps(2.0);
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[private], total, 2).unwrap();
+    let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
+    let window = IndicatorVector::from_present([t(0)], 2);
+    let worst = max_log_ratio(&window, &[t(0), t(1)], &probs);
+    assert!((worst - 1.0).abs() < 1e-9, "per-element bound: {worst}");
+}
+
+#[test]
+fn adaptive_ppm_never_exceeds_its_declared_budget() {
+    // Whatever distribution Algorithm 1 lands on, the Theorem 1 total must
+    // equal ε and the Def. 4 check must pass at ε.
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+    let target = patterns.insert(Pattern::seq("t", vec![t(0), t(2)]).unwrap());
+    let history = WindowedIndicators::new(
+        (0..40)
+            .map(|k| {
+                let mut present = Vec::new();
+                if k % 2 == 0 {
+                    present.extend([t(0), t(2)]);
+                }
+                if k % 5 == 0 {
+                    present.push(t(1));
+                }
+                IndicatorVector::from_present(present, 3)
+            })
+            .collect(),
+    );
+    let model = QualityModel::new(history, &patterns, &[target], Alpha::HALF).unwrap();
+    let total = eps(1.2);
+    let dist = optimize_single(
+        &patterns,
+        private,
+        &[],
+        total,
+        &model,
+        3,
+        &AdaptiveConfig::default(),
+    )
+    .unwrap();
+
+    // Theorem 1: Σ ln((1−pᵢ)/pᵢ) over the optimized shares = ε
+    let back = pattern_epsilon(&dist.flip_probs()).unwrap();
+    assert!(
+        (back.value() - total.value()).abs() < 1e-6,
+        "Theorem 1 total {} vs ε {}",
+        back.value(),
+        total.value()
+    );
+
+    let table = FlipTable::from_distributions(&patterns, &[(private, dist)], 3).unwrap();
+    let probs: Vec<FlipProb> = table.probs().to_vec();
+    for window in all_windows(3) {
+        assert!(
+            satisfies_pattern_level_dp(&window, &[t(0), t(1)], &probs, total),
+            "adaptive mechanism violated Def. 4"
+        );
+    }
+}
+
+#[test]
+fn overlapping_patterns_strengthen_not_weaken_protection() {
+    // Two private patterns share type 1. §V-A: independent PPMs on
+    // overlapping patterns "only bring more noise" — each pattern's own
+    // guarantee must still hold with margin on the shared element.
+    let mut patterns = PatternSet::new();
+    let a = patterns.insert(Pattern::seq("a", vec![t(0), t(1)]).unwrap());
+    let b = patterns.insert(Pattern::seq("b", vec![t(1), t(2)]).unwrap());
+    let total = eps(1.0);
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[a, b], total, 3).unwrap();
+    let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
+
+    for window in all_windows(3) {
+        // guarantee of pattern a
+        assert!(satisfies_pattern_level_dp(&window, &[t(0), t(1)], &probs, total));
+        // guarantee of pattern b
+        assert!(satisfies_pattern_level_dp(&window, &[t(1), t(2)], &probs, total));
+    }
+    // the shared element's effective flip prob exceeds a single share's
+    let share = FlipProb::from_epsilon(total / 2.0);
+    assert!(pipeline.flip_table().prob(t(1)).value() > share.value());
+}
+
+#[test]
+fn zero_budget_gives_perfect_indistinguishability() {
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+    let pipeline =
+        ProtectionPipeline::uniform(&patterns, &[private], Epsilon::ZERO, 2).unwrap();
+    let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
+    for window in all_windows(2) {
+        let worst = max_log_ratio(&window, &[t(0), t(1)], &probs);
+        assert!(worst < 1e-12, "ε = 0 must be perfectly indistinguishable");
+    }
+}
+
+#[test]
+fn explicit_skewed_distribution_bound_follows_max_share() {
+    // With shares (1.5, 0.5), the per-element worst-case log-ratio is the
+    // max share, not the average.
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+    let dist =
+        BudgetDistribution::from_shares(eps(2.0), vec![eps(1.5), eps(0.5)]).unwrap();
+    let table = FlipTable::from_distributions(&patterns, &[(private, dist)], 2).unwrap();
+    let probs: Vec<FlipProb> = table.probs().to_vec();
+    let window = IndicatorVector::empty(2);
+    let worst = max_log_ratio(&window, &[t(0), t(1)], &probs);
+    assert!((worst - 1.5).abs() < 1e-9, "worst {worst}");
+    // and the Def. 4 check at the total still passes
+    assert!(satisfies_pattern_level_dp(&window, &[t(0), t(1)], &probs, eps(2.0)));
+}
+
+#[test]
+fn non_private_bits_leak_nothing_about_the_pattern() {
+    // Perturbing only pattern bits, the mechanism's distribution over
+    // non-pattern bits is identical for neighbors (they agree there).
+    let mut patterns = PatternSet::new();
+    let private = patterns.insert(Pattern::single("p", t(0)));
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[private], eps(0.7), 3).unwrap();
+    let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
+    assert_eq!(probs[1].value(), 0.0);
+    assert_eq!(probs[2].value(), 0.0);
+    for window in all_windows(3) {
+        assert!(satisfies_pattern_level_dp(&window, &[t(0)], &probs, eps(0.7)));
+    }
+}

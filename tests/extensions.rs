@@ -1,0 +1,118 @@
+//! Integration tests for the future-work extensions (§V / §V-C) on a real
+//! generated workload: categorical answers, count queries and correlation
+//! widening all riding on one protected view.
+
+use pattern_dp_repro::core::{
+    find_correlates, CategoricalQuery, CountQuery, Mechanism, NoisyArgmax, ProtectionPipeline,
+};
+use pattern_dp_repro::datasets::{SyntheticConfig, SyntheticDataset};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+
+fn workload() -> pattern_dp_repro::datasets::Workload {
+    SyntheticDataset::generate(
+        &SyntheticConfig {
+            n_windows: 200,
+            forced_overlap: Some(0.5),
+            ..SyntheticConfig::default()
+        },
+        31,
+    )
+    .workload
+}
+
+#[test]
+fn categorical_and_count_queries_ride_one_protected_view() {
+    let w = workload();
+    let pipeline = ProtectionPipeline::uniform(
+        &w.patterns,
+        &w.private,
+        Epsilon::new(1.0).unwrap(),
+        w.n_types,
+    )
+    .unwrap();
+    let mut rng = DpRng::seed_from(8);
+    let protected = pipeline.protect(&w.windows, &mut rng);
+
+    // categorical: classify each window by the first detected target
+    let options: Vec<(String, _)> = w
+        .target
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (format!("t{i}"), id))
+        .collect();
+    let cat = CategoricalQuery::new(options, "none").unwrap();
+    let labels = cat.answer(&w.patterns, &protected).unwrap();
+    assert_eq!(labels.len(), w.windows.len());
+    assert!(labels.iter().all(|l| l == "none" || l.starts_with('t')));
+
+    // counts: trailing-10 detection counts stay within the horizon
+    let count = CountQuery::new(w.target[0], 10).unwrap();
+    let counts = count.answer(&w.patterns, &protected).unwrap();
+    assert_eq!(counts.len(), w.windows.len());
+    assert!(counts.iter().all(|&c| c <= 10));
+
+    // thresholded counts agree with raw counts
+    let crowded = count
+        .answer_thresholded(&w.patterns, &protected, 5)
+        .unwrap();
+    for (c, flag) in counts.iter().zip(&crowded) {
+        assert_eq!(*flag, *c >= 5);
+    }
+}
+
+#[test]
+fn noisy_argmax_tracks_true_argmax_at_high_budget() {
+    let w = workload();
+    let candidates: Vec<(String, _)> = w
+        .target
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (format!("t{i}"), id))
+        .collect();
+    // true argmax by detection count
+    let truth: Vec<usize> = candidates
+        .iter()
+        .map(|(_, id)| {
+            let p = w.patterns.get(*id).unwrap();
+            w.windows
+                .iter()
+                .filter(|win| p.distinct_types().iter().all(|&ty| win.get(ty)))
+                .count()
+        })
+        .collect();
+    let best = truth
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| format!("t{i}"))
+        .unwrap();
+    let second = truth.iter().filter(|&&c| c != *truth.iter().max().unwrap()).max();
+    // only meaningful when the argmax is unique with some margin
+    if second.is_none_or(|&s| *truth.iter().max().unwrap() > s + 5) {
+        let q = NoisyArgmax::new(candidates).unwrap();
+        let mut rng = DpRng::seed_from(17);
+        let mut hits = 0;
+        for _ in 0..60 {
+            if q.select(&w.patterns, &w.windows, Epsilon::new(8.0).unwrap(), &mut rng)
+                .unwrap()
+                == best
+            {
+                hits += 1;
+            }
+        }
+        assert!(hits > 45, "argmax hit only {hits}/60 at ε = 8");
+    }
+}
+
+#[test]
+fn correlation_discovery_runs_on_generated_workloads() {
+    let w = workload();
+    // threshold 1.0 flags everything positively correlated; just check the
+    // machinery runs and excludes declared private elements
+    let correlates = find_correlates(&w.windows, &w.patterns, &w.private, 1.2).unwrap();
+    let declared = w.private_types();
+    for c in &correlates {
+        assert!(!declared.contains(&c.ty), "declared element flagged");
+        assert!(c.lift > 1.2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's empirical claims, asserted as integration tests.
+//!
+//! These are the qualitative shapes of §VI-B — who wins, in which
+//! direction the curves move — at fixed seeds with modest trial counts so
+//! the suite stays fast. EXPERIMENTS.md records the full sweeps.
+
+use pattern_dp_repro::dp::Epsilon;
+use pattern_dp_repro::experiments::fig4::{build_workload, Dataset};
+use pattern_dp_repro::experiments::{Fig4Config, MechanismSpec, RunConfig};
+use pdp_experiments::runner::run_cell;
+
+fn tiny_fig4() -> Fig4Config {
+    Fig4Config {
+        eps_grid: vec![0.5, 2.0, 8.0],
+        trials: 8,
+        seed: 20230511,
+        synthetic: pattern_dp_repro::datasets::SyntheticConfig {
+            n_windows: 250,
+            forced_overlap: Some(0.6),
+            ..Default::default()
+        },
+        taxi: pattern_dp_repro::datasets::TaxiConfig {
+            grid_side: 10,
+            n_taxis: 50,
+            n_windows: 120,
+            ..Default::default()
+        },
+        ..Fig4Config::default()
+    }
+}
+
+fn run(
+    spec: MechanismSpec,
+    workload: &pattern_dp_repro::datasets::Workload,
+    eps: f64,
+    trials: usize,
+) -> f64 {
+    let config = RunConfig {
+        trials,
+        ..RunConfig::at_eps(Epsilon::new(eps).unwrap())
+    };
+    run_cell(spec, workload, &config, 991).unwrap().mre.mean
+}
+
+#[test]
+fn claim_pattern_level_beats_non_pattern_level_on_synthetic() {
+    // §VI-B: "our pattern-level PPMs perform significantly better on
+    // synthetic datasets"
+    let w = build_workload(Dataset::Synthetic, &tiny_fig4());
+    for eps in [1.0, 4.0] {
+        let uniform = run(MechanismSpec::Uniform, &w, eps, 8);
+        let adaptive = run(MechanismSpec::Adaptive, &w, eps, 8);
+        for baseline in [MechanismSpec::Bd, MechanismSpec::Ba, MechanismSpec::Landmark] {
+            let b = run(baseline, &w, eps, 8);
+            assert!(
+                uniform < b + 1e-9,
+                "uniform ({uniform}) should beat {} ({b}) at ε={eps}",
+                baseline.label()
+            );
+            assert!(
+                adaptive < b + 1e-9,
+                "adaptive ({adaptive}) should beat {} ({b}) at ε={eps}",
+                baseline.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_adaptive_at_least_matches_uniform() {
+    let w = build_workload(Dataset::Synthetic, &tiny_fig4());
+    for eps in [0.5, 2.0] {
+        let uniform = run(MechanismSpec::Uniform, &w, eps, 10);
+        let adaptive = run(MechanismSpec::Adaptive, &w, eps, 10);
+        assert!(
+            adaptive <= uniform + 0.02,
+            "adaptive ({adaptive}) should not lose to uniform ({uniform}) at ε={eps}"
+        );
+    }
+}
+
+#[test]
+fn claim_mre_decreases_with_budget() {
+    // more budget → less noise → smaller MRE, for every mechanism
+    let w = build_workload(Dataset::Synthetic, &tiny_fig4());
+    for spec in MechanismSpec::fig4_set() {
+        let low = run(spec, &w, 0.3, 6);
+        let high = run(spec, &w, 6.0, 6);
+        assert!(
+            high <= low + 0.05,
+            "{}: MRE should fall with ε ({low} → {high})",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn claim_uniform_adaptive_gap_shrinks_on_taxi() {
+    // §VI-B: "For the Taxi dataset … the difference between the uniform
+    // and adaptive approaches is evidently smaller" (location patterns are
+    // nearly single events).
+    let config = tiny_fig4();
+    let synth = build_workload(Dataset::Synthetic, &config);
+    let taxi = build_workload(Dataset::Taxi, &config);
+    let eps = 2.0;
+    let gap_synth = run(MechanismSpec::Uniform, &synth, eps, 10)
+        - run(MechanismSpec::Adaptive, &synth, eps, 10);
+    let gap_taxi = run(MechanismSpec::Uniform, &taxi, eps, 10)
+        - run(MechanismSpec::Adaptive, &taxi, eps, 10);
+    assert!(
+        gap_taxi <= gap_synth + 0.02,
+        "taxi gap ({gap_taxi}) should not exceed synthetic gap ({gap_synth})"
+    );
+}
+
+#[test]
+fn claim_pattern_level_also_wins_on_taxi() {
+    // "relatively better on the real dataset Taxi"
+    let w = build_workload(Dataset::Taxi, &tiny_fig4());
+    let eps = 1.0;
+    let uniform = run(MechanismSpec::Uniform, &w, eps, 8);
+    for baseline in [MechanismSpec::Bd, MechanismSpec::Ba, MechanismSpec::Landmark] {
+        let b = run(baseline, &w, eps, 8);
+        assert!(
+            uniform < b,
+            "uniform ({uniform}) should beat {} ({b}) on taxi",
+            baseline.label()
+        );
+    }
+}
+
+#[test]
+fn claim_whole_stream_noise_is_the_worst_pattern_aware_rr() {
+    // the ablation mechanism: same noise kernel as uniform but applied to
+    // every type — isolates the value of pattern awareness
+    let w = build_workload(Dataset::Synthetic, &tiny_fig4());
+    let eps = 2.0;
+    let uniform = run(MechanismSpec::Uniform, &w, eps, 8);
+    let full = run(MechanismSpec::FullRr, &w, eps, 8);
+    assert!(
+        uniform < full,
+        "pattern-aware RR ({uniform}) must beat whole-stream RR ({full})"
+    );
+}

@@ -1,0 +1,167 @@
+//! Property-based cross-crate invariants on random workloads.
+
+use proptest::prelude::*;
+
+use pattern_dp_repro::cep::{Pattern, PatternSet};
+use pattern_dp_repro::core::{Mechanism, ProtectionPipeline, QualityModel};
+use pattern_dp_repro::datasets::{SyntheticConfig, SyntheticDataset};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{EventType, IndicatorVector, WindowedIndicators};
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Protection never changes the stream's shape, and never touches
+    /// indicator positions outside the private patterns.
+    #[test]
+    fn protection_preserves_shape_and_uncorrelated_bits(
+        seed in 0u64..1_000,
+        eps_v in 0.0f64..5.0,
+        n_windows in 1usize..40,
+    ) {
+        let config = SyntheticConfig {
+            n_windows,
+            n_types: 8,
+            n_patterns: 4,
+            pattern_len: 2,
+            n_private: 2,
+            n_target: 2,
+            ..SyntheticConfig::default()
+        };
+        let w = SyntheticDataset::generate(&config, seed).workload;
+        let pipeline = ProtectionPipeline::uniform(
+            &w.patterns,
+            &w.private,
+            Epsilon::new(eps_v).unwrap(),
+            w.n_types,
+        ).unwrap();
+        let mut rng = DpRng::seed_from(seed ^ 0xABCD);
+        let out = pipeline.protect(&w.windows, &mut rng);
+        prop_assert_eq!(out.len(), w.windows.len());
+        prop_assert_eq!(out.n_types(), w.windows.n_types());
+        let protected: std::collections::BTreeSet<u32> = pipeline
+            .flip_table()
+            .protected_types()
+            .iter()
+            .map(|ty| ty.0)
+            .collect();
+        for (a, b) in w.windows.iter().zip(out.iter()) {
+            for i in 0..w.n_types {
+                if !protected.contains(&(i as u32)) {
+                    prop_assert_eq!(a.get(t(i as u32)), b.get(t(i as u32)));
+                }
+            }
+        }
+    }
+
+    /// The closed-form expected quality matches a Monte-Carlo estimate.
+    #[test]
+    fn closed_form_quality_matches_monte_carlo(
+        seed in 0u64..200,
+        eps_v in 0.2f64..4.0,
+    ) {
+        let config = SyntheticConfig {
+            n_windows: 60,
+            n_types: 10,
+            n_patterns: 6,
+            pattern_len: 2,
+            n_private: 2,
+            n_target: 3,
+            ..SyntheticConfig::default()
+        };
+        let w = SyntheticDataset::generate(&config, seed).workload;
+        let pipeline = ProtectionPipeline::uniform(
+            &w.patterns,
+            &w.private,
+            Epsilon::new(eps_v).unwrap(),
+            w.n_types,
+        ).unwrap();
+        let model = QualityModel::new(
+            w.windows.clone(),
+            &w.patterns,
+            &w.target,
+            Alpha::HALF,
+        ).unwrap();
+        let expected = model.expected_quality(pipeline.flip_table()).q;
+        let mut rng = DpRng::seed_from(seed + 5);
+        let mc = model
+            .monte_carlo_quality(pipeline.flip_table(), 600, &mut rng)
+            .q;
+        prop_assert!(
+            (expected - mc).abs() < 0.08,
+            "closed form {} vs MC {}", expected, mc
+        );
+    }
+
+    /// Budget monotonicity: more ε never (statistically) reduces expected
+    /// quality under the closed-form model.
+    #[test]
+    fn expected_quality_monotone_in_budget(
+        seed in 0u64..200,
+        lo in 0.0f64..2.0,
+        delta in 0.1f64..4.0,
+    ) {
+        let config = SyntheticConfig {
+            n_windows: 40,
+            n_types: 8,
+            n_patterns: 4,
+            pattern_len: 2,
+            n_private: 1,
+            n_target: 2,
+            ..SyntheticConfig::default()
+        };
+        let w = SyntheticDataset::generate(&config, seed).workload;
+        let model = QualityModel::new(
+            w.windows.clone(),
+            &w.patterns,
+            &w.target,
+            Alpha::HALF,
+        ).unwrap();
+        let q_at = |e: f64| {
+            let p = ProtectionPipeline::uniform(
+                &w.patterns,
+                &w.private,
+                Epsilon::new(e).unwrap(),
+                w.n_types,
+            ).unwrap();
+            model.expected_quality(p.flip_table()).q
+        };
+        prop_assert!(q_at(lo + delta) >= q_at(lo) - 1e-9);
+    }
+
+    /// The trusted engine's protected view equals applying the pipeline's
+    /// flip table directly (same seed): the engine adds bookkeeping, not
+    /// extra noise.
+    #[test]
+    fn engine_view_matches_pipeline(seed in 0u64..500) {
+        use pattern_dp_repro::core::{PpmKind, TrustedEngine, TrustedEngineConfig};
+        let mut engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::Uniform { eps: Epsilon::new(1.0).unwrap() },
+        });
+        let mut patterns = PatternSet::new();
+        let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+        engine.register_private_pattern(patterns.get(private).unwrap().clone());
+        engine.setup().unwrap();
+
+        let windows = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0), t(2)], 4),
+            IndicatorVector::from_present([t(1), t(3)], 4),
+        ]);
+        let mut rng1 = DpRng::seed_from(seed);
+        let view = engine.protected_view(&windows, &mut rng1).unwrap();
+
+        let pipeline = ProtectionPipeline::uniform(
+            &patterns, &[private], Epsilon::new(1.0).unwrap(), 4,
+        ).unwrap();
+        let mut rng2 = DpRng::seed_from(seed);
+        let direct = pipeline.protect(&windows, &mut rng2);
+        prop_assert_eq!(view, direct);
+    }
+}
