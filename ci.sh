@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, tests. Run from the repo root.
+#
+#   ./ci.sh          # everything (fmt + clippy + build + test)
+#   ./ci.sh --fast   # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$fast" == 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+echo "CI green."

@@ -45,15 +45,15 @@ impl BudgetAbsorption {
         self.eps_w
     }
 
-    fn publish(
-        truth: &IndicatorVector,
-        eps_pub: f64,
-        rng: &mut DpRng,
-    ) -> Vec<f64> {
+    fn publish(truth: &IndicatorVector, eps_pub: f64, rng: &mut DpRng) -> Vec<f64> {
         let lap = Laplace::with_scale(1.0 / eps_pub).expect("positive scale");
         (0..truth.n_types())
             .map(|i| {
-                let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+                let c = if truth.get(EventType(i as u32)) {
+                    1.0
+                } else {
+                    0.0
+                };
                 lap.perturb(c, rng)
             })
             .collect()
@@ -65,7 +65,11 @@ impl BudgetAbsorption {
         let n = truth.n_types().max(1);
         (0..n)
             .map(|i| {
-                let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+                let c = if truth.get(EventType(i as u32)) {
+                    1.0
+                } else {
+                    0.0
+                };
                 (c - last[i]).abs()
             })
             .sum::<f64>()
@@ -129,13 +133,13 @@ impl BudgetAbsorption {
                 }
             }
             spends.push(spend);
-            let bits = last_release
-                .iter()
-                .enumerate()
-                .fold(IndicatorVector::empty(n_types), |mut acc, (i, &v)| {
+            let bits = last_release.iter().enumerate().fold(
+                IndicatorVector::empty(n_types),
+                |mut acc, (i, &v)| {
                     acc.set(EventType(i as u32), v > 0.5);
                     acc
-                });
+                },
+            );
             out.push(bits);
         }
         (WindowedIndicators::new(out), spends)
@@ -171,10 +175,7 @@ mod tests {
     }
 
     fn constant_stream(n: usize, present: &[u32], n_types: usize) -> WindowedIndicators {
-        let iv = IndicatorVector::from_present(
-            present.iter().map(|&i| EventType(i)),
-            n_types,
-        );
+        let iv = IndicatorVector::from_present(present.iter().map(|&i| EventType(i)), n_types);
         WindowedIndicators::new(vec![iv; n])
     }
 

@@ -82,7 +82,11 @@ impl BudgetDistributionMechanism {
                 let lap = Laplace::with_scale(1.0 / eps_pub).expect("positive scale");
                 last_release = (0..n_types)
                     .map(|k| {
-                        let c = if truth.get(EventType(k as u32)) { 1.0 } else { 0.0 };
+                        let c = if truth.get(EventType(k as u32)) {
+                            1.0
+                        } else {
+                            0.0
+                        };
                         lap.perturb(c, rng)
                     })
                     .collect();
@@ -118,7 +122,11 @@ fn dissimilarity(truth: &IndicatorVector, last: &[f64]) -> f64 {
     let n = truth.n_types().max(1);
     (0..n)
         .map(|i| {
-            let c = if truth.get(EventType(i as u32)) { 1.0 } else { 0.0 };
+            let c = if truth.get(EventType(i as u32)) {
+                1.0
+            } else {
+                0.0
+            };
             (c - last[i]).abs()
         })
         .sum::<f64>()

@@ -190,9 +190,7 @@ mod tests {
         let even = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.5);
         let greedy = LandmarkPrivacy::new(&set, &private, eps(1.0), 0.75);
         // landmark budget pinned by conversion
-        assert!(
-            (even.landmark_flip().value() - greedy.landmark_flip().value()).abs() < 1e-12
-        );
+        assert!((even.landmark_flip().value() - greedy.landmark_flip().value()).abs() < 1e-12);
         // regulars noisier under the greedier landmark share
         assert!(greedy.regular_flip().value() > even.regular_flip().value());
     }
@@ -213,8 +211,7 @@ mod tests {
     fn adaptive_share_grows_with_landmark_density() {
         let (set, private) = setup();
         let quiet = WindowedIndicators::new(vec![IndicatorVector::empty(4); 50]);
-        let busy =
-            WindowedIndicators::new(vec![IndicatorVector::from_present([t(0)], 4); 50]);
+        let busy = WindowedIndicators::new(vec![IndicatorVector::from_present([t(0)], 4); 50]);
         let lm_quiet = LandmarkPrivacy::with_adaptive_share(&set, &private, eps(1.0), &quiet);
         let lm_busy = LandmarkPrivacy::with_adaptive_share(&set, &private, eps(1.0), &busy);
         assert!((lm_quiet.share() - 0.5).abs() < 1e-9);

@@ -97,10 +97,8 @@ mod tests {
     fn protection_is_heavy() {
         let m = UserLevelRr::new(eps(5.0), 500);
         let mut rng = DpRng::seed_from(9);
-        let wi = WindowedIndicators::new(vec![
-            IndicatorVector::from_present([EventType(0)], 2);
-            4000
-        ]);
+        let wi =
+            WindowedIndicators::new(vec![IndicatorVector::from_present([EventType(0)], 2); 4000]);
         let out = m.protect(&wi, &mut rng);
         let kept = out.iter().filter(|w| w.get(EventType(0))).count();
         // per-bit ε = 0.01 → flip prob ≈ 0.4975 → barely above chance

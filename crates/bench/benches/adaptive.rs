@@ -19,13 +19,8 @@ fn workload(pattern_len: usize) -> (pdp_datasets::Workload, QualityModel) {
         ..SyntheticConfig::default()
     };
     let w = SyntheticDataset::generate(&config, 777).workload;
-    let model = QualityModel::new(
-        w.windows.clone(),
-        &w.patterns,
-        &w.target,
-        Alpha::HALF,
-    )
-    .expect("model builds");
+    let model = QualityModel::new(w.windows.clone(), &w.patterns, &w.target, Alpha::HALF)
+        .expect("model builds");
     (w, model)
 }
 

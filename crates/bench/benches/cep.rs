@@ -29,8 +29,7 @@ fn random_stream(n: usize, n_types: u32, seed: u64) -> EventStream {
 fn bench_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge");
     for k in [2usize, 8, 32] {
-        let streams: Vec<EventStream> =
-            (0..k).map(|i| random_stream(2000, 10, i as u64)).collect();
+        let streams: Vec<EventStream> = (0..k).map(|i| random_stream(2000, 10, i as u64)).collect();
         group.throughput(Throughput::Elements((2000 * k) as u64));
         group.bench_function(BenchmarkId::from_parameter(k), |b| {
             b.iter(|| black_box(merge_streams(black_box(streams.clone())).len()));
@@ -48,8 +47,7 @@ fn bench_windowing(c: &mut Criterion) {
         b.iter(|| black_box(tumbling.assign(black_box(&stream)).len()));
     });
     let sliding =
-        WindowAssigner::sliding(TimeDelta::from_millis(500), TimeDelta::from_millis(100))
-            .unwrap();
+        WindowAssigner::sliding(TimeDelta::from_millis(500), TimeDelta::from_millis(100)).unwrap();
     group.bench_function("sliding", |b| {
         b.iter(|| black_box(sliding.assign(black_box(&stream)).len()));
     });
@@ -64,9 +62,7 @@ fn bench_nfa(c: &mut Criterion) {
     };
     group.throughput(Throughput::Elements(1000));
     for m in [2usize, 4, 8] {
-        let nfa = Nfa::from_elements(
-            &(0..m as u32).map(EventType).collect::<Vec<_>>(),
-        );
+        let nfa = Nfa::from_elements(&(0..m as u32).map(EventType).collect::<Vec<_>>());
         group.bench_function(BenchmarkId::from_parameter(m), |b| {
             b.iter(|| black_box(nfa.accepts(window.iter().copied())));
         });
@@ -80,9 +76,7 @@ fn bench_detector(c: &mut Criterion) {
     let mut patterns = PatternSet::new();
     let mut rng = DpRng::seed_from(6);
     for k in 0..20 {
-        let elements: Vec<EventType> = (0..3)
-            .map(|_| EventType(rng.below(20) as u32))
-            .collect();
+        let elements: Vec<EventType> = (0..3).map(|_| EventType(rng.below(20) as u32)).collect();
         patterns.insert(Pattern::seq(&format!("p{k}"), elements).unwrap());
     }
     let mut group = c.benchmark_group("detector_10k_events_20_patterns");

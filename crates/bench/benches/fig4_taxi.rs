@@ -41,7 +41,11 @@ fn bench_protect_and_answer(c: &mut Criterion) {
         .collect();
 
     let mut group = c.benchmark_group("fig4_taxi/protect+answer");
-    for spec in [MechanismSpec::Uniform, MechanismSpec::Ba, MechanismSpec::Landmark] {
+    for spec in [
+        MechanismSpec::Uniform,
+        MechanismSpec::Ba,
+        MechanismSpec::Landmark,
+    ] {
         let mechanism = build_mechanism(spec, &workload, &run).expect("mechanism builds");
         group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
             let mut rng = DpRng::seed_from(7);

@@ -15,8 +15,9 @@ fn windows(n: usize, n_types: usize, seed: u64) -> WindowedIndicators {
     WindowedIndicators::new(
         (0..n)
             .map(|_| {
-                let present =
-                    (0..n_types).filter(|_| rng.bernoulli(0.3)).map(|i| EventType(i as u32));
+                let present = (0..n_types)
+                    .filter(|_| rng.bernoulli(0.3))
+                    .map(|i| EventType(i as u32));
                 IndicatorVector::from_present(present, n_types)
             })
             .collect(),
@@ -50,10 +51,7 @@ fn bench_samplers(c: &mut Criterion) {
 fn bench_rr_vector(c: &mut Criterion) {
     let mut group = c.benchmark_group("randomized_response");
     for width in [20usize, 256, 4096] {
-        let mech = RandomizedResponse::from_epsilons(&vec![
-            Epsilon::new(0.5).unwrap();
-            width
-        ]);
+        let mech = RandomizedResponse::from_epsilons(&vec![Epsilon::new(0.5).unwrap(); width]);
         group.throughput(Throughput::Elements(width as u64));
         group.bench_function(BenchmarkId::from_parameter(width), |b| {
             let mut rng = DpRng::seed_from(4);

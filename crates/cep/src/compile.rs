@@ -77,10 +77,7 @@ impl CompiledSet {
             Semantics::Ordered | Semantics::OrderedWithin(_) => {
                 cp.nfa.accepts(window.iter().copied())
             }
-            Semantics::Conjunction => cp
-                .distinct
-                .iter()
-                .all(|ty| window.contains(ty)),
+            Semantics::Conjunction => cp.distinct.iter().all(|ty| window.contains(ty)),
         }
     }
 

@@ -171,13 +171,8 @@ mod tests {
     fn detect_stream_per_window() {
         let detector = Detector::new(patterns(), Semantics::Ordered);
         // window [0,10): a then b → ab detected; window [10,20): b then a → not
-        let stream = EventStream::from_unordered(vec![
-            ev(0, 1),
-            ev(1, 5),
-            ev(1, 11),
-            ev(0, 15),
-            ev(2, 16),
-        ]);
+        let stream =
+            EventStream::from_unordered(vec![ev(0, 1), ev(1, 5), ev(1, 11), ev(0, 15), ev(2, 16)]);
         let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
         let table = detector.detect_stream(&stream, &assigner);
         assert_eq!(table.n_windows(), 2);
@@ -216,8 +211,7 @@ mod tests {
             Semantics::OrderedWithin(TimeDelta::from_millis(3)),
         );
         // window 0: a@1 → b@9 (span 8 > 3, rejected); window 1: a@11 → b@13
-        let stream =
-            EventStream::from_unordered(vec![ev(0, 1), ev(1, 9), ev(0, 11), ev(1, 13)]);
+        let stream = EventStream::from_unordered(vec![ev(0, 1), ev(1, 9), ev(0, 11), ev(1, 13)]);
         let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
         let table = detector.detect_stream(&stream, &assigner);
         assert!(!table.get(0, PatternId(0)));

@@ -39,6 +39,8 @@ mod tests {
             "pattern must have at least one element"
         );
         assert!(CepError::UnknownPattern(3).to_string().contains('3'));
-        assert!(CepError::InvalidQuery("bad".into()).to_string().contains("bad"));
+        assert!(CepError::InvalidQuery("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

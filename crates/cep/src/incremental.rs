@@ -22,6 +22,10 @@ pub struct ClosedWindow {
     pub start: Timestamp,
     /// Per-pattern detection flags, indexed by pattern id.
     pub detections: Vec<bool>,
+    /// Per-type presence bits of the closed window (`I(e_i)` of Def. 5),
+    /// indexed by type id — tracked under every semantics, so downstream
+    /// release paths need no parallel accumulation of their own.
+    pub presence: Vec<bool>,
 }
 
 /// Push-based tumbling-window detector.
@@ -36,7 +40,9 @@ pub struct IncrementalDetector {
     emitted: usize,
     /// Ordered semantics: per-pattern NFA state.
     nfa_states: Vec<usize>,
-    /// Conjunction semantics: per-type presence in the open window.
+    /// Per-type presence in the open window (detection state for
+    /// conjunction semantics, and the `presence` payload of every
+    /// [`ClosedWindow`]).
     present: Vec<bool>,
     /// OrderedWithin semantics: the open window's timestamped events.
     timed: Vec<(EventType, Timestamp)>,
@@ -84,8 +90,29 @@ impl IncrementalDetector {
                 )));
             }
         }
-        self.last_ts = Some(event.ts);
-        let grid = event.ts.window_index(self.window_len);
+        let closed = self.advance_to(event.ts)?;
+        self.observe(event.ty, event.ts);
+        Ok(closed)
+    }
+
+    /// Advance the watermark to `ts` without observing an event: every
+    /// window that ends at or before `ts`'s window start is closed (empty
+    /// gap windows included), and the window containing `ts` becomes the
+    /// open one. Events pushed later must not precede `ts`.
+    ///
+    /// This is how a long-running service flushes windows during quiet
+    /// periods (heartbeats), and how a replay driver pins the stream's
+    /// logical start/end to window boundaries.
+    pub fn advance_to(&mut self, ts: Timestamp) -> Result<Vec<ClosedWindow>, CepError> {
+        if let Some(last) = self.last_ts {
+            if ts < last {
+                return Err(CepError::InvalidQuery(format!(
+                    "watermark must not regress: got {ts}, already at {last}"
+                )));
+            }
+        }
+        self.last_ts = Some(ts);
+        let grid = ts.window_index(self.window_len);
         let mut closed = Vec::new();
         match self.open_window {
             None => self.open_window = Some(grid),
@@ -98,7 +125,6 @@ impl IncrementalDetector {
             }
             _ => {}
         }
-        self.observe(event.ty, event.ts);
         Ok(closed)
     }
 
@@ -114,6 +140,9 @@ impl IncrementalDetector {
     }
 
     fn observe(&mut self, ty: EventType, ts: Timestamp) {
+        if let Some(slot) = self.present.get_mut(ty.index()) {
+            *slot = true;
+        }
         match self.semantics {
             Semantics::Ordered => {
                 for (k, (id, _)) in self.patterns.iter().enumerate() {
@@ -121,11 +150,8 @@ impl IncrementalDetector {
                     self.nfa_states[k] = cp.nfa.advance(self.nfa_states[k], &[ty]);
                 }
             }
-            Semantics::Conjunction => {
-                if let Some(slot) = self.present.get_mut(ty.index()) {
-                    *slot = true;
-                }
-            }
+            // conjunction detection reads the shared presence bits directly
+            Semantics::Conjunction => {}
             Semantics::OrderedWithin(_) => {
                 self.timed.push((ty, ts));
             }
@@ -157,16 +183,19 @@ impl IncrementalDetector {
                 .iter()
                 .map(|(id, _)| {
                     let cp = self.compiled.get(id).expect("compiled in lockstep");
-                    cp.nfa.min_span(&self.timed).is_some_and(|best| match self.semantics {
-                        Semantics::OrderedWithin(span) => best <= span,
-                        _ => unreachable!("arm guarded by outer match"),
-                    })
+                    cp.nfa
+                        .min_span(&self.timed)
+                        .is_some_and(|best| match self.semantics {
+                            Semantics::OrderedWithin(span) => best <= span,
+                            _ => unreachable!("arm guarded by outer match"),
+                        })
                 })
                 .collect(),
         };
-        // reset per-window state
+        // reset per-window state; the presence bits move into the row
         self.nfa_states.iter_mut().for_each(|s| *s = 0);
-        self.present.iter_mut().for_each(|b| *b = false);
+        let n_types = self.present.len();
+        let presence = std::mem::replace(&mut self.present, vec![false; n_types]);
         self.timed.clear();
         let index = self.emitted;
         self.emitted += 1;
@@ -174,6 +203,7 @@ impl IncrementalDetector {
             index,
             start: Timestamp::from_millis(grid * self.window_len.millis()),
             detections,
+            presence,
         }
     }
 }
@@ -225,6 +255,36 @@ mod tests {
     }
 
     #[test]
+    fn advance_to_closes_quiet_windows() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        // watermark before any event pins the logical stream start
+        assert!(det.advance_to(Timestamp::ZERO).unwrap().is_empty());
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(1, 5)).unwrap();
+        // heartbeat to t=30 closes window 0 (detected) and two empty ones
+        let closed = det.advance_to(Timestamp::from_millis(30)).unwrap();
+        assert_eq!(closed.len(), 3);
+        assert_eq!(closed[0].detections, vec![true, false]);
+        assert_eq!(closed[1].detections, vec![false, false]);
+        assert_eq!(closed[2].detections, vec![false, false]);
+        // same-window watermark is a no-op
+        assert!(det
+            .advance_to(Timestamp::from_millis(35))
+            .unwrap()
+            .is_empty());
+        // regressing watermark and pre-watermark events are rejected
+        assert!(det.advance_to(Timestamp::from_millis(20)).is_err());
+        assert!(det.push(&e(0, 29)).is_err());
+        assert!(det.push(&e(0, 35)).is_ok());
+    }
+
+    #[test]
     fn rejects_out_of_order_events() {
         let mut det = IncrementalDetector::new(
             patterns(),
@@ -272,13 +332,9 @@ mod tests {
 
     #[test]
     fn invalid_window_rejected() {
-        assert!(IncrementalDetector::new(
-            patterns(),
-            Semantics::Ordered,
-            TimeDelta::ZERO,
-            3
-        )
-        .is_err());
+        assert!(
+            IncrementalDetector::new(patterns(), Semantics::Ordered, TimeDelta::ZERO, 3).is_err()
+        );
     }
 
     proptest! {

@@ -33,8 +33,8 @@ pub use engine::{CepEngine, QueryAnswers};
 pub use error::CepError;
 pub use incremental::{ClosedWindow, IncrementalDetector};
 pub use matcher::{match_indicator, match_window, WindowMatch};
-pub use pattern_stream::{Occurrence, PatternStream};
 pub use nfa::Nfa;
 pub use parse::parse_query;
 pub use pattern::{Pattern, PatternId, PatternSet};
+pub use pattern_stream::{Occurrence, PatternStream};
 pub use query::{Query, QueryExpr, QueryId, Semantics};

@@ -47,10 +47,7 @@ pub fn match_window(pattern: &Pattern, events: &[Event], semantics: Semantics) -
             }
         }
         Semantics::Conjunction => {
-            let detected = pattern
-                .distinct_types()
-                .iter()
-                .all(|ty| types.contains(ty));
+            let detected = pattern.distinct_types().iter().all(|ty| types.contains(ty));
             WindowMatch {
                 detected,
                 positions: None,
@@ -141,8 +138,22 @@ mod tests {
         let p = Pattern::seq("p", vec![t(0), t(1)]).unwrap();
         let window = [ev(0, 0), ev(0, 50), ev(1, 60)];
         // tightest match spans 10 ms (50 → 60)
-        assert!(match_window(&p, &window, Semantics::OrderedWithin(TimeDelta::from_millis(10))).detected);
-        assert!(!match_window(&p, &window, Semantics::OrderedWithin(TimeDelta::from_millis(5))).detected);
+        assert!(
+            match_window(
+                &p,
+                &window,
+                Semantics::OrderedWithin(TimeDelta::from_millis(10))
+            )
+            .detected
+        );
+        assert!(
+            !match_window(
+                &p,
+                &window,
+                Semantics::OrderedWithin(TimeDelta::from_millis(5))
+            )
+            .detected
+        );
         // plain ordered ignores the span
         assert!(match_window(&p, &window, Semantics::Ordered).detected);
     }

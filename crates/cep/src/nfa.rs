@@ -88,7 +88,10 @@ impl Nfa {
     /// feasible prefixes of length `k + 1` seen so far. When an event
     /// completes the pattern, `ts − dp[m−1]` is the tightest span ending
     /// there. `O(n·m)` time, `O(m)` space.
-    pub fn min_span(&self, events: &[(EventType, pdp_stream::Timestamp)]) -> Option<pdp_stream::TimeDelta> {
+    pub fn min_span(
+        &self,
+        events: &[(EventType, pdp_stream::Timestamp)],
+    ) -> Option<pdp_stream::TimeDelta> {
         if self.steps.is_empty() {
             return Some(pdp_stream::TimeDelta::ZERO);
         }

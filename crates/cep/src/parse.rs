@@ -128,8 +128,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>, CepError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < chars.len()
-                    && (chars[i].is_ascii_alphanumeric()
-                        || matches!(chars[i], '_' | '.' | '-'))
+                    && (chars[i].is_ascii_alphanumeric() || matches!(chars[i], '_' | '.' | '-'))
                 {
                     i += 1;
                 }
@@ -362,13 +361,7 @@ mod tests {
     #[test]
     fn parses_boolean_structure() {
         let (types, mut patterns) = setup();
-        let q = parse_query(
-            "q",
-            "ALL(a, b) AND NOT c OR d",
-            &types,
-            &mut patterns,
-        )
-        .unwrap();
+        let q = parse_query("q", "ALL(a, b) AND NOT c OR d", &types, &mut patterns).unwrap();
         // OR binds loosest: ((ALL(a,b) AND NOT c) OR d)
         match &q.expr {
             QueryExpr::Or(xs) => {
@@ -396,8 +389,7 @@ mod tests {
     #[test]
     fn rejects_mixed_semantics() {
         let (types, mut patterns) = setup();
-        let err = parse_query("q", "SEQ(a, b) AND ALL(c, d)", &types, &mut patterns)
-            .unwrap_err();
+        let err = parse_query("q", "SEQ(a, b) AND ALL(c, d)", &types, &mut patterns).unwrap_err();
         assert!(err.to_string().contains("mixed semantics"), "{err}");
     }
 
@@ -440,13 +432,7 @@ mod tests {
     #[test]
     fn deeply_nested_queries_parse() {
         let (types, mut patterns) = setup();
-        let q = parse_query(
-            "q",
-            "NOT (NOT (a AND (b OR NOT c)))",
-            &types,
-            &mut patterns,
-        )
-        .unwrap();
+        let q = parse_query("q", "NOT (NOT (a AND (b OR NOT c)))", &types, &mut patterns).unwrap();
         assert!(q.expr.validate(&patterns).is_ok());
         // truth table spot-check: a ∧ (b ∨ ¬c)
         let val = |a: bool, b: bool, c: bool| {

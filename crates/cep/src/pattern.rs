@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn seq_requires_elements() {
-        assert_eq!(Pattern::seq("p", vec![]).unwrap_err(), CepError::EmptyPattern);
+        assert_eq!(
+            Pattern::seq("p", vec![]).unwrap_err(),
+            CepError::EmptyPattern
+        );
         assert_eq!(Pattern::seq("p", vec![t(0)]).unwrap().len(), 1);
     }
 

@@ -87,8 +87,7 @@ impl PatternStream {
             {
                 let a = self.occurrences[i];
                 let b = self.occurrences[j];
-                if let (Some(pa), Some(pb)) = (patterns.get(a.pattern), patterns.get(b.pattern))
-                {
+                if let (Some(pa), Some(pb)) = (patterns.get(a.pattern), patterns.get(b.pattern)) {
                     if pa.overlaps(pb) {
                         out.push((a, b));
                     }

@@ -188,11 +188,9 @@ mod tests {
             Err(CepError::UnknownPattern(7))
         );
         assert!(QueryExpr::And(vec![]).validate(&patterns).is_err());
-        assert!(
-            QueryExpr::Not(Box::new(QueryExpr::Pattern(PatternId(1))))
-                .validate(&patterns)
-                .is_ok()
-        );
+        assert!(QueryExpr::Not(Box::new(QueryExpr::Pattern(PatternId(1))))
+            .validate(&patterns)
+            .is_ok());
     }
 
     #[test]

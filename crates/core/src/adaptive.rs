@@ -191,8 +191,7 @@ pub fn optimize_all(
                 .filter(|(j, _)| *j != k)
                 .map(|(_, a)| a.clone())
                 .collect();
-            let optimized =
-                optimize_single(patterns, id, &others, eps, model, n_types, config)?;
+            let optimized = optimize_single(patterns, id, &others, eps, model, n_types, config)?;
             assignments[k].1 = optimized;
         }
     }
@@ -267,8 +266,7 @@ mod tests {
     fn adaptive_shifts_budget_toward_shared_element() {
         let (set, private, _, model) = skewed_fixture();
         let config = AdaptiveConfig::default();
-        let dist =
-            optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
+        let dist = optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
         // Element 0 (shared with the target) should end with more budget
         // than element 1 (private-only).
         assert!(
@@ -289,8 +287,7 @@ mod tests {
             optimize_single(&set, private, &[], eps(1.0), &model, 3, &config).unwrap();
         let uniform_dist = BudgetDistribution::uniform(eps(1.0), 2).unwrap();
         let q = |d: &BudgetDistribution| {
-            let table =
-                FlipTable::from_distributions(&set, &[(private, d.clone())], 3).unwrap();
+            let table = FlipTable::from_distributions(&set, &[(private, d.clone())], 3).unwrap();
             model.expected_quality(&table).q
         };
         assert!(q(&adaptive_dist) >= q(&uniform_dist) - 1e-12);
@@ -303,8 +300,7 @@ mod tests {
             step_rule: StepRule::PaperLiteral,
             ..AdaptiveConfig::default()
         };
-        let dist =
-            optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
+        let dist = optimize_single(&set, private, &[], eps(2.0), &model, 3, &config).unwrap();
         let sum: f64 = dist.shares().iter().map(|s| s.value()).sum();
         assert!((sum - 2.0).abs() < 1e-9, "paper-literal drifted: {sum}");
     }
@@ -314,10 +310,7 @@ mod tests {
         let mut set = PatternSet::new();
         let private = set.insert(Pattern::single("p", t(0)));
         let target = set.insert(Pattern::single("t", t(0)));
-        let windows = WindowedIndicators::new(vec![
-            IndicatorVector::from_present([t(0)], 1);
-            5
-        ]);
+        let windows = WindowedIndicators::new(vec![IndicatorVector::from_present([t(0)], 1); 5]);
         let model = QualityModel::new(windows, &set, &[target], Alpha::HALF).unwrap();
         let dist = optimize_single(
             &set,
@@ -377,8 +370,7 @@ mod tests {
             rounds: 2,
             ..AdaptiveConfig::default()
         };
-        let assignments =
-            optimize_all(&set, &[p1, p2], eps(1.5), &model, 4, &config).unwrap();
+        let assignments = optimize_all(&set, &[p1, p2], eps(1.5), &model, 4, &config).unwrap();
         assert_eq!(assignments.len(), 2);
         for (_, d) in &assignments {
             let sum: f64 = d.shares().iter().map(|s| s.value()).sum();
@@ -413,8 +405,7 @@ mod tests {
         assert!(p.shares()[0].value() > current.shares()[0].value());
         // share already at the cap → probe is None
         let capped =
-            BudgetDistribution::from_shares(eps(1.0), vec![eps(1.0), eps(0.0), eps(0.0)])
-                .unwrap();
+            BudgetDistribution::from_shares(eps(1.0), vec![eps(1.0), eps(0.0), eps(0.0)]).unwrap();
         assert!(probe(&capped, 0, 0.1, eps(1.0), StepRule::Conserving).is_none());
     }
 }

@@ -127,7 +127,11 @@ pub fn find_correlates(
         }
     }
     // strongest first
-    out.sort_by(|a, b| b.lift.partial_cmp(&a.lift).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.lift
+            .partial_cmp(&a.lift)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(out)
 }
 
@@ -221,8 +225,7 @@ mod tests {
         let (w, set, private) = fixture();
         let cs = find_correlates(&w, &set, &[private], 1.4).unwrap();
         let base = FlipTable::identity(4);
-        let widened =
-            widen_protection(&base, &cs, Epsilon::new(1.0).unwrap()).unwrap();
+        let widened = widen_protection(&base, &cs, Epsilon::new(1.0).unwrap()).unwrap();
         assert!(widened.prob(t(2)).value() > 0.0);
         assert_eq!(widened.prob(t(3)).value(), 0.0);
         // widening an already-noisy slot composes (more noise)

@@ -97,10 +97,7 @@ impl BudgetDistribution {
 
     /// Smallest share.
     pub fn min_share(&self) -> Epsilon {
-        self.shares
-            .iter()
-            .copied()
-            .fold(self.total, Epsilon::min)
+        self.shares.iter().copied().fold(self.total, Epsilon::min)
     }
 }
 

@@ -11,7 +11,7 @@
 //!   queries from the *protected* view only, accounting each pattern's
 //!   budget in a ledger.
 
-use pdp_cep::{match_indicator, Pattern, PatternId, PatternSet, QueryId};
+use pdp_cep::{Pattern, PatternId, PatternSet, QueryId};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
 use pdp_metrics::Alpha;
 use pdp_stream::WindowedIndicators;
@@ -20,6 +20,7 @@ use crate::adaptive::AdaptiveConfig;
 use crate::error::CoreError;
 use crate::protect::{Mechanism, ProtectionPipeline};
 use crate::quality_model::QualityModel;
+use crate::streaming::OnlineCore;
 
 /// Which pattern-level PPM the engine applies.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,12 @@ pub struct ProtectedAnswer {
 }
 
 /// The trusted middleware.
+///
+/// After [`TrustedEngine::setup`], all service goes through the shared
+/// [`OnlineCore`] — the batch methods below are thin adapters replaying a
+/// windowed history through the same per-window release path the
+/// [`StreamingEngine`](crate::streaming::StreamingEngine) drives event by
+/// event.
 #[derive(Debug, Clone)]
 pub struct TrustedEngine {
     config: TrustedEngineConfig,
@@ -71,7 +78,7 @@ pub struct TrustedEngine {
     private: Vec<PatternId>,
     queries: Vec<(String, PatternId)>,
     history: Option<WindowedIndicators>,
-    pipeline: Option<ProtectionPipeline>,
+    core: Option<OnlineCore>,
     ledger: BudgetLedger<PatternId>,
 }
 
@@ -84,7 +91,7 @@ impl TrustedEngine {
             private: Vec::new(),
             queries: Vec::new(),
             history: None,
-            pipeline: None,
+            core: None,
             ledger: BudgetLedger::unlimited(),
         }
     }
@@ -93,7 +100,15 @@ impl TrustedEngine {
     pub fn register_private_pattern(&mut self, pattern: Pattern) -> PatternId {
         let id = self.patterns.insert(pattern);
         self.private.push(id);
-        self.pipeline = None; // invalidate any earlier setup
+        self.core = None; // invalidate any earlier setup
+        id
+    }
+
+    /// Register a pattern that is neither private nor queried (e.g. a
+    /// workload pattern kept for id parity with an external registry).
+    pub fn register_pattern(&mut self, pattern: Pattern) -> PatternId {
+        let id = self.patterns.insert(pattern);
+        self.core = None;
         id
     }
 
@@ -102,22 +117,25 @@ impl TrustedEngine {
         let pid = self.patterns.insert(pattern);
         let qid = QueryId(self.queries.len() as u32);
         self.queries.push((name.to_owned(), pid));
-        self.pipeline = None;
+        self.core = None;
         (qid, pid)
     }
 
     /// Data subject: grant access to historical data (adaptive PPM input).
     pub fn provide_history(&mut self, windows: WindowedIndicators) {
         self.history = Some(windows);
-        self.pipeline = None;
+        self.core = None;
     }
 
     /// Complete the setup phase: build the protection pipeline.
     pub fn setup(&mut self) -> Result<(), CoreError> {
         let pipeline = match &self.config.ppm {
-            PpmKind::PassThrough => {
-                ProtectionPipeline::from_assignments("pass-through", &self.patterns, Vec::new(), self.config.n_types)?
-            }
+            PpmKind::PassThrough => ProtectionPipeline::from_assignments(
+                "pass-through",
+                &self.patterns,
+                Vec::new(),
+                self.config.n_types,
+            )?,
             PpmKind::Uniform { eps } => ProtectionPipeline::uniform(
                 &self.patterns,
                 &self.private,
@@ -126,8 +144,7 @@ impl TrustedEngine {
             )?,
             PpmKind::Adaptive { eps, config } => {
                 let history = self.history.as_ref().ok_or(CoreError::MissingHistory)?;
-                let target_ids: Vec<PatternId> =
-                    self.queries.iter().map(|(_, pid)| *pid).collect();
+                let target_ids: Vec<PatternId> = self.queries.iter().map(|(_, pid)| *pid).collect();
                 let model = QualityModel::new(
                     history.clone(),
                     &self.patterns,
@@ -144,13 +161,17 @@ impl TrustedEngine {
                 )?
             }
         };
-        self.pipeline = Some(pipeline);
+        self.core = Some(OnlineCore::new(
+            pipeline,
+            self.patterns.clone(),
+            self.queries.clone(),
+        ));
         Ok(())
     }
 
     /// True once [`TrustedEngine::setup`] has completed.
     pub fn is_set_up(&self) -> bool {
-        self.pipeline.is_some()
+        self.core.is_some()
     }
 
     /// The registered pattern set (private + target).
@@ -165,7 +186,14 @@ impl TrustedEngine {
 
     /// The active pipeline (after setup).
     pub fn pipeline(&self) -> Option<&ProtectionPipeline> {
-        self.pipeline.as_ref()
+        self.core.as_ref().map(OnlineCore::pipeline)
+    }
+
+    /// The shared online release core (after setup); what
+    /// [`StreamingEngine::from_engine`](crate::streaming::StreamingEngine::from_engine)
+    /// clones to go push-based.
+    pub(crate) fn online_core(&self) -> Option<&OnlineCore> {
+        self.core.as_ref()
     }
 
     /// Budget spent so far on one private pattern.
@@ -185,85 +213,76 @@ impl TrustedEngine {
         correlate_eps: Epsilon,
     ) -> Result<Vec<crate::correlation::Correlate>, CoreError> {
         let history = self.history.as_ref().ok_or(CoreError::MissingHistory)?;
-        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
-        let correlates = crate::correlation::find_correlates(
-            history,
-            &self.patterns,
-            &self.private,
-            threshold,
-        )?;
+        let pipeline = self.pipeline().ok_or(CoreError::NotSetUp)?;
+        let correlates =
+            crate::correlation::find_correlates(history, &self.patterns, &self.private, threshold)?;
         let widened = crate::correlation::widen_protection(
             pipeline.flip_table(),
             &correlates,
             correlate_eps,
         )?;
-        self.pipeline = Some(ProtectionPipeline::from_table(
+        let widened_pipeline = ProtectionPipeline::from_table(
             &format!("{}+correlates", pipeline.name()),
             widened,
             pipeline.assignments().to_vec(),
+        );
+        self.core = Some(OnlineCore::new(
+            widened_pipeline,
+            self.patterns.clone(),
+            self.queries.clone(),
         ));
         Ok(correlates)
     }
 
     /// Service phase: protect a batch of windows and answer every
     /// registered consumer query on the protected view.
+    ///
+    /// A thin adapter over the online core: each window is replayed through
+    /// the same [`OnlineCore::release_window`] path the streaming engine
+    /// drives, so each window is a release and charges every protected
+    /// pattern's full budget to the ledger (sequential composition across
+    /// windows and serves).
     pub fn serve(
         &mut self,
         windows: &WindowedIndicators,
         rng: &mut DpRng,
     ) -> Result<Vec<ProtectedAnswer>, CoreError> {
-        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
-        if windows.n_types() != self.config.n_types && !windows.is_empty() {
-            return Err(CoreError::WidthMismatch {
-                expected: self.config.n_types,
-                got: windows.n_types(),
-            });
+        let core = self.core.as_ref().ok_or(CoreError::NotSetUp)?;
+        let mut per_query: Vec<Vec<bool>> =
+            vec![Vec::with_capacity(windows.len()); self.queries.len()];
+        for window in windows.iter() {
+            let released = core.release_window(window, &mut self.ledger, rng)?;
+            for (qi, hit) in core.answer_window(&released).into_iter().enumerate() {
+                per_query[qi].push(hit);
+            }
         }
-        let protected = pipeline.protect(windows, rng);
-        // Account the spend: each protected pattern's full budget is
-        // consumed by this release (sequential composition across serves).
-        for (id, eps) in pipeline.budgets() {
-            self.ledger
-                .spend(id, eps)
-                .expect("unlimited ledger never refuses");
-        }
-        let answers = self
+        Ok(self
             .queries
             .iter()
+            .zip(per_query)
             .enumerate()
-            .map(|(qi, (name, pid))| {
-                let pattern = self
-                    .patterns
-                    .get(*pid)
-                    .expect("registered queries reference registered patterns");
-                ProtectedAnswer {
-                    query: QueryId(qi as u32),
-                    name: name.clone(),
-                    answers: protected
-                        .iter()
-                        .map(|w| match_indicator(pattern, w))
-                        .collect(),
-                }
+            .map(|(qi, ((name, _), answers))| ProtectedAnswer {
+                query: QueryId(qi as u32),
+                name: name.clone(),
+                answers,
             })
-            .collect();
-        Ok(answers)
+            .collect())
     }
 
     /// The protected indicator view itself (what a consumer with raw-stream
-    /// access would receive).
+    /// access would receive). Same release path and accounting as
+    /// [`TrustedEngine::serve`].
     pub fn protected_view(
         &mut self,
         windows: &WindowedIndicators,
         rng: &mut DpRng,
     ) -> Result<WindowedIndicators, CoreError> {
-        let pipeline = self.pipeline.as_ref().ok_or(CoreError::NotSetUp)?;
-        let out = pipeline.protect(windows, rng);
-        for (id, eps) in pipeline.budgets() {
-            self.ledger
-                .spend(id, eps)
-                .expect("unlimited ledger never refuses");
+        let core = self.core.as_ref().ok_or(CoreError::NotSetUp)?;
+        let mut out = Vec::with_capacity(windows.len());
+        for window in windows.iter() {
+            out.push(core.release_window(window, &mut self.ledger, rng)?);
         }
-        Ok(out)
+        Ok(WindowedIndicators::new(out))
     }
 }
 
@@ -346,7 +365,9 @@ mod tests {
         let mut rng = DpRng::seed_from(2);
         e.serve(&windows(), &mut rng).unwrap();
         e.serve(&windows(), &mut rng).unwrap();
-        assert!((e.budget_spent(private).value() - 1.0).abs() < 1e-12);
+        // each of the 3 windows per serve is a release of eps = 0.5:
+        // 2 serves x 3 windows x 0.5 (sequential composition per release)
+        assert!((e.budget_spent(private).value() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -383,7 +404,10 @@ mod tests {
         let narrow = WindowedIndicators::new(vec![IndicatorVector::empty(2)]);
         assert!(matches!(
             e.serve(&narrow, &mut rng),
-            Err(CoreError::WidthMismatch { expected: 4, got: 2 })
+            Err(CoreError::WidthMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 
@@ -439,7 +463,8 @@ mod tests {
         let mut rng = DpRng::seed_from(4);
         let view = e.protected_view(&windows(), &mut rng).unwrap();
         assert_eq!(view.len(), 3);
-        assert!((e.budget_spent(p).value() - 2.0).abs() < 1e-12);
+        // 3 windows released, each charging the full eps = 2.0
+        assert!((e.budget_spent(p).value() - 6.0).abs() < 1e-12);
         // non-private types pass through exactly
         for (w_in, w_out) in windows().iter().zip(view.iter()) {
             for ty in [t(1), t(2), t(3)] {

@@ -24,6 +24,10 @@ pub enum CoreError {
         /// What was provided.
         got: usize,
     },
+    /// The streaming detector rejected its configuration or input (e.g. a
+    /// non-positive window length, out-of-order events, a regressing
+    /// watermark).
+    Detection(String),
 }
 
 impl fmt::Display for CoreError {
@@ -37,8 +41,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::NotSetUp => write!(f, "engine must complete setup before serving"),
             CoreError::WidthMismatch { expected, got } => {
-                write!(f, "flip table width {got} does not match {expected} event types")
+                write!(
+                    f,
+                    "flip table width {got} does not match {expected} event types"
+                )
             }
+            CoreError::Detection(msg) => write!(f, "streaming detection error: {msg}"),
         }
     }
 }

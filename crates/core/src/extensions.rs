@@ -266,15 +266,13 @@ mod tests {
             windows.push(IndicatorVector::from_present(present, 3));
         }
         let windows = WindowedIndicators::new(windows);
-        let q = NoisyArgmax::new(vec![
-            ("busy".into(), busy),
-            ("quiet".into(), quiet),
-        ])
-        .unwrap();
+        let q = NoisyArgmax::new(vec![("busy".into(), busy), ("quiet".into(), quiet)]).unwrap();
         let mut rng = DpRng::seed_from(4);
         let mut busy_wins = 0;
         for _ in 0..200 {
-            if q.select(&set, &windows, Epsilon::new(2.0).unwrap(), &mut rng).unwrap() == "busy"
+            if q.select(&set, &windows, Epsilon::new(2.0).unwrap(), &mut rng)
+                .unwrap()
+                == "busy"
             {
                 busy_wins += 1;
             }
@@ -287,7 +285,10 @@ mod tests {
                 even += 1;
             }
         }
-        assert!((even as f64 / 400.0 - 0.5).abs() < 0.1, "quiet rate {even}/400");
+        assert!(
+            (even as f64 / 400.0 - 0.5).abs() < 0.1,
+            "quiet rate {even}/400"
+        );
     }
 
     #[test]
@@ -308,13 +309,8 @@ mod tests {
         use crate::protect::{Mechanism, ProtectionPipeline};
         use pdp_dp::{DpRng, Epsilon};
         let (set, busy, _, windows) = setup();
-        let pipeline = ProtectionPipeline::uniform(
-            &set,
-            &[busy],
-            Epsilon::new(0.5).unwrap(),
-            3,
-        )
-        .unwrap();
+        let pipeline =
+            ProtectionPipeline::uniform(&set, &[busy], Epsilon::new(0.5).unwrap(), 3).unwrap();
         let mut rng = DpRng::seed_from(3);
         let protected = pipeline.protect(&windows, &mut rng);
         let q = CountQuery::new(busy, 2).unwrap();

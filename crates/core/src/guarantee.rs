@@ -169,11 +169,15 @@ mod tests {
     #[test]
     fn tighter_budget_means_smaller_ratio() {
         let w = IndicatorVector::from_present([t(0)], 2);
-        let loose = vec![FlipProb::from_epsilon(eps(2.0)), FlipProb::new(0.0).unwrap()];
-        let tight = vec![FlipProb::from_epsilon(eps(0.5)), FlipProb::new(0.0).unwrap()];
-        assert!(
-            max_log_ratio(&w, &[t(0)], &tight) < max_log_ratio(&w, &[t(0)], &loose)
-        );
+        let loose = vec![
+            FlipProb::from_epsilon(eps(2.0)),
+            FlipProb::new(0.0).unwrap(),
+        ];
+        let tight = vec![
+            FlipProb::from_epsilon(eps(0.5)),
+            FlipProb::new(0.0).unwrap(),
+        ];
+        assert!(max_log_ratio(&w, &[t(0)], &tight) < max_log_ratio(&w, &[t(0)], &loose));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`protect`] — the protection pipeline: flip tables composed across
 //!   overlapping private patterns, applied **only** to events that correlate
 //!   with private patterns;
-//! * [`engine`] — the trusted CEP engine middleware of §III-A (Fig. 2).
+//! * [`engine`] — the trusted CEP engine middleware of §III-A (Fig. 2);
+//! * [`streaming`] — the push-based service layer: [`StreamingEngine`]
+//!   consumes events one at a time and releases protected windows online,
+//!   through the same [`OnlineCore`] the batch engine adapts.
 
 pub mod adaptive;
 pub mod correlation;
@@ -28,6 +31,7 @@ pub mod guarantee;
 pub mod neighbors;
 pub mod protect;
 pub mod quality_model;
+pub mod streaming;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
 pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
@@ -43,3 +47,4 @@ pub use neighbors::{
 };
 pub use protect::{FlipTable, Mechanism, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
+pub use streaming::{OnlineCore, StreamingConfig, StreamingEngine, WindowRelease};

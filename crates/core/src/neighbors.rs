@@ -26,10 +26,7 @@ pub fn is_in_pattern_neighbor(a: &[EventType], b: &[EventType]) -> bool {
 
 /// Enumerate all in-pattern neighbors of `instance` over `alphabet`:
 /// every single-position substitution by a different event type.
-pub fn in_pattern_neighbors(
-    instance: &[EventType],
-    alphabet: &[EventType],
-) -> Vec<Vec<EventType>> {
+pub fn in_pattern_neighbors(instance: &[EventType], alphabet: &[EventType]) -> Vec<Vec<EventType>> {
     let mut out = Vec::new();
     for i in 0..instance.len() {
         for &ty in alphabet {

@@ -43,9 +43,7 @@ impl FlipTable {
     ) -> Result<Self, CoreError> {
         let mut table = FlipTable::identity(n_types);
         for (id, dist) in assignments {
-            let pattern = patterns
-                .get(*id)
-                .ok_or(CoreError::UnknownPattern(id.0))?;
+            let pattern = patterns.get(*id).ok_or(CoreError::UnknownPattern(id.0))?;
             if pattern.len() != dist.len() {
                 return Err(CoreError::InvalidDistribution(format!(
                     "distribution has {} shares for pattern of length {}",
@@ -69,11 +67,27 @@ impl FlipTable {
     }
 
     /// The flip probability of one event type.
+    ///
+    /// **Clamp-to-identity contract:** a type outside the table's width is
+    /// answered with flip probability `0` — the same answer every
+    /// *uncorrelated* in-range type gets. This is sound for reads (an
+    /// unknown type is by definition not in any private pattern, so it is
+    /// never perturbed) and keeps hot-path lookups infallible; it mirrors
+    /// [`IndicatorVector::get`], which reports out-of-range types as
+    /// absent. Writes are different: silently dropping a *protection
+    /// request* would be a privacy bug, so [`FlipTable::set_prob`] errors
+    /// on out-of-range types instead. Use [`FlipTable::try_prob`] when the
+    /// caller needs to distinguish "uncorrelated" from "unknown type".
     pub fn prob(&self, ty: EventType) -> FlipProb {
-        self.probs
-            .get(ty.index())
-            .copied()
-            .unwrap_or(FlipProb::new(0.0).expect("0 is valid"))
+        self.try_prob(ty)
+            .unwrap_or(FlipProb::new(0.0).expect("0 is a valid flip probability"))
+    }
+
+    /// The flip probability of one event type, or `None` if `ty` lies
+    /// outside the table's width (the checked companion of
+    /// [`FlipTable::prob`]).
+    pub fn try_prob(&self, ty: EventType) -> Option<FlipProb> {
+        self.probs.get(ty.index()).copied()
     }
 
     /// Set the flip probability of one event type directly.
@@ -260,19 +274,23 @@ mod tests {
         assert_eq!(table.prob(t(3)).value(), 0.0);
         assert_eq!(table.prob(t(4)).value(), 0.0);
 
-        // a type-3/4-only window is passed through bit-for-bit
-        let mut rng = DpRng::seed_from(0);
-        let wi = WindowedIndicators::new(vec![IndicatorVector::from_present([t(3), t(4)], 5)]);
-        let out = pipeline.protect(&wi, &mut rng);
-        assert_eq!(out.window(0).bits(), wi.window(0).bits());
+        // bits of uncorrelated types are passed through bit-for-bit, no
+        // matter what the RNG draws for the protected types
+        for seed in 0..32 {
+            let mut rng = DpRng::seed_from(seed);
+            let wi = WindowedIndicators::new(vec![IndicatorVector::from_present([t(3), t(4)], 5)]);
+            let out = pipeline.protect(&wi, &mut rng);
+            for ty in [t(2), t(3), t(4)] {
+                assert_eq!(out.window(0).get(ty), wi.window(0).get(ty), "seed {seed}");
+            }
+        }
     }
 
     #[test]
     fn overlapping_patterns_compose_flips() {
         let (set, a, b) = patterns();
         // both patterns uniform with ε = 2 → each element share = 1
-        let pipeline =
-            ProtectionPipeline::uniform(&set, &[a, b], eps(2.0), 3).unwrap();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a, b], eps(2.0), 3).unwrap();
         let table = pipeline.flip_table();
         let p_share = FlipProb::from_epsilon(eps(1.0));
         // type 1 is in both patterns: composed flip
@@ -345,5 +363,31 @@ mod tests {
         assert!(table.set_prob(t(1), FlipProb::new(0.3).unwrap()).is_ok());
         assert!(table.set_prob(t(5), FlipProb::new(0.3).unwrap()).is_err());
         assert!((table.prob(t(1)).value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_path_contract_is_consistent() {
+        let mut table = FlipTable::identity(2);
+        table.set_prob(t(0), FlipProb::new(0.25).unwrap()).unwrap();
+        // in-range reads: checked and unchecked agree
+        assert_eq!(table.try_prob(t(0)), Some(FlipProb::new(0.25).unwrap()));
+        assert_eq!(table.prob(t(0)).value(), 0.25);
+        assert_eq!(table.try_prob(t(1)), Some(FlipProb::new(0.0).unwrap()));
+        // out-of-range: reads clamp to identity (never flips), writes error
+        assert_eq!(table.try_prob(t(9)), None);
+        assert_eq!(table.prob(t(9)).value(), 0.0);
+        assert!(matches!(
+            table.set_prob(t(9), FlipProb::new(0.1).unwrap()),
+            Err(CoreError::WidthMismatch {
+                expected: 2,
+                got: 10
+            })
+        ));
+        // and the clamped read really means "identity": protecting a
+        // window never touches anything out of range
+        let mut rng = DpRng::seed_from(1);
+        let mut window = IndicatorVector::empty(2);
+        table.apply_window(&mut window, &mut rng);
+        assert!(!window.get(t(9)));
     }
 }

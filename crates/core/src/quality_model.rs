@@ -134,9 +134,11 @@ pub fn expected_quality(
     table: &FlipTable,
     alpha: Alpha,
 ) -> Result<f64, CoreError> {
-    Ok(QualityModel::new(windows.clone(), patterns, target_ids, alpha)?
-        .expected_quality(table)
-        .q)
+    Ok(
+        QualityModel::new(windows.clone(), patterns, target_ids, alpha)?
+            .expected_quality(table)
+            .q,
+    )
 }
 
 #[cfg(test)]

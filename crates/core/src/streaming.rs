@@ -1,0 +1,515 @@
+//! The push-based streaming service layer (§III, Fig. 1–2).
+//!
+//! The paper's model is an *unbounded* stream: data subjects emit events
+//! continuously, the trusted engine maintains the open window, and every
+//! window close is a **release** — the only moment protected information
+//! leaves the engine. [`StreamingEngine`] implements exactly that loop:
+//!
+//! 1. events arrive one at a time ([`StreamingEngine::push`]); the engine
+//!    drives an [`IncrementalDetector`] for raw per-pattern detections and
+//!    maintains the open window's indicator vector;
+//! 2. when an event (or a watermark heartbeat,
+//!    [`StreamingEngine::advance_watermark`]) moves time past the open
+//!    window, every closed window is released: the [`FlipTable`] randomized
+//!    response perturbs the private bits, the budget ledger records each
+//!    protected pattern's spend for that release, and every registered
+//!    consumer query is answered from the *protected* view only;
+//! 3. the answers, the protected indicator vector, and the raw detections
+//!    come back as [`WindowRelease`]s for downstream consumers.
+//!
+//! [`OnlineCore`] is the **single protection + accounting code path**: the
+//! batch [`TrustedEngine`](crate::engine::TrustedEngine) service methods are
+//! thin adapters that replay a windowed history through the same
+//! [`OnlineCore::release_window`], so batch and streaming are equivalent by
+//! construction (and verified equivalent under a seeded
+//! [`DpRng`] in the test suite).
+//!
+//! [`FlipTable`]: crate::protect::FlipTable
+
+use pdp_cep::{
+    match_indicator, ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics,
+};
+use pdp_dp::{BudgetLedger, DpRng, Epsilon};
+use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp};
+
+use crate::engine::TrustedEngine;
+use crate::error::CoreError;
+use crate::protect::ProtectionPipeline;
+
+/// The shared online release path: protection, accounting and query
+/// answering for one closed window at a time.
+///
+/// Built by [`TrustedEngine::setup`](crate::engine::TrustedEngine::setup);
+/// used directly by the batch adapters and via [`StreamingEngine`] by the
+/// push path. Holds no per-stream state — window state lives in the caller
+/// (open-window vectors for streaming, the input history for batch), and
+/// the ledger is passed in so each service front keeps its own accounting.
+#[derive(Debug, Clone)]
+pub struct OnlineCore {
+    pipeline: ProtectionPipeline,
+    /// Cached `pipeline.budgets()`: the per-release spend, charged per
+    /// closed window (sequential composition across releases).
+    budgets: Vec<(PatternId, Epsilon)>,
+    patterns: PatternSet,
+    queries: Vec<(String, PatternId)>,
+}
+
+impl OnlineCore {
+    pub(crate) fn new(
+        pipeline: ProtectionPipeline,
+        patterns: PatternSet,
+        queries: Vec<(String, PatternId)>,
+    ) -> Self {
+        let budgets = pipeline.budgets();
+        OnlineCore {
+            pipeline,
+            budgets,
+            patterns,
+            queries,
+        }
+    }
+
+    /// The protection pipeline in force.
+    pub fn pipeline(&self) -> &ProtectionPipeline {
+        &self.pipeline
+    }
+
+    /// The registered pattern set (private + target).
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// The registered consumer queries, in [`QueryId`] order.
+    pub fn queries(&self) -> &[(String, PatternId)] {
+        &self.queries
+    }
+
+    /// Release one closed window: apply the flip table to the private bits
+    /// and charge every protected pattern's budget to `ledger`.
+    ///
+    /// This is the **only** place protected views are produced and budget
+    /// is spent — both the batch and the streaming service fronts funnel
+    /// every window through here.
+    pub fn release_window(
+        &self,
+        window: &IndicatorVector,
+        ledger: &mut BudgetLedger<PatternId>,
+        rng: &mut DpRng,
+    ) -> Result<IndicatorVector, CoreError> {
+        let width = self.pipeline.flip_table().width();
+        if window.n_types() != width {
+            return Err(CoreError::WidthMismatch {
+                expected: width,
+                got: window.n_types(),
+            });
+        }
+        for &(id, eps) in &self.budgets {
+            ledger.spend(id, eps)?;
+        }
+        let mut out = window.clone();
+        self.pipeline.flip_table().apply_window(&mut out, rng);
+        Ok(out)
+    }
+
+    /// Answer every registered query on a protected window, in
+    /// [`QueryId`] order.
+    pub fn answer_window(&self, protected: &IndicatorVector) -> Vec<bool> {
+        self.queries
+            .iter()
+            .map(|(_, pid)| {
+                let pattern = self
+                    .patterns
+                    .get(*pid)
+                    .expect("registered queries reference registered patterns");
+                match_indicator(pattern, protected)
+            })
+            .collect()
+    }
+}
+
+/// Streaming-specific knobs on top of a set-up engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Tumbling window length (the release cadence).
+    pub window_len: TimeDelta,
+    /// Matching semantics for the raw detection side-channel.
+    pub semantics: Semantics,
+}
+
+impl StreamingConfig {
+    /// Tumbling windows of `window_len` with conjunction semantics (the
+    /// indicator-level semantics the protected view is matched under).
+    pub fn tumbling(window_len: TimeDelta) -> Self {
+        StreamingConfig {
+            window_len,
+            semantics: Semantics::Conjunction,
+        }
+    }
+}
+
+/// One closed, protected, answered window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRelease {
+    /// Sequential release index.
+    pub index: usize,
+    /// Start of the released window.
+    pub start: Timestamp,
+    /// Raw (pre-protection) per-pattern detections from the incremental
+    /// detector, indexed by [`PatternId`]. These never leave the trusted
+    /// boundary in production — they are the engine-internal truth used for
+    /// quality metering.
+    pub raw_detections: Vec<bool>,
+    /// The protected indicator view — what consumers receive.
+    pub protected: IndicatorVector,
+    /// Per registered query (in [`QueryId`] order): the answer computed on
+    /// the protected view only.
+    pub answers: Vec<bool>,
+}
+
+/// The push-based trusted engine: consumes [`Event`]s, emits
+/// [`WindowRelease`]s.
+///
+/// Construct with [`StreamingEngine::from_engine`] after completing the
+/// setup phase on a [`TrustedEngine`]. The streaming engine keeps its own
+/// budget ledger (it is a separate service front over the same protection
+/// core).
+#[derive(Debug, Clone)]
+pub struct StreamingEngine {
+    core: OnlineCore,
+    ledger: BudgetLedger<PatternId>,
+    detector: IncrementalDetector,
+    n_types: usize,
+    events_seen: usize,
+}
+
+impl StreamingEngine {
+    /// Go online: take the protection core of a set-up batch engine and
+    /// start consuming events. Fails with [`CoreError::NotSetUp`] if
+    /// `engine.setup()` has not completed.
+    pub fn from_engine(engine: &TrustedEngine, config: StreamingConfig) -> Result<Self, CoreError> {
+        let core = engine.online_core().ok_or(CoreError::NotSetUp)?.clone();
+        let n_types = core.pipeline().flip_table().width();
+        let detector = IncrementalDetector::new(
+            core.patterns().clone(),
+            config.semantics,
+            config.window_len,
+            n_types,
+        )
+        .map_err(|e| CoreError::Detection(e.to_string()))?;
+        Ok(StreamingEngine {
+            core,
+            ledger: BudgetLedger::unlimited(),
+            detector,
+            n_types,
+            events_seen: 0,
+        })
+    }
+
+    /// Push one event (events must arrive in temporal order). Returns the
+    /// releases of every window that closed before it — empty gap windows
+    /// included, so downstream consumers see the full timeline and absent
+    /// patterns can still flip into present ones.
+    pub fn push(
+        &mut self,
+        event: &Event,
+        rng: &mut DpRng,
+    ) -> Result<Vec<WindowRelease>, CoreError> {
+        let closed = self
+            .detector
+            .push(event)
+            .map_err(|e| CoreError::Detection(e.to_string()))?;
+        let releases = self.release_rows(closed, rng)?;
+        self.events_seen += 1;
+        Ok(releases)
+    }
+
+    /// Advance the watermark to `ts` without an event (heartbeat): closes
+    /// and releases every window ending at or before `ts`'s window start.
+    /// A long-running service calls this on quiet streams so consumers
+    /// keep receiving (protected, possibly flipped-present) windows.
+    pub fn advance_watermark(
+        &mut self,
+        ts: Timestamp,
+        rng: &mut DpRng,
+    ) -> Result<Vec<WindowRelease>, CoreError> {
+        let closed = self
+            .detector
+            .advance_to(ts)
+            .map_err(|e| CoreError::Detection(e.to_string()))?;
+        self.release_rows(closed, rng)
+    }
+
+    /// Flush the open window (end of stream). `None` if no window is open.
+    pub fn finish(&mut self, rng: &mut DpRng) -> Result<Option<WindowRelease>, CoreError> {
+        match self.detector.finish() {
+            Some(row) => self.release_one(row, rng).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn release_rows(
+        &mut self,
+        rows: Vec<ClosedWindow>,
+        rng: &mut DpRng,
+    ) -> Result<Vec<WindowRelease>, CoreError> {
+        rows.into_iter()
+            .map(|row| self.release_one(row, rng))
+            .collect()
+    }
+
+    fn release_one(
+        &mut self,
+        row: ClosedWindow,
+        rng: &mut DpRng,
+    ) -> Result<WindowRelease, CoreError> {
+        let raw = IndicatorVector::from_present(
+            row.presence
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| pdp_stream::EventType(i as u32)),
+            self.n_types,
+        );
+        let protected = self.core.release_window(&raw, &mut self.ledger, rng)?;
+        let answers = self.core.answer_window(&protected);
+        Ok(WindowRelease {
+            index: row.index,
+            start: row.start,
+            raw_detections: row.detections,
+            protected,
+            answers,
+        })
+    }
+
+    /// The shared protection core (pipeline, patterns, queries).
+    pub fn core(&self) -> &OnlineCore {
+        &self.core
+    }
+
+    /// Number of windows released so far.
+    pub fn releases(&self) -> usize {
+        self.detector.emitted()
+    }
+
+    /// Number of events consumed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Budget spent so far on one private pattern (sequential composition
+    /// across this front's releases).
+    pub fn budget_spent(&self, id: PatternId) -> Epsilon {
+        self.ledger.spent(&id)
+    }
+
+    /// Names of the registered queries, in [`QueryId`] order (the order of
+    /// [`WindowRelease::answers`]).
+    pub fn query_names(&self) -> Vec<&str> {
+        self.core
+            .queries()
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect()
+    }
+
+    /// The [`QueryId`] a release's `answers[i]` corresponds to.
+    pub fn query_id(&self, i: usize) -> Option<QueryId> {
+        (i < self.core.queries().len()).then_some(QueryId(i as u32))
+    }
+
+    /// Width of the event-type universe.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PpmKind, TrustedEngineConfig};
+    use pdp_cep::Pattern;
+    use pdp_metrics::Alpha;
+    use pdp_stream::{EventType, WindowedIndicators};
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn e(ty: u32, ms: i64) -> Event {
+        Event::new(t(ty), Timestamp::from_millis(ms))
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn set_up_engine(ppm: PpmKind) -> TrustedEngine {
+        let mut engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm,
+        });
+        engine.register_private_pattern(Pattern::seq("priv", vec![t(0), t(1)]).unwrap());
+        engine.register_target_query("t2?", Pattern::single("t2", t(2)));
+        engine.setup().unwrap();
+        engine
+    }
+
+    fn streaming(ppm: PpmKind) -> StreamingEngine {
+        StreamingEngine::from_engine(
+            &set_up_engine(ppm),
+            StreamingConfig::tumbling(TimeDelta::from_millis(10)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_set_up_engine() {
+        let engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::PassThrough,
+        });
+        assert!(matches!(
+            StreamingEngine::from_engine(
+                &engine,
+                StreamingConfig::tumbling(TimeDelta::from_millis(10))
+            ),
+            Err(CoreError::NotSetUp)
+        ));
+    }
+
+    #[test]
+    fn invalid_window_length_rejected() {
+        let engine = set_up_engine(PpmKind::PassThrough);
+        assert!(matches!(
+            StreamingEngine::from_engine(&engine, StreamingConfig::tumbling(TimeDelta::ZERO)),
+            Err(CoreError::Detection(_))
+        ));
+    }
+
+    #[test]
+    fn pass_through_releases_answer_truth() {
+        let mut s = streaming(PpmKind::PassThrough);
+        let mut rng = DpRng::seed_from(1);
+        assert!(s.push(&e(2, 1), &mut rng).unwrap().is_empty());
+        assert!(s.push(&e(0, 5), &mut rng).unwrap().is_empty());
+        // t=25 closes window 0 and the empty window 1
+        let releases = s.push(&e(2, 25), &mut rng).unwrap();
+        assert_eq!(releases.len(), 2);
+        assert_eq!(releases[0].index, 0);
+        assert_eq!(releases[0].start, Timestamp::ZERO);
+        assert_eq!(releases[0].answers, vec![true]); // t2 present
+        assert!(releases[0].protected.get(t(0)));
+        assert_eq!(releases[1].answers, vec![false]); // gap window empty
+        assert_eq!(releases[1].protected.count_present(), 0);
+        let last = s.finish(&mut rng).unwrap().unwrap();
+        assert_eq!(last.index, 2);
+        assert_eq!(last.answers, vec![true]);
+        assert_eq!(s.releases(), 3);
+        assert_eq!(s.events_seen(), 3);
+        assert!(s.finish(&mut rng).unwrap().is_none());
+    }
+
+    #[test]
+    fn raw_detections_come_from_the_incremental_detector() {
+        let engine = set_up_engine(PpmKind::PassThrough);
+        let mut s = StreamingEngine::from_engine(
+            &engine,
+            StreamingConfig {
+                window_len: TimeDelta::from_millis(10),
+                semantics: Semantics::Ordered,
+            },
+        )
+        .unwrap();
+        let mut rng = DpRng::seed_from(3);
+        s.push(&e(0, 1), &mut rng).unwrap();
+        s.push(&e(1, 4), &mut rng).unwrap();
+        let release = s.finish(&mut rng).unwrap().unwrap();
+        // pattern 0 = SEQ(t0, t1) observed in order; pattern 1 = t2 absent
+        assert_eq!(release.raw_detections, vec![true, false]);
+    }
+
+    #[test]
+    fn budget_accrues_per_release() {
+        let mut s = streaming(PpmKind::Uniform { eps: eps(0.5) });
+        let private = s.core().patterns().iter().next().unwrap().0;
+        let mut rng = DpRng::seed_from(7);
+        s.push(&e(0, 1), &mut rng).unwrap();
+        s.push(&e(1, 35), &mut rng).unwrap(); // releases windows 0..=2
+        s.finish(&mut rng).unwrap(); // releases window 3
+        assert_eq!(s.releases(), 4);
+        assert!((s.budget_spent(private).value() - 4.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watermark_releases_quiet_windows() {
+        let mut s = streaming(PpmKind::Uniform { eps: eps(1.0) });
+        let mut rng = DpRng::seed_from(9);
+        // pin the logical stream start
+        assert!(s
+            .advance_watermark(Timestamp::ZERO, &mut rng)
+            .unwrap()
+            .is_empty());
+        // a quiet stream still releases protected windows on heartbeats
+        let releases = s
+            .advance_watermark(Timestamp::from_millis(30), &mut rng)
+            .unwrap();
+        assert_eq!(releases.len(), 3);
+        // uncorrelated types stay absent; private bits may flip in
+        for r in &releases {
+            assert!(!r.protected.get(t(2)));
+            assert!(!r.protected.get(t(3)));
+        }
+        // watermark regression is rejected
+        assert!(s
+            .advance_watermark(Timestamp::from_millis(5), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn streaming_matches_batch_protected_view_bit_for_bit() {
+        // the equivalence the refactor promises: same windows, same seed —
+        // identical protected output and identical ledger spend
+        let windows = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([t(0), t(2)], 4),
+            IndicatorVector::empty(4),
+            IndicatorVector::from_present([t(1)], 4),
+            IndicatorVector::from_present([t(0), t(1), t(3)], 4),
+        ]);
+        let len = TimeDelta::from_millis(10);
+
+        let mut batch_engine = set_up_engine(PpmKind::Uniform { eps: eps(1.2) });
+        let mut batch_rng = DpRng::seed_from(42);
+        let batch_view = batch_engine
+            .protected_view(&windows, &mut batch_rng)
+            .unwrap();
+
+        let engine = set_up_engine(PpmKind::Uniform { eps: eps(1.2) });
+        let mut s = StreamingEngine::from_engine(&engine, StreamingConfig::tumbling(len)).unwrap();
+        let mut stream_rng = DpRng::seed_from(42);
+        let mut released = Vec::new();
+        s.advance_watermark(Timestamp::ZERO, &mut stream_rng)
+            .unwrap();
+        for ev in windows.to_events(len).iter() {
+            released.extend(s.push(ev, &mut stream_rng).unwrap());
+        }
+        released.extend(
+            s.advance_watermark(
+                Timestamp::from_millis(windows.len() as i64 * len.millis()),
+                &mut stream_rng,
+            )
+            .unwrap(),
+        );
+
+        assert_eq!(released.len(), batch_view.len());
+        for (i, r) in released.iter().enumerate() {
+            assert_eq!(&r.protected, batch_view.window(i), "window {i}");
+        }
+        let private = engine.private_patterns()[0];
+        assert_eq!(
+            s.budget_spent(private).value(),
+            batch_engine.budget_spent(private).value()
+        );
+    }
+}

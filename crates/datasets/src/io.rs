@@ -93,11 +93,7 @@ mod tests {
         let w = sample();
         let back = workload_from_json(&workload_to_json(&w).unwrap()).unwrap();
         // the type index is rebuilt: containment queries work
-        let some_type = back
-            .patterns
-            .get(back.private[0])
-            .unwrap()
-            .elements()[0];
+        let some_type = back.patterns.get(back.private[0]).unwrap().elements()[0];
         assert!(!back.patterns.containing(some_type).is_empty());
     }
 
@@ -135,8 +131,8 @@ mod tests {
         use pdp_cep::{Detector, Semantics};
         let w = sample();
         let back = workload_from_json(&workload_to_json(&w).unwrap()).unwrap();
-        let d1 = Detector::new(w.patterns.clone(), Semantics::Conjunction)
-            .detect_indicators(&w.windows);
+        let d1 =
+            Detector::new(w.patterns.clone(), Semantics::Conjunction).detect_indicators(&w.windows);
         let d2 = Detector::new(back.patterns.clone(), Semantics::Conjunction)
             .detect_indicators(&back.windows);
         for win in 0..d1.n_windows() {

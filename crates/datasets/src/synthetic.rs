@@ -101,11 +101,9 @@ impl SyntheticDataset {
         let mut ids = Vec::with_capacity(config.n_patterns);
         for k in 0..config.n_patterns {
             let picks = rng.sample_indices(config.n_types, config.pattern_len);
-            let elements: Vec<EventType> =
-                picks.into_iter().map(|i| EventType(i as u32)).collect();
-            let id = patterns.insert(
-                Pattern::seq(&format!("P{k}"), elements).expect("pattern_len >= 1"),
-            );
+            let elements: Vec<EventType> = picks.into_iter().map(|i| EventType(i as u32)).collect();
+            let id = patterns
+                .insert(Pattern::seq(&format!("P{k}"), elements).expect("pattern_len >= 1"));
             ids.push(id);
         }
 
@@ -137,9 +135,8 @@ impl SyntheticDataset {
                     if pos < want {
                         elements[0] = private_types[rng.below(private_types.len())];
                     }
-                    let id = rewired.insert(
-                        Pattern::seq(original.name(), elements).expect("non-empty"),
-                    );
+                    let id =
+                        rewired.insert(Pattern::seq(original.name(), elements).expect("non-empty"));
                     new_target.push(id);
                 }
                 let mut new_private = Vec::with_capacity(private.len());

@@ -82,10 +82,7 @@ pub struct TaxiDataset {
 /// id and grid coordinates — the shape a real T-Drive extract would have.
 /// Windowing this stream with a tumbling window of [`SAMPLING_INTERVAL`]
 /// reproduces the indicator view the workload carries (tested below).
-pub fn generate_event_stream(
-    config: &TaxiConfig,
-    seed: u64,
-) -> pdp_stream::EventStream {
+pub fn generate_event_stream(config: &TaxiConfig, seed: u64) -> pdp_stream::EventStream {
     use pdp_stream::{AttrValue, Event, EventType, Timestamp};
     let mut rng = DpRng::seed_from(seed);
     let grid = Grid::new(config.grid_side);

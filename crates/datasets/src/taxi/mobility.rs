@@ -183,8 +183,7 @@ mod tests {
         let (mut f, mut rng) = fleet(100, 3);
         let mut hotspot_visits = 0usize;
         let mut total = 0usize;
-        let hotspots: std::collections::BTreeSet<CellId> =
-            f.hotspots().iter().copied().collect();
+        let hotspots: std::collections::BTreeSet<CellId> = f.hotspots().iter().copied().collect();
         for _ in 0..200 {
             for p in f.tick(&mut rng) {
                 total += 1;

@@ -38,8 +38,7 @@ impl RegionAssignment {
         let n_target = ((n_cells as f64) * target_frac.clamp(0.0, 1.0)).round() as usize;
 
         let private_picks = rng.sample_indices(n_cells, n_private.min(n_cells));
-        let private_cells: Vec<CellId> =
-            private_picks.iter().map(|&i| CellId(i as u32)).collect();
+        let private_cells: Vec<CellId> = private_picks.iter().map(|&i| CellId(i as u32)).collect();
         let private_set: BTreeSet<usize> = private_picks.iter().copied().collect();
 
         // fold `overlap_frac` of the private area into the target area

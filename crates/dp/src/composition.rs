@@ -50,14 +50,12 @@ impl Accountant {
     /// Total privacy cost so far under the accountant's rule.
     pub fn total(&self) -> Epsilon {
         match self.kind {
-            CompositionKind::Sequential => self
-                .spends
-                .iter()
-                .fold(Epsilon::ZERO, |acc, &e| acc + e),
-            CompositionKind::Parallel => self
-                .spends
-                .iter()
-                .fold(Epsilon::ZERO, |acc, &e| acc.max(e)),
+            CompositionKind::Sequential => {
+                self.spends.iter().fold(Epsilon::ZERO, |acc, &e| acc + e)
+            }
+            CompositionKind::Parallel => {
+                self.spends.iter().fold(Epsilon::ZERO, |acc, &e| acc.max(e))
+            }
         }
     }
 

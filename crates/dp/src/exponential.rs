@@ -35,7 +35,10 @@ impl Exponential {
         }
         let scale = self.eps.value() / (2.0 * self.sensitivity);
         let max = utilities.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = utilities.iter().map(|&u| ((u - max) * scale).exp()).collect();
+        let weights: Vec<f64> = utilities
+            .iter()
+            .map(|&u| ((u - max) * scale).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / total).collect()
     }
@@ -116,7 +119,11 @@ mod tests {
             .filter(|_| m.select(&utilities, &mut rng) == Some(1))
             .count();
         let rate = picks_of_1 as f64 / n as f64;
-        assert!((rate - probs[1]).abs() < 0.02, "rate {rate} vs {}", probs[1]);
+        assert!(
+            (rate - probs[1]).abs() < 0.02,
+            "rate {rate} vs {}",
+            probs[1]
+        );
     }
 
     #[test]

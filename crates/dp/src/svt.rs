@@ -39,8 +39,7 @@ impl SparseVector {
             ));
         }
         let threshold_noise = Laplace::with_scale(2.0 / eps.value())?;
-        let query_noise =
-            Laplace::with_scale(4.0 * max_positives as f64 / eps.value())?;
+        let query_noise = Laplace::with_scale(4.0 * max_positives as f64 / eps.value())?;
         Ok(SparseVector {
             noisy_threshold: threshold + threshold_noise.sample(rng),
             query_noise,
@@ -122,7 +121,11 @@ mod tests {
         let n = 200;
         for k in 0..n {
             let mut sv = SparseVector::new(eps(100.0), 50.0, 1, &mut rng).unwrap();
-            let (count, expected) = if k % 2 == 0 { (90.0, true) } else { (10.0, false) };
+            let (count, expected) = if k % 2 == 0 {
+                (90.0, true)
+            } else {
+                (10.0, false)
+            };
             if sv.query(count, &mut rng) == Some(expected) {
                 correct += 1;
             }

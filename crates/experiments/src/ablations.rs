@@ -217,8 +217,8 @@ pub fn ablation_history(config: &AblationConfig) -> Table {
         &["history_frac", "mre[adaptive]", "mre[uniform] (ref)"],
     );
     let run = run_config(config);
-    let uniform_ref = run_cell(MechanismSpec::Uniform, &workload, &run, config.seed + 7)
-        .expect("ablation cell");
+    let uniform_ref =
+        run_cell(MechanismSpec::Uniform, &workload, &run, config.seed + 7).expect("ablation cell");
     for &frac in &[0.1, 0.25, 0.5, 1.0] {
         let mut run = run_config(config);
         run.history_frac = frac;

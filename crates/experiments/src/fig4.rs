@@ -139,9 +139,7 @@ pub fn run_fig4(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
                         .wrapping_add(i as u64 * 97 + spec.label().len() as u64);
                     let cells: Vec<TrialOutcome> = workloads
                         .iter()
-                        .map(|w| {
-                            run_cell(spec, w, &run, cell_seed).expect("fig4 cell must run")
-                        })
+                        .map(|w| run_cell(spec, w, &run, cell_seed).expect("fig4 cell must run"))
                         .collect();
                     aggregate_cells(cells)
                 })
@@ -160,7 +158,7 @@ pub fn run_fig4(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
 
 /// Merge per-dataset outcomes into one: means of q values, and a summary
 /// over the per-dataset mean MREs (a single dataset passes through).
-fn aggregate_cells(mut cells: Vec<TrialOutcome>) -> TrialOutcome {
+pub(crate) fn aggregate_cells(mut cells: Vec<TrialOutcome>) -> TrialOutcome {
     if cells.len() == 1 {
         return cells.pop().expect("one cell");
     }

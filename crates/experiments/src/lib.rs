@@ -9,7 +9,11 @@
 //!   private/target overlap fraction, Algorithm 1's step size, and the
 //!   w-event window;
 //! * [`runner`] — the shared machinery: build a mechanism, protect a
-//!   workload, score MRE over seeded trials.
+//!   workload, score MRE over seeded trials;
+//! * [`streaming`] — the same Fig. 4 cells served by the push-based
+//!   [`StreamingEngine`](pdp_core::StreamingEngine): windows replayed as
+//!   events, protection applied at window close, identical scores to the
+//!   batch runner by construction.
 //!
 //! The `experiments` binary drives everything and prints the tables
 //! recorded in EXPERIMENTS.md.
@@ -17,6 +21,8 @@
 pub mod ablations;
 pub mod fig4;
 pub mod runner;
+pub mod streaming;
 
 pub use fig4::{run_fig4, Fig4Config};
 pub use runner::{MechanismSpec, RunConfig, TrialOutcome};
+pub use streaming::{run_cell_streaming, run_fig4_streaming};

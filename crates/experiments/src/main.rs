@@ -1,16 +1,21 @@
 //! The `experiments` binary: regenerates every table/figure of the paper.
 //!
 //! ```text
-//! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
+//! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick] [--streaming]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
+//!
+//! `--streaming` serves the Fig. 4 cells through the push-based
+//! `StreamingEngine` instead of the batch adapter (pattern-level
+//! mechanisms only; scores match the batch path bit for bit).
 
 use std::env;
 use std::fs;
 
 use pdp_experiments::ablations::{self, AblationConfig};
 use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
+use pdp_experiments::streaming::run_fig4_streaming;
 use pdp_metrics::{markdown_table, text_table};
 
 fn main() {
@@ -19,7 +24,7 @@ fn main() {
     match command {
         "fig4" => {
             let (dataset, config) = parse_fig4(&args[1..]);
-            run_fig4_command(dataset, &config);
+            run_fig4_command(dataset, &config, streaming_requested(&args[1..]));
         }
         "ablation" => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -27,7 +32,7 @@ fn main() {
         }
         "all" => {
             let (_, config) = parse_fig4(&args[1..]);
-            run_fig4_command("both", &config);
+            run_fig4_command("both", &config, streaming_requested(&args[1..]));
             run_ablation_command("all", &parse_ablation(&args[1..]));
         }
         other => {
@@ -89,6 +94,10 @@ fn parse_fig4(args: &[String]) -> (&str, Fig4Config) {
     (dataset, config)
 }
 
+fn streaming_requested(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--streaming")
+}
+
 fn parse_ablation(args: &[String]) -> AblationConfig {
     let mut config = AblationConfig::default();
     let mut i = 0;
@@ -119,7 +128,7 @@ fn parse_ablation(args: &[String]) -> AblationConfig {
     config
 }
 
-fn run_fig4_command(dataset: &str, config: &Fig4Config) {
+fn run_fig4_command(dataset: &str, config: &Fig4Config, streaming: bool) {
     let datasets: Vec<Dataset> = match dataset {
         "taxi" => vec![Dataset::Taxi],
         "synthetic" => vec![Dataset::Synthetic],
@@ -127,17 +136,26 @@ fn run_fig4_command(dataset: &str, config: &Fig4Config) {
     };
     for d in datasets {
         eprintln!(
-            "running Fig. 4 sweep on {} (eps grid {:?}, {} trials)…",
+            "running Fig. 4 sweep on {}{} (eps grid {:?}, {} trials)…",
             d.label(),
+            if streaming {
+                " via streaming engine"
+            } else {
+                ""
+            },
             config.eps_grid,
             config.trials
         );
-        let result = run_fig4(d, config);
+        let result = if streaming {
+            run_fig4_streaming(d, config)
+        } else {
+            run_fig4(d, config)
+        };
         let table = result.to_table();
         println!("{}", text_table(&table));
         println!("{}", markdown_table(&table));
         if let Ok(json) = serde_json::to_string_pretty(&result) {
-            let path = format!("fig4_{}.json", d.label());
+            let path = format!("fig4_{}.json", result.dataset);
             if fs::write(&path, json).is_ok() {
                 eprintln!("wrote {path}");
             }

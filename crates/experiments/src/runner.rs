@@ -4,13 +4,11 @@
 use serde::{Deserialize, Serialize};
 
 use pdp_baselines::{
-    convert_budget, BudgetAbsorption, BudgetDistributionMechanism, ConversionPolicy,
-    FullStreamRr, LandmarkPrivacy,
+    convert_budget, BudgetAbsorption, BudgetDistributionMechanism, ConversionPolicy, FullStreamRr,
+    LandmarkPrivacy,
 };
 use pdp_cep::PatternId;
-use pdp_core::{
-    AdaptiveConfig, CoreError, Mechanism, ProtectionPipeline, QualityModel,
-};
+use pdp_core::{AdaptiveConfig, CoreError, Mechanism, ProtectionPipeline, QualityModel};
 use pdp_datasets::Workload;
 use pdp_dp::{DpRng, Epsilon};
 use pdp_metrics::{Alpha, ConfusionMatrix, QualityReport, Summary};
@@ -134,12 +132,8 @@ pub fn build_mechanism(
         )?),
         MechanismSpec::Adaptive => {
             let history = history_split(&workload.windows, config.history_frac);
-            let model = QualityModel::new(
-                history,
-                &workload.patterns,
-                &workload.target,
-                config.alpha,
-            )?;
+            let model =
+                QualityModel::new(history, &workload.patterns, &workload.target, config.alpha)?;
             Box::new(ProtectionPipeline::adaptive(
                 &workload.patterns,
                 &workload.private,
@@ -185,14 +179,14 @@ pub fn build_mechanism(
 }
 
 /// The front `frac` of the windows (the adaptive PPM's historical data).
-fn history_split(windows: &WindowedIndicators, frac: f64) -> WindowedIndicators {
+pub(crate) fn history_split(windows: &WindowedIndicators, frac: f64) -> WindowedIndicators {
     let keep = ((windows.len() as f64) * frac.clamp(0.05, 1.0)).round() as usize;
     let keep = keep.clamp(1.min(windows.len()), windows.len());
     WindowedIndicators::new(windows.iter().take(keep).cloned().collect())
 }
 
 /// Quality of a detection table against the ground truth.
-fn score(
+pub(crate) fn score(
     truth: &WindowedIndicators,
     protected: &WindowedIndicators,
     workload: &Workload,

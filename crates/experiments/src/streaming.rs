@@ -1,0 +1,318 @@
+//! Streaming variant of the Fig. 4 runner.
+//!
+//! The batch runner ([`crate::runner`]) protects a fully materialized
+//! windowed history in one call. This module drives the same workloads
+//! through the **push-based service path** instead: the workload's windows
+//! are reconstructed as an ordered event stream
+//! ([`WindowedIndicators::to_events`]), replayed event by event into a
+//! [`StreamingEngine`], and the protected windows are collected from its
+//! releases. Scoring is identical, so the two runners are directly
+//! comparable — and because both paths share one protection/accounting core
+//! and this module mirrors the batch trial RNG discipline
+//! (`rng.fork(trial)`), a streaming cell reproduces its batch counterpart
+//! **bit for bit** (asserted in the tests below).
+//!
+//! Only the pattern-level mechanisms run here: the w-event and landmark
+//! baselines are whole-history transforms without an online formulation in
+//! this workspace.
+
+use pdp_core::{
+    CoreError, PpmKind, StreamingConfig, StreamingEngine, TrustedEngine, TrustedEngineConfig,
+};
+use pdp_datasets::Workload;
+use pdp_dp::{DpRng, Epsilon};
+use pdp_metrics::Summary;
+use pdp_stream::{IndicatorVector, TimeDelta, Timestamp, WindowedIndicators};
+
+use crate::fig4::{build_workload, Dataset, Fig4Config, Fig4Result, Fig4Series};
+use crate::runner::{history_split, score, MechanismSpec, RunConfig, TrialOutcome};
+
+/// Window length used when reconstructing a workload's windows as an event
+/// stream. The value is arbitrary (indicators carry no intra-window
+/// timing); it only fixes the replay clock.
+pub const REPLAY_WINDOW: TimeDelta = TimeDelta::from_millis(1_000);
+
+/// Build a set-up [`TrustedEngine`] whose pattern ids mirror
+/// `workload.patterns` exactly.
+///
+/// Patterns are re-registered in id order — private ones as private,
+/// queried ones as target queries, any remaining ones as plain patterns —
+/// so every `PatternId` in the workload is valid against the engine.
+pub fn engine_for_workload(
+    spec: MechanismSpec,
+    workload: &Workload,
+    config: &RunConfig,
+) -> Result<TrustedEngine, CoreError> {
+    let ppm = match spec {
+        MechanismSpec::Uniform => PpmKind::Uniform { eps: config.eps },
+        MechanismSpec::Adaptive => PpmKind::Adaptive {
+            eps: config.eps,
+            config: config.adaptive,
+        },
+        other => {
+            return Err(CoreError::InvalidDistribution(format!(
+                "the streaming service runs pattern-level mechanisms; '{}' is a \
+                 whole-history baseline",
+                other.label()
+            )))
+        }
+    };
+    let mut engine = TrustedEngine::new(TrustedEngineConfig {
+        n_types: workload.n_types,
+        alpha: config.alpha,
+        ppm,
+    });
+    for (id, pattern) in workload.patterns.iter() {
+        let registered = if workload.private.contains(&id) {
+            engine.register_private_pattern(pattern.clone())
+        } else if workload.target.contains(&id) {
+            engine
+                .register_target_query(pattern.name(), pattern.clone())
+                .1
+        } else {
+            engine.register_pattern(pattern.clone())
+        };
+        // hard assert: a silent id mismatch would protect (and budget) the
+        // wrong event types while reporting valid-looking scores
+        assert_eq!(registered, id, "engine ids must mirror the workload");
+    }
+    if matches!(spec, MechanismSpec::Adaptive) {
+        engine.provide_history(history_split(&workload.windows, config.history_frac));
+    }
+    engine.setup()?;
+    Ok(engine)
+}
+
+/// Replay `windows` through a streaming engine and collect the protected
+/// view from its releases.
+///
+/// Watermarks pin the replay to the history's boundaries so leading and
+/// trailing empty windows are released too (an absent pattern is exactly
+/// what randomized response may flip into a present one).
+pub fn stream_protected_view(
+    engine: &TrustedEngine,
+    windows: &WindowedIndicators,
+    rng: &mut DpRng,
+) -> Result<WindowedIndicators, CoreError> {
+    let mut streaming =
+        StreamingEngine::from_engine(engine, StreamingConfig::tumbling(REPLAY_WINDOW))?;
+    let mut protected: Vec<IndicatorVector> = Vec::with_capacity(windows.len());
+    let mut push_all = |releases: Vec<pdp_core::WindowRelease>| {
+        protected.extend(releases.into_iter().map(|r| r.protected));
+    };
+    push_all(streaming.advance_watermark(Timestamp::ZERO, rng)?);
+    for event in windows.to_events(REPLAY_WINDOW).iter() {
+        push_all(streaming.push(event, rng)?);
+    }
+    let end = Timestamp::from_millis(windows.len() as i64 * REPLAY_WINDOW.millis());
+    push_all(streaming.advance_watermark(end, rng)?);
+    // hard assert: misaligned window sequences would silently mis-score
+    assert_eq!(
+        protected.len(),
+        windows.len(),
+        "replay must release exactly one window per input window"
+    );
+    Ok(WindowedIndicators::new(protected))
+}
+
+/// Run one (workload, mechanism, ε) cell through the streaming service.
+///
+/// The trial discipline mirrors [`crate::runner::run_cell`]: same master
+/// seed, same per-trial forks — so for the pattern-level mechanisms the
+/// outcome is identical to the batch cell.
+pub fn run_cell_streaming(
+    spec: MechanismSpec,
+    workload: &Workload,
+    config: &RunConfig,
+    seed: u64,
+) -> Result<TrialOutcome, CoreError> {
+    let engine = engine_for_workload(spec, workload, config)?;
+    let q_ord = score(&workload.windows, &workload.windows, workload, config.alpha).q;
+
+    let mut rng = DpRng::seed_from(seed);
+    let mut mres = Vec::with_capacity(config.trials);
+    let mut q_sum = 0.0;
+    for trial in 0..config.trials {
+        let mut trial_rng = rng.fork(trial as u64);
+        let protected = stream_protected_view(&engine, &workload.windows, &mut trial_rng)?;
+        let q_ppm = score(&workload.windows, &protected, workload, config.alpha).q;
+        q_sum += q_ppm;
+        mres.push(pdp_metrics::mre(q_ord, q_ppm));
+    }
+    Ok(TrialOutcome {
+        mechanism: spec.label().to_owned(),
+        eps: config.eps.value(),
+        q_ord,
+        q_ppm: q_sum / config.trials.max(1) as f64,
+        mre: Summary::from_values(&mres).expect("at least one trial"),
+    })
+}
+
+/// The pattern-level subset of a mechanism list (what the streaming
+/// service can run).
+pub fn streaming_mechanisms(specs: &[MechanismSpec]) -> Vec<MechanismSpec> {
+    specs
+        .iter()
+        .copied()
+        .filter(|s| matches!(s, MechanismSpec::Uniform | MechanismSpec::Adaptive))
+        .collect()
+}
+
+/// The Fig. 4 sweep, served by the streaming engine.
+///
+/// Mirrors [`crate::fig4::run_fig4`] cell for cell — same seeds, same
+/// repeated-dataset aggregation under `n_datasets > 1` — except that
+/// baseline mechanisms absent from the streaming service are skipped
+/// (announced on stderr so a diff against the batch output is
+/// explainable).
+pub fn run_fig4_streaming(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
+    let skipped: Vec<&str> = config
+        .mechanisms
+        .iter()
+        .filter(|s| !matches!(s, MechanismSpec::Uniform | MechanismSpec::Adaptive))
+        .map(|s| s.label())
+        .collect();
+    if !skipped.is_empty() {
+        eprintln!(
+            "streaming fig4: skipping whole-history baselines [{}] — only \
+             pattern-level mechanisms run online",
+            skipped.join(", ")
+        );
+    }
+    let n_datasets = config.n_datasets.max(1);
+    let workloads: Vec<Workload> = (0..n_datasets)
+        .map(|k| {
+            let mut cfg = config.clone();
+            cfg.seed = config.seed.wrapping_add(k as u64);
+            build_workload(dataset, &cfg)
+        })
+        .collect();
+    let series = streaming_mechanisms(&config.mechanisms)
+        .into_iter()
+        .map(|spec| {
+            let points = config
+                .eps_grid
+                .iter()
+                .enumerate()
+                .map(|(i, &eps)| {
+                    let run = RunConfig {
+                        trials: config.trials,
+                        ..RunConfig::at_eps(Epsilon::new(eps).expect("grid eps valid"))
+                    };
+                    let cell_seed = config
+                        .seed
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add(i as u64 * 97 + spec.label().len() as u64);
+                    let cells: Vec<TrialOutcome> = workloads
+                        .iter()
+                        .map(|w| {
+                            run_cell_streaming(spec, w, &run, cell_seed)
+                                .expect("streaming fig4 cell must run")
+                        })
+                        .collect();
+                    crate::fig4::aggregate_cells(cells)
+                })
+                .collect();
+            Fig4Series {
+                mechanism: spec.label().to_owned(),
+                points,
+            }
+        })
+        .collect();
+    Fig4Result {
+        dataset: format!("{}+streaming", dataset.label()),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_cell;
+    use pdp_datasets::{SyntheticConfig, SyntheticDataset};
+
+    fn workload() -> Workload {
+        SyntheticDataset::generate(
+            &SyntheticConfig {
+                n_windows: 100,
+                forced_overlap: Some(0.6),
+                ..SyntheticConfig::default()
+            },
+            31,
+        )
+        .workload
+    }
+
+    #[test]
+    fn baselines_are_rejected() {
+        let w = workload();
+        let config = RunConfig::at_eps(Epsilon::new(1.0).unwrap());
+        assert!(run_cell_streaming(MechanismSpec::Bd, &w, &config, 1).is_err());
+        assert_eq!(
+            streaming_mechanisms(&MechanismSpec::fig4_set()),
+            vec![MechanismSpec::Uniform, MechanismSpec::Adaptive]
+        );
+    }
+
+    #[test]
+    fn streaming_cell_reproduces_batch_cell_exactly() {
+        let w = workload();
+        let mut config = RunConfig::at_eps(Epsilon::new(1.0).unwrap());
+        config.trials = 5;
+        for spec in [MechanismSpec::Uniform, MechanismSpec::Adaptive] {
+            let batch = run_cell(spec, &w, &config, 77).expect("batch cell runs");
+            let streamed = run_cell_streaming(spec, &w, &config, 77).expect("streaming cell runs");
+            assert_eq!(batch.q_ord, streamed.q_ord, "{}", spec.label());
+            assert_eq!(batch.q_ppm, streamed.q_ppm, "{}", spec.label());
+            assert_eq!(batch.mre.mean, streamed.mre.mean, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn streaming_sweep_covers_grid() {
+        let config = Fig4Config {
+            eps_grid: vec![0.5, 4.0],
+            trials: 3,
+            mechanisms: vec![MechanismSpec::Uniform, MechanismSpec::Bd],
+            synthetic: SyntheticConfig {
+                n_windows: 60,
+                forced_overlap: Some(0.6),
+                ..SyntheticConfig::default()
+            },
+            ..Fig4Config::default()
+        };
+        let r = run_fig4_streaming(Dataset::Synthetic, &config);
+        assert_eq!(r.dataset, "synthetic+streaming");
+        // Bd is filtered out
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.series[0].points.len(), 2);
+        let table = r.to_table();
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn streaming_sweep_matches_batch_under_multi_dataset_aggregation() {
+        let config = Fig4Config {
+            eps_grid: vec![1.0],
+            trials: 3,
+            n_datasets: 3,
+            mechanisms: vec![MechanismSpec::Uniform],
+            synthetic: SyntheticConfig {
+                n_windows: 60,
+                forced_overlap: Some(0.6),
+                ..SyntheticConfig::default()
+            },
+            ..Fig4Config::default()
+        };
+        let batch = crate::fig4::run_fig4(Dataset::Synthetic, &config);
+        let streamed = run_fig4_streaming(Dataset::Synthetic, &config);
+        let b = &batch.series[0].points[0];
+        let s = &streamed.series[0].points[0];
+        // the summary spans the 3 per-dataset means in both runners …
+        assert_eq!(b.mre.n, 3);
+        assert_eq!(s.mre.n, 3);
+        // … and the shared protection core makes them identical
+        assert_eq!(b.mre.mean, s.mre.mean);
+        assert_eq!(b.q_ppm, s.q_ppm);
+    }
+}

@@ -84,10 +84,7 @@ pub fn markdown_table(table: &Table) -> String {
         out.push_str(&format!("### {}\n\n", table.title));
     }
     out.push_str(&format!("| {} |\n", table.headers.join(" | ")));
-    out.push_str(&format!(
-        "|{}\n",
-        "---|".repeat(table.headers.len())
-    ));
+    out.push_str(&format!("|{}\n", "---|".repeat(table.headers.len())));
     for row in &table.rows {
         out.push_str(&format!("| {} |\n", row.join(" | ")));
     }

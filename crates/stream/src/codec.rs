@@ -58,7 +58,9 @@ fn decode_attr(text: &str) -> Result<AttrValue, StreamError> {
                 y.parse().map_err(|_| bad("location"))?,
             ))
         }
-        _ => Err(StreamError::Codec(format!("unknown attribute kind '{kind}'"))),
+        _ => Err(StreamError::Codec(format!(
+            "unknown attribute kind '{kind}'"
+        ))),
     }
 }
 

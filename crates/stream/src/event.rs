@@ -180,7 +180,10 @@ mod tests {
         assert_eq!(AttrValue::Float(2.5).as_float(), Some(2.5));
         assert_eq!(AttrValue::Str("x".into()).as_str(), Some("x"));
         assert_eq!(AttrValue::Bool(true).as_bool(), Some(true));
-        assert_eq!(AttrValue::Location(1.0, 2.0).as_location(), Some((1.0, 2.0)));
+        assert_eq!(
+            AttrValue::Location(1.0, 2.0).as_location(),
+            Some((1.0, 2.0))
+        );
         assert_eq!(AttrValue::Bool(true).as_location(), None);
     }
 

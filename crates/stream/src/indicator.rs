@@ -164,6 +164,27 @@ impl WindowedIndicators {
         self.windows.iter_mut()
     }
 
+    /// Reconstruct a minimal event stream reproducing these indicators
+    /// under tumbling windows of `len` anchored at `t = 0`: one event per
+    /// present `(window, type)` pair, placed at its window's start. Empty
+    /// windows produce no events, so a replay driver must pin the stream's
+    /// boundaries itself (e.g. with watermarks) to recover leading/trailing
+    /// empties.
+    ///
+    /// This is the bridge from the batch evaluation artifacts (windowed
+    /// indicator histories) to the push-based service path.
+    pub fn to_events(&self, len: crate::time::TimeDelta) -> EventStream {
+        let mut events = Vec::new();
+        for (w, window) in self.windows.iter().enumerate() {
+            let ts = crate::time::Timestamp::from_millis(w as i64 * len.millis());
+            for ty in window.present_types() {
+                events.push(Event::new(ty, ts));
+            }
+        }
+        EventStream::from_ordered(events)
+            .expect("window-ordered reconstruction is temporally ordered")
+    }
+
     /// Fraction of windows in which `ty` is present (its empirical
     /// occurrence rate — the `Pr(e_i)` of Algorithm 2).
     pub fn occurrence_rate(&self, ty: EventType) -> f64 {
@@ -247,6 +268,23 @@ mod tests {
         assert!(wi.window(1).get(EventType(0)));
         assert!(!wi.window(1).get(EventType(1)));
         assert!(wi.window(2).get(EventType(2)));
+    }
+
+    #[test]
+    fn to_events_round_trips_through_windowing() {
+        let wi = WindowedIndicators::new(vec![
+            IndicatorVector::from_present([EventType(0), EventType(2)], 3),
+            IndicatorVector::empty(3),
+            IndicatorVector::from_present([EventType(1)], 3),
+        ]);
+        let len = TimeDelta::from_millis(50);
+        let events = wi.to_events(len);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events.events()[0].ts, Timestamp::ZERO);
+        assert_eq!(events.events()[2].ts, Timestamp::from_millis(100));
+        let a = WindowAssigner::tumbling(len).unwrap();
+        let back = WindowedIndicators::from_stream(&events, &a, 3);
+        assert_eq!(back, wi);
     }
 
     #[test]

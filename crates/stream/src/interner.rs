@@ -4,9 +4,8 @@
 //! id. Dense ids let indicator vectors be plain `Vec<bool>` indexed by type,
 //! which is what the DP mechanisms iterate over per window.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use crate::event::EventType;
 
@@ -44,12 +43,18 @@ impl TypeRegistry {
         reg
     }
 
+    /// Snapshot read access (poisoning folded away: the interner's state
+    /// is always internally consistent, a panicked writer cannot corrupt it).
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Intern `name`, returning its id (existing or fresh).
     pub fn intern(&self, name: &str) -> EventType {
-        if let Some(&id) = self.inner.read().ids.get(name) {
+        if let Some(&id) = self.read().ids.get(name) {
             return EventType(id);
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
         // Re-check under the write lock: another thread may have interned it.
         if let Some(&id) = inner.ids.get(name) {
             return EventType(id);
@@ -62,17 +67,17 @@ impl TypeRegistry {
 
     /// Look up an already-interned name without inserting.
     pub fn get(&self, name: &str) -> Option<EventType> {
-        self.inner.read().ids.get(name).copied().map(EventType)
+        self.read().ids.get(name).copied().map(EventType)
     }
 
     /// Resolve an id back to its name.
     pub fn name(&self, ty: EventType) -> Option<String> {
-        self.inner.read().names.get(ty.0 as usize).cloned()
+        self.read().names.get(ty.0 as usize).cloned()
     }
 
     /// Number of distinct types registered so far.
     pub fn len(&self) -> usize {
-        self.inner.read().names.len()
+        self.read().names.len()
     }
 
     /// True if no types have been registered.
@@ -148,8 +153,7 @@ mod tests {
                 })
             })
             .collect();
-        let results: Vec<Vec<EventType>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<EventType>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for w in results.windows(2) {
             assert_eq!(w[0], w[1], "all threads must agree on ids");
         }

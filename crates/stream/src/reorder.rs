@@ -146,7 +146,7 @@ mod tests {
         let mut buf = ReorderBuffer::new(TimeDelta::from_millis(10));
         assert!(buf.push(e(0, 100)).is_empty()); // watermark 90
         assert!(buf.push(e(1, 95)).is_empty()); // within delay, buffered
-        // t=120 → watermark 110 → both release in order
+                                                // t=120 → watermark 110 → both release in order
         let out = buf.push(e(2, 120));
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].ts, Timestamp::from_millis(95));

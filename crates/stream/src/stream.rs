@@ -111,12 +111,7 @@ impl EventStream {
     /// data stream" step (data stream → event stream).
     pub fn filter_types<F: Fn(EventType) -> bool>(&self, pred: F) -> EventStream {
         EventStream {
-            events: self
-                .events
-                .iter()
-                .filter(|e| pred(e.ty))
-                .cloned()
-                .collect(),
+            events: self.events.iter().filter(|e| pred(e.ty)).cloned().collect(),
         }
     }
 

@@ -81,9 +81,9 @@ impl WindowAssigner {
     /// Create an assigner, validating the policy.
     pub fn new(kind: WindowKind) -> Result<Self, StreamError> {
         match kind {
-            WindowKind::Tumbling { len } if !len.is_positive() => Err(
-                StreamError::InvalidWindow("tumbling length must be positive".into()),
-            ),
+            WindowKind::Tumbling { len } if !len.is_positive() => Err(StreamError::InvalidWindow(
+                "tumbling length must be positive".into(),
+            )),
             WindowKind::Sliding { len, slide } if !len.is_positive() || !slide.is_positive() => {
                 Err(StreamError::InvalidWindow(
                     "sliding length and slide must be positive".into(),
@@ -181,7 +181,14 @@ impl WindowAssigner {
             let start = Timestamp::from_millis(k * len.millis());
             let end = start + len;
             let events = stream.slice(start, end).to_vec();
-            out.push((Window { index: i, start, end }, events));
+            out.push((
+                Window {
+                    index: i,
+                    start,
+                    end,
+                },
+                events,
+            ));
         }
         out
     }
@@ -246,7 +253,9 @@ mod tests {
     #[test]
     fn invalid_specs_rejected() {
         assert!(WindowAssigner::tumbling(TimeDelta::ZERO).is_err());
-        assert!(WindowAssigner::sliding(TimeDelta::from_millis(5), TimeDelta::from_millis(10)).is_err());
+        assert!(
+            WindowAssigner::sliding(TimeDelta::from_millis(5), TimeDelta::from_millis(10)).is_err()
+        );
         assert!(WindowAssigner::sliding(TimeDelta::from_millis(5), TimeDelta::ZERO).is_err());
         assert!(WindowAssigner::count(0).is_err());
         assert!(WindowAssigner::count(3).is_ok());
@@ -275,8 +284,8 @@ mod tests {
 
     #[test]
     fn sliding_windows_overlap() {
-        let a = WindowAssigner::sliding(TimeDelta::from_millis(10), TimeDelta::from_millis(5))
-            .unwrap();
+        let a =
+            WindowAssigner::sliding(TimeDelta::from_millis(10), TimeDelta::from_millis(5)).unwrap();
         let ws = a.assign(&stream(&[0, 7, 12]));
         // starts at 0, 5, 10 (last start ≤ 12)
         assert_eq!(ws.len(), 3);

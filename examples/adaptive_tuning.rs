@@ -23,8 +23,7 @@ fn main() {
     let target_only = EventType(2);
 
     let mut patterns = PatternSet::new();
-    let private =
-        patterns.insert(Pattern::seq("private", vec![shared, private_only]).unwrap());
+    let private = patterns.insert(Pattern::seq("private", vec![shared, private_only]).unwrap());
     let target = patterns.insert(Pattern::seq("target", vec![shared, target_only]).unwrap());
 
     // Historical windows: the target pattern fires through `shared` often;
@@ -59,10 +58,7 @@ fn main() {
     );
 
     for (label, config) in [
-        (
-            "conserving, δε = mε/100",
-            AdaptiveConfig::default(),
-        ),
+        ("conserving, δε = mε/100", AdaptiveConfig::default()),
         (
             "conserving, δε = mε/20 ",
             AdaptiveConfig {
@@ -96,7 +92,10 @@ fn main() {
 }
 
 fn shares(d: &BudgetDistribution) -> Vec<f64> {
-    d.shares().iter().map(|s| (s.value() * 1000.0).round() / 1000.0).collect()
+    d.shares()
+        .iter()
+        .map(|s| (s.value() * 1000.0).round() / 1000.0)
+        .collect()
 }
 
 fn q_of(
@@ -105,7 +104,6 @@ fn q_of(
     dist: &BudgetDistribution,
     model: &QualityModel,
 ) -> f64 {
-    let table =
-        FlipTable::from_distributions(patterns, &[(private, dist.clone())], 3).unwrap();
+    let table = FlipTable::from_distributions(patterns, &[(private, dist.clone())], 3).unwrap();
     model.expected_quality(&table).q
 }

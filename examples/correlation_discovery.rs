@@ -53,8 +53,12 @@ fn main() {
     let correlates = find_correlates(&history, &patterns, &[private], 1.5).unwrap();
     println!("flagged correlates (lift > 1.5):");
     for c in &correlates {
-        println!("  type E{} with lift {:.2} against {}", c.ty.0, c.lift,
-            patterns.get(c.pattern).unwrap().name());
+        println!(
+            "  type E{} with lift {:.2} against {}",
+            c.ty.0,
+            c.lift,
+            patterns.get(c.pattern).unwrap().name()
+        );
     }
     assert_eq!(correlates.len(), 1);
     assert_eq!(correlates[0].ty, lobby);

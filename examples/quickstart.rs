@@ -38,7 +38,10 @@ fn main() {
     engine.register_target_query("mall?", Pattern::single("mall-visit", mall));
     engine.setup().expect("setup succeeds");
 
-    println!("private pattern: {}", engine.patterns().get(private).unwrap());
+    println!(
+        "private pattern: {}",
+        engine.patterns().get(private).unwrap()
+    );
     let table = engine.pipeline().unwrap().flip_table();
     for ty in [bar, home, jam, mall] {
         println!(

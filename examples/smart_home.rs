@@ -50,9 +50,8 @@ fn main() {
 
     // --- unprotected CEP: ordered sequence detection per 60 s window ------
     let mut cep = CepEngine::new();
-    let leave_home = cep.add_pattern(
-        Pattern::seq("leave-home", vec![door_open, hallway, door_close]).unwrap(),
-    );
+    let leave_home =
+        cep.add_pattern(Pattern::seq("leave-home", vec![door_open, hallway, door_close]).unwrap());
     let cooking = cep.add_pattern(Pattern::single("cooking", kitchen));
     cep.add_query(Query::pattern("left?", leave_home, Semantics::Ordered))
         .unwrap();
@@ -83,7 +82,10 @@ fn main() {
     let windows = WindowedIndicators::from_stream(&merged, &assigner, types.len());
     let mut rng = DpRng::seed_from(11);
     let answers = engine.serve(&windows, &mut rng).unwrap();
-    println!("protected  {:<9} → {:?}", answers[0].name, answers[0].answers);
+    println!(
+        "protected  {:<9} → {:?}",
+        answers[0].name, answers[0].answers
+    );
 
     // kitchen events are uncorrelated with the private pattern: the
     // heating controller's answers are exact despite the protection

@@ -1,21 +1,27 @@
-//! The full streaming path: late events → reorder buffer → incremental
-//! detection → protected release, with queries written in the textual DSL.
+//! The full streaming service path: late events → reorder buffer → the
+//! push-based [`StreamingEngine`] — incremental detection, randomized
+//! response at window close, per-release budget accounting, and consumer
+//! answers computed on the protected view only. Queries are written in the
+//! textual DSL.
 //!
 //! Run with: `cargo run --example streaming_pipeline`
+//!
+//! [`StreamingEngine`]: pattern_dp_repro::core::StreamingEngine
 
-use pattern_dp_repro::cep::{parse_query, IncrementalDetector, PatternSet, QueryExpr, Semantics};
-use pattern_dp_repro::core::{Mechanism, ProtectionPipeline};
-use pattern_dp_repro::dp::{DpRng, Epsilon};
-use pattern_dp_repro::stream::{
-    Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, TypeRegistry,
-    WindowedIndicators,
+use pattern_dp_repro::cep::{parse_query, PatternSet, QueryExpr};
+use pattern_dp_repro::core::{
+    PpmKind, StreamingConfig, StreamingEngine, TrustedEngine, TrustedEngineConfig,
 };
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{Event, ReorderBuffer, TimeDelta, Timestamp, TypeRegistry};
 
 fn main() {
     let types = TypeRegistry::new();
     let mut patterns = PatternSet::new();
 
-    // 1. Queries arrive as text (the consumers' interface of §III-A).
+    // 1. Setup phase (§III-A): queries arrive as text. The data subject
+    //    declares the private pattern; the consumer registers a target.
     let private_q = parse_query(
         "private",
         "SEQ(badge.exit, corridor.motion) WITHIN 30s",
@@ -31,10 +37,41 @@ fn main() {
     let QueryExpr::Pattern(target_id) = target_q.expr else {
         unreachable!("single-pattern query")
     };
-    println!("registered {} event types, {} patterns", types.len(), patterns.len());
+    println!(
+        "registered {} event types, {} patterns",
+        types.len(),
+        patterns.len()
+    );
 
-    // 2. Raw arrivals, out of order (gateway batching): the reorder buffer
-    //    releases them ordered under a 5 s watermark delay.
+    let mut engine = TrustedEngine::new(TrustedEngineConfig {
+        n_types: types.len(),
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(2.0).unwrap(),
+        },
+    });
+    let registered_private =
+        engine.register_private_pattern(patterns.get(private_id).unwrap().clone());
+    let (query, _) =
+        engine.register_target_query("hvac+room?", patterns.get(target_id).unwrap().clone());
+    engine.setup().expect("setup completes");
+
+    // 2. Go online: the streaming engine consumes events one at a time and
+    //    releases protected windows every 60 s. The private query's
+    //    WITHIN-constrained semantics drive the raw detection side-channel.
+    let mut streaming = StreamingEngine::from_engine(
+        &engine,
+        StreamingConfig {
+            window_len: TimeDelta::from_secs(60),
+            semantics: private_q.semantics,
+        },
+    )
+    .expect("streaming engine builds");
+    let mut rng = DpRng::seed_from(5);
+
+    // 3. Raw arrivals, out of order (gateway batching): the reorder buffer
+    //    releases them ordered under a 5 s watermark delay, and they flow
+    //    straight into the engine.
     let badge = types.get("badge.exit").unwrap();
     let corridor = types.get("corridor.motion").unwrap();
     let hvac = types.get("hvac.on").unwrap();
@@ -49,72 +86,61 @@ fn main() {
         Event::new(badge, Timestamp::from_secs(80)),
     ];
     let mut reorder = ReorderBuffer::new(TimeDelta::from_secs(5));
-    let mut ordered = Vec::new();
-    for e in arrivals {
-        ordered.extend(reorder.push(e));
-    }
-    ordered.extend(reorder.flush());
-    println!("reordered {} events ({} dropped as too late)", ordered.len(), reorder.dropped());
-
-    // 3. Incremental detection over 60 s tumbling windows — the private
-    //    pattern uses the WITHIN-constrained semantics from its query.
-    let mut detector = IncrementalDetector::new(
-        patterns.clone(),
-        private_q.semantics,
-        TimeDelta::from_secs(60),
-        types.len(),
-    )
-    .expect("detector builds");
-    let mut windows_closed = Vec::new();
-    let mut indicator_windows = Vec::new();
-    let mut current = Vec::new();
-    for e in &ordered {
-        for closed in detector.push(e).expect("ordered input") {
-            windows_closed.push(closed);
-            indicator_windows.push(IndicatorVector::from_present(
-                std::mem::take(&mut current),
-                types.len(),
-            ));
+    let mut releases = Vec::new();
+    let mut pushed = 0usize;
+    for arrival in arrivals {
+        for event in reorder.push(arrival) {
+            releases.extend(streaming.push(&event, &mut rng).expect("ordered input"));
+            pushed += 1;
         }
-        current.push(e.ty);
     }
-    if let Some(last) = detector.finish() {
-        windows_closed.push(last);
-        indicator_windows.push(IndicatorVector::from_present(current, types.len()));
+    for event in reorder.flush() {
+        releases.extend(streaming.push(&event, &mut rng).expect("ordered input"));
+        pushed += 1;
     }
-    for w in &windows_closed {
+    if let Some(last) = streaming.finish(&mut rng).expect("release succeeds") {
+        releases.push(last);
+    }
+    println!(
+        "pushed {pushed} reordered events ({} dropped as too late), {} windows released",
+        reorder.dropped(),
+        streaming.releases()
+    );
+
+    // 4. Every release carries the raw detection (engine-internal), the
+    //    protected indicator view, and the consumer answers computed on
+    //    the protected view only.
+    for r in &releases {
         println!(
-            "window {} (start {}): private={} ",
-            w.index,
-            w.start,
-            w.detections[private_id.0 as usize]
+            "window {} (start {}): raw private={}, protected answer '{}'={}",
+            r.index,
+            r.start,
+            r.raw_detections[private_id.0 as usize],
+            streaming.query_names()[query.0 as usize],
+            r.answers[query.0 as usize],
         );
     }
-    assert!(windows_closed[0].detections[private_id.0 as usize]);
+    assert!(releases[0].raw_detections[private_id.0 as usize]);
 
-    // 4. Protect the windowed view and answer the target query on it.
-    let windows = WindowedIndicators::new(indicator_windows);
-    let pipeline = ProtectionPipeline::uniform(
-        &patterns,
-        &[private_id],
-        Epsilon::new(2.0).unwrap(),
-        types.len(),
-    )
-    .expect("pipeline builds");
-    let mut rng = DpRng::seed_from(5);
-    let protected = pipeline.protect(&windows, &mut rng);
-    let target_pattern = patterns.get(target_id).unwrap();
-    let answers: Vec<bool> = protected
+    // hvac/room are uncorrelated with the private pattern, so the consumer
+    // answers are exact; only badge/corridor bits carry noise.
+    let truth = [true, true];
+    let answers: Vec<bool> = releases
         .iter()
-        .map(|w| pattern_dp_repro::cep::match_indicator(target_pattern, w))
-        .collect();
-    println!("protected target answers per window: {answers:?}");
-    // hvac/room are uncorrelated with the private pattern → exact
-    let truth: Vec<bool> = windows
-        .iter()
-        .map(|w| pattern_dp_repro::cep::match_indicator(target_pattern, w))
+        .map(|r| r.answers[query.0 as usize])
         .collect();
     assert_eq!(answers, truth);
     println!("target answers exact — only badge/corridor bits carry noise");
-    let _ = Semantics::Conjunction; // (used implicitly by ALL queries)
+
+    // 5. The ledger recorded one ε = 2.0 release per closed window.
+    println!(
+        "budget spent on the private pattern: {} over {} releases",
+        streaming.budget_spent(registered_private),
+        streaming.releases()
+    );
+    assert!(
+        (streaming.budget_spent(registered_private).value() - 2.0 * streaming.releases() as f64)
+            .abs()
+            < 1e-12
+    );
 }

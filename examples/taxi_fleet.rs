@@ -36,7 +36,8 @@ fn main() {
     );
 
     let eps = Epsilon::new(1.0).unwrap();
-    let mean_len = pdp_baselines::conversion::mean_pattern_len(&workload.patterns, &workload.private);
+    let mean_len =
+        pdp_baselines::conversion::mean_pattern_len(&workload.patterns, &workload.private);
 
     // pattern-level protection: only private-cell events are perturbed
     let uniform =
@@ -73,10 +74,7 @@ fn main() {
     );
 }
 
-fn quality(
-    workload: &pdp_datasets::Workload,
-    protected: &WindowedIndicators,
-) -> QualityReport {
+fn quality(workload: &pdp_datasets::Workload, protected: &WindowedIndicators) -> QualityReport {
     let mut conf = ConfusionMatrix::new();
     for w in 0..workload.windows.len() {
         for &tid in &workload.target {

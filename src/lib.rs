@@ -33,7 +33,8 @@ pub use pdp_stream as stream;
 pub mod prelude {
     pub use pdp_cep::{Pattern, PatternId, PatternSet, Query, Semantics};
     pub use pdp_core::{
-        Mechanism, PpmKind, ProtectionPipeline, TrustedEngine, TrustedEngineConfig,
+        Mechanism, PpmKind, ProtectionPipeline, StreamingConfig, StreamingEngine, TrustedEngine,
+        TrustedEngineConfig, WindowRelease,
     };
     pub use pdp_dp::{DpRng, Epsilon, FlipProb};
     pub use pdp_metrics::{mre, Alpha, QualityReport};

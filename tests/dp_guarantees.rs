@@ -132,9 +132,19 @@ fn overlapping_patterns_strengthen_not_weaken_protection() {
 
     for window in all_windows(3) {
         // guarantee of pattern a
-        assert!(satisfies_pattern_level_dp(&window, &[t(0), t(1)], &probs, total));
+        assert!(satisfies_pattern_level_dp(
+            &window,
+            &[t(0), t(1)],
+            &probs,
+            total
+        ));
         // guarantee of pattern b
-        assert!(satisfies_pattern_level_dp(&window, &[t(1), t(2)], &probs, total));
+        assert!(satisfies_pattern_level_dp(
+            &window,
+            &[t(1), t(2)],
+            &probs,
+            total
+        ));
     }
     // the shared element's effective flip prob exceeds a single share's
     let share = FlipProb::from_epsilon(total / 2.0);
@@ -145,8 +155,7 @@ fn overlapping_patterns_strengthen_not_weaken_protection() {
 fn zero_budget_gives_perfect_indistinguishability() {
     let mut patterns = PatternSet::new();
     let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
-    let pipeline =
-        ProtectionPipeline::uniform(&patterns, &[private], Epsilon::ZERO, 2).unwrap();
+    let pipeline = ProtectionPipeline::uniform(&patterns, &[private], Epsilon::ZERO, 2).unwrap();
     let probs: Vec<FlipProb> = pipeline.flip_table().probs().to_vec();
     for window in all_windows(2) {
         let worst = max_log_ratio(&window, &[t(0), t(1)], &probs);
@@ -160,15 +169,19 @@ fn explicit_skewed_distribution_bound_follows_max_share() {
     // max share, not the average.
     let mut patterns = PatternSet::new();
     let private = patterns.insert(Pattern::seq("p", vec![t(0), t(1)]).unwrap());
-    let dist =
-        BudgetDistribution::from_shares(eps(2.0), vec![eps(1.5), eps(0.5)]).unwrap();
+    let dist = BudgetDistribution::from_shares(eps(2.0), vec![eps(1.5), eps(0.5)]).unwrap();
     let table = FlipTable::from_distributions(&patterns, &[(private, dist)], 2).unwrap();
     let probs: Vec<FlipProb> = table.probs().to_vec();
     let window = IndicatorVector::empty(2);
     let worst = max_log_ratio(&window, &[t(0), t(1)], &probs);
     assert!((worst - 1.5).abs() < 1e-9, "worst {worst}");
     // and the Def. 4 check at the total still passes
-    assert!(satisfies_pattern_level_dp(&window, &[t(0), t(1)], &probs, eps(2.0)));
+    assert!(satisfies_pattern_level_dp(
+        &window,
+        &[t(0), t(1)],
+        &probs,
+        eps(2.0)
+    ));
 }
 
 #[test]
@@ -182,6 +195,11 @@ fn non_private_bits_leak_nothing_about_the_pattern() {
     assert_eq!(probs[1].value(), 0.0);
     assert_eq!(probs[2].value(), 0.0);
     for window in all_windows(3) {
-        assert!(satisfies_pattern_level_dp(&window, &[t(0)], &probs, eps(0.7)));
+        assert!(satisfies_pattern_level_dp(
+            &window,
+            &[t(0)],
+            &probs,
+            eps(0.7)
+        ));
     }
 }

@@ -86,15 +86,23 @@ fn noisy_argmax_tracks_true_argmax_at_high_budget() {
         .max_by_key(|(_, &c)| c)
         .map(|(i, _)| format!("t{i}"))
         .unwrap();
-    let second = truth.iter().filter(|&&c| c != *truth.iter().max().unwrap()).max();
+    let second = truth
+        .iter()
+        .filter(|&&c| c != *truth.iter().max().unwrap())
+        .max();
     // only meaningful when the argmax is unique with some margin
     if second.is_none_or(|&s| *truth.iter().max().unwrap() > s + 5) {
         let q = NoisyArgmax::new(candidates).unwrap();
         let mut rng = DpRng::seed_from(17);
         let mut hits = 0;
         for _ in 0..60 {
-            if q.select(&w.patterns, &w.windows, Epsilon::new(8.0).unwrap(), &mut rng)
-                .unwrap()
+            if q.select(
+                &w.patterns,
+                &w.windows,
+                Epsilon::new(8.0).unwrap(),
+                &mut rng,
+            )
+            .unwrap()
                 == best
             {
                 hits += 1;

@@ -50,7 +50,11 @@ fn claim_pattern_level_beats_non_pattern_level_on_synthetic() {
     for eps in [1.0, 4.0] {
         let uniform = run(MechanismSpec::Uniform, &w, eps, 8);
         let adaptive = run(MechanismSpec::Adaptive, &w, eps, 8);
-        for baseline in [MechanismSpec::Bd, MechanismSpec::Ba, MechanismSpec::Landmark] {
+        for baseline in [
+            MechanismSpec::Bd,
+            MechanismSpec::Ba,
+            MechanismSpec::Landmark,
+        ] {
             let b = run(baseline, &w, eps, 8);
             assert!(
                 uniform < b + 1e-9,
@@ -105,8 +109,8 @@ fn claim_uniform_adaptive_gap_shrinks_on_taxi() {
     let eps = 2.0;
     let gap_synth = run(MechanismSpec::Uniform, &synth, eps, 10)
         - run(MechanismSpec::Adaptive, &synth, eps, 10);
-    let gap_taxi = run(MechanismSpec::Uniform, &taxi, eps, 10)
-        - run(MechanismSpec::Adaptive, &taxi, eps, 10);
+    let gap_taxi =
+        run(MechanismSpec::Uniform, &taxi, eps, 10) - run(MechanismSpec::Adaptive, &taxi, eps, 10);
     assert!(
         gap_taxi <= gap_synth + 0.02,
         "taxi gap ({gap_taxi}) should not exceed synthetic gap ({gap_synth})"
@@ -119,7 +123,11 @@ fn claim_pattern_level_also_wins_on_taxi() {
     let w = build_workload(Dataset::Taxi, &tiny_fig4());
     let eps = 1.0;
     let uniform = run(MechanismSpec::Uniform, &w, eps, 8);
-    for baseline in [MechanismSpec::Bd, MechanismSpec::Ba, MechanismSpec::Landmark] {
+    for baseline in [
+        MechanismSpec::Bd,
+        MechanismSpec::Ba,
+        MechanismSpec::Landmark,
+    ] {
         let b = run(baseline, &w, eps, 8);
         assert!(
             uniform < b,

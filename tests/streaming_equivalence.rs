@@ -1,0 +1,168 @@
+//! Batch/streaming equivalence: the refactor's contract is that
+//! `TrustedEngine` (batch adapter) and `StreamingEngine` (push path) share
+//! one protection/accounting code path. Feeding the same events with the
+//! same seeded `DpRng` must therefore produce identical protected windows,
+//! identical consumer answers, and identical ledger spend.
+
+use pattern_dp_repro::cep::{Pattern, Semantics};
+use pattern_dp_repro::core::{
+    PpmKind, StreamingConfig, StreamingEngine, TrustedEngine, TrustedEngineConfig,
+};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{
+    Event, EventStream, EventType, TimeDelta, Timestamp, WindowAssigner, WindowedIndicators,
+};
+
+const N_TYPES: usize = 6;
+const WINDOW_MS: i64 = 100;
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+/// A deterministic pseudo-random event stream over `[0, horizon_ms)`.
+fn event_stream(seed: u64, n_events: usize, horizon_ms: i64) -> EventStream {
+    let mut rng = DpRng::seed_from(seed);
+    EventStream::from_unordered(
+        (0..n_events)
+            .map(|_| {
+                Event::new(
+                    t(rng.below(N_TYPES) as u32),
+                    Timestamp::from_millis(rng.below(horizon_ms as usize) as i64),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn engine(ppm: PpmKind) -> TrustedEngine {
+    let mut e = TrustedEngine::new(TrustedEngineConfig {
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm,
+    });
+    e.register_private_pattern(Pattern::seq("priv", vec![t(0), t(1)]).unwrap());
+    e.register_private_pattern(Pattern::single("priv2", t(4)));
+    e.register_target_query("t2?", Pattern::single("t2", t(2)));
+    e.register_target_query("t3+t5?", Pattern::seq("t35", vec![t(3), t(5)]).unwrap());
+    e
+}
+
+/// Replay `stream` through a streaming engine; return the protected
+/// windows, the per-query answer matrix, and the engine itself.
+fn stream_everything(
+    base: &TrustedEngine,
+    stream: &EventStream,
+    n_windows: usize,
+    seed: u64,
+) -> (WindowedIndicators, Vec<Vec<bool>>, StreamingEngine) {
+    let window_len = TimeDelta::from_millis(WINDOW_MS);
+    let mut s = StreamingEngine::from_engine(
+        base,
+        StreamingConfig {
+            window_len,
+            semantics: Semantics::Conjunction,
+        },
+    )
+    .expect("streaming engine builds");
+    let mut rng = DpRng::seed_from(seed);
+    let mut releases = Vec::new();
+    releases.extend(s.advance_watermark(Timestamp::ZERO, &mut rng).unwrap());
+    for event in stream.iter() {
+        releases.extend(s.push(event, &mut rng).unwrap());
+    }
+    releases.extend(
+        s.advance_watermark(
+            Timestamp::from_millis(n_windows as i64 * WINDOW_MS),
+            &mut rng,
+        )
+        .unwrap(),
+    );
+    let protected = WindowedIndicators::new(releases.iter().map(|r| r.protected.clone()).collect());
+    let n_queries = s.query_names().len();
+    let answers = (0..n_queries)
+        .map(|q| releases.iter().map(|r| r.answers[q]).collect())
+        .collect();
+    (protected, answers, s)
+}
+
+fn assert_equivalent(ppm: PpmKind, seed: u64) {
+    let stream = event_stream(seed ^ 0xABCD, 160, 20 * WINDOW_MS);
+    let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(WINDOW_MS)).unwrap();
+    let windows = WindowedIndicators::from_stream(&stream, &assigner, N_TYPES);
+
+    // batch path
+    let mut batch = engine(ppm.clone());
+    if matches!(ppm, PpmKind::Adaptive { .. }) {
+        batch.provide_history(windows.clone());
+    }
+    batch.setup().unwrap();
+    let mut batch_view_rng = DpRng::seed_from(seed);
+    let batch_view = batch.protected_view(&windows, &mut batch_view_rng).unwrap();
+    let mut batch_serve_rng = DpRng::seed_from(seed);
+    let mut batch2 = batch.clone();
+    let batch_answers = batch2.serve(&windows, &mut batch_serve_rng).unwrap();
+
+    // streaming path, same registrations, same seed
+    let mut base = engine(ppm.clone());
+    if matches!(ppm, PpmKind::Adaptive { .. }) {
+        base.provide_history(windows.clone());
+    }
+    base.setup().unwrap();
+    let (stream_view, stream_answers, s) = stream_everything(&base, &stream, windows.len(), seed);
+
+    // identical protected windows
+    assert_eq!(stream_view.len(), batch_view.len());
+    for i in 0..batch_view.len() {
+        assert_eq!(stream_view.window(i), batch_view.window(i), "window {i}");
+    }
+    // identical consumer answers
+    for (q, batch_q) in batch_answers.iter().enumerate() {
+        assert_eq!(stream_answers[q], batch_q.answers, "query {}", batch_q.name);
+    }
+    // identical ledger spend per private pattern
+    for &pid in batch.private_patterns() {
+        assert_eq!(
+            s.budget_spent(pid).value(),
+            batch.budget_spent(pid).value(),
+            "ledger spend for {pid:?}"
+        );
+    }
+}
+
+#[test]
+fn uniform_ppm_is_equivalent_across_paths() {
+    for seed in [1, 42, 2023] {
+        assert_equivalent(
+            PpmKind::Uniform {
+                eps: Epsilon::new(1.0).unwrap(),
+            },
+            seed,
+        );
+    }
+}
+
+#[test]
+fn adaptive_ppm_is_equivalent_across_paths() {
+    assert_equivalent(
+        PpmKind::Adaptive {
+            eps: Epsilon::new(2.0).unwrap(),
+            config: Default::default(),
+        },
+        7,
+    );
+}
+
+#[test]
+fn pass_through_is_equivalent_and_exact() {
+    let stream = event_stream(5, 80, 10 * WINDOW_MS);
+    let assigner = WindowAssigner::tumbling(TimeDelta::from_millis(WINDOW_MS)).unwrap();
+    let windows = WindowedIndicators::from_stream(&stream, &assigner, N_TYPES);
+    let mut base = engine(PpmKind::PassThrough);
+    base.setup().unwrap();
+    let (view, _, _) = stream_everything(&base, &stream, windows.len(), 11);
+    for i in 0..windows.len() {
+        assert_eq!(view.window(i), windows.window(i), "pass-through window {i}");
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! minimal serde: a single JSON-shaped [`Value`] data model, [`Serialize`] /
+//! [`Deserialize`] traits that convert to and from it, and `derive` macros
+//! (re-exported from the local `serde_derive` proc-macro crate) covering the
+//! shapes this workspace actually derives — named structs, tuple/newtype
+//! structs, and externally-tagged enums, honouring `#[serde(transparent)]`
+//! and `#[serde(skip)]`.
+//!
+//! The representation matches real serde's JSON conventions closely enough
+//! that round-trips through the vendored `serde_json` behave as the tests
+//! expect; it makes no promise beyond that.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-model encoding of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Decode `Self` from a value, or explain why it cannot be done.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    other => Err(Error::custom(format!(
+                        "expected integer for {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Int(i) => {
+                u64::try_from(*i).map_err(|_| Error::custom(format!("{i} out of range for u64")))
+            }
+            other => Err(Error::custom(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!("expected 2-array, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::custom(format!("expected 3-array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic key order keeps serialized output stable across runs.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,542 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's value model, parsing the item at the token level
+//! (the container has no `syn`/`quote`). Supported shapes — exactly the ones
+//! this workspace derives:
+//!
+//! * named-field structs (honouring `#[serde(skip)]` fields);
+//! * tuple and newtype structs (newtypes serialize transparently, matching
+//!   real serde; `#[serde(transparent)]` is accepted and implied);
+//! * unit structs;
+//! * enums in serde's externally-tagged representation: unit variants as
+//!   strings, data variants as single-key objects.
+//!
+//! Generic types are intentionally rejected with a `compile_error!` — none
+//! exist in this workspace, and supporting them is not worth the token
+//! gymnastics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    /// `None` for tuple fields.
+    name: Option<String>,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Parsed {
+    name: String,
+    item: Item,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse(input) {
+        Ok(parsed) => match mode {
+            Mode::Ser => gen_ser(&parsed),
+            Mode::De => gen_de(&parsed),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .expect("serde_derive generated syntactically invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (toks.get(*i), toks.get(*i + 1))
+    {
+        if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+            (inner.first(), inner.get(1))
+        {
+            if id.to_string() == "serde"
+                && args
+                    .stream()
+                    .to_string()
+                    .split(',')
+                    .any(|part| part.trim() == "skip")
+            {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Consume `pub` / `pub(crate)` style visibility.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a comma at angle-bracket depth 0, consuming the comma.
+fn skip_to_field_end(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_field_end(&toks, &mut i);
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        skip_to_field_end(&toks, &mut i);
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip any discriminant and the separating comma.
+        skip_to_field_end(&toks, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    let item = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct(Shape::Tuple(parse_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(Shape::Unit),
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}`")),
+    };
+    Ok(Parsed { name, item })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn active(fields: &[Field]) -> impl Iterator<Item = (usize, &Field)> {
+    fields.iter().enumerate().filter(|(_, f)| !f.skip)
+}
+
+fn gen_ser(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.item {
+        Item::Struct(shape) => ser_struct_body(shape, "self.", name),
+        Item::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&ser_variant_arm(name, v));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Serialize a struct shape. `access` prefixes each field (`self.` for
+/// structs, empty for destructured variant bindings).
+fn ser_struct_body(shape: &Shape, access: &str, _name: &str) -> String {
+    match shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let live: Vec<_> = active(fields).collect();
+            let mut out = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for (_, f) in &live {
+                let fname = f.name.as_deref().expect("named field");
+                out.push_str(&format!(
+                    "__fields.push(({fname:?}.to_string(), \
+                     ::serde::Serialize::to_value(&{access}{fname})));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(__fields)");
+            out
+        }
+        Shape::Tuple(fields) => {
+            let live: Vec<_> = active(fields).collect();
+            if live.len() == 1 {
+                let (idx, _) = live[0];
+                format!("::serde::Serialize::to_value(&{access}{idx})")
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|(idx, _)| format!("::serde::Serialize::to_value(&{access}{idx})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+        }
+    }
+}
+
+fn ser_variant_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n")
+        }
+        Shape::Tuple(fields) => {
+            let bindings: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let live: Vec<&String> = bindings
+                .iter()
+                .zip(fields)
+                .filter(|(_, f)| !f.skip)
+                .map(|(b, _)| b)
+                .collect();
+            let payload = if live.len() == 1 {
+                format!("::serde::Serialize::to_value({})", live[0])
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({binds}) => ::serde::Value::Object(vec![({vname:?}\
+                 .to_string(), {payload})]),\n",
+                binds = bindings.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let names: Vec<&str> = fields
+                .iter()
+                .map(|f| f.name.as_deref().expect("named field"))
+                .collect();
+            let live: Vec<&str> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| f.name.as_deref().expect("named field"))
+                .collect();
+            let items: Vec<String> = live
+                .iter()
+                .map(|n| format!("({n:?}.to_string(), ::serde::Serialize::to_value({n}))"))
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}\
+                 .to_string(), ::serde::Value::Object(vec![{items}]))]),\n",
+                binds = names.join(", "),
+                items = items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_de(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.item {
+        Item::Struct(shape) => de_struct_body(name, shape),
+        Item::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+             {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Name { f1: <extract "f1">, skipped: Default::default(), .. }` field list
+/// pulled from a `__obj` binding of `&Vec<(String, Value)>`.
+fn de_named_field_list(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = f.name.as_deref().expect("named field");
+        if f.skip {
+            out.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+        } else {
+            out.push_str(&format!(
+                "{fname}: match __obj.iter().find(|(__k, _)| __k == {fname:?}) {{\n\
+                     Some((_, __fv)) => ::serde::Deserialize::from_value(__fv)?,\n\
+                     None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                         .map_err(|_| ::serde::Error::custom(concat!(\"missing field `\", \
+                          {fname:?}, \"`\")))?,\n\
+                 }},\n"
+            ));
+        }
+    }
+    out
+}
+
+fn de_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Named(fields) => format!(
+            "let __obj = match __v {{\n\
+                 ::serde::Value::Object(__entries) => __entries,\n\
+                 __other => return Err(::serde::Error::custom(format!(\n\
+                     \"expected object for {name}, got {{:?}}\", __other))),\n\
+             }};\n\
+             Ok({name} {{ {fields} }})",
+            fields = de_named_field_list(fields)
+        ),
+        Shape::Tuple(fields) => {
+            let live: Vec<_> = active(fields).collect();
+            if live.len() == 1 {
+                let exprs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            "::serde::Deserialize::from_value(__v)?".to_string()
+                        }
+                    })
+                    .collect();
+                format!("Ok({name}({}))", exprs.join(", "))
+            } else {
+                let n = live.len();
+                let mut idx = 0usize;
+                let exprs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        if f.skip {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            let e = format!("::serde::Deserialize::from_value(&__arr[{idx}])?");
+                            idx += 1;
+                            e
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let __arr = match __v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => __items,\n\
+                         __other => return Err(::serde::Error::custom(format!(\n\
+                             \"expected {n}-element array for {name}, got {{:?}}\", __other))),\n\
+                     }};\n\
+                     Ok({name}({exprs}))",
+                    exprs = exprs.join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+            }
+            Shape::Tuple(fields) => {
+                let live: Vec<_> = active(fields).collect();
+                let build = if live.len() == 1 {
+                    let exprs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            if f.skip {
+                                "::core::default::Default::default()".to_string()
+                            } else {
+                                "::serde::Deserialize::from_value(__inner)?".to_string()
+                            }
+                        })
+                        .collect();
+                    format!("Ok({name}::{vname}({}))", exprs.join(", "))
+                } else {
+                    let n = live.len();
+                    let mut idx = 0usize;
+                    let exprs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            if f.skip {
+                                "::core::default::Default::default()".to_string()
+                            } else {
+                                let e = format!("::serde::Deserialize::from_value(&__arr[{idx}])?");
+                                idx += 1;
+                                e
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "{{ let __arr = match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => __items,\n\
+                             __other => return Err(::serde::Error::custom(format!(\n\
+                                 \"expected {n}-element array for {name}::{vname}, got {{:?}}\", \
+                                  __other))),\n\
+                         }};\n\
+                         Ok({name}::{vname}({exprs})) }}",
+                        exprs = exprs.join(", ")
+                    )
+                };
+                data_arms.push_str(&format!("{vname:?} => {build},\n"));
+            }
+            Shape::Named(fields) => {
+                data_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let __obj = match __inner {{\n\
+                             ::serde::Value::Object(__entries) => __entries,\n\
+                             __other => return Err(::serde::Error::custom(format!(\n\
+                                 \"expected object for {name}::{vname}, got {{:?}}\", __other))),\n\
+                         }};\n\
+                         Ok({name}::{vname} {{ {fields} }})\n\
+                     }},\n",
+                    fields = de_named_field_list(fields)
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\n\
+                     \"unknown {name} variant `{{}}`\", __other))),\n\
+             }},\n\
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => Err(::serde::Error::custom(format!(\n\
+                         \"unknown {name} variant `{{}}`\", __other))),\n\
+                 }}\n\
+             }},\n\
+             __other => Err(::serde::Error::custom(format!(\n\
+                 \"expected {name} enum encoding, got {{:?}}\", __other))),\n\
+         }}"
+    )
+}

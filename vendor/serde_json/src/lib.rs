@@ -1,0 +1,501 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored [`serde::Value`] model to JSON text and parses it
+//! back: [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], plus an expression-form [`json!`] macro. Covers the JSON
+//! grammar this workspace produces (no surrogate-pair escapes beyond
+//! `\uXXXX` code units, which are paired during parsing).
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Encode any serializable value into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+/// Decode a typed value out of the [`Value`] model.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &t.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize to human-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(t: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &t.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parse JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+/// Build a [`Value`] from any serializable expression: `json!(1)`,
+/// `json!("x")`, `json!(some_struct)`.
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::to_value(&$e)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error::custom(format!("{x} is not representable in JSON")));
+            }
+            // `{:?}` prints the shortest representation that round-trips,
+            // and always includes a decimal point or exponent.
+            out.push_str(&format!("{x:?}"));
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut pending_surrogate: Option<u16> = None;
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+            if pending_surrogate.is_some() && !chunk.is_empty() {
+                return Err(Error::custom("unpaired surrogate escape"));
+            }
+            out.push_str(chunk);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    if pending_surrogate.is_some() {
+                        return Err(Error::custom("unpaired surrogate escape"));
+                    }
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("dangling escape"))?;
+                    self.pos += 1;
+                    let simple = match esc {
+                        b'"' => Some('"'),
+                        b'\\' => Some('\\'),
+                        b'/' => Some('/'),
+                        b'n' => Some('\n'),
+                        b't' => Some('\t'),
+                        b'r' => Some('\r'),
+                        b'b' => Some('\u{8}'),
+                        b'f' => Some('\u{c}'),
+                        b'u' => None,
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    };
+                    match simple {
+                        Some(c) => {
+                            if pending_surrogate.is_some() {
+                                return Err(Error::custom("unpaired surrogate escape"));
+                            }
+                            out.push(c);
+                        }
+                        None => {
+                            let unit = self.parse_hex4()?;
+                            match pending_surrogate.take() {
+                                Some(high) => {
+                                    if !(0xDC00..=0xDFFF).contains(&unit) {
+                                        return Err(Error::custom("unpaired surrogate escape"));
+                                    }
+                                    let c = 0x10000
+                                        + ((u32::from(high) - 0xD800) << 10)
+                                        + (u32::from(unit) - 0xDC00);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| Error::custom("bad code point"))?,
+                                    );
+                                }
+                                None if (0xD800..=0xDBFF).contains(&unit) => {
+                                    pending_surrogate = Some(unit);
+                                }
+                                None => {
+                                    out.push(
+                                        char::from_u32(u32::from(unit))
+                                            .ok_or_else(|| Error::custom("bad code point"))?,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::custom("bad \\u escape"))?;
+        let unit = u16::from_str_radix(s, 16).map_err(|_| Error::custom("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("bad number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("bad number `{text}`")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Integers beyond i64 degrade to floats, as in serde_json's
+                // arbitrary-precision-off mode for u64 < f64 overlap.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::custom(format!("bad number `{text}`"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e2").unwrap(), 250.0);
+        assert_eq!(from_str::<String>("\"x\\ny\"").unwrap(), "x\ny");
+        assert!(!from_str::<bool>(" false ").unwrap());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,3]");
+        let back: Vec<Option<u32>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_round_trips_and_indexes() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, "x"], "c": {"d": 2.5}}"#).unwrap();
+        assert_eq!(v["a"], Value::Int(1));
+        assert_eq!(v["b"][1], Value::Str("x".into()));
+        assert_eq!(v["c"]["d"], Value::Float(2.5));
+        let text = to_string(&v).unwrap();
+        let again: Value = from_str(&text).unwrap();
+        assert_eq!(again, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-300, 123456.789, -0.0] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {json}");
+        }
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let v: Value = from_str(r#"{"a":[1,2],"b":{"c":null}}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_builds_values() {
+        assert_eq!(json!(1), Value::Int(1));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!("s"), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""é""#).unwrap(), "é");
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+    }
+}
