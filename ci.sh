@@ -23,6 +23,13 @@ fi
 echo "==> cargo test"
 cargo test -q
 
+if [[ "$fast" == 0 ]]; then
+  # release-mode tests catch overflow panics debug builds mask (and the
+  # debug_assert-gated paths the dev profile hides)
+  echo "==> cargo test --release"
+  cargo test --release -q
+fi
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 

@@ -1,0 +1,118 @@
+//! Throughput of the sharded multi-tenant service: events/sec through
+//! `push_batch` at 1, 4 and 8 shards.
+//!
+//! The workload is a population of subjects emitting a jittered (bounded
+//! out-of-order) event stream; every batch runs the full ingestion path —
+//! subject routing, per-shard reorder buffering, watermark-driven window
+//! release with randomized response, per-subject budget accounting, and
+//! the cross-shard merge.
+//!
+//! Run with: `cargo bench -p pdp-bench --bench sharded`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pdp_cep::Pattern;
+use pdp_core::{
+    KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig, SubjectId,
+};
+use pdp_dp::{DpRng, Epsilon};
+use pdp_metrics::Alpha;
+use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
+
+const N_TYPES: usize = 32;
+const N_SUBJECTS: u64 = 256;
+const N_EVENTS: usize = 20_000;
+const WINDOW: TimeDelta = TimeDelta::from_millis(100);
+const MAX_DELAY: TimeDelta = TimeDelta::from_millis(40);
+const BATCH: usize = 512;
+
+/// A service population: every subject registered, every fourth one
+/// declaring a two-element private pattern over its preferred types.
+fn service(n_shards: usize) -> ShardedService {
+    let mut builder = ServiceBuilder::new(ServiceConfig {
+        n_shards,
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(WINDOW),
+        max_delay: MAX_DELAY,
+        seed: 1234,
+    })
+    .expect("valid service config");
+    for s in 0..N_SUBJECTS {
+        builder.register_subject(SubjectId(s));
+        if s % 4 == 0 {
+            let a = EventType((s % N_TYPES as u64) as u32);
+            let b = EventType(((s + 1) % N_TYPES as u64) as u32);
+            builder.register_private_pattern(
+                SubjectId(s),
+                Pattern::seq(&format!("priv{s}"), vec![a, b]).expect("non-empty pattern"),
+            );
+        }
+    }
+    builder.register_target_query("t0?", Pattern::single("t0", EventType(0)));
+    builder.register_target_query("t1?", Pattern::single("t1", EventType(1)));
+    builder.build().expect("service builds")
+}
+
+/// A jittered arrival sequence: timestamps trend forward, individual
+/// events arrive up to `MAX_DELAY/2` late (reordered, never dropped).
+fn arrivals() -> Vec<KeyedEvent> {
+    let mut rng = DpRng::seed_from(99);
+    (0..N_EVENTS)
+        .map(|i| {
+            let base = (i as i64) * 3;
+            let jitter = rng.below(MAX_DELAY.millis() as usize / 2) as i64;
+            KeyedEvent::new(
+                SubjectId(rng.below(N_SUBJECTS as usize) as u64),
+                Event::new(
+                    EventType(rng.below(N_TYPES) as u32),
+                    Timestamp::from_millis((base - jitter).max(0)),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let events = arrivals();
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.throughput(Throughput::Elements(N_EVENTS as u64));
+    for n_shards in [1usize, 4, 8] {
+        let proto = service(n_shards);
+        group.bench_function(BenchmarkId::from_parameter(n_shards), |b| {
+            b.iter(|| {
+                let mut svc = proto.clone();
+                for chunk in events.chunks(BATCH) {
+                    black_box(svc.push_batch(black_box(chunk)).expect("ingest"));
+                }
+                black_box(svc.finish().expect("finish"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_merge_path(c: &mut Criterion) {
+    // the merge path alone: heartbeat-driven empty windows across shards
+    let mut group = c.benchmark_group("sharded_heartbeat");
+    group.throughput(Throughput::Elements(100));
+    for n_shards in [1usize, 4, 8] {
+        let proto = service(n_shards);
+        group.bench_function(BenchmarkId::from_parameter(n_shards), |b| {
+            b.iter(|| {
+                let mut svc = proto.clone();
+                // 100 quiet windows released and merged on every shard
+                let end = Timestamp::from_millis(100 * WINDOW.millis() + MAX_DELAY.millis());
+                black_box(svc.advance_watermark(black_box(end)).expect("heartbeat"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_ingest, bench_sharded_merge_path);
+criterion_main!(benches);

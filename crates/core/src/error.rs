@@ -28,6 +28,12 @@ pub enum CoreError {
     /// non-positive window length, out-of-order events, a regressing
     /// watermark).
     Detection(String),
+    /// An event was keyed by a data subject the service has never seen in
+    /// its setup phase (multi-tenant ingestion requires registration).
+    UnknownSubject(u64),
+    /// The sharded service rejected its configuration or call sequence
+    /// (zero shards, ingestion after `finish`, …).
+    InvalidService(String),
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +53,10 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::Detection(msg) => write!(f, "streaming detection error: {msg}"),
+            CoreError::UnknownSubject(id) => {
+                write!(f, "subject {id} is not registered with the service")
+            }
+            CoreError::InvalidService(msg) => write!(f, "invalid service use: {msg}"),
         }
     }
 }

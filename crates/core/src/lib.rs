@@ -19,7 +19,12 @@
 //! * [`engine`] — the trusted CEP engine middleware of §III-A (Fig. 2);
 //! * [`streaming`] — the push-based service layer: [`StreamingEngine`]
 //!   consumes events one at a time and releases protected windows online,
-//!   through the same [`OnlineCore`] the batch engine adapts.
+//!   through the same [`OnlineCore`] the batch engine adapts;
+//! * [`service`] — the sharded multi-tenant deployment shape on top:
+//!   subject-keyed batched ingestion with bounded out-of-order tolerance,
+//!   hash partitioning across [`StreamingEngine`] shards, a global low
+//!   watermark, per-subject budget ledgers, and population-level merged
+//!   answers.
 
 pub mod adaptive;
 pub mod correlation;
@@ -31,6 +36,7 @@ pub mod guarantee;
 pub mod neighbors;
 pub mod protect;
 pub mod quality_model;
+pub mod service;
 pub mod streaming;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
@@ -47,4 +53,8 @@ pub use neighbors::{
 };
 pub use protect::{FlipTable, Mechanism, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
+pub use service::{
+    BatchOutput, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig, ShardRelease,
+    ShardedService, SubjectId,
+};
 pub use streaming::{OnlineCore, StreamingConfig, StreamingEngine, WindowRelease};

@@ -1,0 +1,840 @@
+//! The sharded multi-tenant service layer.
+//!
+//! The paper's model (§III-A, Fig. 1) is one trusted engine serving *many*
+//! data subjects and consumers over an unbounded stream. A production-scale
+//! deployment cannot run that as a single single-threaded
+//! [`StreamingEngine`]: ingestion arrives in batches, events arrive late,
+//! and the event volume of millions of subjects has to be spread over
+//! independent partitions. [`ShardedService`] is that deployment shape:
+//!
+//! * **setup phase** ([`ServiceBuilder`]): data subjects register under a
+//!   [`SubjectId`] and declare their private patterns; data consumers
+//!   register named target queries. One protection pipeline is built over
+//!   the union of all registrations, exactly as in
+//!   [`TrustedEngine::setup`](crate::engine::TrustedEngine::setup);
+//! * **sharding**: every subject is hash-assigned to one of `n_shards`
+//!   partitions ([`ShardedService::shard_for`]), so a subject's whole
+//!   stream — and therefore every window of it — is always processed by
+//!   the same shard. Each shard runs its own [`OnlineCore`]-backed
+//!   [`StreamingEngine`] with an independent [`DpRng`];
+//! * **batched out-of-order ingestion** ([`ShardedService::push_batch`]):
+//!   events are keyed by subject, routed to their shard's
+//!   [`ReorderBuffer`], and only enter the shard engine once the shard
+//!   watermark passes them; events later than the bounded delay are
+//!   counted and dropped. After every batch the **global low watermark**
+//!   (the minimum across shard buffers) drives
+//!   [`StreamingEngine::advance_watermark`] on every shard, so quiet
+//!   partitions keep releasing (protected, possibly flipped-present)
+//!   windows and all shards stay on one aligned window timeline;
+//! * **merged releases**: per-shard [`WindowRelease`]s are queued and
+//!   merged once every shard has released a given window index
+//!   ([`MergedRelease`]) — the population-level consumer answer is the
+//!   disjunction over shards, with the per-query positive-shard count kept
+//!   for aggregate consumers;
+//! * **per-subject accounting**: each shard release charges every subject
+//!   assigned to that shard for their own registered patterns in a
+//!   per-subject [`BudgetLedger`] — the pattern-level ε-DP guarantee
+//!   (Thm. 1) is per subject and must hold regardless of how the stream is
+//!   partitioned.
+//!
+//! Correctness is anchored by equivalence, not by re-proof: a 1-shard
+//! service reproduces [`StreamingEngine`] bit-for-bit under a seeded
+//! [`DpRng`], and an N-shard service over a partitioned stream matches N
+//! independent engines (see `tests/sharded_equivalence.rs`).
+//!
+//! [`ReorderBuffer`]: pdp_stream::ReorderBuffer
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use pdp_cep::{Pattern, PatternId, QueryId};
+use pdp_dp::{BudgetLedger, DpRng, Epsilon};
+use pdp_metrics::Alpha;
+use pdp_stream::{Event, ReorderBuffer, TimeDelta, Timestamp, WindowedIndicators};
+
+use crate::engine::{PpmKind, TrustedEngine, TrustedEngineConfig};
+use crate::error::CoreError;
+use crate::streaming::{StreamingConfig, StreamingEngine, WindowRelease};
+
+/// Identifies one data subject (tenant) of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubjectId(pub u64);
+
+impl std::fmt::Display for SubjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "subject#{}", self.0)
+    }
+}
+
+/// An event keyed by the data subject that emitted it — the unit of
+/// ingestion for the sharded service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedEvent {
+    /// The emitting data subject; determines the shard.
+    pub subject: SubjectId,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl KeyedEvent {
+    /// Convenience constructor.
+    pub fn new(subject: SubjectId, event: Event) -> Self {
+        KeyedEvent { subject, event }
+    }
+}
+
+/// Construction parameters of a [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of partitions (≥ 1).
+    pub n_shards: usize,
+    /// Size of the event-type universe.
+    pub n_types: usize,
+    /// The consumers' quality weight (Eq. 3).
+    pub alpha: Alpha,
+    /// The pattern-level PPM every shard applies.
+    pub ppm: PpmKind,
+    /// Window length and detection semantics of every shard engine.
+    pub streaming: StreamingConfig,
+    /// Bounded lateness tolerated by the per-shard reorder buffers.
+    pub max_delay: TimeDelta,
+    /// Base seed; shard `i` draws from [`ShardedService::shard_seed`]`(seed, i)`.
+    pub seed: u64,
+}
+
+/// One shard's release, tagged with its partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRelease {
+    /// The partition that released the window.
+    pub shard: usize,
+    /// The protected release itself.
+    pub release: WindowRelease,
+}
+
+/// One window index merged across every shard: the population-level view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedRelease {
+    /// Window index (shared by all shards — they run one aligned timeline).
+    pub index: usize,
+    /// Start of the window.
+    pub start: Timestamp,
+    /// Per query (in [`QueryId`] order): true iff *any* shard's protected
+    /// view answered true — "does the target pattern occur anywhere in the
+    /// population?".
+    pub answers_any: Vec<bool>,
+    /// Per query: how many shards answered true (the aggregate consumers'
+    /// counting view).
+    pub positive_shards: Vec<usize>,
+}
+
+/// What one ingestion call produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutput {
+    /// Every window released by any shard, in release order.
+    pub shard_releases: Vec<ShardRelease>,
+    /// Window indexes completed by *all* shards since the last call,
+    /// merged (in index order).
+    pub merged: Vec<MergedRelease>,
+}
+
+impl BatchOutput {
+    fn absorb(&mut self, shard: usize, releases: Vec<WindowRelease>) -> Vec<WindowRelease> {
+        self.shard_releases.extend(
+            releases
+                .iter()
+                .cloned()
+                .map(|release| ShardRelease { shard, release }),
+        );
+        releases
+    }
+}
+
+/// Setup phase of the sharded service (§III-A): subject and consumer
+/// registration, then [`ServiceBuilder::build`] to go online.
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    config: ServiceConfig,
+    engine: TrustedEngine,
+    /// Registration order and per-subject private patterns. `BTreeMap` so
+    /// iteration (and thus the charging plan) is deterministic.
+    subjects: BTreeMap<SubjectId, Vec<PatternId>>,
+}
+
+impl ServiceBuilder {
+    /// Start the setup phase.
+    pub fn new(config: ServiceConfig) -> Result<Self, CoreError> {
+        if config.n_shards == 0 {
+            return Err(CoreError::InvalidService(
+                "a service needs at least one shard".into(),
+            ));
+        }
+        let engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: config.n_types,
+            alpha: config.alpha,
+            ppm: config.ppm.clone(),
+        });
+        Ok(ServiceBuilder {
+            config,
+            engine,
+            subjects: BTreeMap::new(),
+        })
+    }
+
+    /// Register a data subject with no private patterns (a tenant whose
+    /// stream needs no protection but must still be routable).
+    pub fn register_subject(&mut self, subject: SubjectId) -> &mut Self {
+        self.subjects.entry(subject).or_default();
+        self
+    }
+
+    /// Data subject `subject`: declare a private pattern to protect.
+    pub fn register_private_pattern(&mut self, subject: SubjectId, pattern: Pattern) -> PatternId {
+        let id = self.engine.register_private_pattern(pattern);
+        self.subjects.entry(subject).or_default().push(id);
+        id
+    }
+
+    /// Data consumer: declare a named target-pattern query.
+    pub fn register_target_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
+        self.engine.register_target_query(name, pattern)
+    }
+
+    /// Register a pattern that is neither private nor queried (kept for
+    /// [`PatternId`] parity with an external registry, e.g. a workload).
+    pub fn register_pattern(&mut self, pattern: Pattern) -> PatternId {
+        self.engine.register_pattern(pattern)
+    }
+
+    /// Grant access to historical data (required by the adaptive PPM).
+    pub fn provide_history(&mut self, windows: WindowedIndicators) {
+        self.engine.provide_history(windows);
+    }
+
+    /// Complete setup and go online, deriving each shard's [`DpRng`] from
+    /// [`ServiceConfig::seed`] via [`ShardedService::shard_seed`].
+    pub fn build(self) -> Result<ShardedService, CoreError> {
+        let rngs = (0..self.config.n_shards)
+            .map(|s| DpRng::seed_from(ShardedService::shard_seed(self.config.seed, s)))
+            .collect();
+        self.build_with_rngs(rngs)
+    }
+
+    /// Complete setup with explicit per-shard generators (one per shard).
+    ///
+    /// This is how a replay harness hands the service an already-forked
+    /// trial RNG so a 1-shard run reproduces a plain [`StreamingEngine`]
+    /// trial bit-for-bit.
+    pub fn build_with_rngs(mut self, rngs: Vec<DpRng>) -> Result<ShardedService, CoreError> {
+        if rngs.len() != self.config.n_shards {
+            return Err(CoreError::InvalidService(format!(
+                "{} shard rngs provided for {} shards",
+                rngs.len(),
+                self.config.n_shards
+            )));
+        }
+        self.engine.setup()?;
+        let n_shards = self.config.n_shards;
+        let assignment: HashMap<SubjectId, usize> = self
+            .subjects
+            .keys()
+            .map(|&s| (s, ShardedService::shard_for(s, n_shards)))
+            .collect();
+
+        let mut shards = Vec::with_capacity(n_shards);
+        for rng in rngs {
+            let mut engine = StreamingEngine::from_engine(&self.engine, self.config.streaming)?;
+            // Pin every shard to the same window origin so all shards run
+            // one aligned timeline (required by the merge path, and by the
+            // global watermark which may reach a shard before its first
+            // event). Closes nothing and draws no randomness.
+            engine.advance_watermark(Timestamp::ZERO, &mut DpRng::seed_from(0))?;
+            shards.push(Shard {
+                buffer: ReorderBuffer::new(self.config.max_delay),
+                engine,
+                rng,
+                frontier: Timestamp::ZERO,
+                charges: Vec::new(),
+                n_subjects: 0,
+            });
+        }
+        for &shard in assignment.values() {
+            shards[shard].n_subjects += 1;
+        }
+
+        // Per-release charging plan: each release of shard `s` charges
+        // every subject on `s` for each of *their* patterns' per-release
+        // budgets (sequential composition across releases, per subject).
+        let budgets: HashMap<PatternId, Epsilon> = shards[0]
+            .engine
+            .core()
+            .pipeline()
+            .budgets()
+            .into_iter()
+            .collect();
+        for (&subject, patterns) in &self.subjects {
+            let shard = assignment[&subject];
+            for pid in patterns {
+                if let Some(&eps) = budgets.get(pid) {
+                    shards[shard].charges.push((subject, *pid, eps));
+                }
+            }
+        }
+
+        let query_names: Vec<String> = shards[0]
+            .engine
+            .query_names()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let ledgers = self
+            .subjects
+            .keys()
+            .map(|&s| (s, BudgetLedger::unlimited()))
+            .collect();
+        Ok(ShardedService {
+            shards,
+            assignment,
+            ledgers,
+            pending: vec![VecDeque::new(); n_shards],
+            query_names,
+            events_ingested: 0,
+            finished: false,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Shard {
+    buffer: ReorderBuffer,
+    engine: StreamingEngine,
+    rng: DpRng,
+    /// The furthest point in stream time this shard's engine has seen
+    /// (event pushes and watermark advances); the global watermark is only
+    /// applied when it moves a shard forward.
+    frontier: Timestamp,
+    /// `(subject, pattern, per-release ε)` to charge on every release.
+    charges: Vec<(SubjectId, PatternId, Epsilon)>,
+    /// Subjects routed to this shard. A shard with none can never receive
+    /// events, so it must not hold the global low watermark back.
+    n_subjects: usize,
+}
+
+/// The online sharded multi-tenant service. Built by [`ServiceBuilder`].
+#[derive(Debug, Clone)]
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    assignment: HashMap<SubjectId, usize>,
+    ledgers: HashMap<SubjectId, BudgetLedger<PatternId>>,
+    /// Per-shard queues of releases not yet merged across all shards.
+    pending: Vec<VecDeque<WindowRelease>>,
+    query_names: Vec<String>,
+    events_ingested: u64,
+    finished: bool,
+}
+
+impl ShardedService {
+    /// The deterministic subject → shard assignment (splitmix64 of the
+    /// subject id, reduced modulo `n_shards`). Stable across runs and Rust
+    /// versions — partition equivalence tests depend on it.
+    pub fn shard_for(subject: SubjectId, n_shards: usize) -> usize {
+        assert!(n_shards > 0, "shard_for needs at least one shard");
+        (splitmix64(subject.0) % n_shards as u64) as usize
+    }
+
+    /// The seed shard `shard` derives its [`DpRng`] from.
+    ///
+    /// Shard 0 keeps the base seed unchanged so a 1-shard service is
+    /// bit-for-bit a [`StreamingEngine`] driven with
+    /// `DpRng::seed_from(base)`; higher shards mix the shard index in.
+    pub fn shard_seed(base: u64, shard: usize) -> u64 {
+        if shard == 0 {
+            base
+        } else {
+            base ^ splitmix64(shard as u64)
+        }
+    }
+
+    /// Ingest one batch of keyed events, in arrival order. Events may be
+    /// out of temporal order up to the configured bounded delay; later
+    /// ones are dropped (see [`ShardedService::dropped`]). Returns every
+    /// release the batch caused, plus the window indexes newly completed
+    /// by all shards.
+    ///
+    /// The call is atomic with respect to registration: every subject in
+    /// the batch is resolved *before* any event is ingested, so an
+    /// [`CoreError::UnknownSubject`] rejection leaves the service — and
+    /// the releases a partial batch would have produced — untouched.
+    pub fn push_batch(&mut self, batch: &[KeyedEvent]) -> Result<BatchOutput, CoreError> {
+        self.ensure_live()?;
+        let routes: Vec<usize> = batch
+            .iter()
+            .map(|keyed| {
+                self.assignment
+                    .get(&keyed.subject)
+                    .copied()
+                    .ok_or(CoreError::UnknownSubject(keyed.subject.0))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut out = BatchOutput::default();
+        for (keyed, shard_idx) in batch.iter().zip(routes) {
+            let ready = self.shards[shard_idx].buffer.push(keyed.event.clone());
+            self.feed_shard(shard_idx, ready, &mut out)?;
+            self.events_ingested += 1;
+        }
+        self.advance_to_low_watermark(&mut out)?;
+        self.drain_merged(&mut out);
+        Ok(out)
+    }
+
+    /// Heartbeat: behave as if every source had just been observed at
+    /// `ts` — each shard buffer's watermark advances to `ts − max_delay`
+    /// (events up to `max_delay` late are still accepted afterwards), and
+    /// the global low watermark then drives every shard engine forward,
+    /// releasing quiet windows.
+    pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<BatchOutput, CoreError> {
+        self.ensure_live()?;
+        let mut out = BatchOutput::default();
+        for shard_idx in 0..self.shards.len() {
+            let ready = self.shards[shard_idx].buffer.heartbeat(ts);
+            self.feed_shard(shard_idx, ready, &mut out)?;
+        }
+        self.advance_to_low_watermark(&mut out)?;
+        self.drain_merged(&mut out);
+        Ok(out)
+    }
+
+    /// End of stream: drain every reorder buffer into its engine, align
+    /// every shard on one final frontier (the furthest any shard reached —
+    /// the stream ends at the same instant for every tenant, so the last
+    /// windows merge too), close the open windows, and merge. The service
+    /// rejects ingestion afterwards.
+    pub fn finish(&mut self) -> Result<BatchOutput, CoreError> {
+        self.ensure_live()?;
+        self.finished = true;
+        let mut out = BatchOutput::default();
+        for shard_idx in 0..self.shards.len() {
+            let remaining = self.shards[shard_idx].buffer.flush();
+            self.feed_shard(shard_idx, remaining, &mut out)?;
+        }
+        let end = self
+            .shards
+            .iter()
+            .map(|s| s.frontier)
+            .max()
+            .expect("n_shards >= 1");
+        for shard_idx in 0..self.shards.len() {
+            if end > self.shards[shard_idx].frontier {
+                let shard = &mut self.shards[shard_idx];
+                let releases = shard.engine.advance_watermark(end, &mut shard.rng)?;
+                shard.frontier = end;
+                self.record(shard_idx, releases, &mut out);
+            }
+            let shard = &mut self.shards[shard_idx];
+            let last = shard.engine.finish(&mut shard.rng)?;
+            if let Some(last) = last {
+                self.record(shard_idx, vec![last], &mut out);
+            }
+        }
+        self.drain_merged(&mut out);
+        Ok(out)
+    }
+
+    /// Push already-ordered events a shard's buffer released into the
+    /// shard engine, collecting and accounting the releases.
+    fn feed_shard(
+        &mut self,
+        shard_idx: usize,
+        events: Vec<Event>,
+        out: &mut BatchOutput,
+    ) -> Result<(), CoreError> {
+        for event in events {
+            let shard = &mut self.shards[shard_idx];
+            let releases = shard.engine.push(&event, &mut shard.rng)?;
+            shard.frontier = shard.frontier.max(event.ts);
+            self.record(shard_idx, releases, out);
+        }
+        Ok(())
+    }
+
+    /// Book `releases` of one shard everywhere they matter: the caller's
+    /// output, the per-subject ledgers, and the merge queues.
+    fn record(&mut self, shard_idx: usize, releases: Vec<WindowRelease>, out: &mut BatchOutput) {
+        let released = out.absorb(shard_idx, releases);
+        self.account(shard_idx, &released);
+        self.pending[shard_idx].extend(released);
+    }
+
+    /// The global low watermark: the minimum of the shard buffers'
+    /// watermarks, or `None` until every shard that can receive events has
+    /// observed stream time. Shards with no registered subjects can never
+    /// receive events and are excluded (they are advanced *by* the global
+    /// watermark instead of contributing to it); a service with no
+    /// subjects at all has no watermark.
+    pub fn low_watermark(&self) -> Option<Timestamp> {
+        let active: Vec<Option<Timestamp>> = self
+            .shards
+            .iter()
+            .filter(|s| s.n_subjects > 0)
+            .map(|s| s.buffer.watermark())
+            .collect();
+        if active.is_empty() {
+            return None;
+        }
+        active
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .and_then(|wms| wms.into_iter().min())
+    }
+
+    fn advance_to_low_watermark(&mut self, out: &mut BatchOutput) -> Result<(), CoreError> {
+        let Some(low) = self.low_watermark() else {
+            return Ok(());
+        };
+        for shard_idx in 0..self.shards.len() {
+            if low > self.shards[shard_idx].frontier {
+                let shard = &mut self.shards[shard_idx];
+                let releases = shard.engine.advance_watermark(low, &mut shard.rng)?;
+                shard.frontier = low;
+                self.record(shard_idx, releases, out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge this shard's subjects for `releases` (their own patterns
+    /// only), per release.
+    fn account(&mut self, shard_idx: usize, releases: &[WindowRelease]) {
+        if releases.is_empty() {
+            return;
+        }
+        for (subject, pid, eps) in &self.shards[shard_idx].charges {
+            let ledger = self
+                .ledgers
+                .get_mut(subject)
+                .expect("every registered subject has a ledger");
+            for _ in releases {
+                ledger
+                    .spend(*pid, *eps)
+                    .expect("per-subject ledgers are unlimited");
+            }
+        }
+    }
+
+    /// Pop every window index all shards have released, merging answers.
+    fn drain_merged(&mut self, out: &mut BatchOutput) {
+        while self.pending.iter().all(|q| !q.is_empty()) {
+            let rows: Vec<WindowRelease> = self
+                .pending
+                .iter_mut()
+                .map(|q| q.pop_front().expect("checked non-empty"))
+                .collect();
+            let first = &rows[0];
+            debug_assert!(
+                rows.iter()
+                    .all(|r| r.index == first.index && r.start == first.start),
+                "shards share one window timeline"
+            );
+            let n_queries = self.query_names.len();
+            let mut answers_any = vec![false; n_queries];
+            let mut positive_shards = vec![0usize; n_queries];
+            for row in &rows {
+                for (q, &hit) in row.answers.iter().enumerate() {
+                    if hit {
+                        answers_any[q] = true;
+                        positive_shards[q] += 1;
+                    }
+                }
+            }
+            out.merged.push(MergedRelease {
+                index: first.index,
+                start: first.start,
+                answers_any,
+                positive_shards,
+            });
+        }
+    }
+
+    fn ensure_live(&self) -> Result<(), CoreError> {
+        if self.finished {
+            return Err(CoreError::InvalidService(
+                "the service has been finished; no further ingestion".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of partitions.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The registered subjects, in id order.
+    pub fn subjects(&self) -> Vec<SubjectId> {
+        let mut ids: Vec<SubjectId> = self.assignment.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The shard a registered subject's events are routed to.
+    pub fn subject_shard(&self, subject: SubjectId) -> Option<usize> {
+        self.assignment.get(&subject).copied()
+    }
+
+    /// Budget spent so far *for one subject* on one of their patterns
+    /// (sequential composition across their shard's releases).
+    pub fn budget_spent(&self, subject: SubjectId, pattern: PatternId) -> Epsilon {
+        self.ledgers
+            .get(&subject)
+            .map(|l| l.spent(&pattern))
+            .unwrap_or(Epsilon::ZERO)
+    }
+
+    /// Total events accepted by `push_batch` so far (dropped ones
+    /// included — they were ingested, then discarded as too late).
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
+    }
+
+    /// Events that arrived later than the bounded delay and were dropped,
+    /// summed over shards.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.buffer.dropped()).sum()
+    }
+
+    /// Windows released so far, per shard.
+    pub fn releases_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.engine.releases()).collect()
+    }
+
+    /// Names of the registered consumer queries, in [`QueryId`] order.
+    pub fn query_names(&self) -> &[String] {
+        &self.query_names
+    }
+
+    /// Events sitting in reorder buffers, not yet past the watermark.
+    pub fn buffered(&self) -> usize {
+        self.shards.iter().map(|s| s.buffer.pending()).sum()
+    }
+}
+
+/// The splitmix64 finalizer: the service's stable hash for shard routing
+/// and seed derivation.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::EventType;
+
+    fn t(i: u32) -> EventType {
+        EventType(i)
+    }
+
+    fn e(ty: u32, ms: i64) -> Event {
+        Event::new(t(ty), Timestamp::from_millis(ms))
+    }
+
+    fn ke(subject: u64, ty: u32, ms: i64) -> KeyedEvent {
+        KeyedEvent::new(SubjectId(subject), e(ty, ms))
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn config(n_shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            n_shards,
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::Uniform { eps: eps(1.0) },
+            streaming: StreamingConfig::tumbling(TimeDelta::from_millis(10)),
+            max_delay: TimeDelta::from_millis(5),
+            seed: 7,
+        }
+    }
+
+    fn builder(n_shards: usize) -> ServiceBuilder {
+        let mut b = ServiceBuilder::new(config(n_shards)).unwrap();
+        b.register_private_pattern(SubjectId(1), Pattern::seq("p1", vec![t(0), t(1)]).unwrap());
+        b.register_private_pattern(SubjectId(2), Pattern::single("p2", t(3)));
+        b.register_subject(SubjectId(3));
+        b.register_target_query("t2?", Pattern::single("t2", t(2)));
+        b
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(matches!(
+            ServiceBuilder::new(config(0)),
+            Err(CoreError::InvalidService(_))
+        ));
+    }
+
+    #[test]
+    fn rng_count_must_match_shards() {
+        let b = builder(2);
+        assert!(matches!(
+            b.build_with_rngs(vec![DpRng::seed_from(1)]),
+            Err(CoreError::InvalidService(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_subjects_are_rejected() {
+        let mut svc = builder(2).build().unwrap();
+        let err = svc.push_batch(&[ke(99, 0, 1)]).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownSubject(99)));
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_service_untouched() {
+        // an unknown subject *after* events that would close windows must
+        // not half-apply the batch: no ingestion, no releases, no spend
+        let mut svc = builder(1).build().unwrap();
+        let poisoned = [ke(1, 0, 1), ke(1, 1, 500), ke(99, 0, 501)];
+        assert!(matches!(
+            svc.push_batch(&poisoned),
+            Err(CoreError::UnknownSubject(99))
+        ));
+        assert_eq!(svc.events_ingested(), 0);
+        assert_eq!(svc.buffered(), 0);
+        assert_eq!(svc.releases_per_shard(), vec![0]);
+        // the same batch without the poison pill applies normally
+        let out = svc.push_batch(&poisoned[..2]).unwrap();
+        assert!(!out.shard_releases.is_empty());
+        assert_eq!(svc.events_ingested(), 2);
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let svc = builder(4).build().unwrap();
+        for subject in svc.subjects() {
+            let s = svc.subject_shard(subject).unwrap();
+            assert_eq!(s, ShardedService::shard_for(subject, 4));
+            assert!(s < 4);
+        }
+        assert_eq!(
+            svc.subjects(),
+            vec![SubjectId(1), SubjectId(2), SubjectId(3)]
+        );
+    }
+
+    #[test]
+    fn shard_seed_keeps_base_for_shard_zero() {
+        assert_eq!(ShardedService::shard_seed(42, 0), 42);
+        assert_ne!(ShardedService::shard_seed(42, 1), 42);
+        assert_ne!(
+            ShardedService::shard_seed(42, 1),
+            ShardedService::shard_seed(42, 2)
+        );
+    }
+
+    #[test]
+    fn late_events_are_dropped_and_counted() {
+        let mut svc = builder(1).build().unwrap();
+        svc.push_batch(&[ke(1, 0, 100)]).unwrap(); // watermark 95
+        svc.push_batch(&[ke(1, 1, 50)]).unwrap(); // too late
+        assert_eq!(svc.dropped(), 1);
+        assert_eq!(svc.events_ingested(), 2);
+    }
+
+    #[test]
+    fn quiet_shards_release_via_global_watermark() {
+        // subjects 1 and 2 land on different shards of a 4-way service,
+        // leaving at least one shard with no subjects at all
+        let svc = builder(4).build().unwrap();
+        let s1 = svc.subject_shard(SubjectId(1)).unwrap();
+        let s2 = svc.subject_shard(SubjectId(2)).unwrap();
+        assert_ne!(s1, s2, "fixture subjects must split across shards");
+
+        let mut svc = builder(4).build().unwrap();
+        // only subject 1 reports: subject 2's shard is quiet and holds the
+        // global watermark back (subjectless shards never do — they can
+        // never receive events)
+        svc.push_batch(&[ke(1, 0, 100)]).unwrap();
+        assert_eq!(svc.low_watermark(), None, "quiet tenant shard holds it");
+        // a heartbeat covers the quiet shard, and *every* shard releases
+        let out = svc.advance_watermark(Timestamp::from_millis(100)).unwrap();
+        assert_eq!(svc.low_watermark(), Some(Timestamp::from_millis(95)));
+        // windows 0..=8 closed on *every* shard (95ms watermark, 10ms windows)
+        assert_eq!(out.merged.len(), 9);
+        let per_shard = svc.releases_per_shard();
+        assert!(per_shard.iter().all(|&r| r == 9), "{per_shard:?}");
+    }
+
+    #[test]
+    fn merged_answers_are_disjunctions() {
+        let mut svc = builder(2).build().unwrap();
+        // subject 3 emits the target type 2; nothing flips it (uniform PPM
+        // touches only private-pattern types 0, 1, 3)
+        svc.push_batch(&[ke(3, 2, 5)]).unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(40)).unwrap();
+        assert!(!out.merged.is_empty());
+        let w0 = &out.merged[0];
+        assert_eq!(w0.index, 0);
+        assert!(w0.answers_any[0], "target type present in population");
+        assert_eq!(w0.positive_shards[0], 1, "exactly one shard saw it");
+        // merged rows arrive in index order
+        for (k, m) in out.merged.iter().enumerate() {
+            assert_eq!(m.index, k);
+        }
+    }
+
+    #[test]
+    fn per_subject_ledgers_charge_only_their_patterns() {
+        let mut b = ServiceBuilder::new(config(1)).unwrap();
+        let p1 =
+            b.register_private_pattern(SubjectId(1), Pattern::seq("p1", vec![t(0), t(1)]).unwrap());
+        let p2 = b.register_private_pattern(SubjectId(2), Pattern::single("p2", t(3)));
+        b.register_target_query("t2?", Pattern::single("t2", t(2)));
+        let mut svc = b.build().unwrap();
+        svc.push_batch(&[ke(1, 0, 5)]).unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(35)).unwrap();
+        let released: usize = out.merged.len();
+        assert!(released >= 3);
+        // both subjects sit on the single shard: each release charges each
+        // subject their own pattern's full ε = 1.0 — and never the other's
+        let spent1 = svc.budget_spent(SubjectId(1), p1).value();
+        let spent2 = svc.budget_spent(SubjectId(2), p2).value();
+        assert!((spent1 - released as f64).abs() < 1e-12, "{spent1}");
+        assert!((spent2 - released as f64).abs() < 1e-12, "{spent2}");
+        assert_eq!(svc.budget_spent(SubjectId(1), p2), Epsilon::ZERO);
+        assert_eq!(svc.budget_spent(SubjectId(2), p1), Epsilon::ZERO);
+    }
+
+    #[test]
+    fn finish_drains_buffers_and_seals_the_service() {
+        let mut svc = builder(1).build().unwrap();
+        svc.push_batch(&[ke(1, 0, 3), ke(1, 1, 4)]).unwrap();
+        assert!(svc.buffered() > 0, "events await the watermark");
+        let out = svc.finish().unwrap();
+        assert_eq!(svc.buffered(), 0);
+        assert_eq!(out.merged.len(), 1, "open window closed at finish");
+        assert!(matches!(
+            svc.push_batch(&[ke(1, 0, 50)]),
+            Err(CoreError::InvalidService(_))
+        ));
+        assert!(matches!(svc.finish(), Err(CoreError::InvalidService(_))));
+    }
+
+    #[test]
+    fn out_of_order_within_delay_is_reordered() {
+        let mut svc = builder(1).build().unwrap();
+        // 4 arrives after 7 but within the 5ms bound → reordered, not lost
+        svc.push_batch(&[ke(1, 0, 7), ke(1, 1, 4), ke(1, 2, 9)])
+            .unwrap();
+        let out = svc.finish().unwrap();
+        assert_eq!(svc.dropped(), 0);
+        assert_eq!(out.merged.len(), 1);
+        let release = &out.shard_releases.last().unwrap().release;
+        // all three types present in window 0 — the late event made it in
+        assert!(release.protected.get(t(2)));
+        // one detection flag per registered pattern: p1, p2, and the target
+        assert_eq!(release.raw_detections.len(), 3);
+    }
+}

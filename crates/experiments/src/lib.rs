@@ -13,7 +13,12 @@
 //! * [`streaming`] — the same Fig. 4 cells served by the push-based
 //!   [`StreamingEngine`](pdp_core::StreamingEngine): windows replayed as
 //!   events, protection applied at window close, identical scores to the
-//!   batch runner by construction.
+//!   batch runner by construction;
+//! * [`sharded`] — the same cells served by the sharded multi-tenant
+//!   [`ShardedService`](pdp_core::ShardedService): subject-keyed batched
+//!   ingestion, hash partitioning, population-level merge. One shard
+//!   reproduces the streaming cells bit for bit; more shards measure the
+//!   quality cost of partitioned serving.
 //!
 //! The `experiments` binary drives everything and prints the tables
 //! recorded in EXPERIMENTS.md.
@@ -21,8 +26,10 @@
 pub mod ablations;
 pub mod fig4;
 pub mod runner;
+pub mod sharded;
 pub mod streaming;
 
 pub use fig4::{run_fig4, Fig4Config};
 pub use runner::{MechanismSpec, RunConfig, TrialOutcome};
+pub use sharded::{run_cell_sharded, run_fig4_sharded};
 pub use streaming::{run_cell_streaming, run_fig4_streaming};

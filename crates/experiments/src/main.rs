@@ -1,7 +1,8 @@
 //! The `experiments` binary: regenerates every table/figure of the paper.
 //!
 //! ```text
-//! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick] [--streaming]
+//! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
+//!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
@@ -9,14 +10,26 @@
 //! `--streaming` serves the Fig. 4 cells through the push-based
 //! `StreamingEngine` instead of the batch adapter (pattern-level
 //! mechanisms only; scores match the batch path bit for bit).
+//! `--sharded` serves them through the sharded multi-tenant service;
+//! with the default `--shards 1` the scores again match bit for bit,
+//! higher shard counts measure the quality cost of partitioned serving.
 
 use std::env;
 use std::fs;
 
 use pdp_experiments::ablations::{self, AblationConfig};
 use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
+use pdp_experiments::sharded::run_fig4_sharded;
 use pdp_experiments::streaming::run_fig4_streaming;
 use pdp_metrics::{markdown_table, text_table};
+
+/// How the Fig. 4 cells are served.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeMode {
+    Batch,
+    Streaming,
+    Sharded(usize),
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -24,7 +37,7 @@ fn main() {
     match command {
         "fig4" => {
             let (dataset, config) = parse_fig4(&args[1..]);
-            run_fig4_command(dataset, &config, streaming_requested(&args[1..]));
+            run_fig4_command(dataset, &config, serve_mode(&args[1..]));
         }
         "ablation" => {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -32,7 +45,7 @@ fn main() {
         }
         "all" => {
             let (_, config) = parse_fig4(&args[1..]);
-            run_fig4_command("both", &config, streaming_requested(&args[1..]));
+            run_fig4_command("both", &config, serve_mode(&args[1..]));
             run_ablation_command("all", &parse_ablation(&args[1..]));
         }
         other => {
@@ -94,8 +107,20 @@ fn parse_fig4(args: &[String]) -> (&str, Fig4Config) {
     (dataset, config)
 }
 
-fn streaming_requested(args: &[String]) -> bool {
-    args.iter().any(|a| a == "--streaming")
+fn serve_mode(args: &[String]) -> ServeMode {
+    if args.iter().any(|a| a == "--sharded") {
+        let shards = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        ServeMode::Sharded(shards.max(1))
+    } else if args.iter().any(|a| a == "--streaming") {
+        ServeMode::Streaming
+    } else {
+        ServeMode::Batch
+    }
 }
 
 fn parse_ablation(args: &[String]) -> AblationConfig {
@@ -128,28 +153,29 @@ fn parse_ablation(args: &[String]) -> AblationConfig {
     config
 }
 
-fn run_fig4_command(dataset: &str, config: &Fig4Config, streaming: bool) {
+fn run_fig4_command(dataset: &str, config: &Fig4Config, mode: ServeMode) {
     let datasets: Vec<Dataset> = match dataset {
         "taxi" => vec![Dataset::Taxi],
         "synthetic" => vec![Dataset::Synthetic],
         _ => vec![Dataset::Taxi, Dataset::Synthetic],
     };
     for d in datasets {
+        let via = match mode {
+            ServeMode::Batch => String::new(),
+            ServeMode::Streaming => " via streaming engine".to_owned(),
+            ServeMode::Sharded(n) => format!(" via sharded service ({n} shards)"),
+        };
         eprintln!(
             "running Fig. 4 sweep on {}{} (eps grid {:?}, {} trials)…",
             d.label(),
-            if streaming {
-                " via streaming engine"
-            } else {
-                ""
-            },
+            via,
             config.eps_grid,
             config.trials
         );
-        let result = if streaming {
-            run_fig4_streaming(d, config)
-        } else {
-            run_fig4(d, config)
+        let result = match mode {
+            ServeMode::Batch => run_fig4(d, config),
+            ServeMode::Streaming => run_fig4_streaming(d, config),
+            ServeMode::Sharded(n) => run_fig4_sharded(d, config, n),
         };
         let table = result.to_table();
         println!("{}", text_table(&table));

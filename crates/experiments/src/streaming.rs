@@ -166,6 +166,21 @@ pub fn streaming_mechanisms(specs: &[MechanismSpec]) -> Vec<MechanismSpec> {
 /// (announced on stderr so a diff against the batch output is
 /// explainable).
 pub fn run_fig4_streaming(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
+    run_fig4_online(dataset, config, "streaming", run_cell_streaming)
+}
+
+/// Shared Fig. 4 sweep scaffolding for the online serve fronts (streaming
+/// and sharded): replicate the workloads, announce the skipped
+/// whole-history baselines, sweep the ε grid under the exact batch-runner
+/// seed discipline, and aggregate. Keeping the seed formula in one place
+/// is what keeps the batch ↔ streaming ↔ sharded cell equivalence
+/// bit-for-bit.
+pub(crate) fn run_fig4_online(
+    dataset: Dataset,
+    config: &Fig4Config,
+    label: &str,
+    run_cell: impl Fn(MechanismSpec, &Workload, &RunConfig, u64) -> Result<TrialOutcome, CoreError>,
+) -> Fig4Result {
     let skipped: Vec<&str> = config
         .mechanisms
         .iter()
@@ -174,7 +189,7 @@ pub fn run_fig4_streaming(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
         .collect();
     if !skipped.is_empty() {
         eprintln!(
-            "streaming fig4: skipping whole-history baselines [{}] — only \
+            "{label} fig4: skipping whole-history baselines [{}] — only \
              pattern-level mechanisms run online",
             skipped.join(", ")
         );
@@ -206,8 +221,8 @@ pub fn run_fig4_streaming(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
                     let cells: Vec<TrialOutcome> = workloads
                         .iter()
                         .map(|w| {
-                            run_cell_streaming(spec, w, &run, cell_seed)
-                                .expect("streaming fig4 cell must run")
+                            run_cell(spec, w, &run, cell_seed)
+                                .unwrap_or_else(|e| panic!("{label} fig4 cell must run: {e}"))
                         })
                         .collect();
                     crate::fig4::aggregate_cells(cells)
@@ -220,7 +235,7 @@ pub fn run_fig4_streaming(dataset: Dataset, config: &Fig4Config) -> Fig4Result {
         })
         .collect();
     Fig4Result {
-        dataset: format!("{}+streaming", dataset.label()),
+        dataset: format!("{}+{}", dataset.label(), label),
         series,
     }
 }

@@ -15,6 +15,7 @@ use crate::stream::EventStream;
 use crate::time::{TimeDelta, Timestamp};
 
 /// Min-heap entry ordered by timestamp, then insertion sequence (stable).
+#[derive(Debug, Clone)]
 struct Pending {
     event: Event,
     seq: u64,
@@ -43,7 +44,7 @@ impl Ord for Pending {
 }
 
 /// A watermark-driven reorder buffer with bounded delay.
-#[derive(Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ReorderBuffer {
     max_delay: TimeDelta,
     heap: BinaryHeap<Pending>,
@@ -103,6 +104,21 @@ impl ReorderBuffer {
             }
         }
         out
+    }
+
+    /// Heartbeat: behave as if an event stamped `ts` had just been
+    /// observed, without buffering one. The watermark advances to `ts −
+    /// max_delay` (never backwards — a stale heartbeat is a no-op), the
+    /// events it passes are released in order, and events up to
+    /// `max_delay` behind `ts` are still accepted afterwards.
+    ///
+    /// A sharded service uses this to keep quiet partitions draining while
+    /// busy ones carry the clock forward.
+    pub fn heartbeat(&mut self, ts: Timestamp) -> Vec<Event> {
+        if self.max_seen.is_none_or(|m| ts > m) {
+            self.max_seen = Some(ts);
+        }
+        self.release()
     }
 
     /// Drain everything still buffered (end of stream), in order.

@@ -1,0 +1,123 @@
+//! The sharded multi-tenant service end to end: several data subjects
+//! (tenants) register private patterns, a consumer registers population
+//! queries, and ingestion arrives in batches with bounded out-of-order
+//! jitter. Events are hash-partitioned by subject across shards; the
+//! global low watermark keeps every shard releasing aligned windows; the
+//! consumer reads the *merged* (population-level) protected answers; and
+//! every subject's pattern-level ε spend is accounted in their own ledger.
+//!
+//! Run with: `cargo run --example sharded_service`
+
+use pattern_dp_repro::cep::Pattern;
+use pattern_dp_repro::core::{
+    KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId,
+};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{Event, EventType, TimeDelta, Timestamp};
+
+// Event-type universe of a small smart building.
+const BADGE_EXIT: EventType = EventType(0);
+const CORRIDOR_MOTION: EventType = EventType(1);
+const HVAC_ON: EventType = EventType(2);
+const ROOM_MOTION: EventType = EventType(3);
+const DOOR_OPEN: EventType = EventType(4);
+
+fn main() {
+    // ---- setup phase (§III-A): subjects and consumers register ----
+    let mut builder = ServiceBuilder::new(ServiceConfig {
+        n_shards: 4,
+        n_types: 5,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(2.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_secs(60)),
+        max_delay: TimeDelta::from_secs(10),
+        seed: 7,
+    })
+    .expect("valid service config");
+
+    // Tenant 11 does not want their leaving-the-office routine visible.
+    let alice = SubjectId(11);
+    let alice_pattern = builder.register_private_pattern(
+        alice,
+        Pattern::seq("leaves-office", vec![BADGE_EXIT, CORRIDOR_MOTION]).unwrap(),
+    );
+    // Tenant 23 protects nightly door activity.
+    let bo = SubjectId(23);
+    let bo_pattern =
+        builder.register_private_pattern(bo, Pattern::single("door-activity", DOOR_OPEN));
+    // Tenant 35 just emits data.
+    let carol = SubjectId(35);
+    builder.register_subject(carol);
+
+    // The building-operations consumer asks population-level questions.
+    let (hvac_q, _) = builder.register_target_query(
+        "hvac-while-occupied?",
+        Pattern::seq("hvac+motion", vec![HVAC_ON, ROOM_MOTION]).unwrap(),
+    );
+
+    let mut service = builder.build().expect("setup completes");
+    println!("service online: {} shards", service.n_shards());
+    for subject in service.subjects() {
+        println!(
+            "  {subject} -> shard {}",
+            service.subject_shard(subject).unwrap()
+        );
+    }
+
+    // ---- service phase: batched, jittered ingestion ----
+    let mut rng = DpRng::seed_from(42);
+    let mut clock = 0i64;
+    let mut merged_windows = 0usize;
+    for batch_no in 0..6 {
+        let mut batch = Vec::new();
+        for _ in 0..40 {
+            clock += 1_500; // ~1.5 s between readings
+            let subject = [alice, bo, carol][rng.below(3)];
+            let ty = EventType(rng.below(5) as u32);
+            // up to 8 s of delivery jitter — inside the 10 s bound
+            let jitter = rng.below(8_000) as i64;
+            batch.push(KeyedEvent::new(
+                subject,
+                Event::new(ty, Timestamp::from_millis((clock - jitter).max(0))),
+            ));
+        }
+        let out = service.push_batch(&batch).expect("ingestion");
+        merged_windows += out.merged.len();
+        for m in &out.merged {
+            if m.answers_any[hvac_q.0 as usize] {
+                println!(
+                    "batch {batch_no}: window {} — HVAC ran while occupied \
+                     (on {} of {} shards)",
+                    m.index,
+                    m.positive_shards[hvac_q.0 as usize],
+                    service.n_shards()
+                );
+            }
+        }
+    }
+    let out = service.finish().expect("drain");
+    merged_windows += out.merged.len();
+
+    // ---- what the trusted side can audit ----
+    println!(
+        "\ningested {} events ({} arrived too late and were dropped)",
+        service.events_ingested(),
+        service.dropped()
+    );
+    println!("released {merged_windows} merged (population-level) windows");
+    println!(
+        "alice spent ε = {:.2} on 'leaves-office' (her ledger only)",
+        service.budget_spent(alice, alice_pattern).value(),
+    );
+    println!(
+        "bo    spent ε = {:.2} on 'door-activity'",
+        service.budget_spent(bo, bo_pattern).value(),
+    );
+    println!(
+        "carol spent ε = {:.2} (no private pattern registered)",
+        service.budget_spent(carol, alice_pattern).value()
+    );
+}

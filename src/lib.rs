@@ -33,7 +33,8 @@ pub use pdp_stream as stream;
 pub mod prelude {
     pub use pdp_cep::{Pattern, PatternId, PatternSet, Query, Semantics};
     pub use pdp_core::{
-        Mechanism, PpmKind, ProtectionPipeline, StreamingConfig, StreamingEngine, TrustedEngine,
+        KeyedEvent, Mechanism, PpmKind, ProtectionPipeline, ServiceBuilder, ServiceConfig,
+        ShardedService, StreamingConfig, StreamingEngine, SubjectId, TrustedEngine,
         TrustedEngineConfig, WindowRelease,
     };
     pub use pdp_dp::{DpRng, Epsilon, FlipProb};

@@ -1,0 +1,204 @@
+//! Property tests for the DP guarantees the whole workspace leans on:
+//!
+//! * **Theorem 1 budget arithmetic** — the pattern-level budget is the sum
+//!   of its elements' per-bit budgets, `ε = Σᵢ ln((1−pᵢ)/pᵢ)`, and it
+//!   round-trips through `pᵢ = 1/(1+e^{εᵢ})` within `1e−9`;
+//! * **flip probabilities clamp** — every construction path (from a
+//!   budget, by composition, through a flip table over arbitrary pattern
+//!   registrations) stays inside `[0, 1/2]`;
+//! * **ledger soundness** — a capped [`BudgetLedger`] never records more
+//!   spend than the registered pattern budget, whatever release sequence
+//!   is thrown at it, and refused releases leave the books untouched.
+
+use pattern_dp_repro::cep::Pattern;
+use pattern_dp_repro::core::{
+    FlipTable, PpmKind, ProtectionPipeline, StreamingConfig, StreamingEngine, TrustedEngine,
+    TrustedEngineConfig,
+};
+use pattern_dp_repro::dp::{BudgetLedger, DpRng, Epsilon, FlipProb, RandomizedResponse};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{EventType, IndicatorVector, TimeDelta};
+
+use proptest::prelude::*;
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+proptest! {
+    /// Theorem 1 round trip: `ε → p = 1/(1+e^ε) → ln((1−p)/p)` is the
+    /// identity within 1e−9, per element and summed over a mechanism.
+    #[test]
+    fn theorem1_budget_arithmetic_roundtrips(
+        shares in proptest::collection::vec(0.0f64..10.0, 1..8),
+    ) {
+        let budgets: Vec<Epsilon> = shares.iter().map(|&e| eps(e)).collect();
+        for &e in &budgets {
+            let p = FlipProb::from_epsilon(e);
+            let back = p.epsilon().expect("finite ε yields p > 0").value();
+            prop_assert!(
+                (back - e.value()).abs() < 1e-9,
+                "per-element roundtrip: ε={} → p={} → {}", e.value(), p.value(), back
+            );
+        }
+        // Theorem 1: the mechanism's total is the sum of the shares
+        let mechanism = RandomizedResponse::from_epsilons(&budgets);
+        let total = mechanism.total_epsilon().value();
+        let expected: f64 = shares.iter().sum();
+        prop_assert!(
+            (total - expected).abs() < 1e-9,
+            "Σ ln((1−pᵢ)/pᵢ) = {total}, Σ εᵢ = {expected}"
+        );
+    }
+
+    /// Every flip probability stays in `[0, 1/2]`: single construction,
+    /// arbitrary composition chains, and ε = 0 pinning exactly 1/2.
+    #[test]
+    fn flip_probabilities_always_clamp(
+        chain in proptest::collection::vec(0.0f64..30.0, 1..12),
+    ) {
+        let mut composed = FlipProb::from_epsilon(eps(chain[0]));
+        prop_assert!((0.0..=0.5).contains(&composed.value()));
+        for &e in &chain[1..] {
+            let p = FlipProb::from_epsilon(eps(e));
+            prop_assert!(p.value() > 0.0 && p.value() <= 0.5, "p={}", p.value());
+            composed = composed.compose(p);
+            prop_assert!(
+                (0.0..=0.5).contains(&composed.value()),
+                "composition left [0, 1/2]: {}", composed.value()
+            );
+        }
+        // ε = 0 is the fixed point of maximum noise
+        prop_assert!((FlipProb::from_epsilon(Epsilon::ZERO).value() - 0.5).abs() < 1e-12);
+        prop_assert!((composed.compose(FlipProb::HALF).value() - 0.5).abs() < 1e-12);
+    }
+
+    /// Flip tables built from arbitrary overlapping pattern registrations
+    /// clamp every slot to `[0, 1/2]`, and uncorrelated slots stay at 0.
+    #[test]
+    fn flip_tables_clamp_over_arbitrary_patterns(
+        total in 0.0f64..20.0,
+        len_a in 1usize..5,
+        len_b in 1usize..5,
+        offset in 0usize..3,
+    ) {
+        let n_types = 8usize;
+        let mut set = pattern_dp_repro::cep::PatternSet::new();
+        // two overlapping patterns over a shared prefix of the universe
+        let a = set.insert(
+            Pattern::seq("a", (0..len_a).map(|i| t(i as u32)).collect()).unwrap(),
+        );
+        let b = set.insert(
+            Pattern::seq("b", (0..len_b).map(|i| t((i + offset) as u32)).collect()).unwrap(),
+        );
+        let pipeline =
+            ProtectionPipeline::uniform(&set, &[a, b], eps(total), n_types).unwrap();
+        let table = pipeline.flip_table();
+        for ty in 0..n_types {
+            let p = table.prob(t(ty as u32)).value();
+            prop_assert!((0.0..=0.5).contains(&p), "slot {ty} = {p}");
+        }
+        let covered = len_a.max(len_b + offset);
+        for ty in covered..n_types {
+            prop_assert_eq!(table.prob(t(ty as u32)).value(), 0.0, "uncorrelated slot {}", ty);
+        }
+    }
+
+    /// A capped ledger never exceeds its limit over arbitrary spend
+    /// sequences; refused spends change nothing.
+    #[test]
+    fn ledger_never_exceeds_registered_budget(
+        limit in 0.0f64..10.0,
+        spends in proptest::collection::vec(0.0f64..3.0, 1..40),
+    ) {
+        let limit_eps = eps(limit);
+        let mut ledger = BudgetLedger::with_limit(limit_eps);
+        for &s in &spends {
+            let before = ledger.spent(&"pattern").value();
+            let result = ledger.spend("pattern", eps(s));
+            let after = ledger.spent(&"pattern").value();
+            prop_assert!(
+                after <= limit + 1e-9,
+                "ledger exceeded the cap: {after} > {limit}"
+            );
+            if result.is_err() {
+                prop_assert_eq!(before, after, "a refused spend must not move the books");
+            }
+        }
+        if let Some(remaining) = ledger.remaining(&"pattern") {
+            prop_assert!(remaining.value() >= 0.0);
+            prop_assert!(remaining.value() <= limit + 1e-9);
+        }
+    }
+
+    /// The same soundness through the real release path: driving
+    /// `OnlineCore::release_window` against a capped ledger admits exactly
+    /// the releases the pattern budget affords, then refuses — and the
+    /// recorded spend never passes the cap.
+    #[test]
+    fn release_path_respects_the_pattern_budget(
+        per_release in 0.1f64..2.0,
+        n_releases in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 3,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::Uniform { eps: eps(per_release) },
+        });
+        let private = engine.register_private_pattern(
+            Pattern::seq("priv", vec![t(0), t(1)]).unwrap(),
+        );
+        engine.register_target_query("t2?", Pattern::single("t2", t(2)));
+        engine.setup().unwrap();
+        let streaming = StreamingEngine::from_engine(
+            &engine,
+            StreamingConfig::tumbling(TimeDelta::from_millis(10)),
+        ).unwrap();
+        let core = streaming.core();
+
+        // the subject registered a total budget for `n_releases` windows
+        let registered = eps(per_release) * n_releases as f64;
+        let mut ledger = BudgetLedger::with_limit(registered);
+        let mut rng = DpRng::seed_from(seed);
+        let window = IndicatorVector::from_present([t(0)], 3);
+        let mut admitted = 0usize;
+        for _ in 0..(n_releases + 5) {
+            match core.release_window(&window, &mut ledger, &mut rng) {
+                Ok(protected) => {
+                    admitted += 1;
+                    prop_assert_eq!(protected.n_types(), 3);
+                }
+                Err(_) => break,
+            }
+        }
+        prop_assert_eq!(admitted, n_releases, "cap admits exactly the registered releases");
+        let spent = ledger.spent(&private).value();
+        prop_assert!(spent <= registered.value() + 1e-9);
+        prop_assert!((spent - registered.value()).abs() < 1e-6, "budget fully used");
+    }
+}
+
+/// Non-proptest anchor: the numbers of the paper's running example — a
+/// two-element pattern with ε = 2 split evenly gives p = 1/(1+e) per
+/// element, and the table composes overlaps with `p ⊕ q = p + q − 2pq`.
+#[test]
+fn theorem1_worked_example() {
+    let mut set = pattern_dp_repro::cep::PatternSet::new();
+    let a = set.insert(Pattern::seq("a", vec![t(0), t(1)]).unwrap());
+    let pipeline = ProtectionPipeline::uniform(&set, &[a], eps(2.0), 2).unwrap();
+    let p = pipeline.flip_table().prob(t(0)).value();
+    let expected = 1.0 / (1.0 + 1.0f64.exp());
+    assert!((p - expected).abs() < 1e-12, "p = {p}");
+    // the per-pattern total reported by the pipeline is the registration
+    let budgets = pipeline.budgets();
+    assert_eq!(budgets.len(), 1);
+    assert!((budgets[0].1.value() - 2.0).abs() < 1e-12);
+    // identity table never flips
+    let table = FlipTable::identity(4);
+    assert!(table.probs().iter().all(|p| p.value() == 0.0));
+}

@@ -1,0 +1,216 @@
+//! The sharded service's correctness contract is equivalence, not re-proof:
+//!
+//! * a **1-shard** service is bit-for-bit a plain [`StreamingEngine`] run
+//!   under the same seeded [`DpRng`] — sharding adds routing and batching,
+//!   not a second protection path;
+//! * an **N-shard** service over a subject-partitioned stream is bit-for-bit
+//!   N independent engines, each consuming its partition in timestamp order
+//!   and sharing the service's global watermark frontier.
+
+use pattern_dp_repro::cep::Pattern;
+use pattern_dp_repro::core::{
+    KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig,
+    StreamingEngine, SubjectId, TrustedEngine, TrustedEngineConfig, WindowRelease,
+};
+use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{Event, EventType, TimeDelta, Timestamp};
+
+const N_TYPES: usize = 6;
+const N_SUBJECTS: u64 = 12;
+const WINDOW: TimeDelta = TimeDelta::from_millis(50);
+const MAX_DELAY: TimeDelta = TimeDelta::from_millis(30);
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+fn config(n_shards: usize, seed: u64) -> ServiceConfig {
+    ServiceConfig {
+        n_shards,
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(WINDOW),
+        max_delay: MAX_DELAY,
+        seed,
+    }
+}
+
+/// Registration shared by the service and the reference engines; the call
+/// order matters (it fixes `PatternId`s and the flip table).
+fn register_service(b: &mut ServiceBuilder) {
+    b.register_private_pattern(SubjectId(0), Pattern::seq("p01", vec![t(0), t(1)]).unwrap());
+    b.register_private_pattern(SubjectId(5), Pattern::single("p4", t(4)));
+    b.register_target_query("t2?", Pattern::single("t2", t(2)));
+    b.register_target_query("t3?", Pattern::single("t3", t(3)));
+    for s in 0..N_SUBJECTS {
+        b.register_subject(SubjectId(s));
+    }
+}
+
+fn reference_engine() -> TrustedEngine {
+    let mut e = TrustedEngine::new(TrustedEngineConfig {
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+    });
+    e.register_private_pattern(Pattern::seq("p01", vec![t(0), t(1)]).unwrap());
+    e.register_private_pattern(Pattern::single("p4", t(4)));
+    e.register_target_query("t2?", Pattern::single("t2", t(2)));
+    e.register_target_query("t3?", Pattern::single("t3", t(3)));
+    e.setup().unwrap();
+    e
+}
+
+/// A deterministic arrival sequence: timestamps trend forward but jitter
+/// backwards within the bounded delay, so the reorder buffers really work
+/// and nothing is dropped.
+fn arrivals(seed: u64, n: usize) -> Vec<KeyedEvent> {
+    let mut rng = DpRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let base = (i as i64) * 7;
+            let jitter = rng.below(MAX_DELAY.millis() as usize / 2) as i64;
+            let ts = (base - jitter).max(0);
+            KeyedEvent::new(
+                SubjectId(rng.below(N_SUBJECTS as usize) as u64),
+                Event::new(t(rng.below(N_TYPES) as u32), Timestamp::from_millis(ts)),
+            )
+        })
+        .collect()
+}
+
+/// Drive a plain streaming engine the way a service shard experiences the
+/// same partition: origin pinned at zero, events in timestamp order
+/// (stable on ties), frontier pushed to the stream's global end (the
+/// service aligns every shard there at `finish`), then the open window
+/// flushed.
+fn drive_reference(
+    events: &[KeyedEvent],
+    stream_end: Option<Timestamp>,
+    seed: u64,
+) -> Vec<WindowRelease> {
+    let engine = reference_engine();
+    let mut s = StreamingEngine::from_engine(&engine, StreamingConfig::tumbling(WINDOW)).unwrap();
+    let mut rng = DpRng::seed_from(seed);
+    let mut releases = Vec::new();
+    releases.extend(s.advance_watermark(Timestamp::ZERO, &mut rng).unwrap());
+    let mut ordered: Vec<&KeyedEvent> = events.iter().collect();
+    ordered.sort_by_key(|k| k.event.ts); // stable: ties keep arrival order
+    let mut frontier = Timestamp::ZERO;
+    for keyed in &ordered {
+        releases.extend(s.push(&keyed.event, &mut rng).unwrap());
+        frontier = frontier.max(keyed.event.ts);
+    }
+    if let Some(end) = stream_end {
+        if end > frontier {
+            releases.extend(s.advance_watermark(end, &mut rng).unwrap());
+        }
+    }
+    releases.extend(s.finish(&mut rng).unwrap());
+    releases
+}
+
+/// Run the service over `batch_size`-event batches; return the per-shard
+/// release sequences.
+fn drive_service(
+    n_shards: usize,
+    seed: u64,
+    events: &[KeyedEvent],
+    batch_size: usize,
+) -> Vec<Vec<WindowRelease>> {
+    let mut b = ServiceBuilder::new(config(n_shards, seed)).unwrap();
+    register_service(&mut b);
+    let mut svc = b.build().unwrap();
+    let mut per_shard: Vec<Vec<WindowRelease>> = vec![Vec::new(); n_shards];
+    let mut collect = |out: pattern_dp_repro::core::BatchOutput| {
+        for sr in out.shard_releases {
+            per_shard[sr.shard].push(sr.release);
+        }
+    };
+    for chunk in events.chunks(batch_size) {
+        collect(svc.push_batch(chunk).unwrap());
+    }
+    collect(svc.finish().unwrap());
+    assert_eq!(svc.dropped(), 0, "arrival jitter stays within max_delay");
+    per_shard
+}
+
+/// The furthest timestamp of the arrival sequence: the frontier every
+/// shard ends on.
+fn stream_end(events: &[KeyedEvent]) -> Option<Timestamp> {
+    events.iter().map(|k| k.event.ts).max()
+}
+
+#[test]
+fn one_shard_service_reproduces_streaming_engine_bit_for_bit() {
+    for seed in [3u64, 42, 2026] {
+        let events = arrivals(seed, 400);
+        let per_shard = drive_service(1, seed, &events, 17);
+        // shard 0 of a 1-shard service keeps the base seed
+        let reference = drive_reference(&events, stream_end(&events), seed);
+        assert!(!reference.is_empty());
+        assert_eq!(per_shard[0].len(), reference.len(), "seed {seed}");
+        for (i, (got, want)) in per_shard[0].iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "seed {seed}, release {i}");
+        }
+    }
+}
+
+#[test]
+fn n_shard_service_matches_independent_engines_per_partition() {
+    let seed = 99u64;
+    let n_shards = 4usize;
+    let events = arrivals(seed, 600);
+    // the fixture must exercise every shard for the global watermark to move
+    for shard in 0..n_shards {
+        assert!(
+            events
+                .iter()
+                .any(|k| ShardedService::shard_for(k.subject, n_shards) == shard),
+            "no traffic on shard {shard}"
+        );
+    }
+    let per_shard = drive_service(n_shards, seed, &events, 23);
+    let end = stream_end(&events);
+    assert!(end.is_some());
+
+    for (shard, got_releases) in per_shard.iter().enumerate() {
+        let partition: Vec<KeyedEvent> = events
+            .iter()
+            .filter(|k| ShardedService::shard_for(k.subject, n_shards) == shard)
+            .cloned()
+            .collect();
+        let reference = drive_reference(&partition, end, ShardedService::shard_seed(seed, shard));
+        assert_eq!(
+            got_releases.len(),
+            reference.len(),
+            "shard {shard} release count"
+        );
+        for (i, (got, want)) in got_releases.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "shard {shard}, release {i}");
+        }
+    }
+}
+
+#[test]
+fn shards_share_one_window_timeline() {
+    let seed = 7u64;
+    let events = arrivals(seed, 300);
+    let per_shard = drive_service(3, seed, &events, 31);
+    // every shard released the same window indexes, in order
+    let len = per_shard[0].len();
+    assert!(len > 2);
+    for shard in &per_shard {
+        assert_eq!(shard.len(), len);
+        for (k, r) in shard.iter().enumerate() {
+            assert_eq!(r.index, k);
+            assert_eq!(r.start, Timestamp::from_millis(k as i64 * WINDOW.millis()));
+        }
+    }
+}

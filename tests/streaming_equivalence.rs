@@ -11,7 +11,8 @@ use pattern_dp_repro::core::{
 use pattern_dp_repro::dp::{DpRng, Epsilon};
 use pattern_dp_repro::metrics::Alpha;
 use pattern_dp_repro::stream::{
-    Event, EventStream, EventType, TimeDelta, Timestamp, WindowAssigner, WindowedIndicators,
+    Event, EventStream, EventType, IndicatorVector, TimeDelta, Timestamp, WindowAssigner,
+    WindowedIndicators,
 };
 
 const N_TYPES: usize = 6;
@@ -151,6 +152,120 @@ fn adaptive_ppm_is_equivalent_across_paths() {
             config: Default::default(),
         },
         7,
+    );
+}
+
+/// Replay an arbitrary windowed history (however its windows were
+/// materialized — tumbling, sliding, or hand-built with empties) through
+/// the streaming engine, one tumbling replay slot per window, and compare
+/// against the batch path bit for bit.
+fn assert_replay_equivalent(ppm: PpmKind, seed: u64, windows: &WindowedIndicators) {
+    // batch path
+    let mut batch = engine(ppm.clone());
+    if matches!(ppm, PpmKind::Adaptive { .. }) {
+        batch.provide_history(windows.clone());
+    }
+    batch.setup().unwrap();
+    let mut batch_view_rng = DpRng::seed_from(seed);
+    let batch_view = batch.protected_view(windows, &mut batch_view_rng).unwrap();
+    let mut batch_serve_rng = DpRng::seed_from(seed);
+    let mut batch2 = batch.clone();
+    let batch_answers = batch2.serve(windows, &mut batch_serve_rng).unwrap();
+
+    // streaming path: the history replayed as one event per present
+    // (window, type) pair — empty windows become pure watermark gaps
+    let mut base = engine(ppm.clone());
+    if matches!(ppm, PpmKind::Adaptive { .. }) {
+        base.provide_history(windows.clone());
+    }
+    base.setup().unwrap();
+    let replay = windows.to_events(TimeDelta::from_millis(WINDOW_MS));
+    let (stream_view, stream_answers, s) = stream_everything(&base, &replay, windows.len(), seed);
+
+    assert_eq!(stream_view.len(), batch_view.len());
+    for i in 0..batch_view.len() {
+        assert_eq!(stream_view.window(i), batch_view.window(i), "window {i}");
+    }
+    for (q, batch_q) in batch_answers.iter().enumerate() {
+        assert_eq!(stream_answers[q], batch_q.answers, "query {}", batch_q.name);
+    }
+    for &pid in batch.private_patterns() {
+        assert_eq!(
+            s.budget_spent(pid).value(),
+            batch.budget_spent(pid).value(),
+            "ledger spend for {pid:?}"
+        );
+    }
+}
+
+#[test]
+fn sliding_window_histories_are_equivalent_across_paths() {
+    // non-tumbling materialization: overlapping windows, 2× and 3× overlap
+    for (len_ms, slide_ms, seed) in [(200i64, 100i64, 11u64), (300, 100, 12)] {
+        let stream = event_stream(seed, 140, 12 * len_ms);
+        let assigner = WindowAssigner::sliding(
+            TimeDelta::from_millis(len_ms),
+            TimeDelta::from_millis(slide_ms),
+        )
+        .unwrap();
+        let windows = WindowedIndicators::from_stream(&stream, &assigner, N_TYPES);
+        assert!(windows.len() > 10, "sliding fixture materializes windows");
+        assert_replay_equivalent(
+            PpmKind::Uniform {
+                eps: Epsilon::new(1.0).unwrap(),
+            },
+            seed,
+            &windows,
+        );
+        assert_replay_equivalent(
+            PpmKind::Adaptive {
+                eps: Epsilon::new(2.0).unwrap(),
+                config: Default::default(),
+            },
+            seed,
+            &windows,
+        );
+    }
+}
+
+#[test]
+fn empty_windows_between_watermarks_are_equivalent_across_paths() {
+    // hand-built history: occupied windows separated by runs of empties —
+    // on the streaming side the empties are pure watermark gaps (no events
+    // at all between two heartbeats), yet they must still be released,
+    // protected, and answered identically to the batch path
+    let occupied = IndicatorVector::from_present([t(0), t(2), t(4)], N_TYPES);
+    let lone_private = IndicatorVector::from_present([t(4)], N_TYPES);
+    let mut history = vec![occupied.clone()];
+    history.extend(vec![IndicatorVector::empty(N_TYPES); 6]);
+    history.push(lone_private);
+    history.extend(vec![IndicatorVector::empty(N_TYPES); 3]);
+    history.push(occupied);
+    history.extend(vec![IndicatorVector::empty(N_TYPES); 5]); // trailing gap
+    let windows = WindowedIndicators::new(history);
+    for seed in [21u64, 22, 23] {
+        assert_replay_equivalent(
+            PpmKind::Uniform {
+                eps: Epsilon::new(0.8).unwrap(),
+            },
+            seed,
+            &windows,
+        );
+    }
+}
+
+#[test]
+fn all_empty_history_is_equivalent_across_paths() {
+    // the degenerate stream: nothing ever happens, every release is a
+    // watermark-driven empty window — randomized response may still flip
+    // private bits to present, identically on both paths
+    let windows = WindowedIndicators::new(vec![IndicatorVector::empty(N_TYPES); 12]);
+    assert_replay_equivalent(
+        PpmKind::Uniform {
+            eps: Epsilon::new(0.5).unwrap(),
+        },
+        31,
+        &windows,
     );
 }
 
