@@ -33,4 +33,12 @@ fi
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
+# The JSON throughput runner in smoke mode: exercises the full sharded
+# hot path end to end and fails if the artifact it writes does not parse
+# back (the runner validates its own output).
+echo "==> bench-json smoke"
+smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --out "$smoke_out"
+rm -f "$smoke_out"
+
 echo "CI green."

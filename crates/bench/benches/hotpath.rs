@@ -1,0 +1,121 @@
+//! Microbenches for the two core hot-path claims of the overhaul:
+//!
+//! * **randomized response**: the legacy scalar `FlipTable::apply_window`
+//!   (one `f64` Bernoulli per protected type) vs. the precompiled
+//!   word-parallel `FlipPlan` (integer-threshold draws, whole 64-bit flip
+//!   masks per probability class);
+//! * **indicator matching**: per-call `match_indicator` (walks the
+//!   pattern's distinct types) vs. precompiled `match_mask`
+//!   (word-level subset test).
+//!
+//! Run with: `cargo bench -p pdp-bench --bench hotpath`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pdp_cep::{match_indicator, match_mask, Pattern};
+use pdp_core::FlipTable;
+use pdp_dp::{DpRng, Epsilon, FlipProb};
+use pdp_stream::{EventType, IndicatorVector, TypeMask};
+
+const N_TYPES: usize = 128;
+const WINDOWS: u64 = 1_000;
+
+/// A flip table protecting half the universe across three probability
+/// classes (the shape overlapping private patterns produce).
+fn table() -> FlipTable {
+    let mut table = FlipTable::identity(N_TYPES);
+    let probs = [
+        FlipProb::from_epsilon(Epsilon::new(0.5).unwrap()),
+        FlipProb::from_epsilon(Epsilon::new(1.0).unwrap()),
+        FlipProb::from_epsilon(Epsilon::new(2.0).unwrap()),
+    ];
+    for i in 0..N_TYPES / 2 {
+        let ty = EventType((i * 2) as u32);
+        table.set_prob(ty, probs[i % probs.len()]).unwrap();
+    }
+    table
+}
+
+fn window() -> IndicatorVector {
+    IndicatorVector::from_present((0..N_TYPES as u32).step_by(5).map(EventType), N_TYPES)
+}
+
+fn bench_flip_paths(c: &mut Criterion) {
+    let table = table();
+    let plan = table.plan();
+    let base = window();
+    let mut group = c.benchmark_group("flip_window");
+    group.throughput(Throughput::Elements(WINDOWS));
+    group.bench_function(BenchmarkId::from_parameter("scalar"), |b| {
+        let mut rng = DpRng::seed_from(1);
+        b.iter(|| {
+            let mut hits = 0usize;
+            for _ in 0..WINDOWS {
+                let mut w = base.clone();
+                table.apply_window(black_box(&mut w), &mut rng);
+                hits += w.count_present();
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("plan"), |b| {
+        let mut rng = DpRng::seed_from(1);
+        b.iter(|| {
+            let mut hits = 0usize;
+            for _ in 0..WINDOWS {
+                let mut w = base.clone();
+                plan.apply_window(black_box(&mut w), &mut rng);
+                hits += w.count_present();
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_match_paths(c: &mut Criterion) {
+    // a mid-sized conjunction over types the window mostly contains
+    let pattern = Pattern::seq(
+        "p",
+        vec![EventType(0), EventType(5), EventType(10), EventType(60)],
+    )
+    .unwrap();
+    let mask: TypeMask = pattern.type_mask(N_TYPES);
+    let windows: Vec<IndicatorVector> = (0..64)
+        .map(|k| {
+            let mut w = window();
+            // half the windows miss one conjunct
+            if k % 2 == 0 {
+                w.set(EventType(60), false);
+            } else {
+                w.set(EventType(60), true);
+            }
+            w
+        })
+        .collect();
+    let mut group = c.benchmark_group("match_window");
+    group.throughput(Throughput::Elements(windows.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("pattern_walk"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &windows {
+                hits += match_indicator(black_box(&pattern), black_box(w)) as usize;
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("mask"), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for w in &windows {
+                hits += match_mask(black_box(&mask), black_box(w)) as usize;
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flip_paths, bench_match_paths);
+criterion_main!(benches);

@@ -87,7 +87,7 @@ fn bench_sharded_ingest(c: &mut Criterion) {
             b.iter(|| {
                 let mut svc = proto.clone();
                 for chunk in events.chunks(BATCH) {
-                    black_box(svc.push_batch(black_box(chunk)).expect("ingest"));
+                    black_box(svc.push_batch(black_box(chunk.to_vec())).expect("ingest"));
                 }
                 black_box(svc.finish().expect("finish"))
             });

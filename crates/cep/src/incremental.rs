@@ -5,8 +5,15 @@
 //! a detection row whenever a tumbling window closes. [`IncrementalDetector`]
 //! does exactly that, tracking per-pattern NFA states (ordered semantics)
 //! or presence sets (conjunction) inside the open window.
+//!
+//! The detector is built for the service-phase hot loop: the open window's
+//! presence is a bit-packed [`IndicatorVector`], conjunction detection is a
+//! precompiled [`TypeMask`] subset test per pattern, and the drain-style
+//! [`IncrementalDetector::push_into`] /
+//! [`IncrementalDetector::advance_to_into`] append to a caller-owned buffer
+//! so the per-event steady state allocates nothing.
 
-use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
+use pdp_stream::{Event, EventType, IndicatorVector, TimeDelta, Timestamp, TypeMask};
 
 use crate::compile::CompiledSet;
 use crate::error::CepError;
@@ -22,10 +29,11 @@ pub struct ClosedWindow {
     pub start: Timestamp,
     /// Per-pattern detection flags, indexed by pattern id.
     pub detections: Vec<bool>,
-    /// Per-type presence bits of the closed window (`I(e_i)` of Def. 5),
-    /// indexed by type id — tracked under every semantics, so downstream
-    /// release paths need no parallel accumulation of their own.
-    pub presence: Vec<bool>,
+    /// Per-type presence of the closed window (`I(e_i)` of Def. 5),
+    /// bit-packed — tracked under every semantics, so downstream release
+    /// paths can take ownership of it and perturb it in place without a
+    /// single copy.
+    pub presence: IndicatorVector,
 }
 
 /// Push-based tumbling-window detector.
@@ -33,6 +41,10 @@ pub struct ClosedWindow {
 pub struct IncrementalDetector {
     patterns: PatternSet,
     compiled: CompiledSet,
+    /// Conjunction semantics: per-pattern distinct-type masks in
+    /// [`crate::pattern::PatternId`] order, precompiled so window close is
+    /// one word-level subset test per pattern.
+    conj_masks: Vec<TypeMask>,
     semantics: Semantics,
     window_len: TimeDelta,
     /// Grid index of the currently open window (None before first event).
@@ -40,10 +52,11 @@ pub struct IncrementalDetector {
     emitted: usize,
     /// Ordered semantics: per-pattern NFA state.
     nfa_states: Vec<usize>,
+    n_types: usize,
     /// Per-type presence in the open window (detection state for
     /// conjunction semantics, and the `presence` payload of every
     /// [`ClosedWindow`]).
-    present: Vec<bool>,
+    present: IndicatorVector,
     /// OrderedWithin semantics: the open window's timestamped events.
     timed: Vec<(EventType, Timestamp)>,
     last_ts: Option<Timestamp>,
@@ -63,16 +76,22 @@ impl IncrementalDetector {
             ));
         }
         let compiled = CompiledSet::compile(&patterns);
+        let conj_masks = patterns
+            .iter()
+            .map(|(_, p)| TypeMask::from_types(p.distinct_types(), n_types))
+            .collect();
         let n_patterns = patterns.len();
         Ok(IncrementalDetector {
             patterns,
             compiled,
+            conj_masks,
             semantics,
             window_len,
             open_window: None,
             emitted: 0,
             nfa_states: vec![0; n_patterns],
-            present: vec![false; n_types],
+            n_types,
+            present: IndicatorVector::empty(n_types),
             timed: Vec::new(),
             last_ts: None,
         })
@@ -82,6 +101,20 @@ impl IncrementalDetector {
     /// windows between events are emitted too, so downstream mechanisms see
     /// the full timeline). Events must arrive in temporal order.
     pub fn push(&mut self, event: &Event) -> Result<Vec<ClosedWindow>, CepError> {
+        let mut out = Vec::new();
+        self.push_into(event, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drain-style [`IncrementalDetector::push`]: appends the closed
+    /// windows to `out` (which the caller reuses across pushes) and
+    /// returns how many were appended. The steady-state path — an event
+    /// that closes no window performs no allocation.
+    pub fn push_into(
+        &mut self,
+        event: &Event,
+        out: &mut Vec<ClosedWindow>,
+    ) -> Result<usize, CepError> {
         if let Some(last) = self.last_ts {
             if event.ts < last {
                 return Err(CepError::InvalidQuery(format!(
@@ -90,7 +123,7 @@ impl IncrementalDetector {
                 )));
             }
         }
-        let closed = self.advance_to(event.ts)?;
+        let closed = self.advance_to_into(event.ts, out)?;
         self.observe(event.ty, event.ts);
         Ok(closed)
     }
@@ -104,6 +137,18 @@ impl IncrementalDetector {
     /// periods (heartbeats), and how a replay driver pins the stream's
     /// logical start/end to window boundaries.
     pub fn advance_to(&mut self, ts: Timestamp) -> Result<Vec<ClosedWindow>, CepError> {
+        let mut out = Vec::new();
+        self.advance_to_into(ts, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drain-style [`IncrementalDetector::advance_to`]; appends to `out`
+    /// and returns the number of windows closed.
+    pub fn advance_to_into(
+        &mut self,
+        ts: Timestamp,
+        out: &mut Vec<ClosedWindow>,
+    ) -> Result<usize, CepError> {
         if let Some(last) = self.last_ts {
             if ts < last {
                 return Err(CepError::InvalidQuery(format!(
@@ -113,13 +158,15 @@ impl IncrementalDetector {
         }
         self.last_ts = Some(ts);
         let grid = ts.window_index(self.window_len);
-        let mut closed = Vec::new();
+        let mut closed = 0usize;
         match self.open_window {
             None => self.open_window = Some(grid),
             Some(open) if grid > open => {
-                closed.push(self.close_current(open));
+                out.push(self.close_current(open));
+                closed += 1;
                 for empty in (open + 1)..grid {
-                    closed.push(self.close_current(empty));
+                    out.push(self.close_current(empty));
+                    closed += 1;
                 }
                 self.open_window = Some(grid);
             }
@@ -140,9 +187,7 @@ impl IncrementalDetector {
     }
 
     fn observe(&mut self, ty: EventType, ts: Timestamp) {
-        if let Some(slot) = self.present.get_mut(ty.index()) {
-            *slot = true;
-        }
+        self.present.set(ty, true);
         match self.semantics {
             Semantics::Ordered => {
                 for (k, (id, _)) in self.patterns.iter().enumerate() {
@@ -170,13 +215,9 @@ impl IncrementalDetector {
                 })
                 .collect(),
             Semantics::Conjunction => self
-                .patterns
+                .conj_masks
                 .iter()
-                .map(|(_, p)| {
-                    p.distinct_types()
-                        .iter()
-                        .all(|ty| self.present.get(ty.index()).copied().unwrap_or(false))
-                })
+                .map(|mask| mask.matches(&self.present))
                 .collect(),
             Semantics::OrderedWithin(_) => self
                 .patterns
@@ -194,8 +235,7 @@ impl IncrementalDetector {
         };
         // reset per-window state; the presence bits move into the row
         self.nfa_states.iter_mut().for_each(|s| *s = 0);
-        let n_types = self.present.len();
-        let presence = std::mem::replace(&mut self.present, vec![false; n_types]);
+        let presence = std::mem::replace(&mut self.present, IndicatorVector::empty(self.n_types));
         self.timed.clear();
         let index = self.emitted;
         self.emitted += 1;
@@ -252,6 +292,39 @@ mod tests {
         assert_eq!(last.detections, vec![false, true]);
         assert_eq!(det.emitted(), 4);
         assert!(det.finish().is_none());
+    }
+
+    #[test]
+    fn presence_rows_are_packed_vectors() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(2, 4)).unwrap();
+        let row = det.finish().unwrap();
+        assert_eq!(row.presence, IndicatorVector::from_present([t(0), t(2)], 3));
+    }
+
+    #[test]
+    fn push_into_reuses_the_callers_buffer() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(det.push_into(&e(0, 1), &mut out).unwrap(), 0);
+        assert_eq!(det.push_into(&e(2, 25), &mut out).unwrap(), 2);
+        assert_eq!(det.push_into(&e(2, 35), &mut out).unwrap(), 1);
+        assert_eq!(out.len(), 3, "appended, not replaced");
+        assert_eq!(out[0].index, 0);
+        assert_eq!(out[2].index, 2);
     }
 
     #[test]
@@ -313,6 +386,21 @@ mod tests {
     }
 
     #[test]
+    fn conjunction_with_out_of_universe_type_never_detects() {
+        // a conjunct outside the type universe is unsatisfiable: the
+        // precompiled mask must answer false, not vacuously true
+        let mut set = PatternSet::new();
+        set.insert(Pattern::seq("ghost", vec![t(0), t(9)]).unwrap());
+        let mut det =
+            IncrementalDetector::new(set, Semantics::Conjunction, TimeDelta::from_millis(10), 3)
+                .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(1, 2)).unwrap();
+        let w = det.finish().unwrap();
+        assert_eq!(w.detections, vec![false]);
+    }
+
+    #[test]
     fn ordered_within_semantics_incremental() {
         let mut det = IncrementalDetector::new(
             patterns(),
@@ -357,7 +445,7 @@ mod tests {
             ).unwrap();
             let mut rows = Vec::new();
             for ev in stream.iter() {
-                rows.extend(inc.push(ev).unwrap());
+                inc.push_into(ev, &mut rows).unwrap();
             }
             if let Some(last) = inc.finish() {
                 rows.push(last);

@@ -32,7 +32,7 @@ pub use detector::{Detection, DetectionTable, Detector};
 pub use engine::{CepEngine, QueryAnswers};
 pub use error::CepError;
 pub use incremental::{ClosedWindow, IncrementalDetector};
-pub use matcher::{match_indicator, match_window, WindowMatch};
+pub use matcher::{match_indicator, match_mask, match_window, WindowMatch};
 pub use nfa::Nfa;
 pub use parse::parse_query;
 pub use pattern::{Pattern, PatternId, PatternSet};

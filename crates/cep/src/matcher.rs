@@ -68,11 +68,24 @@ pub fn match_window(pattern: &Pattern, events: &[Event], semantics: Semantics) -
 
 /// Match `pattern` against a window's indicator vector (conjunction
 /// semantics — indicators carry no order).
+///
+/// This is the convenience form; it walks the pattern's distinct types per
+/// call. Hot paths should precompile the pattern once with
+/// [`Pattern::type_mask`] and use [`match_mask`] — a branch-free word-level
+/// subset test with no per-release pattern walk.
 pub fn match_indicator(pattern: &Pattern, indicators: &IndicatorVector) -> bool {
     pattern
         .distinct_types()
         .iter()
         .all(|&ty| indicators.get(ty))
+}
+
+/// Match a precompiled [`TypeMask`] against a window's indicator vector:
+/// the word-parallel form of [`match_indicator`]
+/// (`mask & window == mask`).
+#[inline]
+pub fn match_mask(mask: &pdp_stream::TypeMask, indicators: &IndicatorVector) -> bool {
+    mask.matches(indicators)
 }
 
 #[cfg(test)]

@@ -94,6 +94,14 @@ impl Pattern {
         self.elements.iter().copied().collect()
     }
 
+    /// Precompile the distinct types into a bit-packed mask over a
+    /// universe of `n_types` — the setup-phase form consumed by
+    /// [`match_mask`](crate::matcher::match_mask) so releases match
+    /// without walking the pattern.
+    pub fn type_mask(&self, n_types: usize) -> pdp_stream::TypeMask {
+        pdp_stream::TypeMask::from_types(self.elements.iter().copied(), n_types)
+    }
+
     /// True if `ty` is an element of this pattern (`eᵢ ∈ P`).
     pub fn contains(&self, ty: EventType) -> bool {
         self.elements.contains(&ty)

@@ -165,7 +165,7 @@ impl TrustedEngine {
             pipeline,
             self.patterns.clone(),
             self.queries.clone(),
-        ));
+        )?);
         Ok(())
     }
 
@@ -230,7 +230,7 @@ impl TrustedEngine {
             widened_pipeline,
             self.patterns.clone(),
             self.queries.clone(),
-        ));
+        )?);
         Ok(correlates)
     }
 

@@ -60,11 +60,11 @@ pub fn max_log_ratio(
     probs: &[FlipProb],
 ) -> f64 {
     let mechanism = RandomizedResponse::new(probs.to_vec());
-    let base_bits: Vec<bool> = window.bits().to_vec();
+    let base_bits: Vec<bool> = window.to_bools();
     let base_dist = mechanism.output_distribution(&base_bits);
     let mut worst: f64 = 0.0;
     for neighbor in indicator_neighbors(window, pattern_types) {
-        let n_bits: Vec<bool> = neighbor.bits().to_vec();
+        let n_bits: Vec<bool> = neighbor.to_bools();
         let n_dist = mechanism.output_distribution(&n_bits);
         for ((_, p1), (_, p2)) in base_dist.iter().zip(n_dist.iter()) {
             if *p1 > 0.0 && *p2 > 0.0 {

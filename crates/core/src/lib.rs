@@ -51,7 +51,7 @@ pub use guarantee::{
 pub use neighbors::{
     in_pattern_neighbors, indicator_neighbors, is_in_pattern_neighbor, is_indicator_neighbor,
 };
-pub use protect::{FlipTable, Mechanism, ProtectionPipeline};
+pub use protect::{FlipPlan, FlipTable, Mechanism, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
 pub use service::{
     BatchOutput, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig, ShardRelease,

@@ -124,7 +124,11 @@ impl FlipTable {
         &self.probs
     }
 
-    /// Perturb a single window in place.
+    /// Perturb a single window in place — the legacy scalar path: one
+    /// `f64` Bernoulli per protected type, in ascending type order. Kept
+    /// for the baselines and as the reference the word-parallel
+    /// [`FlipPlan`] is benchmarked and property-tested against; online
+    /// service fronts use [`FlipTable::plan`] instead.
     pub fn apply_window(&self, window: &mut IndicatorVector, rng: &mut DpRng) {
         debug_assert_eq!(window.n_types(), self.probs.len());
         for (i, &p) in self.probs.iter().enumerate() {
@@ -144,6 +148,119 @@ impl FlipTable {
         }
         out
     }
+
+    /// Precompile this table into its word-parallel execution plan (done
+    /// once at setup; applied per release).
+    pub fn plan(&self) -> FlipPlan {
+        FlipPlan::compile(self)
+    }
+}
+
+/// The precompiled, word-parallel execution plan of a [`FlipTable`].
+///
+/// Event types are grouped at setup into **probability classes** — one per
+/// distinct non-zero flip probability — each holding a bit-packed lane mask
+/// over the indicator words. Per released window, every class samples whole
+/// 64-bit flip masks from the [`DpRng`] (one raw draw and one integer
+/// threshold comparison per protected bit, via
+/// [`DpRng::bernoulli_word`]) and XORs them into the window's words:
+/// no per-bit branching, no float math, and uncorrelated types draw
+/// nothing.
+///
+/// **Draw-order contract** (see `pdp_dp::rr` module docs): classes are
+/// visited in order of their first (lowest) type id; within a class, words
+/// ascend and bits within a word ascend by type id. The plan consumes
+/// exactly one raw 64-bit draw per protected type per window — the same
+/// count as the scalar [`FlipTable::apply_window`] path, in a different
+/// order and interpretation, so seeded outputs differ from the legacy
+/// per-bit path but are identical across every engine front using the
+/// plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipPlan {
+    n_types: usize,
+    classes: Vec<FlipClass>,
+}
+
+/// One probability class of a [`FlipPlan`].
+#[derive(Debug, Clone, PartialEq)]
+struct FlipClass {
+    /// Flip iff a raw 64-bit draw falls below this
+    /// ([`FlipProb::threshold_u64`]).
+    threshold: u64,
+    /// The class's flip probability (for introspection and tests).
+    prob: FlipProb,
+    /// Lane mask per indicator word: set bits mark the types of this class.
+    masks: Vec<u64>,
+}
+
+impl FlipPlan {
+    /// Group `table`'s types by distinct flip probability.
+    fn compile(table: &FlipTable) -> Self {
+        let n_types = table.width();
+        let n_words = pdp_stream::words_for(n_types);
+        let mut classes: Vec<FlipClass> = Vec::new();
+        for (i, p) in table.probs().iter().enumerate() {
+            if p.value() <= 0.0 {
+                continue;
+            }
+            // classes keyed by exact probability bits, in first-occurrence
+            // order (ascending first type id) — part of the draw-order
+            // contract
+            let class = match classes
+                .iter_mut()
+                .find(|c| c.prob.value().to_bits() == p.value().to_bits())
+            {
+                Some(c) => c,
+                None => {
+                    classes.push(FlipClass {
+                        threshold: p.threshold_u64(),
+                        prob: *p,
+                        masks: vec![0; n_words],
+                    });
+                    classes.last_mut().expect("just pushed")
+                }
+            };
+            class.masks[i / 64] |= 1u64 << (i % 64);
+        }
+        FlipPlan { n_types, classes }
+    }
+
+    /// Width of the type universe this plan perturbs.
+    pub fn width(&self) -> usize {
+        self.n_types
+    }
+
+    /// Number of distinct probability classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of protected types (raw draws consumed per window).
+    pub fn n_protected(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| {
+                c.masks
+                    .iter()
+                    .map(|m| m.count_ones() as usize)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Perturb a single window in place, word-parallel.
+    #[inline]
+    pub fn apply_window(&self, window: &mut IndicatorVector, rng: &mut DpRng) {
+        debug_assert_eq!(window.n_types(), self.n_types);
+        for class in &self.classes {
+            for (w, &lanes) in class.masks.iter().enumerate() {
+                if lanes != 0 {
+                    let flips = rng.bernoulli_word(class.threshold, lanes);
+                    window.xor_word(w, flips);
+                }
+            }
+        }
+    }
 }
 
 /// A privacy-preserving mechanism over windowed indicator streams.
@@ -159,11 +276,13 @@ pub trait Mechanism {
 }
 
 /// The pattern-level protection pipeline: a flip table plus the
-/// distributions that produced it.
+/// distributions that produced it, with the table's word-parallel
+/// [`FlipPlan`] compiled once at construction.
 #[derive(Debug, Clone)]
 pub struct ProtectionPipeline {
     label: String,
     table: FlipTable,
+    plan: FlipPlan,
     assignments: Vec<(PatternId, BudgetDistribution)>,
 }
 
@@ -195,11 +314,7 @@ impl ProtectionPipeline {
         n_types: usize,
     ) -> Result<Self, CoreError> {
         let table = FlipTable::from_distributions(patterns, &assignments, n_types)?;
-        Ok(ProtectionPipeline {
-            label: label.to_owned(),
-            table,
-            assignments,
-        })
+        Ok(Self::from_table(label, table, assignments))
     }
 
     /// A pipeline wrapping an explicit flip table (used when a table is
@@ -209,9 +324,11 @@ impl ProtectionPipeline {
         table: FlipTable,
         assignments: Vec<(PatternId, BudgetDistribution)>,
     ) -> Self {
+        let plan = table.plan();
         ProtectionPipeline {
             label: label.to_owned(),
             table,
+            plan,
             assignments,
         }
     }
@@ -219,6 +336,11 @@ impl ProtectionPipeline {
     /// The flip table in force.
     pub fn flip_table(&self) -> &FlipTable {
         &self.table
+    }
+
+    /// The table's precompiled word-parallel execution plan.
+    pub fn plan(&self) -> &FlipPlan {
+        &self.plan
     }
 
     /// The per-pattern distributions.
@@ -240,8 +362,15 @@ impl Mechanism for ProtectionPipeline {
         self.label.clone()
     }
 
+    /// Protects with the word-parallel [`FlipPlan`] — the same draw order
+    /// as every online service front, so a batch replay under a shared
+    /// seed reproduces the streaming and sharded paths bit-for-bit.
     fn protect(&self, windows: &WindowedIndicators, rng: &mut DpRng) -> WindowedIndicators {
-        self.table.apply(windows, rng)
+        let mut out = windows.clone();
+        for w in out.iter_mut() {
+            self.plan.apply_window(w, rng);
+        }
+        out
     }
 }
 
@@ -355,6 +484,94 @@ mod tests {
         assert_eq!(budgets.len(), 2);
         assert!(budgets.iter().all(|(_, e)| (e.value() - 1.5).abs() < 1e-12));
         assert_eq!(pipeline.name(), "uniform");
+    }
+
+    #[test]
+    fn plan_groups_types_by_probability_class() {
+        let mut table = FlipTable::identity(130);
+        let p1 = FlipProb::new(0.1).unwrap();
+        let p2 = FlipProb::new(0.3).unwrap();
+        table.set_prob(t(3), p1).unwrap();
+        table.set_prob(t(70), p1).unwrap(); // same class, second word
+        table.set_prob(t(5), p2).unwrap();
+        let plan = table.plan();
+        assert_eq!(plan.n_classes(), 2);
+        assert_eq!(plan.n_protected(), 3);
+        assert_eq!(plan.width(), 130);
+    }
+
+    #[test]
+    fn plan_never_touches_uncorrelated_types() {
+        let (set, a, _) = patterns();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a], eps(0.5), 5).unwrap();
+        let plan = pipeline.flip_table().plan();
+        for seed in 0..64 {
+            let mut rng = DpRng::seed_from(seed);
+            let mut w = IndicatorVector::from_present([t(3), t(4)], 5);
+            plan.apply_window(&mut w, &mut rng);
+            assert!(w.get(t(3)) && w.get(t(4)), "seed {seed}");
+            assert!(!w.get(t(2)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        let (set, a, b) = patterns();
+        let pipeline = ProtectionPipeline::uniform(&set, &[a, b], eps(1.0), 4).unwrap();
+        let plan = pipeline.flip_table().plan();
+        let mut r1 = DpRng::seed_from(99);
+        let mut r2 = DpRng::seed_from(99);
+        for k in 0..200 {
+            let mut w1 = IndicatorVector::from_present([t(k % 4)], 4);
+            let mut w2 = w1.clone();
+            plan.apply_window(&mut w1, &mut r1);
+            plan.apply_window(&mut w2, &mut r2);
+            assert_eq!(w1, w2, "window {k}");
+        }
+    }
+
+    /// The tentpole's statistical contract: the word-sampling plan yields
+    /// the exact per-bit marginal flip probability of sequential
+    /// [`FlipProb`] draws — measured per type against the analytic `p`
+    /// the scalar path also targets.
+    #[test]
+    fn plan_marginals_match_sequential_flip_prob_draws() {
+        // three distinct probability classes across two words
+        let mut table = FlipTable::identity(70);
+        let probs = [(0u32, 0.5), (1, 0.2), (65, 0.2), (66, 0.05)];
+        for &(ty, p) in &probs {
+            table.set_prob(t(ty), FlipProb::new(p).unwrap()).unwrap();
+        }
+        let plan = table.plan();
+        let n = 60_000;
+        let mut rng_plan = DpRng::seed_from(7);
+        let mut rng_seq = DpRng::seed_from(8);
+        let mut plan_flips = std::collections::HashMap::new();
+        let mut seq_flips = std::collections::HashMap::new();
+        for _ in 0..n {
+            let mut w = IndicatorVector::empty(70);
+            plan.apply_window(&mut w, &mut rng_plan);
+            for &(ty, _) in &probs {
+                *plan_flips.entry(ty).or_insert(0usize) += w.get(t(ty)) as usize;
+            }
+            let mut w = IndicatorVector::empty(70);
+            table.apply_window(&mut w, &mut rng_seq);
+            for &(ty, _) in &probs {
+                *seq_flips.entry(ty).or_insert(0usize) += w.get(t(ty)) as usize;
+            }
+        }
+        for &(ty, p) in &probs {
+            let plan_rate = plan_flips[&ty] as f64 / n as f64;
+            let seq_rate = seq_flips[&ty] as f64 / n as f64;
+            assert!(
+                (plan_rate - p).abs() < 0.01,
+                "type {ty}: plan rate {plan_rate} vs p {p}"
+            );
+            assert!(
+                (plan_rate - seq_rate).abs() < 0.015,
+                "type {ty}: plan {plan_rate} vs sequential {seq_rate}"
+            );
+        }
     }
 
     #[test]

@@ -17,20 +17,33 @@
 //!   stream — and therefore every window of it — is always processed by
 //!   the same shard. Each shard runs its own [`OnlineCore`]-backed
 //!   [`StreamingEngine`] with an independent [`DpRng`];
+//! * **parallel shard workers**: a multi-shard service spawns one
+//!   persistent worker thread per shard at build time (plain
+//!   `std::thread` + channels — no external dependencies).
+//!   [`ShardedService::push_batch`] partitions a batch *once*, moves each
+//!   shard's state and sub-batch to its worker, and collects the results
+//!   back **in shard order**, so accounting, merging and output are
+//!   deterministic regardless of thread scheduling. Each shard's RNG
+//!   travels with its state, so an N-shard parallel run is bit-for-bit
+//!   the same as the serial one — and a 1-shard service (which runs
+//!   inline, no threads) stays bit-for-bit a plain [`StreamingEngine`];
 //! * **batched out-of-order ingestion** ([`ShardedService::push_batch`]):
 //!   events are keyed by subject, routed to their shard's
-//!   [`ReorderBuffer`], and only enter the shard engine once the shard
-//!   watermark passes them; events later than the bounded delay are
-//!   counted and dropped. After every batch the **global low watermark**
-//!   (the minimum across shard buffers) drives
+//!   [`ReorderBuffer`] (ownership moves all the way in — no per-event
+//!   clone), and only enter the shard engine once the shard watermark
+//!   passes them; events later than the bounded delay are counted and
+//!   dropped. After every batch the **global low watermark** (the minimum
+//!   across shard buffers) drives
 //!   [`StreamingEngine::advance_watermark`] on every shard, so quiet
 //!   partitions keep releasing (protected, possibly flipped-present)
 //!   windows and all shards stay on one aligned window timeline;
-//! * **merged releases**: per-shard [`WindowRelease`]s are queued and
-//!   merged once every shard has released a given window index
-//!   ([`MergedRelease`]) — the population-level consumer answer is the
-//!   disjunction over shards, with the per-query positive-shard count kept
-//!   for aggregate consumers;
+//! * **merged releases**: shard releases fold into per-window-index
+//!   accumulators as they arrive; once every shard has released a given
+//!   index the row is emitted as a [`MergedRelease`] — the
+//!   population-level consumer answer is the disjunction over shards,
+//!   with the per-query positive-shard count kept for aggregate
+//!   consumers. (Releases are never cloned into a merge queue; the
+//!   accumulator only folds their answer bits.)
 //! * **per-subject accounting**: each shard release charges every subject
 //!   assigned to that shard for their own registered patterns in a
 //!   per-subject [`BudgetLedger`] — the pattern-level ε-DP guarantee
@@ -45,6 +58,8 @@
 //! [`ReorderBuffer`]: pdp_stream::ReorderBuffer
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
 
 use pdp_cep::{Pattern, PatternId, QueryId};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
@@ -129,23 +144,13 @@ pub struct MergedRelease {
 /// What one ingestion call produced.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchOutput {
-    /// Every window released by any shard, in release order.
+    /// Every window released by any shard. Within one call, releases are
+    /// grouped by shard in ascending shard order (each shard's own
+    /// releases stay in its release order).
     pub shard_releases: Vec<ShardRelease>,
     /// Window indexes completed by *all* shards since the last call,
     /// merged (in index order).
     pub merged: Vec<MergedRelease>,
-}
-
-impl BatchOutput {
-    fn absorb(&mut self, shard: usize, releases: Vec<WindowRelease>) -> Vec<WindowRelease> {
-        self.shard_releases.extend(
-            releases
-                .iter()
-                .cloned()
-                .map(|release| ShardRelease { shard, release }),
-        );
-        releases
-    }
 }
 
 /// Setup phase of the sharded service (§III-A): subject and consumer
@@ -254,6 +259,7 @@ impl ServiceBuilder {
                 frontier: Timestamp::ZERO,
                 charges: Vec::new(),
                 n_subjects: 0,
+                ready: Vec::new(),
             });
         }
         for &shard in assignment.values() {
@@ -290,11 +296,14 @@ impl ServiceBuilder {
             .keys()
             .map(|&s| (s, BudgetLedger::unlimited()))
             .collect();
+        let merge = MergeState::new(n_shards, query_names.len());
+        let workers = spawn_worker_pool(n_shards);
         Ok(ShardedService {
             shards,
+            workers,
             assignment,
             ledgers,
-            pending: vec![VecDeque::new(); n_shards],
+            merge,
             query_names,
             events_ingested: 0,
             finished: false,
@@ -316,19 +325,287 @@ struct Shard {
     /// Subjects routed to this shard. A shard with none can never receive
     /// events, so it must not hold the global low watermark back.
     n_subjects: usize,
+    /// Reused scratch for events the reorder buffer releases per push.
+    ready: Vec<Event>,
+}
+
+/// One unit of work moved to a shard worker (or run inline).
+enum ShardJob {
+    /// This shard's slice of a batch, in arrival order: push each event
+    /// through the reorder buffer into the engine.
+    Ingest(Vec<Event>),
+    /// Heartbeat the reorder buffer to `ts`, feeding what it releases.
+    Heartbeat(Timestamp),
+    /// Advance the shard engine to the global low watermark.
+    Advance(Timestamp),
+    /// End of stream, phase 1: drain the reorder buffer into the engine.
+    Flush,
+    /// End of stream, phase 2: align on the final frontier and close the
+    /// open window.
+    Close(Timestamp),
+}
+
+impl Shard {
+    /// Execute one job against this shard's state, appending the releases
+    /// it causes to `out`.
+    fn run(&mut self, job: ShardJob, out: &mut Vec<WindowRelease>) -> Result<(), CoreError> {
+        match job {
+            ShardJob::Ingest(events) => {
+                for event in events {
+                    self.buffer.push_into(event, &mut self.ready);
+                    self.drain_ready(out)?;
+                }
+                Ok(())
+            }
+            ShardJob::Heartbeat(ts) => {
+                self.buffer.heartbeat_into(ts, &mut self.ready);
+                self.drain_ready(out)
+            }
+            ShardJob::Advance(to) => self.advance_engine(to, out),
+            ShardJob::Flush => {
+                self.buffer.flush_into(&mut self.ready);
+                self.drain_ready(out)
+            }
+            ShardJob::Close(end) => {
+                self.advance_engine(end, out)?;
+                if let Some(last) = self.engine.finish(&mut self.rng)? {
+                    out.push(last);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Feed the events the reorder buffer just released into the engine,
+    /// reusing the `ready` scratch buffer.
+    fn drain_ready(&mut self, out: &mut Vec<WindowRelease>) -> Result<(), CoreError> {
+        let mut ready = std::mem::take(&mut self.ready);
+        let mut result = Ok(());
+        for event in ready.drain(..) {
+            self.frontier = self.frontier.max(event.ts);
+            if let Err(e) = self.engine.push_into(&event, &mut self.rng, out) {
+                result = Err(e);
+                break;
+            }
+        }
+        ready.clear();
+        self.ready = ready;
+        result
+    }
+
+    fn advance_engine(
+        &mut self,
+        to: Timestamp,
+        out: &mut Vec<WindowRelease>,
+    ) -> Result<(), CoreError> {
+        if to > self.frontier {
+            self.engine.advance_watermark_into(to, &mut self.rng, out)?;
+            self.frontier = to;
+        }
+        Ok(())
+    }
+}
+
+/// A shard worker's reply: the (possibly partially processed) shard state
+/// moves back to the service thread together with what it released.
+struct ShardDone {
+    shard: Shard,
+    releases: Vec<WindowRelease>,
+    error: Option<CoreError>,
+}
+
+/// A persistent per-shard worker thread. Stateless between jobs: the shard
+/// state is *moved* in with each job and moved back with the reply, so the
+/// service retains full ownership between calls (cloning, inspection and
+/// accounting all read the shards directly).
+#[derive(Debug)]
+struct Worker {
+    job_tx: Option<Sender<(Shard, ShardJob)>>,
+    done_rx: Receiver<ShardDone>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn() -> Worker {
+        let (job_tx, job_rx) = channel::<(Shard, ShardJob)>();
+        let (done_tx, done_rx) = channel::<ShardDone>();
+        let handle = std::thread::Builder::new()
+            .name("pdp-shard-worker".into())
+            .spawn(move || {
+                while let Ok((mut shard, job)) = job_rx.recv() {
+                    let mut releases = Vec::new();
+                    let error = shard.run(job, &mut releases).err();
+                    if done_tx
+                        .send(ShardDone {
+                            shard,
+                            releases,
+                            error,
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn shard worker");
+        Worker {
+            job_tx: Some(job_tx),
+            done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    fn submit(&self, shard: Shard, job: ShardJob) {
+        self.job_tx
+            .as_ref()
+            .expect("worker is live")
+            .send((shard, job))
+            .expect("worker thread accepts jobs");
+    }
+
+    fn collect(&self) -> ShardDone {
+        self.done_rx.recv().expect("worker thread replies")
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // closing the job channel ends the worker loop; then join
+        drop(self.job_tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accumulates shard answers per window index until every shard has
+/// released it. Folds answer bits as releases arrive — no release is ever
+/// cloned or queued for merging.
+#[derive(Debug, Clone)]
+struct MergeState {
+    n_shards: usize,
+    n_queries: usize,
+    /// Index of the lowest window not yet merged (the front of `rows`).
+    next_index: usize,
+    rows: VecDeque<MergeRow>,
+}
+
+#[derive(Debug, Clone)]
+struct MergeRow {
+    start: Timestamp,
+    shards_done: usize,
+    answers_any: Vec<bool>,
+    positive_shards: Vec<usize>,
+}
+
+impl MergeState {
+    fn new(n_shards: usize, n_queries: usize) -> Self {
+        MergeState {
+            n_shards,
+            n_queries,
+            next_index: 0,
+            rows: VecDeque::new(),
+        }
+    }
+
+    /// Fold one shard release into its window's accumulator.
+    fn observe(&mut self, release: &WindowRelease) {
+        debug_assert!(
+            release.index >= self.next_index,
+            "shards release indexes monotonically"
+        );
+        let offset = release.index - self.next_index;
+        while self.rows.len() <= offset {
+            self.rows.push_back(MergeRow {
+                start: release.start,
+                shards_done: 0,
+                answers_any: vec![false; self.n_queries],
+                positive_shards: vec![0; self.n_queries],
+            });
+        }
+        let row = &mut self.rows[offset];
+        row.start = release.start;
+        row.shards_done += 1;
+        for (q, &hit) in release.answers.iter().enumerate() {
+            if hit {
+                row.answers_any[q] = true;
+                row.positive_shards[q] += 1;
+            }
+        }
+    }
+
+    /// Pop every fully merged window, in index order.
+    fn drain_into(&mut self, merged: &mut Vec<MergedRelease>) {
+        while self
+            .rows
+            .front()
+            .is_some_and(|row| row.shards_done == self.n_shards)
+        {
+            let row = self.rows.pop_front().expect("checked non-empty");
+            merged.push(MergedRelease {
+                index: self.next_index,
+                start: row.start,
+                answers_any: row.answers_any,
+                positive_shards: row.positive_shards,
+            });
+            self.next_index += 1;
+        }
+    }
 }
 
 /// The online sharded multi-tenant service. Built by [`ServiceBuilder`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedService {
     shards: Vec<Shard>,
+    /// One persistent worker thread per shard (empty for 1-shard
+    /// services, which run inline).
+    workers: Vec<Worker>,
     assignment: HashMap<SubjectId, usize>,
     ledgers: HashMap<SubjectId, BudgetLedger<PatternId>>,
-    /// Per-shard queues of releases not yet merged across all shards.
-    pending: Vec<VecDeque<WindowRelease>>,
+    merge: MergeState,
     query_names: Vec<String>,
     events_ingested: u64,
     finished: bool,
+}
+
+/// The worker pool policy: one persistent worker thread per shard, but
+/// only when there is both more than one shard *and* more than one core —
+/// on a single-core host (or a 1-shard service) the channel round-trips
+/// are pure overhead, so shards run inline. Either mode produces
+/// bit-identical output; [`ShardedService::set_parallel`] overrides the
+/// choice explicitly.
+fn spawn_worker_pool(n_shards: usize) -> Vec<Worker> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if n_shards > 1 && cores > 1 {
+        (0..n_shards).map(|_| Worker::spawn()).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+impl Clone for ShardedService {
+    /// Clones shard state (buffers, engines, RNGs, accumulators) and
+    /// spawns a fresh worker pool for the copy — workers hold no state
+    /// between jobs, so the clone is behaviourally identical.
+    fn clone(&self) -> Self {
+        let workers = if self.workers.is_empty() {
+            Vec::new()
+        } else {
+            (0..self.shards.len()).map(|_| Worker::spawn()).collect()
+        };
+        ShardedService {
+            shards: self.shards.clone(),
+            workers,
+            assignment: self.assignment.clone(),
+            ledgers: self.ledgers.clone(),
+            merge: self.merge.clone(),
+            query_names: self.query_names.clone(),
+            events_ingested: self.events_ingested,
+            finished: self.finished,
+        }
+    }
 }
 
 impl ShardedService {
@@ -359,11 +636,16 @@ impl ShardedService {
     /// release the batch caused, plus the window indexes newly completed
     /// by all shards.
     ///
+    /// The batch is partitioned once and the per-shard sub-batches run on
+    /// the persistent shard workers in parallel (inline for a 1-shard
+    /// service); results are folded back in shard order, so output and
+    /// accounting are deterministic.
+    ///
     /// The call is atomic with respect to registration: every subject in
     /// the batch is resolved *before* any event is ingested, so an
     /// [`CoreError::UnknownSubject`] rejection leaves the service — and
     /// the releases a partial batch would have produced — untouched.
-    pub fn push_batch(&mut self, batch: &[KeyedEvent]) -> Result<BatchOutput, CoreError> {
+    pub fn push_batch(&mut self, batch: Vec<KeyedEvent>) -> Result<BatchOutput, CoreError> {
         self.ensure_live()?;
         let routes: Vec<usize> = batch
             .iter()
@@ -374,14 +656,21 @@ impl ShardedService {
                     .ok_or(CoreError::UnknownSubject(keyed.subject.0))
             })
             .collect::<Result<_, _>>()?;
-        let mut out = BatchOutput::default();
-        for (keyed, shard_idx) in batch.iter().zip(routes) {
-            let ready = self.shards[shard_idx].buffer.push(keyed.event.clone());
-            self.feed_shard(shard_idx, ready, &mut out)?;
-            self.events_ingested += 1;
+        let n_events = batch.len() as u64;
+        // partition once: per-shard sub-batches in arrival order, with
+        // event ownership moving all the way through to the buffers
+        let mut jobs: Vec<Option<ShardJob>> = (0..self.shards.len()).map(|_| None).collect();
+        for (keyed, shard_idx) in batch.into_iter().zip(routes) {
+            match &mut jobs[shard_idx] {
+                Some(ShardJob::Ingest(events)) => events.push(keyed.event),
+                slot => *slot = Some(ShardJob::Ingest(vec![keyed.event])),
+            }
         }
+        let mut out = BatchOutput::default();
+        self.run_jobs(jobs, &mut out)?;
+        self.events_ingested += n_events;
         self.advance_to_low_watermark(&mut out)?;
-        self.drain_merged(&mut out);
+        self.merge.drain_into(&mut out.merged);
         Ok(out)
     }
 
@@ -393,12 +682,12 @@ impl ShardedService {
     pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<BatchOutput, CoreError> {
         self.ensure_live()?;
         let mut out = BatchOutput::default();
-        for shard_idx in 0..self.shards.len() {
-            let ready = self.shards[shard_idx].buffer.heartbeat(ts);
-            self.feed_shard(shard_idx, ready, &mut out)?;
-        }
+        let jobs = (0..self.shards.len())
+            .map(|_| Some(ShardJob::Heartbeat(ts)))
+            .collect();
+        self.run_jobs(jobs, &mut out)?;
         self.advance_to_low_watermark(&mut out)?;
-        self.drain_merged(&mut out);
+        self.merge.drain_into(&mut out.merged);
         Ok(out)
     }
 
@@ -411,56 +700,123 @@ impl ShardedService {
         self.ensure_live()?;
         self.finished = true;
         let mut out = BatchOutput::default();
-        for shard_idx in 0..self.shards.len() {
-            let remaining = self.shards[shard_idx].buffer.flush();
-            self.feed_shard(shard_idx, remaining, &mut out)?;
-        }
+        let flush_jobs = (0..self.shards.len())
+            .map(|_| Some(ShardJob::Flush))
+            .collect();
+        self.run_jobs(flush_jobs, &mut out)?;
         let end = self
             .shards
             .iter()
             .map(|s| s.frontier)
             .max()
             .expect("n_shards >= 1");
-        for shard_idx in 0..self.shards.len() {
-            if end > self.shards[shard_idx].frontier {
-                let shard = &mut self.shards[shard_idx];
-                let releases = shard.engine.advance_watermark(end, &mut shard.rng)?;
-                shard.frontier = end;
-                self.record(shard_idx, releases, &mut out);
-            }
-            let shard = &mut self.shards[shard_idx];
-            let last = shard.engine.finish(&mut shard.rng)?;
-            if let Some(last) = last {
-                self.record(shard_idx, vec![last], &mut out);
-            }
-        }
-        self.drain_merged(&mut out);
+        let close_jobs = (0..self.shards.len())
+            .map(|_| Some(ShardJob::Close(end)))
+            .collect();
+        self.run_jobs(close_jobs, &mut out)?;
+        self.merge.drain_into(&mut out.merged);
         Ok(out)
     }
 
-    /// Push already-ordered events a shard's buffer released into the
-    /// shard engine, collecting and accounting the releases.
-    fn feed_shard(
+    /// Run one job per shard — fanned out to the persistent workers when
+    /// the service is multi-shard, inline otherwise — and fold every
+    /// shard's results back **in shard order** (accounting, merge
+    /// accumulation and output ordering are all deterministic).
+    fn run_jobs(
         &mut self,
-        shard_idx: usize,
-        events: Vec<Event>,
+        jobs: Vec<Option<ShardJob>>,
         out: &mut BatchOutput,
     ) -> Result<(), CoreError> {
-        for event in events {
-            let shard = &mut self.shards[shard_idx];
-            let releases = shard.engine.push(&event, &mut shard.rng)?;
-            shard.frontier = shard.frontier.max(event.ts);
-            self.record(shard_idx, releases, out);
+        debug_assert_eq!(jobs.len(), self.shards.len());
+        if self.workers.is_empty() {
+            // mirror the parallel path exactly, error handling included:
+            // every shard runs its job and settles its releases, and the
+            // first error (in shard order) is reported afterwards — so a
+            // failing shard leaves the service in the same state in both
+            // modes
+            let mut first_error = None;
+            for (idx, job) in jobs.into_iter().enumerate() {
+                if let Some(job) = job {
+                    let mut releases = Vec::new();
+                    let result = self.shards[idx].run(job, &mut releases);
+                    self.settle(idx, releases, out);
+                    if let Err(e) = result {
+                        first_error.get_or_insert(e);
+                    }
+                }
+            }
+            return match first_error {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
         }
-        Ok(())
+        // fan out: move each shard's state to its worker together with
+        // its job …
+        let mut slots: Vec<Option<Shard>> = self.shards.drain(..).map(Some).collect();
+        let mut pending = vec![false; slots.len()];
+        for (idx, job) in jobs.into_iter().enumerate() {
+            if let Some(job) = job {
+                let shard = slots[idx].take().expect("shard state present");
+                self.workers[idx].submit(shard, job);
+                pending[idx] = true;
+            }
+        }
+        // … and collect the replies in shard order (recv blocks per
+        // worker, so thread scheduling cannot reorder results)
+        let mut results: Vec<Option<(Vec<WindowRelease>, Option<CoreError>)>> =
+            (0..pending.len()).map(|_| None).collect();
+        for (idx, waiting) in pending.iter().enumerate() {
+            if *waiting {
+                let done = self.workers[idx].collect();
+                slots[idx] = Some(done.shard);
+                results[idx] = Some((done.releases, done.error));
+            }
+        }
+        self.shards = slots
+            .into_iter()
+            .map(|s| s.expect("every shard returned"))
+            .collect();
+        let mut first_error = None;
+        for (idx, result) in results.into_iter().enumerate() {
+            if let Some((releases, error)) = result {
+                // releases that happened before a mid-job failure still
+                // spent budget: account them even on the error path
+                self.settle(idx, releases, out);
+                if let Some(e) = error {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// Book `releases` of one shard everywhere they matter: the caller's
-    /// output, the per-subject ledgers, and the merge queues.
-    fn record(&mut self, shard_idx: usize, releases: Vec<WindowRelease>, out: &mut BatchOutput) {
-        let released = out.absorb(shard_idx, releases);
-        self.account(shard_idx, &released);
-        self.pending[shard_idx].extend(released);
+    /// Book one shard's releases everywhere they matter: the per-subject
+    /// ledgers, the merge accumulators, and the caller's output (which
+    /// takes ownership — releases are never cloned).
+    fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>, out: &mut BatchOutput) {
+        if releases.is_empty() {
+            return;
+        }
+        for (subject, pid, eps) in &self.shards[shard_idx].charges {
+            let ledger = self
+                .ledgers
+                .get_mut(subject)
+                .expect("every registered subject has a ledger");
+            ledger
+                .spend_repeated(*pid, *eps, releases.len())
+                .expect("per-subject ledgers are unlimited");
+        }
+        out.shard_releases.reserve(releases.len());
+        for release in releases {
+            self.merge.observe(&release);
+            out.shard_releases.push(ShardRelease {
+                shard: shard_idx,
+                release,
+            });
+        }
     }
 
     /// The global low watermark: the minimum of the shard buffers'
@@ -489,68 +845,12 @@ impl ShardedService {
         let Some(low) = self.low_watermark() else {
             return Ok(());
         };
-        for shard_idx in 0..self.shards.len() {
-            if low > self.shards[shard_idx].frontier {
-                let shard = &mut self.shards[shard_idx];
-                let releases = shard.engine.advance_watermark(low, &mut shard.rng)?;
-                shard.frontier = low;
-                self.record(shard_idx, releases, out);
-            }
-        }
-        Ok(())
-    }
-
-    /// Charge this shard's subjects for `releases` (their own patterns
-    /// only), per release.
-    fn account(&mut self, shard_idx: usize, releases: &[WindowRelease]) {
-        if releases.is_empty() {
-            return;
-        }
-        for (subject, pid, eps) in &self.shards[shard_idx].charges {
-            let ledger = self
-                .ledgers
-                .get_mut(subject)
-                .expect("every registered subject has a ledger");
-            for _ in releases {
-                ledger
-                    .spend(*pid, *eps)
-                    .expect("per-subject ledgers are unlimited");
-            }
-        }
-    }
-
-    /// Pop every window index all shards have released, merging answers.
-    fn drain_merged(&mut self, out: &mut BatchOutput) {
-        while self.pending.iter().all(|q| !q.is_empty()) {
-            let rows: Vec<WindowRelease> = self
-                .pending
-                .iter_mut()
-                .map(|q| q.pop_front().expect("checked non-empty"))
-                .collect();
-            let first = &rows[0];
-            debug_assert!(
-                rows.iter()
-                    .all(|r| r.index == first.index && r.start == first.start),
-                "shards share one window timeline"
-            );
-            let n_queries = self.query_names.len();
-            let mut answers_any = vec![false; n_queries];
-            let mut positive_shards = vec![0usize; n_queries];
-            for row in &rows {
-                for (q, &hit) in row.answers.iter().enumerate() {
-                    if hit {
-                        answers_any[q] = true;
-                        positive_shards[q] += 1;
-                    }
-                }
-            }
-            out.merged.push(MergedRelease {
-                index: first.index,
-                start: first.start,
-                answers_any,
-                positive_shards,
-            });
-        }
+        let jobs = self
+            .shards
+            .iter()
+            .map(|s| (low > s.frontier).then_some(ShardJob::Advance(low)))
+            .collect();
+        self.run_jobs(jobs, out)
     }
 
     fn ensure_live(&self) -> Result<(), CoreError> {
@@ -565,6 +865,27 @@ impl ShardedService {
     /// Number of partitions.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// True when ingestion runs on the persistent worker pool. The
+    /// default policy enables it for multi-shard services on multi-core
+    /// hosts; see [`ShardedService::set_parallel`].
+    pub fn is_parallel(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    /// Override the execution mode: `true` spawns the persistent
+    /// per-shard worker pool, `false` tears it down and runs shards
+    /// inline. Both modes are bit-for-bit identical (each shard's RNG and
+    /// state travel with it, and results fold back in shard order), so
+    /// this only trades thread fan-out against channel overhead. A
+    /// 1-shard service always runs inline.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        if !parallel {
+            self.workers.clear();
+        } else if self.workers.is_empty() && self.shards.len() > 1 {
+            self.workers = (0..self.shards.len()).map(|_| Worker::spawn()).collect();
+        }
     }
 
     /// The registered subjects, in id order.
@@ -685,9 +1006,55 @@ mod tests {
     }
 
     #[test]
+    fn single_shard_never_spawns_workers() {
+        let mut svc = builder(1).build().unwrap();
+        assert!(!svc.is_parallel());
+        svc.set_parallel(true);
+        assert!(!svc.is_parallel(), "1-shard services always run inline");
+    }
+
+    #[test]
+    fn parallel_workers_match_inline_bit_for_bit() {
+        // the same batches through the worker pool and the inline path
+        // must produce identical releases, merges and ledgers
+        let batches: Vec<Vec<KeyedEvent>> = vec![
+            vec![ke(1, 0, 5), ke(2, 3, 6), ke(3, 2, 7)],
+            vec![ke(1, 1, 30), ke(3, 2, 31)],
+            vec![ke(2, 3, 64), ke(1, 0, 66)],
+        ];
+        let mut parallel = builder(3).build().unwrap();
+        parallel.set_parallel(true);
+        assert!(parallel.is_parallel());
+        let mut inline = builder(3).build().unwrap();
+        inline.set_parallel(false);
+        assert!(!inline.is_parallel());
+        for batch in &batches {
+            let a = parallel.push_batch(batch.clone()).unwrap();
+            let b = inline.push_batch(batch.clone()).unwrap();
+            assert_eq!(a, b);
+        }
+        let a = parallel
+            .advance_watermark(Timestamp::from_millis(90))
+            .unwrap();
+        let b = inline
+            .advance_watermark(Timestamp::from_millis(90))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(parallel.finish().unwrap(), inline.finish().unwrap());
+        for subject in inline.subjects() {
+            for pid in 0..3u32 {
+                assert_eq!(
+                    parallel.budget_spent(subject, pdp_cep::PatternId(pid)),
+                    inline.budget_spent(subject, pdp_cep::PatternId(pid)),
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unknown_subjects_are_rejected() {
         let mut svc = builder(2).build().unwrap();
-        let err = svc.push_batch(&[ke(99, 0, 1)]).unwrap_err();
+        let err = svc.push_batch(vec![ke(99, 0, 1)]).unwrap_err();
         assert!(matches!(err, CoreError::UnknownSubject(99)));
     }
 
@@ -696,16 +1063,16 @@ mod tests {
         // an unknown subject *after* events that would close windows must
         // not half-apply the batch: no ingestion, no releases, no spend
         let mut svc = builder(1).build().unwrap();
-        let poisoned = [ke(1, 0, 1), ke(1, 1, 500), ke(99, 0, 501)];
+        let poisoned = vec![ke(1, 0, 1), ke(1, 1, 500), ke(99, 0, 501)];
         assert!(matches!(
-            svc.push_batch(&poisoned),
+            svc.push_batch(poisoned.clone()),
             Err(CoreError::UnknownSubject(99))
         ));
         assert_eq!(svc.events_ingested(), 0);
         assert_eq!(svc.buffered(), 0);
         assert_eq!(svc.releases_per_shard(), vec![0]);
         // the same batch without the poison pill applies normally
-        let out = svc.push_batch(&poisoned[..2]).unwrap();
+        let out = svc.push_batch(poisoned[..2].to_vec()).unwrap();
         assert!(!out.shard_releases.is_empty());
         assert_eq!(svc.events_ingested(), 2);
     }
@@ -737,8 +1104,8 @@ mod tests {
     #[test]
     fn late_events_are_dropped_and_counted() {
         let mut svc = builder(1).build().unwrap();
-        svc.push_batch(&[ke(1, 0, 100)]).unwrap(); // watermark 95
-        svc.push_batch(&[ke(1, 1, 50)]).unwrap(); // too late
+        svc.push_batch(vec![ke(1, 0, 100)]).unwrap(); // watermark 95
+        svc.push_batch(vec![ke(1, 1, 50)]).unwrap(); // too late
         assert_eq!(svc.dropped(), 1);
         assert_eq!(svc.events_ingested(), 2);
     }
@@ -756,7 +1123,7 @@ mod tests {
         // only subject 1 reports: subject 2's shard is quiet and holds the
         // global watermark back (subjectless shards never do — they can
         // never receive events)
-        svc.push_batch(&[ke(1, 0, 100)]).unwrap();
+        svc.push_batch(vec![ke(1, 0, 100)]).unwrap();
         assert_eq!(svc.low_watermark(), None, "quiet tenant shard holds it");
         // a heartbeat covers the quiet shard, and *every* shard releases
         let out = svc.advance_watermark(Timestamp::from_millis(100)).unwrap();
@@ -772,7 +1139,7 @@ mod tests {
         let mut svc = builder(2).build().unwrap();
         // subject 3 emits the target type 2; nothing flips it (uniform PPM
         // touches only private-pattern types 0, 1, 3)
-        svc.push_batch(&[ke(3, 2, 5)]).unwrap();
+        svc.push_batch(vec![ke(3, 2, 5)]).unwrap();
         let out = svc.advance_watermark(Timestamp::from_millis(40)).unwrap();
         assert!(!out.merged.is_empty());
         let w0 = &out.merged[0];
@@ -786,6 +1153,41 @@ mod tests {
     }
 
     #[test]
+    fn batch_releases_group_by_shard_in_order() {
+        let mut svc = builder(2).build().unwrap();
+        svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 5), ke(3, 2, 5)])
+            .unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(60)).unwrap();
+        let shards: Vec<usize> = out.shard_releases.iter().map(|sr| sr.shard).collect();
+        let mut sorted = shards.clone();
+        sorted.sort_unstable();
+        assert_eq!(shards, sorted, "shard-major ordering: {shards:?}");
+        // within a shard, indexes ascend
+        for shard in 0..svc.n_shards() {
+            let idx: Vec<usize> = out
+                .shard_releases
+                .iter()
+                .filter(|sr| sr.shard == shard)
+                .map(|sr| sr.release.index)
+                .collect();
+            let mut want = idx.clone();
+            want.sort_unstable();
+            assert_eq!(idx, want);
+        }
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        let mut svc = builder(2).build().unwrap();
+        svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 6)]).unwrap();
+        let mut copy = svc.clone();
+        let a = svc.advance_watermark(Timestamp::from_millis(80)).unwrap();
+        let b = copy.advance_watermark(Timestamp::from_millis(80)).unwrap();
+        assert_eq!(a, b, "clone carries RNG and merge state");
+        assert_eq!(svc.finish().unwrap(), copy.finish().unwrap());
+    }
+
+    #[test]
     fn per_subject_ledgers_charge_only_their_patterns() {
         let mut b = ServiceBuilder::new(config(1)).unwrap();
         let p1 =
@@ -793,7 +1195,7 @@ mod tests {
         let p2 = b.register_private_pattern(SubjectId(2), Pattern::single("p2", t(3)));
         b.register_target_query("t2?", Pattern::single("t2", t(2)));
         let mut svc = b.build().unwrap();
-        svc.push_batch(&[ke(1, 0, 5)]).unwrap();
+        svc.push_batch(vec![ke(1, 0, 5)]).unwrap();
         let out = svc.advance_watermark(Timestamp::from_millis(35)).unwrap();
         let released: usize = out.merged.len();
         assert!(released >= 3);
@@ -810,13 +1212,13 @@ mod tests {
     #[test]
     fn finish_drains_buffers_and_seals_the_service() {
         let mut svc = builder(1).build().unwrap();
-        svc.push_batch(&[ke(1, 0, 3), ke(1, 1, 4)]).unwrap();
+        svc.push_batch(vec![ke(1, 0, 3), ke(1, 1, 4)]).unwrap();
         assert!(svc.buffered() > 0, "events await the watermark");
         let out = svc.finish().unwrap();
         assert_eq!(svc.buffered(), 0);
         assert_eq!(out.merged.len(), 1, "open window closed at finish");
         assert!(matches!(
-            svc.push_batch(&[ke(1, 0, 50)]),
+            svc.push_batch(vec![ke(1, 0, 50)]),
             Err(CoreError::InvalidService(_))
         ));
         assert!(matches!(svc.finish(), Err(CoreError::InvalidService(_))));
@@ -826,7 +1228,7 @@ mod tests {
     fn out_of_order_within_delay_is_reordered() {
         let mut svc = builder(1).build().unwrap();
         // 4 arrives after 7 but within the 5ms bound → reordered, not lost
-        svc.push_batch(&[ke(1, 0, 7), ke(1, 1, 4), ke(1, 2, 9)])
+        svc.push_batch(vec![ke(1, 0, 7), ke(1, 1, 4), ke(1, 2, 9)])
             .unwrap();
         let out = svc.finish().unwrap();
         assert_eq!(svc.dropped(), 0);

@@ -26,11 +26,9 @@
 //!
 //! [`FlipTable`]: crate::protect::FlipTable
 
-use pdp_cep::{
-    match_indicator, ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics,
-};
+use pdp_cep::{ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
-use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp};
+use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp, TypeMask};
 
 use crate::engine::TrustedEngine;
 use crate::error::CoreError;
@@ -46,12 +44,20 @@ use crate::protect::ProtectionPipeline;
 /// the ledger is passed in so each service front keeps its own accounting.
 #[derive(Debug, Clone)]
 pub struct OnlineCore {
+    /// The protection pipeline, which carries the word-parallel
+    /// [`FlipPlan`](crate::protect::FlipPlan) compiled at construction
+    /// and applied per release.
     pipeline: ProtectionPipeline,
     /// Cached `pipeline.budgets()`: the per-release spend, charged per
     /// closed window (sequential composition across releases).
     budgets: Vec<(PatternId, Epsilon)>,
     patterns: PatternSet,
     queries: Vec<(String, PatternId)>,
+    /// Per registered query (dense, [`QueryId`] order): the query
+    /// pattern's precompiled type mask. Resolved once at setup so
+    /// answering a release is a branch-free subset test per query — no
+    /// map lookups, string keys or panic paths on the hot path.
+    query_masks: Vec<TypeMask>,
 }
 
 impl OnlineCore {
@@ -59,14 +65,28 @@ impl OnlineCore {
         pipeline: ProtectionPipeline,
         patterns: PatternSet,
         queries: Vec<(String, PatternId)>,
-    ) -> Self {
+    ) -> Result<Self, CoreError> {
         let budgets = pipeline.budgets();
-        OnlineCore {
+        let n_types = pipeline.flip_table().width();
+        // resolve query → pattern references once, at setup: a dangling
+        // reference is a registration bug and is rejected here instead of
+        // panicking per release
+        let query_masks = queries
+            .iter()
+            .map(|(_, pid)| {
+                patterns
+                    .get(*pid)
+                    .map(|p| p.type_mask(n_types))
+                    .ok_or(CoreError::UnknownPattern(pid.0))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(OnlineCore {
             pipeline,
             budgets,
             patterns,
             queries,
-        }
+            query_masks,
+        })
     }
 
     /// The protection pipeline in force.
@@ -84,18 +104,20 @@ impl OnlineCore {
         &self.queries
     }
 
-    /// Release one closed window: apply the flip table to the private bits
-    /// and charge every protected pattern's budget to `ledger`.
+    /// Release one closed window **in place**: apply the precompiled flip
+    /// plan to the private bits of `window` and charge every protected
+    /// pattern's budget to `ledger`. Zero-allocation — the caller's
+    /// vector becomes the protected view.
     ///
     /// This is the **only** place protected views are produced and budget
     /// is spent — both the batch and the streaming service fronts funnel
     /// every window through here.
-    pub fn release_window(
+    pub fn release_window_in_place(
         &self,
-        window: &IndicatorVector,
+        window: &mut IndicatorVector,
         ledger: &mut BudgetLedger<PatternId>,
         rng: &mut DpRng,
-    ) -> Result<IndicatorVector, CoreError> {
+    ) -> Result<(), CoreError> {
         let width = self.pipeline.flip_table().width();
         if window.n_types() != width {
             return Err(CoreError::WidthMismatch {
@@ -106,23 +128,32 @@ impl OnlineCore {
         for &(id, eps) in &self.budgets {
             ledger.spend(id, eps)?;
         }
+        self.pipeline.plan().apply_window(window, rng);
+        Ok(())
+    }
+
+    /// Release one closed window from a borrowed input (clones it first —
+    /// the batch adapters replay borrowed histories; the streaming path
+    /// owns its windows and uses
+    /// [`OnlineCore::release_window_in_place`] directly).
+    pub fn release_window(
+        &self,
+        window: &IndicatorVector,
+        ledger: &mut BudgetLedger<PatternId>,
+        rng: &mut DpRng,
+    ) -> Result<IndicatorVector, CoreError> {
         let mut out = window.clone();
-        self.pipeline.flip_table().apply_window(&mut out, rng);
+        self.release_window_in_place(&mut out, ledger, rng)?;
         Ok(out)
     }
 
     /// Answer every registered query on a protected window, in
-    /// [`QueryId`] order.
+    /// [`QueryId`] order: one word-level subset test per query over the
+    /// masks resolved at setup.
     pub fn answer_window(&self, protected: &IndicatorVector) -> Vec<bool> {
-        self.queries
+        self.query_masks
             .iter()
-            .map(|(_, pid)| {
-                let pattern = self
-                    .patterns
-                    .get(*pid)
-                    .expect("registered queries reference registered patterns");
-                match_indicator(pattern, protected)
-            })
+            .map(|mask| mask.matches(protected))
             .collect()
     }
 }
@@ -180,6 +211,10 @@ pub struct StreamingEngine {
     detector: IncrementalDetector,
     n_types: usize,
     events_seen: usize,
+    /// Reused buffer for the detector's closed windows: drained into
+    /// releases on every push, so the per-event steady state performs no
+    /// allocation.
+    closed_scratch: Vec<ClosedWindow>,
 }
 
 impl StreamingEngine {
@@ -202,6 +237,7 @@ impl StreamingEngine {
             detector,
             n_types,
             events_seen: 0,
+            closed_scratch: Vec::new(),
         })
     }
 
@@ -214,13 +250,35 @@ impl StreamingEngine {
         event: &Event,
         rng: &mut DpRng,
     ) -> Result<Vec<WindowRelease>, CoreError> {
-        let closed = self
+        let mut out = Vec::new();
+        self.push_into(event, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drain-style [`StreamingEngine::push`]: appends the releases to a
+    /// caller-reused buffer and returns how many were appended. The
+    /// hot-path form — an event that closes no window allocates nothing.
+    pub fn push_into(
+        &mut self,
+        event: &Event,
+        rng: &mut DpRng,
+        out: &mut Vec<WindowRelease>,
+    ) -> Result<usize, CoreError> {
+        let mut rows = std::mem::take(&mut self.closed_scratch);
+        let pushed = self
             .detector
-            .push(event)
-            .map_err(|e| CoreError::Detection(e.to_string()))?;
-        let releases = self.release_rows(closed, rng)?;
-        self.events_seen += 1;
-        Ok(releases)
+            .push_into(event, &mut rows)
+            .map_err(|e| CoreError::Detection(e.to_string()));
+        let released = match pushed {
+            Ok(_) => self.release_rows(&mut rows, rng, out),
+            Err(e) => Err(e),
+        };
+        rows.clear();
+        self.closed_scratch = rows;
+        if released.is_ok() {
+            self.events_seen += 1;
+        }
+        released
     }
 
     /// Advance the watermark to `ts` without an event (heartbeat): closes
@@ -232,11 +290,31 @@ impl StreamingEngine {
         ts: Timestamp,
         rng: &mut DpRng,
     ) -> Result<Vec<WindowRelease>, CoreError> {
-        let closed = self
+        let mut out = Vec::new();
+        self.advance_watermark_into(ts, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// Drain-style [`StreamingEngine::advance_watermark`]; appends to
+    /// `out` and returns the number of releases.
+    pub fn advance_watermark_into(
+        &mut self,
+        ts: Timestamp,
+        rng: &mut DpRng,
+        out: &mut Vec<WindowRelease>,
+    ) -> Result<usize, CoreError> {
+        let mut rows = std::mem::take(&mut self.closed_scratch);
+        let advanced = self
             .detector
-            .advance_to(ts)
-            .map_err(|e| CoreError::Detection(e.to_string()))?;
-        self.release_rows(closed, rng)
+            .advance_to_into(ts, &mut rows)
+            .map_err(|e| CoreError::Detection(e.to_string()));
+        let released = match advanced {
+            Ok(_) => self.release_rows(&mut rows, rng, out),
+            Err(e) => Err(e),
+        };
+        rows.clear();
+        self.closed_scratch = rows;
+        released
     }
 
     /// Flush the open window (end of stream). `None` if no window is open.
@@ -249,28 +327,29 @@ impl StreamingEngine {
 
     fn release_rows(
         &mut self,
-        rows: Vec<ClosedWindow>,
+        rows: &mut Vec<ClosedWindow>,
         rng: &mut DpRng,
-    ) -> Result<Vec<WindowRelease>, CoreError> {
-        rows.into_iter()
-            .map(|row| self.release_one(row, rng))
-            .collect()
+        out: &mut Vec<WindowRelease>,
+    ) -> Result<usize, CoreError> {
+        let n = rows.len();
+        for row in rows.drain(..) {
+            let release = self.release_one(row, rng)?;
+            out.push(release);
+        }
+        Ok(n)
     }
 
+    /// Turn one closed window into a release without copying: the row's
+    /// packed presence vector is perturbed in place and becomes the
+    /// protected view.
     fn release_one(
         &mut self,
         row: ClosedWindow,
         rng: &mut DpRng,
     ) -> Result<WindowRelease, CoreError> {
-        let raw = IndicatorVector::from_present(
-            row.presence
-                .iter()
-                .enumerate()
-                .filter(|(_, &b)| b)
-                .map(|(i, _)| pdp_stream::EventType(i as u32)),
-            self.n_types,
-        );
-        let protected = self.core.release_window(&raw, &mut self.ledger, rng)?;
+        let mut protected = row.presence;
+        self.core
+            .release_window_in_place(&mut protected, &mut self.ledger, rng)?;
         let answers = self.core.answer_window(&protected);
         Ok(WindowRelease {
             index: row.index,
@@ -409,6 +488,29 @@ mod tests {
         assert_eq!(s.releases(), 3);
         assert_eq!(s.events_seen(), 3);
         assert!(s.finish(&mut rng).unwrap().is_none());
+    }
+
+    #[test]
+    fn out_of_universe_query_answers_false_every_window() {
+        // a registered query whose pattern lies outside the type universe
+        // can never be satisfied; the precompiled mask must preserve the
+        // always-false answer (not collapse to a vacuous always-true one)
+        let mut engine = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::PassThrough,
+        });
+        engine.register_target_query("ghost?", Pattern::single("ghost", t(9)));
+        engine.setup().unwrap();
+        let mut s = StreamingEngine::from_engine(
+            &engine,
+            StreamingConfig::tumbling(TimeDelta::from_millis(10)),
+        )
+        .unwrap();
+        let mut rng = DpRng::seed_from(1);
+        s.push(&e(0, 1), &mut rng).unwrap();
+        let release = s.finish(&mut rng).unwrap().unwrap();
+        assert_eq!(release.answers, vec![false]);
     }
 
     #[test]

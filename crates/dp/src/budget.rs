@@ -156,8 +156,23 @@ impl<K: Eq + Hash + Clone> BudgetLedger<K> {
 
     /// Record a spend for `key`; errors if the cap would be exceeded.
     pub fn spend(&mut self, key: K, amount: Epsilon) -> Result<(), DpError> {
-        let current = self.spent.get(&key).copied().unwrap_or(Epsilon::ZERO);
+        self.spend_repeated(key, amount, 1)
+    }
+
+    /// Record `times` sequential spends of `amount` for `key` with a
+    /// single ledger lookup. Bit-identical to calling
+    /// [`BudgetLedger::spend`] `times` times (same repeated-addition float
+    /// semantics, same per-step cap check; on refusal the steps before the
+    /// failing one remain recorded) — the batch form the release hot path
+    /// uses to charge a window run without re-hashing per release.
+    pub fn spend_repeated(&mut self, key: K, amount: Epsilon, times: usize) -> Result<(), DpError> {
+        if times == 0 {
+            return Ok(());
+        }
+        // check the first step before touching the map: a fully refused
+        // spend must leave the ledger unchanged (no zero-value entry)
         if let Some(limit) = self.limit {
+            let current = self.spent.get(&key).copied().unwrap_or(Epsilon::ZERO);
             let remaining = limit.saturating_sub(current);
             if amount.value() > remaining.value() + 1e-12 {
                 return Err(DpError::BudgetExhausted {
@@ -166,7 +181,20 @@ impl<K: Eq + Hash + Clone> BudgetLedger<K> {
                 });
             }
         }
-        self.spent.insert(key, current + amount);
+        let slot = self.spent.entry(key).or_insert(Epsilon::ZERO);
+        *slot += amount;
+        for _ in 1..times {
+            if let Some(limit) = self.limit {
+                let remaining = limit.saturating_sub(*slot);
+                if amount.value() > remaining.value() + 1e-12 {
+                    return Err(DpError::BudgetExhausted {
+                        requested: amount.value(),
+                        remaining: remaining.value(),
+                    });
+                }
+            }
+            *slot += amount;
+        }
         Ok(())
     }
 
@@ -234,6 +262,51 @@ mod tests {
         ledger.spend("other", Epsilon::new(1.0).unwrap()).unwrap();
         assert_eq!(ledger.tracked_keys(), 2);
         assert!(ledger.remaining(&"pat").unwrap().value() < 1e-9);
+    }
+
+    #[test]
+    fn spend_repeated_matches_sequential_spends() {
+        let amount = Epsilon::new(0.3).unwrap();
+        let mut seq = BudgetLedger::unlimited();
+        for _ in 0..7 {
+            seq.spend("k", amount).unwrap();
+        }
+        let mut rep = BudgetLedger::unlimited();
+        rep.spend_repeated("k", amount, 7).unwrap();
+        // bit-identical, not just close: same repeated-addition order
+        assert_eq!(seq.spent(&"k").value(), rep.spent(&"k").value());
+        // capped: refusal leaves the pre-failure steps recorded, like the
+        // sequential loop would
+        let mut capped = BudgetLedger::with_limit(Epsilon::new(1.0).unwrap());
+        assert!(capped.spend_repeated("k", amount, 7).is_err());
+        let mut capped_seq = BudgetLedger::with_limit(Epsilon::new(1.0).unwrap());
+        let mut spent = 0;
+        while capped_seq.spend("k", amount).is_ok() {
+            spent += 1;
+        }
+        assert_eq!(spent, 3);
+        assert_eq!(capped.spent(&"k").value(), capped_seq.spent(&"k").value());
+        // zero repetitions are a no-op
+        capped.spend_repeated("fresh", amount, 0).unwrap();
+        assert_eq!(capped.spent(&"fresh"), Epsilon::ZERO);
+    }
+
+    #[test]
+    fn fully_refused_spend_leaves_ledger_untouched() {
+        let mut ledger = BudgetLedger::with_limit(Epsilon::new(1.0).unwrap());
+        assert!(ledger.spend("k", Epsilon::new(2.0).unwrap()).is_err());
+        assert_eq!(ledger.tracked_keys(), 0, "no zero-value entry recorded");
+        assert!(ledger
+            .spend_repeated("k", Epsilon::new(2.0).unwrap(), 3)
+            .is_err());
+        assert_eq!(ledger.tracked_keys(), 0);
+        // a partially refused spend keeps its progress, like the
+        // sequential loop it mirrors
+        assert!(ledger
+            .spend_repeated("k", Epsilon::new(0.6).unwrap(), 2)
+            .is_err());
+        assert_eq!(ledger.tracked_keys(), 1);
+        assert!((ledger.spent(&"k").value() - 0.6).abs() < 1e-12);
     }
 
     #[test]

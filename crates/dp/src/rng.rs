@@ -53,6 +53,39 @@ impl DpRng {
         }
     }
 
+    /// Integer-threshold Bernoulli: success iff the next raw 64-bit draw is
+    /// strictly below `threshold`, i.e. success probability
+    /// `threshold / 2^64`. The hot-path form of [`DpRng::bernoulli`] — one
+    /// raw draw and one comparison, no float conversion.
+    #[inline]
+    pub fn bernoulli_threshold(&mut self, threshold: u64) -> bool {
+        self.inner.next_u64() < threshold
+    }
+
+    /// Sample a whole 64-bit Bernoulli mask: for every set bit of `lanes`
+    /// (ascending bit order), draw one raw 64-bit value and set the result
+    /// bit iff it falls below `threshold`; cleared lanes draw nothing.
+    ///
+    /// Each produced bit is an independent Bernoulli with success
+    /// probability `threshold / 2^64` — this is the word-parallel
+    /// randomized-response primitive (one threshold comparison per bit,
+    /// whole words at a time), and the documented draw order (ascending
+    /// bit index within the word) is part of the seeded-determinism
+    /// contract of the flip plan built on top of it.
+    #[inline]
+    pub fn bernoulli_word(&mut self, threshold: u64, lanes: u64) -> u64 {
+        let mut out = 0u64;
+        let mut remaining = lanes;
+        while remaining != 0 {
+            let bit = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            if self.inner.next_u64() < threshold {
+                out |= 1u64 << bit;
+            }
+        }
+        out
+    }
+
     /// Uniform integer in `[0, n)`; panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
@@ -134,6 +167,64 @@ mod tests {
         let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
         let rate = hits as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn bernoulli_threshold_rate_matches() {
+        let mut rng = DpRng::seed_from(17);
+        // threshold for p = 0.25
+        let threshold = (0.25 * 2f64.powi(64)) as u64;
+        let n = 40_000;
+        let hits = (0..n)
+            .filter(|_| rng.bernoulli_threshold(threshold))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // degenerate thresholds
+        assert!(!rng.bernoulli_threshold(0));
+    }
+
+    #[test]
+    fn bernoulli_word_draws_only_for_set_lanes() {
+        // threshold 2^63 = p 1/2; a full-lane word consumes 64 draws, a
+        // sparse one only as many as it has lanes — verified via lockstep
+        // with a manual per-bit reference
+        let lanes = 0b1011u64;
+        let mut a = DpRng::seed_from(5);
+        let mut b = DpRng::seed_from(5);
+        let threshold = 1u64 << 63;
+        let word = a.bernoulli_word(threshold, lanes);
+        let mut want = 0u64;
+        for bit in [0u32, 1, 3] {
+            if b.bernoulli_threshold(threshold) {
+                want |= 1 << bit;
+            }
+        }
+        assert_eq!(word, want);
+        assert_eq!(word & !lanes, 0, "cleared lanes never set");
+        // both generators are in the same state afterwards
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bernoulli_word_rate_matches_per_lane() {
+        let mut rng = DpRng::seed_from(23);
+        let threshold = (0.3 * 2f64.powi(64)) as u64;
+        let n = 4_000;
+        let mut counts = [0usize; 64];
+        for _ in 0..n {
+            let w = rng.bernoulli_word(threshold, u64::MAX);
+            for (b, slot) in counts.iter_mut().enumerate() {
+                *slot += ((w >> b) & 1) as usize;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let rate = total as f64 / (n * 64) as f64;
+        assert!((rate - 0.3).abs() < 0.01, "aggregate rate {rate}");
+        for (b, &c) in counts.iter().enumerate() {
+            let lane_rate = c as f64 / n as f64;
+            assert!((lane_rate - 0.3).abs() < 0.05, "lane {b} rate {lane_rate}");
+        }
     }
 
     #[test]

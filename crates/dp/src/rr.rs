@@ -10,6 +10,37 @@
 //! flip probability `p ⊕ q = p + q − 2pq`. The paper uses this implicitly for
 //! events shared by overlapping private patterns (§V-A: independent PPMs
 //! "only bring more noise to the private information").
+//!
+//! # Sampling and the seeded draw-order contract
+//!
+//! Two sampling paths produce flip decisions, and both are part of the
+//! reproducibility contract:
+//!
+//! * **Scalar path** ([`FlipProb::apply`]): one `f64` uniform draw per bit,
+//!   compared against `p`. This is the legacy order — one draw per
+//!   perturbed position, in position order — still used by the baselines
+//!   and by [`RandomizedResponse::apply`].
+//! * **Word path** ([`FlipProb::threshold_u64`] +
+//!   [`DpRng::bernoulli_word`]): one raw `u64` draw per bit, compared
+//!   against the integer threshold `round(p · 2^64)`. The hot-path flip
+//!   plan (`pdp_core::protect::FlipPlan`) draws in **probability-class
+//!   order**: event types are grouped by distinct flip probability at
+//!   setup; per released window, classes are visited in order of their
+//!   first (lowest) type id, and within a class bits are drawn in
+//!   ascending type id, words ascending. Uncorrelated types (`p = 0`)
+//!   draw nothing.
+//!
+//! The two paths consume the same *number* of raw draws per release (one
+//! per protected type) but in a different order and interpretation, so
+//! seeded outputs differ between them. Every online service front
+//! (batch adapter, streaming engine, sharded service) uses the word path,
+//! which keeps them bit-for-bit equivalent to each other under a shared
+//! seed — the equivalence anchors in `tests/streaming_equivalence.rs` and
+//! `tests/sharded_equivalence.rs` are re-established under this order.
+//! Per-bit marginals are identical in both paths up to the threshold
+//! quantization of `2^-64` (tighter than the `f64` comparison it
+//! replaces); the statistical property tests in `pdp_core::protect`
+//! verify the word path reproduces the scalar path's marginal flip rate.
 
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +117,17 @@ impl FlipProb {
         } else {
             truth
         }
+    }
+
+    /// The integer comparison threshold of the word sampling path:
+    /// a raw 64-bit draw below this value means "flip". Chosen so the
+    /// per-bit flip probability is `p` up to `2^-64` quantization
+    /// (`p = 1/2` maps to exactly `2^63`).
+    #[inline]
+    pub fn threshold_u64(self) -> u64 {
+        // p ≤ 1/2, so p · 2^64 ≤ 2^63 < 2^64: the conversion never
+        // saturates and is exact for dyadic p.
+        (self.0 * 18_446_744_073_709_551_616.0) as u64
     }
 }
 
@@ -249,6 +291,35 @@ mod tests {
         let flips = (0..n).filter(|_| !p.apply(true, &mut rng)).count();
         let rate = flips as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    fn threshold_u64_quantizes_exactly() {
+        assert_eq!(FlipProb::HALF.threshold_u64(), 1u64 << 63);
+        assert_eq!(FlipProb::new(0.0).unwrap().threshold_u64(), 0);
+        assert_eq!(FlipProb::new(0.25).unwrap().threshold_u64(), 1u64 << 62);
+        // non-dyadic p: threshold / 2^64 recovers p to f64 precision
+        let p = FlipProb::new(0.3).unwrap();
+        let back = p.threshold_u64() as f64 / 2f64.powi(64);
+        assert!((back - 0.3).abs() < 1e-15, "{back}");
+    }
+
+    #[test]
+    fn threshold_sampling_matches_scalar_marginal() {
+        // the word path's per-bit flip rate equals the scalar path's
+        let p = FlipProb::new(0.2).unwrap();
+        let threshold = p.threshold_u64();
+        let n = 40_000;
+        let mut rng_w = DpRng::seed_from(31);
+        let word_flips = (0..n)
+            .filter(|_| rng_w.bernoulli_threshold(threshold))
+            .count();
+        let mut rng_s = DpRng::seed_from(32);
+        let scalar_flips = (0..n).filter(|_| !p.apply(true, &mut rng_s)).count();
+        let wr = word_flips as f64 / n as f64;
+        let sr = scalar_flips as f64 / n as f64;
+        assert!((wr - 0.2).abs() < 0.02, "word rate {wr}");
+        assert!((wr - sr).abs() < 0.02, "word {wr} vs scalar {sr}");
     }
 
     #[test]

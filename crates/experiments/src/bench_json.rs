@@ -1,0 +1,294 @@
+//! The JSON throughput runner: the start of the measured perf trajectory.
+//!
+//! `experiments bench-json` drives the full sharded ingestion path (the
+//! same workload shape as the criterion bench `benches/sharded.rs`:
+//! subject routing, reorder buffering, watermark-driven window release
+//! with randomized response, per-subject accounting, cross-shard merge)
+//! and the heartbeat-driven release path at 1/4/8 shards, then writes the
+//! measured events/s and windows/s to `BENCH_hotpath.json`. Every later
+//! perf PR is accountable to this file: rerun it on the same machine and
+//! compare.
+//!
+//! `--smoke` shrinks the workload so CI can validate the runner end to
+//! end (the runner re-reads and parses what it wrote before reporting
+//! success) without spending bench-grade time.
+
+use std::time::Instant;
+
+use pdp_cep::Pattern;
+use pdp_core::{
+    CoreError, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig,
+    SubjectId,
+};
+use pdp_dp::{DpRng, Epsilon};
+use pdp_metrics::Alpha;
+use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
+use serde::{Deserialize, Serialize};
+
+const N_TYPES: usize = 32;
+const N_SUBJECTS: u64 = 256;
+const WINDOW: TimeDelta = TimeDelta::from_millis(100);
+const MAX_DELAY: TimeDelta = TimeDelta::from_millis(40);
+const BATCH: usize = 512;
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Knobs of one runner invocation.
+#[derive(Debug, Clone)]
+pub struct BenchJsonConfig {
+    /// Events per ingest measurement.
+    pub n_events: usize,
+    /// Quiet windows per release measurement.
+    pub n_release_windows: usize,
+    /// Timed repetitions per cell (the best run is reported).
+    pub reps: usize,
+    /// Output path.
+    pub out: String,
+    /// Smoke mode: tiny workload, 1 rep (CI validation).
+    pub smoke: bool,
+}
+
+impl BenchJsonConfig {
+    /// Bench-grade defaults.
+    pub fn full() -> Self {
+        BenchJsonConfig {
+            n_events: 20_000,
+            n_release_windows: 100,
+            reps: 3,
+            out: "BENCH_hotpath.json".to_owned(),
+            smoke: false,
+        }
+    }
+
+    /// CI smoke mode: exercises every path in a fraction of the time.
+    pub fn smoke() -> Self {
+        BenchJsonConfig {
+            n_events: 2_000,
+            n_release_windows: 10,
+            reps: 1,
+            out: "BENCH_hotpath.json".to_owned(),
+            smoke: true,
+        }
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Shard count of the service under test.
+    pub shards: usize,
+    /// Workload units (events or windows) processed per timed run.
+    pub units: u64,
+    /// Best wall-clock time of the timed runs, milliseconds.
+    pub best_ms: f64,
+    /// Units per second of the best run.
+    pub per_sec: f64,
+}
+
+/// Reference throughput of the code *before* a perf PR, for speedup
+/// claims: what the same workload measured on the same machine prior to
+/// the change.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Where the numbers come from.
+    pub note: String,
+    /// events/s per shard count, aligned with `ingest` by position.
+    pub ingest_per_sec: Vec<f64>,
+}
+
+/// The written artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Artifact name (stable key for trend tooling).
+    pub bench: String,
+    /// True when produced by the CI smoke mode — numbers are not
+    /// bench-grade and must not be compared.
+    pub smoke: bool,
+    /// Full ingestion path: events/s through `push_batch` + `finish`.
+    pub ingest: Vec<BenchCell>,
+    /// Release path: aggregate windows/s (summed over shards) released by
+    /// heartbeats on a quiet service.
+    pub release: Vec<BenchCell>,
+    /// Pre-overhaul reference on the machine that produced the committed
+    /// artifact (`null` in smoke runs — a CI host is a different
+    /// machine, so the comparison would be meaningless there).
+    pub baseline: Option<BenchBaseline>,
+}
+
+/// The pre-overhaul ingest throughput measured with the criterion bench
+/// `benches/sharded.rs` (identical workload constants) on the machine
+/// that produced the committed `BENCH_hotpath.json`, 2026-07-29, before
+/// this PR's hot-path changes.
+const BASELINE_MAIN_INGEST: [f64; 3] = [2_130_000.0, 888_940.0, 506_950.0];
+
+fn service(n_shards: usize) -> Result<ShardedService, CoreError> {
+    let mut builder = ServiceBuilder::new(ServiceConfig {
+        n_shards,
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(WINDOW),
+        max_delay: MAX_DELAY,
+        seed: 1234,
+    })?;
+    for s in 0..N_SUBJECTS {
+        builder.register_subject(SubjectId(s));
+        if s % 4 == 0 {
+            let a = EventType((s % N_TYPES as u64) as u32);
+            let b = EventType(((s + 1) % N_TYPES as u64) as u32);
+            builder.register_private_pattern(
+                SubjectId(s),
+                Pattern::seq(&format!("priv{s}"), vec![a, b]).expect("non-empty pattern"),
+            );
+        }
+    }
+    builder.register_target_query("t0?", Pattern::single("t0", EventType(0)));
+    builder.register_target_query("t1?", Pattern::single("t1", EventType(1)));
+    builder.build()
+}
+
+/// The jittered arrival sequence of the criterion sharded bench.
+fn arrivals(n_events: usize) -> Vec<KeyedEvent> {
+    let mut rng = DpRng::seed_from(99);
+    (0..n_events)
+        .map(|i| {
+            let base = (i as i64) * 3;
+            let jitter = rng.below(MAX_DELAY.millis() as usize / 2) as i64;
+            KeyedEvent::new(
+                SubjectId(rng.below(N_SUBJECTS as usize) as u64),
+                Event::new(
+                    EventType(rng.below(N_TYPES) as u32),
+                    Timestamp::from_millis((base - jitter).max(0)),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn measure_ingest(
+    n_shards: usize,
+    events: &[KeyedEvent],
+    reps: usize,
+) -> Result<BenchCell, CoreError> {
+    let proto = service(n_shards)?;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut svc = proto.clone();
+        let start = Instant::now();
+        for chunk in events.chunks(BATCH) {
+            svc.push_batch(chunk.to_vec())?;
+        }
+        svc.finish()?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+    }
+    let units = events.len() as u64;
+    Ok(BenchCell {
+        shards: n_shards,
+        units,
+        best_ms,
+        per_sec: units as f64 / (best_ms / 1e3),
+    })
+}
+
+fn measure_release(n_shards: usize, n_windows: usize, reps: usize) -> Result<BenchCell, CoreError> {
+    let proto = service(n_shards)?;
+    let mut best_ms = f64::INFINITY;
+    let mut units = 0u64;
+    for _ in 0..reps.max(1) {
+        let mut svc = proto.clone();
+        let end = Timestamp::from_millis(n_windows as i64 * WINDOW.millis() + MAX_DELAY.millis());
+        let start = Instant::now();
+        svc.advance_watermark(end)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        units = svc.releases_per_shard().iter().sum::<usize>() as u64;
+        best_ms = best_ms.min(ms);
+    }
+    Ok(BenchCell {
+        shards: n_shards,
+        units,
+        best_ms,
+        per_sec: units as f64 / (best_ms / 1e3),
+    })
+}
+
+/// Run every cell, write the report, then re-read and parse it (the CI
+/// validation: a malformed artifact fails the run, not a later consumer).
+pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
+    let events = arrivals(config.n_events);
+    let mut ingest = Vec::new();
+    let mut release = Vec::new();
+    for &n_shards in &SHARD_COUNTS {
+        eprintln!(
+            "bench-json: ingest @ {n_shards} shard(s), {} events…",
+            events.len()
+        );
+        ingest.push(measure_ingest(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
+        eprintln!(
+            "bench-json: release @ {n_shards} shard(s), {} windows…",
+            config.n_release_windows
+        );
+        release.push(
+            measure_release(n_shards, config.n_release_windows, config.reps)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let baseline = (!config.smoke).then(|| BenchBaseline {
+        note: "unmodified main before the hot-path overhaul: criterion bench \
+               `sharded` (same workload constants), same machine, 2026-07-29"
+            .to_owned(),
+        ingest_per_sec: BASELINE_MAIN_INGEST.to_vec(),
+    });
+    let report = BenchReport {
+        bench: "hotpath".to_owned(),
+        smoke: config.smoke,
+        ingest,
+        release,
+        baseline,
+    };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&config.out, &json).map_err(|e| format!("write {}: {e}", config.out))?;
+    // validate: what landed on disk must parse back into the same shape
+    let on_disk =
+        std::fs::read_to_string(&config.out).map_err(|e| format!("re-read {}: {e}", config.out))?;
+    let parsed: BenchReport = serde_json::from_str(&on_disk)
+        .map_err(|e| format!("{} is not valid JSON: {e}", config.out))?;
+    if parsed.ingest.len() != SHARD_COUNTS.len() || parsed.release.len() != SHARD_COUNTS.len() {
+        return Err(format!("{} round-trip lost cells", config.out));
+    }
+    eprintln!("wrote {} (validated)", config.out);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_writes_valid_json() {
+        let mut config = BenchJsonConfig::smoke();
+        // even smaller than CI smoke: this is a unit test
+        config.n_events = 300;
+        config.n_release_windows = 3;
+        let dir = std::env::temp_dir().join("pdp_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        assert!(report.smoke);
+        assert_eq!(report.ingest.len(), 3);
+        assert_eq!(report.release.len(), 3);
+        for cell in report.ingest.iter().chain(&report.release) {
+            assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
+            assert!(cell.units > 0);
+        }
+        // the artifact parses as plain serde_json too
+        let raw = std::fs::read_to_string(&config.out).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&raw).unwrap();
+        assert_eq!(value.get("bench").and_then(|b| b.as_str()), Some("hotpath"));
+        std::fs::remove_file(&config.out).ok();
+    }
+}

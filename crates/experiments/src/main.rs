@@ -4,6 +4,7 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
+//! experiments bench-json [--smoke] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -18,6 +19,7 @@ use std::env;
 use std::fs;
 
 use pdp_experiments::ablations::{self, AblationConfig};
+use pdp_experiments::bench_json::{run_bench_json, BenchJsonConfig};
 use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
 use pdp_experiments::sharded::run_fig4_sharded;
 use pdp_experiments::streaming::run_fig4_streaming;
@@ -43,6 +45,29 @@ fn main() {
             let which = args.get(1).map(String::as_str).unwrap_or("all");
             run_ablation_command(which, &parse_ablation(&args[2..]));
         }
+        "bench-json" | "--bench-json" => {
+            let config = parse_bench_json(&args[1..]);
+            match run_bench_json(&config) {
+                Ok(report) => {
+                    for cell in &report.ingest {
+                        println!(
+                            "ingest  {} shard(s): {:>12.0} events/s",
+                            cell.shards, cell.per_sec
+                        );
+                    }
+                    for cell in &report.release {
+                        println!(
+                            "release {} shard(s): {:>12.0} windows/s",
+                            cell.shards, cell.per_sec
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("bench-json failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "all" => {
             let (_, config) = parse_fig4(&args[1..]);
             run_fig4_command("both", &config, serve_mode(&args[1..]));
@@ -50,7 +75,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command '{other}'");
-            eprintln!("usage: experiments <fig4|ablation|all> [options]");
+            eprintln!("usage: experiments <fig4|ablation|bench-json|all> [options]");
             std::process::exit(2);
         }
     }
@@ -121,6 +146,20 @@ fn serve_mode(args: &[String]) -> ServeMode {
     } else {
         ServeMode::Batch
     }
+}
+
+fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
+    let mut config = if args.iter().any(|a| a == "--smoke") {
+        BenchJsonConfig::smoke()
+    } else {
+        BenchJsonConfig::full()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if let Some(path) = args.get(i + 1) {
+            config.out = path.clone();
+        }
+    }
+    config
 }
 
 fn parse_ablation(args: &[String]) -> AblationConfig {

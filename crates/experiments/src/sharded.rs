@@ -129,7 +129,7 @@ pub fn sharded_protected_view(
         }
     };
     for chunk in keyed.chunks(REPLAY_BATCH) {
-        fold(service.push_batch(chunk)?);
+        fold(service.push_batch(chunk.to_vec())?);
     }
     let end = Timestamp::from_millis(windows.len() as i64 * REPLAY_WINDOW.millis());
     fold(service.advance_watermark(end)?);

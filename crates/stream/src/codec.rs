@@ -105,8 +105,8 @@ pub fn indicators_to_csv(windows: &WindowedIndicators) -> String {
     out.push('\n');
     for (w, iv) in windows.iter().enumerate() {
         out.push_str(&w.to_string());
-        for b in iv.bits() {
-            out.push_str(if *b { ",1" } else { ",0" });
+        for b in iv.to_bools() {
+            out.push_str(if b { ",1" } else { ",0" });
         }
         out.push('\n');
     }

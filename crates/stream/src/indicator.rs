@@ -5,6 +5,21 @@
 //! whether each event type occurred at least once; [`WindowedIndicators`] is
 //! the whole windowed history (the synthetic dataset's 1000 `Lm` lists map to
 //! exactly this shape).
+//!
+//! # Representation
+//!
+//! Indicators are **bit-packed**: type `i`'s presence bit lives at bit
+//! `i % 64` of word `i / 64`. This makes the service-phase hot loop
+//! word-parallel — randomized response XORs whole 64-bit flip masks into the
+//! window ([`IndicatorVector::xor_word`]), and pattern matching is a
+//! branch-free subset test of a precompiled [`TypeMask`] against the packed
+//! words ([`TypeMask::matches`]). Bits at positions `>= n_types` are always
+//! zero (every mutator trims to the valid tail), so equality, popcounts and
+//! subset tests over raw words are exact.
+//!
+//! The serialized form is unchanged from the earlier `Vec<bool>`
+//! representation (`{"bits": [true, false, …]}`), so recorded traces and
+//! JSON artifacts keep round-tripping.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,17 +27,38 @@ use crate::event::{Event, EventType};
 use crate::stream::EventStream;
 use crate::window::WindowAssigner;
 
-/// Presence of each event type within one window.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Presence of each event type within one window, bit-packed into `u64`
+/// words (type `i` ↦ bit `i % 64` of word `i / 64`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndicatorVector {
-    bits: Vec<bool>,
+    n_types: usize,
+    words: Vec<u64>,
+}
+
+/// Number of `u64` words needed for `n_types` bits.
+#[inline]
+pub const fn words_for(n_types: usize) -> usize {
+    n_types.div_ceil(64)
+}
+
+/// The valid-bit mask of word `w` in a universe of `n_types` types: all
+/// ones except for the unused tail of the last word.
+#[inline]
+const fn tail_mask(w: usize, n_types: usize) -> u64 {
+    let used = n_types - w * 64;
+    if used >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << used) - 1
+    }
 }
 
 impl IndicatorVector {
     /// An all-absent vector over `n_types` event types.
     pub fn empty(n_types: usize) -> Self {
         IndicatorVector {
-            bits: vec![false; n_types],
+            n_types,
+            words: vec![0; words_for(n_types)],
         }
     }
 
@@ -30,9 +66,7 @@ impl IndicatorVector {
     pub fn from_events(events: &[Event], n_types: usize) -> Self {
         let mut v = Self::empty(n_types);
         for e in events {
-            if e.ty.index() < n_types {
-                v.bits[e.ty.index()] = true;
-            }
+            v.set(e.ty, true);
         }
         v
     }
@@ -41,63 +75,237 @@ impl IndicatorVector {
     pub fn from_present<I: IntoIterator<Item = EventType>>(present: I, n_types: usize) -> Self {
         let mut v = Self::empty(n_types);
         for ty in present {
-            if ty.index() < n_types {
-                v.bits[ty.index()] = true;
-            }
+            v.set(ty, true);
         }
         v
     }
 
     /// `I(e)` for one event type. Types beyond the vector are absent.
+    #[inline]
     pub fn get(&self, ty: EventType) -> bool {
-        self.bits.get(ty.index()).copied().unwrap_or(false)
+        let i = ty.index();
+        if i >= self.n_types {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
     /// Set `I(e)` for one event type.
+    #[inline]
     pub fn set(&mut self, ty: EventType, present: bool) {
-        if let Some(b) = self.bits.get_mut(ty.index()) {
-            *b = present;
+        let i = ty.index();
+        if i >= self.n_types {
+            return;
+        }
+        let bit = 1u64 << (i % 64);
+        if present {
+            self.words[i / 64] |= bit;
+        } else {
+            self.words[i / 64] &= !bit;
         }
     }
 
     /// Flip `I(e)` for one event type, returning the new value.
+    #[inline]
     pub fn flip(&mut self, ty: EventType) -> bool {
-        match self.bits.get_mut(ty.index()) {
-            Some(b) => {
-                *b = !*b;
-                *b
-            }
-            None => false,
+        let i = ty.index();
+        if i >= self.n_types {
+            return false;
         }
+        let bit = 1u64 << (i % 64);
+        self.words[i / 64] ^= bit;
+        self.words[i / 64] & bit != 0
     }
 
     /// Number of event types tracked.
+    #[inline]
     pub fn n_types(&self) -> usize {
-        self.bits.len()
+        self.n_types
     }
 
     /// Number of types present.
     pub fn count_present(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Iterate over the present types in id order.
     pub fn present_types(&self) -> impl Iterator<Item = EventType> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter(|(_, &b)| b)
-            .map(|(i, _)| EventType(i as u32))
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(EventType((w * 64) as u32 + b))
+                }
+            })
+        })
     }
 
     /// True if every type in `types` is present (conjunction detection).
+    /// For the hot path, precompile `types` into a [`TypeMask`] instead.
     pub fn all_present(&self, types: &[EventType]) -> bool {
         types.iter().all(|&t| self.get(t))
     }
 
-    /// Raw bits, indexed by type id.
-    pub fn bits(&self) -> &[bool] {
-        &self.bits
+    /// The presence bits expanded to one `bool` per type id (the legacy
+    /// dense shape; allocates — not for hot paths).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.n_types)
+            .map(|i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+            .collect()
+    }
+
+    /// The packed presence words, least-significant type first. Bits at
+    /// positions `>= n_types` are guaranteed zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Word `w` of the packed representation, or 0 out of range.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words.get(w).copied().unwrap_or(0)
+    }
+
+    /// XOR `mask` into word `w` — the word-parallel randomized-response
+    /// primitive. Bits of `mask` beyond `n_types` are ignored, preserving
+    /// the zero-tail invariant; out-of-range `w` is a no-op.
+    #[inline]
+    pub fn xor_word(&mut self, w: usize, mask: u64) {
+        if w < self.words.len() {
+            self.words[w] ^= mask & tail_mask(w, self.n_types);
+        }
+    }
+
+    /// Clear every bit (reuse an allocation instead of building a fresh
+    /// vector).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl Serialize for IndicatorVector {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "bits".to_owned(),
+            serde::Value::Array(
+                self.to_bools()
+                    .into_iter()
+                    .map(serde::Value::Bool)
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl Deserialize for IndicatorVector {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let bits = v
+            .get("bits")
+            .and_then(|b| b.as_array())
+            .ok_or_else(|| serde::Error::custom("IndicatorVector expects {\"bits\": [...]}"))?;
+        let mut out = IndicatorVector::empty(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            let present = b
+                .as_bool()
+                .ok_or_else(|| serde::Error::custom("indicator bits must be booleans"))?;
+            out.set(EventType(i as u32), present);
+        }
+        Ok(out)
+    }
+}
+
+/// A precompiled set of event types over a fixed universe, bit-packed the
+/// same way as [`IndicatorVector`]. Built once at setup from a pattern's
+/// distinct types; [`TypeMask::matches`] is then a branch-free word-level
+/// subset test — the hot-path form of conjunction matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeMask {
+    n_types: usize,
+    words: Vec<u64>,
+    /// Set when the source types included one outside the universe. Such
+    /// a conjunct can never be present in a window of this width, so the
+    /// whole conjunction is unsatisfiable — [`TypeMask::matches`] is
+    /// constantly false, exactly like testing each type through
+    /// [`IndicatorVector::get`] (which clamps out-of-range reads to
+    /// absent).
+    impossible: bool,
+}
+
+impl TypeMask {
+    /// Compile a set of types into a mask over a universe of `n_types`.
+    /// A type outside the universe makes the mask unsatisfiable (it
+    /// matches no window), preserving the naive-conjunction semantics of
+    /// checking every type via [`IndicatorVector::get`]; use
+    /// [`TypeMask::covers`] to detect that case up front.
+    pub fn from_types<I: IntoIterator<Item = EventType>>(types: I, n_types: usize) -> Self {
+        let mut words = vec![0u64; words_for(n_types)];
+        let mut impossible = false;
+        for ty in types {
+            let i = ty.index();
+            if i < n_types {
+                words[i / 64] |= 1u64 << (i % 64);
+            } else {
+                impossible = true;
+            }
+        }
+        TypeMask {
+            n_types,
+            words,
+            impossible,
+        }
+    }
+
+    /// True if every type in `types` fits the universe (the resulting
+    /// mask is satisfiable).
+    pub fn covers<I: IntoIterator<Item = EventType>>(types: I, n_types: usize) -> bool {
+        types.into_iter().all(|t| t.index() < n_types)
+    }
+
+    /// True iff every type in the mask is present in `window`: the
+    /// word-parallel subset test `mask & window == mask`. Constantly
+    /// false for an unsatisfiable mask (see [`TypeMask::from_types`]).
+    #[inline]
+    pub fn matches(&self, window: &IndicatorVector) -> bool {
+        debug_assert_eq!(self.n_types, window.n_types(), "mask/window width");
+        !self.impossible
+            && self
+                .words
+                .iter()
+                .enumerate()
+                .all(|(w, &m)| m & window.word(w) == m)
+    }
+
+    /// Number of event types in the universe.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
+
+    /// Number of in-universe types in the mask.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the mask selects no types (and therefore matches every
+    /// window — the vacuous conjunction). Unsatisfiable masks are not
+    /// empty: they match nothing.
+    pub fn is_empty(&self) -> bool {
+        !self.impossible && self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the mask can never match (a source type lay outside the
+    /// universe).
+    pub fn is_impossible(&self) -> bool {
+        self.impossible
+    }
+
+    /// The packed mask words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
@@ -258,6 +466,87 @@ mod tests {
     }
 
     #[test]
+    fn wide_universes_span_words() {
+        let present = [EventType(0), EventType(63), EventType(64), EventType(130)];
+        let v = IndicatorVector::from_present(present, 131);
+        assert_eq!(v.words().len(), 3);
+        assert_eq!(v.count_present(), 4);
+        let tys: Vec<u32> = v.present_types().map(|t| t.0).collect();
+        assert_eq!(tys, [0, 63, 64, 130]);
+        assert!(v.get(EventType(130)));
+        assert!(!v.get(EventType(129)));
+    }
+
+    #[test]
+    fn xor_word_respects_tail_invariant() {
+        let mut v = IndicatorVector::empty(5);
+        v.xor_word(0, u64::MAX);
+        assert_eq!(v.count_present(), 5, "bits beyond n_types stay zero");
+        assert_eq!(v.word(0), 0b11111);
+        v.xor_word(0, 0b101);
+        assert_eq!(v.word(0), 0b11010);
+        v.xor_word(7, u64::MAX); // out of range: no-op
+        assert_eq!(v.count_present(), 3);
+    }
+
+    #[test]
+    fn clear_reuses_allocation() {
+        let mut v = IndicatorVector::from_present([EventType(1)], 70);
+        v.clear();
+        assert_eq!(v.count_present(), 0);
+        assert_eq!(v, IndicatorVector::empty(70));
+    }
+
+    #[test]
+    fn type_mask_subset_test() {
+        let mask = TypeMask::from_types([EventType(0), EventType(2)], 4);
+        assert_eq!(mask.count(), 2);
+        assert!(!mask.is_empty());
+        let mut w = IndicatorVector::empty(4);
+        assert!(!mask.matches(&w));
+        w.set(EventType(0), true);
+        assert!(!mask.matches(&w));
+        w.set(EventType(2), true);
+        assert!(mask.matches(&w));
+        w.set(EventType(3), true); // superset still matches
+        assert!(mask.matches(&w));
+        // the empty mask matches everything (vacuous conjunction)
+        assert!(TypeMask::from_types([], 4).matches(&IndicatorVector::empty(4)));
+    }
+
+    #[test]
+    fn type_mask_with_out_of_universe_type_matches_nothing() {
+        assert!(!TypeMask::covers([EventType(9)], 4));
+        assert!(TypeMask::covers([EventType(3)], 4));
+        // an out-of-universe conjunct can never be satisfied: the mask
+        // must match nothing (same as testing the type via `get`), not
+        // degrade to a vacuous always-true mask
+        let mask = TypeMask::from_types([EventType(9)], 4);
+        assert!(mask.is_impossible());
+        assert!(!mask.is_empty());
+        let mut full = IndicatorVector::empty(4);
+        full.xor_word(0, u64::MAX);
+        assert!(!mask.matches(&full));
+        // mixed in/out-of-universe is impossible too
+        let mixed = TypeMask::from_types([EventType(1), EventType(9)], 4);
+        assert!(mixed.is_impossible());
+        assert!(!mixed.matches(&full));
+    }
+
+    #[test]
+    fn serde_keeps_the_legacy_bits_shape() {
+        let v = IndicatorVector::from_present([EventType(1), EventType(64)], 66);
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("\"bits\""));
+        let back: IndicatorVector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        // and the wire form is exactly the old Vec<bool> field encoding
+        let legacy = "{\"bits\":[false,true,false]}";
+        let parsed: IndicatorVector = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, IndicatorVector::from_present([EventType(1)], 3));
+    }
+
+    #[test]
     fn windowed_from_stream() {
         let s = EventStream::from_unordered(vec![e(0, 1), e(1, 5), e(0, 12), e(2, 25)]);
         let a = WindowAssigner::tumbling(TimeDelta::from_millis(10)).unwrap();
@@ -303,7 +592,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn count_present_matches_iterator(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+        fn count_present_matches_iterator(bits in proptest::collection::vec(any::<bool>(), 0..200)) {
             let types: Vec<EventType> = bits.iter().enumerate()
                 .filter(|(_, &b)| b)
                 .map(|(i, _)| EventType(i as u32))
@@ -311,6 +600,73 @@ mod tests {
             let v = IndicatorVector::from_present(types.iter().copied(), bits.len());
             prop_assert_eq!(v.count_present(), types.len());
             prop_assert_eq!(v.present_types().count(), types.len());
+        }
+
+        /// Model-based equivalence with the legacy `Vec<bool>`
+        /// representation: any interleaving of get/set/flip over any
+        /// (possibly out-of-range) types behaves identically, and the
+        /// derived views (count, iteration, bools, subset tests) agree
+        /// with the model at the end.
+        #[test]
+        fn packed_vector_matches_bool_model(
+            n_types in 0usize..150,
+            ops in proptest::collection::vec((0u32..160, 0u8..3, any::<bool>()), 0..80),
+        ) {
+            let mut packed = IndicatorVector::empty(n_types);
+            let mut model = vec![false; n_types];
+            for (ty, op, arg) in ops {
+                let t = EventType(ty);
+                let i = ty as usize;
+                match op {
+                    0 => {
+                        let got = packed.get(t);
+                        let want = model.get(i).copied().unwrap_or(false);
+                        prop_assert_eq!(got, want);
+                    }
+                    1 => {
+                        packed.set(t, arg);
+                        if let Some(slot) = model.get_mut(i) { *slot = arg; }
+                    }
+                    _ => {
+                        let got = packed.flip(t);
+                        let want = match model.get_mut(i) {
+                            Some(slot) => { *slot = !*slot; *slot }
+                            None => false,
+                        };
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(packed.to_bools(), model.clone());
+            prop_assert_eq!(
+                packed.count_present(),
+                model.iter().filter(|&&b| b).count()
+            );
+            let present: Vec<usize> =
+                packed.present_types().map(|t| t.index()).collect();
+            let want_present: Vec<usize> = model.iter().enumerate()
+                .filter(|(_, &b)| b).map(|(i, _)| i).collect();
+            prop_assert_eq!(present, want_present);
+            // round-trip through from_present preserves equality
+            let rebuilt = IndicatorVector::from_present(packed.present_types(), n_types);
+            prop_assert_eq!(&rebuilt, &packed);
+        }
+
+        /// `TypeMask::matches` agrees with the naive all-types-present
+        /// check for arbitrary masks and windows — including types
+        /// outside the universe, which make both sides constantly false.
+        #[test]
+        fn type_mask_matches_naive_conjunction(
+            n_types in 1usize..150,
+            mask_types in proptest::collection::vec(0u32..160, 0..10),
+            present in proptest::collection::vec(0u32..160, 0..40),
+        ) {
+            let types: Vec<EventType> =
+                mask_types.into_iter().map(EventType).collect();
+            let mask = TypeMask::from_types(types.iter().copied(), n_types);
+            let window = IndicatorVector::from_present(
+                present.into_iter().map(EventType), n_types);
+            prop_assert_eq!(mask.matches(&window), window.all_present(&types));
         }
     }
 }

@@ -34,7 +34,7 @@ pub mod window;
 
 pub use error::StreamError;
 pub use event::{AttrValue, Event, EventType};
-pub use indicator::{IndicatorVector, WindowedIndicators};
+pub use indicator::{words_for, IndicatorVector, TypeMask, WindowedIndicators};
 pub use interner::TypeRegistry;
 pub use merge::merge_streams;
 pub use reorder::ReorderBuffer;

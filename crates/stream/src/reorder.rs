@@ -73,10 +73,19 @@ impl ReorderBuffer {
     /// Offer one event; returns the events released (in order) by the
     /// advanced watermark. Events older than the watermark are dropped.
     pub fn push(&mut self, event: Event) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.push_into(event, &mut out);
+        out
+    }
+
+    /// Drain-style [`ReorderBuffer::push`]: appends released events to a
+    /// caller-reused buffer and returns how many were appended — the
+    /// steady-state ingestion path allocates nothing.
+    pub fn push_into(&mut self, event: Event, out: &mut Vec<Event>) -> usize {
         if let Some(wm) = self.watermark() {
             if event.ts < wm {
                 self.dropped += 1;
-                return self.release();
+                return self.release_into(out);
             }
         }
         self.max_seen = Some(match self.max_seen {
@@ -88,22 +97,23 @@ impl ReorderBuffer {
             seq: self.seq,
         });
         self.seq += 1;
-        self.release()
+        self.release_into(out)
     }
 
-    fn release(&mut self) -> Vec<Event> {
+    fn release_into(&mut self, out: &mut Vec<Event>) -> usize {
         let Some(wm) = self.watermark() else {
-            return Vec::new();
+            return 0;
         };
-        let mut out = Vec::new();
+        let mut n = 0;
         while let Some(top) = self.heap.peek() {
             if top.event.ts <= wm {
                 out.push(self.heap.pop().expect("peeked").event);
+                n += 1;
             } else {
                 break;
             }
         }
-        out
+        n
     }
 
     /// Heartbeat: behave as if an event stamped `ts` had just been
@@ -115,19 +125,35 @@ impl ReorderBuffer {
     /// A sharded service uses this to keep quiet partitions draining while
     /// busy ones carry the clock forward.
     pub fn heartbeat(&mut self, ts: Timestamp) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.heartbeat_into(ts, &mut out);
+        out
+    }
+
+    /// Drain-style [`ReorderBuffer::heartbeat`]; appends to `out` and
+    /// returns the number of events released.
+    pub fn heartbeat_into(&mut self, ts: Timestamp, out: &mut Vec<Event>) -> usize {
         if self.max_seen.is_none_or(|m| ts > m) {
             self.max_seen = Some(ts);
         }
-        self.release()
+        self.release_into(out)
     }
 
     /// Drain everything still buffered (end of stream), in order.
     pub fn flush(&mut self) -> Vec<Event> {
         let mut out = Vec::with_capacity(self.heap.len());
+        self.flush_into(&mut out);
+        out
+    }
+
+    /// Drain-style [`ReorderBuffer::flush`]; appends to `out` and returns
+    /// the number of events drained.
+    pub fn flush_into(&mut self, out: &mut Vec<Event>) -> usize {
+        let n = self.heap.len();
         while let Some(p) = self.heap.pop() {
             out.push(p.event);
         }
-        out
+        n
     }
 
     /// How many events arrived too late and were dropped.

@@ -84,7 +84,7 @@ fn main() {
                 Event::new(ty, Timestamp::from_millis((clock - jitter).max(0))),
             ));
         }
-        let out = service.push_batch(&batch).expect("ingestion");
+        let out = service.push_batch(batch).expect("ingestion");
         merged_windows += out.merged.len();
         for m in &out.merged {
             if m.answers_any[hvac_q.0 as usize] {

@@ -46,7 +46,7 @@ fn uniform_ppm_satisfies_pattern_level_dp_on_every_window() {
         assert!(
             satisfies_pattern_level_dp(&window, &pattern_types, &probs, total),
             "Def. 4 violated on window {:?}",
-            window.bits()
+            window.to_bools()
         );
     }
 }

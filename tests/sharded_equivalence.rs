@@ -134,7 +134,7 @@ fn drive_service(
         }
     };
     for chunk in events.chunks(batch_size) {
-        collect(svc.push_batch(chunk).unwrap());
+        collect(svc.push_batch(chunk.to_vec()).unwrap());
     }
     collect(svc.finish().unwrap());
     assert_eq!(svc.dropped(), 0, "arrival jitter stays within max_delay");
@@ -195,6 +195,42 @@ fn n_shard_service_matches_independent_engines_per_partition() {
         for (i, (got, want)) in got_releases.iter().zip(&reference).enumerate() {
             assert_eq!(got, want, "shard {shard}, release {i}");
         }
+    }
+}
+
+/// The parallel worker pool must be invisible: forcing it on (even on a
+/// single-core host, where the default policy would run inline) changes
+/// nothing about any shard's release sequence.
+#[test]
+fn forced_parallel_workers_match_independent_engines() {
+    let seed = 77u64;
+    let n_shards = 3usize;
+    let events = arrivals(seed, 500);
+    let mut b = ServiceBuilder::new(config(n_shards, seed)).unwrap();
+    register_service(&mut b);
+    let mut svc = b.build().unwrap();
+    svc.set_parallel(true);
+    assert!(svc.is_parallel());
+    let mut per_shard: Vec<Vec<WindowRelease>> = vec![Vec::new(); n_shards];
+    let mut collect = |out: pattern_dp_repro::core::BatchOutput| {
+        for sr in out.shard_releases {
+            per_shard[sr.shard].push(sr.release);
+        }
+    };
+    for chunk in events.chunks(19) {
+        collect(svc.push_batch(chunk.to_vec()).unwrap());
+    }
+    collect(svc.finish().unwrap());
+
+    let end = stream_end(&events);
+    for (shard, got_releases) in per_shard.iter().enumerate() {
+        let partition: Vec<KeyedEvent> = events
+            .iter()
+            .filter(|k| ShardedService::shard_for(k.subject, n_shards) == shard)
+            .cloned()
+            .collect();
+        let reference = drive_reference(&partition, end, ShardedService::shard_seed(seed, shard));
+        assert_eq!(got_releases, &reference, "shard {shard}");
     }
 }
 
