@@ -34,11 +34,12 @@ echo "==> cargo bench --no-run"
 cargo bench --no-run
 
 # The JSON throughput runner in smoke mode: exercises the full sharded
-# hot path end to end and fails if the artifact it writes does not parse
-# back (the runner validates its own output).
-echo "==> bench-json smoke"
+# hot path end to end — including the --churn scenario's periodic epoch
+# transitions — and fails if the artifact it writes does not parse back
+# (the runner validates its own output, churn cells included).
+echo "==> bench-json smoke (with churn scenario)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

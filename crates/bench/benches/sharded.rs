@@ -40,6 +40,7 @@ fn service(n_shards: usize) -> ShardedService {
         streaming: StreamingConfig::tumbling(WINDOW),
         max_delay: MAX_DELAY,
         seed: 1234,
+        history_window: 0,
     })
     .expect("valid service config");
     for s in 0..N_SUBJECTS {

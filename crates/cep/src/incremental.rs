@@ -13,6 +13,8 @@
 //! [`IncrementalDetector::advance_to_into`] append to a caller-owned buffer
 //! so the per-event steady state allocates nothing.
 
+use std::collections::VecDeque;
+
 use pdp_stream::{Event, EventType, IndicatorVector, TimeDelta, Timestamp, TypeMask};
 
 use crate::compile::CompiledSet;
@@ -60,6 +62,10 @@ pub struct IncrementalDetector {
     /// OrderedWithin semantics: the open window's timestamped events.
     timed: Vec<(EventType, Timestamp)>,
     last_ts: Option<Timestamp>,
+    /// Pattern-set swaps staged by future window index (epoch activation):
+    /// the swap at `(at, set)` takes effect for every window whose release
+    /// index is `>= at`. Ascending by activation index.
+    pending: VecDeque<(usize, PatternSet)>,
 }
 
 impl IncrementalDetector {
@@ -94,7 +100,80 @@ impl IncrementalDetector {
             present: IndicatorVector::empty(n_types),
             timed: Vec::new(),
             last_ts: None,
+            pending: VecDeque::new(),
         })
+    }
+
+    /// Stage a pattern-set swap that takes effect for every window with
+    /// release index `>= at_index` — the detector half of an epoch switch.
+    ///
+    /// The new set must extend the one it replaces: pattern ids are stable
+    /// and append-only (a "removed" pattern is deactivated by the plan
+    /// layer, never deleted from the registry), so per-pattern state
+    /// carries over without losing the in-flight open window: the shared
+    /// presence bits, the open-window grid slot and the emit counter are
+    /// all untouched by the swap, and persisting patterns keep their NFA
+    /// state. Detection boundary: under conjunction semantics newly added
+    /// patterns are detected exactly from window `at_index` on (detection
+    /// is recomputed from the presence bits at close); under ordered
+    /// semantics they begin matching with the first event observed after
+    /// the swap, i.e. from window `at_index + 1` on.
+    ///
+    /// Rejected if `at_index` precedes a window already emitted or an
+    /// already-staged swap, or if the new set does not extend the previous
+    /// one.
+    pub fn schedule_pattern_update(
+        &mut self,
+        at_index: usize,
+        patterns: PatternSet,
+    ) -> Result<(), CepError> {
+        if at_index < self.emitted {
+            return Err(CepError::InvalidQuery(format!(
+                "cannot swap patterns at window {at_index}: {} already emitted",
+                self.emitted
+            )));
+        }
+        if let Some((last_at, _)) = self.pending.back() {
+            if at_index < *last_at {
+                return Err(CepError::InvalidQuery(format!(
+                    "pattern swaps must be scheduled in order: {at_index} after {last_at}"
+                )));
+            }
+        }
+        let prev = self
+            .pending
+            .back()
+            .map(|(_, set)| set)
+            .unwrap_or(&self.patterns);
+        if patterns.len() < prev.len()
+            || prev
+                .iter()
+                .any(|(id, p)| patterns.get(id).is_none_or(|q| q != p))
+        {
+            return Err(CepError::InvalidQuery(
+                "a scheduled pattern set must extend the previous one \
+                 (ids are stable and append-only)"
+                    .into(),
+            ));
+        }
+        self.pending.push_back((at_index, patterns));
+        Ok(())
+    }
+
+    /// Apply every staged swap due at or before the window about to close.
+    fn apply_due_updates(&mut self, index: usize) {
+        while self.pending.front().is_some_and(|(at, _)| *at <= index) {
+            let (_, patterns) = self.pending.pop_front().expect("checked non-empty");
+            self.compiled = CompiledSet::compile(&patterns);
+            self.conj_masks = patterns
+                .iter()
+                .map(|(_, p)| TypeMask::from_types(p.distinct_types(), self.n_types))
+                .collect();
+            // persisting patterns keep their open-window NFA state; new
+            // ones start fresh
+            self.nfa_states.resize(patterns.len(), 0);
+            self.patterns = patterns;
+        }
     }
 
     /// Push one event; returns the windows that closed *before* it (empty
@@ -204,6 +283,11 @@ impl IncrementalDetector {
     }
 
     fn close_current(&mut self, grid: i64) -> ClosedWindow {
+        // epoch activation point: swaps staged for this window's index (or
+        // earlier) take effect before its detections are computed, so the
+        // switch lands on the same window no matter how pushes, heartbeats
+        // and gap closes interleave
+        self.apply_due_updates(self.emitted);
         let detections = match self.semantics {
             Semantics::Ordered => self
                 .patterns
@@ -423,6 +507,106 @@ mod tests {
         assert!(
             IncrementalDetector::new(patterns(), Semantics::Ordered, TimeDelta::ZERO, 3).is_err()
         );
+    }
+
+    #[test]
+    fn scheduled_pattern_update_lands_on_its_window() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        let mut grown = patterns();
+        grown.insert(Pattern::single("d", t(1)));
+        det.schedule_pattern_update(1, grown).unwrap();
+        // window 0 closes under the old set: two detection flags
+        det.push(&e(1, 2)).unwrap();
+        let closed = det.push(&e(1, 12)).unwrap();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].detections, vec![false, false]);
+        // window 1 closes under the grown set: three flags, new one hit
+        let w1 = det.finish().unwrap();
+        assert_eq!(w1.index, 1);
+        assert_eq!(w1.detections, vec![false, false, true]);
+    }
+
+    #[test]
+    fn scheduled_update_preserves_open_window_state() {
+        // the swap must not lose presence accumulated in the open window
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        let mut grown = patterns();
+        grown.insert(Pattern::seq("ab2", vec![t(0), t(1)]).unwrap());
+        det.schedule_pattern_update(0, grown).unwrap();
+        det.push(&e(1, 3)).unwrap(); // same window, after the schedule
+        let w0 = det.finish().unwrap();
+        // both events present; old pattern "ab" and new "ab2" both detect
+        assert_eq!(w0.detections, vec![true, false, true]);
+        assert_eq!(w0.presence, IndicatorVector::from_present([t(0), t(1)], 3));
+    }
+
+    #[test]
+    fn scheduled_update_applies_to_gap_windows_too() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        let mut grown = patterns();
+        grown.insert(Pattern::single("d", t(1)));
+        det.push(&e(0, 1)).unwrap();
+        det.schedule_pattern_update(2, grown).unwrap();
+        // one advance closes windows 0 (old set), 1 (old set), 2, 3 (new)
+        let closed = det.advance_to(Timestamp::from_millis(45)).unwrap();
+        assert_eq!(closed.len(), 4);
+        assert_eq!(closed[0].detections.len(), 2);
+        assert_eq!(closed[1].detections.len(), 2);
+        assert_eq!(closed[2].detections.len(), 3);
+        assert_eq!(closed[3].detections.len(), 3);
+    }
+
+    #[test]
+    fn scheduled_update_validation() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(0, 25)).unwrap(); // windows 0 and 1 emitted
+                                      // behind the emit frontier
+        assert!(det.schedule_pattern_update(1, patterns()).is_err());
+        // a shrunk set does not extend the previous one
+        let shrunk = {
+            let mut s = PatternSet::new();
+            s.insert(Pattern::seq("ab", vec![t(0), t(1)]).unwrap());
+            s
+        };
+        assert!(det.schedule_pattern_update(3, shrunk).is_err());
+        // a mutated pattern under an existing id is rejected
+        let mutated = {
+            let mut s = PatternSet::new();
+            s.insert(Pattern::seq("ab", vec![t(0), t(2)]).unwrap());
+            s.insert(Pattern::single("c", t(2)));
+            s
+        };
+        assert!(det.schedule_pattern_update(3, mutated).is_err());
+        // staged swaps must not regress
+        det.schedule_pattern_update(4, patterns()).unwrap();
+        assert!(det.schedule_pattern_update(3, patterns()).is_err());
+        assert!(det.schedule_pattern_update(4, patterns()).is_ok());
     }
 
     proptest! {

@@ -34,6 +34,11 @@ pub enum CoreError {
     /// The sharded service rejected its configuration or call sequence
     /// (zero shards, ingestion after `finish`, …).
     InvalidService(String),
+    /// A referenced consumer query id is unknown.
+    UnknownQuery(u32),
+    /// The control plane rejected a staged command or an epoch transition
+    /// (revoking an unowned pattern, an empty transition, …).
+    InvalidCommand(String),
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +62,8 @@ impl fmt::Display for CoreError {
                 write!(f, "subject {id} is not registered with the service")
             }
             CoreError::InvalidService(msg) => write!(f, "invalid service use: {msg}"),
+            CoreError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            CoreError::InvalidCommand(msg) => write!(f, "invalid control-plane command: {msg}"),
         }
     }
 }

@@ -24,9 +24,15 @@
 //!   subject-keyed batched ingestion with bounded out-of-order tolerance,
 //!   hash partitioning across [`StreamingEngine`] shards, a global low
 //!   watermark, per-subject budget ledgers, and population-level merged
-//!   answers.
+//!   answers;
+//! * [`control`] — the dynamic control plane: runtime subject/pattern/
+//!   query churn staged as commands, compiled into immutable per-epoch
+//!   plans that every shard activates deterministically on one window
+//!   boundary, with the adaptive PPM re-run online at each transition
+//!   and epoch-aware budget accounting.
 
 pub mod adaptive;
+pub mod control;
 pub mod correlation;
 pub mod distribution;
 pub mod engine;
@@ -40,6 +46,7 @@ pub mod service;
 pub mod streaming;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
+pub use control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
 pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
 pub use distribution::BudgetDistribution;
 pub use engine::{PpmKind, ProtectedAnswer, TrustedEngine, TrustedEngineConfig};
@@ -54,7 +61,7 @@ pub use neighbors::{
 pub use protect::{FlipPlan, FlipTable, Mechanism, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
 pub use service::{
-    BatchOutput, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig, ShardRelease,
-    ShardedService, SubjectId,
+    BatchOutput, EpochTransition, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig,
+    ShardRelease, ShardedService, SubjectId,
 };
-pub use streaming::{OnlineCore, StreamingConfig, StreamingEngine, WindowRelease};
+pub use streaming::{OnlineCore, QueryRef, StreamingConfig, StreamingEngine, WindowRelease};

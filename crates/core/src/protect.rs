@@ -175,6 +175,12 @@ impl FlipTable {
 /// order and interpretation, so seeded outputs differ from the legacy
 /// per-bit path but are identical across every engine front using the
 /// plan.
+///
+/// **Rebuilds.** A plan is immutable; reconfiguration never mutates one
+/// in place. The dynamic control plane ([`crate::control`]) compiles a
+/// *fresh* table + plan per epoch and swaps it into every engine at one
+/// activation window, so the draw sequence stays a pure function of
+/// (compiled plan, window) across churn.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlipPlan {
     n_types: usize,

@@ -50,23 +50,43 @@
 //!   (Thm. 1) is per subject and must hold regardless of how the stream is
 //!   partitioned.
 //!
+//! * **control plane / data plane split** ([`ControlPlane`]): the static
+//!   setup phase is only the *initial* epoch. At runtime, tenants join and
+//!   leave ([`ShardedService::register_subject`] /
+//!   [`ShardedService::retire_subject`]), patterns and queries churn
+//!   ([`ShardedService::register_private_pattern`] /
+//!   [`ShardedService::revoke_private_pattern`] /
+//!   [`ShardedService::add_consumer_query`] /
+//!   [`ShardedService::remove_consumer_query`]), and history arrives
+//!   ([`ShardedService::provide_history`]). Staged commands take effect
+//!   only at [`ShardedService::begin_epoch`], which compiles them into an
+//!   immutable [`EpochPlan`] and fans it out to every shard with one
+//!   **activation window index** — the first window no shard has released
+//!   yet (the frontier the global low watermark drives). Every shard —
+//!   and any independent engine handed the same `(activation, plan)` —
+//!   switches on the same window, so the equivalence anchors below extend
+//!   to the dynamic setting. See [`crate::control`] for the determinism
+//!   contract of command schedules.
+//!
 //! Correctness is anchored by equivalence, not by re-proof: a 1-shard
 //! service reproduces [`StreamingEngine`] bit-for-bit under a seeded
 //! [`DpRng`], and an N-shard service over a partitioned stream matches N
-//! independent engines (see `tests/sharded_equivalence.rs`).
+//! independent engines (see `tests/sharded_equivalence.rs`) — including
+//! under a non-empty command schedule.
 //!
 //! [`ReorderBuffer`]: pdp_stream::ReorderBuffer
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 use pdp_cep::{Pattern, PatternId, QueryId};
-use pdp_dp::{BudgetLedger, DpRng, Epsilon};
+use pdp_dp::{DpRng, EpochLedger, Epsilon};
 use pdp_metrics::Alpha;
-use pdp_stream::{Event, ReorderBuffer, TimeDelta, Timestamp, WindowedIndicators};
+use pdp_stream::{Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, WindowedIndicators};
 
-use crate::engine::{PpmKind, TrustedEngine, TrustedEngineConfig};
+use crate::control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
+use crate::engine::PpmKind;
 use crate::error::CoreError;
 use crate::streaming::{StreamingConfig, StreamingEngine, WindowRelease};
 
@@ -114,6 +134,11 @@ pub struct ServiceConfig {
     pub max_delay: TimeDelta,
     /// Base seed; shard `i` draws from [`ShardedService::shard_seed`]`(seed, i)`.
     pub seed: u64,
+    /// Capacity of the sliding released-window history the control plane
+    /// keeps for the online adaptive PPM (0 disables it; explicitly
+    /// granted history is never truncated). See
+    /// [`ControlPlane::observe_release`].
+    pub history_window: usize,
 }
 
 /// One shard's release, tagged with its partition.
@@ -132,13 +157,21 @@ pub struct MergedRelease {
     pub index: usize,
     /// Start of the window.
     pub start: Timestamp,
-    /// Per query (in [`QueryId`] order): true iff *any* shard's protected
-    /// view answered true — "does the target pattern occur anywhere in the
-    /// population?".
+    /// The control-plane epoch that released this window (identical on
+    /// every shard — epoch switches land on one window index).
+    pub epoch: u64,
+    /// Per *active* query of that epoch (aligned with the epoch's
+    /// [`OnlineCore::queries`](crate::streaming::OnlineCore::queries)):
+    /// true iff *any* shard's protected view answered true — "does the
+    /// target pattern occur anywhere in the population?".
     pub answers_any: Vec<bool>,
     /// Per query: how many shards answered true (the aggregate consumers'
     /// counting view).
     pub positive_shards: Vec<usize>,
+    /// The population-level protected indicator view: the per-type
+    /// disjunction of every shard's protected release of this window.
+    /// Also what feeds the control plane's sliding history.
+    pub protected_any: IndicatorVector,
 }
 
 /// What one ingestion call produced.
@@ -155,13 +188,21 @@ pub struct BatchOutput {
 
 /// Setup phase of the sharded service (§III-A): subject and consumer
 /// registration, then [`ServiceBuilder::build`] to go online.
+///
+/// **Setup → service phase contract.** The builder is a thin wrapper over
+/// the [`ControlPlane`]: every registration stages a command and returns
+/// the stable id it assigned (ids are append-only and survive later
+/// revocation). [`ServiceBuilder::build`] compiles the staged commands
+/// into the **epoch-0** [`EpochPlan`] — the paper's static setup phase —
+/// and hands the control plane to the [`ShardedService`], where further
+/// registrations stage runtime commands that take effect at the next
+/// [`ShardedService::begin_epoch`]. A builder on which nothing is staged
+/// after construction builds a service identical to the pre-control-plane
+/// static one.
 #[derive(Debug, Clone)]
 pub struct ServiceBuilder {
     config: ServiceConfig,
-    engine: TrustedEngine,
-    /// Registration order and per-subject private patterns. `BTreeMap` so
-    /// iteration (and thus the charging plan) is deterministic.
-    subjects: BTreeMap<SubjectId, Vec<PatternId>>,
+    control: ControlPlane,
 }
 
 impl ServiceBuilder {
@@ -172,46 +213,49 @@ impl ServiceBuilder {
                 "a service needs at least one shard".into(),
             ));
         }
-        let engine = TrustedEngine::new(TrustedEngineConfig {
+        let control = ControlPlane::new(ControlPlaneConfig {
             n_types: config.n_types,
             alpha: config.alpha,
             ppm: config.ppm.clone(),
+            history_window: config.history_window,
         });
-        Ok(ServiceBuilder {
-            config,
-            engine,
-            subjects: BTreeMap::new(),
-        })
+        Ok(ServiceBuilder { config, control })
     }
 
     /// Register a data subject with no private patterns (a tenant whose
-    /// stream needs no protection but must still be routable).
-    pub fn register_subject(&mut self, subject: SubjectId) -> &mut Self {
-        self.subjects.entry(subject).or_default();
-        self
+    /// stream needs no protection but must still be routable). Returns the
+    /// id (the builder's registration methods all return what they
+    /// registered).
+    pub fn register_subject(&mut self, subject: SubjectId) -> SubjectId {
+        self.control.register_subject(subject)
     }
 
     /// Data subject `subject`: declare a private pattern to protect.
     pub fn register_private_pattern(&mut self, subject: SubjectId, pattern: Pattern) -> PatternId {
-        let id = self.engine.register_private_pattern(pattern);
-        self.subjects.entry(subject).or_default().push(id);
-        id
+        self.control.register_private_pattern(subject, pattern)
     }
 
     /// Data consumer: declare a named target-pattern query.
     pub fn register_target_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
-        self.engine.register_target_query(name, pattern)
+        self.control.add_consumer_query(name, pattern)
     }
 
     /// Register a pattern that is neither private nor queried (kept for
     /// [`PatternId`] parity with an external registry, e.g. a workload).
     pub fn register_pattern(&mut self, pattern: Pattern) -> PatternId {
-        self.engine.register_pattern(pattern)
+        self.control.register_pattern(pattern)
     }
 
     /// Grant access to historical data (required by the adaptive PPM).
     pub fn provide_history(&mut self, windows: WindowedIndicators) {
-        self.engine.provide_history(windows);
+        self.control.provide_history(windows);
+    }
+
+    /// Enable §V-C correlation widening on every epoch compile (including
+    /// the initial one); requires history. See
+    /// [`ControlPlane::set_correlate_widening`].
+    pub fn set_correlate_widening(&mut self, widening: Option<(f64, Epsilon)>) {
+        self.control.set_correlate_widening(widening);
     }
 
     /// Complete setup and go online, deriving each shard's [`DpRng`] from
@@ -236,17 +280,18 @@ impl ServiceBuilder {
                 self.config.n_shards
             )));
         }
-        self.engine.setup()?;
+        let plan = self.control.compile_initial()?;
         let n_shards = self.config.n_shards;
         let assignment: HashMap<SubjectId, usize> = self
-            .subjects
-            .keys()
-            .map(|&s| (s, ShardedService::shard_for(s, n_shards)))
+            .control
+            .active_subjects()
+            .into_iter()
+            .map(|s| (s, ShardedService::shard_for(s, n_shards)))
             .collect();
 
         let mut shards = Vec::with_capacity(n_shards);
         for rng in rngs {
-            let mut engine = StreamingEngine::from_engine(&self.engine, self.config.streaming)?;
+            let mut engine = StreamingEngine::from_core(plan.core.clone(), self.config.streaming)?;
             // Pin every shard to the same window origin so all shards run
             // one aligned timeline (required by the merge path, and by the
             // global watermark which may reach a shard before its first
@@ -257,7 +302,7 @@ impl ServiceBuilder {
                 engine,
                 rng,
                 frontier: Timestamp::ZERO,
-                charges: Vec::new(),
+                charges_by_epoch: vec![Vec::new()],
                 n_subjects: 0,
                 ready: Vec::new(),
             });
@@ -266,48 +311,18 @@ impl ServiceBuilder {
             shards[shard].n_subjects += 1;
         }
 
-        // Per-release charging plan: each release of shard `s` charges
-        // every subject on `s` for each of *their* patterns' per-release
-        // budgets (sequential composition across releases, per subject).
-        let budgets: HashMap<PatternId, Epsilon> = shards[0]
-            .engine
-            .core()
-            .pipeline()
-            .budgets()
-            .into_iter()
-            .collect();
-        for (&subject, patterns) in &self.subjects {
-            let shard = assignment[&subject];
-            for pid in patterns {
-                if let Some(&eps) = budgets.get(pid) {
-                    shards[shard].charges.push((subject, *pid, eps));
-                }
-            }
-        }
-
-        let query_names: Vec<String> = shards[0]
-            .engine
-            .query_names()
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
-        let ledgers = self
-            .subjects
-            .keys()
-            .map(|&s| (s, BudgetLedger::unlimited()))
-            .collect();
-        let merge = MergeState::new(n_shards, query_names.len());
-        let workers = spawn_worker_pool(n_shards);
-        Ok(ShardedService {
+        let mut service = ShardedService {
             shards,
-            workers,
+            workers: spawn_worker_pool(n_shards),
             assignment,
-            ledgers,
-            merge,
-            query_names,
+            ledgers: HashMap::new(),
+            merge: MergeState::new(n_shards),
+            control: self.control,
             events_ingested: 0,
             finished: false,
-        })
+        };
+        service.install_plan(&plan)?;
+        Ok(service)
     }
 }
 
@@ -320,8 +335,11 @@ struct Shard {
     /// (event pushes and watermark advances); the global watermark is only
     /// applied when it moves a shard forward.
     frontier: Timestamp,
-    /// `(subject, pattern, per-release ε)` to charge on every release.
-    charges: Vec<(SubjectId, PatternId, Epsilon)>,
+    /// Indexed by epoch: `(subject, pattern, per-release ε)` to charge on
+    /// every release of that epoch. Kept for *all* epochs — releases of an
+    /// earlier epoch can still settle after a later plan was staged
+    /// (activation lies in the future).
+    charges_by_epoch: Vec<Vec<(SubjectId, PatternId, Epsilon)>>,
     /// Subjects routed to this shard. A shard with none can never receive
     /// events, so it must not hold the global low watermark back.
     n_subjects: usize,
@@ -480,11 +498,14 @@ impl Drop for Worker {
 
 /// Accumulates shard answers per window index until every shard has
 /// released it. Folds answer bits as releases arrive — no release is ever
-/// cloned or queued for merging.
+/// cloned or queued for merging. Rows are sized lazily from the first
+/// release observed for their window: the number of active queries is a
+/// property of the releasing *epoch*, not of the service, and every shard
+/// releases a given window under the same epoch (switches land on one
+/// window index).
 #[derive(Debug, Clone)]
 struct MergeState {
     n_shards: usize,
-    n_queries: usize,
     /// Index of the lowest window not yet merged (the front of `rows`).
     next_index: usize,
     rows: VecDeque<MergeRow>,
@@ -493,16 +514,19 @@ struct MergeState {
 #[derive(Debug, Clone)]
 struct MergeRow {
     start: Timestamp,
+    epoch: u64,
     shards_done: usize,
     answers_any: Vec<bool>,
     positive_shards: Vec<usize>,
+    /// Per-type disjunction of the shard releases; `None` until the first
+    /// release arrives (placeholder rows created for later indexes).
+    union: Option<IndicatorVector>,
 }
 
 impl MergeState {
-    fn new(n_shards: usize, n_queries: usize) -> Self {
+    fn new(n_shards: usize) -> Self {
         MergeState {
             n_shards,
-            n_queries,
             next_index: 0,
             rows: VecDeque::new(),
         }
@@ -518,14 +542,27 @@ impl MergeState {
         while self.rows.len() <= offset {
             self.rows.push_back(MergeRow {
                 start: release.start,
+                epoch: 0,
                 shards_done: 0,
-                answers_any: vec![false; self.n_queries],
-                positive_shards: vec![0; self.n_queries],
+                answers_any: Vec::new(),
+                positive_shards: Vec::new(),
+                union: None,
             });
         }
         let row = &mut self.rows[offset];
+        if row.shards_done == 0 {
+            row.answers_any = vec![false; release.answers.len()];
+            row.positive_shards = vec![0; release.answers.len()];
+            row.epoch = release.epoch;
+        }
+        debug_assert_eq!(row.epoch, release.epoch, "one epoch per window");
+        debug_assert_eq!(row.answers_any.len(), release.answers.len());
         row.start = release.start;
         row.shards_done += 1;
+        match &mut row.union {
+            Some(union) => union.union_with(&release.protected),
+            none => *none = Some(release.protected.clone()),
+        }
         for (q, &hit) in release.answers.iter().enumerate() {
             if hit {
                 row.answers_any[q] = true;
@@ -545,12 +582,30 @@ impl MergeState {
             merged.push(MergedRelease {
                 index: self.next_index,
                 start: row.start,
+                epoch: row.epoch,
                 answers_any: row.answers_any,
                 positive_shards: row.positive_shards,
+                protected_any: row
+                    .union
+                    .expect("n_shards >= 1: at least one release folded"),
             });
             self.next_index += 1;
         }
     }
+}
+
+/// What one [`ShardedService::begin_epoch`] produced: the compiled plan
+/// and the window boundary it activates on. Handing the same pair to
+/// independent engines ([`StreamingEngine::schedule_epoch`]) reproduces
+/// the service bit-for-bit — the dynamic-setting equivalence anchor.
+#[derive(Debug, Clone)]
+pub struct EpochTransition {
+    /// The first window index released under the new plan. Chosen
+    /// deterministically: the lowest index no shard has released yet (the
+    /// frontier the global low watermark drives).
+    pub activation_index: usize,
+    /// The compiled plan itself.
+    pub plan: EpochPlan,
 }
 
 /// The online sharded multi-tenant service. Built by [`ServiceBuilder`].
@@ -560,10 +615,15 @@ pub struct ShardedService {
     /// One persistent worker thread per shard (empty for 1-shard
     /// services, which run inline).
     workers: Vec<Worker>,
+    /// Routing for *active* (non-retired) subjects.
     assignment: HashMap<SubjectId, usize>,
-    ledgers: HashMap<SubjectId, BudgetLedger<PatternId>>,
+    /// Per-subject epoch-aware accounting. Ledgers of retired subjects are
+    /// kept — their spend stays queryable and is never refunded.
+    ledgers: HashMap<SubjectId, EpochLedger<PatternId>>,
     merge: MergeState,
-    query_names: Vec<String>,
+    /// The control plane: staged runtime commands, the append-only
+    /// registries, and the sliding released-window history.
+    control: ControlPlane,
     events_ingested: u64,
     finished: bool,
 }
@@ -601,7 +661,7 @@ impl Clone for ShardedService {
             assignment: self.assignment.clone(),
             ledgers: self.ledgers.clone(),
             merge: self.merge.clone(),
-            query_names: self.query_names.clone(),
+            control: self.control.clone(),
             events_ingested: self.events_ingested,
             finished: self.finished,
         }
@@ -670,7 +730,7 @@ impl ShardedService {
         self.run_jobs(jobs, &mut out)?;
         self.events_ingested += n_events;
         self.advance_to_low_watermark(&mut out)?;
-        self.merge.drain_into(&mut out.merged);
+        self.drain_merged(&mut out);
         Ok(out)
     }
 
@@ -687,7 +747,7 @@ impl ShardedService {
             .collect();
         self.run_jobs(jobs, &mut out)?;
         self.advance_to_low_watermark(&mut out)?;
-        self.merge.drain_into(&mut out.merged);
+        self.drain_merged(&mut out);
         Ok(out)
     }
 
@@ -714,8 +774,182 @@ impl ShardedService {
             .map(|_| Some(ShardJob::Close(end)))
             .collect();
         self.run_jobs(close_jobs, &mut out)?;
-        self.merge.drain_into(&mut out.merged);
+        self.drain_merged(&mut out);
         Ok(out)
+    }
+
+    /// Drain fully merged windows into the output and feed each
+    /// population-level protected view into the control plane's sliding
+    /// history (the online adaptive PPM's input).
+    fn drain_merged(&mut self, out: &mut BatchOutput) {
+        let from = out.merged.len();
+        self.merge.drain_into(&mut out.merged);
+        for m in &out.merged[from..] {
+            self.control.observe_release(&m.protected_any);
+        }
+    }
+
+    // ---- the runtime command surface (control plane) ----
+    //
+    // Every method below *stages* a command; nothing takes effect until
+    // `begin_epoch` compiles the staged batch into an `EpochPlan` and
+    // fans it out. Ids are assigned at staging time and are stable
+    // forever (append-only registries).
+
+    /// Stage: a new tenant joins (routable from the next epoch on).
+    pub fn register_subject(&mut self, subject: SubjectId) -> SubjectId {
+        self.control.register_subject(subject)
+    }
+
+    /// Stage: a tenant leaves. From the next epoch on their events are
+    /// rejected and their patterns stop charging; spend already recorded
+    /// is never refunded.
+    pub fn retire_subject(&mut self, subject: SubjectId) -> Result<(), CoreError> {
+        self.control.retire_subject(subject)
+    }
+
+    /// Stage: a tenant declares a new private pattern (protected and
+    /// charged from the next epoch on).
+    pub fn register_private_pattern(&mut self, subject: SubjectId, pattern: Pattern) -> PatternId {
+        self.control.register_private_pattern(subject, pattern)
+    }
+
+    /// Stage: a tenant withdraws a private pattern — it stops being
+    /// protected and charged from the next epoch on, and never refunds.
+    pub fn revoke_private_pattern(
+        &mut self,
+        subject: SubjectId,
+        pattern: PatternId,
+    ) -> Result<(), CoreError> {
+        self.control.revoke_private_pattern(subject, pattern)
+    }
+
+    /// Stage: a consumer adds a named target-pattern query (answered from
+    /// the next epoch on).
+    pub fn add_consumer_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
+        self.control.add_consumer_query(name, pattern)
+    }
+
+    /// Stage: a consumer withdraws a query (unanswered from the next
+    /// epoch on).
+    pub fn remove_consumer_query(&mut self, query: QueryId) -> Result<(), CoreError> {
+        self.control.remove_consumer_query(query)
+    }
+
+    /// Stage: grant (replace) the explicit historical data the adaptive
+    /// PPM optimizes against at the next transition.
+    pub fn provide_history(&mut self, windows: WindowedIndicators) {
+        self.control.provide_history(windows);
+    }
+
+    /// Stage one [`Command`] in enum form (schedules as data).
+    pub fn submit(&mut self, command: Command) -> Result<CommandOutcome, CoreError> {
+        self.control.submit(command)
+    }
+
+    /// Read access to the control plane (registries, staged state,
+    /// effective history).
+    pub fn control(&self) -> &ControlPlane {
+        &self.control
+    }
+
+    /// The control-plane epoch currently compiled (releases may still be
+    /// settling under earlier epochs until the activation boundary).
+    pub fn epoch(&self) -> u64 {
+        self.control.epoch()
+    }
+
+    /// Compile every staged command into the next epoch and fan the plan
+    /// out to all shards. Returns `Ok(None)` when nothing is staged (a
+    /// zero-command schedule leaves the service bit-for-bit unchanged).
+    ///
+    /// The transition is **deterministic**: the plan is compiled from the
+    /// control plane's state alone, and the activation boundary is the
+    /// first window index no shard has released yet — the frontier the
+    /// global low watermark has driven the shards to. Every shard (and
+    /// any independent engine handed the returned
+    /// `(activation_index, plan)`) switches on that same window. Windows
+    /// below the boundary still release, charge and answer under the plan
+    /// that was in force when they were current; under the adaptive PPM
+    /// the new plan re-distributes each subject's pattern budget with
+    /// [`optimize_all`](crate::adaptive::optimize_all) over the control
+    /// plane's effective history.
+    pub fn begin_epoch(&mut self) -> Result<Option<EpochTransition>, CoreError> {
+        self.ensure_live()?;
+        if !self.control.has_pending() {
+            return Ok(None);
+        }
+        let plan = self.control.compile_next()?;
+        let activation_index = self
+            .shards
+            .iter()
+            .map(|s| s.engine.releases())
+            .max()
+            .expect("n_shards >= 1");
+        for shard in &mut self.shards {
+            shard
+                .engine
+                .schedule_epoch(activation_index, plan.core.clone())?;
+        }
+        // routing: newly active subjects become routable, retired ones
+        // stop (their buffered events still drain through the engine)
+        let n_shards = self.shards.len();
+        self.assignment = self
+            .control
+            .active_subjects()
+            .into_iter()
+            .map(|s| (s, Self::shard_for(s, n_shards)))
+            .collect();
+        for shard in &mut self.shards {
+            shard.n_subjects = 0;
+        }
+        for &shard_idx in self.assignment.values() {
+            self.shards[shard_idx].n_subjects += 1;
+        }
+        self.install_plan(&plan)?;
+        Ok(Some(EpochTransition {
+            activation_index,
+            plan,
+        }))
+    }
+
+    /// Wire one compiled plan into the bookkeeping shared by the initial
+    /// build and every transition: the per-shard per-epoch charge
+    /// schedules and the per-subject epoch ledgers (register caps for
+    /// newly charged patterns, fence everything the plan dropped).
+    fn install_plan(&mut self, plan: &EpochPlan) -> Result<(), CoreError> {
+        let epoch = plan.epoch as usize;
+        for shard in &mut self.shards {
+            if shard.charges_by_epoch.len() <= epoch {
+                shard.charges_by_epoch.resize(epoch + 1, Vec::new());
+            } else {
+                shard.charges_by_epoch[epoch].clear();
+            }
+        }
+        let mut active: HashMap<SubjectId, Vec<(PatternId, Epsilon)>> = HashMap::new();
+        for &(subject, pid, eps) in &plan.charges {
+            let shard_idx = *self
+                .assignment
+                .get(&subject)
+                .expect("charged subjects are active, thus routed");
+            self.shards[shard_idx].charges_by_epoch[epoch].push((subject, pid, eps));
+            active.entry(subject).or_default().push((pid, eps));
+        }
+        for subject in self.assignment.keys() {
+            self.ledgers.entry(*subject).or_default();
+        }
+        for (subject, ledger) in self.ledgers.iter_mut() {
+            let keep = active.remove(subject).unwrap_or_default();
+            for pid in ledger.keys() {
+                if !keep.iter().any(|(kept, _)| *kept == pid) {
+                    ledger.retire(&pid, plan.epoch);
+                }
+            }
+            for (pid, eps) in keep {
+                ledger.register(pid, eps).map_err(CoreError::Dp)?;
+            }
+        }
+        Ok(())
     }
 
     /// Run one job per shard — fanned out to the persistent workers when
@@ -796,18 +1030,38 @@ impl ShardedService {
     /// Book one shard's releases everywhere they matter: the per-subject
     /// ledgers, the merge accumulators, and the caller's output (which
     /// takes ownership — releases are never cloned).
+    ///
+    /// Charging is epoch-aware: releases arrive in index order, so their
+    /// epochs are non-decreasing, and each run of same-epoch releases
+    /// charges that epoch's schedule in one ledger pass. Releases of an
+    /// epoch that has since been superseded still charge *their own*
+    /// epoch's schedule — a revocation staged later never rewrites what an
+    /// earlier plan already released.
     fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>, out: &mut BatchOutput) {
         if releases.is_empty() {
             return;
         }
-        for (subject, pid, eps) in &self.shards[shard_idx].charges {
-            let ledger = self
-                .ledgers
-                .get_mut(subject)
-                .expect("every registered subject has a ledger");
-            ledger
-                .spend_repeated(*pid, *eps, releases.len())
-                .expect("per-subject ledgers are unlimited");
+        let mut i = 0;
+        while i < releases.len() {
+            let epoch = releases[i].epoch;
+            let mut j = i + 1;
+            while j < releases.len() && releases[j].epoch == epoch {
+                j += 1;
+            }
+            let charges = self.shards[shard_idx]
+                .charges_by_epoch
+                .get(epoch as usize)
+                .expect("every epoch's charge schedule is installed");
+            for &(subject, pid, eps) in charges {
+                let ledger = self
+                    .ledgers
+                    .get_mut(&subject)
+                    .expect("every charged subject has a ledger");
+                ledger
+                    .charge_releases(pid, epoch, eps, j - i)
+                    .expect("plan charges stay within registered caps");
+            }
+            i = j;
         }
         out.shard_releases.reserve(releases.len());
         for release in releases {
@@ -888,25 +1142,41 @@ impl ShardedService {
         }
     }
 
-    /// The registered subjects, in id order.
+    /// The *active* (non-retired) subjects, in id order.
     pub fn subjects(&self) -> Vec<SubjectId> {
         let mut ids: Vec<SubjectId> = self.assignment.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
-    /// The shard a registered subject's events are routed to.
+    /// The shard an active subject's events are routed to; `None` for
+    /// unknown or retired subjects.
     pub fn subject_shard(&self, subject: SubjectId) -> Option<usize> {
         self.assignment.get(&subject).copied()
     }
 
     /// Budget spent so far *for one subject* on one of their patterns
-    /// (sequential composition across their shard's releases).
-    pub fn budget_spent(&self, subject: SubjectId, pattern: PatternId) -> Epsilon {
-        self.ledgers
-            .get(&subject)
-            .map(|l| l.spent(&pattern))
-            .unwrap_or(Epsilon::ZERO)
+    /// (sequential composition across their shard's releases, summed over
+    /// epochs — spend of revoked patterns and retired subjects stays on
+    /// the books).
+    ///
+    /// Unknown keys are explicit: `None` when `subject` never had a
+    /// ledger, or when `pattern` was never a charged pattern of theirs —
+    /// never a silent zero. `Some(Epsilon::ZERO)` means "registered,
+    /// nothing spent yet".
+    pub fn budget_spent(&self, subject: SubjectId, pattern: PatternId) -> Option<Epsilon> {
+        self.ledgers.get(&subject)?.try_spent(&pattern)
+    }
+
+    /// Budget `subject` spent on `pattern` inside one epoch (`None` under
+    /// the same unknown-key rules as [`ShardedService::budget_spent`]).
+    pub fn budget_spent_in_epoch(
+        &self,
+        subject: SubjectId,
+        pattern: PatternId,
+        epoch: u64,
+    ) -> Option<Epsilon> {
+        self.ledgers.get(&subject)?.spent_in_epoch(&pattern, epoch)
     }
 
     /// Total events accepted by `push_batch` so far (dropped ones
@@ -926,9 +1196,13 @@ impl ShardedService {
         self.shards.iter().map(|s| s.engine.releases()).collect()
     }
 
-    /// Names of the registered consumer queries, in [`QueryId`] order.
-    pub fn query_names(&self) -> &[String] {
-        &self.query_names
+    /// Names of the consumer queries of the epoch currently in force on
+    /// the shard engines (a staged transition takes over at its activation
+    /// window). Aligned with [`MergedRelease::answers_any`] for windows of
+    /// that epoch; use each release's [`WindowRelease::epoch`] /
+    /// [`MergedRelease::epoch`] to interpret historical answers.
+    pub fn query_names(&self) -> Vec<&str> {
+        self.shards[0].engine.query_names()
     }
 
     /// Events sitting in reorder buffers, not yet past the watermark.
@@ -976,6 +1250,7 @@ mod tests {
             streaming: StreamingConfig::tumbling(TimeDelta::from_millis(10)),
             max_delay: TimeDelta::from_millis(5),
             seed: 7,
+            history_window: 16,
         }
     }
 
@@ -1201,12 +1476,16 @@ mod tests {
         assert!(released >= 3);
         // both subjects sit on the single shard: each release charges each
         // subject their own pattern's full ε = 1.0 — and never the other's
-        let spent1 = svc.budget_spent(SubjectId(1), p1).value();
-        let spent2 = svc.budget_spent(SubjectId(2), p2).value();
+        let spent1 = svc.budget_spent(SubjectId(1), p1).unwrap().value();
+        let spent2 = svc.budget_spent(SubjectId(2), p2).unwrap().value();
         assert!((spent1 - released as f64).abs() < 1e-12, "{spent1}");
         assert!((spent2 - released as f64).abs() < 1e-12, "{spent2}");
-        assert_eq!(svc.budget_spent(SubjectId(1), p2), Epsilon::ZERO);
-        assert_eq!(svc.budget_spent(SubjectId(2), p1), Epsilon::ZERO);
+        // the other tenant's pattern is an *unknown key* for this ledger,
+        // not a silent zero
+        assert_eq!(svc.budget_spent(SubjectId(1), p2), None);
+        assert_eq!(svc.budget_spent(SubjectId(2), p1), None);
+        // an unknown subject is unknown too
+        assert_eq!(svc.budget_spent(SubjectId(99), p1), None);
     }
 
     #[test]
@@ -1222,6 +1501,102 @@ mod tests {
             Err(CoreError::InvalidService(_))
         ));
         assert!(matches!(svc.finish(), Err(CoreError::InvalidService(_))));
+    }
+
+    #[test]
+    fn begin_epoch_without_staged_commands_is_none() {
+        let mut svc = builder(2).build().unwrap();
+        assert!(svc.begin_epoch().unwrap().is_none());
+        assert_eq!(svc.epoch(), 0);
+    }
+
+    #[test]
+    fn new_subject_becomes_routable_at_the_next_epoch() {
+        let mut svc = builder(2).build().unwrap();
+        // staged but not yet active: events still rejected
+        svc.register_subject(SubjectId(9));
+        assert!(matches!(
+            svc.push_batch(vec![ke(9, 0, 1)]),
+            Err(CoreError::UnknownSubject(9))
+        ));
+        let transition = svc.begin_epoch().unwrap().expect("staged");
+        assert_eq!(transition.plan.epoch, 1);
+        assert_eq!(transition.activation_index, 0, "nothing released yet");
+        svc.push_batch(vec![ke(9, 0, 1)]).unwrap();
+        assert!(svc.subject_shard(SubjectId(9)).is_some());
+    }
+
+    #[test]
+    fn retired_subjects_are_rejected_and_spend_freezes() {
+        let mut svc = builder(1).build().unwrap();
+        svc.push_batch(vec![ke(2, 3, 5)]).unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(40)).unwrap();
+        let released_before = out.merged.len();
+        assert!(released_before > 0);
+        let p2 = pdp_cep::PatternId(1); // subject 2's single-type pattern
+        let spent_before = svc.budget_spent(SubjectId(2), p2).unwrap();
+        assert!(spent_before.value() > 0.0);
+
+        svc.retire_subject(SubjectId(2)).unwrap();
+        svc.begin_epoch().unwrap().expect("staged");
+        assert!(svc.subject_shard(SubjectId(2)).is_none());
+        assert!(matches!(
+            svc.push_batch(vec![ke(2, 3, 50)]),
+            Err(CoreError::UnknownSubject(2))
+        ));
+        // further releases charge subject 2 nothing; spend stays queryable
+        svc.advance_watermark(Timestamp::from_millis(100)).unwrap();
+        assert_eq!(svc.budget_spent(SubjectId(2), p2), Some(spent_before));
+        assert!(!svc.subjects().contains(&SubjectId(2)));
+    }
+
+    #[test]
+    fn query_churn_changes_answer_shape_at_the_boundary() {
+        let mut svc = builder(1).build().unwrap();
+        svc.push_batch(vec![ke(3, 2, 5)]).unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(25)).unwrap();
+        assert!(out.merged.iter().all(|m| m.answers_any.len() == 1));
+        assert_eq!(svc.query_names(), vec!["t2?"]);
+
+        let (q1, _) = svc.add_consumer_query("t3?", Pattern::single("t3", t(3)));
+        let transition = svc.begin_epoch().unwrap().expect("staged");
+        let boundary = transition.activation_index;
+        let out = svc.advance_watermark(Timestamp::from_millis(65)).unwrap();
+        for m in &out.merged {
+            let expect = if m.index < boundary { 1 } else { 2 };
+            assert_eq!(m.answers_any.len(), expect, "window {}", m.index);
+            assert_eq!(m.epoch, u64::from(m.index >= boundary));
+        }
+        // and the new query can be removed again
+        svc.remove_consumer_query(q1).unwrap();
+        svc.begin_epoch().unwrap().expect("staged");
+        let out = svc.finish().unwrap();
+        assert!(out
+            .merged
+            .iter()
+            .all(|m| m.epoch != 2 || m.answers_any.len() == 1));
+    }
+
+    #[test]
+    fn merged_releases_carry_the_population_union() {
+        let mut svc = builder(2).build().unwrap();
+        svc.push_batch(vec![ke(1, 0, 2), ke(2, 3, 5), ke(3, 2, 5)])
+            .unwrap();
+        let out = svc.advance_watermark(Timestamp::from_millis(25)).unwrap();
+        let w0 = &out.merged[0];
+        // every shard's protected bits OR into the population view; the
+        // uniform PPM only ever flips private types (0, 1, 3), so type 2
+        // is reported exactly
+        assert!(w0.protected_any.get(t(2)));
+        let per_shard_union = out
+            .shard_releases
+            .iter()
+            .filter(|sr| sr.release.index == 0)
+            .fold(pdp_stream::IndicatorVector::empty(4), |mut acc, sr| {
+                acc.union_with(&sr.release.protected);
+                acc
+            });
+        assert_eq!(w0.protected_any, per_shard_union);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!
 //! [`FlipTable`]: crate::protect::FlipTable
 
+use std::collections::VecDeque;
+
 use pdp_cep::{ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
 use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp, TypeMask};
@@ -33,6 +35,21 @@ use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp, TypeMask};
 use crate::engine::TrustedEngine;
 use crate::error::CoreError;
 use crate::protect::ProtectionPipeline;
+
+/// One registered consumer query, carried by the compiled core with its
+/// **stable** [`QueryId`]: under the dynamic control plane queries can be
+/// removed and later windows answer a different (sub)set, so a release's
+/// `answers[i]` is identified by `queries()[i].id`, never by position
+/// alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRef {
+    /// The stable id assigned at registration.
+    pub id: QueryId,
+    /// Display name.
+    pub name: String,
+    /// The target pattern the query asks about.
+    pub pattern: PatternId,
+}
 
 /// The shared online release path: protection, accounting and query
 /// answering for one closed window at a time.
@@ -52,32 +69,57 @@ pub struct OnlineCore {
     /// closed window (sequential composition across releases).
     budgets: Vec<(PatternId, Epsilon)>,
     patterns: PatternSet,
-    queries: Vec<(String, PatternId)>,
-    /// Per registered query (dense, [`QueryId`] order): the query
-    /// pattern's precompiled type mask. Resolved once at setup so
-    /// answering a release is a branch-free subset test per query — no
-    /// map lookups, string keys or panic paths on the hot path.
+    queries: Vec<QueryRef>,
+    /// Per active query (aligned with `queries`): the query pattern's
+    /// precompiled type mask. Resolved once at compile so answering a
+    /// release is a branch-free subset test per query — no map lookups,
+    /// string keys or panic paths on the hot path.
     query_masks: Vec<TypeMask>,
+    /// The control-plane epoch this core was compiled for (0 for the
+    /// static setup-phase build).
+    epoch: u64,
 }
 
 impl OnlineCore {
+    /// The static (setup-phase) form: queries receive dense [`QueryId`]s
+    /// in registration order, epoch 0.
     pub(crate) fn new(
         pipeline: ProtectionPipeline,
         patterns: PatternSet,
         queries: Vec<(String, PatternId)>,
     ) -> Result<Self, CoreError> {
+        let queries = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, pattern))| QueryRef {
+                id: QueryId(i as u32),
+                name,
+                pattern,
+            })
+            .collect();
+        Self::with_queries(pipeline, patterns, queries, 0)
+    }
+
+    /// The dynamic form: the control plane compiles one core per epoch,
+    /// with stable query ids carried through churn.
+    pub(crate) fn with_queries(
+        pipeline: ProtectionPipeline,
+        patterns: PatternSet,
+        queries: Vec<QueryRef>,
+        epoch: u64,
+    ) -> Result<Self, CoreError> {
         let budgets = pipeline.budgets();
         let n_types = pipeline.flip_table().width();
-        // resolve query → pattern references once, at setup: a dangling
+        // resolve query → pattern references once, at compile: a dangling
         // reference is a registration bug and is rejected here instead of
         // panicking per release
         let query_masks = queries
             .iter()
-            .map(|(_, pid)| {
+            .map(|q| {
                 patterns
-                    .get(*pid)
+                    .get(q.pattern)
                     .map(|p| p.type_mask(n_types))
-                    .ok_or(CoreError::UnknownPattern(pid.0))
+                    .ok_or(CoreError::UnknownPattern(q.pattern.0))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(OnlineCore {
@@ -86,6 +128,7 @@ impl OnlineCore {
             patterns,
             queries,
             query_masks,
+            epoch,
         })
     }
 
@@ -99,9 +142,15 @@ impl OnlineCore {
         &self.patterns
     }
 
-    /// The registered consumer queries, in [`QueryId`] order.
-    pub fn queries(&self) -> &[(String, PatternId)] {
+    /// The active consumer queries; a release's `answers[i]` belongs to
+    /// `queries()[i].id`.
+    pub fn queries(&self) -> &[QueryRef] {
         &self.queries
+    }
+
+    /// The control-plane epoch this core was compiled for.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Release one closed window **in place**: apply the precompiled flip
@@ -185,6 +234,9 @@ pub struct WindowRelease {
     pub index: usize,
     /// Start of the released window.
     pub start: Timestamp,
+    /// The control-plane epoch whose compiled plan protected, charged and
+    /// answered this window (0 until the first reconfiguration).
+    pub epoch: u64,
     /// Raw (pre-protection) per-pattern detections from the incremental
     /// detector, indexed by [`PatternId`]. These never leave the trusted
     /// boundary in production — they are the engine-internal truth used for
@@ -215,6 +267,9 @@ pub struct StreamingEngine {
     /// releases on every push, so the per-event steady state performs no
     /// allocation.
     closed_scratch: Vec<ClosedWindow>,
+    /// Epoch switches staged by activation window index: the front plan
+    /// takes over for every release with index `>= at`. Ascending.
+    pending_epochs: VecDeque<(usize, OnlineCore)>,
 }
 
 impl StreamingEngine {
@@ -223,6 +278,13 @@ impl StreamingEngine {
     /// `engine.setup()` has not completed.
     pub fn from_engine(engine: &TrustedEngine, config: StreamingConfig) -> Result<Self, CoreError> {
         let core = engine.online_core().ok_or(CoreError::NotSetUp)?.clone();
+        Self::from_core(core, config)
+    }
+
+    /// Go online directly from a compiled [`OnlineCore`] — the form the
+    /// control plane uses (epoch plans are compiled cores; there is no
+    /// batch engine in the loop).
+    pub fn from_core(core: OnlineCore, config: StreamingConfig) -> Result<Self, CoreError> {
         let n_types = core.pipeline().flip_table().width();
         let detector = IncrementalDetector::new(
             core.patterns().clone(),
@@ -238,7 +300,40 @@ impl StreamingEngine {
             n_types,
             events_seen: 0,
             closed_scratch: Vec::new(),
+            pending_epochs: VecDeque::new(),
         })
+    }
+
+    /// Stage an epoch switch: `core` becomes the protection/answer plan
+    /// for every window with release index `>= at_index`, no matter how
+    /// pushes, heartbeats and gap windows interleave — all engines (and
+    /// all shards of a service) given the same `(at_index, core)` switch
+    /// on the same window, which is what keeps dynamic reconfiguration
+    /// inside the bit-for-bit equivalence anchors.
+    ///
+    /// The new core must cover the same type universe and its pattern set
+    /// must extend the current one (ids are stable; "removal" is
+    /// deactivation in the plan, not deletion from the registry). Rejected
+    /// if `at_index` precedes an already-released window or an
+    /// already-staged switch.
+    pub fn schedule_epoch(&mut self, at_index: usize, core: OnlineCore) -> Result<(), CoreError> {
+        let width = core.pipeline().flip_table().width();
+        if width != self.n_types {
+            return Err(CoreError::WidthMismatch {
+                expected: self.n_types,
+                got: width,
+            });
+        }
+        self.detector
+            .schedule_pattern_update(at_index, core.patterns().clone())
+            .map_err(|e| CoreError::Detection(e.to_string()))?;
+        self.pending_epochs.push_back((at_index, core));
+        Ok(())
+    }
+
+    /// The epoch of the core currently in force (staged switches excluded).
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
     }
 
     /// Push one event (events must arrive in temporal order). Returns the
@@ -347,6 +442,20 @@ impl StreamingEngine {
         row: ClosedWindow,
         rng: &mut DpRng,
     ) -> Result<WindowRelease, CoreError> {
+        // staged epoch switches due at this window take over before it is
+        // protected — mirroring the detector, which swapped its pattern
+        // set at the same index when it closed the row
+        while self
+            .pending_epochs
+            .front()
+            .is_some_and(|(at, _)| *at <= row.index)
+        {
+            self.core = self
+                .pending_epochs
+                .pop_front()
+                .expect("checked non-empty")
+                .1;
+        }
         let mut protected = row.presence;
         self.core
             .release_window_in_place(&mut protected, &mut self.ledger, rng)?;
@@ -354,6 +463,7 @@ impl StreamingEngine {
         Ok(WindowRelease {
             index: row.index,
             start: row.start,
+            epoch: self.core.epoch(),
             raw_detections: row.detections,
             protected,
             answers,
@@ -381,19 +491,19 @@ impl StreamingEngine {
         self.ledger.spent(&id)
     }
 
-    /// Names of the registered queries, in [`QueryId`] order (the order of
-    /// [`WindowRelease::answers`]).
+    /// Names of the active queries, in the order of
+    /// [`WindowRelease::answers`].
     pub fn query_names(&self) -> Vec<&str> {
         self.core
             .queries()
             .iter()
-            .map(|(name, _)| name.as_str())
+            .map(|q| q.name.as_str())
             .collect()
     }
 
-    /// The [`QueryId`] a release's `answers[i]` corresponds to.
+    /// The stable [`QueryId`] a release's `answers[i]` corresponds to.
     pub fn query_id(&self, i: usize) -> Option<QueryId> {
-        (i < self.core.queries().len()).then_some(QueryId(i as u32))
+        self.core.queries().get(i).map(|q| q.id)
     }
 
     /// Width of the event-type universe.
@@ -567,6 +677,80 @@ mod tests {
         assert!(s
             .advance_watermark(Timestamp::from_millis(5), &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn scheduled_epoch_switches_on_its_window() {
+        let mut s = streaming(PpmKind::PassThrough);
+        // a grown epoch-1 core: same patterns plus one more target query
+        let mut engine_b = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 4,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::PassThrough,
+        });
+        engine_b.register_private_pattern(Pattern::seq("priv", vec![t(0), t(1)]).unwrap());
+        engine_b.register_target_query("t2?", Pattern::single("t2", t(2)));
+        engine_b.register_target_query("t3?", Pattern::single("t3", t(3)));
+        engine_b.setup().unwrap();
+        let base = engine_b.online_core().unwrap();
+        let core_b = OnlineCore::with_queries(
+            base.pipeline().clone(),
+            base.patterns().clone(),
+            base.queries().to_vec(),
+            1,
+        )
+        .unwrap();
+        s.schedule_epoch(1, core_b).unwrap();
+        assert_eq!(s.epoch(), 0, "switch is staged, not applied");
+
+        let mut rng = DpRng::seed_from(5);
+        let mut releases = s.push(&e(2, 1), &mut rng).unwrap();
+        releases.extend(s.push(&e(3, 15), &mut rng).unwrap());
+        releases.extend(
+            s.advance_watermark(Timestamp::from_millis(30), &mut rng)
+                .unwrap(),
+        );
+        assert_eq!(releases.len(), 3);
+        // window 0 still answers under the old plan; 1 and 2 under the new
+        assert_eq!(releases[0].epoch, 0);
+        assert_eq!(releases[0].answers, vec![true]);
+        assert_eq!(releases[1].epoch, 1);
+        assert_eq!(releases[1].answers, vec![false, true]);
+        assert_eq!(releases[2].epoch, 1);
+        assert_eq!(releases[2].answers, vec![false, false]);
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.query_names(), vec!["t2?", "t3?"]);
+        assert_eq!(s.query_id(1), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn scheduled_epoch_validation() {
+        let mut s = streaming(PpmKind::PassThrough);
+        let mut rng = DpRng::seed_from(1);
+        s.push(&e(0, 1), &mut rng).unwrap();
+        s.push(&e(0, 25), &mut rng).unwrap(); // windows 0, 1 released
+        let core = s.core().clone();
+        // behind the release frontier
+        assert!(s.schedule_epoch(1, core.clone()).is_err());
+        assert!(s.schedule_epoch(2, core.clone()).is_ok());
+        // staged switches must not regress either
+        assert!(s.schedule_epoch(1, core).is_err());
+        // a core over a different type universe is rejected
+        let mut narrow = TrustedEngine::new(TrustedEngineConfig {
+            n_types: 2,
+            alpha: Alpha::HALF,
+            ppm: PpmKind::PassThrough,
+        });
+        narrow.register_target_query("t0?", Pattern::single("t0", t(0)));
+        narrow.setup().unwrap();
+        let narrow_core = narrow.online_core().unwrap().clone();
+        assert!(matches!(
+            s.schedule_epoch(5, narrow_core),
+            Err(CoreError::WidthMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
     }
 
     #[test]

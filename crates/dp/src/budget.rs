@@ -6,7 +6,7 @@
 //! [`BudgetLedger`] tracks cumulative spend per protected entity.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -214,6 +214,183 @@ impl<K: Eq + Hash + Clone> BudgetLedger<K> {
     }
 }
 
+/// Epoch-aware accounting for a dynamic control plane.
+///
+/// A [`BudgetLedger`] only answers "how much has this key spent in total";
+/// a service whose protection is *reconfigured at runtime* (pattern churn,
+/// adaptive re-distribution) additionally needs, per protected key:
+///
+/// * a **registered cap** — the pattern-level budget `ε` declared at
+///   registration. Re-distribution (Algorithm 1) may move shares between a
+///   pattern's elements across epochs, but **no single release may ever
+///   charge more than the registered budget** — the invariant this ledger
+///   enforces at charge time, so a buggy re-compile cannot silently
+///   over-spend a tenant;
+/// * **per-epoch spend** — which reconfiguration interval the exposure
+///   happened in (sequential composition still adds across epochs);
+/// * **retirement** — a revoked pattern stops charging immediately but its
+///   recorded spend is frozen, never refunded: the information already
+///   released stays released.
+#[derive(Debug, Clone)]
+pub struct EpochLedger<K: Eq + Hash> {
+    /// Per-release cap per key (`None` value is impossible — registration
+    /// is explicit).
+    caps: HashMap<K, Epsilon>,
+    /// Keys whose charging has been stopped, with the first epoch the stop
+    /// applies to: releases of *earlier* epochs may still settle late
+    /// (epoch activation lies at a window boundary in the future), so
+    /// retirement is an epoch fence, not a wall-clock switch. Spend stays
+    /// on the books.
+    retired_from: HashMap<K, u64>,
+    /// Cumulative spend per key per epoch (`BTreeMap` so per-key epoch
+    /// iteration is ordered and deterministic).
+    per_epoch: HashMap<K, BTreeMap<u64, Epsilon>>,
+}
+
+impl<K: Eq + Hash + Clone> EpochLedger<K> {
+    /// An empty ledger: every key must be registered before it can charge.
+    pub fn new() -> Self {
+        EpochLedger {
+            caps: HashMap::new(),
+            retired_from: HashMap::new(),
+            per_epoch: HashMap::new(),
+        }
+    }
+
+    /// Register `key` with its per-release cap (the pattern-level budget).
+    /// Registering an existing key re-activates it (lifts any retirement
+    /// fence) but must not change the cap — a silent cap change would
+    /// rewrite history.
+    pub fn register(&mut self, key: K, cap: Epsilon) -> Result<(), DpError> {
+        if let Some(&existing) = self.caps.get(&key) {
+            if (existing.value() - cap.value()).abs() > 1e-12 {
+                return Err(DpError::InvalidParameter(format!(
+                    "key re-registered with cap {} != original {}",
+                    cap.value(),
+                    existing.value()
+                )));
+            }
+        } else {
+            self.caps.insert(key.clone(), cap);
+        }
+        self.retired_from.remove(&key);
+        Ok(())
+    }
+
+    /// Stop charging `key` for epochs `>= from_epoch` (revocation takes
+    /// effect with the epoch that dropped the key; earlier epochs'
+    /// releases may still settle). Spend recorded so far is kept —
+    /// revocation never refunds. An existing earlier fence is kept;
+    /// unknown keys are a no-op.
+    pub fn retire(&mut self, key: &K, from_epoch: u64) {
+        if self.caps.contains_key(key) {
+            let fence = self.retired_from.entry(key.clone()).or_insert(from_epoch);
+            *fence = (*fence).min(from_epoch);
+        }
+    }
+
+    /// True if `key` is registered with no retirement fence.
+    pub fn is_active(&self, key: &K) -> bool {
+        self.caps.contains_key(key) && !self.retired_from.contains_key(key)
+    }
+
+    /// The registered per-release cap, or `None` for unknown keys.
+    pub fn cap(&self, key: &K) -> Option<Epsilon> {
+        self.caps.get(key).copied()
+    }
+
+    /// Charge `times` releases of `amount` against `key` in `epoch`.
+    ///
+    /// Refused (ledger untouched) when `key` is unregistered, when
+    /// `epoch` lies at or past `key`'s retirement fence, or when `amount`
+    /// exceeds the registered cap — each release's charge is the
+    /// pattern's whole per-release distribution total, so the cap check
+    /// is exactly the "re-distribution must conserve `Σεᵢ = ε`"
+    /// enforcement.
+    pub fn charge_releases(
+        &mut self,
+        key: K,
+        epoch: u64,
+        amount: Epsilon,
+        times: usize,
+    ) -> Result<(), DpError> {
+        if times == 0 {
+            return Ok(());
+        }
+        let Some(&cap) = self.caps.get(&key) else {
+            return Err(DpError::InvalidParameter(
+                "charge for an unregistered key".into(),
+            ));
+        };
+        if self.retired_from.get(&key).is_some_and(|&r| epoch >= r) {
+            return Err(DpError::InvalidParameter("charge for a retired key".into()));
+        }
+        if amount.value() > cap.value() + 1e-12 {
+            return Err(DpError::BudgetExhausted {
+                requested: amount.value(),
+                remaining: cap.value(),
+            });
+        }
+        let slot = self
+            .per_epoch
+            .entry(key)
+            .or_default()
+            .entry(epoch)
+            .or_insert(Epsilon::ZERO);
+        for _ in 0..times {
+            *slot += amount;
+        }
+        Ok(())
+    }
+
+    /// Total spend of `key` across every epoch, or `None` if `key` was
+    /// never registered (unknown-key behaviour is explicit, not zero).
+    pub fn try_spent(&self, key: &K) -> Option<Epsilon> {
+        self.caps.get(key)?;
+        Some(
+            self.per_epoch
+                .get(key)
+                .map(|by| by.values().fold(Epsilon::ZERO, |acc, &e| acc + e))
+                .unwrap_or(Epsilon::ZERO),
+        )
+    }
+
+    /// Spend of `key` inside one epoch (`None` for unregistered keys).
+    pub fn spent_in_epoch(&self, key: &K, epoch: u64) -> Option<Epsilon> {
+        self.caps.get(key)?;
+        Some(
+            self.per_epoch
+                .get(key)
+                .and_then(|by| by.get(&epoch).copied())
+                .unwrap_or(Epsilon::ZERO),
+        )
+    }
+
+    /// The epochs in which `key` spent anything, ascending.
+    pub fn epochs(&self, key: &K) -> Vec<u64> {
+        self.per_epoch
+            .get(key)
+            .map(|by| by.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Every registered key (retired ones included), in arbitrary order.
+    pub fn keys(&self) -> Vec<K> {
+        self.caps.keys().cloned().collect()
+    }
+
+    /// Number of registered keys.
+    pub fn registered_keys(&self) -> usize {
+        self.caps.len()
+    }
+}
+
+impl<K: Eq + Hash + Clone> Default for EpochLedger<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,7 +496,106 @@ mod tests {
         assert_eq!(ledger.remaining(&0), None);
     }
 
+    #[test]
+    fn epoch_ledger_requires_registration_and_enforces_caps() {
+        let mut ledger = EpochLedger::new();
+        let eps1 = Epsilon::new(1.0).unwrap();
+        assert!(ledger.charge_releases("p", 0, eps1, 1).is_err());
+        assert_eq!(ledger.try_spent(&"p"), None, "unknown key is explicit");
+        ledger.register("p", eps1).unwrap();
+        assert_eq!(ledger.try_spent(&"p"), Some(Epsilon::ZERO));
+        ledger.charge_releases("p", 0, eps1, 3).unwrap();
+        assert!((ledger.try_spent(&"p").unwrap().value() - 3.0).abs() < 1e-12);
+        // a single release may never exceed the registered pattern budget
+        let err = ledger
+            .charge_releases("p", 1, Epsilon::new(1.5).unwrap(), 1)
+            .unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        // the refused charge left nothing behind
+        assert_eq!(ledger.spent_in_epoch(&"p", 1), Some(Epsilon::ZERO));
+        // re-registering with a different cap is rejected
+        assert!(ledger.register("p", Epsilon::new(2.0).unwrap()).is_err());
+        assert!(ledger.register("p", eps1).is_ok());
+    }
+
+    #[test]
+    fn epoch_ledger_retirement_freezes_spend() {
+        let mut ledger = EpochLedger::new();
+        let eps = Epsilon::new(0.5).unwrap();
+        ledger.register(7u32, eps).unwrap();
+        ledger.charge_releases(7, 0, eps, 4).unwrap();
+        // revoked with epoch 1: the fence stops epoch >= 1 …
+        ledger.retire(&7, 1);
+        assert!(!ledger.is_active(&7));
+        assert!(ledger.charge_releases(7, 1, eps, 1).is_err());
+        // … but epoch-0 releases that settle late still charge epoch 0
+        ledger.charge_releases(7, 0, eps, 1).unwrap();
+        // spend stays on the books — revocation never refunds
+        assert!((ledger.try_spent(&7).unwrap().value() - 2.5).abs() < 1e-12);
+        // re-registration lifts the fence at the same cap
+        ledger.register(7, eps).unwrap();
+        ledger.charge_releases(7, 2, eps, 1).unwrap();
+        assert_eq!(ledger.epochs(&7), vec![0, 2]);
+        // retiring an unknown key is a no-op
+        ledger.retire(&9, 0);
+        assert!(!ledger.is_active(&9));
+        assert_eq!(ledger.try_spent(&9), None);
+    }
+
     proptest! {
+        /// The dynamic-setting budget property: across arbitrary epoch
+        /// schedules (charges, retirements, re-activations), (a) no single
+        /// release ever charges more than the registered pattern budget,
+        /// (b) total spend is exactly the sum of the per-epoch spends, and
+        /// (c) spend recorded before a retirement survives it.
+        #[test]
+        fn epoch_ledger_conserves_across_epochs(
+            cap in 0.1f64..4.0,
+            schedule in proptest::collection::vec(
+                (0u64..6, 0.0f64..5.0, 1usize..4, any::<bool>()), 1..40),
+        ) {
+            let cap = Epsilon::new(cap).unwrap();
+            let mut ledger = EpochLedger::new();
+            ledger.register("k", cap).unwrap();
+            let mut expected = 0.0f64;
+            let mut frozen_floor = 0.0f64;
+            let mut fence: Option<u64> = None;
+            for (epoch, amount, times, toggle_retire) in schedule {
+                let amount = Epsilon::new(amount).unwrap();
+                let result = ledger.charge_releases("k", epoch, amount, times);
+                let fenced = fence.is_some_and(|r| epoch >= r);
+                if !fenced && amount.value() <= cap.value() + 1e-12 {
+                    prop_assert!(result.is_ok());
+                    for _ in 0..times {
+                        expected += amount.value();
+                    }
+                } else {
+                    // over-cap or past the retirement fence: refused,
+                    // nothing recorded
+                    prop_assert!(result.is_err());
+                }
+                if toggle_retire {
+                    if fence.is_none() {
+                        ledger.retire(&"k", epoch);
+                        fence = Some(epoch);
+                        frozen_floor = expected;
+                    } else {
+                        ledger.register("k", cap).unwrap();
+                        fence = None;
+                    }
+                }
+                let total = ledger.try_spent(&"k").unwrap().value();
+                let per_epoch_sum: f64 = ledger
+                    .epochs(&"k")
+                    .iter()
+                    .map(|&e| ledger.spent_in_epoch(&"k", e).unwrap().value())
+                    .sum();
+                prop_assert!((total - per_epoch_sum).abs() < 1e-9);
+                prop_assert!((total - expected).abs() < 1e-9);
+                prop_assert!(total + 1e-9 >= frozen_floor, "retirement refunded spend");
+            }
+        }
+
         #[test]
         fn split_even_conserves(total in 0.0f64..100.0, n in 1usize..50) {
             let e = Epsilon::new(total).unwrap();

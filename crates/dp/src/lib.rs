@@ -26,7 +26,7 @@ pub mod rng;
 pub mod rr;
 pub mod svt;
 
-pub use budget::{BudgetLedger, Epsilon};
+pub use budget::{BudgetLedger, EpochLedger, Epsilon};
 pub use composition::{Accountant, CompositionKind, SlidingWindowAccountant};
 pub use error::DpError;
 pub use exponential::Exponential;

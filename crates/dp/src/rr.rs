@@ -41,6 +41,17 @@
 //! quantization of `2^-64` (tighter than the `f64` comparison it
 //! replaces); the statistical property tests in `pdp_core::protect`
 //! verify the word path reproduces the scalar path's marginal flip rate.
+//!
+//! **Epoch rebuilds.** Under the dynamic control plane
+//! (`pdp_core::control`) the flip plan is *recompiled per epoch*: pattern
+//! churn and adaptive re-distribution change the table, so the class
+//! grouping — and with it the number and order of raw draws per window —
+//! changes at the epoch's activation window. That is inside the
+//! contract, not a violation of it: the draw order is defined *per
+//! compiled plan*, every engine switches plans on the same window index,
+//! and the per-window draw sequence is a pure function of (plan, window)
+//! — which is exactly why N shards under churn stay bit-for-bit equal to
+//! N independent engines replaying the same command schedule.
 
 use serde::{Deserialize, Serialize};
 

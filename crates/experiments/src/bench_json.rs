@@ -45,6 +45,10 @@ pub struct BenchJsonConfig {
     pub out: String,
     /// Smoke mode: tiny workload, 1 rep (CI validation).
     pub smoke: bool,
+    /// Also measure the `--churn` scenario: ingest throughput under
+    /// periodic control-plane epoch transitions (pattern churn +
+    /// `begin_epoch` every few batches).
+    pub churn: bool,
 }
 
 impl BenchJsonConfig {
@@ -56,6 +60,7 @@ impl BenchJsonConfig {
             reps: 3,
             out: "BENCH_hotpath.json".to_owned(),
             smoke: false,
+            churn: false,
         }
     }
 
@@ -67,6 +72,7 @@ impl BenchJsonConfig {
             reps: 1,
             out: "BENCH_hotpath.json".to_owned(),
             smoke: true,
+            churn: false,
         }
     }
 }
@@ -108,6 +114,10 @@ pub struct BenchReport {
     /// Release path: aggregate windows/s (summed over shards) released by
     /// heartbeats on a quiet service.
     pub release: Vec<BenchCell>,
+    /// Ingest throughput under periodic epoch transitions (the `--churn`
+    /// scenario); absent when the runner was invoked without `--churn`,
+    /// so artifacts written before the scenario existed keep parsing.
+    pub churn: Option<Vec<BenchCell>>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -131,6 +141,7 @@ fn service(n_shards: usize) -> Result<ShardedService, CoreError> {
         streaming: StreamingConfig::tumbling(WINDOW),
         max_delay: MAX_DELAY,
         seed: 1234,
+        history_window: 0,
     })?;
     for s in 0..N_SUBJECTS {
         builder.register_subject(SubjectId(s));
@@ -213,12 +224,63 @@ fn measure_release(n_shards: usize, n_windows: usize, reps: usize) -> Result<Ben
     })
 }
 
+/// The `--churn` scenario: the same ingest workload, but every few
+/// batches one tenant registers a fresh private pattern, the previous
+/// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
+/// plan — measuring what periodic control-plane reconfiguration costs the
+/// ingest hot path.
+fn measure_churn(
+    n_shards: usize,
+    events: &[KeyedEvent],
+    reps: usize,
+) -> Result<BenchCell, CoreError> {
+    let proto = service(n_shards)?;
+    let n_batches = events.len().div_ceil(BATCH);
+    // ~5 transitions per run regardless of workload size
+    let period = (n_batches / 5).max(1);
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut svc = proto.clone();
+        let mut last_churn_pid = None;
+        let mut step = 0u32;
+        let start = Instant::now();
+        for (b, chunk) in events.chunks(BATCH).enumerate() {
+            if b > 0 && b % period == 0 {
+                let churner = SubjectId(1); // a registered, pattern-less tenant
+                let a = EventType(step % N_TYPES as u32);
+                let z = EventType((step + 3) % N_TYPES as u32);
+                let pid = svc.register_private_pattern(
+                    churner,
+                    Pattern::seq(&format!("churn{step}"), vec![a, z]).expect("non-empty pattern"),
+                );
+                if let Some(old) = last_churn_pid.replace(pid) {
+                    svc.revoke_private_pattern(churner, old)?;
+                }
+                svc.begin_epoch()?.expect("commands staged");
+                step += 1;
+            }
+            svc.push_batch(chunk.to_vec())?;
+        }
+        svc.finish()?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+    }
+    let units = events.len() as u64;
+    Ok(BenchCell {
+        shards: n_shards,
+        units,
+        best_ms,
+        per_sec: units as f64 / (best_ms / 1e3),
+    })
+}
+
 /// Run every cell, write the report, then re-read and parse it (the CI
 /// validation: a malformed artifact fails the run, not a later consumer).
 pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     let events = arrivals(config.n_events);
     let mut ingest = Vec::new();
     let mut release = Vec::new();
+    let mut churn = config.churn.then(Vec::new);
     for &n_shards in &SHARD_COUNTS {
         eprintln!(
             "bench-json: ingest @ {n_shards} shard(s), {} events…",
@@ -233,6 +295,13 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             measure_release(n_shards, config.n_release_windows, config.reps)
                 .map_err(|e| e.to_string())?,
         );
+        if let Some(cells) = churn.as_mut() {
+            eprintln!(
+                "bench-json: churn ingest @ {n_shards} shard(s), {} events…",
+                events.len()
+            );
+            cells.push(measure_churn(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
+        }
     }
     let baseline = (!config.smoke).then(|| BenchBaseline {
         note: "unmodified main before the hot-path overhaul: criterion bench \
@@ -245,6 +314,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         smoke: config.smoke,
         ingest,
         release,
+        churn,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -256,6 +326,14 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         .map_err(|e| format!("{} is not valid JSON: {e}", config.out))?;
     if parsed.ingest.len() != SHARD_COUNTS.len() || parsed.release.len() != SHARD_COUNTS.len() {
         return Err(format!("{} round-trip lost cells", config.out));
+    }
+    if config.churn
+        && parsed
+            .churn
+            .as_ref()
+            .is_none_or(|cells| cells.len() != SHARD_COUNTS.len())
+    {
+        return Err(format!("{} round-trip lost churn cells", config.out));
     }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
@@ -281,6 +359,7 @@ mod tests {
         assert!(report.smoke);
         assert_eq!(report.ingest.len(), 3);
         assert_eq!(report.release.len(), 3);
+        assert!(report.churn.is_none(), "churn is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -290,5 +369,41 @@ mod tests {
         let value: serde_json::Value = serde_json::from_str(&raw).unwrap();
         assert_eq!(value.get("bench").and_then(|b| b.as_str()), Some("hotpath"));
         std::fs::remove_file(&config.out).ok();
+    }
+
+    #[test]
+    fn churn_cells_measure_epoch_transitions() {
+        let mut config = BenchJsonConfig::smoke();
+        config.n_events = 2_100; // > 4 batches so the churn period fires
+        config.n_release_windows = 3;
+        config.churn = true;
+        let dir = std::env::temp_dir().join("pdp_bench_json_churn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        let churn = report.churn.expect("churn cells requested");
+        assert_eq!(churn.len(), SHARD_COUNTS.len());
+        for (cell, &shards) in churn.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(cell.shards, shards);
+            assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
+            assert_eq!(cell.units, 2_100);
+        }
+        std::fs::remove_file(&config.out).ok();
+    }
+
+    /// The committed artifact (written before the churn scenario existed)
+    /// must keep parsing under the extended schema.
+    #[test]
+    fn legacy_artifact_without_churn_still_parses() {
+        let legacy = r#"{"bench":"hotpath","smoke":true,
+            "ingest":[{"shards":1,"units":10,"best_ms":1.0,"per_sec":10000.0}],
+            "release":[{"shards":1,"units":5,"best_ms":1.0,"per_sec":5000.0}],
+            "baseline":null}"#;
+        let parsed: BenchReport = serde_json::from_str(legacy).expect("legacy schema parses");
+        assert!(parsed.churn.is_none());
+        assert!(parsed.baseline.is_none());
     }
 }

@@ -4,7 +4,7 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
+//! experiments bench-json [--smoke] [--churn] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -58,6 +58,12 @@ fn main() {
                     for cell in &report.release {
                         println!(
                             "release {} shard(s): {:>12.0} windows/s",
+                            cell.shards, cell.per_sec
+                        );
+                    }
+                    for cell in report.churn.iter().flatten() {
+                        println!(
+                            "churn   {} shard(s): {:>12.0} events/s (periodic epoch transitions)",
                             cell.shards, cell.per_sec
                         );
                     }
@@ -154,6 +160,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     } else {
         BenchJsonConfig::full()
     };
+    config.churn = args.iter().any(|a| a == "--churn");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

@@ -69,6 +69,8 @@ pub fn service_for_workload(
         streaming: StreamingConfig::tumbling(REPLAY_WINDOW),
         max_delay: TimeDelta::ZERO,
         seed,
+        // replays are static (no epoch transitions): no sliding history
+        history_window: 0,
     })?;
     for ty in 0..workload.n_types {
         builder.register_subject(SubjectId(ty as u64));

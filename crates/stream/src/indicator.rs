@@ -186,6 +186,17 @@ impl IndicatorVector {
     pub fn clear(&mut self) {
         self.words.fill(0);
     }
+
+    /// OR every bit of `other` into `self` — the population-level merge of
+    /// per-shard views of the same window ("present anywhere"). Widths must
+    /// match; word-parallel, no allocation.
+    #[inline]
+    pub fn union_with(&mut self, other: &IndicatorVector) {
+        debug_assert_eq!(self.n_types, other.n_types, "union over one universe");
+        for (mine, theirs) in self.words.iter_mut().zip(&other.words) {
+            *mine |= theirs;
+        }
+    }
 }
 
 impl Serialize for IndicatorVector {
@@ -417,6 +428,18 @@ mod tests {
     use super::*;
     use crate::time::{TimeDelta, Timestamp};
     use proptest::prelude::*;
+
+    #[test]
+    fn union_with_is_bitwise_or() {
+        let mut a = IndicatorVector::from_present([EventType(0), EventType(70)], 130);
+        let b = IndicatorVector::from_present([EventType(0), EventType(5), EventType(129)], 130);
+        a.union_with(&b);
+        for ty in [0u32, 5, 70, 129] {
+            assert!(a.get(EventType(ty)), "type {ty}");
+        }
+        assert!(!a.get(EventType(1)));
+        assert_eq!(a.count_present(), 4);
+    }
 
     fn e(ty: u32, ms: i64) -> Event {
         Event::new(EventType(ty), Timestamp::from_millis(ms))

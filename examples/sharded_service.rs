@@ -6,6 +6,11 @@
 //! consumer reads the *merged* (population-level) protected answers; and
 //! every subject's pattern-level ε spend is accounted in their own ledger.
 //!
+//! Mid-stream, the **control plane** reconfigures the live service: a new
+//! tenant joins with a private pattern, an existing tenant withdraws
+//! theirs, and `begin_epoch` compiles the staged commands into a plan all
+//! shards switch to on one window boundary.
+//!
 //! Run with: `cargo run --example sharded_service`
 
 use pattern_dp_repro::cep::Pattern;
@@ -35,6 +40,7 @@ fn main() {
         streaming: StreamingConfig::tumbling(TimeDelta::from_secs(60)),
         max_delay: TimeDelta::from_secs(10),
         seed: 7,
+        history_window: 64,
     })
     .expect("valid service config");
 
@@ -71,11 +77,35 @@ fn main() {
     let mut rng = DpRng::seed_from(42);
     let mut clock = 0i64;
     let mut merged_windows = 0usize;
+    let dana = SubjectId(47);
+    let mut dana_pattern = None;
+    let mut tenants = vec![alice, bo, carol];
     for batch_no in 0..6 {
+        // ---- runtime churn: after the third batch, reconfigure live ----
+        if batch_no == 3 {
+            // a new tenant joins with their own private pattern …
+            dana_pattern = Some(
+                service
+                    .register_private_pattern(dana, Pattern::single("room-presence", ROOM_MOTION)),
+            );
+            // … and bo withdraws theirs (spend stays on the books)
+            service
+                .revoke_private_pattern(bo, bo_pattern)
+                .expect("bo owns the pattern");
+            let transition = service
+                .begin_epoch()
+                .expect("transition compiles")
+                .expect("commands were staged");
+            println!(
+                "\nepoch {} begins at window {} (all shards switch together)\n",
+                transition.plan.epoch, transition.activation_index
+            );
+            tenants.push(dana);
+        }
         let mut batch = Vec::new();
         for _ in 0..40 {
             clock += 1_500; // ~1.5 s between readings
-            let subject = [alice, bo, carol][rng.below(3)];
+            let subject = tenants[rng.below(tenants.len())];
             let ty = EventType(rng.below(5) as u32);
             // up to 8 s of delivery jitter — inside the 10 s bound
             let jitter = rng.below(8_000) as i64;
@@ -89,9 +119,10 @@ fn main() {
         for m in &out.merged {
             if m.answers_any[hvac_q.0 as usize] {
                 println!(
-                    "batch {batch_no}: window {} — HVAC ran while occupied \
+                    "batch {batch_no}: window {} (epoch {}) — HVAC ran while occupied \
                      (on {} of {} shards)",
                     m.index,
+                    m.epoch,
                     m.positive_shards[hvac_q.0 as usize],
                     service.n_shards()
                 );
@@ -108,16 +139,26 @@ fn main() {
         service.dropped()
     );
     println!("released {merged_windows} merged (population-level) windows");
+    let spent = |subject: SubjectId, pattern| {
+        service
+            .budget_spent(subject, pattern)
+            .map(|e| format!("ε = {:.2}", e.value()))
+            .unwrap_or_else(|| "no such ledger entry".to_owned())
+    };
     println!(
-        "alice spent ε = {:.2} on 'leaves-office' (her ledger only)",
-        service.budget_spent(alice, alice_pattern).value(),
+        "alice spent {} on 'leaves-office' (her ledger only)",
+        spent(alice, alice_pattern)
     );
     println!(
-        "bo    spent ε = {:.2} on 'door-activity'",
-        service.budget_spent(bo, bo_pattern).value(),
+        "bo    spent {} on 'door-activity' (frozen at revocation, never refunded)",
+        spent(bo, bo_pattern)
     );
     println!(
-        "carol spent ε = {:.2} (no private pattern registered)",
-        service.budget_spent(carol, alice_pattern).value()
+        "dana  spent {} on 'room-presence' (charged only since epoch 1)",
+        spent(dana, dana_pattern.expect("registered in the churn step"))
+    );
+    println!(
+        "carol: {} (no private pattern registered)",
+        spent(carol, alice_pattern)
     );
 }

@@ -1,12 +1,18 @@
 //! Integration tests for the future-work extensions (§V / §V-C) on a real
 //! generated workload: categorical answers, count queries and correlation
-//! widening all riding on one protected view.
+//! widening all riding on one protected view — including a protected view
+//! produced by the *real online release path* (the sharded service), not
+//! just a batch-protected history.
 
+use pattern_dp_repro::cep::Pattern;
 use pattern_dp_repro::core::{
-    find_correlates, CategoricalQuery, CountQuery, Mechanism, NoisyArgmax, ProtectionPipeline,
+    find_correlates, CategoricalQuery, CountQuery, KeyedEvent, Mechanism, NoisyArgmax, PpmKind,
+    ProtectionPipeline, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId,
 };
 use pattern_dp_repro::datasets::{SyntheticConfig, SyntheticDataset};
 use pattern_dp_repro::dp::{DpRng, Epsilon};
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{Event, EventType, TimeDelta, Timestamp, WindowedIndicators};
 
 fn workload() -> pattern_dp_repro::datasets::Workload {
     SyntheticDataset::generate(
@@ -109,6 +115,111 @@ fn noisy_argmax_tracks_true_argmax_at_high_budget() {
             }
         }
         assert!(hits > 45, "argmax hit only {hits}/60 at ε = 8");
+    }
+}
+
+/// The extension queries answered on a protected view produced by the
+/// **sharded online release path**: a 2-shard service ingests keyed
+/// events, the population-level merged windows (`protected_any`) become
+/// the consumer-side history, and `CountQuery` / `CategoricalQuery` /
+/// `NoisyArgmax` post-process it. Unprotected types pass through the flip
+/// table untouched, so their answers are checked *exactly* against the
+/// raw schedule — end-to-end, not unit-level.
+#[test]
+fn extension_queries_ride_the_real_sharded_release_path() {
+    const WINDOW_MS: i64 = 10;
+    let t = EventType;
+    let mut b = ServiceBuilder::new(ServiceConfig {
+        n_shards: 2,
+        n_types: 4,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_millis(WINDOW_MS)),
+        max_delay: TimeDelta::from_millis(4),
+        seed: 31,
+        history_window: 0,
+    })
+    .unwrap();
+    // subject 1 protects type 0; types 1..=3 are uncorrelated and exact
+    b.register_private_pattern(SubjectId(1), Pattern::single("p0", t(0)));
+    b.register_subject(SubjectId(2));
+    let (_, busy) = b.register_target_query("busy?", Pattern::single("busy", t(2)));
+    let quiet = b.register_pattern(Pattern::single("quiet", t(3)));
+    let mut svc = b.build().unwrap();
+
+    // a deterministic schedule: "busy" (type 2) in windows 0, 1, 3;
+    // "quiet" (type 3) in window 2 only; type 0 noise throughout
+    let busy_windows = [0i64, 1, 3];
+    let mut batch = Vec::new();
+    for w in 0..5i64 {
+        batch.push(KeyedEvent::new(
+            SubjectId(1),
+            Event::new(t(0), Timestamp::from_millis(w * WINDOW_MS + 1)),
+        ));
+        if busy_windows.contains(&w) {
+            batch.push(KeyedEvent::new(
+                SubjectId(2),
+                Event::new(t(2), Timestamp::from_millis(w * WINDOW_MS + 2)),
+            ));
+        }
+        if w == 2 {
+            batch.push(KeyedEvent::new(
+                SubjectId(2),
+                Event::new(t(3), Timestamp::from_millis(w * WINDOW_MS + 2)),
+            ));
+        }
+    }
+    let mut merged = Vec::new();
+    let out = svc.push_batch(batch).unwrap();
+    merged.extend(out.merged);
+    merged.extend(svc.finish().unwrap().merged);
+    assert_eq!(merged.len(), 5, "one merged window per scheduled window");
+
+    // the consumer-side protected history is the population-level union
+    let protected =
+        WindowedIndicators::new(merged.iter().map(|m| m.protected_any.clone()).collect());
+    let patterns = svc.control().patterns();
+
+    // CountQuery: trailing-2 counts of the unprotected "busy" pattern are
+    // exact — [1, 2, 1, 1, 1] for hits in windows 0, 1, 3
+    let count = CountQuery::new(busy, 2).unwrap();
+    assert_eq!(
+        count.answer(patterns, &protected).unwrap(),
+        vec![1, 2, 1, 1, 1]
+    );
+    assert_eq!(
+        count.answer_thresholded(patterns, &protected, 2).unwrap(),
+        vec![false, true, false, false, false]
+    );
+
+    // CategoricalQuery: first detected option wins, fallback otherwise
+    let cat = CategoricalQuery::new(vec![("busy".into(), busy), ("quiet".into(), quiet)], "idle")
+        .unwrap();
+    assert_eq!(
+        cat.answer(patterns, &protected).unwrap(),
+        vec!["busy", "busy", "quiet", "busy", "idle"]
+    );
+
+    // NoisyArgmax at high budget tracks the true argmax ("busy": 3 vs 1)
+    let argmax = NoisyArgmax::new(vec![("busy".into(), busy), ("quiet".into(), quiet)]).unwrap();
+    let mut rng = DpRng::seed_from(5);
+    let mut hits = 0;
+    for _ in 0..50 {
+        if argmax
+            .select(patterns, &protected, Epsilon::new(8.0).unwrap(), &mut rng)
+            .unwrap()
+            == "busy"
+        {
+            hits += 1;
+        }
+    }
+    assert!(hits > 40, "argmax hit only {hits}/50 at ε = 8");
+
+    // and the released answers agree with the merged view's query bits
+    for (m, w) in merged.iter().zip(0i64..) {
+        assert_eq!(m.answers_any[0], busy_windows.contains(&w), "window {w}");
     }
 }
 

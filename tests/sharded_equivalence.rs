@@ -7,10 +7,11 @@
 //!   N independent engines, each consuming its partition in timestamp order
 //!   and sharing the service's global watermark frontier.
 
-use pattern_dp_repro::cep::Pattern;
+use pattern_dp_repro::cep::{Pattern, PatternId, QueryId};
 use pattern_dp_repro::core::{
-    KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig,
-    StreamingEngine, SubjectId, TrustedEngine, TrustedEngineConfig, WindowRelease,
+    ControlPlane, ControlPlaneConfig, KeyedEvent, OnlineCore, PpmKind, ServiceBuilder,
+    ServiceConfig, ShardedService, StreamingConfig, StreamingEngine, SubjectId, TrustedEngine,
+    TrustedEngineConfig, WindowRelease,
 };
 use pattern_dp_repro::dp::{DpRng, Epsilon};
 use pattern_dp_repro::metrics::Alpha;
@@ -36,6 +37,7 @@ fn config(n_shards: usize, seed: u64) -> ServiceConfig {
         streaming: StreamingConfig::tumbling(WINDOW),
         max_delay: MAX_DELAY,
         seed,
+        history_window: 32,
     }
 }
 
@@ -232,6 +234,205 @@ fn forced_parallel_workers_match_independent_engines() {
         let reference = drive_reference(&partition, end, ShardedService::shard_seed(seed, shard));
         assert_eq!(got_releases, &reference, "shard {shard}");
     }
+}
+
+/// A [`ControlPlane`] staged with exactly the same schedule as
+/// [`register_service`] — the reference side of "N independent engines
+/// replaying the same command schedule".
+fn reference_control() -> ControlPlane {
+    let mut cp = ControlPlane::new(ControlPlaneConfig {
+        n_types: N_TYPES,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        history_window: 32,
+    });
+    cp.register_private_pattern(SubjectId(0), Pattern::seq("p01", vec![t(0), t(1)]).unwrap());
+    cp.register_private_pattern(SubjectId(5), Pattern::single("p4", t(4)));
+    cp.add_consumer_query("t2?", Pattern::single("t2", t(2)));
+    cp.add_consumer_query("t3?", Pattern::single("t3", t(3)));
+    for s in 0..N_SUBJECTS {
+        cp.register_subject(SubjectId(s));
+    }
+    cp
+}
+
+/// Like [`drive_reference`], but from an explicit epoch-0 core with a
+/// schedule of staged `(activation, core)` epoch switches — the dynamic
+/// counterpart of the static reference engine.
+fn drive_reference_with_epochs(
+    events: &[KeyedEvent],
+    stream_end: Option<Timestamp>,
+    seed: u64,
+    core0: OnlineCore,
+    switches: &[(usize, OnlineCore)],
+) -> Vec<WindowRelease> {
+    let mut s = StreamingEngine::from_core(core0, StreamingConfig::tumbling(WINDOW)).unwrap();
+    for (at, core) in switches {
+        s.schedule_epoch(*at, core.clone()).unwrap();
+    }
+    let mut rng = DpRng::seed_from(seed);
+    let mut releases = Vec::new();
+    releases.extend(s.advance_watermark(Timestamp::ZERO, &mut rng).unwrap());
+    let mut ordered: Vec<&KeyedEvent> = events.iter().collect();
+    ordered.sort_by_key(|k| k.event.ts); // stable: ties keep arrival order
+    let mut frontier = Timestamp::ZERO;
+    for keyed in &ordered {
+        releases.extend(s.push(&keyed.event, &mut rng).unwrap());
+        frontier = frontier.max(keyed.event.ts);
+    }
+    if let Some(end) = stream_end {
+        if end > frontier {
+            releases.extend(s.advance_watermark(end, &mut rng).unwrap());
+        }
+    }
+    releases.extend(s.finish(&mut rng).unwrap());
+    releases
+}
+
+/// The tentpole anchor: a sharded service executing a **non-empty command
+/// schedule** (tenant joins mid-stream, a pattern is revoked, a query is
+/// added and another removed) is bit-for-bit identical to independent
+/// per-partition engines replaying the same schedule — same epoch-0 plan,
+/// same epoch-1 plan, same activation window.
+#[test]
+fn churn_schedule_matches_independent_engines() {
+    let seed = 4242u64;
+    let n_shards = 3usize;
+    let newcomer = SubjectId(100);
+    let phase1 = arrivals(seed, 300);
+    // phase 2 continues after phase 1's frontier and includes the newcomer
+    let offset = stream_end(&phase1).unwrap().millis() + MAX_DELAY.millis();
+    let phase2: Vec<KeyedEvent> = arrivals(seed ^ 0x5eed, 300)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut keyed)| {
+            keyed.event.ts = Timestamp::from_millis(keyed.event.ts.millis() + offset);
+            if i % 10 == 0 {
+                keyed.subject = newcomer;
+            }
+            keyed
+        })
+        .collect();
+
+    // ---- the service run ----
+    let mut b = ServiceBuilder::new(config(n_shards, seed)).unwrap();
+    register_service(&mut b);
+    let mut svc = b.build().unwrap();
+    let mut per_shard: Vec<Vec<WindowRelease>> = vec![Vec::new(); n_shards];
+    let collect = |per_shard: &mut Vec<Vec<WindowRelease>>,
+                   out: pattern_dp_repro::core::BatchOutput| {
+        for sr in out.shard_releases {
+            per_shard[sr.shard].push(sr.release);
+        }
+    };
+    for chunk in phase1.chunks(23) {
+        let out = svc.push_batch(chunk.to_vec()).unwrap();
+        collect(&mut per_shard, out);
+    }
+    // the command schedule
+    svc.register_subject(newcomer);
+    let new_pid =
+        svc.register_private_pattern(newcomer, Pattern::seq("p12", vec![t(1), t(2)]).unwrap());
+    svc.revoke_private_pattern(SubjectId(5), PatternId(1))
+        .unwrap();
+    svc.add_consumer_query("t5?", Pattern::single("t5", t(5)));
+    svc.remove_consumer_query(QueryId(0)).unwrap();
+    let transition = svc.begin_epoch().unwrap().expect("commands staged");
+    assert_eq!(transition.plan.epoch, 1);
+    assert_eq!(new_pid.0, 4, "registry continued after the static phase");
+    for chunk in phase2.chunks(23) {
+        let out = svc.push_batch(chunk.to_vec()).unwrap();
+        collect(&mut per_shard, out);
+    }
+    let out = svc.finish().unwrap();
+    collect(&mut per_shard, out);
+    assert_eq!(svc.dropped(), 0);
+
+    // both epochs must actually have released windows on every shard
+    for (shard, releases) in per_shard.iter().enumerate() {
+        assert!(
+            releases.iter().any(|r| r.epoch == 0) && releases.iter().any(|r| r.epoch == 1),
+            "shard {shard} saw only one epoch"
+        );
+        // answers follow the epoch's active queries: [t2?, t3?] then [t3?, t5?]
+        for r in releases {
+            assert_eq!(r.answers.len(), 2, "both epochs have two queries");
+            assert_eq!(
+                r.epoch,
+                u64::from(r.index >= transition.activation_index),
+                "switch lands exactly on the activation window"
+            );
+        }
+    }
+
+    // ---- the reference: independent engines replaying the schedule ----
+    let mut cp = reference_control();
+    let plan0 = cp.compile_initial().unwrap();
+    cp.register_subject(newcomer);
+    let ref_pid =
+        cp.register_private_pattern(newcomer, Pattern::seq("p12", vec![t(1), t(2)]).unwrap());
+    cp.revoke_private_pattern(SubjectId(5), PatternId(1))
+        .unwrap();
+    cp.add_consumer_query("t5?", Pattern::single("t5", t(5)));
+    cp.remove_consumer_query(QueryId(0)).unwrap();
+    let plan1 = cp.compile_next().unwrap();
+    assert_eq!(ref_pid, new_pid, "id assignment is schedule-determined");
+
+    let all: Vec<KeyedEvent> = phase1.iter().chain(&phase2).cloned().collect();
+    let end = stream_end(&all);
+    for (shard, got_releases) in per_shard.iter().enumerate() {
+        let partition: Vec<KeyedEvent> = all
+            .iter()
+            .filter(|k| ShardedService::shard_for(k.subject, n_shards) == shard)
+            .cloned()
+            .collect();
+        let reference = drive_reference_with_epochs(
+            &partition,
+            end,
+            ShardedService::shard_seed(seed, shard),
+            plan0.core.clone(),
+            &[(transition.activation_index, plan1.core.clone())],
+        );
+        assert_eq!(
+            got_releases.len(),
+            reference.len(),
+            "shard {shard} release count"
+        );
+        for (i, (got, want)) in got_releases.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "shard {shard}, release {i}");
+        }
+    }
+}
+
+/// A schedule with zero commands reproduces the static service exactly:
+/// calling `begin_epoch` with nothing staged is a no-op, bit for bit.
+#[test]
+fn zero_command_schedule_is_the_static_service() {
+    let seed = 11u64;
+    let events = arrivals(seed, 400);
+    let build = || {
+        let mut b = ServiceBuilder::new(config(2, seed)).unwrap();
+        register_service(&mut b);
+        b.build().unwrap()
+    };
+    let mut with_epochs = build();
+    let mut without = build();
+    for (i, chunk) in events.chunks(29).enumerate() {
+        if i % 3 == 0 {
+            assert!(with_epochs.begin_epoch().unwrap().is_none());
+        }
+        let a = with_epochs.push_batch(chunk.to_vec()).unwrap();
+        let b = without.push_batch(chunk.to_vec()).unwrap();
+        assert_eq!(a, b, "batch {i}");
+    }
+    assert_eq!(
+        with_epochs.finish().unwrap(),
+        without.finish().unwrap(),
+        "zero-command schedule drifted"
+    );
+    assert_eq!(with_epochs.epoch(), 0);
 }
 
 #[test]
