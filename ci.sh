@@ -15,6 +15,11 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The redesigned consumer surface (typed answers, sinks, sealed audit)
+# must stay fully documented: broken links or missing docs fail CI.
+echo "==> cargo doc (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [[ "$fast" == 0 ]]; then
   echo "==> cargo build --release"
   cargo build --release
@@ -35,11 +40,12 @@ cargo bench --no-run
 
 # The JSON throughput runner in smoke mode: exercises the full sharded
 # hot path end to end — including the --churn scenario's periodic epoch
-# transitions — and fails if the artifact it writes does not parse back
-# (the runner validates its own output, churn cells included).
-echo "==> bench-json smoke (with churn scenario)"
+# transitions and the --sink scenario's zero-copy consumer delivery —
+# and fails if the artifact it writes does not parse back (the runner
+# validates its own output, churn and sink cells included).
+echo "==> bench-json smoke (with churn + sink scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

@@ -80,7 +80,7 @@ pub fn match_indicator(pattern: &Pattern, indicators: &IndicatorVector) -> bool 
         .all(|&ty| indicators.get(ty))
 }
 
-/// Match a precompiled [`TypeMask`] against a window's indicator vector:
+/// Match a precompiled [`pdp_stream::TypeMask`] against a window's indicator vector:
 /// the word-parallel form of [`match_indicator`]
 /// (`mask & window == mask`).
 #[inline]

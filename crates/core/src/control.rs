@@ -56,6 +56,7 @@ use pdp_dp::Epsilon;
 use pdp_metrics::Alpha;
 use pdp_stream::{IndicatorVector, WindowedIndicators};
 
+use crate::answer::{Query, QuerySpec};
 use crate::correlation::{find_correlates, widen_protection, Correlate};
 use crate::engine::PpmKind;
 use crate::error::CoreError;
@@ -114,6 +115,15 @@ pub enum Command {
         /// The target pattern asked about.
         pattern: Pattern,
     },
+    /// A consumer registers a named §VII extension query (count,
+    /// categorical, argmax) over already-registered patterns, in spec
+    /// form (what [`crate::answer::Query::spec`] compiles to).
+    AddTypedQuery {
+        /// Display name.
+        name: String,
+        /// The query's registry form.
+        spec: QuerySpec,
+    },
     /// A consumer withdraws a query: later windows stop answering it.
     RemoveConsumerQuery(QueryId),
     /// Grant (replace) the explicitly provided historical data the
@@ -130,6 +140,8 @@ pub enum CommandOutcome {
     Pattern(PatternId),
     /// A consumer query was added.
     Query(QueryId, PatternId),
+    /// A typed (extension) consumer query was added.
+    TypedQuery(QueryId),
     /// The command changed state but assigned no id.
     Done,
 }
@@ -145,7 +157,7 @@ struct SubjectState {
 #[derive(Debug, Clone)]
 struct QueryState {
     name: String,
-    pattern: PatternId,
+    spec: QuerySpec,
     active: bool,
 }
 
@@ -160,6 +172,10 @@ pub struct EpochPlan {
     /// Per-release charging schedule: each release charges `subject` the
     /// pattern-level `ε` of each of *their* active patterns.
     pub charges: Vec<(SubjectId, PatternId, Epsilon)>,
+    /// Per-release charging schedule of the non-boolean consumer queries
+    /// (argmax draws): each shard release charges the query's dedicated
+    /// `ε` to the service's query ledger.
+    pub query_charges: Vec<(QueryId, Epsilon)>,
     /// Latent correlates pulled into the flip table (§V-C), when widening
     /// is enabled; empty otherwise.
     pub correlates: Vec<Correlate>,
@@ -225,6 +241,9 @@ impl ControlPlane {
             Command::AddConsumerQuery { name, pattern } => {
                 let (q, p) = self.add_consumer_query(&name, pattern);
                 Ok(CommandOutcome::Query(q, p))
+            }
+            Command::AddTypedQuery { name, spec } => {
+                Ok(CommandOutcome::TypedQuery(self.add_query_spec(&name, spec)))
             }
             Command::RemoveConsumerQuery(q) => {
                 self.remove_consumer_query(q)?;
@@ -321,14 +340,35 @@ impl ControlPlane {
     /// (or from epoch 0 when staged before the initial build).
     pub fn add_consumer_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
         let pid = self.patterns.insert(pattern);
+        let qid = self.add_query_spec(name, QuerySpec::Pattern { pattern: pid });
+        (qid, pid)
+    }
+
+    /// Stage: add a named §VII extension query ([`CountQuery`],
+    /// [`CategoricalQuery`], [`ArgmaxQuery`] — anything implementing
+    /// [`Query`]) over already-registered patterns. The query joins the
+    /// same append-only registry as pattern queries: it receives the next
+    /// stable [`QueryId`], compiles into every subsequent epoch plan, and
+    /// is answered (typed) on the protected view inside the release path.
+    /// Dangling pattern references are rejected at the next compile.
+    ///
+    /// [`CountQuery`]: crate::extensions::CountQuery
+    /// [`CategoricalQuery`]: crate::extensions::CategoricalQuery
+    /// [`ArgmaxQuery`]: crate::answer::ArgmaxQuery
+    pub fn add_typed_query(&mut self, name: &str, query: &dyn Query) -> QueryId {
+        self.add_query_spec(name, query.spec())
+    }
+
+    /// Append one query spec to the registry under the next stable id.
+    fn add_query_spec(&mut self, name: &str, spec: QuerySpec) -> QueryId {
         let qid = QueryId(self.queries.len() as u32);
         self.queries.push(QueryState {
             name: name.to_owned(),
-            pattern: pid,
+            spec,
             active: true,
         });
         self.dirty = true;
-        (qid, pid)
+        qid
     }
 
     /// Stage: withdraw a consumer query; later windows stop answering it.
@@ -500,7 +540,7 @@ impl ControlPlane {
             .map(|(i, q)| QueryRef {
                 id: QueryId(i as u32),
                 name: q.name.clone(),
-                pattern: q.pattern,
+                spec: q.spec.clone(),
             })
             .collect();
         let n_types = self.config.n_types;
@@ -526,7 +566,14 @@ impl ControlPlane {
                     history.take()
                 }
                 .ok_or(CoreError::MissingHistory)?;
-                let target_ids: Vec<PatternId> = active_queries.iter().map(|q| q.pattern).collect();
+                let mut target_ids: Vec<PatternId> = Vec::new();
+                for q in &active_queries {
+                    for pid in q.spec.referenced_patterns() {
+                        if !target_ids.contains(&pid) {
+                            target_ids.push(pid);
+                        }
+                    }
+                }
                 let model =
                     QualityModel::new(history, &self.patterns, &target_ids, self.config.alpha)?;
                 ProtectionPipeline::adaptive(
@@ -563,10 +610,12 @@ impl ControlPlane {
             .active_private_pairs()
             .filter_map(|(subject, pid)| budgets.get(&pid).map(|&eps| (subject, pid, eps)))
             .collect();
+        let query_charges = core.query_charges();
         Ok(EpochPlan {
             epoch: self.epoch,
             core,
             charges,
+            query_charges,
             correlates,
         })
     }

@@ -250,10 +250,15 @@ impl TrustedEngine {
         let core = self.core.as_ref().ok_or(CoreError::NotSetUp)?;
         let mut per_query: Vec<Vec<bool>> =
             vec![Vec::with_capacity(windows.len()); self.queries.len()];
+        // the batch engine registers only pattern queries, so every typed
+        // answer is a `Bool` and the serve is stateless and charge-free
+        let mut state = crate::answer::QueryStateSet::new();
         for window in windows.iter() {
             let released = core.release_window(window, &mut self.ledger, rng)?;
-            for (qi, hit) in core.answer_window(&released).into_iter().enumerate() {
-                per_query[qi].push(hit);
+            let (answers, charges) = core.answer_window(&released, &mut state, rng);
+            debug_assert!(charges.is_empty(), "pattern queries never charge");
+            for (qi, answer) in answers.into_iter().enumerate() {
+                per_query[qi].push(answer.truthy());
             }
         }
         Ok(self

@@ -36,6 +36,9 @@ pub enum CoreError {
     InvalidService(String),
     /// A referenced consumer query id is unknown.
     UnknownQuery(u32),
+    /// A consumer query definition was rejected (zero horizon, empty or
+    /// oversized candidate set, …).
+    InvalidQuery(String),
     /// The control plane rejected a staged command or an epoch transition
     /// (revoking an unowned pattern, an empty transition, …).
     InvalidCommand(String),
@@ -63,6 +66,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidService(msg) => write!(f, "invalid service use: {msg}"),
             CoreError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            CoreError::InvalidQuery(msg) => write!(f, "invalid consumer query: {msg}"),
             CoreError::InvalidCommand(msg) => write!(f, "invalid control-plane command: {msg}"),
         }
     }

@@ -17,6 +17,14 @@
 //!   overlapping private patterns, applied **only** to events that correlate
 //!   with private patterns;
 //! * [`engine`] — the trusted CEP engine middleware of §III-A (Fig. 2);
+//! * [`answer`] — typed consumer answers and the unified query registry:
+//!   pattern queries and the §VII extension queries (count, categorical,
+//!   argmax) share one id space, compile into every epoch plan, and are
+//!   answered typed on the protected view inside the release path;
+//! * [`sink`] — the consumer delivery surface: [`ReleaseSink`]
+//!   subscriptions per stable [`QueryId`](pdp_cep::QueryId), id-keyed
+//!   [`QueryAnswer`] records, and the default [`VecSink`] the legacy
+//!   `BatchOutput` style is reimplemented on;
 //! * [`streaming`] — the push-based service layer: [`StreamingEngine`]
 //!   consumes events one at a time and releases protected windows online,
 //!   through the same [`OnlineCore`] the batch engine adapts;
@@ -32,6 +40,7 @@
 //!   and epoch-aware budget accounting.
 
 pub mod adaptive;
+pub mod answer;
 pub mod control;
 pub mod correlation;
 pub mod distribution;
@@ -43,9 +52,11 @@ pub mod neighbors;
 pub mod protect;
 pub mod quality_model;
 pub mod service;
+pub mod sink;
 pub mod streaming;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
+pub use answer::{Answer, ArgmaxQuery, Query, QuerySpec, QueryStateSet};
 pub use control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
 pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
 pub use distribution::BudgetDistribution;
@@ -64,4 +75,5 @@ pub use service::{
     BatchOutput, EpochTransition, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig,
     ShardRelease, ShardedService, SubjectId,
 };
+pub use sink::{CountingSink, QueryAnswer, ReleaseSink, VecSink};
 pub use streaming::{OnlineCore, QueryRef, StreamingConfig, StreamingEngine, WindowRelease};

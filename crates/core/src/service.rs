@@ -39,14 +39,21 @@
 //!   windows and all shards stay on one aligned window timeline;
 //! * **merged releases**: shard releases fold into per-window-index
 //!   accumulators as they arrive; once every shard has released a given
-//!   index the row is emitted as a [`MergedRelease`] — the
-//!   population-level consumer answer is the disjunction over shards,
-//!   with the per-query positive-shard count kept for aggregate
-//!   consumers. (Releases are never cloned into a merge queue; the
-//!   accumulator only folds their answer bits.)
+//!   index the row is emitted as a [`MergedRelease`] — boolean queries
+//!   fold as the disjunction over shards (with per-query positive-shard
+//!   counts kept for aggregate consumers), extension queries evaluate
+//!   typed on the population-union protected view. (Releases are never
+//!   cloned into a merge queue; the accumulator only folds their answer
+//!   bits.)
+//! * **consumer delivery** ([`ReleaseSink`]): `push_batch_into` /
+//!   `advance_watermark_into` / `finish_into` push every release and
+//!   every subscribed id-keyed [`QueryAnswer`] record into a
+//!   consumer-supplied sink; `push_batch`/[`BatchOutput`] is the same
+//!   path collected through the default [`VecSink`].
 //! * **per-subject accounting**: each shard release charges every subject
 //!   assigned to that shard for their own registered patterns in a
-//!   per-subject [`BudgetLedger`] — the pattern-level ε-DP guarantee
+//!   per-subject [`BudgetLedger`](pdp_dp::BudgetLedger) — the
+//!   pattern-level ε-DP guarantee
 //!   (Thm. 1) is per subject and must hold regardless of how the stream is
 //!   partitioned.
 //!
@@ -85,10 +92,12 @@ use pdp_dp::{DpRng, EpochLedger, Epsilon};
 use pdp_metrics::Alpha;
 use pdp_stream::{Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, WindowedIndicators};
 
+use crate::answer::{Answer, Query, QueryStateSet};
 use crate::control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
 use crate::engine::PpmKind;
 use crate::error::CoreError;
-use crate::streaming::{StreamingConfig, StreamingEngine, WindowRelease};
+use crate::sink::{QueryAnswer, ReleaseSink, VecSink};
+use crate::streaming::{OnlineCore, StreamingConfig, StreamingEngine, WindowRelease};
 
 /// Identifies one data subject (tenant) of the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -142,7 +151,7 @@ pub struct ServiceConfig {
 }
 
 /// One shard's release, tagged with its partition.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardRelease {
     /// The partition that released the window.
     pub shard: usize,
@@ -160,21 +169,52 @@ pub struct MergedRelease {
     /// The control-plane epoch that released this window (identical on
     /// every shard — epoch switches land on one window index).
     pub epoch: u64,
-    /// Per *active* query of that epoch (aligned with the epoch's
+    /// **Positional — handle with care.** Per *active* query of the
+    /// releasing epoch (aligned with that epoch's
     /// [`OnlineCore::queries`](crate::streaming::OnlineCore::queries)):
-    /// true iff *any* shard's protected view answered true — "does the
-    /// target pattern occur anywhere in the population?".
+    /// the boolean coercion ([`Answer::truthy`]) of each shard's answer,
+    /// OR-ed over shards. Across an epoch transition that removes a
+    /// query, index `i` of two releases can belong to **different
+    /// queries** — positional reads silently misattribute answers after
+    /// churn. Prefer [`MergedRelease::answer_for`], which is keyed by
+    /// stable [`QueryId`].
     pub answers_any: Vec<bool>,
-    /// Per query: how many shards answered true (the aggregate consumers'
-    /// counting view).
+    /// **Positional — same caution as [`MergedRelease::answers_any`].**
+    /// Per query: how many shards answered truthily (the aggregate
+    /// consumers' counting view).
     pub positive_shards: Vec<usize>,
     /// The population-level protected indicator view: the per-type
     /// disjunction of every shard's protected release of this window.
     /// Also what feeds the control plane's sliding history.
     pub protected_any: IndicatorVector,
+    /// The typed population-level answers, keyed by stable [`QueryId`]
+    /// (ascending): boolean queries fold the per-shard answers, extension
+    /// queries evaluate on [`MergedRelease::protected_any`].
+    pub(crate) typed: Vec<(QueryId, Answer)>,
 }
 
-/// What one ingestion call produced.
+impl MergedRelease {
+    /// Id-keyed answer lookup — the stable way to read releases across
+    /// epoch churn (a removed query returns `None` instead of shifting
+    /// its neighbours' positions). This is the consumer-facing read; the
+    /// positional fields exist for aggregate tooling that tracks the
+    /// epoch itself.
+    pub fn answer_for(&self, query: QueryId) -> Option<Answer> {
+        let i = self.typed.iter().position(|(q, _)| *q == query)?;
+        Some(self.typed[i].1.clone())
+    }
+
+    /// Every typed answer of this window as `(stable id, answer)` pairs,
+    /// in ascending [`QueryId`] order.
+    pub fn typed_answers(&self) -> &[(QueryId, Answer)] {
+        &self.typed
+    }
+}
+
+/// What one ingestion call produced (the legacy return-value delivery
+/// style). Reimplemented on top of [`VecSink`]: `push_batch` collects
+/// into a sink subscribed to everything and hands its vectors back, so
+/// the sink path and this struct are one code path.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchOutput {
     /// Every window released by any shard. Within one call, releases are
@@ -184,6 +224,15 @@ pub struct BatchOutput {
     /// Window indexes completed by *all* shards since the last call,
     /// merged (in index order).
     pub merged: Vec<MergedRelease>,
+}
+
+impl From<VecSink> for BatchOutput {
+    fn from(sink: VecSink) -> Self {
+        BatchOutput {
+            shard_releases: sink.shard_releases,
+            merged: sink.merged,
+        }
+    }
 }
 
 /// Setup phase of the sharded service (§III-A): subject and consumer
@@ -238,6 +287,15 @@ impl ServiceBuilder {
     /// Data consumer: declare a named target-pattern query.
     pub fn register_target_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
         self.control.add_consumer_query(name, pattern)
+    }
+
+    /// Data consumer: declare a named §VII extension query (count,
+    /// categorical, argmax) over already-registered patterns. Joins the
+    /// same registry as pattern queries: stable [`QueryId`], compiled
+    /// into every epoch plan, answered (typed) on the protected view
+    /// inside the release path.
+    pub fn register_extension_query(&mut self, name: &str, query: &dyn Query) -> QueryId {
+        self.control.add_typed_query(name, query)
     }
 
     /// Register a pattern that is neither private nor queried (kept for
@@ -316,7 +374,11 @@ impl ServiceBuilder {
             workers: spawn_worker_pool(n_shards),
             assignment,
             ledgers: HashMap::new(),
+            query_ledger: EpochLedger::new(),
             merge: MergeState::new(n_shards),
+            cores_by_epoch: Vec::new(),
+            query_charges_by_epoch: Vec::new(),
+            merged_state: QueryStateSet::new(),
             control: self.control,
             events_ingested: 0,
             finished: false,
@@ -563,8 +625,8 @@ impl MergeState {
             Some(union) => union.union_with(&release.protected),
             none => *none = Some(release.protected.clone()),
         }
-        for (q, &hit) in release.answers.iter().enumerate() {
-            if hit {
+        for (q, answer) in release.answers.iter().enumerate() {
+            if answer.truthy() {
                 row.answers_any[q] = true;
                 row.positive_shards[q] += 1;
             }
@@ -588,6 +650,9 @@ impl MergeState {
                 protected_any: row
                     .union
                     .expect("n_shards >= 1: at least one release folded"),
+                // filled by the service once the epoch's compiled queries
+                // evaluate the population view
+                typed: Vec::new(),
             });
             self.next_index += 1;
         }
@@ -620,7 +685,20 @@ pub struct ShardedService {
     /// Per-subject epoch-aware accounting. Ledgers of retired subjects are
     /// kept — their spend stays queryable and is never refunded.
     ledgers: HashMap<SubjectId, EpochLedger<PatternId>>,
+    /// Epoch-aware accounting of the non-boolean consumer queries'
+    /// dedicated budgets (argmax draws), charged per shard release.
+    query_ledger: EpochLedger<QueryId>,
     merge: MergeState,
+    /// Every compiled epoch core, indexed by epoch: the merge path
+    /// evaluates each merged window's typed answers under the epoch that
+    /// released it.
+    cores_by_epoch: Vec<OnlineCore>,
+    /// Per-epoch `(query, ε)` charge schedule for the query ledger.
+    query_charges_by_epoch: Vec<Vec<(QueryId, Epsilon)>>,
+    /// Trailing-window state of the population-level (merged) stateful
+    /// queries, keyed by stable id (merged rows emit in strict index
+    /// order, so this is deterministic).
+    merged_state: QueryStateSet,
     /// The control plane: staged runtime commands, the append-only
     /// registries, and the sliding released-window history.
     control: ControlPlane,
@@ -660,7 +738,11 @@ impl Clone for ShardedService {
             workers,
             assignment: self.assignment.clone(),
             ledgers: self.ledgers.clone(),
+            query_ledger: self.query_ledger.clone(),
             merge: self.merge.clone(),
+            cores_by_epoch: self.cores_by_epoch.clone(),
+            query_charges_by_epoch: self.query_charges_by_epoch.clone(),
+            merged_state: self.merged_state.clone(),
             control: self.control.clone(),
             events_ingested: self.events_ingested,
             finished: self.finished,
@@ -706,6 +788,24 @@ impl ShardedService {
     /// [`CoreError::UnknownSubject`] rejection leaves the service — and
     /// the releases a partial batch would have produced — untouched.
     pub fn push_batch(&mut self, batch: Vec<KeyedEvent>) -> Result<BatchOutput, CoreError> {
+        // subscribed to no ids: BatchOutput carries releases only, so the
+        // per-query answer records would be built and dropped
+        let mut sink = VecSink::subscribed([]);
+        self.push_batch_into(batch, &mut sink)?;
+        Ok(sink.into())
+    }
+
+    /// Sink-delivering form of [`ShardedService::push_batch`]: every
+    /// release and every subscribed [`QueryAnswer`] record is pushed into
+    /// `sink` (see [`ReleaseSink`] for the delivery-order contract)
+    /// instead of being collected into a return value — the zero-copy
+    /// consumer path. On error, deliveries already made stay delivered:
+    /// they are real releases that spent budget.
+    pub fn push_batch_into<S: ReleaseSink>(
+        &mut self,
+        batch: Vec<KeyedEvent>,
+        sink: &mut S,
+    ) -> Result<(), CoreError> {
         self.ensure_live()?;
         let routes: Vec<usize> = batch
             .iter()
@@ -726,12 +826,11 @@ impl ShardedService {
                 slot => *slot = Some(ShardJob::Ingest(vec![keyed.event])),
             }
         }
-        let mut out = BatchOutput::default();
-        self.run_jobs(jobs, &mut out)?;
+        self.run_jobs(jobs, sink)?;
         self.events_ingested += n_events;
-        self.advance_to_low_watermark(&mut out)?;
-        self.drain_merged(&mut out);
-        Ok(out)
+        self.advance_to_low_watermark(sink)?;
+        self.drain_merged(sink);
+        Ok(())
     }
 
     /// Heartbeat: behave as if every source had just been observed at
@@ -740,15 +839,25 @@ impl ShardedService {
     /// the global low watermark then drives every shard engine forward,
     /// releasing quiet windows.
     pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<BatchOutput, CoreError> {
+        let mut sink = VecSink::subscribed([]);
+        self.advance_watermark_into(ts, &mut sink)?;
+        Ok(sink.into())
+    }
+
+    /// Sink-delivering form of [`ShardedService::advance_watermark`].
+    pub fn advance_watermark_into<S: ReleaseSink>(
+        &mut self,
+        ts: Timestamp,
+        sink: &mut S,
+    ) -> Result<(), CoreError> {
         self.ensure_live()?;
-        let mut out = BatchOutput::default();
         let jobs = (0..self.shards.len())
             .map(|_| Some(ShardJob::Heartbeat(ts)))
             .collect();
-        self.run_jobs(jobs, &mut out)?;
-        self.advance_to_low_watermark(&mut out)?;
-        self.drain_merged(&mut out);
-        Ok(out)
+        self.run_jobs(jobs, sink)?;
+        self.advance_to_low_watermark(sink)?;
+        self.drain_merged(sink);
+        Ok(())
     }
 
     /// End of stream: drain every reorder buffer into its engine, align
@@ -757,13 +866,19 @@ impl ShardedService {
     /// windows merge too), close the open windows, and merge. The service
     /// rejects ingestion afterwards.
     pub fn finish(&mut self) -> Result<BatchOutput, CoreError> {
+        let mut sink = VecSink::subscribed([]);
+        self.finish_into(&mut sink)?;
+        Ok(sink.into())
+    }
+
+    /// Sink-delivering form of [`ShardedService::finish`].
+    pub fn finish_into<S: ReleaseSink>(&mut self, sink: &mut S) -> Result<(), CoreError> {
         self.ensure_live()?;
         self.finished = true;
-        let mut out = BatchOutput::default();
         let flush_jobs = (0..self.shards.len())
             .map(|_| Some(ShardJob::Flush))
             .collect();
-        self.run_jobs(flush_jobs, &mut out)?;
+        self.run_jobs(flush_jobs, sink)?;
         let end = self
             .shards
             .iter()
@@ -773,19 +888,35 @@ impl ShardedService {
         let close_jobs = (0..self.shards.len())
             .map(|_| Some(ShardJob::Close(end)))
             .collect();
-        self.run_jobs(close_jobs, &mut out)?;
-        self.drain_merged(&mut out);
-        Ok(out)
+        self.run_jobs(close_jobs, sink)?;
+        self.drain_merged(sink);
+        Ok(())
     }
 
-    /// Drain fully merged windows into the output and feed each
-    /// population-level protected view into the control plane's sliding
-    /// history (the online adaptive PPM's input).
-    fn drain_merged(&mut self, out: &mut BatchOutput) {
-        let from = out.merged.len();
-        self.merge.drain_into(&mut out.merged);
-        for m in &out.merged[from..] {
-            self.control.observe_release(&m.protected_any);
+    /// Drain fully merged windows to the sink — typed answers first (one
+    /// [`QueryAnswer`] per subscribed active query, ascending id), then
+    /// the [`MergedRelease`] itself — and feed each population-level
+    /// protected view into the control plane's sliding history (the
+    /// online adaptive PPM's input).
+    fn drain_merged<S: ReleaseSink>(&mut self, sink: &mut S) {
+        let mut rows = Vec::new();
+        self.merge.drain_into(&mut rows);
+        for mut row in rows {
+            self.control.observe_release(&row.protected_any);
+            let core = &self.cores_by_epoch[row.epoch as usize];
+            row.typed =
+                core.answer_merged(&row.answers_any, &row.protected_any, &mut self.merged_state);
+            for (query, answer) in &row.typed {
+                if sink.wants(*query) {
+                    sink.answer(QueryAnswer {
+                        query: *query,
+                        window: row.index,
+                        epoch: row.epoch,
+                        answer: answer.clone(),
+                    });
+                }
+            }
+            sink.merged_release(row);
         }
     }
 
@@ -828,6 +959,14 @@ impl ShardedService {
     /// the next epoch on).
     pub fn add_consumer_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
         self.control.add_consumer_query(name, pattern)
+    }
+
+    /// Stage: a consumer adds a named §VII extension query (count,
+    /// categorical, argmax — anything implementing [`Query`]); answered
+    /// (typed) from the next epoch on, with argmax budgets charged
+    /// through the service's query ledger.
+    pub fn add_extension_query(&mut self, name: &str, query: &dyn Query) -> QueryId {
+        self.control.add_typed_query(name, query)
     }
 
     /// Stage: a consumer withdraws a query (unanswered from the next
@@ -919,6 +1058,21 @@ impl ShardedService {
     /// newly charged patterns, fence everything the plan dropped).
     fn install_plan(&mut self, plan: &EpochPlan) -> Result<(), CoreError> {
         let epoch = plan.epoch as usize;
+        // plans install strictly in epoch order (a failed compile never
+        // burns the number), so the epoch-indexed schedules are dense
+        debug_assert_eq!(self.cores_by_epoch.len(), epoch);
+        self.cores_by_epoch.push(plan.core.clone());
+        self.query_charges_by_epoch.push(plan.query_charges.clone());
+        for &(query, eps) in &plan.query_charges {
+            self.query_ledger
+                .register(query, eps)
+                .map_err(CoreError::Dp)?;
+        }
+        for query in self.query_ledger.keys() {
+            if !plan.query_charges.iter().any(|(q, _)| *q == query) {
+                self.query_ledger.retire(&query, plan.epoch);
+            }
+        }
         for shard in &mut self.shards {
             if shard.charges_by_epoch.len() <= epoch {
                 shard.charges_by_epoch.resize(epoch + 1, Vec::new());
@@ -956,10 +1110,10 @@ impl ShardedService {
     /// the service is multi-shard, inline otherwise — and fold every
     /// shard's results back **in shard order** (accounting, merge
     /// accumulation and output ordering are all deterministic).
-    fn run_jobs(
+    fn run_jobs<S: ReleaseSink>(
         &mut self,
         jobs: Vec<Option<ShardJob>>,
-        out: &mut BatchOutput,
+        out: &mut S,
     ) -> Result<(), CoreError> {
         debug_assert_eq!(jobs.len(), self.shards.len());
         if self.workers.is_empty() {
@@ -1028,8 +1182,8 @@ impl ShardedService {
     }
 
     /// Book one shard's releases everywhere they matter: the per-subject
-    /// ledgers, the merge accumulators, and the caller's output (which
-    /// takes ownership — releases are never cloned).
+    /// ledgers, the query ledger, the merge accumulators, and the
+    /// caller's sink (which takes ownership — releases are never cloned).
     ///
     /// Charging is epoch-aware: releases arrive in index order, so their
     /// epochs are non-decreasing, and each run of same-epoch releases
@@ -1037,7 +1191,12 @@ impl ShardedService {
     /// epoch that has since been superseded still charge *their own*
     /// epoch's schedule — a revocation staged later never rewrites what an
     /// earlier plan already released.
-    fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>, out: &mut BatchOutput) {
+    fn settle<S: ReleaseSink>(
+        &mut self,
+        shard_idx: usize,
+        releases: Vec<WindowRelease>,
+        out: &mut S,
+    ) {
         if releases.is_empty() {
             return;
         }
@@ -1061,12 +1220,20 @@ impl ShardedService {
                     .charge_releases(pid, epoch, eps, j - i)
                     .expect("plan charges stay within registered caps");
             }
+            let query_charges = self
+                .query_charges_by_epoch
+                .get(epoch as usize)
+                .expect("every epoch's query charge schedule is installed");
+            for &(query, eps) in query_charges {
+                self.query_ledger
+                    .charge_releases(query, epoch, eps, j - i)
+                    .expect("plan query charges stay within registered caps");
+            }
             i = j;
         }
-        out.shard_releases.reserve(releases.len());
         for release in releases {
             self.merge.observe(&release);
-            out.shard_releases.push(ShardRelease {
+            out.shard_release(ShardRelease {
                 shard: shard_idx,
                 release,
             });
@@ -1095,7 +1262,7 @@ impl ShardedService {
             .and_then(|wms| wms.into_iter().min())
     }
 
-    fn advance_to_low_watermark(&mut self, out: &mut BatchOutput) -> Result<(), CoreError> {
+    fn advance_to_low_watermark<S: ReleaseSink>(&mut self, out: &mut S) -> Result<(), CoreError> {
         let Some(low) = self.low_watermark() else {
             return Ok(());
         };
@@ -1196,13 +1363,23 @@ impl ShardedService {
         self.shards.iter().map(|s| s.engine.releases()).collect()
     }
 
-    /// Names of the consumer queries of the epoch currently in force on
-    /// the shard engines (a staged transition takes over at its activation
-    /// window). Aligned with [`MergedRelease::answers_any`] for windows of
-    /// that epoch; use each release's [`WindowRelease::epoch`] /
-    /// [`MergedRelease::epoch`] to interpret historical answers.
-    pub fn query_names(&self) -> Vec<&str> {
+    /// The consumer queries of the epoch currently in force on the shard
+    /// engines, as `(stable id, name)` pairs (a staged transition takes
+    /// over at its activation window). Names are ambiguous after
+    /// revocation and re-registration; the id is the stable consumer
+    /// handle — key reads with [`MergedRelease::answer_for`] or sink
+    /// subscriptions, not positions.
+    pub fn query_names(&self) -> Vec<(QueryId, &str)> {
         self.shards[0].engine.query_names()
+    }
+
+    /// Dedicated budget one non-boolean consumer query (argmax) spent so
+    /// far across every shard release, summed over epochs. Unknown keys
+    /// are explicit: `None` when `query` never carried a dedicated
+    /// budget; `Some(Epsilon::ZERO)` means "registered, nothing spent
+    /// yet".
+    pub fn query_budget_spent(&self, query: QueryId) -> Option<Epsilon> {
+        self.query_ledger.try_spent(&query)
     }
 
     /// Events sitting in reorder buffers, not yet past the watermark.
@@ -1556,7 +1733,7 @@ mod tests {
         svc.push_batch(vec![ke(3, 2, 5)]).unwrap();
         let out = svc.advance_watermark(Timestamp::from_millis(25)).unwrap();
         assert!(out.merged.iter().all(|m| m.answers_any.len() == 1));
-        assert_eq!(svc.query_names(), vec!["t2?"]);
+        assert_eq!(svc.query_names(), vec![(QueryId(0), "t2?")]);
 
         let (q1, _) = svc.add_consumer_query("t3?", Pattern::single("t3", t(3)));
         let transition = svc.begin_epoch().unwrap().expect("staged");
@@ -1611,7 +1788,8 @@ mod tests {
         let release = &out.shard_releases.last().unwrap().release;
         // all three types present in window 0 — the late event made it in
         assert!(release.protected.get(t(2)));
-        // one detection flag per registered pattern: p1, p2, and the target
-        assert_eq!(release.raw_detections.len(), 3);
+        // one detection flag per registered pattern (p1, p2, the target),
+        // sealed behind the trusted boundary
+        assert_eq!(release.audit().len(), 3);
     }
 }

@@ -14,11 +14,13 @@
 //!    response perturbs the private bits, the budget ledger records each
 //!    protected pattern's spend for that release, and every registered
 //!    consumer query is answered from the *protected* view only;
-//! 3. the answers, the protected indicator vector, and the raw detections
-//!    come back as [`WindowRelease`]s for downstream consumers.
+//! 3. the typed answers (keyed by stable query id) and the protected
+//!    indicator vector come back as [`WindowRelease`]s for downstream
+//!    consumers; the raw detections ride along **sealed** in a
+//!    [`TrustedAudit`] only quality metering can open.
 //!
 //! [`OnlineCore`] is the **single protection + accounting code path**: the
-//! batch [`TrustedEngine`](crate::engine::TrustedEngine) service methods are
+//! batch [`crate::engine::TrustedEngine`] service methods are
 //! thin adapters that replay a windowed history through the same
 //! [`OnlineCore::release_window`], so batch and streaming are equivalent by
 //! construction (and verified equivalent under a seeded
@@ -27,11 +29,14 @@
 //! [`FlipTable`]: crate::protect::FlipTable
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use pdp_cep::{ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
-use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp, TypeMask};
+use pdp_metrics::TrustedAudit;
+use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp};
 
+use crate::answer::{Answer, CompiledQuery, QuerySpec, QueryStateSet};
 use crate::engine::TrustedEngine;
 use crate::error::CoreError;
 use crate::protect::ProtectionPipeline;
@@ -41,14 +46,25 @@ use crate::protect::ProtectionPipeline;
 /// removed and later windows answer a different (sub)set, so a release's
 /// `answers[i]` is identified by `queries()[i].id`, never by position
 /// alone.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRef {
     /// The stable id assigned at registration.
     pub id: QueryId,
     /// Display name.
     pub name: String,
-    /// The target pattern the query asks about.
-    pub pattern: PatternId,
+    /// What the query asks (pattern detection or a §VII extension form).
+    pub spec: QuerySpec,
+}
+
+impl QueryRef {
+    /// Shorthand for the base form: "is `pattern` detected?".
+    pub fn pattern(id: QueryId, name: impl Into<String>, pattern: PatternId) -> Self {
+        QueryRef {
+            id,
+            name: name.into(),
+            spec: QuerySpec::Pattern { pattern },
+        }
+    }
 }
 
 /// The shared online release path: protection, accounting and query
@@ -70,11 +86,16 @@ pub struct OnlineCore {
     budgets: Vec<(PatternId, Epsilon)>,
     patterns: PatternSet,
     queries: Vec<QueryRef>,
-    /// Per active query (aligned with `queries`): the query pattern's
-    /// precompiled type mask. Resolved once at compile so answering a
-    /// release is a branch-free subset test per query — no map lookups,
-    /// string keys or panic paths on the hot path.
-    query_masks: Vec<TypeMask>,
+    /// Per active query (aligned with `queries`): the compiled form —
+    /// pattern references resolved to precompiled type masks, the argmax
+    /// mechanism pre-built. Resolved once at compile so answering a
+    /// release is branch-predictable work per query — no map lookups,
+    /// string keys or panic paths on the boolean hot path.
+    compiled: Vec<CompiledQuery>,
+    /// The active [`QueryId`]s in answer order, shared — every release
+    /// of this epoch carries the same list, so it is built once here and
+    /// reference-counted into [`WindowRelease::query_ids`].
+    query_ids: Arc<[QueryId]>,
     /// The control-plane epoch this core was compiled for (0 for the
     /// static setup-phase build).
     epoch: u64,
@@ -91,11 +112,7 @@ impl OnlineCore {
         let queries = queries
             .into_iter()
             .enumerate()
-            .map(|(i, (name, pattern))| QueryRef {
-                id: QueryId(i as u32),
-                name,
-                pattern,
-            })
+            .map(|(i, (name, pattern))| QueryRef::pattern(QueryId(i as u32), name, pattern))
             .collect();
         Self::with_queries(pipeline, patterns, queries, 0)
     }
@@ -113,21 +130,18 @@ impl OnlineCore {
         // resolve query → pattern references once, at compile: a dangling
         // reference is a registration bug and is rejected here instead of
         // panicking per release
-        let query_masks = queries
+        let compiled = queries
             .iter()
-            .map(|q| {
-                patterns
-                    .get(q.pattern)
-                    .map(|p| p.type_mask(n_types))
-                    .ok_or(CoreError::UnknownPattern(q.pattern.0))
-            })
+            .map(|q| CompiledQuery::compile(&q.spec, &patterns, n_types))
             .collect::<Result<Vec<_>, _>>()?;
+        let query_ids: Arc<[QueryId]> = queries.iter().map(|q| q.id).collect();
         Ok(OnlineCore {
             pipeline,
             budgets,
             patterns,
             queries,
-            query_masks,
+            compiled,
+            query_ids,
             epoch,
         })
     }
@@ -146,6 +160,11 @@ impl OnlineCore {
     /// `queries()[i].id`.
     pub fn queries(&self) -> &[QueryRef] {
         &self.queries
+    }
+
+    /// The active [`QueryId`]s in answer order (shared, cheap to clone).
+    pub fn query_ids(&self) -> Arc<[QueryId]> {
+        Arc::clone(&self.query_ids)
     }
 
     /// The control-plane epoch this core was compiled for.
@@ -197,12 +216,68 @@ impl OnlineCore {
     }
 
     /// Answer every registered query on a protected window, in
-    /// [`QueryId`] order: one word-level subset test per query over the
-    /// masks resolved at setup.
-    pub fn answer_window(&self, protected: &IndicatorVector) -> Vec<bool> {
-        self.query_masks
+    /// [`QueryId`] order, updating the serving front's trailing-window
+    /// `state` and drawing from `rng` for argmax selections (the
+    /// deterministic draw order: after the flip plan, active argmax
+    /// queries in id order). Returns the typed answers plus the
+    /// `(query, ε)` charges the argmax draws incurred — the caller books
+    /// them in its query ledger.
+    pub fn answer_window(
+        &self,
+        protected: &IndicatorVector,
+        state: &mut QueryStateSet,
+        rng: &mut DpRng,
+    ) -> (Vec<Answer>, Vec<(QueryId, Epsilon)>) {
+        let mut charges = Vec::new();
+        let answers = self
+            .queries
             .iter()
-            .map(|mask| mask.matches(protected))
+            .zip(&self.compiled)
+            .map(|(q, compiled)| {
+                if let Some(eps) = compiled.charge() {
+                    charges.push((q.id, eps));
+                }
+                compiled.answer(protected, q.id, state, Some(rng))
+            })
+            .collect();
+        (answers, charges)
+    }
+
+    /// The population-level (merged) typed answers for one fully merged
+    /// window: boolean queries keep the fold of the per-shard answers
+    /// (`answers_any[i]`), extension queries evaluate on the
+    /// population-union protected view (`protected_any`) with the
+    /// merge-level trailing state — post-processing of already-protected
+    /// bits, so nothing is charged and no randomness is drawn (argmax
+    /// takes the plain, deterministic argmax).
+    pub fn answer_merged(
+        &self,
+        answers_any: &[bool],
+        protected_any: &IndicatorVector,
+        state: &mut QueryStateSet,
+    ) -> Vec<(QueryId, Answer)> {
+        debug_assert_eq!(answers_any.len(), self.queries.len());
+        self.queries
+            .iter()
+            .zip(&self.compiled)
+            .enumerate()
+            .map(|(i, (q, compiled))| {
+                let answer = match compiled {
+                    CompiledQuery::Bool { .. } => Answer::Bool(answers_any[i]),
+                    _ => compiled.answer(protected_any, q.id, state, None),
+                };
+                (q.id, answer)
+            })
+            .collect()
+    }
+
+    /// The per-release `(query, ε)` charge schedule of this epoch's
+    /// non-boolean queries (argmax draws); empty when none are active.
+    pub fn query_charges(&self) -> Vec<(QueryId, Epsilon)> {
+        self.queries
+            .iter()
+            .zip(&self.compiled)
+            .filter_map(|(q, c)| c.charge().map(|eps| (q.id, eps)))
             .collect()
     }
 }
@@ -228,7 +303,7 @@ impl StreamingConfig {
 }
 
 /// One closed, protected, answered window.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowRelease {
     /// Sequential release index.
     pub index: usize,
@@ -237,16 +312,41 @@ pub struct WindowRelease {
     /// The control-plane epoch whose compiled plan protected, charged and
     /// answered this window (0 until the first reconfiguration).
     pub epoch: u64,
-    /// Raw (pre-protection) per-pattern detections from the incremental
-    /// detector, indexed by [`PatternId`]. These never leave the trusted
-    /// boundary in production — they are the engine-internal truth used for
-    /// quality metering.
-    pub raw_detections: Vec<bool>,
+    /// The raw (pre-protection) per-pattern detections, **sealed** behind
+    /// the trusted boundary: no public field exposes them, and reading
+    /// requires minting a [`pdp_metrics::AuditKey`] — the explicit,
+    /// grep-able trusted-boundary crossing quality metering performs.
+    audit: TrustedAudit,
     /// The protected indicator view — what consumers receive.
     pub protected: IndicatorVector,
-    /// Per registered query (in [`QueryId`] order): the answer computed on
-    /// the protected view only.
-    pub answers: Vec<bool>,
+    /// Per *active* query of the releasing epoch (in [`QueryId`] order):
+    /// the typed answer computed on the protected view only.
+    ///
+    /// **Positional caution:** alignment is with the releasing epoch's
+    /// [`OnlineCore::queries`] — after query churn, `answers[i]` of two
+    /// different epochs can belong to different queries. Use
+    /// [`WindowRelease::answer_for`] for id-keyed reads.
+    pub answers: Vec<Answer>,
+    /// The [`QueryId`]s `answers` is aligned with (the releasing epoch's
+    /// active queries). Reference-counted: every release of one epoch
+    /// shares the same list.
+    pub query_ids: Arc<[QueryId]>,
+}
+
+impl WindowRelease {
+    /// The sealed raw-detection view (quality metering opens it with an
+    /// [`pdp_metrics::AuditKey`]).
+    pub fn audit(&self) -> &TrustedAudit {
+        &self.audit
+    }
+
+    /// Id-keyed answer lookup: the stable way to read a release across
+    /// epoch churn. `None` when `query` was not active in this release's
+    /// epoch.
+    pub fn answer_for(&self, query: QueryId) -> Option<Answer> {
+        let i = self.query_ids.iter().position(|&q| q == query)?;
+        Some(self.answers[i].clone())
+    }
 }
 
 /// The push-based trusted engine: consumes [`Event`]s, emits
@@ -260,6 +360,12 @@ pub struct WindowRelease {
 pub struct StreamingEngine {
     core: OnlineCore,
     ledger: BudgetLedger<PatternId>,
+    /// Accounting of the non-boolean consumer queries' dedicated budgets
+    /// (argmax draws), keyed by stable [`QueryId`].
+    query_ledger: BudgetLedger<QueryId>,
+    /// Trailing-window state of the stateful queries (count/argmax),
+    /// keyed by stable [`QueryId`] so it survives epoch switches.
+    query_state: QueryStateSet,
     detector: IncrementalDetector,
     n_types: usize,
     events_seen: usize,
@@ -296,6 +402,8 @@ impl StreamingEngine {
         Ok(StreamingEngine {
             core,
             ledger: BudgetLedger::unlimited(),
+            query_ledger: BudgetLedger::unlimited(),
+            query_state: QueryStateSet::new(),
             detector,
             n_types,
             events_seen: 0,
@@ -459,14 +567,22 @@ impl StreamingEngine {
         let mut protected = row.presence;
         self.core
             .release_window_in_place(&mut protected, &mut self.ledger, rng)?;
-        let answers = self.core.answer_window(&protected);
+        let (answers, charges) = self
+            .core
+            .answer_window(&protected, &mut self.query_state, rng);
+        for (query, eps) in charges {
+            self.query_ledger
+                .spend(query, eps)
+                .expect("the engine query ledger is unlimited");
+        }
         Ok(WindowRelease {
             index: row.index,
             start: row.start,
             epoch: self.core.epoch(),
-            raw_detections: row.detections,
+            audit: TrustedAudit::seal(row.detections),
             protected,
             answers,
+            query_ids: self.core.query_ids(),
         })
     }
 
@@ -491,13 +607,21 @@ impl StreamingEngine {
         self.ledger.spent(&id)
     }
 
-    /// Names of the active queries, in the order of
-    /// [`WindowRelease::answers`].
-    pub fn query_names(&self) -> Vec<&str> {
+    /// Dedicated budget spent so far by one non-boolean consumer query
+    /// (argmax draws; zero for boolean/count/categorical queries, which
+    /// are pure post-processing).
+    pub fn query_budget_spent(&self, query: QueryId) -> Epsilon {
+        self.query_ledger.spent(&query)
+    }
+
+    /// The active queries as `(stable id, name)` pairs, in the order of
+    /// [`WindowRelease::answers`]. Names are ambiguous after revocation
+    /// and re-registration; the id is the stable consumer handle.
+    pub fn query_names(&self) -> Vec<(QueryId, &str)> {
         self.core
             .queries()
             .iter()
-            .map(|q| q.name.as_str())
+            .map(|q| (q.id, q.name.as_str()))
             .collect()
     }
 
@@ -518,6 +642,7 @@ mod tests {
     use crate::engine::{PpmKind, TrustedEngineConfig};
     use pdp_cep::Pattern;
     use pdp_metrics::Alpha;
+    use pdp_metrics::AuditKey;
     use pdp_stream::{EventType, WindowedIndicators};
 
     fn t(i: u32) -> EventType {
@@ -588,13 +713,15 @@ mod tests {
         assert_eq!(releases.len(), 2);
         assert_eq!(releases[0].index, 0);
         assert_eq!(releases[0].start, Timestamp::ZERO);
-        assert_eq!(releases[0].answers, vec![true]); // t2 present
+        assert_eq!(releases[0].answers, vec![Answer::Bool(true)]); // t2 present
         assert!(releases[0].protected.get(t(0)));
-        assert_eq!(releases[1].answers, vec![false]); // gap window empty
+        assert_eq!(releases[1].answers, vec![Answer::Bool(false)]); // gap window empty
         assert_eq!(releases[1].protected.count_present(), 0);
         let last = s.finish(&mut rng).unwrap().unwrap();
         assert_eq!(last.index, 2);
-        assert_eq!(last.answers, vec![true]);
+        assert_eq!(last.answers, vec![Answer::Bool(true)]);
+        assert_eq!(last.answer_for(QueryId(0)), Some(Answer::Bool(true)));
+        assert_eq!(last.answer_for(QueryId(7)), None);
         assert_eq!(s.releases(), 3);
         assert_eq!(s.events_seen(), 3);
         assert!(s.finish(&mut rng).unwrap().is_none());
@@ -620,11 +747,11 @@ mod tests {
         let mut rng = DpRng::seed_from(1);
         s.push(&e(0, 1), &mut rng).unwrap();
         let release = s.finish(&mut rng).unwrap().unwrap();
-        assert_eq!(release.answers, vec![false]);
+        assert_eq!(release.answers, vec![Answer::Bool(false)]);
     }
 
     #[test]
-    fn raw_detections_come_from_the_incremental_detector() {
+    fn sealed_audit_carries_the_incremental_detections() {
         let engine = set_up_engine(PpmKind::PassThrough);
         let mut s = StreamingEngine::from_engine(
             &engine,
@@ -638,8 +765,11 @@ mod tests {
         s.push(&e(0, 1), &mut rng).unwrap();
         s.push(&e(1, 4), &mut rng).unwrap();
         let release = s.finish(&mut rng).unwrap().unwrap();
-        // pattern 0 = SEQ(t0, t1) observed in order; pattern 1 = t2 absent
-        assert_eq!(release.raw_detections, vec![true, false]);
+        // pattern 0 = SEQ(t0, t1) observed in order; pattern 1 = t2 absent —
+        // readable only through the explicit trusted-boundary key
+        let key = AuditKey::trusted_boundary();
+        assert_eq!(release.audit().open(&key), &[true, false]);
+        assert_eq!(release.audit().len(), 2);
     }
 
     #[test]
@@ -713,13 +843,22 @@ mod tests {
         assert_eq!(releases.len(), 3);
         // window 0 still answers under the old plan; 1 and 2 under the new
         assert_eq!(releases[0].epoch, 0);
-        assert_eq!(releases[0].answers, vec![true]);
+        assert_eq!(releases[0].answers, vec![Answer::Bool(true)]);
         assert_eq!(releases[1].epoch, 1);
-        assert_eq!(releases[1].answers, vec![false, true]);
+        assert_eq!(
+            releases[1].answers,
+            vec![Answer::Bool(false), Answer::Bool(true)]
+        );
         assert_eq!(releases[2].epoch, 1);
-        assert_eq!(releases[2].answers, vec![false, false]);
+        assert_eq!(
+            releases[2].answers,
+            vec![Answer::Bool(false), Answer::Bool(false)]
+        );
         assert_eq!(s.epoch(), 1);
-        assert_eq!(s.query_names(), vec!["t2?", "t3?"]);
+        assert_eq!(
+            s.query_names(),
+            vec![(QueryId(0), "t2?"), (QueryId(1), "t3?")]
+        );
         assert_eq!(s.query_id(1), Some(QueryId(1)));
     }
 

@@ -17,8 +17,8 @@ use std::time::Instant;
 
 use pdp_cep::Pattern;
 use pdp_core::{
-    CoreError, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig,
-    SubjectId,
+    CoreError, CountingSink, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService,
+    StreamingConfig, SubjectId,
 };
 use pdp_dp::{DpRng, Epsilon};
 use pdp_metrics::Alpha;
@@ -49,6 +49,10 @@ pub struct BenchJsonConfig {
     /// periodic control-plane epoch transitions (pattern churn +
     /// `begin_epoch` every few batches).
     pub churn: bool,
+    /// Also measure the `--sink` scenario: the same ingest workload
+    /// delivered through `push_batch_into(sink)` (zero-copy consumer
+    /// path, a counting sink) instead of `BatchOutput` accumulation.
+    pub sink: bool,
 }
 
 impl BenchJsonConfig {
@@ -61,6 +65,7 @@ impl BenchJsonConfig {
             out: "BENCH_hotpath.json".to_owned(),
             smoke: false,
             churn: false,
+            sink: false,
         }
     }
 
@@ -73,6 +78,7 @@ impl BenchJsonConfig {
             out: "BENCH_hotpath.json".to_owned(),
             smoke: true,
             churn: false,
+            sink: false,
         }
     }
 }
@@ -118,6 +124,12 @@ pub struct BenchReport {
     /// scenario); absent when the runner was invoked without `--churn`,
     /// so artifacts written before the scenario existed keep parsing.
     pub churn: Option<Vec<BenchCell>>,
+    /// Ingest throughput through the sink delivery path (the `--sink`
+    /// scenario: `push_batch_into` with a counting sink — no
+    /// `BatchOutput` accumulation); absent without `--sink`, so earlier
+    /// artifacts keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sink: Option<Vec<BenchCell>>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -224,6 +236,40 @@ fn measure_release(n_shards: usize, n_windows: usize, reps: usize) -> Result<Ben
     })
 }
 
+/// The `--sink` scenario: the identical ingest workload as
+/// [`measure_ingest`], but delivered through the sink path — every
+/// release moves into a [`CountingSink`] instead of being accumulated
+/// into a `BatchOutput`. Expected ≥ parity with the legacy cell: the
+/// sink drops what the legacy path collects, so release-heavy runs save
+/// the output vectors.
+fn measure_sink(
+    n_shards: usize,
+    events: &[KeyedEvent],
+    reps: usize,
+) -> Result<BenchCell, CoreError> {
+    let proto = service(n_shards)?;
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut svc = proto.clone();
+        let mut sink = CountingSink::default();
+        let start = Instant::now();
+        for chunk in events.chunks(BATCH) {
+            svc.push_batch_into(chunk.to_vec(), &mut sink)?;
+        }
+        svc.finish_into(&mut sink)?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(sink.shard_releases > 0, "sink run must deliver releases");
+        best_ms = best_ms.min(ms);
+    }
+    let units = events.len() as u64;
+    Ok(BenchCell {
+        shards: n_shards,
+        units,
+        best_ms,
+        per_sec: units as f64 / (best_ms / 1e3),
+    })
+}
+
 /// The `--churn` scenario: the same ingest workload, but every few
 /// batches one tenant registers a fresh private pattern, the previous
 /// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
@@ -281,6 +327,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     let mut ingest = Vec::new();
     let mut release = Vec::new();
     let mut churn = config.churn.then(Vec::new);
+    let mut sink = config.sink.then(Vec::new);
     for &n_shards in &SHARD_COUNTS {
         eprintln!(
             "bench-json: ingest @ {n_shards} shard(s), {} events…",
@@ -302,6 +349,13 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             );
             cells.push(measure_churn(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
         }
+        if let Some(cells) = sink.as_mut() {
+            eprintln!(
+                "bench-json: sink ingest @ {n_shards} shard(s), {} events…",
+                events.len()
+            );
+            cells.push(measure_sink(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
+        }
     }
     let baseline = (!config.smoke).then(|| BenchBaseline {
         note: "unmodified main before the hot-path overhaul: criterion bench \
@@ -315,6 +369,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         ingest,
         release,
         churn,
+        sink,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -334,6 +389,14 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             .is_none_or(|cells| cells.len() != SHARD_COUNTS.len())
     {
         return Err(format!("{} round-trip lost churn cells", config.out));
+    }
+    if config.sink
+        && parsed
+            .sink
+            .as_ref()
+            .is_none_or(|cells| cells.len() != SHARD_COUNTS.len())
+    {
+        return Err(format!("{} round-trip lost sink cells", config.out));
     }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
@@ -360,6 +423,7 @@ mod tests {
         assert_eq!(report.ingest.len(), 3);
         assert_eq!(report.release.len(), 3);
         assert!(report.churn.is_none(), "churn is opt-in");
+        assert!(report.sink.is_none(), "sink is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -394,8 +458,31 @@ mod tests {
         std::fs::remove_file(&config.out).ok();
     }
 
-    /// The committed artifact (written before the churn scenario existed)
-    /// must keep parsing under the extended schema.
+    #[test]
+    fn sink_cells_measure_sink_delivery() {
+        let mut config = BenchJsonConfig::smoke();
+        config.n_events = 600;
+        config.n_release_windows = 3;
+        config.sink = true;
+        let dir = std::env::temp_dir().join("pdp_bench_json_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        let sink = report.sink.expect("sink cells requested");
+        assert_eq!(sink.len(), SHARD_COUNTS.len());
+        for (cell, &shards) in sink.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(cell.shards, shards);
+            assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
+            assert_eq!(cell.units, 600);
+        }
+        std::fs::remove_file(&config.out).ok();
+    }
+
+    /// The committed artifact (written before the churn and sink
+    /// scenarios existed) must keep parsing under the extended schema.
     #[test]
     fn legacy_artifact_without_churn_still_parses() {
         let legacy = r#"{"bench":"hotpath","smoke":true,
@@ -404,6 +491,7 @@ mod tests {
             "baseline":null}"#;
         let parsed: BenchReport = serde_json::from_str(legacy).expect("legacy schema parses");
         assert!(parsed.churn.is_none());
+        assert!(parsed.sink.is_none());
         assert!(parsed.baseline.is_none());
     }
 }

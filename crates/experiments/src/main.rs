@@ -4,7 +4,7 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--churn] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
+//! experiments bench-json [--smoke] [--churn] [--sink] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -64,6 +64,12 @@ fn main() {
                     for cell in report.churn.iter().flatten() {
                         println!(
                             "churn   {} shard(s): {:>12.0} events/s (periodic epoch transitions)",
+                            cell.shards, cell.per_sec
+                        );
+                    }
+                    for cell in report.sink.iter().flatten() {
+                        println!(
+                            "sink    {} shard(s): {:>12.0} events/s (push_batch_into delivery)",
                             cell.shards, cell.per_sec
                         );
                     }
@@ -161,6 +167,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
         BenchJsonConfig::full()
     };
     config.churn = args.iter().any(|a| a == "--churn");
+    config.sink = args.iter().any(|a| a == "--sink");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

@@ -1,0 +1,148 @@
+//! The sealed trusted-boundary view of raw (pre-protection) detections.
+//!
+//! The paper's trust model (§III-A, Fig. 2) is strict: everything a data
+//! consumer receives is computed on the *protected* view; the raw
+//! per-pattern detections exist only inside the trusted engine, where they
+//! are the ground truth for quality metering (Eq. 1–3 compare protected
+//! answers against them). [`TrustedAudit`] turns that boundary into a
+//! type: releases carry their raw detections *sealed* — no public field,
+//! no `Deref`, no accessor that hands the bits out unconditionally.
+//! Reading them requires an [`AuditKey`], whose construction is the one
+//! explicit, grep-able act of crossing the boundary.
+//!
+//! The guarantee is *by construction* in the practical sense: consumer
+//! code that never mints an [`AuditKey`] cannot read raw detections, and
+//! every site that does mint one is a visible audit point (the
+//! quality-metering and experiment harnesses). Serialization is
+//! deliberately not implemented for [`TrustedAudit`], so the sealed bits
+//! cannot ride along a serialized release either.
+
+use crate::confusion::ConfusionMatrix;
+
+/// Capability to open a [`TrustedAudit`].
+///
+/// Minting a key asserts "this code runs inside the trusted boundary and
+/// is entitled to pre-protection ground truth" — quality metering,
+/// experiment scoring, engine-internal debugging. Keys are deliberately
+/// not `Clone`/`Copy` and carry no data: their only purpose is to make
+/// every raw-detection read site explicit and searchable.
+#[derive(Debug)]
+pub struct AuditKey {
+    _sealed: (),
+}
+
+impl AuditKey {
+    /// Mint a key, declaring the calling code part of the trusted
+    /// boundary. Do **not** call this from consumer-facing code paths:
+    /// anything derived from an opened audit reflects the raw stream,
+    /// not the protected view, and leaks exactly what the pattern-level
+    /// mechanism spends budget to hide.
+    pub fn trusted_boundary() -> Self {
+        AuditKey { _sealed: () }
+    }
+}
+
+/// Raw per-pattern detections of one released window, sealed behind the
+/// trusted boundary. See the module docs for the model.
+///
+/// Equality and cloning are supported so releases (which embed an audit)
+/// stay comparable in equivalence tests; neither operation exposes the
+/// bits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrustedAudit {
+    detections: Vec<bool>,
+}
+
+impl TrustedAudit {
+    /// Seal one window's raw detections (indexed by pattern id). Called
+    /// by the trusted engine when it forms a release; sealing is always
+    /// allowed — only *opening* is gated.
+    pub fn seal(detections: Vec<bool>) -> Self {
+        TrustedAudit { detections }
+    }
+
+    /// Number of sealed per-pattern flags. Public without a key: the
+    /// *count* of registered patterns is setup-phase metadata, not
+    /// stream-derived information.
+    pub fn len(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// True when no detections are sealed.
+    pub fn is_empty(&self) -> bool {
+        self.detections.is_empty()
+    }
+
+    /// Open the sealed detections. Requires an [`AuditKey`] — the
+    /// explicit trusted-boundary crossing.
+    pub fn open(&self, _key: &AuditKey) -> &[bool] {
+        &self.detections
+    }
+
+    /// Quality metering in one step: record `(raw truth, predicted)`
+    /// pairs into a confusion matrix, where `predicted` is the
+    /// per-pattern detection recomputed on the *protected* view. The
+    /// matrix feeds Eq. 1–3 ([`QualityReport::from_confusion`]).
+    ///
+    /// Slices of unequal length are rejected rather than truncated — a
+    /// misaligned metering pass would silently score the wrong patterns.
+    ///
+    /// [`QualityReport::from_confusion`]: crate::quality::QualityReport::from_confusion
+    pub fn meter(
+        &self,
+        key: &AuditKey,
+        predicted: &[bool],
+        into: &mut ConfusionMatrix,
+    ) -> Result<(), String> {
+        let truth = self.open(key);
+        if truth.len() != predicted.len() {
+            return Err(format!(
+                "audit holds {} pattern flags but {} predictions were supplied",
+                truth.len(),
+                predicted.len()
+            ));
+        }
+        into.record_all(truth, predicted);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{Alpha, QualityReport};
+
+    #[test]
+    fn sealed_bits_open_only_with_a_key() {
+        let audit = TrustedAudit::seal(vec![true, false, true]);
+        assert_eq!(audit.len(), 3);
+        assert!(!audit.is_empty());
+        let key = AuditKey::trusted_boundary();
+        assert_eq!(audit.open(&key), &[true, false, true]);
+        assert!(TrustedAudit::default().is_empty());
+    }
+
+    #[test]
+    fn metering_accumulates_confusion_counts() {
+        let key = AuditKey::trusted_boundary();
+        let mut m = ConfusionMatrix::new();
+        TrustedAudit::seal(vec![true, true, false, false])
+            .meter(&key, &[true, false, true, false], &mut m)
+            .unwrap();
+        assert_eq!((m.tp, m.fn_, m.fp, m.tn), (1, 1, 1, 1));
+        let report = QualityReport::from_confusion(&m, Alpha::HALF);
+        assert!((report.precision - 0.5).abs() < 1e-12);
+        assert!((report.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misaligned_metering_is_rejected() {
+        let key = AuditKey::trusted_boundary();
+        let mut m = ConfusionMatrix::new();
+        let err = TrustedAudit::seal(vec![true])
+            .meter(&key, &[true, false], &mut m)
+            .unwrap_err();
+        assert!(err.contains("1 pattern flags"));
+        assert_eq!(m.total(), 0, "rejection leaves the matrix untouched");
+    }
+}

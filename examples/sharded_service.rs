@@ -15,7 +15,8 @@
 
 use pattern_dp_repro::cep::Pattern;
 use pattern_dp_repro::core::{
-    KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId,
+    Answer, CountQuery, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, StreamingConfig,
+    SubjectId, VecSink,
 };
 use pattern_dp_repro::dp::{DpRng, Epsilon};
 use pattern_dp_repro::metrics::Alpha;
@@ -58,13 +59,20 @@ fn main() {
     let carol = SubjectId(35);
     builder.register_subject(carol);
 
-    // The building-operations consumer asks population-level questions.
-    let (hvac_q, _) = builder.register_target_query(
+    // The building-operations consumer asks population-level questions —
+    // a boolean pattern query and a §VII count query, registered through
+    // the same registry under stable QueryIds.
+    let (hvac_q, hvac_pid) = builder.register_target_query(
         "hvac-while-occupied?",
         Pattern::seq("hvac+motion", vec![HVAC_ON, ROOM_MOTION]).unwrap(),
     );
+    let busy_q = builder.register_extension_query(
+        "occupied-last3",
+        &CountQuery::new(hvac_pid, 3).expect("valid horizon"),
+    );
 
     let mut service = builder.build().expect("setup completes");
+    println!("consumer queries (stable ids): {:?}", service.query_names());
     println!("service online: {} shards", service.n_shards());
     for subject in service.subjects() {
         println!(
@@ -114,23 +122,39 @@ fn main() {
                 Event::new(ty, Timestamp::from_millis((clock - jitter).max(0))),
             ));
         }
-        let out = service.push_batch(batch).expect("ingestion");
-        merged_windows += out.merged.len();
-        for m in &out.merged {
-            if m.answers_any[hvac_q.0 as usize] {
-                println!(
-                    "batch {batch_no}: window {} (epoch {}) — HVAC ran while occupied \
-                     (on {} of {} shards)",
-                    m.index,
-                    m.epoch,
-                    m.positive_shards[hvac_q.0 as usize],
-                    service.n_shards()
-                );
+        // consumers subscribe per stable QueryId and receive typed,
+        // id-keyed answer records — positions never shift under churn
+        let mut sink = VecSink::subscribed([hvac_q, busy_q]);
+        service
+            .push_batch_into(batch, &mut sink)
+            .expect("ingestion");
+        merged_windows += sink.merged.len();
+        for record in &sink.answers {
+            match (&record.answer, record.query) {
+                (Answer::Bool(true), q) if q == hvac_q => println!(
+                    "batch {batch_no}: window {} (epoch {}) — HVAC ran while occupied",
+                    record.window, record.epoch,
+                ),
+                (Answer::Count(n), q) if q == busy_q && *n >= 2 => println!(
+                    "batch {batch_no}: window {} — occupied in {n} of the last 3 windows",
+                    record.window,
+                ),
+                _ => {}
             }
         }
     }
-    let out = service.finish().expect("drain");
-    merged_windows += out.merged.len();
+    let mut sink = VecSink::subscribed([hvac_q, busy_q]);
+    service.finish_into(&mut sink).expect("drain");
+    merged_windows += sink.merged.len();
+    // id-keyed reads work on merged rows too, across the epoch change
+    if let Some(last) = sink.merged.last() {
+        println!(
+            "final window {}: hvac={:?}, occupied-count={:?}",
+            last.index,
+            last.answer_for(hvac_q).expect("active"),
+            last.answer_for(busy_q).expect("active"),
+        );
+    }
 
     // ---- what the trusted side can audit ----
     println!(

@@ -10,10 +10,10 @@
 
 use pattern_dp_repro::cep::{parse_query, PatternSet, QueryExpr};
 use pattern_dp_repro::core::{
-    PpmKind, StreamingConfig, StreamingEngine, TrustedEngine, TrustedEngineConfig,
+    Answer, PpmKind, StreamingConfig, StreamingEngine, TrustedEngine, TrustedEngineConfig,
 };
 use pattern_dp_repro::dp::{DpRng, Epsilon};
-use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::metrics::{Alpha, AuditKey, ConfusionMatrix};
 use pattern_dp_repro::stream::{Event, ReorderBuffer, TimeDelta, Timestamp, TypeRegistry};
 
 fn main() {
@@ -107,30 +107,51 @@ fn main() {
         streaming.releases()
     );
 
-    // 4. Every release carries the raw detection (engine-internal), the
-    //    protected indicator view, and the consumer answers computed on
-    //    the protected view only.
+    // 4. Every release carries the protected indicator view and the typed
+    //    consumer answers (keyed by stable QueryId) computed on the
+    //    protected view only. The raw detections are *sealed*: reading
+    //    them requires minting an AuditKey — the explicit trusted-boundary
+    //    crossing only metering code performs.
+    let key = AuditKey::trusted_boundary();
     for r in &releases {
+        let (qid, name) = streaming.query_names()[query.0 as usize];
         println!(
-            "window {} (start {}): raw private={}, protected answer '{}'={}",
+            "window {} (start {}): raw private={}, protected answer '{}' ({})={}",
             r.index,
             r.start,
-            r.raw_detections[private_id.0 as usize],
-            streaming.query_names()[query.0 as usize],
-            r.answers[query.0 as usize],
+            r.audit().open(&key)[private_id.0 as usize],
+            name,
+            qid,
+            r.answer_for(query).expect("query active"),
         );
     }
-    assert!(releases[0].raw_detections[private_id.0 as usize]);
+    assert!(releases[0].audit().open(&key)[private_id.0 as usize]);
 
     // hvac/room are uncorrelated with the private pattern, so the consumer
     // answers are exact; only badge/corridor bits carry noise.
     let truth = [true, true];
     let answers: Vec<bool> = releases
         .iter()
-        .map(|r| r.answers[query.0 as usize])
+        .map(|r| r.answer_for(query) == Some(Answer::Bool(true)))
         .collect();
     assert_eq!(answers, truth);
     println!("target answers exact — only badge/corridor bits carry noise");
+
+    // quality metering on the trusted side: compare each release's sealed
+    // raw detection of the target against the protected answer
+    let mut confusion = ConfusionMatrix::new();
+    for r in &releases {
+        let raw_target = r.audit().open(&key)[target_id.0 as usize];
+        let protected_target = r.answer_for(query).expect("query active").truthy();
+        confusion.record(raw_target, protected_target);
+    }
+    println!(
+        "quality metering over {} windows: precision {:.2}, recall {:.2}",
+        confusion.total(),
+        confusion.precision(),
+        confusion.recall()
+    );
+    assert_eq!(confusion.total() as usize, releases.len());
 
     // 5. The ledger recorded one ε = 2.0 release per closed window.
     println!(

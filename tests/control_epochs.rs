@@ -106,7 +106,15 @@ fn epoch_transition_runs_optimize_all_on_the_effective_history() {
         "effective history includes released windows, got {}",
         history.len()
     );
-    let targets: Vec<_> = plan.core.queries().iter().map(|q| q.pattern).collect();
+    // mirror the plan compile's cross-query dedup (first-reference order)
+    let mut targets: Vec<_> = Vec::new();
+    for q in plan.core.queries() {
+        for pid in q.spec.referenced_patterns() {
+            if !targets.contains(&pid) {
+                targets.push(pid);
+            }
+        }
+    }
     let model =
         QualityModel::new(history, svc.control().patterns(), &targets, Alpha::HALF).unwrap();
     let expected = optimize_all(

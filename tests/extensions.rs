@@ -6,8 +6,8 @@
 
 use pattern_dp_repro::cep::Pattern;
 use pattern_dp_repro::core::{
-    find_correlates, CategoricalQuery, CountQuery, KeyedEvent, Mechanism, NoisyArgmax, PpmKind,
-    ProtectionPipeline, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId,
+    find_correlates, Answer, CategoricalQuery, CountQuery, KeyedEvent, Mechanism, NoisyArgmax,
+    PpmKind, ProtectionPipeline, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId,
 };
 use pattern_dp_repro::datasets::{SyntheticConfig, SyntheticDataset};
 use pattern_dp_repro::dp::{DpRng, Epsilon};
@@ -221,6 +221,149 @@ fn extension_queries_ride_the_real_sharded_release_path() {
     for (m, w) in merged.iter().zip(0i64..) {
         assert_eq!(m.answers_any[0], busy_windows.contains(&w), "window {w}");
     }
+}
+
+/// Extension queries answered through the **registered** sharded release
+/// path (stable ids, epoch compilation, typed answers in the merged
+/// rows) equal hand-evaluation with the standalone `CountQuery` /
+/// `CategoricalQuery` types on the same population-level protected
+/// windows (`protected_any`) — across an epoch transition that *adds*
+/// one extension query and *revokes* another.
+#[test]
+fn registered_extension_queries_equal_hand_evaluation_across_epochs() {
+    const WINDOW_MS: i64 = 10;
+    let t = EventType;
+    let mut b = ServiceBuilder::new(ServiceConfig {
+        n_shards: 2,
+        n_types: 4,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_millis(WINDOW_MS)),
+        max_delay: TimeDelta::from_millis(4),
+        seed: 77,
+        history_window: 0,
+    })
+    .unwrap();
+    // subject 1 protects type 0; types 1..=3 pass through exactly
+    b.register_private_pattern(SubjectId(1), Pattern::single("p0", t(0)));
+    b.register_subject(SubjectId(2));
+    let (_, busy) = b.register_target_query("busy?", Pattern::single("busy", t(2)));
+    let quiet = b.register_pattern(Pattern::single("quiet", t(3)));
+    let count_q = CountQuery::new(busy, 3).unwrap();
+    let q_count = b.register_extension_query("busy-last3", &count_q);
+    let cat_q = CategoricalQuery::new(vec![("busy".into(), busy), ("quiet".into(), quiet)], "idle")
+        .unwrap();
+    let q_cat = b.register_extension_query("mood", &cat_q);
+    let mut svc = b.build().unwrap();
+
+    // phase 1 (epoch 0): busy in windows 0, 1, 3; quiet in window 2
+    let ev = |subject: u64, ty: u32, ms: i64| {
+        KeyedEvent::new(
+            SubjectId(subject),
+            Event::new(t(ty), Timestamp::from_millis(ms)),
+        )
+    };
+    let mut batch = Vec::new();
+    for w in 0..5i64 {
+        batch.push(ev(1, 0, w * WINDOW_MS + 1));
+        if [0, 1, 3].contains(&w) {
+            batch.push(ev(2, 2, w * WINDOW_MS + 2));
+        }
+        if w == 2 {
+            batch.push(ev(2, 3, w * WINDOW_MS + 2));
+        }
+    }
+    let mut merged = Vec::new();
+    merged.extend(svc.push_batch(batch).unwrap().merged);
+    merged.extend(
+        svc.advance_watermark(Timestamp::from_millis(5 * WINDOW_MS + 4))
+            .unwrap()
+            .merged,
+    );
+    assert_eq!(merged.len(), 5, "phase-1 windows all merged");
+
+    // the transition: revoke the categorical query, add a second count
+    svc.remove_consumer_query(q_cat).unwrap();
+    let count2_q = CountQuery::new(quiet, 2).unwrap();
+    let q_count2 = svc.add_extension_query("quiet-last2", &count2_q);
+    let transition = svc.begin_epoch().unwrap().expect("staged");
+    let boundary = transition.activation_index;
+    assert_eq!(boundary, 5, "every shard released exactly 5 windows");
+
+    // phase 2 (epoch 1): busy in window 5, quiet in windows 6 and 7
+    let batch = vec![
+        ev(1, 0, 5 * WINDOW_MS + 1),
+        ev(2, 2, 5 * WINDOW_MS + 2),
+        ev(2, 3, 6 * WINDOW_MS + 2),
+        ev(2, 3, 7 * WINDOW_MS + 2),
+    ];
+    merged.extend(svc.push_batch(batch).unwrap().merged);
+    merged.extend(svc.finish().unwrap().merged);
+    assert_eq!(merged.len(), 8);
+
+    // the consumer-side protected history: the population-level union
+    let protected =
+        WindowedIndicators::new(merged.iter().map(|m| m.protected_any.clone()).collect());
+    let patterns = svc.control().patterns();
+
+    // count query: registered-path typed answers == hand evaluation on
+    // protected_any, across the whole run (its trailing state is keyed
+    // by stable id and survives the transition)
+    let hand_counts = count_q.answer(patterns, &protected).unwrap();
+    for (m, want) in merged.iter().zip(&hand_counts) {
+        assert_eq!(
+            m.answer_for(q_count),
+            Some(Answer::Count(*want)),
+            "window {}",
+            m.index
+        );
+    }
+    // …and with exact (unflipped) busy bits the counts are the schedule's
+    assert_eq!(hand_counts, vec![1, 2, 2, 2, 1, 2, 1, 1]);
+
+    // categorical: active only before the boundary; hand evaluation on
+    // the same windows matches, and after revocation the id reads None
+    let hand_labels = cat_q.answer(patterns, &protected).unwrap();
+    for (m, want) in merged.iter().zip(&hand_labels) {
+        if m.index < boundary {
+            assert_eq!(
+                m.answer_for(q_cat),
+                Some(Answer::Categorical(want.clone())),
+                "window {}",
+                m.index
+            );
+        } else {
+            assert_eq!(m.answer_for(q_cat), None, "revoked at the boundary");
+        }
+    }
+    assert_eq!(
+        &hand_labels[..5],
+        &["busy", "busy", "quiet", "busy", "idle"]
+    );
+
+    // the added count query answers from its activation window on; its
+    // hand evaluation starts at the boundary (no pre-activation state)
+    let tail = WindowedIndicators::new(
+        merged[boundary..]
+            .iter()
+            .map(|m| m.protected_any.clone())
+            .collect(),
+    );
+    let hand_tail = count2_q.answer(patterns, &tail).unwrap();
+    for (m, want) in merged[boundary..].iter().zip(&hand_tail) {
+        assert_eq!(
+            m.answer_for(q_count2),
+            Some(Answer::Count(*want)),
+            "window {}",
+            m.index
+        );
+    }
+    for m in &merged[..boundary] {
+        assert_eq!(m.answer_for(q_count2), None, "not yet active");
+    }
+    assert_eq!(hand_tail, vec![0, 1, 2]);
 }
 
 #[test]

@@ -83,7 +83,7 @@ fn stream_everything(
     let protected = WindowedIndicators::new(releases.iter().map(|r| r.protected.clone()).collect());
     let n_queries = s.query_names().len();
     let answers = (0..n_queries)
-        .map(|q| releases.iter().map(|r| r.answers[q]).collect())
+        .map(|q| releases.iter().map(|r| r.answers[q].truthy()).collect())
         .collect();
     (protected, answers, s)
 }
