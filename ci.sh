@@ -40,12 +40,14 @@ cargo bench --no-run
 
 # The JSON throughput runner in smoke mode: exercises the full sharded
 # hot path end to end — including the --churn scenario's periodic epoch
-# transitions and the --sink scenario's zero-copy consumer delivery —
-# and fails if the artifact it writes does not parse back (the runner
-# validates its own output, churn and sink cells included).
-echo "==> bench-json smoke (with churn + sink scenarios)"
+# transitions, the --sink scenario's zero-copy consumer delivery, and the
+# --scaling summary (which FAILS the run if a multi-shard service
+# silently fell back to inline execution on a multi-core host) — and
+# fails if the artifact it writes does not parse back (the runner
+# validates its own output, churn, sink and scaling cells included).
+echo "==> bench-json smoke (with churn + sink + scaling scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

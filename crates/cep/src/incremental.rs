@@ -14,6 +14,7 @@
 //! so the per-event steady state allocates nothing.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use pdp_stream::{Event, EventType, IndicatorVector, TimeDelta, Timestamp, TypeMask};
 
@@ -36,6 +37,50 @@ pub struct ClosedWindow {
     /// paths can take ownership of it and perturb it in place without a
     /// single copy.
     pub presence: IndicatorVector,
+}
+
+/// A pattern-set swap compiled ahead of its activation window.
+///
+/// Epoch activation used to recompile the NFA set and conjunction masks
+/// inside the detector's window-close update application — on the hot path, at
+/// window close, once *per detector*. A `PreparedPatternSwap` hoists that
+/// compile off the hot path: the control plane compiles **once** on the
+/// service thread and shares the result across every shard behind an
+/// [`Arc`], so activation at window close is a handful of clones of
+/// already-compiled state.
+#[derive(Debug, Clone)]
+pub struct PreparedPatternSwap {
+    patterns: PatternSet,
+    compiled: CompiledSet,
+    conj_masks: Vec<TypeMask>,
+    n_types: usize,
+}
+
+impl PreparedPatternSwap {
+    /// Compile `patterns` for a type universe of width `n_types`.
+    pub fn prepare(patterns: PatternSet, n_types: usize) -> Self {
+        let compiled = CompiledSet::compile(&patterns);
+        let conj_masks = patterns
+            .iter()
+            .map(|(_, p)| TypeMask::from_types(p.distinct_types(), n_types))
+            .collect();
+        PreparedPatternSwap {
+            patterns,
+            compiled,
+            conj_masks,
+            n_types,
+        }
+    }
+
+    /// The pattern set this swap activates.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Width of the type universe the swap was compiled for.
+    pub fn n_types(&self) -> usize {
+        self.n_types
+    }
 }
 
 /// Push-based tumbling-window detector.
@@ -64,8 +109,9 @@ pub struct IncrementalDetector {
     last_ts: Option<Timestamp>,
     /// Pattern-set swaps staged by future window index (epoch activation):
     /// the swap at `(at, set)` takes effect for every window whose release
-    /// index is `>= at`. Ascending by activation index.
-    pending: VecDeque<(usize, PatternSet)>,
+    /// index is `>= at`. Ascending by activation index. Pre-compiled and
+    /// `Arc`-shared so activation never compiles on the hot path.
+    pending: VecDeque<(usize, Arc<PreparedPatternSwap>)>,
 }
 
 impl IncrementalDetector {
@@ -127,6 +173,29 @@ impl IncrementalDetector {
         at_index: usize,
         patterns: PatternSet,
     ) -> Result<(), CepError> {
+        let swap = Arc::new(PreparedPatternSwap::prepare(patterns, self.n_types));
+        self.schedule_prepared_update(at_index, swap)
+    }
+
+    /// Stage a pre-compiled pattern-set swap — the zero-compile half of
+    /// [`IncrementalDetector::schedule_pattern_update`]. The caller compiles
+    /// one [`PreparedPatternSwap`] and shares it (behind an [`Arc`]) across
+    /// every detector that must activate it, so an N-shard service pays one
+    /// compile instead of N stop-the-world compiles at window close.
+    ///
+    /// Same validation as `schedule_pattern_update`, plus the swap must have
+    /// been prepared for this detector's type universe.
+    pub fn schedule_prepared_update(
+        &mut self,
+        at_index: usize,
+        swap: Arc<PreparedPatternSwap>,
+    ) -> Result<(), CepError> {
+        if swap.n_types != self.n_types {
+            return Err(CepError::InvalidQuery(format!(
+                "prepared swap compiled for {} types, detector has {}",
+                swap.n_types, self.n_types
+            )));
+        }
         if at_index < self.emitted {
             return Err(CepError::InvalidQuery(format!(
                 "cannot swap patterns at window {at_index}: {} already emitted",
@@ -143,8 +212,9 @@ impl IncrementalDetector {
         let prev = self
             .pending
             .back()
-            .map(|(_, set)| set)
+            .map(|(_, prepared)| prepared.patterns())
             .unwrap_or(&self.patterns);
+        let patterns = swap.patterns();
         if patterns.len() < prev.len()
             || prev
                 .iter()
@@ -156,23 +226,22 @@ impl IncrementalDetector {
                     .into(),
             ));
         }
-        self.pending.push_back((at_index, patterns));
+        self.pending.push_back((at_index, swap));
         Ok(())
     }
 
     /// Apply every staged swap due at or before the window about to close.
+    /// No compilation happens here — the swap carries pre-compiled state.
     fn apply_due_updates(&mut self, index: usize) {
         while self.pending.front().is_some_and(|(at, _)| *at <= index) {
-            let (_, patterns) = self.pending.pop_front().expect("checked non-empty");
-            self.compiled = CompiledSet::compile(&patterns);
-            self.conj_masks = patterns
-                .iter()
-                .map(|(_, p)| TypeMask::from_types(p.distinct_types(), self.n_types))
-                .collect();
+            let (_, swap) = self.pending.pop_front().expect("checked non-empty");
+            let swap = Arc::unwrap_or_clone(swap);
+            self.compiled = swap.compiled;
+            self.conj_masks = swap.conj_masks;
             // persisting patterns keep their open-window NFA state; new
             // ones start fresh
-            self.nfa_states.resize(patterns.len(), 0);
-            self.patterns = patterns;
+            self.nfa_states.resize(swap.patterns.len(), 0);
+            self.patterns = swap.patterns;
         }
     }
 
@@ -607,6 +676,54 @@ mod tests {
         det.schedule_pattern_update(4, patterns()).unwrap();
         assert!(det.schedule_pattern_update(3, patterns()).is_err());
         assert!(det.schedule_pattern_update(4, patterns()).is_ok());
+    }
+
+    #[test]
+    fn prepared_swap_shared_across_detectors_matches_inline_schedule() {
+        // one compile, shared by Arc across two detectors, must be
+        // indistinguishable from each detector compiling its own swap
+        let mut grown = patterns();
+        grown.insert(Pattern::single("d", t(1)));
+        let shared = Arc::new(PreparedPatternSwap::prepare(grown.clone(), 3));
+
+        let mk = || {
+            IncrementalDetector::new(
+                patterns(),
+                Semantics::Conjunction,
+                TimeDelta::from_millis(10),
+                3,
+            )
+            .unwrap()
+        };
+        let mut inline = mk();
+        inline.schedule_pattern_update(1, grown).unwrap();
+        let mut shared_a = mk();
+        shared_a
+            .schedule_prepared_update(1, shared.clone())
+            .unwrap();
+        let mut shared_b = mk();
+        shared_b.schedule_prepared_update(1, shared).unwrap();
+
+        for det in [&mut inline, &mut shared_a, &mut shared_b] {
+            det.push(&e(1, 2)).unwrap();
+            det.push(&e(1, 12)).unwrap();
+        }
+        let want = inline.finish().unwrap();
+        assert_eq!(shared_a.finish().unwrap(), want);
+        assert_eq!(shared_b.finish().unwrap(), want);
+    }
+
+    #[test]
+    fn prepared_swap_rejects_mismatched_type_universe() {
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Conjunction,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        let swap = Arc::new(PreparedPatternSwap::prepare(patterns(), 4));
+        assert!(det.schedule_prepared_update(0, swap).is_err());
     }
 
     proptest! {

@@ -42,6 +42,13 @@ pub enum CoreError {
     /// The control plane rejected a staged command or an epoch transition
     /// (revoking an unowned pattern, an empty transition, …).
     InvalidCommand(String),
+    /// A sharded-service worker thread died (its channel disconnected,
+    /// i.e. the thread panicked); the payload names the shard so the
+    /// failure is attributable instead of an opaque poisoned panic.
+    ShardWorker {
+        /// Index of the shard whose worker disconnected.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -68,6 +75,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
             CoreError::InvalidQuery(msg) => write!(f, "invalid consumer query: {msg}"),
             CoreError::InvalidCommand(msg) => write!(f, "invalid control-plane command: {msg}"),
+            CoreError::ShardWorker { shard } => {
+                write!(f, "shard {shard} worker thread died (channel disconnected)")
+            }
         }
     }
 }
@@ -104,5 +114,8 @@ mod tests {
         }
         .to_string()
         .contains('5'));
+        assert!(CoreError::ShardWorker { shard: 3 }
+            .to_string()
+            .contains("shard 3"));
     }
 }

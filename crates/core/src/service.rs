@@ -17,26 +17,46 @@
 //!   stream — and therefore every window of it — is always processed by
 //!   the same shard. Each shard runs its own [`OnlineCore`]-backed
 //!   [`StreamingEngine`] with an independent [`DpRng`];
-//! * **parallel shard workers**: a multi-shard service spawns one
-//!   persistent worker thread per shard at build time (plain
-//!   `std::thread` + channels — no external dependencies).
-//!   [`ShardedService::push_batch`] partitions a batch *once*, moves each
-//!   shard's state and sub-batch to its worker, and collects the results
-//!   back **in shard order**, so accounting, merging and output are
-//!   deterministic regardless of thread scheduling. Each shard's RNG
-//!   travels with its state, so an N-shard parallel run is bit-for-bit
-//!   the same as the serial one — and a 1-shard service (which runs
-//!   inline, no threads) stays bit-for-bit a plain [`StreamingEngine`];
+//! * **pipelined shard workers (shard-resident state)**: a multi-shard
+//!   service spawns one persistent worker thread per shard (plain
+//!   `std::thread` + channels — no external dependencies). Each worker
+//!   permanently owns its shard's state — [`ReorderBuffer`],
+//!   [`StreamingEngine`] and [`DpRng`] — behind an `Arc<Mutex<…>>` the
+//!   service thread only locks at explicit **sync points**
+//!   ([`ShardedService::finish`], [`ShardedService::begin_epoch`],
+//!   checkpoint-style reads), when all workers are idle and the locks are
+//!   uncontended. Nothing is moved over a channel per job;
+//! * **double-buffered bounded hand-off**:
+//!   [`ShardedService::push_batch`] partitions a batch into per-shard
+//!   sub-batch buffers that are swapped into a **bounded** SPSC job queue
+//!   the moment they fill, so partitioning of batch *k+1* overlaps shard
+//!   work on batch *k*. Backpressure is the queue filling up (the send
+//!   blocks); memory never grows unboundedly. Emptied buffers ride the
+//!   reply channel back and are reused — the steady state recycles
+//!   allocations instead of making them;
+//! * **deferred fold-back (one-call lag)**: a `push_batch` call settles
+//!   and delivers the releases of the *previous* call's round, then
+//!   submits its own and returns while the shards are still working.
+//!   Replies fold back **in shard order** via per-shard FIFO reply
+//!   channels, so accounting, merging and output are deterministic
+//!   regardless of thread scheduling. Every other operation
+//!   (`advance_watermark`, `finish`, `begin_epoch`, stats reads) is a
+//!   draining sync point: it folds all in-flight work first, so its
+//!   output includes everything submitted before it. Each shard's RNG
+//!   lives with its engine, so an N-shard parallel run is bit-for-bit
+//!   identical to the inline one — and a 1-shard service stays
+//!   bit-for-bit a plain [`StreamingEngine`];
 //! * **batched out-of-order ingestion** ([`ShardedService::push_batch`]):
 //!   events are keyed by subject, routed to their shard's
 //!   [`ReorderBuffer`] (ownership moves all the way in — no per-event
 //!   clone), and only enter the shard engine once the shard watermark
 //!   passes them; events later than the bounded delay are counted and
-//!   dropped. After every batch the **global low watermark** (the minimum
-//!   across shard buffers) drives
-//!   [`StreamingEngine::advance_watermark`] on every shard, so quiet
-//!   partitions keep releasing (protected, possibly flipped-present)
-//!   windows and all shards stay on one aligned window timeline;
+//!   dropped. The service thread mirrors every shard buffer's clock at
+//!   routing time, so the **global low watermark** (the minimum across
+//!   shard buffers) is known without a barrier and drives
+//!   [`StreamingEngine::advance_watermark`] on every shard in the same
+//!   round, keeping quiet partitions releasing (protected, possibly
+//!   flipped-present) windows on one aligned window timeline;
 //! * **merged releases**: shard releases fold into per-window-index
 //!   accumulators as they arrive; once every shard has released a given
 //!   index the row is emitted as a [`MergedRelease`] — boolean queries
@@ -72,8 +92,13 @@
 //!   yet (the frontier the global low watermark drives). Every shard —
 //!   and any independent engine handed the same `(activation, plan)` —
 //!   switches on the same window, so the equivalence anchors below extend
-//!   to the dynamic setting. See [`crate::control`] for the determinism
-//!   contract of command schedules.
+//!   to the dynamic setting. The detector-side pattern compile happens
+//!   **once**, on the service thread
+//!   ([`PreparedPatternSwap`]), and is
+//!   shared across all shards behind an `Arc`: activation at the
+//!   scheduled window is an atomic plan swap, not a per-shard
+//!   stop-the-world recompile. See [`crate::control`] for the
+//!   determinism contract of command schedules.
 //!
 //! Correctness is anchored by equivalence, not by re-proof: a 1-shard
 //! service reproduces [`StreamingEngine`] bit-for-bit under a seeded
@@ -84,10 +109,11 @@
 //! [`ReorderBuffer`]: pdp_stream::ReorderBuffer
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use pdp_cep::{Pattern, PatternId, QueryId};
+use pdp_cep::{Pattern, PatternId, PreparedPatternSwap, QueryId};
 use pdp_dp::{DpRng, EpochLedger, Epsilon};
 use pdp_metrics::Alpha;
 use pdp_stream::{Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, WindowedIndicators};
@@ -340,7 +366,7 @@ impl ServiceBuilder {
         }
         let plan = self.control.compile_initial()?;
         let n_shards = self.config.n_shards;
-        let assignment: HashMap<SubjectId, usize> = self
+        let assignment: RouteMap = self
             .control
             .active_subjects()
             .into_iter()
@@ -355,23 +381,34 @@ impl ServiceBuilder {
             // global watermark which may reach a shard before its first
             // event). Closes nothing and draws no randomness.
             engine.advance_watermark(Timestamp::ZERO, &mut DpRng::seed_from(0))?;
-            shards.push(Shard {
+            shards.push(Arc::new(Mutex::new(Shard {
                 buffer: ReorderBuffer::new(self.config.max_delay),
                 engine,
                 rng,
                 frontier: Timestamp::ZERO,
-                charges_by_epoch: vec![Vec::new()],
-                n_subjects: 0,
                 ready: Vec::new(),
-            });
+            })));
         }
+        let mut meta = vec![ShardMeta::default(); n_shards];
         for &shard in assignment.values() {
-            shards[shard].n_subjects += 1;
+            meta[shard].n_subjects += 1;
         }
 
+        let parallel = default_parallel(n_shards);
+        let workers = if parallel {
+            shards
+                .iter()
+                .map(|s| WorkerHandle::spawn(s.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut service = ShardedService {
             shards,
-            workers: spawn_worker_pool(n_shards),
+            workers,
+            parallel,
+            meta,
+            shard_charges: vec![vec![Vec::new()]; n_shards],
             assignment,
             ledgers: HashMap::new(),
             query_ledger: EpochLedger::new(),
@@ -379,7 +416,15 @@ impl ServiceBuilder {
             cores_by_epoch: Vec::new(),
             query_charges_by_epoch: Vec::new(),
             merged_state: QueryStateSet::new(),
+            activations: Vec::new(),
             control: self.control,
+            pending: VecDeque::new(),
+            outbox: VecDeque::new(),
+            deferred: None,
+            fill: vec![Vec::new(); n_shards],
+            spare: Vec::new(),
+            n_types: self.config.n_types,
+            max_delay: self.config.max_delay,
             events_ingested: 0,
             finished: false,
         };
@@ -388,6 +433,12 @@ impl ServiceBuilder {
     }
 }
 
+/// One shard's resident state: the reorder buffer, the engine and its
+/// RNG. Owned by the shard's worker thread in parallel mode (the service
+/// thread holds the same `Arc<Mutex<…>>` and locks it only at sync
+/// points, when the worker is idle); owned outright in inline mode.
+/// Everything the service needs on its own hot path (routing, ledgers,
+/// merge accumulators, watermark mirrors) lives on the service side.
 #[derive(Debug, Clone)]
 struct Shard {
     buffer: ReorderBuffer,
@@ -397,19 +448,12 @@ struct Shard {
     /// (event pushes and watermark advances); the global watermark is only
     /// applied when it moves a shard forward.
     frontier: Timestamp,
-    /// Indexed by epoch: `(subject, pattern, per-release ε)` to charge on
-    /// every release of that epoch. Kept for *all* epochs — releases of an
-    /// earlier epoch can still settle after a later plan was staged
-    /// (activation lies in the future).
-    charges_by_epoch: Vec<Vec<(SubjectId, PatternId, Epsilon)>>,
-    /// Subjects routed to this shard. A shard with none can never receive
-    /// events, so it must not hold the global low watermark back.
-    n_subjects: usize,
     /// Reused scratch for events the reorder buffer releases per push.
     ready: Vec<Event>,
 }
 
-/// One unit of work moved to a shard worker (or run inline).
+/// One unit of work queued to a shard worker (or run inline at fold time).
+#[derive(Debug)]
 enum ShardJob {
     /// This shard's slice of a batch, in arrival order: push each event
     /// through the reorder buffer into the engine.
@@ -426,8 +470,42 @@ enum ShardJob {
 }
 
 impl Shard {
-    /// Execute one job against this shard's state, appending the releases
-    /// it causes to `out`.
+    /// Execute one job and build the reply: the releases it caused, the
+    /// emptied ingest buffer (recycled by the partitioner), and a snapshot
+    /// of the shard's observable stats — so the service thread can serve
+    /// reads from mirrors without ever locking the shard mid-flight.
+    fn execute(&mut self, job: ShardJob) -> ShardReply {
+        let mut releases = Vec::new();
+        let mut recycled = None;
+        let error = match job {
+            ShardJob::Ingest(mut events) => {
+                let mut result = Ok(());
+                for event in events.drain(..) {
+                    self.buffer.push_into(event, &mut self.ready);
+                    if let Err(e) = self.drain_ready(&mut releases) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                events.clear();
+                recycled = Some(events);
+                result.err()
+            }
+            job => self.run(job, &mut releases).err(),
+        };
+        ShardReply {
+            releases,
+            recycled,
+            frontier: self.frontier,
+            dropped: self.buffer.dropped(),
+            buffered: self.buffer.pending(),
+            released: self.engine.releases(),
+            error,
+        }
+    }
+
+    /// Execute one non-ingest job against this shard's state, appending
+    /// the releases it causes to `out`.
     fn run(&mut self, job: ShardJob, out: &mut Vec<WindowRelease>) -> Result<(), CoreError> {
         match job {
             ShardJob::Ingest(events) => {
@@ -486,69 +564,91 @@ impl Shard {
     }
 }
 
-/// A shard worker's reply: the (possibly partially processed) shard state
-/// moves back to the service thread together with what it released.
-struct ShardDone {
-    shard: Shard,
+/// A shard worker's reply: what one job released, the emptied ingest
+/// buffer for reuse, and a stats snapshot the service keeps as mirrors.
+/// The shard state itself never moves — it stays resident on the worker.
+struct ShardReply {
     releases: Vec<WindowRelease>,
+    /// The ingest sub-batch buffer, emptied — handed back so the
+    /// partitioner reuses it instead of allocating.
+    recycled: Option<Vec<Event>>,
+    frontier: Timestamp,
+    dropped: u64,
+    buffered: usize,
+    released: usize,
     error: Option<CoreError>,
 }
 
-/// A persistent per-shard worker thread. Stateless between jobs: the shard
-/// state is *moved* in with each job and moved back with the reply, so the
-/// service retains full ownership between calls (cloning, inspection and
-/// accounting all read the shards directly).
+/// How many ingest sub-batches may sit in a shard's job queue before the
+/// submitting thread blocks — the backpressure bound of the pipeline.
+/// Memory in flight per shard is at most `QUEUE_DEPTH + 2` sub-batch
+/// buffers (one filling, one executing).
+const QUEUE_DEPTH: usize = 4;
+
+/// Events per ingest sub-batch: the partitioner swaps a shard's fill
+/// buffer into the job queue as soon as it holds this many events, so
+/// shard work on the front of a large batch overlaps partitioning of its
+/// tail.
+const SUB_BATCH: usize = 256;
+
+/// A persistent per-shard worker thread owning its shard behind an
+/// `Arc<Mutex<…>>`. Jobs stream in over a **bounded** SPSC channel
+/// (backpressure = a full queue blocks the submitter); replies stream
+/// back over an unbounded channel whose occupancy is bounded by the job
+/// queue depth. The service thread locks the shard only at sync points,
+/// when the worker has drained its queue and the lock is uncontended.
 #[derive(Debug)]
-struct Worker {
-    job_tx: Option<Sender<(Shard, ShardJob)>>,
-    done_rx: Receiver<ShardDone>,
+struct WorkerHandle {
+    job_tx: Option<SyncSender<ShardJob>>,
+    reply_rx: Receiver<ShardReply>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl Worker {
-    fn spawn() -> Worker {
-        let (job_tx, job_rx) = channel::<(Shard, ShardJob)>();
-        let (done_tx, done_rx) = channel::<ShardDone>();
+impl WorkerHandle {
+    fn spawn(shard: Arc<Mutex<Shard>>) -> WorkerHandle {
+        let (job_tx, job_rx) = sync_channel::<ShardJob>(QUEUE_DEPTH);
+        let (reply_tx, reply_rx) = channel::<ShardReply>();
         let handle = std::thread::Builder::new()
             .name("pdp-shard-worker".into())
             .spawn(move || {
-                while let Ok((mut shard, job)) = job_rx.recv() {
-                    let mut releases = Vec::new();
-                    let error = shard.run(job, &mut releases).err();
-                    if done_tx
-                        .send(ShardDone {
-                            shard,
-                            releases,
-                            error,
-                        })
-                        .is_err()
-                    {
+                while let Ok(job) = job_rx.recv() {
+                    let reply = {
+                        let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+                        shard.execute(job)
+                    };
+                    if reply_tx.send(reply).is_err() {
                         break;
                     }
                 }
             })
             .expect("spawn shard worker");
-        Worker {
+        WorkerHandle {
             job_tx: Some(job_tx),
-            done_rx,
+            reply_rx,
             handle: Some(handle),
         }
     }
 
-    fn submit(&self, shard: Shard, job: ShardJob) {
+    /// Queue one job; blocks while the shard's queue is full (bounded
+    /// hand-off). Fails if the worker thread died.
+    fn submit(&self, shard_idx: usize, job: ShardJob) -> Result<(), CoreError> {
         self.job_tx
             .as_ref()
-            .expect("worker is live")
-            .send((shard, job))
-            .expect("worker thread accepts jobs");
+            .ok_or(CoreError::ShardWorker { shard: shard_idx })?
+            .send(job)
+            .map_err(|_| CoreError::ShardWorker { shard: shard_idx })
     }
 
-    fn collect(&self) -> ShardDone {
-        self.done_rx.recv().expect("worker thread replies")
+    /// Receive the next reply, in submission order (SPSC FIFO). Fails if
+    /// the worker thread died without replying.
+    fn collect(&self, shard_idx: usize) -> Result<ShardReply, CoreError> {
+        self.reply_rx
+            .recv()
+            .map_err(|_| CoreError::ShardWorker { shard: shard_idx })
     }
 }
 
-impl Drop for Worker {
+impl Drop for WorkerHandle {
     fn drop(&mut self) {
         // closing the job channel ends the worker loop; then join
         drop(self.job_tx.take());
@@ -673,15 +773,130 @@ pub struct EpochTransition {
     pub plan: EpochPlan,
 }
 
+/// The service-side mirror of one shard's observable state, updated at
+/// routing time (`max_seen` — deterministically identical to the shard
+/// buffer's clock, because routing sees every event the buffer will see)
+/// and from job replies (everything else — exact once in-flight work has
+/// folded). Mirrors are what let stats reads and the global low watermark
+/// work without locking a shard or waiting on a barrier.
+#[derive(Debug, Clone, Default)]
+struct ShardMeta {
+    /// Subjects routed to this shard. A shard with none can never receive
+    /// events, so it must not hold the global low watermark back.
+    n_subjects: usize,
+    /// Mirror of the shard reorder buffer's `max_seen` clock.
+    max_seen: Option<Timestamp>,
+    /// Mirror of the shard's stream-time frontier (post-fold).
+    frontier: Timestamp,
+    /// Mirror of the shard buffer's dropped-event count (post-fold).
+    dropped: u64,
+    /// Mirror of the shard buffer's pending-event count (post-fold).
+    buffered: usize,
+    /// Mirror of the shard engine's released-window count (post-fold).
+    released: usize,
+}
+
+impl ShardMeta {
+    /// Mirror of [`pdp_stream::ReorderBuffer::push_into`]'s clock update:
+    /// an accepted event raises `max_seen`; a dropped one (ts below the
+    /// watermark, hence below `max_seen`) leaves it unchanged — so the
+    /// unconditional max is exact in both cases. Heartbeats use the same
+    /// rule.
+    fn observe(&mut self, ts: Timestamp) {
+        self.max_seen = Some(match self.max_seen {
+            Some(m) if m >= ts => m,
+            _ => ts,
+        });
+    }
+
+    fn watermark(&self, max_delay: TimeDelta) -> Option<Timestamp> {
+        self.max_seen.map(|t| t - max_delay)
+    }
+}
+
+/// One submitted unit of pipelined work: per shard, either the number of
+/// in-flight job replies to collect (parallel mode) or the jobs to run
+/// lazily at fold time (inline mode — deferred identically, so inline
+/// and parallel services produce bit-identical per-call output).
+#[derive(Debug)]
+struct Round {
+    /// Per shard: replies outstanding on the worker (parallel mode).
+    expected: Vec<usize>,
+    /// Per shard: jobs queued for lazy execution (inline mode).
+    queued: Vec<Vec<ShardJob>>,
+    /// This round is the last of its ingestion call: drain the merge
+    /// accumulator after settling it.
+    ends_call: bool,
+}
+
+impl Round {
+    fn new(n_shards: usize) -> Round {
+        Round {
+            expected: vec![0; n_shards],
+            queued: (0..n_shards).map(|_| Vec::new()).collect(),
+            ends_call: false,
+        }
+    }
+}
+
+/// One settled delivery waiting in the outbox. Folding settles releases
+/// (ledgers, merge accumulators, control-plane history) immediately;
+/// delivery to a consumer sink happens at the next sink-taking call, so
+/// sink-less sync points (`begin_epoch`, stats reads, `sync`) never lose
+/// output.
+#[derive(Debug)]
+enum Delivery {
+    Shard(ShardRelease),
+    Answer(QueryAnswer),
+    Merged(MergedRelease),
+}
+
+/// `splitmix64`-based hasher for subject routing: one multiply-xor chain
+/// per lookup instead of SipHash, on the per-event hot path.
+#[derive(Default)]
+struct SplitMixHasher(u64);
+
+impl std::hash::Hasher for SplitMixHasher {
+    fn finish(&self) -> u64 {
+        splitmix64(self.0)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 ^= i;
+    }
+}
+
+type RouteMap = HashMap<SubjectId, usize, std::hash::BuildHasherDefault<SplitMixHasher>>;
+
 /// The online sharded multi-tenant service. Built by [`ServiceBuilder`].
 #[derive(Debug)]
 pub struct ShardedService {
-    shards: Vec<Shard>,
-    /// One persistent worker thread per shard (empty for 1-shard
-    /// services, which run inline).
-    workers: Vec<Worker>,
+    /// Shard-resident state, shared with the worker threads in parallel
+    /// mode. The service thread locks a shard only at sync points (all
+    /// in-flight work folded, workers idle) or in inline mode — both
+    /// uncontended by construction.
+    shards: Vec<Arc<Mutex<Shard>>>,
+    /// One persistent worker thread per shard (empty in inline mode).
+    workers: Vec<WorkerHandle>,
+    /// The recorded execution mode: decided once at build time (or by
+    /// [`ShardedService::set_parallel`]), never re-derived — clones copy
+    /// it, and [`ShardedService::is_parallel`] reports it.
+    parallel: bool,
+    /// Per-shard observable-state mirrors (see [`ShardMeta`]).
+    meta: Vec<ShardMeta>,
+    /// Per shard, indexed by epoch: `(subject, pattern, per-release ε)`
+    /// to charge on every release of that epoch. Kept for *all* epochs —
+    /// releases of an earlier epoch can still settle after a later plan
+    /// was staged. Service-side so folding never touches a shard lock.
+    shard_charges: Vec<Vec<Vec<(SubjectId, PatternId, Epsilon)>>>,
     /// Routing for *active* (non-retired) subjects.
-    assignment: HashMap<SubjectId, usize>,
+    assignment: RouteMap,
     /// Per-subject epoch-aware accounting. Ledgers of retired subjects are
     /// kept — their spend stays queryable and is never refunded.
     ledgers: HashMap<SubjectId, EpochLedger<PatternId>>,
@@ -702,40 +917,79 @@ pub struct ShardedService {
     /// The control plane: staged runtime commands, the append-only
     /// registries, and the sliding released-window history.
     control: ControlPlane,
+    /// `(activation_index, epoch)` of every scheduled transition, in
+    /// scheduling order — how the service knows which epoch's queries are
+    /// in force without reading a shard engine.
+    activations: Vec<(usize, u64)>,
+    /// Submitted-but-unfolded rounds, oldest first (the pipeline lag).
+    pending: VecDeque<Round>,
+    /// Settled deliveries awaiting the next sink-taking call.
+    outbox: VecDeque<Delivery>,
+    /// The first error a folded round produced, surfaced by the next
+    /// fallible operation (deliveries already settled stay settled).
+    deferred: Option<CoreError>,
+    /// Per-shard sub-batch fill buffers (the partitioner's double-buffer
+    /// front half).
+    fill: Vec<Vec<Event>>,
+    /// Emptied sub-batch buffers recycled from shard replies.
+    spare: Vec<Vec<Event>>,
+    n_types: usize,
+    max_delay: TimeDelta,
     events_ingested: u64,
     finished: bool,
 }
 
-/// The worker pool policy: one persistent worker thread per shard, but
-/// only when there is both more than one shard *and* more than one core —
-/// on a single-core host (or a 1-shard service) the channel round-trips
-/// are pure overhead, so shards run inline. Either mode produces
-/// bit-identical output; [`ShardedService::set_parallel`] overrides the
-/// choice explicitly.
-fn spawn_worker_pool(n_shards: usize) -> Vec<Worker> {
+/// The default execution-mode policy, consulted **once** at build time:
+/// parallel when there is both more than one shard *and* more than one
+/// core — on a single-core host (or a 1-shard service) the channel
+/// round-trips are pure overhead, so shards run inline. Either mode
+/// produces bit-identical output; [`ShardedService::set_parallel`]
+/// overrides the choice explicitly, and [`ShardedService::is_parallel`]
+/// reports which mode is actually live.
+fn default_parallel(n_shards: usize) -> bool {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if n_shards > 1 && cores > 1 {
-        (0..n_shards).map(|_| Worker::spawn()).collect()
-    } else {
-        Vec::new()
-    }
+    n_shards > 1 && cores > 1
 }
 
 impl Clone for ShardedService {
-    /// Clones shard state (buffers, engines, RNGs, accumulators) and
-    /// spawns a fresh worker pool for the copy — workers hold no state
-    /// between jobs, so the clone is behaviourally identical.
+    /// Clones shard state (buffers, engines, RNGs, accumulators) into
+    /// fresh `Arc`s and spawns a fresh worker pool when the recorded mode
+    /// is parallel (never re-derived from the host). The pipeline must be
+    /// quiescent: in-flight jobs reference state that cannot be cloned
+    /// mid-round.
+    ///
+    /// # Panics
+    /// If rounds are still in flight — call [`ShardedService::sync`]
+    /// first.
     fn clone(&self) -> Self {
-        let workers = if self.workers.is_empty() {
-            Vec::new()
+        assert!(
+            self.pending.is_empty(),
+            "clone requires a quiescent pipeline: call sync() before clone()"
+        );
+        let shards: Vec<Arc<Mutex<Shard>>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().unwrap_or_else(|p| p.into_inner());
+                Arc::new(Mutex::new(shard.clone()))
+            })
+            .collect();
+        let workers = if self.parallel {
+            shards
+                .iter()
+                .map(|s| WorkerHandle::spawn(s.clone()))
+                .collect()
         } else {
-            (0..self.shards.len()).map(|_| Worker::spawn()).collect()
+            Vec::new()
         };
         ShardedService {
-            shards: self.shards.clone(),
+            shards,
             workers,
+            parallel: self.parallel,
+            meta: self.meta.clone(),
+            shard_charges: self.shard_charges.clone(),
             assignment: self.assignment.clone(),
             ledgers: self.ledgers.clone(),
             query_ledger: self.query_ledger.clone(),
@@ -744,6 +998,22 @@ impl Clone for ShardedService {
             query_charges_by_epoch: self.query_charges_by_epoch.clone(),
             merged_state: self.merged_state.clone(),
             control: self.control.clone(),
+            activations: self.activations.clone(),
+            pending: VecDeque::new(),
+            outbox: self
+                .outbox
+                .iter()
+                .map(|d| match d {
+                    Delivery::Shard(r) => Delivery::Shard(r.clone()),
+                    Delivery::Answer(a) => Delivery::Answer(a.clone()),
+                    Delivery::Merged(m) => Delivery::Merged(m.clone()),
+                })
+                .collect(),
+            deferred: None,
+            fill: vec![Vec::new(); self.shards.len()],
+            spare: Vec::new(),
+            n_types: self.n_types,
+            max_delay: self.max_delay,
             events_ingested: self.events_ingested,
             finished: self.finished,
         }
@@ -801,12 +1071,27 @@ impl ShardedService {
     /// instead of being collected into a return value — the zero-copy
     /// consumer path. On error, deliveries already made stay delivered:
     /// they are real releases that spent budget.
+    ///
+    /// Ingestion is **pipelined with a one-call lag**: this call first
+    /// settles and delivers the previous `push_batch` round, then
+    /// partitions and submits its own and returns while the shards are
+    /// still working on it. Sub-batches are swapped into each shard's
+    /// bounded job queue as they fill (a full queue blocks — the
+    /// backpressure contract), and the deferred releases are delivered by
+    /// the next call, or by any draining sync point
+    /// ([`ShardedService::advance_watermark`], [`ShardedService::finish`],
+    /// [`ShardedService::sync`], stats reads).
     pub fn push_batch_into<S: ReleaseSink>(
         &mut self,
         batch: Vec<KeyedEvent>,
         sink: &mut S,
     ) -> Result<(), CoreError> {
         self.ensure_live()?;
+        // settle and deliver the previous round (the pipeline lag)
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()?;
+        // atomic rejection: resolve every subject before any event moves
         let routes: Vec<usize> = batch
             .iter()
             .map(|keyed| {
@@ -817,20 +1102,38 @@ impl ShardedService {
             })
             .collect::<Result<_, _>>()?;
         let n_events = batch.len() as u64;
-        // partition once: per-shard sub-batches in arrival order, with
-        // event ownership moving all the way through to the buffers
-        let mut jobs: Vec<Option<ShardJob>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut round = Round::new(self.shards.len());
+        // partition into per-shard sub-batches in arrival order (event
+        // ownership moves all the way through), mirroring each shard
+        // buffer's clock; in parallel mode a filled sub-batch is submitted
+        // immediately, overlapping shard work with the rest of the split
         for (keyed, shard_idx) in batch.into_iter().zip(routes) {
-            match &mut jobs[shard_idx] {
-                Some(ShardJob::Ingest(events)) => events.push(keyed.event),
-                slot => *slot = Some(ShardJob::Ingest(vec![keyed.event])),
+            self.meta[shard_idx].observe(keyed.event.ts);
+            self.fill[shard_idx].push(keyed.event);
+            if self.parallel && self.fill[shard_idx].len() >= SUB_BATCH {
+                self.submit_fill(shard_idx, &mut round);
             }
         }
-        self.run_jobs(jobs, sink)?;
+        // remainders, in shard order
+        for shard_idx in 0..self.shards.len() {
+            if !self.fill[shard_idx].is_empty() {
+                self.submit_fill(shard_idx, &mut round);
+            }
+        }
         self.events_ingested += n_events;
-        self.advance_to_low_watermark(sink)?;
-        self.drain_merged(sink);
-        Ok(())
+        // the global low watermark is exact from the routing-time mirrors,
+        // so the advance rides in the same round — no barrier between
+        // ingestion and watermark alignment (a stale-or-equal target is a
+        // shard-side no-op)
+        if let Some(low) = self.low_watermark() {
+            for shard_idx in 0..self.shards.len() {
+                self.submit_job(shard_idx, ShardJob::Advance(low), &mut round);
+            }
+        }
+        round.ends_call = true;
+        self.pending.push_back(round);
+        // a dead worker surfaces here, on the submitting call
+        self.take_deferred()
     }
 
     /// Heartbeat: behave as if every source had just been observed at
@@ -845,19 +1148,34 @@ impl ShardedService {
     }
 
     /// Sink-delivering form of [`ShardedService::advance_watermark`].
+    ///
+    /// A draining sync point: the previous round settles and delivers
+    /// first, then the heartbeat round runs to completion and delivers —
+    /// nothing is left in flight when this returns.
     pub fn advance_watermark_into<S: ReleaseSink>(
         &mut self,
         ts: Timestamp,
         sink: &mut S,
     ) -> Result<(), CoreError> {
         self.ensure_live()?;
-        let jobs = (0..self.shards.len())
-            .map(|_| Some(ShardJob::Heartbeat(ts)))
-            .collect();
-        self.run_jobs(jobs, sink)?;
-        self.advance_to_low_watermark(sink)?;
-        self.drain_merged(sink);
-        Ok(())
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()?;
+        let mut round = Round::new(self.shards.len());
+        for shard_idx in 0..self.shards.len() {
+            self.meta[shard_idx].observe(ts);
+            self.submit_job(shard_idx, ShardJob::Heartbeat(ts), &mut round);
+        }
+        if let Some(low) = self.low_watermark() {
+            for shard_idx in 0..self.shards.len() {
+                self.submit_job(shard_idx, ShardJob::Advance(low), &mut round);
+            }
+        }
+        round.ends_call = true;
+        self.pending.push_back(round);
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()
     }
 
     /// End of stream: drain every reorder buffer into its engine, align
@@ -872,33 +1190,48 @@ impl ShardedService {
     }
 
     /// Sink-delivering form of [`ShardedService::finish`].
+    ///
+    /// The terminal sync point: drains the pipeline, flushes and closes
+    /// every shard, and delivers everything before sealing the service.
     pub fn finish_into<S: ReleaseSink>(&mut self, sink: &mut S) -> Result<(), CoreError> {
         self.ensure_live()?;
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()?;
         self.finished = true;
-        let flush_jobs = (0..self.shards.len())
-            .map(|_| Some(ShardJob::Flush))
-            .collect();
-        self.run_jobs(flush_jobs, sink)?;
+        let mut flush = Round::new(self.shards.len());
+        for shard_idx in 0..self.shards.len() {
+            self.submit_job(shard_idx, ShardJob::Flush, &mut flush);
+        }
+        self.pending.push_back(flush);
+        // barrier: the final frontier needs every shard's flushed clock
+        self.fold_pending();
         let end = self
-            .shards
+            .meta
             .iter()
-            .map(|s| s.frontier)
+            .map(|m| m.frontier)
             .max()
             .expect("n_shards >= 1");
-        let close_jobs = (0..self.shards.len())
-            .map(|_| Some(ShardJob::Close(end)))
-            .collect();
-        self.run_jobs(close_jobs, sink)?;
-        self.drain_merged(sink);
-        Ok(())
+        let mut close = Round::new(self.shards.len());
+        for shard_idx in 0..self.shards.len() {
+            self.submit_job(shard_idx, ShardJob::Close(end), &mut close);
+        }
+        close.ends_call = true;
+        self.pending.push_back(close);
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()
     }
 
-    /// Drain fully merged windows to the sink — typed answers first (one
-    /// [`QueryAnswer`] per subscribed active query, ascending id), then
-    /// the [`MergedRelease`] itself — and feed each population-level
-    /// protected view into the control plane's sliding history (the
-    /// online adaptive PPM's input).
-    fn drain_merged<S: ReleaseSink>(&mut self, sink: &mut S) {
+    /// Settle fully merged windows into the outbox — typed answers first
+    /// (one [`QueryAnswer`] per active query, ascending id; subscription
+    /// filtering happens at delivery), then the [`MergedRelease`] itself —
+    /// and feed each population-level protected view into the control
+    /// plane's sliding history (the online adaptive PPM's input).
+    /// Deterministic and draw-free: typed answers are pure functions of
+    /// the already-noised merged row, so computing them at fold time (even
+    /// when no sink subscribes) changes no randomness downstream.
+    fn drain_merged(&mut self) {
         let mut rows = Vec::new();
         self.merge.drain_into(&mut rows);
         for mut row in rows {
@@ -907,16 +1240,14 @@ impl ShardedService {
             row.typed =
                 core.answer_merged(&row.answers_any, &row.protected_any, &mut self.merged_state);
             for (query, answer) in &row.typed {
-                if sink.wants(*query) {
-                    sink.answer(QueryAnswer {
-                        query: *query,
-                        window: row.index,
-                        epoch: row.epoch,
-                        answer: answer.clone(),
-                    });
-                }
+                self.outbox.push_back(Delivery::Answer(QueryAnswer {
+                    query: *query,
+                    window: row.index,
+                    epoch: row.epoch,
+                    answer: answer.clone(),
+                }));
             }
-            sink.merged_release(row);
+            self.outbox.push_back(Delivery::Merged(row));
         }
     }
 
@@ -1015,21 +1346,38 @@ impl ShardedService {
     /// plane's effective history.
     pub fn begin_epoch(&mut self) -> Result<Option<EpochTransition>, CoreError> {
         self.ensure_live()?;
+        // a sync point: the activation boundary needs every shard's true
+        // release count, so in-flight rounds settle first (settled
+        // deliveries stay queued for the next sink-taking call)
+        self.fold_pending();
+        self.take_deferred()?;
         if !self.control.has_pending() {
             return Ok(None);
         }
         let plan = self.control.compile_next()?;
         let activation_index = self
-            .shards
+            .meta
             .iter()
-            .map(|s| s.engine.releases())
+            .map(|m| m.released)
             .max()
             .expect("n_shards >= 1");
-        for shard in &mut self.shards {
-            shard
-                .engine
-                .schedule_epoch(activation_index, plan.core.clone())?;
+        // compile the detector-side pattern swap ONCE on the service
+        // thread; every shard activates the shared precompiled plan at the
+        // boundary instead of re-running the pattern compiler per shard at
+        // window close (the off-hot-path epoch activation)
+        let swap = Arc::new(PreparedPatternSwap::prepare(
+            plan.core.patterns().clone(),
+            self.n_types,
+        ));
+        for shard in &self.shards {
+            let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            guard.engine.schedule_epoch_prepared(
+                activation_index,
+                plan.core.clone(),
+                swap.clone(),
+            )?;
         }
+        self.activations.push((activation_index, plan.epoch));
         // routing: newly active subjects become routable, retired ones
         // stop (their buffered events still drain through the engine)
         let n_shards = self.shards.len();
@@ -1039,11 +1387,11 @@ impl ShardedService {
             .into_iter()
             .map(|s| (s, Self::shard_for(s, n_shards)))
             .collect();
-        for shard in &mut self.shards {
-            shard.n_subjects = 0;
+        for meta in &mut self.meta {
+            meta.n_subjects = 0;
         }
         for &shard_idx in self.assignment.values() {
-            self.shards[shard_idx].n_subjects += 1;
+            self.meta[shard_idx].n_subjects += 1;
         }
         self.install_plan(&plan)?;
         Ok(Some(EpochTransition {
@@ -1073,11 +1421,11 @@ impl ShardedService {
                 self.query_ledger.retire(&query, plan.epoch);
             }
         }
-        for shard in &mut self.shards {
-            if shard.charges_by_epoch.len() <= epoch {
-                shard.charges_by_epoch.resize(epoch + 1, Vec::new());
+        for charges in &mut self.shard_charges {
+            if charges.len() <= epoch {
+                charges.resize(epoch + 1, Vec::new());
             } else {
-                shard.charges_by_epoch[epoch].clear();
+                charges[epoch].clear();
             }
         }
         let mut active: HashMap<SubjectId, Vec<(PatternId, Epsilon)>> = HashMap::new();
@@ -1086,7 +1434,7 @@ impl ShardedService {
                 .assignment
                 .get(&subject)
                 .expect("charged subjects are active, thus routed");
-            self.shards[shard_idx].charges_by_epoch[epoch].push((subject, pid, eps));
+            self.shard_charges[shard_idx][epoch].push((subject, pid, eps));
             active.entry(subject).or_default().push((pid, eps));
         }
         for subject in self.assignment.keys() {
@@ -1106,79 +1454,141 @@ impl ShardedService {
         Ok(())
     }
 
-    /// Run one job per shard — fanned out to the persistent workers when
-    /// the service is multi-shard, inline otherwise — and fold every
-    /// shard's results back **in shard order** (accounting, merge
-    /// accumulation and output ordering are all deterministic).
-    fn run_jobs<S: ReleaseSink>(
-        &mut self,
-        jobs: Vec<Option<ShardJob>>,
-        out: &mut S,
-    ) -> Result<(), CoreError> {
-        debug_assert_eq!(jobs.len(), self.shards.len());
-        if self.workers.is_empty() {
-            // mirror the parallel path exactly, error handling included:
-            // every shard runs its job and settles its releases, and the
-            // first error (in shard order) is reported afterwards — so a
-            // failing shard leaves the service in the same state in both
-            // modes
-            let mut first_error = None;
-            for (idx, job) in jobs.into_iter().enumerate() {
-                if let Some(job) = job {
-                    let mut releases = Vec::new();
-                    let result = self.shards[idx].run(job, &mut releases);
-                    self.settle(idx, releases, out);
-                    if let Err(e) = result {
-                        first_error.get_or_insert(e);
+    /// Swap one shard's filled sub-batch buffer for a spare and submit it
+    /// — the double-buffered hand-off: the partitioner keeps writing into
+    /// the fresh buffer while the full one travels to the worker, and the
+    /// worker sends the emptied Vec back for reuse.
+    fn submit_fill(&mut self, shard_idx: usize, round: &mut Round) {
+        let next = self.spare.pop().unwrap_or_default();
+        let chunk = std::mem::replace(&mut self.fill[shard_idx], next);
+        self.submit_job(shard_idx, ShardJob::Ingest(chunk), round);
+    }
+
+    /// Route one job into the current round: parallel mode sends it into
+    /// the shard's bounded queue right away (a full queue blocks — that is
+    /// the backpressure), inline mode queues it for execution at fold
+    /// time. Either way the job is folded back in shard order. A dead
+    /// worker defers [`CoreError::ShardWorker`] instead of failing the
+    /// round mid-flight — replies already in the air still fold, so the
+    /// pipeline's reply accounting never desynchronizes.
+    fn submit_job(&mut self, shard_idx: usize, job: ShardJob, round: &mut Round) {
+        if self.parallel {
+            match self.workers[shard_idx].submit(shard_idx, job) {
+                Ok(()) => round.expected[shard_idx] += 1,
+                Err(e) => {
+                    self.deferred.get_or_insert(e);
+                }
+            }
+        } else {
+            round.queued[shard_idx].push(job);
+        }
+    }
+
+    /// Settle every in-flight round: collect (or, inline, run) each
+    /// shard's jobs, fold the releases into ledgers, merge accumulators
+    /// and the outbox — **in shard order within each round**, which is the
+    /// reorder stage that keeps accounting and output deterministic while
+    /// replies arrive whenever shards finish. Errors are deferred to the
+    /// next fallible operation; everything released before a failure still
+    /// settles (it spent budget).
+    fn fold_pending(&mut self) {
+        while let Some(round) = self.pending.pop_front() {
+            self.fold_round(round);
+        }
+    }
+
+    fn fold_round(&mut self, round: Round) {
+        let Round {
+            expected,
+            mut queued,
+            ends_call,
+        } = round;
+        for shard_idx in 0..self.shards.len() {
+            let mut releases = Vec::new();
+            for _ in 0..expected[shard_idx] {
+                match self.workers[shard_idx].collect(shard_idx) {
+                    Ok(reply) => self.absorb(shard_idx, reply, &mut releases),
+                    Err(e) => {
+                        self.deferred.get_or_insert(e);
+                        break;
                     }
                 }
             }
-            return match first_error {
-                Some(e) => Err(e),
-                None => Ok(()),
-            };
-        }
-        // fan out: move each shard's state to its worker together with
-        // its job …
-        let mut slots: Vec<Option<Shard>> = self.shards.drain(..).map(Some).collect();
-        let mut pending = vec![false; slots.len()];
-        for (idx, job) in jobs.into_iter().enumerate() {
-            if let Some(job) = job {
-                let shard = slots[idx].take().expect("shard state present");
-                self.workers[idx].submit(shard, job);
-                pending[idx] = true;
-            }
-        }
-        // … and collect the replies in shard order (recv blocks per
-        // worker, so thread scheduling cannot reorder results)
-        let mut results: Vec<Option<(Vec<WindowRelease>, Option<CoreError>)>> =
-            (0..pending.len()).map(|_| None).collect();
-        for (idx, waiting) in pending.iter().enumerate() {
-            if *waiting {
-                let done = self.workers[idx].collect();
-                slots[idx] = Some(done.shard);
-                results[idx] = Some((done.releases, done.error));
-            }
-        }
-        self.shards = slots
-            .into_iter()
-            .map(|s| s.expect("every shard returned"))
-            .collect();
-        let mut first_error = None;
-        for (idx, result) in results.into_iter().enumerate() {
-            if let Some((releases, error)) = result {
-                // releases that happened before a mid-job failure still
-                // spent budget: account them even on the error path
-                self.settle(idx, releases, out);
-                if let Some(e) = error {
-                    first_error.get_or_insert(e);
+            let jobs = std::mem::take(&mut queued[shard_idx]);
+            if !jobs.is_empty() {
+                let shard = self.shards[shard_idx].clone();
+                let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+                for job in jobs {
+                    let reply = guard.execute(job);
+                    self.absorb(shard_idx, reply, &mut releases);
                 }
             }
+            self.settle(shard_idx, releases);
         }
-        match first_error {
+        if ends_call {
+            self.drain_merged();
+        }
+    }
+
+    /// Fold one shard reply: refresh the service-side stats mirror,
+    /// recycle the emptied ingest buffer, defer any error (first in
+    /// shard/submission order wins) and stage the releases for settling.
+    fn absorb(&mut self, shard_idx: usize, reply: ShardReply, releases: &mut Vec<WindowRelease>) {
+        let meta = &mut self.meta[shard_idx];
+        meta.frontier = reply.frontier;
+        meta.dropped = reply.dropped;
+        meta.buffered = reply.buffered;
+        meta.released = reply.released;
+        if let Some(buf) = reply.recycled {
+            if self.spare.len() < 2 * self.shards.len() {
+                self.spare.push(buf);
+            }
+        }
+        if let Some(e) = reply.error {
+            self.deferred.get_or_insert(e);
+        }
+        releases.extend(reply.releases);
+    }
+
+    /// Deliver everything the folds settled, in settling order. Answer
+    /// records are filtered by the sink's subscriptions here, at delivery
+    /// time — folds triggered by sink-less operations lose nothing.
+    fn flush_outbox<S: ReleaseSink>(&mut self, sink: &mut S) {
+        while let Some(delivery) = self.outbox.pop_front() {
+            match delivery {
+                Delivery::Shard(release) => sink.shard_release(release),
+                Delivery::Answer(answer) => {
+                    if sink.wants(answer.query) {
+                        sink.answer(answer);
+                    }
+                }
+                Delivery::Merged(merged) => sink.merged_release(merged),
+            }
+        }
+    }
+
+    /// Test hook: sever one worker's job channel, indistinguishable from
+    /// its thread having died.
+    #[cfg(test)]
+    fn kill_worker(&mut self, shard_idx: usize) {
+        self.workers[shard_idx].job_tx = None;
+    }
+
+    /// Surface the first error any fold deferred.
+    fn take_deferred(&mut self) -> Result<(), CoreError> {
+        match self.deferred.take() {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// Drain the pipeline: settle every in-flight round and surface any
+    /// deferred error. Settled deliveries stay queued for the next
+    /// sink-taking call. Required before [`Clone`]; a no-op on an idle
+    /// service.
+    pub fn sync(&mut self) -> Result<(), CoreError> {
+        self.fold_pending();
+        self.take_deferred()
     }
 
     /// Book one shard's releases everywhere they matter: the per-subject
@@ -1191,12 +1601,7 @@ impl ShardedService {
     /// epoch that has since been superseded still charge *their own*
     /// epoch's schedule — a revocation staged later never rewrites what an
     /// earlier plan already released.
-    fn settle<S: ReleaseSink>(
-        &mut self,
-        shard_idx: usize,
-        releases: Vec<WindowRelease>,
-        out: &mut S,
-    ) {
+    fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>) {
         if releases.is_empty() {
             return;
         }
@@ -1207,8 +1612,7 @@ impl ShardedService {
             while j < releases.len() && releases[j].epoch == epoch {
                 j += 1;
             }
-            let charges = self.shards[shard_idx]
-                .charges_by_epoch
+            let charges = self.shard_charges[shard_idx]
                 .get(epoch as usize)
                 .expect("every epoch's charge schedule is installed");
             for &(subject, pid, eps) in charges {
@@ -1233,10 +1637,10 @@ impl ShardedService {
         }
         for release in releases {
             self.merge.observe(&release);
-            out.shard_release(ShardRelease {
+            self.outbox.push_back(Delivery::Shard(ShardRelease {
                 shard: shard_idx,
                 release,
-            });
+            }));
         }
     }
 
@@ -1246,12 +1650,17 @@ impl ShardedService {
     /// receive events and are excluded (they are advanced *by* the global
     /// watermark instead of contributing to it); a service with no
     /// subjects at all has no watermark.
+    ///
+    /// Computed from the service-side clock mirrors — exact without a
+    /// sync: the mirror tracks the max timestamp ever routed to (or
+    /// heartbeat at) each shard, which is precisely the reorder buffer's
+    /// clock (late arrivals below the watermark never raise it).
     pub fn low_watermark(&self) -> Option<Timestamp> {
         let active: Vec<Option<Timestamp>> = self
-            .shards
+            .meta
             .iter()
-            .filter(|s| s.n_subjects > 0)
-            .map(|s| s.buffer.watermark())
+            .filter(|m| m.n_subjects > 0)
+            .map(|m| m.watermark(self.max_delay))
             .collect();
         if active.is_empty() {
             return None;
@@ -1260,18 +1669,6 @@ impl ShardedService {
             .into_iter()
             .collect::<Option<Vec<_>>>()
             .and_then(|wms| wms.into_iter().min())
-    }
-
-    fn advance_to_low_watermark<S: ReleaseSink>(&mut self, out: &mut S) -> Result<(), CoreError> {
-        let Some(low) = self.low_watermark() else {
-            return Ok(());
-        };
-        let jobs = self
-            .shards
-            .iter()
-            .map(|s| (low > s.frontier).then_some(ShardJob::Advance(low)))
-            .collect();
-        self.run_jobs(jobs, out)
     }
 
     fn ensure_live(&self) -> Result<(), CoreError> {
@@ -1288,24 +1685,36 @@ impl ShardedService {
         self.shards.len()
     }
 
-    /// True when ingestion runs on the persistent worker pool. The
-    /// default policy enables it for multi-shard services on multi-core
-    /// hosts; see [`ShardedService::set_parallel`].
+    /// True when ingestion runs on the persistent worker pool. The mode
+    /// is chosen **once at build time** (multi-shard and multi-core) and
+    /// recorded on the service — `Clone` copies it instead of re-deriving
+    /// host parallelism, so benches and tests can assert which path
+    /// actually ran; see [`ShardedService::set_parallel`].
     pub fn is_parallel(&self) -> bool {
-        !self.workers.is_empty()
+        self.parallel
     }
 
     /// Override the execution mode: `true` spawns the persistent
-    /// per-shard worker pool, `false` tears it down and runs shards
-    /// inline. Both modes are bit-for-bit identical (each shard's RNG and
-    /// state travel with it, and results fold back in shard order), so
-    /// this only trades thread fan-out against channel overhead. A
-    /// 1-shard service always runs inline.
+    /// per-shard worker pool (even on a single-core host — an explicit
+    /// override), `false` tears it down and runs shards inline at fold
+    /// time. Both modes are bit-for-bit identical (shard state never
+    /// moves; jobs fold back in shard order either way), so this only
+    /// trades thread fan-out against channel overhead. A 1-shard service
+    /// always runs inline. Drains the pipeline first.
     pub fn set_parallel(&mut self, parallel: bool) {
+        self.fold_pending();
         if !parallel {
             self.workers.clear();
-        } else if self.workers.is_empty() && self.shards.len() > 1 {
-            self.workers = (0..self.shards.len()).map(|_| Worker::spawn()).collect();
+            self.parallel = false;
+        } else if self.shards.len() > 1 {
+            if self.workers.is_empty() {
+                self.workers = self
+                    .shards
+                    .iter()
+                    .map(|shard| WorkerHandle::spawn(shard.clone()))
+                    .collect();
+            }
+            self.parallel = true;
         }
     }
 
@@ -1353,14 +1762,17 @@ impl ShardedService {
     }
 
     /// Events that arrived later than the bounded delay and were dropped,
-    /// summed over shards.
-    pub fn dropped(&self) -> u64 {
-        self.shards.iter().map(|s| s.buffer.dropped()).sum()
+    /// summed over shards. A draining read: in-flight rounds settle first
+    /// so the count is exact (a checkpoint-style sync point).
+    pub fn dropped(&mut self) -> u64 {
+        self.fold_pending();
+        self.meta.iter().map(|m| m.dropped).sum()
     }
 
-    /// Windows released so far, per shard.
-    pub fn releases_per_shard(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.engine.releases()).collect()
+    /// Windows released so far, per shard (a draining read).
+    pub fn releases_per_shard(&mut self) -> Vec<usize> {
+        self.fold_pending();
+        self.meta.iter().map(|m| m.released).collect()
     }
 
     /// The consumer queries of the epoch currently in force on the shard
@@ -1368,9 +1780,24 @@ impl ShardedService {
     /// over at its activation window). Names are ambiguous after
     /// revocation and re-registration; the id is the stable consumer
     /// handle — key reads with [`MergedRelease::answer_for`] or sink
-    /// subscriptions, not positions.
-    pub fn query_names(&self) -> Vec<(QueryId, &str)> {
-        self.shards[0].engine.query_names()
+    /// subscriptions, not positions. A draining read: the in-force epoch
+    /// is the latest activation whose boundary the (synced) release
+    /// frontier has passed.
+    pub fn query_names(&mut self) -> Vec<(QueryId, &str)> {
+        self.fold_pending();
+        let released = self.meta[0].released;
+        let epoch = self
+            .activations
+            .iter()
+            .filter(|(at, _)| *at < released)
+            .map(|(_, epoch)| *epoch)
+            .next_back()
+            .unwrap_or(0);
+        self.cores_by_epoch[epoch as usize]
+            .queries()
+            .iter()
+            .map(|q| (q.id, q.name.as_str()))
+            .collect()
     }
 
     /// Dedicated budget one non-boolean consumer query (argmax) spent so
@@ -1382,9 +1809,11 @@ impl ShardedService {
         self.query_ledger.try_spent(&query)
     }
 
-    /// Events sitting in reorder buffers, not yet past the watermark.
-    pub fn buffered(&self) -> usize {
-        self.shards.iter().map(|s| s.buffer.pending()).sum()
+    /// Events sitting in reorder buffers, not yet past the watermark (a
+    /// draining read).
+    pub fn buffered(&mut self) -> usize {
+        self.fold_pending();
+        self.meta.iter().map(|m| m.buffered).sum()
     }
 }
 
@@ -1523,10 +1952,22 @@ mod tests {
         assert_eq!(svc.events_ingested(), 0);
         assert_eq!(svc.buffered(), 0);
         assert_eq!(svc.releases_per_shard(), vec![0]);
-        // the same batch without the poison pill applies normally
-        let out = svc.push_batch(poisoned[..2].to_vec()).unwrap();
+        // the same batch without the poison pill applies normally (its
+        // releases surface at the next sync point — the pipeline lag)
+        svc.push_batch(poisoned[..2].to_vec()).unwrap();
+        let out = svc.finish().unwrap();
         assert!(!out.shard_releases.is_empty());
         assert_eq!(svc.events_ingested(), 2);
+    }
+
+    #[test]
+    fn dead_worker_surfaces_which_shard_died() {
+        let mut svc = builder(2).build().unwrap();
+        svc.set_parallel(true); // force workers even on a 1-core host
+        assert!(svc.is_parallel());
+        svc.kill_worker(1);
+        let err = svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 6)]).unwrap_err();
+        assert_eq!(err, CoreError::ShardWorker { shard: 1 });
     }
 
     #[test]
@@ -1632,6 +2073,7 @@ mod tests {
     fn clone_replays_identically() {
         let mut svc = builder(2).build().unwrap();
         svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 6)]).unwrap();
+        svc.sync().unwrap();
         let mut copy = svc.clone();
         let a = svc.advance_watermark(Timestamp::from_millis(80)).unwrap();
         let b = copy.advance_watermark(Timestamp::from_millis(80)).unwrap();

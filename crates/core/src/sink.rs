@@ -42,7 +42,7 @@ pub struct QueryAnswer {
 ///
 /// # Delivery-order contract
 ///
-/// Within one ingestion call (`push_batch_into` / `advance_watermark_into`
+/// Within one delivering call (`push_batch_into` / `advance_watermark_into`
 /// / `finish_into`):
 ///
 /// 1. **shard releases** arrive first, grouped by shard in ascending
@@ -54,6 +54,18 @@ pub struct QueryAnswer {
 ///    [`QueryAnswer`] records are delivered first — one per active query
 ///    the sink [`wants`](ReleaseSink::wants), in ascending [`QueryId`]
 ///    order — followed by the [`MergedRelease`] record itself.
+///
+/// # Delivery-time contract (pipeline lag)
+///
+/// Ingestion is pipelined with one call of lag: the releases produced by
+/// `push_batch_into` call *k* are delivered at the start of call *k + 1*,
+/// or at the next synchronizing operation (`advance_watermark_into`,
+/// `finish_into`, `begin_epoch`, `sync`, or any stats read), whichever
+/// comes first. The sink passed to the *delivering* call receives them —
+/// filtering via [`wants`](ReleaseSink::wants) happens at delivery time,
+/// so no record is lost when consecutive calls use different sinks.
+/// Synchronizing calls (`advance_watermark_into`, `finish_into`) drain
+/// the pipeline and deliver their own releases before returning.
 ///
 /// Two runs over the same inputs and seeds deliver the identical
 /// sequence; the equivalence anchors in `tests/consumer_api.rs` pin the

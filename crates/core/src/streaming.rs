@@ -31,7 +31,10 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use pdp_cep::{ClosedWindow, IncrementalDetector, PatternId, PatternSet, QueryId, Semantics};
+use pdp_cep::{
+    ClosedWindow, IncrementalDetector, PatternId, PatternSet, PreparedPatternSwap, QueryId,
+    Semantics,
+};
 use pdp_dp::{BudgetLedger, DpRng, Epsilon};
 use pdp_metrics::TrustedAudit;
 use pdp_stream::{Event, IndicatorVector, TimeDelta, Timestamp};
@@ -425,6 +428,29 @@ impl StreamingEngine {
     /// if `at_index` precedes an already-released window or an
     /// already-staged switch.
     pub fn schedule_epoch(&mut self, at_index: usize, core: OnlineCore) -> Result<(), CoreError> {
+        let swap = Arc::new(PreparedPatternSwap::prepare(
+            core.patterns().clone(),
+            self.n_types,
+        ));
+        self.schedule_epoch_prepared(at_index, core, swap)
+    }
+
+    /// Stage an epoch switch whose detector-side pattern compile was
+    /// already done (once, off the hot path) by the caller. The sharded
+    /// service prepares a single [`PreparedPatternSwap`] on the service
+    /// thread and shares it across all shard engines behind an [`Arc`], so
+    /// activation at the scheduled window is a plan swap, not a per-shard
+    /// stop-the-world recompile.
+    ///
+    /// `swap` must carry exactly `core.patterns()` compiled for this
+    /// engine's type universe; same validation as
+    /// [`StreamingEngine::schedule_epoch`] otherwise.
+    pub fn schedule_epoch_prepared(
+        &mut self,
+        at_index: usize,
+        core: OnlineCore,
+        swap: Arc<PreparedPatternSwap>,
+    ) -> Result<(), CoreError> {
         let width = core.pipeline().flip_table().width();
         if width != self.n_types {
             return Err(CoreError::WidthMismatch {
@@ -432,8 +458,18 @@ impl StreamingEngine {
                 got: width,
             });
         }
+        let matches = swap.patterns().len() == core.patterns().len()
+            && core
+                .patterns()
+                .iter()
+                .all(|(id, p)| swap.patterns().get(id) == Some(p));
+        if !matches {
+            return Err(CoreError::Detection(
+                "prepared swap does not match the scheduled core's patterns".into(),
+            ));
+        }
         self.detector
-            .schedule_pattern_update(at_index, core.patterns().clone())
+            .schedule_prepared_update(at_index, swap)
             .map_err(|e| CoreError::Detection(e.to_string()))?;
         self.pending_epochs.push_back((at_index, core));
         Ok(())

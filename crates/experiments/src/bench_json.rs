@@ -53,6 +53,12 @@ pub struct BenchJsonConfig {
     /// delivered through `push_batch_into(sink)` (zero-copy consumer
     /// path, a counting sink) instead of `BatchOutput` accumulation.
     pub sink: bool,
+    /// Also emit the `--scaling` summary: ingest events/s per shard
+    /// count, the 8-shard/1-shard ratio, the detected core count and
+    /// which execution mode each cell actually ran — failing the run if
+    /// a multi-shard service silently fell back inline on a multi-core
+    /// host.
+    pub scaling: bool,
 }
 
 impl BenchJsonConfig {
@@ -66,6 +72,7 @@ impl BenchJsonConfig {
             smoke: false,
             churn: false,
             sink: false,
+            scaling: false,
         }
     }
 
@@ -79,6 +86,7 @@ impl BenchJsonConfig {
             smoke: true,
             churn: false,
             sink: false,
+            scaling: false,
         }
     }
 }
@@ -94,6 +102,13 @@ pub struct BenchCell {
     pub best_ms: f64,
     /// Units per second of the best run.
     pub per_sec: f64,
+    /// Churn cells only: cumulative time the best run spent inside
+    /// `begin_epoch` — plan compilation + fan-out, measured on a drained
+    /// pipeline, so it is exactly the off-hot-path cost and `best_ms`
+    /// minus it is the ingest+activation cost. Absent on non-churn cells
+    /// and on artifacts written before the field existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub churn_compile_ms: Option<f64>,
 }
 
 /// Reference throughput of the code *before* a perf PR, for speedup
@@ -105,6 +120,24 @@ pub struct BenchBaseline {
     pub note: String,
     /// events/s per shard count, aligned with `ingest` by position.
     pub ingest_per_sec: Vec<f64>,
+}
+
+/// The `--scaling` summary: the shard-scaling story in one block, with
+/// enough context (cores, execution mode) to judge whether the ratio is a
+/// property of the code or of the host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchScaling {
+    /// CPU cores the runner detected; shard scaling is only attainable
+    /// when this exceeds 1 (a 1-core host serializes the workers).
+    pub cores_detected: usize,
+    /// Whether the parallel worker pool actually ran, per shard count
+    /// (aligned with `ingest_per_sec`). The runner fails instead of
+    /// writing `false` for a multi-shard cell on a multi-core host.
+    pub parallel: Vec<bool>,
+    /// Ingest events/s per shard count (the `ingest` cells' view).
+    pub ingest_per_sec: Vec<f64>,
+    /// 8-shard over 1-shard ingest throughput — the scaling headline.
+    pub ratio_8_over_1: f64,
 }
 
 /// The written artifact.
@@ -130,6 +163,10 @@ pub struct BenchReport {
     /// artifacts keep parsing.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sink: Option<Vec<BenchCell>>,
+    /// Shard-scaling summary (the `--scaling` flag); absent on earlier
+    /// artifacts, so they keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scaling: Option<BenchScaling>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -212,6 +249,7 @@ fn measure_ingest(
         units,
         best_ms,
         per_sec: units as f64 / (best_ms / 1e3),
+        churn_compile_ms: None,
     })
 }
 
@@ -233,6 +271,7 @@ fn measure_release(n_shards: usize, n_windows: usize, reps: usize) -> Result<Ben
         units,
         best_ms,
         per_sec: units as f64 / (best_ms / 1e3),
+        churn_compile_ms: None,
     })
 }
 
@@ -267,6 +306,7 @@ fn measure_sink(
         units,
         best_ms,
         per_sec: units as f64 / (best_ms / 1e3),
+        churn_compile_ms: None,
     })
 }
 
@@ -285,10 +325,12 @@ fn measure_churn(
     // ~5 transitions per run regardless of workload size
     let period = (n_batches / 5).max(1);
     let mut best_ms = f64::INFINITY;
+    let mut best_compile_ms = 0.0;
     for _ in 0..reps.max(1) {
         let mut svc = proto.clone();
         let mut last_churn_pid = None;
         let mut step = 0u32;
+        let mut compile_ms = 0.0;
         let start = Instant::now();
         for (b, chunk) in events.chunks(BATCH).enumerate() {
             if b > 0 && b % period == 0 {
@@ -302,14 +344,23 @@ fn measure_churn(
                 if let Some(old) = last_churn_pid.replace(pid) {
                     svc.revoke_private_pattern(churner, old)?;
                 }
+                // drain the pipeline first so the timed span is exactly
+                // the service-thread plan compile + fan-out, not shard
+                // work that happened to be in flight
+                svc.sync()?;
+                let compile_start = Instant::now();
                 svc.begin_epoch()?.expect("commands staged");
+                compile_ms += compile_start.elapsed().as_secs_f64() * 1e3;
                 step += 1;
             }
             svc.push_batch(chunk.to_vec())?;
         }
         svc.finish()?;
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        best_ms = best_ms.min(ms);
+        if ms < best_ms {
+            best_ms = ms;
+            best_compile_ms = compile_ms;
+        }
     }
     let units = events.len() as u64;
     Ok(BenchCell {
@@ -317,6 +368,7 @@ fn measure_churn(
         units,
         best_ms,
         per_sec: units as f64 / (best_ms / 1e3),
+        churn_compile_ms: Some(best_compile_ms),
     })
 }
 
@@ -357,6 +409,33 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             cells.push(measure_sink(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
         }
     }
+    let scaling = if config.scaling {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut parallel = Vec::new();
+        for &n_shards in &SHARD_COUNTS {
+            let svc = service(n_shards).map_err(|e| e.to_string())?;
+            let is_parallel = svc.is_parallel();
+            if cores > 1 && n_shards > 1 && !is_parallel {
+                return Err(format!(
+                    "scaling self-check failed: the {n_shards}-shard service ran \
+                     inline on a {cores}-core host — the parallel path silently degraded"
+                ));
+            }
+            parallel.push(is_parallel);
+        }
+        let ingest_per_sec: Vec<f64> = ingest.iter().map(|c| c.per_sec).collect();
+        let ratio_8_over_1 = ingest_per_sec[SHARD_COUNTS.len() - 1] / ingest_per_sec[0];
+        Some(BenchScaling {
+            cores_detected: cores,
+            parallel,
+            ingest_per_sec,
+            ratio_8_over_1,
+        })
+    } else {
+        None
+    };
     let baseline = (!config.smoke).then(|| BenchBaseline {
         note: "unmodified main before the hot-path overhaul: criterion bench \
                `sharded` (same workload constants), same machine, 2026-07-29"
@@ -370,6 +449,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         release,
         churn,
         sink,
+        scaling,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -398,6 +478,17 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     {
         return Err(format!("{} round-trip lost sink cells", config.out));
     }
+    if config.scaling
+        && parsed
+            .scaling
+            .as_ref()
+            .is_none_or(|s| s.ingest_per_sec.len() != SHARD_COUNTS.len())
+    {
+        return Err(format!(
+            "{} round-trip lost the scaling summary",
+            config.out
+        ));
+    }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
 }
@@ -424,6 +515,7 @@ mod tests {
         assert_eq!(report.release.len(), 3);
         assert!(report.churn.is_none(), "churn is opt-in");
         assert!(report.sink.is_none(), "sink is opt-in");
+        assert!(report.scaling.is_none(), "scaling is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -454,7 +546,43 @@ mod tests {
             assert_eq!(cell.shards, shards);
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert_eq!(cell.units, 2_100);
+            let compile_ms = cell
+                .churn_compile_ms
+                .expect("churn cells attribute compile time");
+            assert!(
+                compile_ms.is_finite() && compile_ms >= 0.0 && compile_ms < cell.best_ms,
+                "compile time is a fraction of the run: {compile_ms} vs {}",
+                cell.best_ms
+            );
         }
+        std::fs::remove_file(&config.out).ok();
+    }
+
+    #[test]
+    fn scaling_summary_reports_mode_and_ratio() {
+        let mut config = BenchJsonConfig::smoke();
+        config.n_events = 300;
+        config.n_release_windows = 3;
+        config.scaling = true;
+        let dir = std::env::temp_dir().join("pdp_bench_json_scaling_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        let scaling = report.scaling.expect("scaling summary requested");
+        assert!(scaling.cores_detected >= 1);
+        assert_eq!(scaling.parallel.len(), SHARD_COUNTS.len());
+        assert_eq!(scaling.ingest_per_sec.len(), SHARD_COUNTS.len());
+        assert!(!scaling.parallel[0], "1-shard always runs inline");
+        if scaling.cores_detected > 1 {
+            assert!(
+                scaling.parallel[1..].iter().all(|&p| p),
+                "multi-shard cells must run parallel on a multi-core host"
+            );
+        }
+        assert!(scaling.ratio_8_over_1.is_finite() && scaling.ratio_8_over_1 > 0.0);
         std::fs::remove_file(&config.out).ok();
     }
 
@@ -492,6 +620,8 @@ mod tests {
         let parsed: BenchReport = serde_json::from_str(legacy).expect("legacy schema parses");
         assert!(parsed.churn.is_none());
         assert!(parsed.sink.is_none());
+        assert!(parsed.scaling.is_none());
         assert!(parsed.baseline.is_none());
+        assert!(parsed.ingest[0].churn_compile_ms.is_none());
     }
 }

@@ -4,7 +4,7 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--churn] [--sink] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
+//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -71,6 +71,12 @@ fn main() {
                         println!(
                             "sink    {} shard(s): {:>12.0} events/s (push_batch_into delivery)",
                             cell.shards, cell.per_sec
+                        );
+                    }
+                    if let Some(scaling) = &report.scaling {
+                        println!(
+                            "scaling 8/1 ratio {:.2} on {} core(s), parallel per cell: {:?}",
+                            scaling.ratio_8_over_1, scaling.cores_detected, scaling.parallel
                         );
                     }
                 }
@@ -168,6 +174,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     };
     config.churn = args.iter().any(|a| a == "--churn");
     config.sink = args.iter().any(|a| a == "--sink");
+    config.scaling = args.iter().any(|a| a == "--scaling");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

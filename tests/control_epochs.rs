@@ -186,35 +186,34 @@ fn run_churn_schedule(batches_before: usize, batches_after: usize, events_per_ba
     let mut svc = b.build().unwrap();
 
     let mut clock = 0i64;
-    let mut push = |svc: &mut pattern_dp_repro::core::ShardedService, n: usize| {
+    let mut merged = Vec::new();
+    let mut push = |svc: &mut pattern_dp_repro::core::ShardedService,
+                    merged: &mut Vec<pattern_dp_repro::core::MergedRelease>,
+                    n: usize| {
         let mut batch = Vec::new();
         for _ in 0..n {
             clock += 3;
             batch.push(ke(1 + (clock as u64 % 2), (clock % 3) as u32, clock));
         }
-        let out = svc.push_batch(batch).unwrap();
-        out.merged.len()
+        merged.extend(svc.push_batch(batch).unwrap().merged);
     };
-    let mut epoch0_releases = 0usize;
     for _ in 0..batches_before {
-        epoch0_releases += push(&mut svc, events_per_batch);
+        push(&mut svc, &mut merged, events_per_batch);
     }
     // subject 1 revokes their pattern; subject 2 stays
     svc.revoke_private_pattern(SubjectId(1), p1).unwrap();
     let transition = svc.begin_epoch().unwrap().expect("staged");
     let boundary = transition.activation_index;
-    let mut epoch1_releases = 0usize;
     for _ in 0..batches_after {
-        epoch1_releases += push(&mut svc, events_per_batch);
+        push(&mut svc, &mut merged, events_per_batch);
     }
-    let out = svc.finish().unwrap();
-    for m in &out.merged {
-        if m.index < boundary {
-            epoch0_releases += 1;
-        } else {
-            epoch1_releases += 1;
-        }
-    }
+    merged.extend(svc.finish().unwrap().merged);
+    // split by the activation boundary: pipelined ingestion delivers a
+    // round's releases at the next call, so per-push attribution would
+    // misplace the round in flight at the transition — the window index
+    // is the authoritative epoch split
+    let epoch0_releases = merged.iter().filter(|m| m.index < boundary).count();
+    let epoch1_releases = merged.len() - epoch0_releases;
 
     // counted releases match the boundary split
     assert_eq!(epoch0_releases, boundary);

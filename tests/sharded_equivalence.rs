@@ -435,6 +435,116 @@ fn zero_command_schedule_is_the_static_service() {
     assert_eq!(with_epochs.epoch(), 0);
 }
 
+/// Drive a service over an explicit batch shape (possibly empty batches,
+/// arbitrary sizes), optionally forcing the parallel worker pool on.
+fn drive_service_shaped(
+    n_shards: usize,
+    seed: u64,
+    batches: &[Vec<KeyedEvent>],
+    force_parallel: bool,
+) -> Vec<Vec<WindowRelease>> {
+    let mut b = ServiceBuilder::new(config(n_shards, seed)).unwrap();
+    register_service(&mut b);
+    let mut svc = b.build().unwrap();
+    if force_parallel {
+        svc.set_parallel(true);
+        assert!(svc.is_parallel(), "worker pool must actually be on");
+    }
+    let mut per_shard: Vec<Vec<WindowRelease>> = vec![Vec::new(); n_shards];
+    let mut collect = |out: pattern_dp_repro::core::BatchOutput| {
+        for sr in out.shard_releases {
+            per_shard[sr.shard].push(sr.release);
+        }
+    };
+    for batch in batches {
+        collect(svc.push_batch(batch.clone()).unwrap());
+    }
+    collect(svc.finish().unwrap());
+    per_shard
+}
+
+/// Pin a service run bit-for-bit against N independent engines, one per
+/// subject partition.
+fn assert_matches_independent_engines(
+    n_shards: usize,
+    seed: u64,
+    events: &[KeyedEvent],
+    per_shard: &[Vec<WindowRelease>],
+) {
+    let end = stream_end(events);
+    for (shard, got) in per_shard.iter().enumerate() {
+        let partition: Vec<KeyedEvent> = events
+            .iter()
+            .filter(|k| ShardedService::shard_for(k.subject, n_shards) == shard)
+            .cloned()
+            .collect();
+        let reference = drive_reference(&partition, end, ShardedService::shard_seed(seed, shard));
+        assert_eq!(got, &reference, "shard {shard}");
+    }
+}
+
+/// Empty batches — before the first event, between every pair of batches —
+/// must be invisible: they submit no work and change no clocks.
+#[test]
+fn empty_batches_are_invisible() {
+    let seed = 314u64;
+    let n_shards = 3usize;
+    let events = arrivals(seed, 300);
+    let mut batches: Vec<Vec<KeyedEvent>> = vec![Vec::new()];
+    for chunk in events.chunks(21) {
+        batches.push(chunk.to_vec());
+        batches.push(Vec::new());
+    }
+    for force_parallel in [false, true] {
+        let per_shard = drive_service_shaped(n_shards, seed, &batches, force_parallel);
+        assert_matches_independent_engines(n_shards, seed, &events, &per_shard);
+    }
+}
+
+/// Single-subject skew: 100% of the traffic lands on one shard. The hot
+/// shard streams through its buffer alone (the global watermark never
+/// moves — the quiet shards hold it back until `finish` aligns everyone),
+/// and the result is still bit-for-bit the independent engines.
+#[test]
+fn single_subject_skew_matches_independent_engines() {
+    let seed = 2718u64;
+    let n_shards = 4usize;
+    let subject = SubjectId(3);
+    let events: Vec<KeyedEvent> = arrivals(seed, 400)
+        .into_iter()
+        .map(|mut keyed| {
+            keyed.subject = subject;
+            keyed
+        })
+        .collect();
+    let hot = ShardedService::shard_for(subject, n_shards);
+    let batches: Vec<Vec<KeyedEvent>> = events.chunks(25).map(|c| c.to_vec()).collect();
+    for force_parallel in [false, true] {
+        let per_shard = drive_service_shaped(n_shards, seed, &batches, force_parallel);
+        assert!(
+            !per_shard[hot].is_empty(),
+            "the hot shard must have released"
+        );
+        assert_matches_independent_engines(n_shards, seed, &events, &per_shard);
+    }
+}
+
+/// Batch sizes below, at and beyond the pipeline's per-shard in-flight
+/// bound (sub-batches of 256 events, job queues 4 deep → 1024 events in
+/// flight per shard) exercise the double-buffer swap, partial remainders
+/// and the blocking hand-off — all invisible in the output.
+#[test]
+fn batch_sizes_straddling_the_queue_bound_are_invisible() {
+    let seed = 1618u64;
+    let n_shards = 2usize;
+    let events = arrivals(seed, 2600);
+    for &batch_size in &[255usize, 256, 257, 1024, 2600] {
+        let batches: Vec<Vec<KeyedEvent>> = events.chunks(batch_size).map(|c| c.to_vec()).collect();
+        let per_shard = drive_service_shaped(n_shards, seed, &batches, true);
+        assert_matches_independent_engines(n_shards, seed, &events, &per_shard);
+    }
+}
+
 #[test]
 fn shards_share_one_window_timeline() {
     let seed = 7u64;
