@@ -28,6 +28,13 @@ fi
 echo "==> cargo test"
 cargo test -q
 
+# The durability anchor must hold in every tier, including --fast: a
+# service killed mid-pipeline and recovered from checkpoint + WAL tail
+# replays bit-for-bit. Named explicitly so a test-filter refactor can
+# never silently drop it from the gate.
+echo "==> crash-recovery anchor"
+cargo test -q --test crash_recovery
+
 if [[ "$fast" == 0 ]]; then
   # release-mode tests catch overflow panics debug builds mask (and the
   # debug_assert-gated paths the dev profile hides)
@@ -40,14 +47,15 @@ cargo bench --no-run
 
 # The JSON throughput runner in smoke mode: exercises the full sharded
 # hot path end to end — including the --churn scenario's periodic epoch
-# transitions, the --sink scenario's zero-copy consumer delivery, and the
+# transitions, the --sink scenario's zero-copy consumer delivery, the
 # --scaling summary (which FAILS the run if a multi-shard service
-# silently fell back to inline execution on a multi-core host) — and
-# fails if the artifact it writes does not parse back (the runner
-# validates its own output, churn, sink and scaling cells included).
-echo "==> bench-json smoke (with churn + sink + scaling scenarios)"
+# silently fell back to inline execution on a multi-core host), and the
+# --durability scenario's WAL-attached ingest — and fails if the
+# artifact it writes does not parse back (the runner validates its own
+# output, churn, sink, scaling and durability cells included).
+echo "==> bench-json smoke (with churn + sink + scaling + durability scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

@@ -351,6 +351,71 @@ impl IncrementalDetector {
         }
     }
 
+    /// Plain-data snapshot of the detector's exact state: the open
+    /// window's accumulated presence/NFA/timed state, the emit frontier
+    /// and every staged (not yet activated) pattern swap. Compiled
+    /// artifacts (NFAs, conjunction masks) are **not** captured — they are
+    /// a deterministic function of the pattern set and are rebuilt by
+    /// [`IncrementalDetector::restore`].
+    pub fn snapshot(&self) -> DetectorSnapshot {
+        DetectorSnapshot {
+            patterns: self.patterns.clone(),
+            semantics: self.semantics,
+            window_len: self.window_len,
+            n_types: self.n_types,
+            open_window: self.open_window,
+            emitted: self.emitted,
+            nfa_states: self.nfa_states.clone(),
+            present: self.present.clone(),
+            timed: self.timed.clone(),
+            last_ts: self.last_ts,
+            pending: self
+                .pending
+                .iter()
+                .map(|(at, swap)| (*at, swap.patterns().clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild a detector from an [`IncrementalDetector::snapshot`]: the
+    /// pattern set is recompiled, the open-window state is restored
+    /// verbatim, and staged swaps are re-scheduled — the restored detector
+    /// closes the same windows with the same detections as the original.
+    pub fn restore(snapshot: DetectorSnapshot) -> Result<Self, CepError> {
+        let mut det = IncrementalDetector::new(
+            snapshot.patterns,
+            snapshot.semantics,
+            snapshot.window_len,
+            snapshot.n_types,
+        )?;
+        if snapshot.nfa_states.len() != det.patterns.len() {
+            return Err(CepError::InvalidQuery(format!(
+                "snapshot carries {} NFA states for {} patterns",
+                snapshot.nfa_states.len(),
+                det.patterns.len()
+            )));
+        }
+        if snapshot.present.n_types() != snapshot.n_types {
+            return Err(CepError::InvalidQuery(format!(
+                "snapshot presence width {} does not match {} types",
+                snapshot.present.n_types(),
+                snapshot.n_types
+            )));
+        }
+        det.open_window = snapshot.open_window;
+        det.emitted = snapshot.emitted;
+        det.nfa_states = snapshot.nfa_states;
+        det.present = snapshot.present;
+        det.timed = snapshot.timed;
+        det.last_ts = snapshot.last_ts;
+        // staged swaps re-enter through the validating schedule path (every
+        // pending swap targets `at >= emitted`, so re-staging is legal)
+        for (at, set) in snapshot.pending {
+            det.schedule_pattern_update(at, set)?;
+        }
+        Ok(det)
+    }
+
     fn close_current(&mut self, grid: i64) -> ClosedWindow {
         // epoch activation point: swaps staged for this window's index (or
         // earlier) take effect before its detections are computed, so the
@@ -399,6 +464,35 @@ impl IncrementalDetector {
             presence,
         }
     }
+}
+
+/// The exact state of an [`IncrementalDetector`], as plain data (see
+/// [`IncrementalDetector::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorSnapshot {
+    /// The active pattern set (recompiled on restore).
+    pub patterns: PatternSet,
+    /// Matching semantics.
+    pub semantics: Semantics,
+    /// Tumbling window length.
+    pub window_len: TimeDelta,
+    /// Width of the type universe.
+    pub n_types: usize,
+    /// Grid index of the open window.
+    pub open_window: Option<i64>,
+    /// Number of windows emitted.
+    pub emitted: usize,
+    /// Ordered semantics: per-pattern NFA state in pattern order.
+    pub nfa_states: Vec<usize>,
+    /// Per-type presence of the open window.
+    pub present: IndicatorVector,
+    /// OrderedWithin semantics: the open window's timestamped events.
+    pub timed: Vec<(EventType, Timestamp)>,
+    /// The last observed timestamp/watermark.
+    pub last_ts: Option<Timestamp>,
+    /// Staged pattern swaps as `(activation index, pattern set)`,
+    /// ascending (recompiled and re-staged on restore).
+    pub pending: Vec<(usize, PatternSet)>,
 }
 
 #[cfg(test)]
@@ -711,6 +805,54 @@ mod tests {
         let want = inline.finish().unwrap();
         assert_eq!(shared_a.finish().unwrap(), want);
         assert_eq!(shared_b.finish().unwrap(), want);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_window_and_mid_swap() {
+        // capture with an open window, accumulated state and a staged
+        // swap; the restored detector must finish the stream identically
+        let mut det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        det.push(&e(0, 1)).unwrap();
+        det.push(&e(0, 12)).unwrap(); // window 0 emitted, window 1 open
+        let mut grown = patterns();
+        grown.insert(Pattern::single("d", t(1)));
+        det.schedule_pattern_update(3, grown).unwrap();
+        det.push(&e(1, 14)).unwrap(); // mid-window NFA progress
+
+        let snap = det.snapshot();
+        let mut restored = IncrementalDetector::restore(snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.emitted(), det.emitted());
+        // drive both to the end across the staged swap's activation
+        for ev in [e(2, 21), e(1, 38)] {
+            let a = det.push(&ev).unwrap();
+            let b = restored.push(&ev).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(det.finish(), restored.finish());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_inconsistent_state() {
+        let det = IncrementalDetector::new(
+            patterns(),
+            Semantics::Ordered,
+            TimeDelta::from_millis(10),
+            3,
+        )
+        .unwrap();
+        let mut bad = det.snapshot();
+        bad.nfa_states.push(0);
+        assert!(IncrementalDetector::restore(bad).is_err());
+        let mut bad = det.snapshot();
+        bad.present = IndicatorVector::empty(4);
+        assert!(IncrementalDetector::restore(bad).is_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use compile::{CompiledPattern, CompiledSet};
 pub use detector::{Detection, DetectionTable, Detector};
 pub use engine::{CepEngine, QueryAnswers};
 pub use error::CepError;
-pub use incremental::{ClosedWindow, IncrementalDetector, PreparedPatternSwap};
+pub use incremental::{ClosedWindow, DetectorSnapshot, IncrementalDetector, PreparedPatternSwap};
 pub use matcher::{match_indicator, match_mask, match_window, WindowMatch};
 pub use nfa::Nfa;
 pub use parse::parse_query;

@@ -148,6 +148,14 @@ pub struct PatternSet {
     by_type: HashMap<EventType, Vec<PatternId>>,
 }
 
+/// Equality is over the registered patterns in id order; the `by_type`
+/// index is derived state and never diverges.
+impl PartialEq for PatternSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.patterns == other.patterns
+    }
+}
+
 impl PatternSet {
     /// An empty set.
     pub fn new() -> Self {

@@ -437,6 +437,28 @@ impl QueryStateSet {
     pub(crate) fn ring(&mut self, query: QueryId) -> &mut VecDeque<u64> {
         self.rings.entry(query).or_default()
     }
+
+    /// Plain-data snapshot: each query's trailing hit-word ring (front to
+    /// back), sorted by query id so equal states snapshot identically.
+    pub fn snapshot(&self) -> Vec<(QueryId, Vec<u64>)> {
+        let mut rings: Vec<(QueryId, Vec<u64>)> = self
+            .rings
+            .iter()
+            .map(|(&id, ring)| (id, ring.iter().copied().collect()))
+            .collect();
+        rings.sort_by_key(|(id, _)| *id);
+        rings
+    }
+
+    /// Rebuild a state set from a [`QueryStateSet::snapshot`].
+    pub fn restore(rings: Vec<(QueryId, Vec<u64>)>) -> Self {
+        QueryStateSet {
+            rings: rings
+                .into_iter()
+                .map(|(id, ring)| (id, ring.into()))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -594,6 +616,28 @@ mod tests {
         // ties break toward the earlier candidate (fresh ring, new id)
         let t0 = q.answer(&w(&[0, 1]), QueryId(1), &mut state, None);
         assert_eq!(t0, Answer::Argmax("a!".into()));
+    }
+
+    #[test]
+    fn query_state_snapshot_round_trips() {
+        let mut state = QueryStateSet::new();
+        state.ring(QueryId(3)).extend([1u64, 2, 3]);
+        state.ring(QueryId(1)).push_back(9);
+        let snap = state.snapshot();
+        assert_eq!(
+            snap,
+            vec![(QueryId(1), vec![9]), (QueryId(3), vec![1, 2, 3])]
+        );
+        let mut restored = QueryStateSet::restore(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(
+            restored
+                .ring(QueryId(3))
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]

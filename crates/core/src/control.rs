@@ -83,8 +83,9 @@ pub struct ControlPlaneConfig {
 /// One staged reconfiguration command. The typed [`ControlPlane`] methods
 /// are thin wrappers over [`ControlPlane::submit`]; the enum form makes a
 /// schedule replayable as data (the equivalence tests replay schedules
-/// against independent engines).
-#[derive(Debug, Clone)]
+/// against independent engines, and the durability WAL persists staged
+/// commands as records).
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// A new tenant joins (no private patterns yet). Re-registering a
     /// retired subject re-activates it.
@@ -181,6 +182,40 @@ pub struct EpochPlan {
     pub correlates: Vec<Correlate>,
 }
 
+/// Plain-data image of a [`ControlPlane`]'s dynamic state, as captured by
+/// [`ControlPlane::snapshot`]. The construction-time
+/// [`ControlPlaneConfig`] is *not* part of the image — recovery re-supplies
+/// it, exactly like the service rebuilds compiled artifacts from
+/// configuration — so a snapshot only carries what runtime commands have
+/// changed. Collections are flattened into id-ordered vectors so equal
+/// control planes snapshot identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlPlaneSnapshot {
+    /// Append-only pattern registry (the derived type index is rebuilt on
+    /// restore).
+    pub patterns: PatternSet,
+    /// Private-pattern registration order across all subjects.
+    pub private_order: Vec<(SubjectId, PatternId)>,
+    /// Revoked pattern ids, in revocation order.
+    pub revoked: Vec<PatternId>,
+    /// Per-subject `(id, owned patterns, retired)` in id order.
+    pub subjects: Vec<(SubjectId, Vec<PatternId>, bool)>,
+    /// Query registry rows `(name, spec, active)`; index = stable id.
+    pub queries: Vec<(String, QuerySpec, bool)>,
+    /// Explicitly granted history, if any.
+    pub explicit_history: Option<Vec<IndicatorVector>>,
+    /// The bounded sliding history of released windows, oldest first.
+    pub released_history: Vec<IndicatorVector>,
+    /// §V-C widening `(threshold, per-type ε)`, if enabled.
+    pub widening: Option<(f64, Epsilon)>,
+    /// The current epoch.
+    pub epoch: u64,
+    /// Whether the initial compile already ran.
+    pub compiled_initial: bool,
+    /// Whether staged commands await the next compile.
+    pub dirty: bool,
+}
+
 /// The control plane itself. See the module docs for the full model.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
@@ -220,6 +255,65 @@ impl ControlPlane {
             epoch: 0,
             compiled_initial: false,
             dirty: false,
+        }
+    }
+
+    /// Capture the dynamic state into a plain-data
+    /// [`ControlPlaneSnapshot`]. Pair with [`ControlPlane::restore`].
+    pub fn snapshot(&self) -> ControlPlaneSnapshot {
+        ControlPlaneSnapshot {
+            patterns: self.patterns.clone(),
+            private_order: self.private_order.clone(),
+            revoked: self.revoked.clone(),
+            subjects: self
+                .subjects
+                .iter()
+                .map(|(&id, s)| (id, s.patterns.clone(), s.retired))
+                .collect(),
+            queries: self
+                .queries
+                .iter()
+                .map(|q| (q.name.clone(), q.spec.clone(), q.active))
+                .collect(),
+            explicit_history: self
+                .explicit_history
+                .as_ref()
+                .map(|h| h.iter().cloned().collect()),
+            released_history: self.released_history.iter().cloned().collect(),
+            widening: self.widening,
+            epoch: self.epoch,
+            compiled_initial: self.compiled_initial,
+            dirty: self.dirty,
+        }
+    }
+
+    /// Rebuild a control plane from a snapshot plus the construction-time
+    /// config. The derived pattern-type index is reindexed, so snapshots
+    /// that crossed a serialization boundary restore correctly.
+    pub fn restore(config: ControlPlaneConfig, snapshot: ControlPlaneSnapshot) -> Self {
+        let mut patterns = snapshot.patterns;
+        patterns.reindex();
+        ControlPlane {
+            config,
+            patterns,
+            private_order: snapshot.private_order,
+            revoked: snapshot.revoked,
+            subjects: snapshot
+                .subjects
+                .into_iter()
+                .map(|(id, patterns, retired)| (id, SubjectState { patterns, retired }))
+                .collect(),
+            queries: snapshot
+                .queries
+                .into_iter()
+                .map(|(name, spec, active)| QueryState { name, spec, active })
+                .collect(),
+            explicit_history: snapshot.explicit_history.map(WindowedIndicators::new),
+            released_history: snapshot.released_history.into(),
+            widening: snapshot.widening,
+            epoch: snapshot.epoch,
+            compiled_initial: snapshot.compiled_initial,
+            dirty: snapshot.dirty,
         }
     }
 
@@ -777,6 +871,52 @@ mod tests {
         // the sliding tail holds the *latest* releases (12..=19 → types ...)
         assert!(history.window(3).get(t(12 % 4)));
         assert!(history.window(10).get(t(19 % 4)));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_schedule_semantics() {
+        let mut cp = plane(PpmKind::Uniform { eps: eps(2.0) });
+        let p0 =
+            cp.register_private_pattern(SubjectId(1), Pattern::seq("p", vec![t(0), t(1)]).unwrap());
+        cp.add_consumer_query("t2?", Pattern::single("t2", t(2)));
+        cp.compile_initial().unwrap();
+        cp.revoke_private_pattern(SubjectId(1), p0).unwrap();
+        cp.register_private_pattern(SubjectId(3), Pattern::single("q", t(3)));
+        cp.provide_history(WindowedIndicators::new(vec![IndicatorVector::empty(4)]));
+        for k in 0..3 {
+            cp.observe_release(&IndicatorVector::from_present([t(k)], 4));
+        }
+        cp.set_correlate_widening(None);
+
+        let snap = cp.snapshot();
+        let mut restored = ControlPlane::restore(
+            ControlPlaneConfig {
+                n_types: 4,
+                alpha: Alpha::HALF,
+                ppm: PpmKind::Uniform { eps: eps(2.0) },
+                history_window: 8,
+            },
+            snap.clone(),
+        );
+        // the snapshot is a fixed point …
+        assert_eq!(restored.snapshot(), snap);
+        // … and both planes compile the identical next epoch
+        assert!(restored.has_pending());
+        assert_eq!(restored.epoch(), cp.epoch());
+        let pa = cp.compile_next().unwrap();
+        let pb = restored.compile_next().unwrap();
+        assert_eq!(pa.epoch, pb.epoch);
+        assert_eq!(pa.charges, pb.charges);
+        assert_eq!(
+            pa.core.pipeline().flip_table().probs(),
+            pb.core.pipeline().flip_table().probs()
+        );
+        // the reindexed registry still resolves type lookups
+        assert_eq!(restored.patterns().containing(t(3)).len(), 1);
+        // subsequent ids continue the sequence identically
+        let ia = cp.register_pattern(Pattern::single("z", t(0)));
+        let ib = restored.register_pattern(Pattern::single("z", t(0)));
+        assert_eq!(ia, ib);
     }
 
     #[test]

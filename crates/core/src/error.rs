@@ -49,6 +49,10 @@ pub enum CoreError {
         /// Index of the shard whose worker disconnected.
         shard: usize,
     },
+    /// Checkpoint/WAL persistence failed: an I/O error, a corrupt or
+    /// truncated artifact, or a snapshot that does not fit the service it
+    /// is being restored into.
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -78,6 +82,7 @@ impl fmt::Display for CoreError {
             CoreError::ShardWorker { shard } => {
                 write!(f, "shard {shard} worker thread died (channel disconnected)")
             }
+            CoreError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -117,5 +122,8 @@ mod tests {
         assert!(CoreError::ShardWorker { shard: 3 }
             .to_string()
             .contains("shard 3"));
+        assert!(CoreError::Durability("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 }

@@ -37,13 +37,18 @@
 //!   query churn staged as commands, compiled into immutable per-epoch
 //!   plans that every shard activates deterministically on one window
 //!   boundary, with the adaptive PPM re-run online at each transition
-//!   and epoch-aware budget accounting.
+//!   and epoch-aware budget accounting;
+//! * [`durability`] — crash consistency for the sharded service: full
+//!   plain-data checkpoints captured at draining sync points plus a
+//!   length-prefixed write-ahead log of accepted inputs; recovery loads
+//!   the checkpoint and replays the WAL tail for bit-identical output.
 
 pub mod adaptive;
 pub mod answer;
 pub mod control;
 pub mod correlation;
 pub mod distribution;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod extensions;
@@ -57,9 +62,15 @@ pub mod streaming;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
 pub use answer::{Answer, ArgmaxQuery, Query, QuerySpec, QueryStateSet};
-pub use control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
+pub use control::{
+    Command, CommandOutcome, ControlPlane, ControlPlaneConfig, ControlPlaneSnapshot, EpochPlan,
+};
 pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
 pub use distribution::BudgetDistribution;
+pub use durability::{
+    read_checkpoint, read_wal_from, replay_into, write_checkpoint, MergeRowSnapshot, MergeSnapshot,
+    ServiceCheckpoint, ShardCheckpoint, ShardMetaSnapshot, WalRecord, WalWriter,
+};
 pub use engine::{PpmKind, ProtectedAnswer, TrustedEngine, TrustedEngineConfig};
 pub use error::CoreError;
 pub use extensions::{CategoricalQuery, CountQuery, NoisyArgmax};
@@ -69,11 +80,14 @@ pub use guarantee::{
 pub use neighbors::{
     in_pattern_neighbors, indicator_neighbors, is_in_pattern_neighbor, is_indicator_neighbor,
 };
-pub use protect::{FlipPlan, FlipTable, Mechanism, ProtectionPipeline};
+pub use protect::{FlipPlan, FlipTable, Mechanism, PipelineSnapshot, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
 pub use service::{
     BatchOutput, EpochTransition, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig,
     ShardRelease, ShardedService, SubjectId,
 };
 pub use sink::{CountingSink, QueryAnswer, ReleaseSink, VecSink};
-pub use streaming::{OnlineCore, QueryRef, StreamingConfig, StreamingEngine, WindowRelease};
+pub use streaming::{
+    EngineSnapshot, OnlineCore, OnlineCoreSnapshot, QueryRef, StreamingConfig, StreamingEngine,
+    WindowRelease,
+};

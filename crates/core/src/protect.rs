@@ -361,6 +361,48 @@ impl ProtectionPipeline {
             .map(|(id, d)| (*id, d.total()))
             .collect()
     }
+
+    /// Plain-data snapshot: the label, the per-type flip probabilities and
+    /// the per-pattern distributions. The compiled [`FlipPlan`] is not
+    /// captured — [`ProtectionPipeline::restore`] recompiles it
+    /// deterministically from the table.
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            label: self.label.clone(),
+            probs: self.table.probs().iter().map(|p| p.value()).collect(),
+            assignments: self.assignments.clone(),
+        }
+    }
+
+    /// Rebuild a pipeline from a [`ProtectionPipeline::snapshot`] —
+    /// identical flip table, identical word-parallel plan (the plan
+    /// compile is a pure function of the table).
+    pub fn restore(snapshot: PipelineSnapshot) -> Result<Self, CoreError> {
+        let mut table = FlipTable::identity(snapshot.probs.len());
+        for (i, &p) in snapshot.probs.iter().enumerate() {
+            table.set_prob(
+                EventType(i as u32),
+                FlipProb::new(p).map_err(CoreError::Dp)?,
+            )?;
+        }
+        Ok(Self::from_table(
+            &snapshot.label,
+            table,
+            snapshot.assignments,
+        ))
+    }
+}
+
+/// The exact state of a [`ProtectionPipeline`], as plain data (see
+/// [`ProtectionPipeline::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSnapshot {
+    /// The mechanism label ([`Mechanism::name`]).
+    pub label: String,
+    /// Per-type flip probabilities in [`EventType`] order.
+    pub probs: Vec<f64>,
+    /// The per-pattern budget distributions.
+    pub assignments: Vec<(PatternId, BudgetDistribution)>,
 }
 
 impl Mechanism for ProtectionPipeline {

@@ -100,6 +100,34 @@
 //!   stop-the-world recompile. See [`crate::control`] for the
 //!   determinism contract of command schedules.
 //!
+//! * **crash consistency** ([`crate::durability`]): the service can
+//!   journal every accepted input to a write-ahead log and image its full
+//!   state into a [`ServiceCheckpoint`]. The consistency contract:
+//!
+//!   - **checkpoint-safe sync points.** [`ShardedService::checkpoint_into`]
+//!     is a draining sync point: it folds every in-flight round and
+//!     flushes the outbox into the caller's sink *before* imaging, so a
+//!     checkpoint never contains an in-flight round, an undelivered
+//!     release, or a sealed audit record. Any state a checkpoint captures
+//!     has already been delivered and charged.
+//!   - **write-ahead commands, write-behind effects.** Control-plane
+//!     commands are logged *before* they are staged (their replay
+//!     re-fails deterministically if the plane rejected them); batches
+//!     are logged after atomic subject validation but before any event
+//!     moves; watermarks before their round is submitted; `BeginEpoch`
+//!     only after the whole transition succeeded; `Finish` when the
+//!     service seals. An operation interrupted by a crash before its
+//!     record hit the log simply never happened — recovery is always a
+//!     clean prefix of the accepted history.
+//!   - **recovery = checkpoint + replay.** [`ShardedService::recover_into`]
+//!     restores the checkpoint image (including every shard's RNG
+//!     position, resumed mid-stream) and replays the WAL tail from
+//!     [`ServiceCheckpoint::wal_offset`] through the normal public entry
+//!     points. Because the service is deterministic in its inputs under
+//!     seeded RNGs, the recovered service produces **bit-for-bit** the
+//!     same deliveries, ledger spends and low watermark as one that never
+//!     crashed (see `tests/crash_recovery.rs`).
+//!
 //! Correctness is anchored by equivalence, not by re-proof: a 1-shard
 //! service reproduces [`StreamingEngine`] bit-for-bit under a seeded
 //! [`DpRng`], and an N-shard service over a partitioned stream matches N
@@ -109,6 +137,7 @@
 //! [`ReorderBuffer`]: pdp_stream::ReorderBuffer
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -120,6 +149,10 @@ use pdp_stream::{Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, Wi
 
 use crate::answer::{Answer, Query, QueryStateSet};
 use crate::control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
+use crate::durability::{
+    read_wal_from, replay_into, MergeRowSnapshot, MergeSnapshot, ServiceCheckpoint,
+    ShardCheckpoint, ShardMetaSnapshot, WalRecord, WalWriter,
+};
 use crate::engine::PpmKind;
 use crate::error::CoreError;
 use crate::sink::{QueryAnswer, ReleaseSink, VecSink};
@@ -427,6 +460,7 @@ impl ServiceBuilder {
             max_delay: self.config.max_delay,
             events_ingested: 0,
             finished: false,
+            wal: None,
         };
         service.install_plan(&plan)?;
         Ok(service)
@@ -937,6 +971,11 @@ pub struct ShardedService {
     max_delay: TimeDelta,
     events_ingested: u64,
     finished: bool,
+    /// The attached write-ahead log, if any. Every accepted input is
+    /// journaled here before (commands) or as (batches, watermarks,
+    /// transitions) it takes effect — see the module-level crash
+    /// consistency contract. `None` = durability off, zero overhead.
+    wal: Option<WalWriter>,
 }
 
 /// The default execution-mode policy, consulted **once** at build time:
@@ -958,11 +997,12 @@ impl Clone for ShardedService {
     /// fresh `Arc`s and spawns a fresh worker pool when the recorded mode
     /// is parallel (never re-derived from the host). The pipeline must be
     /// quiescent: in-flight jobs reference state that cannot be cloned
-    /// mid-round.
+    /// mid-round. An attached [`WalWriter`] is **not** cloned — a log file
+    /// has one writer; the copy starts without durability.
     ///
     /// # Panics
     /// If rounds are still in flight — call [`ShardedService::sync`]
-    /// first.
+    /// first, or use the non-panicking [`ShardedService::try_clone`].
     fn clone(&self) -> Self {
         assert!(
             self.pending.is_empty(),
@@ -1016,6 +1056,7 @@ impl Clone for ShardedService {
             max_delay: self.max_delay,
             events_ingested: self.events_ingested,
             finished: self.finished,
+            wal: None,
         }
     }
 }
@@ -1101,6 +1142,12 @@ impl ShardedService {
                     .ok_or(CoreError::UnknownSubject(keyed.subject.0))
             })
             .collect::<Result<_, _>>()?;
+        // journal the batch once it is known valid and before any event
+        // moves: the log holds exactly the batches that were applied, and
+        // a failed append rejects the batch as atomically as a bad subject
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_batch(&batch)?;
+        }
         let n_events = batch.len() as u64;
         let mut round = Round::new(self.shards.len());
         // partition into per-shard sub-batches in arrival order (event
@@ -1125,7 +1172,7 @@ impl ShardedService {
         // so the advance rides in the same round — no barrier between
         // ingestion and watermark alignment (a stale-or-equal target is a
         // shard-side no-op)
-        if let Some(low) = self.low_watermark() {
+        if let Some(low) = self.low_watermark_unsynced() {
             for shard_idx in 0..self.shards.len() {
                 self.submit_job(shard_idx, ShardJob::Advance(low), &mut round);
             }
@@ -1161,12 +1208,15 @@ impl ShardedService {
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&WalRecord::Watermark(ts))?;
+        }
         let mut round = Round::new(self.shards.len());
         for shard_idx in 0..self.shards.len() {
             self.meta[shard_idx].observe(ts);
             self.submit_job(shard_idx, ShardJob::Heartbeat(ts), &mut round);
         }
-        if let Some(low) = self.low_watermark() {
+        if let Some(low) = self.low_watermark_unsynced() {
             for shard_idx in 0..self.shards.len() {
                 self.submit_job(shard_idx, ShardJob::Advance(low), &mut round);
             }
@@ -1198,6 +1248,9 @@ impl ShardedService {
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&WalRecord::Finish)?;
+        }
         self.finished = true;
         let mut flush = Round::new(self.shards.len());
         for shard_idx in 0..self.shards.len() {
@@ -1257,9 +1310,37 @@ impl ShardedService {
     // `begin_epoch` compiles the staged batch into an `EpochPlan` and
     // fans it out. Ids are assigned at staging time and are stable
     // forever (append-only registries).
+    //
+    // With a WAL attached, every command is journaled *before* it is
+    // staged (true write-ahead): a command the control plane rejects is
+    // in the log too, and its replay re-fails deterministically — see
+    // `durability::replay_into`.
+
+    /// Journal one command from the infallible staging wrappers; the
+    /// record is only built when a WAL is attached, and an append failure
+    /// is deferred to the next fallible operation (these wrappers have no
+    /// error channel of their own).
+    fn note_command(&mut self, command: impl FnOnce() -> Command) {
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.append_command(&command()) {
+                self.deferred.get_or_insert(e);
+            }
+        }
+    }
+
+    /// Journal one command from the fallible staging wrappers, surfacing
+    /// an append failure immediately (before the command stages — the log
+    /// never misses a staged command).
+    fn log_command(&mut self, command: impl FnOnce() -> Command) -> Result<(), CoreError> {
+        match self.wal.as_mut() {
+            Some(wal) => wal.append_command(&command()),
+            None => Ok(()),
+        }
+    }
 
     /// Stage: a new tenant joins (routable from the next epoch on).
     pub fn register_subject(&mut self, subject: SubjectId) -> SubjectId {
+        self.note_command(|| Command::RegisterSubject(subject));
         self.control.register_subject(subject)
     }
 
@@ -1267,12 +1348,17 @@ impl ShardedService {
     /// rejected and their patterns stop charging; spend already recorded
     /// is never refunded.
     pub fn retire_subject(&mut self, subject: SubjectId) -> Result<(), CoreError> {
+        self.log_command(|| Command::RetireSubject(subject))?;
         self.control.retire_subject(subject)
     }
 
     /// Stage: a tenant declares a new private pattern (protected and
     /// charged from the next epoch on).
     pub fn register_private_pattern(&mut self, subject: SubjectId, pattern: Pattern) -> PatternId {
+        self.note_command(|| Command::RegisterPrivatePattern {
+            subject,
+            pattern: pattern.clone(),
+        });
         self.control.register_private_pattern(subject, pattern)
     }
 
@@ -1283,12 +1369,17 @@ impl ShardedService {
         subject: SubjectId,
         pattern: PatternId,
     ) -> Result<(), CoreError> {
+        self.log_command(|| Command::RevokePrivatePattern { subject, pattern })?;
         self.control.revoke_private_pattern(subject, pattern)
     }
 
     /// Stage: a consumer adds a named target-pattern query (answered from
     /// the next epoch on).
     pub fn add_consumer_query(&mut self, name: &str, pattern: Pattern) -> (QueryId, PatternId) {
+        self.note_command(|| Command::AddConsumerQuery {
+            name: name.to_owned(),
+            pattern: pattern.clone(),
+        });
         self.control.add_consumer_query(name, pattern)
     }
 
@@ -1297,23 +1388,32 @@ impl ShardedService {
     /// (typed) from the next epoch on, with argmax budgets charged
     /// through the service's query ledger.
     pub fn add_extension_query(&mut self, name: &str, query: &dyn Query) -> QueryId {
+        self.note_command(|| Command::AddTypedQuery {
+            name: name.to_owned(),
+            spec: query.spec(),
+        });
         self.control.add_typed_query(name, query)
     }
 
     /// Stage: a consumer withdraws a query (unanswered from the next
     /// epoch on).
     pub fn remove_consumer_query(&mut self, query: QueryId) -> Result<(), CoreError> {
+        self.log_command(|| Command::RemoveConsumerQuery(query))?;
         self.control.remove_consumer_query(query)
     }
 
     /// Stage: grant (replace) the explicit historical data the adaptive
     /// PPM optimizes against at the next transition.
     pub fn provide_history(&mut self, windows: WindowedIndicators) {
+        self.note_command(|| Command::ProvideHistory(windows.clone()));
         self.control.provide_history(windows);
     }
 
     /// Stage one [`Command`] in enum form (schedules as data).
     pub fn submit(&mut self, command: Command) -> Result<CommandOutcome, CoreError> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_command(&command)?;
+        }
         self.control.submit(command)
     }
 
@@ -1394,6 +1494,13 @@ impl ShardedService {
             self.meta[shard_idx].n_subjects += 1;
         }
         self.install_plan(&plan)?;
+        // journaled only once the whole transition succeeded: a crash
+        // anywhere above discards it wholesale, and recovery resumes
+        // cleanly under the previous epoch (the staged commands are in the
+        // log individually and re-stage on replay)
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(&WalRecord::BeginEpoch)?;
+        }
         Ok(Some(EpochTransition {
             activation_index,
             plan,
@@ -1567,10 +1674,12 @@ impl ShardedService {
         }
     }
 
-    /// Test hook: sever one worker's job channel, indistinguishable from
-    /// its thread having died.
-    #[cfg(test)]
-    fn kill_worker(&mut self, shard_idx: usize) {
+    /// Fault-injection hook: sever one worker's job channel,
+    /// indistinguishable from its thread having died. Public so
+    /// integration tests can exercise the worker-death path end to end;
+    /// not part of the supported API.
+    #[doc(hidden)]
+    pub fn kill_worker(&mut self, shard_idx: usize) {
         self.workers[shard_idx].job_tx = None;
     }
 
@@ -1589,6 +1698,285 @@ impl ShardedService {
     pub fn sync(&mut self) -> Result<(), CoreError> {
         self.fold_pending();
         self.take_deferred()
+    }
+
+    /// Non-panicking [`Clone`]: drains the pipeline first (so in-flight
+    /// rounds settle instead of tripping the quiescence assertion), then
+    /// clones. Surfaces any deferred error instead of hiding it in the
+    /// copy. The attached WAL, if any, stays with `self`.
+    pub fn try_clone(&mut self) -> Result<Self, CoreError> {
+        self.sync()?;
+        Ok(self.clone())
+    }
+
+    /// Attach a write-ahead log: from now on every accepted input is
+    /// journaled per the module-level crash consistency contract.
+    /// Replaces (and returns) a previously attached writer.
+    pub fn attach_wal(&mut self, wal: WalWriter) -> Option<WalWriter> {
+        self.wal.replace(wal)
+    }
+
+    /// Detach the write-ahead log (durability off; the returned writer
+    /// can be synced or dropped by the caller).
+    pub fn detach_wal(&mut self) -> Option<WalWriter> {
+        self.wal.take()
+    }
+
+    /// Byte offset of the attached WAL after the last journaled record,
+    /// `None` without a WAL. A checkpoint taken now records this offset
+    /// as its replay cursor.
+    pub fn wal_offset(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.offset())
+    }
+
+    /// Image the full service state into a [`ServiceCheckpoint`] — a
+    /// **checkpoint-safe sync point**: every in-flight round folds and the
+    /// outbox flushes into `sink` first, so the image never contains an
+    /// in-flight round or an undelivered release, and everything it does
+    /// contain has already been delivered and charged. The image pairs
+    /// with the [`ServiceConfig`] the service was built with
+    /// ([`ShardedService::restore`]) and records the WAL offset recovery
+    /// should replay from.
+    ///
+    /// The imaged state includes every shard's RNG position: a restored
+    /// service resumes the per-shard randomness streams mid-sequence,
+    /// which is what makes recovery bit-for-bit (the flips already
+    /// released before the checkpoint are never redrawn, and the ones
+    /// after it redraw identically).
+    pub fn checkpoint_into<S: ReleaseSink>(
+        &mut self,
+        sink: &mut S,
+    ) -> Result<ServiceCheckpoint, CoreError> {
+        self.fold_pending();
+        self.flush_outbox(sink);
+        self.take_deferred()?;
+        // workers are idle (all rounds folded): the shard locks are
+        // uncontended, exactly as at every other sync point
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            shards.push(ShardCheckpoint {
+                buffer: guard.buffer.snapshot(),
+                engine: guard.engine.snapshot(),
+                rng: guard.rng.state(),
+                frontier: guard.frontier,
+            });
+        }
+        let meta = self
+            .meta
+            .iter()
+            .map(|m| ShardMetaSnapshot {
+                max_seen: m.max_seen,
+                frontier: m.frontier,
+                dropped: m.dropped,
+                buffered: m.buffered,
+                released: m.released,
+            })
+            .collect();
+        // sorted so equal states encode byte-identically
+        let mut ledgers: Vec<_> = self
+            .ledgers
+            .iter()
+            .map(|(subject, ledger)| (*subject, ledger.snapshot()))
+            .collect();
+        ledgers.sort_unstable_by_key(|(subject, _)| *subject);
+        let merge = MergeSnapshot {
+            next_index: self.merge.next_index,
+            rows: self
+                .merge
+                .rows
+                .iter()
+                .map(|row| MergeRowSnapshot {
+                    start: row.start,
+                    epoch: row.epoch,
+                    shards_done: row.shards_done,
+                    answers_any: row.answers_any.clone(),
+                    positive_shards: row.positive_shards.clone(),
+                    union: row.union.clone(),
+                })
+                .collect(),
+        };
+        Ok(ServiceCheckpoint {
+            parallel: self.parallel,
+            shards,
+            meta,
+            shard_charges: self.shard_charges.clone(),
+            ledgers,
+            query_ledger: self.query_ledger.snapshot(),
+            merge,
+            cores_by_epoch: self.cores_by_epoch.iter().map(|c| c.snapshot()).collect(),
+            query_charges_by_epoch: self.query_charges_by_epoch.clone(),
+            merged_state: self.merged_state.snapshot(),
+            control: self.control.snapshot(),
+            activations: self.activations.clone(),
+            events_ingested: self.events_ingested,
+            finished: self.finished,
+            wal_offset: self.wal.as_ref().map(|w| w.offset()).unwrap_or(0),
+        })
+    }
+
+    /// [`ShardedService::checkpoint_into`] through a throwaway sink,
+    /// returning the releases the drain delivered alongside the image
+    /// (they are real output — a caller that discards them loses windows).
+    pub fn checkpoint(&mut self) -> Result<(ServiceCheckpoint, BatchOutput), CoreError> {
+        let mut sink = VecSink::subscribed([]);
+        let checkpoint = self.checkpoint_into(&mut sink)?;
+        Ok((checkpoint, sink.into()))
+    }
+
+    /// Rebuild a service from a checkpoint image and the [`ServiceConfig`]
+    /// it was built with. Routing, worker threads and compiled artifacts
+    /// (flip plans, NFAs) are re-derived deterministically; dynamic state
+    /// (windows, ledgers, RNG positions, merge accumulators, the control
+    /// plane) comes from the image. The restored service has no WAL
+    /// attached — [`ShardedService::recover_into`] is the full recovery
+    /// path.
+    pub fn restore(
+        config: ServiceConfig,
+        checkpoint: ServiceCheckpoint,
+    ) -> Result<Self, CoreError> {
+        if config.n_shards == 0 {
+            return Err(CoreError::InvalidService(
+                "a service needs at least one shard".into(),
+            ));
+        }
+        if checkpoint.shards.len() != config.n_shards
+            || checkpoint.meta.len() != config.n_shards
+            || checkpoint.shard_charges.len() != config.n_shards
+        {
+            return Err(CoreError::Durability(format!(
+                "checkpoint has {} shards, config expects {} (shard count \
+                 cannot change across recovery: subject routing is shard-\
+                 count dependent)",
+                checkpoint.shards.len(),
+                config.n_shards
+            )));
+        }
+        let control = ControlPlane::restore(
+            ControlPlaneConfig {
+                n_types: config.n_types,
+                alpha: config.alpha,
+                ppm: config.ppm.clone(),
+                history_window: config.history_window,
+            },
+            checkpoint.control,
+        );
+        let n_shards = config.n_shards;
+        let assignment: RouteMap = control
+            .active_subjects()
+            .into_iter()
+            .map(|s| (s, Self::shard_for(s, n_shards)))
+            .collect();
+        let mut shards = Vec::with_capacity(n_shards);
+        for image in checkpoint.shards {
+            shards.push(Arc::new(Mutex::new(Shard {
+                buffer: ReorderBuffer::restore(image.buffer),
+                engine: StreamingEngine::restore(image.engine)?,
+                rng: DpRng::from_state(image.rng),
+                frontier: image.frontier,
+                ready: Vec::new(),
+            })));
+        }
+        let mut meta: Vec<ShardMeta> = checkpoint
+            .meta
+            .into_iter()
+            .map(|m| ShardMeta {
+                n_subjects: 0,
+                max_seen: m.max_seen,
+                frontier: m.frontier,
+                dropped: m.dropped,
+                buffered: m.buffered,
+                released: m.released,
+            })
+            .collect();
+        for &shard_idx in assignment.values() {
+            meta[shard_idx].n_subjects += 1;
+        }
+        let merge = MergeState {
+            n_shards,
+            next_index: checkpoint.merge.next_index,
+            rows: checkpoint
+                .merge
+                .rows
+                .into_iter()
+                .map(|row| MergeRow {
+                    start: row.start,
+                    epoch: row.epoch,
+                    shards_done: row.shards_done,
+                    answers_any: row.answers_any,
+                    positive_shards: row.positive_shards,
+                    union: row.union,
+                })
+                .collect(),
+        };
+        let cores_by_epoch: Vec<OnlineCore> = checkpoint
+            .cores_by_epoch
+            .into_iter()
+            .map(OnlineCore::restore)
+            .collect::<Result<_, _>>()?;
+        let parallel = checkpoint.parallel && n_shards > 1;
+        let workers = if parallel {
+            shards
+                .iter()
+                .map(|s| WorkerHandle::spawn(s.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(ShardedService {
+            shards,
+            workers,
+            parallel,
+            meta,
+            shard_charges: checkpoint.shard_charges,
+            assignment,
+            ledgers: checkpoint
+                .ledgers
+                .into_iter()
+                .map(|(subject, ledger)| (subject, EpochLedger::restore(ledger)))
+                .collect(),
+            query_ledger: EpochLedger::restore(checkpoint.query_ledger),
+            merge,
+            cores_by_epoch,
+            query_charges_by_epoch: checkpoint.query_charges_by_epoch,
+            merged_state: QueryStateSet::restore(checkpoint.merged_state),
+            control,
+            activations: checkpoint.activations,
+            pending: VecDeque::new(),
+            outbox: VecDeque::new(),
+            deferred: None,
+            fill: vec![Vec::new(); n_shards],
+            spare: Vec::new(),
+            n_types: config.n_types,
+            max_delay: config.max_delay,
+            events_ingested: checkpoint.events_ingested,
+            finished: checkpoint.finished,
+            wal: None,
+        })
+    }
+
+    /// Full crash recovery: restore the checkpoint image, replay the WAL
+    /// tail (every complete record at byte offset ≥
+    /// [`ServiceCheckpoint::wal_offset`]) through the normal entry points
+    /// — delivering the re-derived releases into `sink` — and re-attach
+    /// the log for appending (positioned after its last complete record,
+    /// so a torn tail from the crash is overwritten).
+    ///
+    /// The recovered service is bit-for-bit the uninterrupted one: same
+    /// deliveries, same ledger spends, same low watermark
+    /// (`tests/crash_recovery.rs` is the anchor).
+    pub fn recover_into<S: ReleaseSink>(
+        config: ServiceConfig,
+        checkpoint: ServiceCheckpoint,
+        wal_path: &Path,
+        sink: &mut S,
+    ) -> Result<Self, CoreError> {
+        let records = read_wal_from(wal_path, checkpoint.wal_offset)?;
+        let mut service = Self::restore(config, checkpoint)?;
+        // replay with no WAL attached: the records are already durable
+        replay_into(&mut service, records, sink)?;
+        service.attach_wal(WalWriter::open_append(wal_path)?);
+        Ok(service)
     }
 
     /// Book one shard's releases everywhere they matter: the per-subject
@@ -1651,11 +2039,24 @@ impl ShardedService {
     /// watermark instead of contributing to it); a service with no
     /// subjects at all has no watermark.
     ///
-    /// Computed from the service-side clock mirrors — exact without a
-    /// sync: the mirror tracks the max timestamp ever routed to (or
-    /// heartbeat at) each shard, which is precisely the reorder buffer's
-    /// clock (late arrivals below the watermark never raise it).
-    pub fn low_watermark(&self) -> Option<Timestamp> {
+    /// A draining read like every other stats getter: in-flight rounds
+    /// settle first, so the reported watermark never runs ahead of state
+    /// changes the caller can observe (deliveries, spends). The value
+    /// itself comes from the routing-time clock mirrors and is exact
+    /// even mid-pipeline — the drain aligns the *rest* of the service
+    /// with it, not the other way around.
+    pub fn low_watermark(&mut self) -> Option<Timestamp> {
+        self.fold_pending();
+        self.low_watermark_unsynced()
+    }
+
+    /// The mirror read behind [`ShardedService::low_watermark`], used on
+    /// the ingestion hot path where the current round is *intentionally*
+    /// still in flight. Exact without a sync: the mirror tracks the max
+    /// timestamp ever routed to (or heartbeat at) each shard, which is
+    /// precisely the reorder buffer's clock (late arrivals below the
+    /// watermark never raise it).
+    fn low_watermark_unsynced(&self) -> Option<Timestamp> {
         let active: Vec<Option<Timestamp>> = self
             .meta
             .iter()
@@ -1740,18 +2141,26 @@ impl ShardedService {
     /// ledger, or when `pattern` was never a charged pattern of theirs —
     /// never a silent zero. `Some(Epsilon::ZERO)` means "registered,
     /// nothing spent yet".
-    pub fn budget_spent(&self, subject: SubjectId, pattern: PatternId) -> Option<Epsilon> {
+    ///
+    /// A draining read: in-flight rounds settle first, so the reported
+    /// spend includes every release of every batch already pushed —
+    /// without the drain, the pipeline's one-call lag would under-report
+    /// spend that is already irrevocably committed on the shards.
+    pub fn budget_spent(&mut self, subject: SubjectId, pattern: PatternId) -> Option<Epsilon> {
+        self.fold_pending();
         self.ledgers.get(&subject)?.try_spent(&pattern)
     }
 
     /// Budget `subject` spent on `pattern` inside one epoch (`None` under
-    /// the same unknown-key rules as [`ShardedService::budget_spent`]).
+    /// the same unknown-key rules as [`ShardedService::budget_spent`]; a
+    /// draining read for the same reason).
     pub fn budget_spent_in_epoch(
-        &self,
+        &mut self,
         subject: SubjectId,
         pattern: PatternId,
         epoch: u64,
     ) -> Option<Epsilon> {
+        self.fold_pending();
         self.ledgers.get(&subject)?.spent_in_epoch(&pattern, epoch)
     }
 
@@ -1804,8 +2213,9 @@ impl ShardedService {
     /// far across every shard release, summed over epochs. Unknown keys
     /// are explicit: `None` when `query` never carried a dedicated
     /// budget; `Some(Epsilon::ZERO)` means "registered, nothing spent
-    /// yet".
-    pub fn query_budget_spent(&self, query: QueryId) -> Option<Epsilon> {
+    /// yet". A draining read, like [`ShardedService::budget_spent`].
+    pub fn query_budget_spent(&mut self, query: QueryId) -> Option<Epsilon> {
+        self.fold_pending();
         self.query_ledger.try_spent(&query)
     }
 
@@ -2078,6 +2488,23 @@ mod tests {
         let a = svc.advance_watermark(Timestamp::from_millis(80)).unwrap();
         let b = copy.advance_watermark(Timestamp::from_millis(80)).unwrap();
         assert_eq!(a, b, "clone carries RNG and merge state");
+        assert_eq!(svc.finish().unwrap(), copy.finish().unwrap());
+    }
+
+    /// Regression: cloning a forced-parallel service with a round still in
+    /// flight used to panic ("clone a ShardedService while a batch is in
+    /// flight"). `try_clone` settles the pipeline first and must succeed
+    /// exactly where `clone` would have aborted the process.
+    #[test]
+    fn try_clone_succeeds_with_round_in_flight() {
+        let mut svc = builder(2).build().unwrap();
+        svc.set_parallel(true);
+        svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 6)]).unwrap();
+        // no sync(): the round submitted above is still in flight
+        let mut copy = svc.try_clone().expect("try_clone settles the pipeline");
+        let a = svc.advance_watermark(Timestamp::from_millis(80)).unwrap();
+        let b = copy.advance_watermark(Timestamp::from_millis(80)).unwrap();
+        assert_eq!(a, b, "try_clone preserves replay equivalence");
         assert_eq!(svc.finish().unwrap(), copy.finish().unwrap());
     }
 

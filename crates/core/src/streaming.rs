@@ -283,6 +283,44 @@ impl OnlineCore {
             .filter_map(|(q, c)| c.charge().map(|eps| (q.id, eps)))
             .collect()
     }
+
+    /// Plain-data snapshot of the compiled core's inputs (pipeline,
+    /// patterns, queries, epoch). Compiled queries and the flip plan are
+    /// not captured; [`OnlineCore::restore`] recompiles them — compilation
+    /// is deterministic, so the restored core is equivalent bit-for-bit.
+    pub fn snapshot(&self) -> OnlineCoreSnapshot {
+        OnlineCoreSnapshot {
+            pipeline: self.pipeline.snapshot(),
+            patterns: self.patterns.clone(),
+            queries: self.queries.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Rebuild a core from an [`OnlineCore::snapshot`].
+    pub fn restore(snapshot: OnlineCoreSnapshot) -> Result<Self, CoreError> {
+        let pipeline = ProtectionPipeline::restore(snapshot.pipeline)?;
+        Self::with_queries(
+            pipeline,
+            snapshot.patterns,
+            snapshot.queries,
+            snapshot.epoch,
+        )
+    }
+}
+
+/// The exact state of an [`OnlineCore`], as plain data (see
+/// [`OnlineCore::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineCoreSnapshot {
+    /// The protection pipeline's snapshot.
+    pub pipeline: crate::protect::PipelineSnapshot,
+    /// The registered pattern set.
+    pub patterns: PatternSet,
+    /// The active consumer queries.
+    pub queries: Vec<QueryRef>,
+    /// The control-plane epoch the core was compiled for.
+    pub epoch: u64,
 }
 
 /// Streaming-specific knobs on top of a set-up engine.
@@ -670,6 +708,76 @@ impl StreamingEngine {
     pub fn n_types(&self) -> usize {
         self.n_types
     }
+
+    /// Plain-data snapshot of the whole engine: the active core, both
+    /// ledgers, the trailing query state, the detector (open window
+    /// included) and every staged epoch switch. Taken between pushes,
+    /// the snapshot plus the same subsequent inputs and RNG positions
+    /// reproduces the original's releases bit-for-bit.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            core: self.core.snapshot(),
+            ledger: self.ledger.snapshot(),
+            query_ledger: self.query_ledger.snapshot(),
+            query_state: self.query_state.snapshot(),
+            detector: self.detector.snapshot(),
+            events_seen: self.events_seen,
+            pending_epochs: self
+                .pending_epochs
+                .iter()
+                .map(|(at, core)| (*at, core.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Rebuild an engine from a [`StreamingEngine::snapshot`]. Every
+    /// compiled artifact (flip plan, query masks, detector NFAs) is
+    /// recompiled from the snapshot's plain data; the detector restores
+    /// its own staged swaps, and the engine-level pending cores are
+    /// reattached in lockstep with them.
+    pub fn restore(snapshot: EngineSnapshot) -> Result<Self, CoreError> {
+        let core = OnlineCore::restore(snapshot.core)?;
+        let n_types = core.pipeline().flip_table().width();
+        let detector = IncrementalDetector::restore(snapshot.detector)
+            .map_err(|e| CoreError::Detection(e.to_string()))?;
+        let mut pending_epochs = VecDeque::new();
+        for (at, pending) in snapshot.pending_epochs {
+            pending_epochs.push_back((at, OnlineCore::restore(pending)?));
+        }
+        Ok(StreamingEngine {
+            core,
+            ledger: BudgetLedger::restore(snapshot.ledger),
+            query_ledger: BudgetLedger::restore(snapshot.query_ledger),
+            query_state: QueryStateSet::restore(snapshot.query_state),
+            detector,
+            n_types,
+            events_seen: snapshot.events_seen,
+            closed_scratch: Vec::new(),
+            pending_epochs,
+        })
+    }
+}
+
+/// The exact state of a [`StreamingEngine`], as plain data (see
+/// [`StreamingEngine::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// The active protection core.
+    pub core: OnlineCoreSnapshot,
+    /// Per-pattern spend of this front.
+    pub ledger: pdp_dp::BudgetLedgerSnapshot<PatternId>,
+    /// Per-query (argmax) spend of this front.
+    pub query_ledger: pdp_dp::BudgetLedgerSnapshot<QueryId>,
+    /// Trailing-window state of the stateful queries.
+    pub query_state: Vec<(QueryId, Vec<u64>)>,
+    /// The incremental detector (open window, emit frontier, staged
+    /// swaps).
+    pub detector: pdp_cep::DetectorSnapshot,
+    /// Events consumed so far.
+    pub events_seen: usize,
+    /// Staged epoch switches as `(activation index, core)`, ascending —
+    /// mirrors the detector's staged swaps one for one.
+    pub pending_epochs: Vec<(usize, OnlineCoreSnapshot)>,
 }
 
 #[cfg(test)]
@@ -926,6 +1034,61 @@ mod tests {
                 got: 2
             })
         ));
+    }
+
+    #[test]
+    fn engine_snapshot_round_trip_mid_stream() {
+        let mut s = streaming(PpmKind::Uniform { eps: eps(1.0) });
+        let mut rng = DpRng::seed_from(13);
+        s.push(&e(0, 1), &mut rng).unwrap();
+        s.push(&e(2, 15), &mut rng).unwrap(); // window 0 released, 1 open
+        let snap = s.snapshot();
+        let mut restored = StreamingEngine::restore(snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap, "snapshot is a fixed point");
+        // continuing from the same RNG position, both engines release
+        // bit-for-bit identically
+        let mut rng2 = DpRng::from_state(rng.state());
+        let a = s.push(&e(1, 27), &mut rng).unwrap();
+        let b = restored.push(&e(1, 27), &mut rng2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            s.finish(&mut rng).unwrap(),
+            restored.finish(&mut rng2).unwrap()
+        );
+        let private = s.core().patterns().iter().next().unwrap().0;
+        assert_eq!(
+            s.budget_spent(private).value(),
+            restored.budget_spent(private).value()
+        );
+    }
+
+    #[test]
+    fn engine_snapshot_preserves_staged_epochs() {
+        let mut s = streaming(PpmKind::PassThrough);
+        let mut rng = DpRng::seed_from(5);
+        s.push(&e(2, 1), &mut rng).unwrap();
+        let core_b = OnlineCore::with_queries(
+            s.core().pipeline().clone(),
+            s.core().patterns().clone(),
+            s.core().queries().to_vec(),
+            1,
+        )
+        .unwrap();
+        s.schedule_epoch(1, core_b).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.pending_epochs.len(), 1);
+        let mut restored = StreamingEngine::restore(snap).unwrap();
+        let mut rng2 = DpRng::from_state(rng.state());
+        // the staged switch lands on window 1 in both engines
+        let a = s
+            .advance_watermark(Timestamp::from_millis(30), &mut rng)
+            .unwrap();
+        let b = restored
+            .advance_watermark(Timestamp::from_millis(30), &mut rng2)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a[1].epoch, 1);
+        assert_eq!(restored.epoch(), 1);
     }
 
     #[test]

@@ -214,6 +214,39 @@ impl<K: Eq + Hash + Clone> BudgetLedger<K> {
     }
 }
 
+impl<K: Eq + Hash + Clone + Ord> BudgetLedger<K> {
+    /// Plain-data snapshot of the ledger, with spends sorted by key so
+    /// two snapshots of equal ledgers are byte-identical (the checkpoint
+    /// determinism requirement).
+    pub fn snapshot(&self) -> BudgetLedgerSnapshot<K> {
+        let mut spent: Vec<(K, Epsilon)> =
+            self.spent.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        spent.sort_by(|a, b| a.0.cmp(&b.0));
+        BudgetLedgerSnapshot {
+            limit: self.limit,
+            spent,
+        }
+    }
+
+    /// Rebuild a ledger from a [`BudgetLedger::snapshot`].
+    pub fn restore(snapshot: BudgetLedgerSnapshot<K>) -> Self {
+        BudgetLedger {
+            limit: snapshot.limit,
+            spent: snapshot.spent.into_iter().collect(),
+        }
+    }
+}
+
+/// The exact state of a [`BudgetLedger`], as sorted plain data (see
+/// [`BudgetLedger::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedgerSnapshot<K> {
+    /// The ledger's cap (`None` = unlimited).
+    pub limit: Option<Epsilon>,
+    /// Cumulative spend per key, sorted by key.
+    pub spent: Vec<(K, Epsilon)>,
+}
+
 /// Epoch-aware accounting for a dynamic control plane.
 ///
 /// A [`BudgetLedger`] only answers "how much has this key spent in total";
@@ -385,6 +418,58 @@ impl<K: Eq + Hash + Clone> EpochLedger<K> {
     }
 }
 
+impl<K: Eq + Hash + Clone + Ord> EpochLedger<K> {
+    /// Plain-data snapshot: caps, retirement fences and per-epoch spend,
+    /// each sorted by key so equal ledgers snapshot byte-identically.
+    pub fn snapshot(&self) -> EpochLedgerSnapshot<K> {
+        let mut caps: Vec<(K, Epsilon)> = self.caps.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        caps.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut retired_from: Vec<(K, u64)> = self
+            .retired_from
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        retired_from.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut per_epoch: Vec<(K, Vec<(u64, Epsilon)>)> = self
+            .per_epoch
+            .iter()
+            .map(|(k, by)| (k.clone(), by.iter().map(|(&e, &v)| (e, v)).collect()))
+            .collect();
+        per_epoch.sort_by(|a, b| a.0.cmp(&b.0));
+        EpochLedgerSnapshot {
+            caps,
+            retired_from,
+            per_epoch,
+        }
+    }
+
+    /// Rebuild a ledger from an [`EpochLedger::snapshot`].
+    pub fn restore(snapshot: EpochLedgerSnapshot<K>) -> Self {
+        EpochLedger {
+            caps: snapshot.caps.into_iter().collect(),
+            retired_from: snapshot.retired_from.into_iter().collect(),
+            per_epoch: snapshot
+                .per_epoch
+                .into_iter()
+                .map(|(k, by)| (k, by.into_iter().collect()))
+                .collect(),
+        }
+    }
+}
+
+/// The exact state of an [`EpochLedger`], as sorted plain data (see
+/// [`EpochLedger::snapshot`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochLedgerSnapshot<K> {
+    /// Registered per-release caps, sorted by key.
+    pub caps: Vec<(K, Epsilon)>,
+    /// Retirement fences (first stopped epoch), sorted by key.
+    pub retired_from: Vec<(K, u64)>,
+    /// Cumulative spend per key per epoch (epochs ascending), sorted by
+    /// key.
+    pub per_epoch: Vec<(K, Vec<(u64, Epsilon)>)>,
+}
+
 impl<K: Eq + Hash + Clone> Default for EpochLedger<K> {
     fn default() -> Self {
         Self::new()
@@ -540,6 +625,34 @@ mod tests {
         ledger.retire(&9, 0);
         assert!(!ledger.is_active(&9));
         assert_eq!(ledger.try_spent(&9), None);
+    }
+
+    #[test]
+    fn ledger_snapshots_round_trip() {
+        let mut ledger = BudgetLedger::with_limit(Epsilon::new(2.0).unwrap());
+        ledger.spend(3u32, Epsilon::new(0.5).unwrap()).unwrap();
+        ledger.spend(1u32, Epsilon::new(1.0).unwrap()).unwrap();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.spent.iter().map(|e| e.0).collect::<Vec<_>>(), [1, 3]);
+        let restored = BudgetLedger::restore(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.spent(&3).value(), 0.5);
+        assert_eq!(restored.remaining(&1).unwrap().value(), 1.0);
+
+        let eps = Epsilon::new(0.5).unwrap();
+        let mut epoch = EpochLedger::new();
+        epoch.register(9u32, eps).unwrap();
+        epoch.register(2u32, eps).unwrap();
+        epoch.charge_releases(9, 0, eps, 2).unwrap();
+        epoch.charge_releases(9, 3, eps, 1).unwrap();
+        epoch.retire(&2, 1);
+        let snap = epoch.snapshot();
+        assert_eq!(snap.caps.iter().map(|e| e.0).collect::<Vec<_>>(), [2, 9]);
+        let restored = EpochLedger::restore(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.epochs(&9), vec![0, 3]);
+        assert!(!restored.is_active(&2));
+        assert!((restored.try_spent(&9).unwrap().value() - 1.5).abs() < 1e-12);
     }
 
     proptest! {

@@ -26,7 +26,7 @@ pub mod rng;
 pub mod rr;
 pub mod svt;
 
-pub use budget::{BudgetLedger, EpochLedger, Epsilon};
+pub use budget::{BudgetLedger, BudgetLedgerSnapshot, EpochLedger, EpochLedgerSnapshot, Epsilon};
 pub use composition::{Accountant, CompositionKind, SlidingWindowAccountant};
 pub use error::DpError;
 pub use exponential::Exponential;

@@ -18,7 +18,7 @@ use std::time::Instant;
 use pdp_cep::Pattern;
 use pdp_core::{
     CoreError, CountingSink, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService,
-    StreamingConfig, SubjectId,
+    StreamingConfig, SubjectId, WalWriter,
 };
 use pdp_dp::{DpRng, Epsilon};
 use pdp_metrics::Alpha;
@@ -59,6 +59,11 @@ pub struct BenchJsonConfig {
     /// a multi-shard service silently fell back inline on a multi-core
     /// host.
     pub scaling: bool,
+    /// Also measure the `--durability` scenario: the identical ingest
+    /// workload with a write-ahead log attached, so the WAL's append
+    /// cost on the hot path is a measured number next to the WAL-off
+    /// `ingest` cells rather than folklore.
+    pub durability: bool,
 }
 
 impl BenchJsonConfig {
@@ -73,6 +78,7 @@ impl BenchJsonConfig {
             churn: false,
             sink: false,
             scaling: false,
+            durability: false,
         }
     }
 
@@ -87,6 +93,7 @@ impl BenchJsonConfig {
             churn: false,
             sink: false,
             scaling: false,
+            durability: false,
         }
     }
 }
@@ -167,6 +174,11 @@ pub struct BenchReport {
     /// artifacts, so they keep parsing.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub scaling: Option<BenchScaling>,
+    /// WAL-on ingest throughput (the `--durability` scenario) — compare
+    /// with `ingest` for the durability overhead; absent without
+    /// `--durability`, so earlier artifacts keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub durability: Option<Vec<BenchCell>>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -310,6 +322,46 @@ fn measure_sink(
     })
 }
 
+/// The `--durability` scenario: the identical ingest workload as
+/// [`measure_ingest`], but with a write-ahead log attached, so every
+/// batch is length-prefix framed and handed to the OS before any event
+/// moves. The delta against the matching `ingest` cell is the price of
+/// crash consistency on the hot path.
+fn measure_durability(
+    n_shards: usize,
+    events: &[KeyedEvent],
+    reps: usize,
+) -> Result<BenchCell, CoreError> {
+    let proto = service(n_shards)?;
+    let dir = std::env::temp_dir().join(format!("pdp_bench_wal_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+    let wal_path = dir.join(format!("bench_{n_shards}.wal"));
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let mut svc = proto.clone();
+        svc.attach_wal(WalWriter::create(&wal_path)?);
+        let start = Instant::now();
+        for chunk in events.chunks(BATCH) {
+            svc.push_batch(chunk.to_vec())?;
+        }
+        svc.finish()?;
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let wal = svc.detach_wal().expect("the WAL stays attached");
+        assert!(wal.offset() > 0, "durability run must have logged records");
+        best_ms = best_ms.min(ms);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let units = events.len() as u64;
+    Ok(BenchCell {
+        shards: n_shards,
+        units,
+        best_ms,
+        per_sec: units as f64 / (best_ms / 1e3),
+        churn_compile_ms: None,
+    })
+}
+
 /// The `--churn` scenario: the same ingest workload, but every few
 /// batches one tenant registers a fresh private pattern, the previous
 /// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
@@ -380,6 +432,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     let mut release = Vec::new();
     let mut churn = config.churn.then(Vec::new);
     let mut sink = config.sink.then(Vec::new);
+    let mut durability = config.durability.then(Vec::new);
     for &n_shards in &SHARD_COUNTS {
         eprintln!(
             "bench-json: ingest @ {n_shards} shard(s), {} events…",
@@ -407,6 +460,15 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
                 events.len()
             );
             cells.push(measure_sink(n_shards, &events, config.reps).map_err(|e| e.to_string())?);
+        }
+        if let Some(cells) = durability.as_mut() {
+            eprintln!(
+                "bench-json: WAL-on ingest @ {n_shards} shard(s), {} events…",
+                events.len()
+            );
+            cells.push(
+                measure_durability(n_shards, &events, config.reps).map_err(|e| e.to_string())?,
+            );
         }
     }
     let scaling = if config.scaling {
@@ -450,6 +512,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         churn,
         sink,
         scaling,
+        durability,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -489,6 +552,14 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             config.out
         ));
     }
+    if config.durability
+        && parsed
+            .durability
+            .as_ref()
+            .is_none_or(|cells| cells.len() != SHARD_COUNTS.len())
+    {
+        return Err(format!("{} round-trip lost durability cells", config.out));
+    }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
 }
@@ -516,6 +587,7 @@ mod tests {
         assert!(report.churn.is_none(), "churn is opt-in");
         assert!(report.sink.is_none(), "sink is opt-in");
         assert!(report.scaling.is_none(), "scaling is opt-in");
+        assert!(report.durability.is_none(), "durability is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -609,8 +681,32 @@ mod tests {
         std::fs::remove_file(&config.out).ok();
     }
 
-    /// The committed artifact (written before the churn and sink
-    /// scenarios existed) must keep parsing under the extended schema.
+    #[test]
+    fn durability_cells_measure_wal_on_ingest() {
+        let mut config = BenchJsonConfig::smoke();
+        config.n_events = 600;
+        config.n_release_windows = 3;
+        config.durability = true;
+        let dir = std::env::temp_dir().join("pdp_bench_json_durability_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        let durability = report.durability.expect("durability cells requested");
+        assert_eq!(durability.len(), SHARD_COUNTS.len());
+        for (cell, &shards) in durability.iter().zip(&SHARD_COUNTS) {
+            assert_eq!(cell.shards, shards);
+            assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
+            assert_eq!(cell.units, 600);
+        }
+        std::fs::remove_file(&config.out).ok();
+    }
+
+    /// The committed artifact (written before the churn, sink and
+    /// durability scenarios existed) must keep parsing under the
+    /// extended schema.
     #[test]
     fn legacy_artifact_without_churn_still_parses() {
         let legacy = r#"{"bench":"hotpath","smoke":true,
@@ -621,6 +717,7 @@ mod tests {
         assert!(parsed.churn.is_none());
         assert!(parsed.sink.is_none());
         assert!(parsed.scaling.is_none());
+        assert!(parsed.durability.is_none());
         assert!(parsed.baseline.is_none());
         assert!(parsed.ingest[0].churn_compile_ms.is_none());
     }

@@ -4,7 +4,8 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--out PATH]   # hot-path throughput → BENCH_hotpath.json
+//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--out PATH]
+//!                        # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -70,6 +71,12 @@ fn main() {
                     for cell in report.sink.iter().flatten() {
                         println!(
                             "sink    {} shard(s): {:>12.0} events/s (push_batch_into delivery)",
+                            cell.shards, cell.per_sec
+                        );
+                    }
+                    for cell in report.durability.iter().flatten() {
+                        println!(
+                            "wal-on  {} shard(s): {:>12.0} events/s (write-ahead log attached)",
                             cell.shards, cell.per_sec
                         );
                     }
@@ -175,6 +182,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     config.churn = args.iter().any(|a| a == "--churn");
     config.sink = args.iter().any(|a| a == "--sink");
     config.scaling = args.iter().any(|a| a == "--scaling");
+    config.durability = args.iter().any(|a| a == "--durability");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

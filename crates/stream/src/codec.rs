@@ -120,7 +120,26 @@ pub fn indicators_from_csv(csv: &str) -> Result<WindowedIndicators, StreamError>
     let header = lines
         .next()
         .ok_or_else(|| StreamError::Codec("empty indicator csv".into()))?;
-    let n_types = header.split(',').count().saturating_sub(1);
+    // Validate the header cell by cell instead of trusting the comma
+    // count: a trailing comma or a renamed column would otherwise shift
+    // `n_types` silently and misparse every row.
+    let mut cells = header.split(',');
+    if cells.next() != Some("window") {
+        return Err(StreamError::Codec(format!(
+            "indicator header must start with 'window', got '{header}'"
+        )));
+    }
+    let mut n_types = 0usize;
+    for cell in cells {
+        let expected = format!("e{n_types}");
+        if cell != expected {
+            return Err(StreamError::Codec(format!(
+                "indicator header column {} must be '{expected}', got '{cell}'",
+                n_types + 1
+            )));
+        }
+        n_types += 1;
+    }
     let mut windows = Vec::new();
     for (lineno, line) in lines.enumerate() {
         if line.trim().is_empty() {
@@ -209,5 +228,19 @@ mod tests {
         assert!(indicators_from_csv("window,e0\n0,2").is_err());
         assert!(indicators_from_csv("window,e0\n0,1,1").is_err());
         assert!(indicators_from_csv("").is_err());
+    }
+
+    #[test]
+    fn indicator_csv_validates_the_header() {
+        // a trailing comma must not silently widen the type universe
+        assert!(indicators_from_csv("window,e0,e1,\n0,1,0").is_err());
+        // wrong leading column
+        assert!(indicators_from_csv("w,e0\n0,1").is_err());
+        // out-of-order / misnamed type columns
+        assert!(indicators_from_csv("window,e1,e0\n0,1,0").is_err());
+        assert!(indicators_from_csv("window,e0,x1\n0,1,0").is_err());
+        // the degenerate zero-type header still parses
+        let empty = indicators_from_csv("window\n").unwrap();
+        assert_eq!(empty.len(), 0);
     }
 }

@@ -37,7 +37,7 @@ pub use event::{AttrValue, Event, EventType};
 pub use indicator::{words_for, IndicatorVector, TypeMask, WindowedIndicators};
 pub use interner::TypeRegistry;
 pub use merge::merge_streams;
-pub use reorder::ReorderBuffer;
+pub use reorder::{ReorderBuffer, ReorderSnapshot};
 pub use schema::{AttrKind, EventSchema, SchemaRegistry};
 pub use stream::{EventStream, StreamSource, VecSource};
 pub use time::{TimeDelta, Timestamp};

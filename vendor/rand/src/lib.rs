@@ -133,6 +133,22 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's exact internal state. Together with
+        /// [`StdRng::from_state`] this makes the position in the stream
+        /// checkpointable: a generator restored from a captured state
+        /// continues with the identical draw sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact captured position (the inverse
+        /// of [`StdRng::state`]).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -214,6 +230,18 @@ mod tests {
         for _ in 0..1_000 {
             let x = rng.random_range(-2.0f64..3.0);
             assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
