@@ -35,6 +35,14 @@ cargo test -q
 echo "==> crash-recovery anchor"
 cargo test -q --test crash_recovery
 
+# The supervision anchor, same rationale: under a seeded FaultPlan (a
+# worker kill mid-pipeline, a shard poison after an epoch transition,
+# transient WAL append failures) the healed service's output must match
+# the fault-free run bit-for-bit, and exhausted heal budgets must
+# degrade to inline execution instead of erroring terminally.
+echo "==> seeded chaos anchor"
+cargo test -q --test chaos --test fault_injection --test durability_corruption
+
 if [[ "$fast" == 0 ]]; then
   # release-mode tests catch overflow panics debug builds mask (and the
   # debug_assert-gated paths the dev profile hides)
@@ -50,12 +58,13 @@ cargo bench --no-run
 # transitions, the --sink scenario's zero-copy consumer delivery, the
 # --scaling summary (which FAILS the run if a multi-shard service
 # silently fell back to inline execution on a multi-core host), and the
-# --durability scenario's WAL-attached ingest — and fails if the
+# --durability scenario's WAL-attached ingest, and the --recovery
+# scenario's time-to-heal and WAL-retry cells — and fails if the
 # artifact it writes does not parse back (the runner validates its own
-# output, churn, sink, scaling and durability cells included).
-echo "==> bench-json smoke (with churn + sink + scaling + durability scenarios)"
+# output, churn, sink, scaling, durability and recovery cells included).
+echo "==> bench-json smoke (with churn + sink + scaling + durability + recovery scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --recovery --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

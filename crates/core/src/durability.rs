@@ -20,11 +20,15 @@
 //!   in-flight rounds and flushes the outbox first), so a checkpoint never
 //!   contains an in-flight round or an undelivered release — the sealed
 //!   audit surface is never serialized;
-//! * **write-ahead log** ([`WalWriter`] / [`read_wal_from`]): a
-//!   length-prefixed record stream of every *input* the service accepted
-//!   after the checkpoint — ingested batches, watermark heartbeats,
-//!   control-plane commands, epoch transitions, the finish call. Replaying
-//!   the tail (`offset ≥` the checkpoint's) through the normal public entry
+//! * **write-ahead log** ([`WalWriter`] / [`read_wal_from`]): a framed
+//!   record stream of every *input* the service accepted after the
+//!   checkpoint — ingested batches, watermark heartbeats, control-plane
+//!   commands, epoch transitions, the finish call. Every frame carries a
+//!   sequence number and an FNV-1a checksum, so a duplicated frame or a
+//!   bit flip is a typed error (with [`recover_wal_prefix`] to salvage
+//!   the records before the damage) while a torn tail from a crash
+//!   mid-append stays silently recoverable. Replaying the tail
+//!   (`offset ≥` the checkpoint's) through the normal public entry
 //!   points re-derives the exact pre-crash state, because the service is
 //!   deterministic in its inputs under seeded RNGs.
 //!
@@ -65,8 +69,15 @@ use crate::streaming::{EngineSnapshot, OnlineCoreSnapshot, QueryRef};
 /// File magic of a checkpoint artifact (the trailing byte is the format
 /// version).
 const CKPT_MAGIC: &[u8; 8] = b"PDPCKPT\x01";
-/// File magic of a write-ahead log.
-const WAL_MAGIC: &[u8; 8] = b"PDPWAL\x00\x01";
+/// File magic of a write-ahead log (the trailing byte is the format
+/// version; v2 added per-frame sequence numbers and checksums).
+const WAL_MAGIC: &[u8; 8] = b"PDPWAL\x00\x02";
+/// The v1 magic: recognized only to produce a typed "unsupported
+/// version" error instead of a generic bad-magic one.
+const WAL_MAGIC_V1: &[u8; 8] = b"PDPWAL\x00\x01";
+/// Fixed per-frame overhead: `u32` length + `u64` sequence number before
+/// the payload, `u64` FNV-1a checksum after it.
+const WAL_FRAME_OVERHEAD: u64 = 4 + 8 + 8;
 /// Sanity bound on a single decoded length field (1 GiB) — a corrupt
 /// length must error, not attempt a huge allocation.
 const MAX_LEN: u64 = 1 << 30;
@@ -1096,12 +1107,17 @@ impl Wire for WalRecord {
 }
 
 /// Append handle over a write-ahead log file. Records are framed as
-/// `u32 length + payload`; [`WalWriter::offset`] after an append is the
-/// durable position a checkpoint taken *now* is consistent with.
+/// `u32 length + u64 sequence + payload + u64 fnv1a(sequence ∥ payload)`;
+/// the sequence number makes a duplicated frame detectable and the
+/// checksum makes a bit flip detectable, while a torn *tail* (a crash
+/// mid-append) stays silently recoverable. [`WalWriter::offset`] after
+/// an append is the durable position a checkpoint taken *now* is
+/// consistent with.
 #[derive(Debug)]
 pub struct WalWriter {
     file: File,
     offset: u64,
+    seq: u64,
 }
 
 impl WalWriter {
@@ -1114,22 +1130,32 @@ impl WalWriter {
         Ok(WalWriter {
             file,
             offset: WAL_MAGIC.len() as u64,
+            seq: 0,
         })
     }
 
     /// Reopen an existing WAL for appending. Scans the record stream and
     /// positions after the last *complete* record, so a torn tail from a
-    /// crash mid-append is overwritten by the next append.
+    /// crash mid-append is overwritten by the next append. Mid-log
+    /// corruption (a bad checksum or sequence before the tail) is refused
+    /// with a typed error — appending after it would launder the damage.
     pub fn open_append(path: &Path) -> Result<Self, CoreError> {
         let bytes = std::fs::read(path).map_err(|e| io_err("read wal", e))?;
-        let end = scan_wal(&bytes)?.1;
+        let scan = scan_wal(&bytes)?;
+        if let Some(anomaly) = scan.anomaly {
+            return Err(durability_err(format!("refusing to append: {anomaly}")));
+        }
         let mut file = OpenOptions::new()
             .write(true)
             .open(path)
             .map_err(|e| io_err("open wal", e))?;
-        file.seek(SeekFrom::Start(end))
+        file.seek(SeekFrom::Start(scan.end))
             .map_err(|e| io_err("seek wal", e))?;
-        Ok(WalWriter { file, offset: end })
+        Ok(WalWriter {
+            file,
+            offset: scan.end,
+            seq: scan.frames.len() as u64,
+        })
     }
 
     /// Bytes of complete records written so far (including the header).
@@ -1167,14 +1193,20 @@ impl WalWriter {
     }
 
     fn append_frame(&mut self, w: ByteWriter) -> Result<(), CoreError> {
-        let mut frame = Vec::with_capacity(w.buf.len() + 4);
+        let mut frame = Vec::with_capacity(w.buf.len() + WAL_FRAME_OVERHEAD as usize);
         frame.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&self.seq.to_le_bytes());
         frame.extend_from_slice(&w.buf);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("append wal record", e))?;
-        self.file.flush().map_err(|e| io_err("flush wal", e))?;
+        frame.extend_from_slice(&fnv1a(&frame[4..]).to_le_bytes());
+        if let Err(e) = self.file.write_all(&frame).and_then(|()| self.file.flush()) {
+            // a partial write may have landed; reposition so a retry of
+            // the same frame overwrites it byte-for-byte instead of
+            // appending after garbage
+            self.file.seek(SeekFrom::Start(self.offset)).ok();
+            return Err(io_err("append wal record", e));
+        }
         self.offset += frame.len() as u64;
+        self.seq += 1;
         Ok(())
     }
 
@@ -1186,44 +1218,88 @@ impl WalWriter {
     }
 }
 
-/// Walk the framed records of a WAL byte image. Returns the records'
-/// byte ranges' end (the position after the last complete record) —
-/// trailing partial frames (a crash mid-append) are ignored.
-fn scan_wal(bytes: &[u8]) -> Result<(Vec<(u64, u64)>, u64), CoreError> {
+/// Result of walking a WAL byte image: the valid frame prefix, where it
+/// ends, and the first anomaly that stopped the walk (if any).
+struct WalScan {
+    /// `(frame_start, payload_start, payload_end)` of each valid frame.
+    frames: Vec<(u64, u64, u64)>,
+    /// Position after the last valid frame — where an append may resume.
+    end: u64,
+    /// First *corruption* found (bad checksum, duplicated/out-of-order
+    /// sequence, implausible length). `None` for a clean log; a torn
+    /// tail is a crash artifact, not corruption, and stays `None`.
+    anomaly: Option<String>,
+}
+
+/// Walk the framed records of a WAL byte image. Trailing partial frames
+/// (a crash mid-append) silently end the walk; complete-but-invalid
+/// frames are reported as an anomaly so callers choose between strict
+/// failure ([`read_wal_from`]) and prefix recovery
+/// ([`recover_wal_prefix`]).
+fn scan_wal(bytes: &[u8]) -> Result<WalScan, CoreError> {
+    if bytes.len() >= WAL_MAGIC_V1.len() && &bytes[..WAL_MAGIC_V1.len()] == WAL_MAGIC_V1 {
+        return Err(durability_err(
+            "unsupported wal format version 1 (no frame checksums); re-create the log",
+        ));
+    }
     if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(durability_err("not a wal file (bad magic)"));
     }
-    let mut ranges = Vec::new();
+    let mut frames = Vec::new();
     let mut pos = WAL_MAGIC.len() as u64;
+    let mut anomaly = None;
     loop {
         let p = pos as usize;
-        if p + 4 > bytes.len() {
-            break;
+        if p + 12 > bytes.len() {
+            break; // torn tail (or clean end)
         }
         let len = u32::from_le_bytes(bytes[p..p + 4].try_into().unwrap()) as u64;
         if len > MAX_LEN {
-            return Err(durability_err("implausible wal record length"));
+            anomaly = Some(format!(
+                "implausible wal record length {len} at offset {pos}"
+            ));
+            break;
         }
-        let end = pos + 4 + len;
+        let end = pos + WAL_FRAME_OVERHEAD + len;
         if end as usize > bytes.len() {
             break; // torn tail
         }
-        ranges.push((pos + 4, end));
+        let seq = u64::from_le_bytes(bytes[p + 4..p + 12].try_into().unwrap());
+        let expected = frames.len() as u64;
+        if seq != expected {
+            anomaly = Some(format!(
+                "wal frame at offset {pos} carries sequence {seq}, expected {expected} \
+                 (duplicated or out-of-order frame)"
+            ));
+            break;
+        }
+        let body = &bytes[p + 4..(end - 8) as usize];
+        let stored =
+            u64::from_le_bytes(bytes[(end - 8) as usize..end as usize].try_into().unwrap());
+        if fnv1a(body) != stored {
+            anomaly = Some(format!(
+                "wal frame {seq} at offset {pos} fails its checksum (corrupt frame)"
+            ));
+            break;
+        }
+        frames.push((pos, pos + 12, end - 8));
         pos = end;
     }
-    Ok((ranges, pos))
+    Ok(WalScan {
+        frames,
+        end: pos,
+        anomaly,
+    })
 }
 
-/// Read every complete record at byte offset ≥ `from` (a checkpoint's
-/// [`ServiceCheckpoint::wal_offset`]; `0` means the whole log). Torn
-/// trailing bytes are discarded — they belong to an append the crash
-/// interrupted, whose operation is not part of the recovered history.
-pub fn read_wal_from(path: &Path, from: u64) -> Result<Vec<WalRecord>, CoreError> {
-    let bytes = std::fs::read(path).map_err(|e| io_err("read wal", e))?;
-    let (ranges, _) = scan_wal(&bytes)?;
+fn decode_frames(
+    bytes: &[u8],
+    frames: &[(u64, u64, u64)],
+    from: u64,
+) -> Result<Vec<WalRecord>, CoreError> {
     let mut records = Vec::new();
-    for (start, end) in ranges {
-        if start - 4 < from.max(WAL_MAGIC.len() as u64) {
+    for &(frame_start, start, end) in frames {
+        if frame_start < from.max(WAL_MAGIC.len() as u64) {
             continue;
         }
         let mut r = ByteReader::new(&bytes[start as usize..end as usize]);
@@ -1232,6 +1308,33 @@ pub fn read_wal_from(path: &Path, from: u64) -> Result<Vec<WalRecord>, CoreError
         records.push(record);
     }
     Ok(records)
+}
+
+/// Read every complete record at byte offset ≥ `from` (a checkpoint's
+/// [`ServiceCheckpoint::wal_offset`]; `0` means the whole log). Torn
+/// trailing bytes are discarded — they belong to an append the crash
+/// interrupted, whose operation is not part of the recovered history.
+/// Mid-log corruption (checksum or sequence violations) is a typed
+/// error; use [`recover_wal_prefix`] to salvage the valid prefix.
+pub fn read_wal_from(path: &Path, from: u64) -> Result<Vec<WalRecord>, CoreError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read wal", e))?;
+    let scan = scan_wal(&bytes)?;
+    if let Some(anomaly) = scan.anomaly {
+        return Err(durability_err(anomaly));
+    }
+    decode_frames(&bytes, &scan.frames, from)
+}
+
+/// Salvage the valid record prefix of a possibly corrupt WAL: returns
+/// every record before the first invalid frame, plus a description of
+/// that frame's defect (`None` when the log is clean apart from, at
+/// most, a torn tail). A log whose header is unreadable has no valid
+/// prefix and errors like [`read_wal_from`].
+pub fn recover_wal_prefix(path: &Path) -> Result<(Vec<WalRecord>, Option<String>), CoreError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("read wal", e))?;
+    let scan = scan_wal(&bytes)?;
+    let records = decode_frames(&bytes, &scan.frames, 0)?;
+    Ok((records, scan.anomaly))
 }
 
 /// Replay a WAL tail through the service's normal public entry points,
@@ -1377,6 +1480,79 @@ mod tests {
             read_wal_from(&path, complete).unwrap(),
             vec![WalRecord::Finish]
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_frames_detect_duplication_and_bit_flips() {
+        let dir = std::env::temp_dir().join(format!("pdp-wal-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // duplicated frame: re-append the bytes of the last frame
+        let path = dir.join("dup.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(&WalRecord::Watermark(Timestamp::from_millis(10)))
+            .unwrap();
+        let first_end = wal.offset() as usize;
+        wal.append(&WalRecord::BeginEpoch).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let dup = bytes[first_end..].to_vec();
+        bytes.extend_from_slice(&dup);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_wal_from(&path, 0).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Durability(msg) if msg.contains("sequence")),
+            "got {err:?}"
+        );
+        // appending over corruption is refused too
+        assert!(WalWriter::open_append(&path).is_err());
+        // … but the valid prefix is recoverable
+        let (records, anomaly) = recover_wal_prefix(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Watermark(Timestamp::from_millis(10)),
+                WalRecord::BeginEpoch
+            ]
+        );
+        assert!(anomaly.unwrap().contains("sequence"));
+
+        // bit flip inside the first frame's payload
+        let path = dir.join("flip.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(&WalRecord::Watermark(Timestamp::from_millis(10)))
+            .unwrap();
+        wal.append(&WalRecord::Finish).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let payload_pos = WAL_MAGIC.len() + 12 + 2;
+        bytes[payload_pos] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_wal_from(&path, 0).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Durability(msg) if msg.contains("checksum")),
+            "got {err:?}"
+        );
+        let (records, anomaly) = recover_wal_prefix(&path).unwrap();
+        assert!(records.is_empty(), "nothing before the corrupt frame");
+        assert!(anomaly.unwrap().contains("checksum"));
+
+        // wrong magic and the retired v1 magic are typed errors
+        let path = dir.join("magic.wal");
+        std::fs::write(&path, b"NOTAWAL!rest").unwrap();
+        assert!(matches!(
+            read_wal_from(&path, 0),
+            Err(CoreError::Durability(_))
+        ));
+        std::fs::write(&path, b"PDPWAL\x00\x01tail").unwrap();
+        let err = read_wal_from(&path, 0).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Durability(msg) if msg.contains("version")),
+            "got {err:?}"
+        );
+        assert!(recover_wal_prefix(&path).is_err(), "no valid prefix at all");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

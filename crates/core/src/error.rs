@@ -49,6 +49,15 @@ pub enum CoreError {
         /// Index of the shard whose worker disconnected.
         shard: usize,
     },
+    /// A shard's mutex is poisoned: its worker panicked while holding the
+    /// lock, so the in-memory state may be mid-job and cannot be trusted.
+    /// Surfaces as a typed error instead of a propagated panic; a
+    /// supervised service heals the shard from its last checkpoint plus
+    /// the WAL tail instead of raising this.
+    ShardPoisoned {
+        /// Index of the shard whose state is poisoned.
+        shard: usize,
+    },
     /// Checkpoint/WAL persistence failed: an I/O error, a corrupt or
     /// truncated artifact, or a snapshot that does not fit the service it
     /// is being restored into.
@@ -81,6 +90,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidCommand(msg) => write!(f, "invalid control-plane command: {msg}"),
             CoreError::ShardWorker { shard } => {
                 write!(f, "shard {shard} worker thread died (channel disconnected)")
+            }
+            CoreError::ShardPoisoned { shard } => {
+                write!(
+                    f,
+                    "shard {shard} state is poisoned (worker panicked mid-job)"
+                )
             }
             CoreError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
@@ -122,6 +137,10 @@ mod tests {
         assert!(CoreError::ShardWorker { shard: 3 }
             .to_string()
             .contains("shard 3"));
+        assert!(CoreError::ShardPoisoned { shard: 2 }
+            .to_string()
+            .contains("shard 2"));
+        assert!(CoreError::ShardPoisoned { shard: 2 }.source().is_none());
         assert!(CoreError::Durability("bad magic".into())
             .to_string()
             .contains("bad magic"));

@@ -40,8 +40,14 @@
 //!   and epoch-aware budget accounting;
 //! * [`durability`] — crash consistency for the sharded service: full
 //!   plain-data checkpoints captured at draining sync points plus a
-//!   length-prefixed write-ahead log of accepted inputs; recovery loads
-//!   the checkpoint and replays the WAL tail for bit-identical output.
+//!   checksummed, sequence-numbered write-ahead log of accepted inputs;
+//!   recovery loads the checkpoint and replays the WAL tail for
+//!   bit-identical output;
+//! * [`supervision`] — crash *resilience* on top: scripted deterministic
+//!   fault injection ([`FaultPlan`]), in-place shard healing (worker
+//!   respawn when the state mirror is clean, checkpoint + WAL-tail
+//!   rebuild when it is poisoned), bounded WAL retry with backoff, and
+//!   graceful degradation to inline execution with a [`HealthReport`].
 
 pub mod adaptive;
 pub mod answer;
@@ -59,6 +65,7 @@ pub mod quality_model;
 pub mod service;
 pub mod sink;
 pub mod streaming;
+pub mod supervision;
 
 pub use adaptive::{optimize_all, optimize_single, AdaptiveConfig, StepRule};
 pub use answer::{Answer, ArgmaxQuery, Query, QuerySpec, QueryStateSet};
@@ -68,8 +75,9 @@ pub use control::{
 pub use correlation::{find_correlates, lift, pattern_lift, widen_protection, Correlate};
 pub use distribution::BudgetDistribution;
 pub use durability::{
-    read_checkpoint, read_wal_from, replay_into, write_checkpoint, MergeRowSnapshot, MergeSnapshot,
-    ServiceCheckpoint, ShardCheckpoint, ShardMetaSnapshot, WalRecord, WalWriter,
+    read_checkpoint, read_wal_from, recover_wal_prefix, replay_into, write_checkpoint,
+    MergeRowSnapshot, MergeSnapshot, ServiceCheckpoint, ShardCheckpoint, ShardMetaSnapshot,
+    WalRecord, WalWriter,
 };
 pub use engine::{PpmKind, ProtectedAnswer, TrustedEngine, TrustedEngineConfig};
 pub use error::CoreError;
@@ -90,4 +98,8 @@ pub use sink::{CountingSink, QueryAnswer, ReleaseSink, VecSink};
 pub use streaming::{
     EngineSnapshot, OnlineCore, OnlineCoreSnapshot, QueryRef, StreamingConfig, StreamingEngine,
     WindowRelease,
+};
+pub use supervision::{
+    quiet_poison_panics, Fault, FaultInjector, FaultPlan, HealAction, HealEvent, HealthReport,
+    PoisonPill, ShardHealth, SupervisorConfig,
 };

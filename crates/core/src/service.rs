@@ -150,13 +150,17 @@ use pdp_stream::{Event, IndicatorVector, ReorderBuffer, TimeDelta, Timestamp, Wi
 use crate::answer::{Answer, Query, QueryStateSet};
 use crate::control::{Command, CommandOutcome, ControlPlane, ControlPlaneConfig, EpochPlan};
 use crate::durability::{
-    read_wal_from, replay_into, MergeRowSnapshot, MergeSnapshot, ServiceCheckpoint,
-    ShardCheckpoint, ShardMetaSnapshot, WalRecord, WalWriter,
+    read_checkpoint, read_wal_from, replay_into, MergeRowSnapshot, MergeSnapshot,
+    ServiceCheckpoint, ShardCheckpoint, ShardMetaSnapshot, WalRecord, WalWriter,
 };
 use crate::engine::PpmKind;
 use crate::error::CoreError;
 use crate::sink::{QueryAnswer, ReleaseSink, VecSink};
 use crate::streaming::{OnlineCore, StreamingConfig, StreamingEngine, WindowRelease};
+use crate::supervision::{
+    DueFault, FaultInjector, FaultPlan, HealAction, HealEvent, HealthReport, ShardHealth,
+    SupervisorConfig,
+};
 
 /// Identifies one data subject (tenant) of the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -461,6 +465,18 @@ impl ServiceBuilder {
             events_ingested: 0,
             finished: false,
             wal: None,
+            config: self.config.clone(),
+            supervisor: None,
+            injector: None,
+            rounds_submitted: 0,
+            poison_next: vec![false; n_shards],
+            needs_respawn: vec![false; n_shards],
+            rebuilt: vec![false; n_shards],
+            heals: vec![0; n_shards],
+            heal_log: Vec::new(),
+            degraded: false,
+            wal_retries: 0,
+            wal_appends: 0,
         };
         service.install_plan(&plan)?;
         Ok(service)
@@ -501,6 +517,10 @@ enum ShardJob {
     /// End of stream, phase 2: align on the final frontier and close the
     /// open window.
     Close(Timestamp),
+    /// Scripted fault ([`crate::supervision::Fault::PoisonShard`]): panic
+    /// while holding the shard lock so the mutex is genuinely poisoned.
+    /// Never submitted in inline mode.
+    Poison,
 }
 
 impl Shard {
@@ -565,6 +585,7 @@ impl Shard {
                 }
                 Ok(())
             }
+            ShardJob::Poison => std::panic::panic_any(crate::supervision::PoisonPill),
         }
     }
 
@@ -646,12 +667,22 @@ impl WorkerHandle {
             .name("pdp-shard-worker".into())
             .spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    let reply = {
+                    // a panic mid-job (scripted poison or an engine bug)
+                    // poisons the mutex as the guard unwinds; catch it so
+                    // the thread exits cleanly — without a reply — and
+                    // the service sees the shortfall at the next fold
+                    // instead of an opaque propagated panic at join time
+                    let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         let mut shard = shard.lock().unwrap_or_else(|p| p.into_inner());
                         shard.execute(job)
-                    };
-                    if reply_tx.send(reply).is_err() {
-                        break;
+                    }));
+                    match reply {
+                        Ok(reply) => {
+                            if reply_tx.send(reply).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
                     }
                 }
             })
@@ -664,13 +695,20 @@ impl WorkerHandle {
     }
 
     /// Queue one job; blocks while the shard's queue is full (bounded
-    /// hand-off). Fails if the worker thread died.
-    fn submit(&self, shard_idx: usize, job: ShardJob) -> Result<(), CoreError> {
-        self.job_tx
-            .as_ref()
-            .ok_or(CoreError::ShardWorker { shard: shard_idx })?
-            .send(job)
-            .map_err(|_| CoreError::ShardWorker { shard: shard_idx })
+    /// hand-off). If the worker thread died the job is handed back to the
+    /// caller, so a supervised service can run it inline instead.
+    fn submit(&self, job: ShardJob) -> Result<(), ShardJob> {
+        match self.job_tx.as_ref() {
+            None => Err(job),
+            Some(tx) => tx.send(job).map_err(|e| e.0),
+        }
+    }
+
+    /// Whether the worker still accepts jobs: its channel is intact and
+    /// its thread has not exited (a panicked worker keeps its sender
+    /// until the service notices, so the thread state is checked too).
+    fn is_alive(&self) -> bool {
+        self.job_tx.is_some() && self.handle.as_ref().is_some_and(|h| !h.is_finished())
     }
 
     /// Receive the next reply, in submission order (SPSC FIFO). Fails if
@@ -976,6 +1014,39 @@ pub struct ShardedService {
     /// transitions) it takes effect — see the module-level crash
     /// consistency contract. `None` = durability off, zero overhead.
     wal: Option<WalWriter>,
+    /// The construction parameters, kept so a supervised heal can restore
+    /// a scratch service from a checkpoint without caller involvement.
+    config: ServiceConfig,
+    /// Supervision policy ([`ShardedService::set_supervisor`]); `None`
+    /// keeps the historical fail-fast behavior: typed errors, no healing.
+    supervisor: Option<SupervisorConfig>,
+    /// Scripted chaos ([`ShardedService::inject_faults`]), consulted at
+    /// every round submission and WAL append attempt.
+    injector: Option<FaultInjector>,
+    /// Pipeline rounds submitted so far; [`FaultPlan`] rounds are
+    /// 1-based indices into this counter.
+    rounds_submitted: u64,
+    /// Shards flagged to receive a poison job at the head of their next
+    /// eligible round (scripted [`Fault::PoisonShard`]).
+    poison_next: Vec<bool>,
+    /// Shards whose worker died and must be respawned (or the service
+    /// degraded) at the end of the current fold.
+    needs_respawn: Vec<bool>,
+    /// Whether a pending respawn came from a checkpoint + WAL rebuild
+    /// (reported as [`HealAction::Rebuilt`] instead of `Respawned`).
+    rebuilt: Vec<bool>,
+    /// Per-shard heal count: respawns plus rebuilds.
+    heals: Vec<u32>,
+    /// Every heal performed, in order, for [`ShardedService::health`].
+    heal_log: Vec<HealEvent>,
+    /// Whether the supervisor exhausted a shard's heal budget and
+    /// switched the service to inline execution for good.
+    degraded: bool,
+    /// WAL append retries performed (attempts beyond each first try).
+    wal_retries: u64,
+    /// WAL append attempts, including retries — the counter scripted
+    /// [`Fault::WalAppendFailure`]s index into.
+    wal_appends: u64,
 }
 
 /// The default execution-mode policy, consulted **once** at build time:
@@ -1057,6 +1128,20 @@ impl Clone for ShardedService {
             events_ingested: self.events_ingested,
             finished: self.finished,
             wal: None,
+            config: self.config.clone(),
+            // policy and heal history travel with the copy; the scripted
+            // injector does not — chaos targets one service instance
+            supervisor: self.supervisor.clone(),
+            injector: None,
+            rounds_submitted: self.rounds_submitted,
+            poison_next: vec![false; self.shards.len()],
+            needs_respawn: vec![false; self.shards.len()],
+            rebuilt: vec![false; self.shards.len()],
+            heals: self.heals.clone(),
+            heal_log: self.heal_log.clone(),
+            degraded: self.degraded,
+            wal_retries: self.wal_retries,
+            wal_appends: self.wal_appends,
         }
     }
 }
@@ -1128,6 +1213,10 @@ impl ShardedService {
         sink: &mut S,
     ) -> Result<(), CoreError> {
         self.ensure_live()?;
+        // scripted worker faults land before the fold, while the previous
+        // round may still be in flight (a killed worker drains its queue
+        // before exiting, so that round still settles deterministically)
+        self.apply_due_faults();
         // settle and deliver the previous round (the pipeline lag)
         self.fold_pending();
         self.flush_outbox(sink);
@@ -1145,11 +1234,10 @@ impl ShardedService {
         // journal the batch once it is known valid and before any event
         // moves: the log holds exactly the batches that were applied, and
         // a failed append rejects the batch as atomically as a bad subject
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append_batch(&batch)?;
-        }
+        self.wal_append(|wal| wal.append_batch(&batch))?;
         let n_events = batch.len() as u64;
         let mut round = Round::new(self.shards.len());
+        self.submit_poisons(&mut round);
         // partition into per-shard sub-batches in arrival order (event
         // ownership moves all the way through), mirroring each shard
         // buffer's clock; in parallel mode a filled sub-batch is submitted
@@ -1178,8 +1266,9 @@ impl ShardedService {
             }
         }
         round.ends_call = true;
-        self.pending.push_back(round);
-        // a dead worker surfaces here, on the submitting call
+        self.push_round(round);
+        // a dead worker surfaces here, on the submitting call (unless a
+        // supervisor queued the lost jobs for inline execution at fold)
         self.take_deferred()
     }
 
@@ -1205,13 +1294,13 @@ impl ShardedService {
         sink: &mut S,
     ) -> Result<(), CoreError> {
         self.ensure_live()?;
+        self.apply_due_faults();
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()?;
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(&WalRecord::Watermark(ts))?;
-        }
+        self.wal_append(|wal| wal.append(&WalRecord::Watermark(ts)))?;
         let mut round = Round::new(self.shards.len());
+        self.submit_poisons(&mut round);
         for shard_idx in 0..self.shards.len() {
             self.meta[shard_idx].observe(ts);
             self.submit_job(shard_idx, ShardJob::Heartbeat(ts), &mut round);
@@ -1222,7 +1311,7 @@ impl ShardedService {
             }
         }
         round.ends_call = true;
-        self.pending.push_back(round);
+        self.push_round(round);
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()
@@ -1245,18 +1334,21 @@ impl ShardedService {
     /// every shard, and delivers everything before sealing the service.
     pub fn finish_into<S: ReleaseSink>(&mut self, sink: &mut S) -> Result<(), CoreError> {
         self.ensure_live()?;
+        // worker kills may land here (their jobs are preserved and run
+        // inline); scripted poisons never lead a finish round — replaying
+        // a `Finish` record mid-finish would double-close the shard — so
+        // `submit_poisons` is deliberately not called below
+        self.apply_due_faults();
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()?;
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(&WalRecord::Finish)?;
-        }
+        self.wal_append(|wal| wal.append(&WalRecord::Finish))?;
         self.finished = true;
         let mut flush = Round::new(self.shards.len());
         for shard_idx in 0..self.shards.len() {
             self.submit_job(shard_idx, ShardJob::Flush, &mut flush);
         }
-        self.pending.push_back(flush);
+        self.push_round(flush);
         // barrier: the final frontier needs every shard's flushed clock
         self.fold_pending();
         let end = self
@@ -1270,7 +1362,7 @@ impl ShardedService {
             self.submit_job(shard_idx, ShardJob::Close(end), &mut close);
         }
         close.ends_call = true;
-        self.pending.push_back(close);
+        self.push_round(close);
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()
@@ -1289,7 +1381,18 @@ impl ShardedService {
         self.merge.drain_into(&mut rows);
         for mut row in rows {
             self.control.observe_release(&row.protected_any);
-            let core = &self.cores_by_epoch[row.epoch as usize];
+            // a window tagged with an uninstalled epoch is runtime
+            // corruption, not a caller bug: report it typed and deliver
+            // the merged row without typed answers instead of panicking
+            let Some(core) = self.cores_by_epoch.get(row.epoch as usize) else {
+                self.deferred
+                    .get_or_insert(CoreError::InvalidService(format!(
+                        "merged window {} released under unknown epoch {}",
+                        row.index, row.epoch
+                    )));
+                self.outbox.push_back(Delivery::Merged(row));
+                continue;
+            };
             row.typed =
                 core.answer_merged(&row.answers_any, &row.protected_any, &mut self.merged_state);
             for (query, answer) in &row.typed {
@@ -1321,8 +1424,9 @@ impl ShardedService {
     /// is deferred to the next fallible operation (these wrappers have no
     /// error channel of their own).
     fn note_command(&mut self, command: impl FnOnce() -> Command) {
-        if let Some(wal) = self.wal.as_mut() {
-            if let Err(e) = wal.append_command(&command()) {
+        if self.wal.is_some() {
+            let command = command();
+            if let Err(e) = self.wal_append(|wal| wal.append_command(&command)) {
                 self.deferred.get_or_insert(e);
             }
         }
@@ -1332,9 +1436,11 @@ impl ShardedService {
     /// an append failure immediately (before the command stages — the log
     /// never misses a staged command).
     fn log_command(&mut self, command: impl FnOnce() -> Command) -> Result<(), CoreError> {
-        match self.wal.as_mut() {
-            Some(wal) => wal.append_command(&command()),
-            None => Ok(()),
+        if self.wal.is_some() {
+            let command = command();
+            self.wal_append(|wal| wal.append_command(&command))
+        } else {
+            Ok(())
         }
     }
 
@@ -1469,8 +1575,10 @@ impl ShardedService {
             plan.core.patterns().clone(),
             self.n_types,
         ));
-        for shard in &self.shards {
-            let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let mut guard = shard
+                .lock()
+                .map_err(|_| CoreError::ShardPoisoned { shard: shard_idx })?;
             guard.engine.schedule_epoch_prepared(
                 activation_index,
                 plan.core.clone(),
@@ -1498,9 +1606,7 @@ impl ShardedService {
         // anywhere above discards it wholesale, and recovery resumes
         // cleanly under the previous epoch (the staged commands are in the
         // log individually and re-stage on replay)
-        if let Some(wal) = self.wal.as_mut() {
-            wal.append(&WalRecord::BeginEpoch)?;
-        }
+        self.wal_append(|wal| wal.append(&WalRecord::BeginEpoch))?;
         Ok(Some(EpochTransition {
             activation_index,
             plan,
@@ -1537,10 +1643,12 @@ impl ShardedService {
         }
         let mut active: HashMap<SubjectId, Vec<(PatternId, Epsilon)>> = HashMap::new();
         for &(subject, pid, eps) in &plan.charges {
-            let shard_idx = *self
-                .assignment
-                .get(&subject)
-                .expect("charged subjects are active, thus routed");
+            let shard_idx = *self.assignment.get(&subject).ok_or_else(|| {
+                CoreError::InvalidService(format!(
+                    "epoch {} charges {subject} which is not routed to any shard",
+                    plan.epoch
+                ))
+            })?;
             self.shard_charges[shard_idx][epoch].push((subject, pid, eps));
             active.entry(subject).or_default().push((pid, eps));
         }
@@ -1574,16 +1682,31 @@ impl ShardedService {
     /// Route one job into the current round: parallel mode sends it into
     /// the shard's bounded queue right away (a full queue blocks — that is
     /// the backpressure), inline mode queues it for execution at fold
-    /// time. Either way the job is folded back in shard order. A dead
-    /// worker defers [`CoreError::ShardWorker`] instead of failing the
-    /// round mid-flight — replies already in the air still fold, so the
-    /// pipeline's reply accounting never desynchronizes.
+    /// time. Either way the job is folded back in shard order.
+    ///
+    /// A dead worker never fails the round mid-flight — replies already in
+    /// the air still fold, so the pipeline's reply accounting never
+    /// desynchronizes. What happens to the bounced job depends on
+    /// supervision: unsupervised, [`CoreError::ShardWorker`] is deferred
+    /// (the historical fail-fast contract). Supervised with a *clean*
+    /// shard mutex, the job is requeued for inline execution at fold time
+    /// — same lock, same order, bit-for-bit the fault-free output — and
+    /// the worker is respawned at the sync point. Supervised with a
+    /// *poisoned* mutex the job is dropped: the shard state cannot be
+    /// trusted, and the checkpoint + WAL rebuild at fold time re-derives
+    /// the whole round from the journal instead.
     fn submit_job(&mut self, shard_idx: usize, job: ShardJob, round: &mut Round) {
         if self.parallel {
-            match self.workers[shard_idx].submit(shard_idx, job) {
+            match self.workers[shard_idx].submit(job) {
                 Ok(()) => round.expected[shard_idx] += 1,
-                Err(e) => {
-                    self.deferred.get_or_insert(e);
+                Err(job) => {
+                    if self.supervisor.is_none() {
+                        self.deferred
+                            .get_or_insert(CoreError::ShardWorker { shard: shard_idx });
+                    } else if !self.shards[shard_idx].is_poisoned() {
+                        round.queued[shard_idx].push(job);
+                        self.needs_respawn[shard_idx] = true;
+                    }
                 }
             }
         } else {
@@ -1602,6 +1725,9 @@ impl ShardedService {
         while let Some(round) = self.pending.pop_front() {
             self.fold_round(round);
         }
+        // the pipeline is quiescent here — the sync point where dead
+        // workers are respawned (or the service degrades)
+        self.heal_workers();
     }
 
     fn fold_round(&mut self, round: Round) {
@@ -1616,7 +1742,14 @@ impl ShardedService {
                 match self.workers[shard_idx].collect(shard_idx) {
                     Ok(reply) => self.absorb(shard_idx, reply, &mut releases),
                     Err(e) => {
-                        self.deferred.get_or_insert(e);
+                        // replies are lost (the worker panicked mid-round):
+                        // heal by rebuilding this one shard from durability,
+                        // recovering the round's missing releases in place
+                        // so settlement continues in fault-free order
+                        queued[shard_idx].clear();
+                        if let Err(heal_err) = self.heal_lost_replies(shard_idx, &mut releases, e) {
+                            self.deferred.get_or_insert(heal_err);
+                        }
                         break;
                     }
                 }
@@ -1624,11 +1757,26 @@ impl ShardedService {
             let jobs = std::mem::take(&mut queued[shard_idx]);
             if !jobs.is_empty() {
                 let shard = self.shards[shard_idx].clone();
-                let mut guard = shard.lock().unwrap_or_else(|p| p.into_inner());
-                for job in jobs {
-                    let reply = guard.execute(job);
-                    self.absorb(shard_idx, reply, &mut releases);
-                }
+                match shard.lock() {
+                    Ok(mut guard) => {
+                        for job in jobs {
+                            // a poison that bounced off a dead worker is
+                            // unachievable inline: executing it would
+                            // panic the service thread, which the typed-
+                            // error contract forbids — drop it instead
+                            if matches!(job, ShardJob::Poison) {
+                                continue;
+                            }
+                            let reply = guard.execute(job);
+                            self.absorb(shard_idx, reply, &mut releases);
+                        }
+                    }
+                    // a poisoned lock is a typed error, never a panic
+                    Err(_) => {
+                        self.deferred
+                            .get_or_insert(CoreError::ShardPoisoned { shard: shard_idx });
+                    }
+                };
             }
             self.settle(shard_idx, releases);
         }
@@ -1674,13 +1822,278 @@ impl ShardedService {
         }
     }
 
-    /// Fault-injection hook: sever one worker's job channel,
-    /// indistinguishable from its thread having died. Public so
-    /// integration tests can exercise the worker-death path end to end;
-    /// not part of the supported API.
-    #[doc(hidden)]
-    pub fn kill_worker(&mut self, shard_idx: usize) {
-        self.workers[shard_idx].job_tx = None;
+    // ---- supervision: scripted faults, healing, health ----
+
+    /// Enable supervision: dead workers are healed in place, WAL appends
+    /// are retried, and the service degrades to inline execution instead
+    /// of failing terminally once a shard's heal budget is exhausted. See
+    /// [`crate::supervision`] for the healing contract. Without a
+    /// supervisor the service keeps its historical fail-fast behavior.
+    pub fn set_supervisor(&mut self, config: SupervisorConfig) {
+        self.supervisor = Some(config);
+    }
+
+    /// The active supervision policy, if any.
+    pub fn supervisor(&self) -> Option<&SupervisorConfig> {
+        self.supervisor.as_ref()
+    }
+
+    /// Arm a scripted [`FaultPlan`] (replacing any previous one): the
+    /// service consults it before every round submission and WAL append,
+    /// so a chaos scenario reproduces exactly from the plan alone.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Scripted faults that have not fired yet (0 when no plan is armed).
+    /// Worker faults never fire in inline mode — there is no worker
+    /// thread to kill — so inline chaos runs end with those remaining.
+    pub fn faults_remaining(&self) -> usize {
+        self.injector.as_ref().map_or(0, FaultInjector::remaining)
+    }
+
+    /// Supervision snapshot: execution mode, degradation flag, per-shard
+    /// liveness/poison/heal counts, WAL retry counters and the heal log.
+    /// A sync point (in-flight rounds fold first) so liveness is current;
+    /// deferred errors stay deferred — this is a read, not a drain.
+    pub fn health(&mut self) -> HealthReport {
+        self.fold_pending();
+        HealthReport {
+            parallel: self.parallel,
+            degraded: self.degraded,
+            wal_retries: self.wal_retries,
+            wal_appends: self.wal_appends,
+            shards: (0..self.shards.len())
+                .map(|shard_idx| ShardHealth {
+                    shard: shard_idx,
+                    alive: !self.parallel || self.workers[shard_idx].is_alive(),
+                    poisoned: self.shards[shard_idx].is_poisoned(),
+                    heals: self.heals[shard_idx],
+                })
+                .collect(),
+            events: self.heal_log.clone(),
+        }
+    }
+
+    /// Fire the scripted worker faults due before the next round: kills
+    /// sever the target's job channel now (mid-pipeline — the previous
+    /// round may still be in flight), poisons flag the shard so a poison
+    /// job leads its next eligible round. No-ops in inline mode: there is
+    /// no worker thread to fault.
+    fn apply_due_faults(&mut self) {
+        let Some(injector) = self.injector.as_mut() else {
+            return;
+        };
+        let next_round = self.rounds_submitted + 1;
+        for fault in injector.due_before_round(next_round) {
+            match fault {
+                DueFault::Kill { shard } => {
+                    if self.parallel && shard < self.workers.len() {
+                        self.workers[shard].job_tx = None;
+                    }
+                }
+                DueFault::Poison { shard } => {
+                    if self.parallel && shard < self.poison_next.len() {
+                        self.poison_next[shard] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lead the round with the flagged poison jobs (parallel mode only —
+    /// an inline poison would panic the service thread itself, which is
+    /// exactly what the typed-error contract forbids).
+    fn submit_poisons(&mut self, round: &mut Round) {
+        if !self.parallel {
+            self.poison_next.iter_mut().for_each(|f| *f = false);
+            return;
+        }
+        for shard_idx in 0..self.shards.len() {
+            if std::mem::take(&mut self.poison_next[shard_idx]) {
+                self.submit_job(shard_idx, ShardJob::Poison, round);
+            }
+        }
+    }
+
+    /// Queue one built round and advance the round counter the
+    /// [`FaultPlan`] schedule is indexed by.
+    fn push_round(&mut self, round: Round) {
+        self.pending.push_back(round);
+        self.rounds_submitted += 1;
+    }
+
+    /// Append to the WAL (no-op when none is attached) with supervised
+    /// retry: a failed attempt — scripted or real — is retried up to
+    /// [`SupervisorConfig::wal_retry_limit`] times with doubling backoff
+    /// before the operation is rejected. Scripted failures are consulted
+    /// *before* the physical write, so they are genuinely transient; real
+    /// failures reposition the writer first (see `WalWriter`), so a retry
+    /// overwrites any partial frame.
+    fn wal_append<F>(&mut self, mut op: F) -> Result<(), CoreError>
+    where
+        F: FnMut(&mut WalWriter) -> Result<(), CoreError>,
+    {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let (retries, backoff) = match self.supervisor.as_ref() {
+            Some(sup) => (sup.wal_retry_limit, sup.wal_retry_backoff),
+            None => (0, std::time::Duration::ZERO),
+        };
+        let mut last = None;
+        for attempt in 0..=retries {
+            if attempt > 0 {
+                self.wal_retries += 1;
+                let pause = backoff * 2u32.saturating_pow(attempt - 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            self.wal_appends += 1;
+            let scripted_failure = self
+                .injector
+                .as_mut()
+                .is_some_and(|i| i.wal_append_should_fail(self.wal_appends));
+            let result = if scripted_failure {
+                Err(CoreError::Durability(format!(
+                    "injected transient failure of wal append attempt {}",
+                    self.wal_appends
+                )))
+            } else {
+                op(self.wal.as_mut().expect("checked non-None above"))
+            };
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Heal a shard whose worker died *mid-round* (replies lost):
+    /// unsupervised this surfaces the typed error; supervised it rebuilds
+    /// the shard from the last checkpoint plus a WAL-tail replay and
+    /// recovers the crashed round's missing releases into `releases`, so
+    /// the caller settles them in fault-free order.
+    fn heal_lost_replies(
+        &mut self,
+        shard_idx: usize,
+        releases: &mut Vec<WindowRelease>,
+        base: CoreError,
+    ) -> Result<(), CoreError> {
+        let base = if self.shards[shard_idx].is_poisoned() {
+            CoreError::ShardPoisoned { shard: shard_idx }
+        } else {
+            base
+        };
+        let Some(sup) = self.supervisor.clone() else {
+            return Err(base);
+        };
+        let (Some(ckpt), Some(wal)) = (sup.checkpoint, sup.wal) else {
+            // no durability artifacts to rebuild from: surface typed
+            return Err(base);
+        };
+        self.rebuild_shard(shard_idx, &ckpt, &wal, releases)?;
+        self.needs_respawn[shard_idx] = true;
+        self.rebuilt[shard_idx] = true;
+        Ok(())
+    }
+
+    /// Rebuild one shard from durability: restore the checkpoint into a
+    /// scratch service, replay the WAL tail inline, then steal the
+    /// target shard's state and stats mirror and harvest the releases the
+    /// live service has not settled yet. The other shards' state is
+    /// untouched.
+    fn rebuild_shard(
+        &mut self,
+        shard_idx: usize,
+        ckpt_path: &Path,
+        wal_path: &Path,
+        releases: &mut Vec<WindowRelease>,
+    ) -> Result<(), CoreError> {
+        let mut checkpoint = read_checkpoint(ckpt_path)?;
+        // the scratch replay is single-threaded by construction (inline
+        // and parallel modes are bit-identical, and a worker pool for a
+        // throwaway replay would be pure overhead)
+        checkpoint.parallel = false;
+        let records = read_wal_from(wal_path, checkpoint.wal_offset)?;
+        let mut scratch = ShardedService::restore(self.config.clone(), checkpoint)?;
+        let mut sink = VecSink::all();
+        replay_into(&mut scratch, records, &mut sink)?;
+        scratch.sync()?;
+        scratch.flush_outbox(&mut sink);
+        if scratch.events_ingested != self.events_ingested {
+            return Err(CoreError::Durability(format!(
+                "shard {shard_idx} rebuild diverged: replay ingested {} events, \
+                 the live service accepted {} — the checkpoint/WAL pair is stale",
+                scratch.events_ingested, self.events_ingested
+            )));
+        }
+        // everything below `released_before` already settled live; the
+        // rebuilt releases at or above it are the crashed round's output
+        let released_before = self.meta[shard_idx].released;
+        let rebuilt = scratch.shards[shard_idx]
+            .lock()
+            .map_err(|_| CoreError::ShardPoisoned { shard: shard_idx })?
+            .clone();
+        self.shards[shard_idx] = Arc::new(Mutex::new(rebuilt));
+        self.meta[shard_idx] = scratch.meta[shard_idx].clone();
+        for shard_release in sink.shard_releases {
+            if shard_release.shard == shard_idx && shard_release.release.index >= released_before {
+                releases.push(shard_release.release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Respawn the workers flagged dead, or — once a shard's heal budget
+    /// is exhausted — tear the pool down and degrade to inline execution
+    /// for good. Runs only at sync points (pipeline quiescent), so
+    /// replacing a worker never strands an in-flight reply.
+    fn heal_workers(&mut self) {
+        if !self.parallel {
+            self.needs_respawn.iter_mut().for_each(|f| *f = false);
+            self.rebuilt.iter_mut().for_each(|f| *f = false);
+            return;
+        }
+        for shard_idx in 0..self.shards.len() {
+            if !std::mem::take(&mut self.needs_respawn[shard_idx]) {
+                continue;
+            }
+            let action = if std::mem::take(&mut self.rebuilt[shard_idx]) {
+                HealAction::Rebuilt
+            } else {
+                HealAction::Respawned
+            };
+            self.heals[shard_idx] += 1;
+            let round = self.rounds_submitted;
+            let budget = self
+                .supervisor
+                .as_ref()
+                .map_or(0, |sup| sup.max_heal_attempts);
+            if self.heals[shard_idx] > budget {
+                // heal budget exhausted: keep serving, single-threaded —
+                // inline output is bit-identical, only parallelism is lost
+                self.heal_log.push(HealEvent {
+                    shard: shard_idx,
+                    round,
+                    action: HealAction::Degraded,
+                });
+                self.degraded = true;
+                self.parallel = false;
+                self.workers.clear();
+                self.needs_respawn.iter_mut().for_each(|f| *f = false);
+                self.rebuilt.iter_mut().for_each(|f| *f = false);
+                return;
+            }
+            self.workers[shard_idx] = WorkerHandle::spawn(self.shards[shard_idx].clone());
+            self.heal_log.push(HealEvent {
+                shard: shard_idx,
+                round,
+                action,
+            });
+        }
     }
 
     /// Surface the first error any fold deferred.
@@ -1751,10 +2164,13 @@ impl ShardedService {
         self.flush_outbox(sink);
         self.take_deferred()?;
         // workers are idle (all rounds folded): the shard locks are
-        // uncontended, exactly as at every other sync point
+        // uncontended, exactly as at every other sync point. A poisoned
+        // shard must never be imaged — its state may be mid-job.
         let mut shards = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            let guard = shard.lock().unwrap_or_else(|p| p.into_inner());
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let guard = shard
+                .lock()
+                .map_err(|_| CoreError::ShardPoisoned { shard: shard_idx })?;
             shards.push(ShardCheckpoint {
                 buffer: guard.buffer.snapshot(),
                 engine: guard.engine.snapshot(),
@@ -1952,6 +2368,18 @@ impl ShardedService {
             events_ingested: checkpoint.events_ingested,
             finished: checkpoint.finished,
             wal: None,
+            poison_next: vec![false; n_shards],
+            needs_respawn: vec![false; n_shards],
+            rebuilt: vec![false; n_shards],
+            heals: vec![0; n_shards],
+            heal_log: Vec::new(),
+            degraded: false,
+            wal_retries: 0,
+            wal_appends: 0,
+            config,
+            supervisor: None,
+            injector: None,
+            rounds_submitted: 0,
         })
     }
 
@@ -1989,6 +2417,12 @@ impl ShardedService {
     /// epoch that has since been superseded still charge *their own*
     /// epoch's schedule — a revocation staged later never rewrites what an
     /// earlier plan already released.
+    ///
+    /// Accounting invariants (installed schedules, registered ledgers,
+    /// caps) are enforced as *deferred typed errors*, never panics: a
+    /// violation records the first [`CoreError`] for the next fallible
+    /// call while deliveries keep flowing, so a corrupted plan cannot
+    /// poison the whole service.
     fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>) {
         if releases.is_empty() {
             return;
@@ -2000,26 +2434,39 @@ impl ShardedService {
             while j < releases.len() && releases[j].epoch == epoch {
                 j += 1;
             }
-            let charges = self.shard_charges[shard_idx]
-                .get(epoch as usize)
-                .expect("every epoch's charge schedule is installed");
+            let Some(charges) = self.shard_charges[shard_idx].get(epoch as usize) else {
+                self.deferred
+                    .get_or_insert(CoreError::InvalidService(format!(
+                        "shard {shard_idx} released windows under epoch {epoch} \
+                     with no installed charge schedule"
+                    )));
+                i = j;
+                continue;
+            };
             for &(subject, pid, eps) in charges {
-                let ledger = self
-                    .ledgers
-                    .get_mut(&subject)
-                    .expect("every charged subject has a ledger");
-                ledger
-                    .charge_releases(pid, epoch, eps, j - i)
-                    .expect("plan charges stay within registered caps");
+                let Some(ledger) = self.ledgers.get_mut(&subject) else {
+                    self.deferred
+                        .get_or_insert(CoreError::InvalidService(format!(
+                            "epoch {epoch} charges subject {subject} which has no budget ledger"
+                        )));
+                    continue;
+                };
+                if let Err(e) = ledger.charge_releases(pid, epoch, eps, j - i) {
+                    self.deferred.get_or_insert(CoreError::Dp(e));
+                }
             }
-            let query_charges = self
-                .query_charges_by_epoch
-                .get(epoch as usize)
-                .expect("every epoch's query charge schedule is installed");
+            let Some(query_charges) = self.query_charges_by_epoch.get(epoch as usize) else {
+                self.deferred
+                    .get_or_insert(CoreError::InvalidService(format!(
+                        "epoch {epoch} released windows with no installed query charge schedule"
+                    )));
+                i = j;
+                continue;
+            };
             for &(query, eps) in query_charges {
-                self.query_ledger
-                    .charge_releases(query, epoch, eps, j - i)
-                    .expect("plan query charges stay within registered caps");
+                if let Err(e) = self.query_ledger.charge_releases(query, epoch, eps, j - i) {
+                    self.deferred.get_or_insert(CoreError::Dp(e));
+                }
             }
             i = j;
         }
@@ -2102,6 +2549,11 @@ impl ShardedService {
     /// moves; jobs fold back in shard order either way), so this only
     /// trades thread fan-out against channel overhead. A 1-shard service
     /// always runs inline. Drains the pipeline first.
+    ///
+    /// Calling `set_parallel(true)` on a service the supervisor demoted
+    /// (see [`ShardedService::health`]) is an explicit *re-promotion*: it
+    /// clears the degraded flag and resets the per-shard heal budgets, so
+    /// the supervisor starts healing from a clean slate again.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.fold_pending();
         if !parallel {
@@ -2116,6 +2568,8 @@ impl ShardedService {
                     .collect();
             }
             self.parallel = true;
+            self.degraded = false;
+            self.heals.iter_mut().for_each(|h| *h = 0);
         }
     }
 
@@ -2228,8 +2682,9 @@ impl ShardedService {
 }
 
 /// The splitmix64 finalizer: the service's stable hash for shard routing
-/// and seed derivation.
-fn splitmix64(x: u64) -> u64 {
+/// and seed derivation (also reused by [`crate::supervision`] to derive
+/// seeded fault plans).
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -2375,9 +2830,11 @@ mod tests {
         let mut svc = builder(2).build().unwrap();
         svc.set_parallel(true); // force workers even on a 1-core host
         assert!(svc.is_parallel());
-        svc.kill_worker(1);
+        // unsupervised: a scripted kill still fails fast with a typed error
+        svc.inject_faults(FaultPlan::new().kill_worker(1, 1));
         let err = svc.push_batch(vec![ke(1, 0, 5), ke(2, 3, 6)]).unwrap_err();
         assert_eq!(err, CoreError::ShardWorker { shard: 1 });
+        assert_eq!(svc.faults_remaining(), 0);
     }
 
     #[test]

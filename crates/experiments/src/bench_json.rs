@@ -17,8 +17,9 @@ use std::time::Instant;
 
 use pdp_cep::Pattern;
 use pdp_core::{
-    CoreError, CountingSink, KeyedEvent, PpmKind, ServiceBuilder, ServiceConfig, ShardedService,
-    StreamingConfig, SubjectId, WalWriter,
+    quiet_poison_panics, write_checkpoint, CoreError, CountingSink, FaultPlan, KeyedEvent, PpmKind,
+    ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig, SubjectId, SupervisorConfig,
+    WalWriter,
 };
 use pdp_dp::{DpRng, Epsilon};
 use pdp_metrics::Alpha;
@@ -64,6 +65,12 @@ pub struct BenchJsonConfig {
     /// cost on the hot path is a measured number next to the WAL-off
     /// `ingest` cells rather than folklore.
     pub durability: bool,
+    /// Also measure the `--recovery` scenario: time-to-heal a poisoned
+    /// shard (checkpoint load + WAL-tail replay + state steal) as a
+    /// function of the WAL-tail length, and the supervised WAL-retry
+    /// machinery's overhead on a run where every batch append fails
+    /// transiently once.
+    pub recovery: bool,
 }
 
 impl BenchJsonConfig {
@@ -79,6 +86,7 @@ impl BenchJsonConfig {
             sink: false,
             scaling: false,
             durability: false,
+            recovery: false,
         }
     }
 
@@ -94,6 +102,7 @@ impl BenchJsonConfig {
             sink: false,
             scaling: false,
             durability: false,
+            recovery: false,
         }
     }
 }
@@ -147,6 +156,34 @@ pub struct BenchScaling {
     pub ratio_8_over_1: f64,
 }
 
+/// One time-to-heal measurement of the `--recovery` scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryCell {
+    /// Shard count of the supervised service under test.
+    pub shards: usize,
+    /// WAL records replayed from the checkpoint's offset during the heal.
+    pub wal_tail_records: u64,
+    /// Best poison-to-healthy wall-clock time at the sync point
+    /// (checkpoint load + WAL-tail replay + shard state steal +
+    /// worker respawn), milliseconds.
+    pub heal_ms: f64,
+}
+
+/// The `--recovery` summary: what supervised self-healing costs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecovery {
+    /// Time-to-heal as a function of the WAL-tail length.
+    pub heal: Vec<RecoveryCell>,
+    /// Transient WAL append failures injected into the retried run (one
+    /// per batch, each retried once with zero backoff).
+    pub wal_retries: u64,
+    /// Best WAL-on ingest time with no injected failures, milliseconds.
+    pub ingest_clean_ms: f64,
+    /// Best time of the identical run with every batch append failing
+    /// once — minus `ingest_clean_ms`, the retry machinery's overhead.
+    pub ingest_retried_ms: f64,
+}
+
 /// The written artifact.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -179,6 +216,11 @@ pub struct BenchReport {
     /// `--durability`, so earlier artifacts keep parsing.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub durability: Option<Vec<BenchCell>>,
+    /// Self-healing cost summary (the `--recovery` flag): time-to-heal
+    /// per WAL-tail length and the WAL-retry overhead; absent on earlier
+    /// artifacts, so they keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub recovery: Option<BenchRecovery>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -362,6 +404,113 @@ fn measure_durability(
     })
 }
 
+/// The `--recovery` scenario, part 1: for several WAL-tail lengths, a
+/// supervised service ingests the tail, a scripted poison kills a shard
+/// worker mid-round (while it holds the shard lock), and the timed span
+/// is exactly the heal at the next sync point — checkpoint load, inline
+/// WAL-tail replay, shard state steal, worker respawn. Part 2: the
+/// WAL-retry overhead — the identical WAL-on ingest once clean and once
+/// with every batch append failing transiently (retried with zero
+/// backoff), so the retry machinery's cost is the delta.
+fn measure_recovery(reps: usize, smoke: bool) -> Result<BenchRecovery, CoreError> {
+    quiet_poison_panics();
+    let n_shards = 4;
+    let tails: [usize; 3] = if smoke { [1, 2, 4] } else { [4, 16, 64] };
+    let dir = std::env::temp_dir().join(format!("pdp_bench_recovery_{}", std::process::id()));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CoreError::Durability(format!("create {}: {e}", dir.display())))?;
+    let supervisor = |ckpt: &std::path::Path, wal: &std::path::Path| SupervisorConfig {
+        checkpoint: Some(ckpt.to_path_buf()),
+        wal: Some(wal.to_path_buf()),
+        wal_retry_backoff: std::time::Duration::ZERO,
+        ..SupervisorConfig::default()
+    };
+
+    let mut heal = Vec::new();
+    for &tail_batches in &tails {
+        let events = arrivals(tail_batches * BATCH);
+        let wal_path = dir.join(format!("heal_{tail_batches}.wal"));
+        let ckpt_path = dir.join(format!("heal_{tail_batches}.ckpt"));
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut svc = service(n_shards)?;
+            svc.set_parallel(true);
+            svc.attach_wal(WalWriter::create(&wal_path)?);
+            let (genesis, _) = svc.checkpoint()?;
+            write_checkpoint(&ckpt_path, &genesis)?;
+            svc.set_supervisor(supervisor(&ckpt_path, &wal_path));
+            // the poison leads the last batch's round, so the whole tail
+            // must be replayed by the heal
+            svc.inject_faults(FaultPlan::new().poison_shard(1, tail_batches as u64));
+            for chunk in events.chunks(BATCH) {
+                svc.push_batch(chunk.to_vec())?;
+            }
+            let start = Instant::now();
+            svc.sync()?; // folds the poisoned round: the heal happens here
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                svc.health().all_healthy(),
+                "recovery run must end healed, not degraded"
+            );
+            best_ms = best_ms.min(ms);
+        }
+        heal.push(RecoveryCell {
+            shards: n_shards,
+            wal_tail_records: tail_batches as u64,
+            heal_ms: best_ms,
+        });
+    }
+
+    let retry_batches: usize = if smoke { 4 } else { 16 };
+    let events = arrivals(retry_batches * BATCH);
+    let wal_path = dir.join("retry.wal");
+    let ckpt_path = dir.join("retry.ckpt");
+    let mut clean_ms = f64::INFINITY;
+    let mut retried_ms = f64::INFINITY;
+    for retried in [false, true] {
+        for _ in 0..reps.max(1) {
+            let mut svc = service(n_shards)?;
+            svc.attach_wal(WalWriter::create(&wal_path)?);
+            let (genesis, _) = svc.checkpoint()?;
+            write_checkpoint(&ckpt_path, &genesis)?;
+            svc.set_supervisor(supervisor(&ckpt_path, &wal_path));
+            if retried {
+                // fail the first attempt of every batch append: op k's
+                // first attempt is global attempt 2k-1 once each
+                // predecessor has failed-then-retried
+                let mut plan = FaultPlan::new();
+                for k in 0..retry_batches as u64 {
+                    plan = plan.fail_wal_append(2 * k + 1);
+                }
+                svc.inject_faults(plan);
+            }
+            let start = Instant::now();
+            for chunk in events.chunks(BATCH) {
+                svc.push_batch(chunk.to_vec())?;
+            }
+            svc.finish()?;
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if retried {
+                assert_eq!(
+                    svc.health().wal_retries,
+                    retry_batches as u64,
+                    "every batch append must have been retried exactly once"
+                );
+                retried_ms = retried_ms.min(ms);
+            } else {
+                clean_ms = clean_ms.min(ms);
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(BenchRecovery {
+        heal,
+        wal_retries: retry_batches as u64,
+        ingest_clean_ms: clean_ms,
+        ingest_retried_ms: retried_ms,
+    })
+}
+
 /// The `--churn` scenario: the same ingest workload, but every few
 /// batches one tenant registers a fresh private pattern, the previous
 /// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
@@ -471,6 +620,12 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             );
         }
     }
+    let recovery = if config.recovery {
+        eprintln!("bench-json: recovery (time-to-heal vs WAL tail, retry overhead)…");
+        Some(measure_recovery(config.reps, config.smoke).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
     let scaling = if config.scaling {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -513,6 +668,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         sink,
         scaling,
         durability,
+        recovery,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -560,6 +716,9 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     {
         return Err(format!("{} round-trip lost durability cells", config.out));
     }
+    if config.recovery && parsed.recovery.as_ref().is_none_or(|r| r.heal.is_empty()) {
+        return Err(format!("{} round-trip lost recovery cells", config.out));
+    }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
 }
@@ -588,6 +747,7 @@ mod tests {
         assert!(report.sink.is_none(), "sink is opt-in");
         assert!(report.scaling.is_none(), "scaling is opt-in");
         assert!(report.durability.is_none(), "durability is opt-in");
+        assert!(report.recovery.is_none(), "recovery is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -704,6 +864,33 @@ mod tests {
         std::fs::remove_file(&config.out).ok();
     }
 
+    #[test]
+    fn recovery_summary_measures_heal_and_retries() {
+        let mut config = BenchJsonConfig::smoke();
+        config.n_events = 300;
+        config.n_release_windows = 3;
+        config.recovery = true;
+        let dir = std::env::temp_dir().join("pdp_bench_json_recovery_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        config.out = dir
+            .join("BENCH_hotpath.json")
+            .to_string_lossy()
+            .into_owned();
+        let report = run_bench_json(&config).expect("runner succeeds");
+        let recovery = report.recovery.expect("recovery summary requested");
+        assert_eq!(recovery.heal.len(), 3, "three WAL-tail lengths");
+        let mut last_tail = 0;
+        for cell in &recovery.heal {
+            assert!(cell.heal_ms.is_finite() && cell.heal_ms >= 0.0);
+            assert!(cell.wal_tail_records > last_tail, "tails grow");
+            last_tail = cell.wal_tail_records;
+        }
+        assert!(recovery.wal_retries > 0);
+        assert!(recovery.ingest_clean_ms.is_finite() && recovery.ingest_clean_ms > 0.0);
+        assert!(recovery.ingest_retried_ms.is_finite() && recovery.ingest_retried_ms > 0.0);
+        std::fs::remove_file(&config.out).ok();
+    }
+
     /// The committed artifact (written before the churn, sink and
     /// durability scenarios existed) must keep parsing under the
     /// extended schema.
@@ -718,6 +905,7 @@ mod tests {
         assert!(parsed.sink.is_none());
         assert!(parsed.scaling.is_none());
         assert!(parsed.durability.is_none());
+        assert!(parsed.recovery.is_none());
         assert!(parsed.baseline.is_none());
         assert!(parsed.ingest[0].churn_compile_ms.is_none());
     }

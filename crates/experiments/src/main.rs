@@ -4,7 +4,7 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--out PATH]
+//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--recovery] [--out PATH]
 //!                        # hot-path throughput → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
@@ -78,6 +78,20 @@ fn main() {
                         println!(
                             "wal-on  {} shard(s): {:>12.0} events/s (write-ahead log attached)",
                             cell.shards, cell.per_sec
+                        );
+                    }
+                    if let Some(recovery) = &report.recovery {
+                        for cell in &recovery.heal {
+                            println!(
+                                "heal    {} shard(s): {:>10.2} ms to heal ({} WAL records replayed)",
+                                cell.shards, cell.heal_ms, cell.wal_tail_records
+                            );
+                        }
+                        println!(
+                            "wal-retry overhead: {:+.2} ms over {} retried appends (clean {:.2} ms)",
+                            recovery.ingest_retried_ms - recovery.ingest_clean_ms,
+                            recovery.wal_retries,
+                            recovery.ingest_clean_ms
                         );
                     }
                     if let Some(scaling) = &report.scaling {
@@ -183,6 +197,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     config.sink = args.iter().any(|a| a == "--sink");
     config.scaling = args.iter().any(|a| a == "--scaling");
     config.durability = args.iter().any(|a| a == "--durability");
+    config.recovery = args.iter().any(|a| a == "--recovery");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

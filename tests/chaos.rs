@@ -1,0 +1,328 @@
+//! The supervision layer's anchor: a seeded [`FaultPlan`] — a worker
+//! kill mid-pipeline, a shard poison after an epoch transition, and
+//! transient WAL append failures — interleaved with batches, watermark
+//! heartbeats and two epoch transitions must produce sink deliveries,
+//! ledger spends, low watermark, epoch and event counts **bit-for-bit**
+//! identical to the fault-free run, in both inline and parallel modes.
+//! And once a shard's heal budget is exhausted, the service degrades to
+//! inline execution and keeps serving instead of erroring terminally.
+
+use std::path::PathBuf;
+
+use pattern_dp_repro::cep::{Pattern, PatternId, QueryId};
+use pattern_dp_repro::core::{
+    quiet_poison_panics, write_checkpoint, FaultPlan, HealAction, KeyedEvent, PpmKind, ReleaseSink,
+    ServiceBuilder, ServiceConfig, ShardedService, StreamingConfig, SubjectId, SupervisorConfig,
+    VecSink, WalWriter,
+};
+use pattern_dp_repro::dp::Epsilon;
+use pattern_dp_repro::metrics::Alpha;
+use pattern_dp_repro::stream::{Event, EventType, TimeDelta, Timestamp};
+
+fn t(i: u32) -> EventType {
+    EventType(i)
+}
+
+fn ke(subject: u64, ty: u32, ms: i64) -> KeyedEvent {
+    KeyedEvent::new(
+        SubjectId(subject),
+        Event::new(t(ty), Timestamp::from_millis(ms)),
+    )
+}
+
+fn config(n_shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        n_shards,
+        n_types: 5,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_millis(10)),
+        max_delay: TimeDelta::from_millis(5),
+        seed: 41,
+        history_window: 16,
+    }
+}
+
+fn build(n_shards: usize) -> ShardedService {
+    let mut b = ServiceBuilder::new(config(n_shards)).unwrap();
+    b.register_private_pattern(SubjectId(1), Pattern::seq("p1", vec![t(0), t(1)]).unwrap());
+    b.register_private_pattern(SubjectId(2), Pattern::single("p2", t(3)));
+    b.register_subject(SubjectId(3));
+    b.register_target_query("t2?", Pattern::single("t2", t(2)));
+    b.build().unwrap()
+}
+
+/// Unique per-test scratch directory (the suite runs tests in parallel).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pdp-chaos-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The scripted workload both runs consume: seven ingestion/heartbeat
+/// rounds spanning two full epoch transitions, then the finish.
+///
+/// Round numbering (1-based, what [`FaultPlan`] indexes): each
+/// `push_batch_into` and `advance_watermark_into` submits one round;
+/// `begin_epoch` and the staged commands submit none; `finish_into`
+/// submits two (flush, close).
+fn run_workload<S: ReleaseSink>(svc: &mut ShardedService, sink: &mut S) {
+    // rounds 1-2, epoch 0
+    svc.push_batch_into(
+        vec![ke(1, 0, 2), ke(2, 3, 4), ke(3, 2, 7), ke(1, 1, 8)],
+        sink,
+    )
+    .unwrap();
+    svc.push_batch_into(vec![ke(3, 2, 26), ke(1, 0, 29), ke(2, 3, 33)], sink)
+        .unwrap();
+    // first transition: new query + new tenant
+    svc.add_consumer_query("t4?", Pattern::single("t4", t(4)));
+    svc.register_subject(SubjectId(9));
+    let transition = svc.begin_epoch().unwrap().expect("churn staged");
+    assert_eq!(transition.plan.epoch, 1);
+    // rounds 3-4, epoch 1
+    svc.push_batch_into(
+        vec![ke(1, 1, 55), ke(9, 2, 58), ke(2, 3, 61), ke(3, 4, 65)],
+        sink,
+    )
+    .unwrap();
+    svc.push_batch_into(
+        vec![ke(9, 4, 80), ke(1, 0, 84), ke(2, 3, 88), ke(3, 2, 92)],
+        sink,
+    )
+    .unwrap();
+    // second transition: the new tenant brings a private pattern
+    svc.register_private_pattern(SubjectId(9), Pattern::single("p9", t(4)));
+    let transition = svc.begin_epoch().unwrap().expect("churn staged");
+    assert_eq!(transition.plan.epoch, 2);
+    // round 5: heartbeat; rounds 6-7: batches under epoch 2
+    svc.advance_watermark_into(Timestamp::from_millis(130), sink)
+        .unwrap();
+    svc.push_batch_into(vec![ke(1, 1, 141), ke(9, 4, 144), ke(3, 2, 149)], sink)
+        .unwrap();
+    svc.push_batch_into(vec![ke(2, 3, 161), ke(1, 0, 165), ke(9, 2, 168)], sink)
+        .unwrap();
+    // rounds 8-9: flush + close
+    svc.finish_into(sink).unwrap();
+}
+
+/// The chaos schedule: a worker kill while round 2's predecessor is in
+/// flight, a poison leading round 6 (after both epoch transitions — the
+/// checkpoint + WAL-tail rebuild path), and two transient WAL append
+/// failures (one of them mid-epoch-churn).
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .kill_worker(0, 2)
+        .poison_shard(1, 6)
+        .fail_wal_append(3)
+        .fail_wal_append(7)
+}
+
+fn spends(svc: &mut ShardedService) -> Vec<(u64, u32, Option<Epsilon>)> {
+    let mut out = Vec::new();
+    for subject in [1u64, 2, 3, 9] {
+        for pattern in 0..6u32 {
+            out.push((
+                subject,
+                pattern,
+                svc.budget_spent(SubjectId(subject), PatternId(pattern)),
+            ));
+        }
+    }
+    out
+}
+
+/// The anchor, parameterized over the execution mode of the faulted run.
+fn chaos_run_is_bit_for_bit(parallel: bool, tag: &str) {
+    quiet_poison_panics();
+    let dir = scratch(tag);
+    let wal_path = dir.join("service.wal");
+    let ckpt_path = dir.join("service.ckpt");
+
+    // --- reference: fault-free, no durability, inline (the oracle) ---
+    let mut healthy = build(3);
+    healthy.set_parallel(false);
+    let mut sink_h = VecSink::all();
+    run_workload(&mut healthy, &mut sink_h);
+
+    // --- chaos run: supervised, WAL + genesis checkpoint, faulted ---
+    let mut svc = build(3);
+    svc.set_parallel(parallel);
+    svc.attach_wal(WalWriter::create(&wal_path).unwrap());
+    let (genesis, _) = svc.checkpoint().unwrap();
+    write_checkpoint(&ckpt_path, &genesis).unwrap();
+    svc.set_supervisor(SupervisorConfig {
+        checkpoint: Some(ckpt_path.clone()),
+        wal: Some(wal_path.clone()),
+        ..SupervisorConfig::default()
+    });
+    svc.inject_faults(plan());
+    let mut sink_f = VecSink::all();
+    run_workload(&mut svc, &mut sink_f);
+
+    // --- equivalence: every observable matches the oracle ---
+    assert_eq!(sink_f.shard_releases, sink_h.shard_releases);
+    assert_eq!(sink_f.merged, sink_h.merged);
+    assert_eq!(sink_f.answers, sink_h.answers);
+    assert_eq!(spends(&mut svc), spends(&mut healthy));
+    assert_eq!(
+        svc.query_budget_spent(QueryId(0)),
+        healthy.query_budget_spent(QueryId(0))
+    );
+    assert_eq!(svc.low_watermark(), healthy.low_watermark());
+    assert_eq!(svc.events_ingested(), healthy.events_ingested());
+    assert_eq!(svc.epoch(), healthy.epoch());
+    assert_eq!(svc.dropped(), healthy.dropped());
+
+    // --- supervision observability ---
+    let health = svc.health();
+    assert_eq!(svc.faults_remaining(), 0, "every scripted fault fired");
+    assert_eq!(health.wal_retries, 2, "both transient failures retried");
+    assert!(health.all_healthy(), "healed, not degraded: {health:?}");
+    if parallel {
+        assert!(
+            health
+                .events
+                .iter()
+                .any(|e| e.shard == 0 && e.action == HealAction::Respawned),
+            "the killed worker was respawned in place: {:?}",
+            health.events
+        );
+        assert!(
+            health
+                .events
+                .iter()
+                .any(|e| e.shard == 1 && e.action == HealAction::Rebuilt),
+            "the poisoned shard was rebuilt from durability: {:?}",
+            health.events
+        );
+        assert!(!health.shards[1].poisoned, "the poisoned lock was replaced");
+    } else {
+        assert!(health.events.is_empty(), "no workers to heal inline");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_run_is_bit_for_bit_parallel() {
+    chaos_run_is_bit_for_bit(true, "parallel");
+}
+
+#[test]
+fn chaos_run_is_bit_for_bit_inline() {
+    chaos_run_is_bit_for_bit(false, "inline");
+}
+
+/// Exhausting the heal budget degrades the service to inline execution —
+/// reported, not silent — and it *keeps serving*, still bit-for-bit.
+#[test]
+fn exhausted_heals_degrade_to_inline_and_keep_serving() {
+    let mut healthy = build(3);
+    healthy.set_parallel(false);
+    let mut sink_h = VecSink::all();
+    run_workload(&mut healthy, &mut sink_h);
+
+    let mut svc = build(3);
+    svc.set_parallel(true);
+    // zero tolerance: the very first heal attempt exhausts the budget
+    svc.set_supervisor(SupervisorConfig {
+        max_heal_attempts: 0,
+        ..SupervisorConfig::default()
+    });
+    svc.inject_faults(FaultPlan::new().kill_worker(2, 2));
+    let mut sink_f = VecSink::all();
+    run_workload(&mut svc, &mut sink_f);
+
+    assert_eq!(sink_f.shard_releases, sink_h.shard_releases);
+    assert_eq!(sink_f.merged, sink_h.merged);
+    assert_eq!(sink_f.answers, sink_h.answers);
+
+    let health = svc.health();
+    assert!(health.degraded, "degradation is reported");
+    assert!(!health.parallel, "the worker pool is torn down");
+    assert!(
+        health
+            .events
+            .iter()
+            .any(|e| e.shard == 2 && e.action == HealAction::Degraded),
+        "the mode change is in the heal log: {:?}",
+        health.events
+    );
+}
+
+/// An explicit `set_parallel(true)` after degradation is a re-promotion:
+/// the degraded flag clears, heal budgets reset, and the pool respawns.
+#[test]
+fn degraded_service_can_be_repromoted() {
+    let mut svc = build(3);
+    svc.set_parallel(true);
+    svc.set_supervisor(SupervisorConfig {
+        max_heal_attempts: 0,
+        ..SupervisorConfig::default()
+    });
+    svc.inject_faults(FaultPlan::new().kill_worker(1, 1));
+    svc.push_batch(vec![ke(1, 0, 2), ke(2, 3, 4), ke(3, 2, 7)])
+        .unwrap();
+    svc.sync().unwrap();
+    assert!(svc.health().degraded);
+
+    svc.set_parallel(true);
+    let health = svc.health();
+    assert!(!health.degraded, "re-promotion clears the degraded flag");
+    assert!(health.parallel);
+    assert!(health.all_healthy());
+    assert_eq!(health.shards[1].heals, 0, "heal budgets reset");
+    svc.push_batch(vec![ke(1, 1, 12), ke(2, 3, 14)]).unwrap();
+    svc.finish().unwrap();
+}
+
+/// Seeded plans are pure functions of the seed, and their faults stay in
+/// the requested round/shard ranges — a chaos scenario reproduces from
+/// the seed alone.
+#[test]
+fn seeded_plans_reproduce_and_run_clean() {
+    assert_eq!(
+        FaultPlan::from_seed(0xC0FFEE, 7, 3),
+        FaultPlan::from_seed(0xC0FFEE, 7, 3),
+        "same seed, same plan"
+    );
+    assert_ne!(
+        FaultPlan::from_seed(1, 7, 3),
+        FaultPlan::from_seed(2, 7, 3),
+        "different seeds diverge"
+    );
+
+    quiet_poison_panics();
+    let dir = scratch("seeded");
+    let wal_path = dir.join("service.wal");
+    let ckpt_path = dir.join("service.ckpt");
+
+    let mut healthy = build(3);
+    healthy.set_parallel(false);
+    let mut sink_h = VecSink::all();
+    run_workload(&mut healthy, &mut sink_h);
+
+    let mut svc = build(3);
+    svc.set_parallel(true);
+    svc.attach_wal(WalWriter::create(&wal_path).unwrap());
+    let (genesis, _) = svc.checkpoint().unwrap();
+    write_checkpoint(&ckpt_path, &genesis).unwrap();
+    svc.set_supervisor(SupervisorConfig {
+        checkpoint: Some(ckpt_path),
+        wal: Some(wal_path),
+        ..SupervisorConfig::default()
+    });
+    svc.inject_faults(FaultPlan::from_seed(0xC0FFEE, 7, 3));
+    let mut sink_f = VecSink::all();
+    run_workload(&mut svc, &mut sink_f);
+
+    assert_eq!(sink_f.shard_releases, sink_h.shard_releases);
+    assert_eq!(sink_f.merged, sink_h.merged);
+    assert_eq!(sink_f.answers, sink_h.answers);
+    assert!(svc.health().all_healthy());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
