@@ -57,14 +57,17 @@ cargo bench --no-run
 # hot path end to end — including the --churn scenario's periodic epoch
 # transitions, the --sink scenario's zero-copy consumer delivery, the
 # --scaling summary (which FAILS the run if a multi-shard service
-# silently fell back to inline execution on a multi-core host), and the
-# --durability scenario's WAL-attached ingest, and the --recovery
-# scenario's time-to-heal and WAL-retry cells — and fails if the
-# artifact it writes does not parse back (the runner validates its own
-# output, churn, sink, scaling, durability and recovery cells included).
-echo "==> bench-json smoke (with churn + sink + scaling + durability + recovery scenarios)"
+# silently fell back to inline execution on a multi-core host), the
+# --durability scenario's WAL-attached ingest, the --recovery
+# scenario's time-to-heal and WAL-retry cells, and the --alloc
+# scenario's counting-allocator gate (the runner itself FAILS if warmed
+# steady-state ingest takes a single heap allocation with the WAL off,
+# or more than a small per-batch constant with it on) — and fails if
+# the artifact it writes does not parse back (the runner validates its
+# own output, all scenario cells included).
+echo "==> bench-json smoke (with churn + sink + scaling + durability + recovery + alloc scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --recovery --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --recovery --alloc --out "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

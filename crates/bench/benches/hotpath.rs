@@ -6,20 +6,31 @@
 //!   masks per probability class);
 //! * **indicator matching**: per-call `match_indicator` (walks the
 //!   pattern's distinct types) vs. precompiled `match_mask`
-//!   (word-level subset test).
+//!   (word-level subset test);
+//! * **subject routing**: the retired per-event `HashMap` route probe
+//!   vs. the dense interned [`RouteTable`] lookup (one bounds check +
+//!   one load) that replaced it on the sharded ingest path.
 //!
 //! Run with: `cargo bench -p pdp-bench --bench hotpath`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
 use std::hint::black_box;
 
 use pdp_cep::{match_indicator, match_mask, Pattern};
-use pdp_core::FlipTable;
+use pdp_core::{FlipTable, RouteTable, SubjectId};
 use pdp_dp::{DpRng, Epsilon, FlipProb};
 use pdp_stream::{EventType, IndicatorVector, TypeMask};
 
 const N_TYPES: usize = 128;
 const WINDOWS: u64 = 1_000;
+
+/// Routed subjects in the route-lookup bench (densely interned ids, the
+/// shape registration produces).
+const ROUTED: u64 = 4096;
+
+/// Route probes per bench iteration.
+const PROBES: usize = 1024;
 
 /// A flip table protecting half the universe across three probability
 /// classes (the shape overlapping private patterns produce).
@@ -117,5 +128,47 @@ fn bench_match_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flip_paths, bench_match_paths);
+fn bench_route_lookup(c: &mut Criterion) {
+    let n_shards = 8u32;
+    let mut map: HashMap<SubjectId, u32> = HashMap::new();
+    let mut table = RouteTable::new();
+    for id in 0..ROUTED {
+        let shard = (id % u64::from(n_shards)) as u32;
+        map.insert(SubjectId(id), shard);
+        table.insert(SubjectId(id), shard);
+    }
+    // a fixed pseudo-random probe stream over the routed id range, so
+    // both probes chase the same (cache-hostile) access pattern
+    let probes: Vec<SubjectId> = (0..PROBES as u64)
+        .map(|i| SubjectId(i.wrapping_mul(2_654_435_761) % ROUTED))
+        .collect();
+    let mut group = c.benchmark_group("route_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("hashmap"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &probes {
+                acc += u64::from(map.get(black_box(&s)).copied().unwrap());
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("dense_table"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &s in &probes {
+                acc += u64::from(table.lookup(black_box(s)).unwrap());
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flip_paths,
+    bench_match_paths,
+    bench_route_lookup
+);
 criterion_main!(benches);

@@ -149,6 +149,11 @@ pub enum CommandOutcome {
 
 #[derive(Debug, Clone)]
 struct SubjectState {
+    /// The dense intern index assigned at first registration (position in
+    /// registration order). Stable forever — retirement and re-activation
+    /// never reassign it — so the data plane can key per-subject state by
+    /// a plain `Vec` index instead of hashing the raw 64-bit id.
+    dense: u32,
     /// Every private pattern this subject ever registered, in order
     /// (revoked ones included — ids stay meaningful for spend lookups).
     patterns: Vec<PatternId>,
@@ -198,8 +203,10 @@ pub struct ControlPlaneSnapshot {
     pub private_order: Vec<(SubjectId, PatternId)>,
     /// Revoked pattern ids, in revocation order.
     pub revoked: Vec<PatternId>,
-    /// Per-subject `(id, owned patterns, retired)` in id order.
-    pub subjects: Vec<(SubjectId, Vec<PatternId>, bool)>,
+    /// Per-subject `(id, dense intern index, owned patterns, retired)` in
+    /// id order. The dense indexes are a permutation of `0..len`
+    /// (registration order); restore rebuilds the reverse table from them.
+    pub subjects: Vec<(SubjectId, u32, Vec<PatternId>, bool)>,
     /// Query registry rows `(name, spec, active)`; index = stable id.
     pub queries: Vec<(String, QuerySpec, bool)>,
     /// Explicitly granted history, if any.
@@ -227,6 +234,9 @@ pub struct ControlPlane {
     private_order: Vec<(SubjectId, PatternId)>,
     revoked: Vec<PatternId>,
     subjects: BTreeMap<SubjectId, SubjectState>,
+    /// Reverse dense-intern table: `by_dense[d]` is the subject holding
+    /// dense index `d` (registration order, append-only).
+    by_dense: Vec<SubjectId>,
     /// Query registry; index = stable [`QueryId`].
     queries: Vec<QueryState>,
     explicit_history: Option<WindowedIndicators>,
@@ -248,6 +258,7 @@ impl ControlPlane {
             private_order: Vec::new(),
             revoked: Vec::new(),
             subjects: BTreeMap::new(),
+            by_dense: Vec::new(),
             queries: Vec::new(),
             explicit_history: None,
             released_history: VecDeque::new(),
@@ -268,7 +279,7 @@ impl ControlPlane {
             subjects: self
                 .subjects
                 .iter()
-                .map(|(&id, s)| (id, s.patterns.clone(), s.retired))
+                .map(|(&id, s)| (id, s.dense, s.patterns.clone(), s.retired))
                 .collect(),
             queries: self
                 .queries
@@ -293,6 +304,18 @@ impl ControlPlane {
     pub fn restore(config: ControlPlaneConfig, snapshot: ControlPlaneSnapshot) -> Self {
         let mut patterns = snapshot.patterns;
         patterns.reindex();
+        // Rebuild the reverse intern table; the snapshot's dense indexes
+        // must be a permutation of 0..len (the durability decoder enforces
+        // this for images crossing a serialization boundary).
+        let mut by_dense = vec![SubjectId(0); snapshot.subjects.len()];
+        for &(id, dense, _, _) in &snapshot.subjects {
+            assert!(
+                (dense as usize) < by_dense.len(),
+                "dense index {dense} out of range for {} subjects",
+                by_dense.len()
+            );
+            by_dense[dense as usize] = id;
+        }
         ControlPlane {
             config,
             patterns,
@@ -301,8 +324,18 @@ impl ControlPlane {
             subjects: snapshot
                 .subjects
                 .into_iter()
-                .map(|(id, patterns, retired)| (id, SubjectState { patterns, retired }))
+                .map(|(id, dense, patterns, retired)| {
+                    (
+                        id,
+                        SubjectState {
+                            dense,
+                            patterns,
+                            retired,
+                        },
+                    )
+                })
                 .collect(),
+            by_dense,
             queries: snapshot
                 .queries
                 .into_iter()
@@ -351,17 +384,26 @@ impl ControlPlane {
     }
 
     /// Stage: register a subject with no private patterns (or re-activate
-    /// a retired one).
+    /// a retired one). First registration interns the subject under the
+    /// next dense index; re-registration (even after retirement) keeps the
+    /// original index.
     pub fn register_subject(&mut self, subject: SubjectId) -> SubjectId {
-        let state = self.subjects.entry(subject).or_insert_with(|| {
-            self.dirty = true;
-            SubjectState {
-                patterns: Vec::new(),
-                retired: false,
+        if let Some(state) = self.subjects.get_mut(&subject) {
+            if state.retired {
+                state.retired = false;
+                self.dirty = true;
             }
-        });
-        if state.retired {
-            state.retired = false;
+        } else {
+            let dense = self.by_dense.len() as u32;
+            self.by_dense.push(subject);
+            self.subjects.insert(
+                subject,
+                SubjectState {
+                    dense,
+                    patterns: Vec::new(),
+                    retired: false,
+                },
+            );
             self.dirty = true;
         }
         subject
@@ -554,6 +596,34 @@ impl ControlPlane {
             .filter(|(_, s)| !s.retired)
             .map(|(&id, _)| id)
             .collect()
+    }
+
+    /// The dense intern index assigned to `subject` at first registration
+    /// (`None` for a subject never registered). Stable across retirement
+    /// and re-registration, and deterministic: the same command schedule
+    /// assigns the same indexes.
+    pub fn dense_index(&self, subject: SubjectId) -> Option<u32> {
+        self.subjects.get(&subject).map(|s| s.dense)
+    }
+
+    /// The subject holding dense index `dense`, if assigned.
+    pub fn subject_of_dense(&self, dense: u32) -> Option<SubjectId> {
+        self.by_dense.get(dense as usize).copied()
+    }
+
+    /// Number of dense indexes assigned so far (= subjects ever
+    /// registered; the registry is append-only).
+    pub fn dense_count(&self) -> usize {
+        self.by_dense.len()
+    }
+
+    /// Whether `subject` is registered and not retired — with its dense
+    /// index when so. One probe for the service's route-table rebuilds.
+    pub fn active_dense_index(&self, subject: SubjectId) -> Option<u32> {
+        self.subjects
+            .get(&subject)
+            .filter(|s| !s.retired)
+            .map(|s| s.dense)
     }
 
     /// True if `subject` ever registered `pattern` (revoked ones

@@ -67,8 +67,12 @@ use crate::sink::ReleaseSink;
 use crate::streaming::{EngineSnapshot, OnlineCoreSnapshot, QueryRef};
 
 /// File magic of a checkpoint artifact (the trailing byte is the format
-/// version).
-const CKPT_MAGIC: &[u8; 8] = b"PDPCKPT\x01";
+/// version; v2 added the control plane's dense subject-intern indexes).
+const CKPT_MAGIC: &[u8; 8] = b"PDPCKPT\x02";
+/// The v1 magic: recognized only to produce a typed "unsupported
+/// version" error instead of a generic bad-magic one. v1 images predate
+/// dense subject interning and cannot be decoded by this build.
+const CKPT_MAGIC_V1: &[u8; 8] = b"PDPCKPT\x01";
 /// File magic of a write-ahead log (the trailing byte is the format
 /// version; v2 added per-frame sequence numbers and checksums).
 const WAL_MAGIC: &[u8; 8] = b"PDPWAL\x00\x02";
@@ -277,6 +281,18 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CoreError> {
         Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+        self.3.encode(w);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CoreError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?, D::decode(r)?))
     }
 }
 
@@ -686,7 +702,27 @@ impl Wire for ControlPlaneSnapshot {
             patterns: PatternSet::decode(r)?,
             private_order: Vec::decode(r)?,
             revoked: Vec::decode(r)?,
-            subjects: Vec::decode(r)?,
+            subjects: {
+                // The dense intern indexes must be a permutation of
+                // 0..len: ControlPlane::restore indexes its reverse table
+                // with them, so a corrupt image must fail typed here, not
+                // panic there.
+                let subjects: Vec<(SubjectId, u32, Vec<PatternId>, bool)> = Vec::decode(r)?;
+                let mut seen = vec![false; subjects.len()];
+                for &(_, dense, _, _) in &subjects {
+                    match seen.get_mut(dense as usize) {
+                        Some(slot) if !*slot => *slot = true,
+                        _ => {
+                            return Err(durability_err(format!(
+                                "invalid dense subject index {dense} (must be a \
+                                 permutation of 0..{})",
+                                subjects.len()
+                            )))
+                        }
+                    }
+                }
+                subjects
+            },
             queries: Vec::decode(r)?,
             explicit_history: Option::decode(r)?,
             released_history: Vec::decode(r)?,
@@ -1039,6 +1075,12 @@ pub fn write_checkpoint(path: &Path, checkpoint: &ServiceCheckpoint) -> Result<(
 /// Read and validate a checkpoint file written by [`write_checkpoint`].
 pub fn read_checkpoint(path: &Path) -> Result<ServiceCheckpoint, CoreError> {
     let bytes = std::fs::read(path).map_err(|e| io_err("read checkpoint", e))?;
+    if bytes.len() >= 8 && &bytes[..8] == CKPT_MAGIC_V1 {
+        return Err(durability_err(
+            "unsupported checkpoint format version 1 (predates dense subject \
+             interning); re-checkpoint from a live service",
+        ));
+    }
     if bytes.len() < 24 || &bytes[..8] != CKPT_MAGIC {
         return Err(durability_err("not a checkpoint file (bad magic)"));
     }
@@ -1118,6 +1160,12 @@ pub struct WalWriter {
     file: File,
     offset: u64,
     seq: u64,
+    /// Persistent frame encode buffer: every append encodes the payload
+    /// *directly* into this buffer after a 12-byte length/sequence
+    /// placeholder, patches the header in place, and appends the
+    /// checksum — one buffered write, zero steady-state allocations
+    /// (capacity is retained across appends).
+    scratch: Vec<u8>,
 }
 
 impl WalWriter {
@@ -1131,6 +1179,7 @@ impl WalWriter {
             file,
             offset: WAL_MAGIC.len() as u64,
             seq: 0,
+            scratch: Vec::new(),
         })
     }
 
@@ -1155,6 +1204,7 @@ impl WalWriter {
             file,
             offset: scan.end,
             seq: scan.frames.len() as u64,
+            scratch: Vec::new(),
         })
     }
 
@@ -1165,47 +1215,63 @@ impl WalWriter {
 
     /// Append one record and flush it to the OS.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), CoreError> {
-        let mut w = ByteWriter::default();
-        record.encode(&mut w);
-        self.append_frame(w)
+        self.append_frame(|w| record.encode(w))
     }
 
     /// Append a batch record without taking ownership of the batch — the
     /// service logs at partition time, while it still only borrows the
     /// events. Encodes identically to [`WalRecord::Batch`].
     pub fn append_batch(&mut self, batch: &[KeyedEvent]) -> Result<(), CoreError> {
-        let mut w = ByteWriter::default();
-        0u8.encode(&mut w);
-        batch.len().encode(&mut w);
-        for keyed in batch {
-            keyed.encode(&mut w);
-        }
-        self.append_frame(w)
+        self.append_frame(|w| {
+            0u8.encode(w);
+            batch.len().encode(w);
+            for keyed in batch {
+                keyed.encode(w);
+            }
+        })
     }
 
     /// Append a command record from a borrow (encodes identically to
     /// [`WalRecord::Command`]).
     pub fn append_command(&mut self, command: &Command) -> Result<(), CoreError> {
-        let mut w = ByteWriter::default();
-        2u8.encode(&mut w);
-        command.encode(&mut w);
-        self.append_frame(w)
+        self.append_frame(|w| {
+            2u8.encode(w);
+            command.encode(w);
+        })
     }
 
-    fn append_frame(&mut self, w: ByteWriter) -> Result<(), CoreError> {
-        let mut frame = Vec::with_capacity(w.buf.len() + WAL_FRAME_OVERHEAD as usize);
-        frame.extend_from_slice(&(w.buf.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&self.seq.to_le_bytes());
-        frame.extend_from_slice(&w.buf);
-        frame.extend_from_slice(&fnv1a(&frame[4..]).to_le_bytes());
-        if let Err(e) = self.file.write_all(&frame).and_then(|()| self.file.flush()) {
+    /// Frame one record: the payload encoder runs directly against the
+    /// persistent scratch buffer (after a 12-byte header placeholder),
+    /// then the length and sequence are patched in place and the checksum
+    /// appended — no writer→frame copy, no per-append allocation once the
+    /// buffer has grown to the workload's frame size.
+    fn append_frame(
+        &mut self,
+        encode_payload: impl FnOnce(&mut ByteWriter),
+    ) -> Result<(), CoreError> {
+        let mut w = ByteWriter {
+            buf: std::mem::take(&mut self.scratch),
+        };
+        w.buf.clear();
+        w.buf.extend_from_slice(&[0u8; 12]); // length + sequence, patched below
+        encode_payload(&mut w);
+        let mut frame = w.buf;
+        let payload_len = (frame.len() - 12) as u32;
+        frame[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        frame[4..12].copy_from_slice(&self.seq.to_le_bytes());
+        let checksum = fnv1a(&frame[4..]);
+        frame.extend_from_slice(&checksum.to_le_bytes());
+        let result = self.file.write_all(&frame).and_then(|()| self.file.flush());
+        let frame_len = frame.len() as u64;
+        self.scratch = frame; // keep the capacity for the next append
+        if let Err(e) = result {
             // a partial write may have landed; reposition so a retry of
             // the same frame overwrites it byte-for-byte instead of
             // appending after garbage
             self.file.seek(SeekFrom::Start(self.offset)).ok();
             return Err(io_err("append wal record", e));
         }
-        self.offset += frame.len() as u64;
+        self.offset += frame_len;
         self.seq += 1;
         Ok(())
     }

@@ -91,8 +91,8 @@ pub use neighbors::{
 pub use protect::{FlipPlan, FlipTable, Mechanism, PipelineSnapshot, ProtectionPipeline};
 pub use quality_model::{expected_quality, QualityModel};
 pub use service::{
-    BatchOutput, EpochTransition, KeyedEvent, MergedRelease, ServiceBuilder, ServiceConfig,
-    ShardRelease, ShardedService, SubjectId,
+    BatchOutput, EpochTransition, KeyedEvent, MergedRelease, RouteTable, ServiceBuilder,
+    ServiceConfig, ShardRelease, ShardedService, SubjectId,
 };
 pub use sink::{CountingSink, QueryAnswer, ReleaseSink, VecSink};
 pub use streaming::{

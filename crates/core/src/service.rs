@@ -17,6 +17,23 @@
 //!   stream — and therefore every window of it — is always processed by
 //!   the same shard. Each shard runs its own [`OnlineCore`]-backed
 //!   [`StreamingEngine`] with an independent [`DpRng`];
+//! * **dense subject routing** ([`RouteTable`]): the control plane
+//!   interns every registered subject into a dense `u32` index at
+//!   registration time (append-only — the index is stable across
+//!   retire/re-register, checkpoints carry it explicitly, and WAL replay
+//!   re-derives it from command order, so recovery and the live service
+//!   agree bit-for-bit). The per-event route probe is an indexed table
+//!   lookup — `direct[subject.0] → shard`, with a hashed overflow tier
+//!   for sparse ids above [`RouteTable::DIRECT_CAP`] — instead of a
+//!   per-event `HashMap` probe, and the per-subject budget ledgers are a
+//!   dense `Vec` keyed by the intern index on the settle path. Unknown
+//!   or retired subjects hit the table's sentinel and reject the whole
+//!   batch atomically ([`CoreError::UnknownSubject`]) before any event
+//!   moves, exactly as the hash probe did. Checkpoint images written
+//!   before dense interning (format v1) are rejected with a typed
+//!   version error — re-checkpoint from a live service to migrate (the
+//!   wire format stays subject-keyed and sorted, so images mean the
+//!   same thing; only the version byte moved);
 //! * **pipelined shard workers (shard-resident state)**: a multi-shard
 //!   service spawns one persistent worker thread per shard (plain
 //!   `std::thread` + channels — no external dependencies). Each worker
@@ -138,8 +155,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
-use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use pdp_cep::{Pattern, PatternId, PreparedPatternSwap, QueryId};
@@ -403,12 +420,10 @@ impl ServiceBuilder {
         }
         let plan = self.control.compile_initial()?;
         let n_shards = self.config.n_shards;
-        let assignment: RouteMap = self
-            .control
-            .active_subjects()
-            .into_iter()
-            .map(|s| (s, ShardedService::shard_for(s, n_shards)))
-            .collect();
+        let mut routes = RouteTable::new();
+        for s in self.control.active_subjects() {
+            routes.insert(s, ShardedService::shard_for(s, n_shards) as u32);
+        }
 
         let mut shards = Vec::with_capacity(n_shards);
         for rng in rngs {
@@ -418,17 +433,23 @@ impl ServiceBuilder {
             // global watermark which may reach a shard before its first
             // event). Closes nothing and draws no randomness.
             engine.advance_watermark(Timestamp::ZERO, &mut DpRng::seed_from(0))?;
+            // pre-reserve the reorder heap and the release scratch at one
+            // sub-batch of events: like `partition_buffers`, leaving the
+            // high-water mark to workload noise would let a late burst pay
+            // a realloc mid-ingest and break the zero-allocation gate
+            let mut buffer = ReorderBuffer::new(self.config.max_delay);
+            buffer.reserve(SUB_BATCH);
             shards.push(Arc::new(Mutex::new(Shard {
-                buffer: ReorderBuffer::new(self.config.max_delay),
+                buffer,
                 engine,
                 rng,
                 frontier: Timestamp::ZERO,
-                ready: Vec::new(),
+                ready: Vec::with_capacity(SUB_BATCH),
             })));
         }
         let mut meta = vec![ShardMeta::default(); n_shards];
-        for &shard in assignment.values() {
-            meta[shard].n_subjects += 1;
+        for (_, shard) in routes.iter() {
+            meta[shard as usize].n_subjects += 1;
         }
 
         let parallel = default_parallel(n_shards);
@@ -440,14 +461,15 @@ impl ServiceBuilder {
         } else {
             Vec::new()
         };
+        let (fill, spare) = partition_buffers(n_shards);
         let mut service = ShardedService {
             shards,
             workers,
             parallel,
             meta,
             shard_charges: vec![vec![Vec::new()]; n_shards],
-            assignment,
-            ledgers: HashMap::new(),
+            routes,
+            ledgers: Vec::new(),
             query_ledger: EpochLedger::new(),
             merge: MergeState::new(n_shards),
             cores_by_epoch: Vec::new(),
@@ -458,8 +480,13 @@ impl ServiceBuilder {
             pending: VecDeque::new(),
             outbox: VecDeque::new(),
             deferred: None,
-            fill: vec![Vec::new(); n_shards],
-            spare: Vec::new(),
+            fill,
+            spare,
+            route_scratch: Vec::new(),
+            round_pool: Vec::new(),
+            settle_scratch: Vec::new(),
+            merged_scratch: Vec::new(),
+            wrapper_sink: VecSink::subscribed([]),
             n_types: self.config.n_types,
             max_delay: self.config.max_delay,
             events_ingested: 0,
@@ -622,6 +649,7 @@ impl Shard {
 /// A shard worker's reply: what one job released, the emptied ingest
 /// buffer for reuse, and a stats snapshot the service keeps as mirrors.
 /// The shard state itself never moves — it stays resident on the worker.
+#[derive(Debug)]
 struct ShardReply {
     releases: Vec<WindowRelease>,
     /// The ingest sub-batch buffer, emptied — handed back so the
@@ -646,26 +674,135 @@ const QUEUE_DEPTH: usize = 4;
 /// tail.
 const SUB_BATCH: usize = 256;
 
+/// The partitioner's double-buffer set, pre-reserved at construction:
+/// every fill slot and every pooled spare starts at [`SUB_BATCH`]
+/// capacity, so the parallel submit threshold is reached without a
+/// single mid-ingest `Vec` growth. Sizing buffers lazily would leave the
+/// high-water mark to workload noise — a shard that happens to see fewer
+/// than `SUB_BATCH` events per batch during warmup would keep a
+/// half-grown buffer and pay a realloc the first time traffic skews its
+/// way, breaking the zero-allocation steady state.
+fn partition_buffers(n_shards: usize) -> (Vec<Vec<Event>>, Vec<Vec<Event>>) {
+    let fill = (0..n_shards)
+        .map(|_| Vec::with_capacity(SUB_BATCH))
+        .collect();
+    // one pool entry for every buffer that can be in flight at once (a
+    // full queue, one executing, one filling, per shard) — the same
+    // bound `absorb` retains recycled buffers up to
+    let spare = (0..(QUEUE_DEPTH + 2) * n_shards)
+        .map(|_| Vec::with_capacity(SUB_BATCH))
+        .collect();
+    (fill, spare)
+}
+
+/// The reply lane of one shard worker: an unbounded FIFO over
+/// `Mutex<VecDeque>` + `Condvar` instead of `std::sync::mpsc::channel`.
+/// The std unbounded channel allocates a fresh block roughly every 32
+/// sends, which would put a heap allocation on the steady-state ingest
+/// path; this queue reaches its high-water capacity during warmup and
+/// then recycles it forever. Occupancy is bounded by the jobs of the
+/// in-flight round (*not* by `QUEUE_DEPTH` — a large batch parks every
+/// sub-batch reply here until the next call's fold), which is why the
+/// lane must stay unbounded: a bounded reply queue would deadlock the
+/// submitter against its own uncollected round.
+#[derive(Debug, Default)]
+struct ReplyQueue {
+    inner: Mutex<ReplyQueueInner>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct ReplyQueueInner {
+    queue: VecDeque<ShardReply>,
+    /// Set (under the lock) when the worker thread exits for any reason —
+    /// normal shutdown or a caught panic — so a blocked `recv` wakes up
+    /// and maps the shortfall to [`CoreError::ShardWorker`] exactly as the
+    /// old channel's `RecvError` did. Buffered replies still drain first.
+    disconnected: bool,
+}
+
+impl ReplyQueue {
+    /// A queue pre-sized for the common occupancy envelope: the queued
+    /// jobs of two overlapping pipelined rounds (`QUEUE_DEPTH` each)
+    /// plus execution/fold slack. Larger batches can still outgrow this
+    /// — the `VecDeque` then grows once and keeps the capacity — but
+    /// pre-reserving keeps the typical workload off the allocator even
+    /// when reply drain timing varies run to run.
+    fn with_default_capacity() -> ReplyQueue {
+        ReplyQueue {
+            inner: Mutex::new(ReplyQueueInner {
+                queue: VecDeque::with_capacity(4 * QUEUE_DEPTH),
+                disconnected: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn send(&self, reply: ShardReply) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.queue.push_back(reply);
+        drop(inner);
+        self.ready.notify_one();
+    }
+
+    fn disconnect(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.disconnected = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Pop the next reply in send order, blocking while the queue is
+    /// empty and the worker is alive; `None` once the worker is gone and
+    /// every buffered reply has been drained.
+    fn recv(&self) -> Option<ShardReply> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(reply) = inner.queue.pop_front() {
+                return Some(reply);
+            }
+            if inner.disconnected {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Flags the reply lane disconnected when the worker thread unwinds or
+/// returns — the drop runs on every exit path, so the service can never
+/// block forever on a reply that will not come.
+struct DisconnectOnExit(Arc<ReplyQueue>);
+
+impl Drop for DisconnectOnExit {
+    fn drop(&mut self) {
+        self.0.disconnect();
+    }
+}
+
 /// A persistent per-shard worker thread owning its shard behind an
 /// `Arc<Mutex<…>>`. Jobs stream in over a **bounded** SPSC channel
 /// (backpressure = a full queue blocks the submitter); replies stream
-/// back over an unbounded channel whose occupancy is bounded by the job
-/// queue depth. The service thread locks the shard only at sync points,
-/// when the worker has drained its queue and the lock is uncontended.
+/// back over an unbounded allocation-recycling [`ReplyQueue`] whose
+/// occupancy is bounded by the in-flight round's job count. The service
+/// thread locks the shard only at sync points, when the worker has
+/// drained its queue and the lock is uncontended.
 #[derive(Debug)]
 struct WorkerHandle {
     job_tx: Option<SyncSender<ShardJob>>,
-    reply_rx: Receiver<ShardReply>,
+    replies: Arc<ReplyQueue>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl WorkerHandle {
     fn spawn(shard: Arc<Mutex<Shard>>) -> WorkerHandle {
         let (job_tx, job_rx) = sync_channel::<ShardJob>(QUEUE_DEPTH);
-        let (reply_tx, reply_rx) = channel::<ShardReply>();
+        let replies = Arc::new(ReplyQueue::with_default_capacity());
+        let reply_tx = replies.clone();
         let handle = std::thread::Builder::new()
             .name("pdp-shard-worker".into())
             .spawn(move || {
+                let _disconnect = DisconnectOnExit(reply_tx.clone());
                 while let Ok(job) = job_rx.recv() {
                     // a panic mid-job (scripted poison or an engine bug)
                     // poisons the mutex as the guard unwinds; catch it so
@@ -677,11 +814,7 @@ impl WorkerHandle {
                         shard.execute(job)
                     }));
                     match reply {
-                        Ok(reply) => {
-                            if reply_tx.send(reply).is_err() {
-                                break;
-                            }
-                        }
+                        Ok(reply) => reply_tx.send(reply),
                         Err(_) => break,
                     }
                 }
@@ -689,7 +822,7 @@ impl WorkerHandle {
             .expect("spawn shard worker");
         WorkerHandle {
             job_tx: Some(job_tx),
-            reply_rx,
+            replies,
             handle: Some(handle),
         }
     }
@@ -714,9 +847,9 @@ impl WorkerHandle {
     /// Receive the next reply, in submission order (SPSC FIFO). Fails if
     /// the worker thread died without replying.
     fn collect(&self, shard_idx: usize) -> Result<ShardReply, CoreError> {
-        self.reply_rx
+        self.replies
             .recv()
-            .map_err(|_| CoreError::ShardWorker { shard: shard_idx })
+            .ok_or(CoreError::ShardWorker { shard: shard_idx })
     }
 }
 
@@ -909,6 +1042,17 @@ impl Round {
             ends_call: false,
         }
     }
+
+    /// Reset a recycled round for reuse (see `ShardedService::take_round`)
+    /// — counters zeroed, queued-job vectors emptied with their capacity
+    /// kept, so a pooled round re-enters the pipeline without allocating.
+    fn reset(&mut self, n_shards: usize) {
+        self.expected.clear();
+        self.expected.resize(n_shards, 0);
+        self.queued.iter_mut().for_each(Vec::clear);
+        self.queued.resize_with(n_shards, Vec::new);
+        self.ends_call = false;
+    }
 }
 
 /// One settled delivery waiting in the outbox. Folding settles releases
@@ -944,7 +1088,112 @@ impl std::hash::Hasher for SplitMixHasher {
     }
 }
 
-type RouteMap = HashMap<SubjectId, usize, std::hash::BuildHasherDefault<SplitMixHasher>>;
+/// Overflow tier of the [`RouteTable`]: a `splitmix64`-hashed map for the
+/// sparse subject ids above [`RouteTable::DIRECT_CAP`].
+type OverflowMap = HashMap<SubjectId, u32, std::hash::BuildHasherDefault<SplitMixHasher>>;
+
+/// The dense subject → shard routing table of the ingest hot path.
+///
+/// Small subject ids (the overwhelmingly common case — registration
+/// assigns them densely in practice) resolve through `direct`, a flat
+/// `Vec<u32>` indexed by the raw id where [`RouteTable::UNROUTED`] marks
+/// "unknown or retired": one bounds check plus one load per event, no
+/// hashing. Ids at or above [`RouteTable::DIRECT_CAP`] fall back to a
+/// `splitmix64`-hashed overflow map so a single huge id cannot balloon
+/// the flat table. Both tiers return the shard index; an absent entry is
+/// the atomic unknown-subject rejection path of
+/// [`ShardedService::push_batch`].
+///
+/// The table is rebuilt wholesale at routing boundaries (build, epoch
+/// activation, restore) and its buffers are retained across rebuilds —
+/// steady-state ingest never allocates here.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// Shard index per raw subject id; [`RouteTable::UNROUTED`] = not
+    /// routable. Sized to the largest routed id below the cap, +1.
+    direct: Vec<u32>,
+    /// Routes for subject ids ≥ [`RouteTable::DIRECT_CAP`].
+    overflow: OverflowMap,
+    /// Routable subjects across both tiers.
+    len: usize,
+}
+
+impl RouteTable {
+    /// Sentinel marking an unrouted slot in the direct tier (also why
+    /// [`RouteTable::insert`] rejects `u32::MAX` as a shard index).
+    pub const UNROUTED: u32 = u32::MAX;
+
+    /// Largest raw subject id (exclusive) served by the flat direct tier;
+    /// ids beyond it route through the hashed overflow tier. 2^20 slots =
+    /// 4 MiB — covers a million densely-registered subjects flat.
+    pub const DIRECT_CAP: u64 = 1 << 20;
+
+    /// An empty table (nothing routable).
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Number of routable subjects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no subject is routable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Unroute everything, keeping both tiers' capacity for the rebuild.
+    pub fn clear(&mut self) {
+        self.direct.iter_mut().for_each(|s| *s = Self::UNROUTED);
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Route `subject` to `shard` (last insert wins; `shard` must not be
+    /// `u32::MAX`, which is reserved as the unrouted sentinel).
+    pub fn insert(&mut self, subject: SubjectId, shard: u32) {
+        debug_assert_ne!(shard, Self::UNROUTED, "u32::MAX is the unrouted sentinel");
+        if subject.0 < Self::DIRECT_CAP {
+            let idx = subject.0 as usize;
+            if idx >= self.direct.len() {
+                self.direct.resize(idx + 1, Self::UNROUTED);
+            }
+            if self.direct[idx] == Self::UNROUTED {
+                self.len += 1;
+            }
+            self.direct[idx] = shard;
+        } else if self.overflow.insert(subject, shard).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// The shard `subject` routes to, or `None` for unknown/retired
+    /// subjects — the per-event hot-path probe.
+    #[inline]
+    pub fn lookup(&self, subject: SubjectId) -> Option<u32> {
+        let id = subject.0;
+        if (id as usize) < self.direct.len() {
+            let shard = self.direct[id as usize];
+            (shard != Self::UNROUTED).then_some(shard)
+        } else if id < Self::DIRECT_CAP {
+            None
+        } else {
+            self.overflow.get(&subject).copied()
+        }
+    }
+
+    /// Every routed `(subject, shard)` pair, direct tier first (ascending
+    /// id), then the overflow tier in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (SubjectId, u32)> + '_ {
+        self.direct
+            .iter()
+            .enumerate()
+            .filter(|(_, &shard)| shard != Self::UNROUTED)
+            .map(|(id, &shard)| (SubjectId(id as u64), shard))
+            .chain(self.overflow.iter().map(|(&s, &shard)| (s, shard)))
+    }
+}
 
 /// The online sharded multi-tenant service. Built by [`ServiceBuilder`].
 #[derive(Debug)]
@@ -962,16 +1211,22 @@ pub struct ShardedService {
     parallel: bool,
     /// Per-shard observable-state mirrors (see [`ShardMeta`]).
     meta: Vec<ShardMeta>,
-    /// Per shard, indexed by epoch: `(subject, pattern, per-release ε)`
-    /// to charge on every release of that epoch. Kept for *all* epochs —
-    /// releases of an earlier epoch can still settle after a later plan
-    /// was staged. Service-side so folding never touches a shard lock.
-    shard_charges: Vec<Vec<Vec<(SubjectId, PatternId, Epsilon)>>>,
+    /// Per shard, indexed by epoch: `(dense subject index, pattern,
+    /// per-release ε)` to charge on every release of that epoch. Kept for
+    /// *all* epochs — releases of an earlier epoch can still settle after
+    /// a later plan was staged. Service-side so folding never touches a
+    /// shard lock. In memory the subject is its dense intern index (the
+    /// settle path indexes `ledgers` directly); the checkpoint wire format
+    /// stays `SubjectId`-keyed, converted at the image boundary.
+    shard_charges: Vec<Vec<Vec<(u32, PatternId, Epsilon)>>>,
     /// Routing for *active* (non-retired) subjects.
-    assignment: RouteMap,
-    /// Per-subject epoch-aware accounting. Ledgers of retired subjects are
-    /// kept — their spend stays queryable and is never refunded.
-    ledgers: HashMap<SubjectId, EpochLedger<PatternId>>,
+    routes: RouteTable,
+    /// Per-subject epoch-aware accounting, indexed by the control plane's
+    /// dense intern index. Ledgers of retired subjects keep their slot —
+    /// their spend stays queryable and is never refunded. May lag
+    /// `ControlPlane::dense_count` for subjects staged but not yet
+    /// activated (they have no charges to settle yet).
+    ledgers: Vec<EpochLedger<PatternId>>,
     /// Epoch-aware accounting of the non-boolean consumer queries'
     /// dedicated budgets (argmax draws), charged per shard release.
     query_ledger: EpochLedger<QueryId>,
@@ -1005,6 +1260,21 @@ pub struct ShardedService {
     fill: Vec<Vec<Event>>,
     /// Emptied sub-batch buffers recycled from shard replies.
     spare: Vec<Vec<Event>>,
+    /// Persistent scratch for the per-batch route resolution — cleared
+    /// and refilled each `push_batch`, never reallocated once warmed.
+    route_scratch: Vec<u32>,
+    /// Recycled [`Round`]s: folding returns a round's vectors here so the
+    /// next submission reuses their capacity instead of allocating.
+    round_pool: Vec<Round>,
+    /// Persistent scratch for the releases one shard's fold settles.
+    settle_scratch: Vec<WindowRelease>,
+    /// Persistent scratch for the merged rows one fold drains.
+    merged_scratch: Vec<MergedRelease>,
+    /// The persistent no-subscription sink behind the legacy
+    /// return-value wrappers (`push_batch`, `advance_watermark`,
+    /// `finish`, `checkpoint`) — one sink reused across calls instead of
+    /// one constructed per call.
+    wrapper_sink: VecSink,
     n_types: usize,
     max_delay: TimeDelta,
     events_ingested: u64,
@@ -1095,13 +1365,14 @@ impl Clone for ShardedService {
         } else {
             Vec::new()
         };
+        let (fill, spare) = partition_buffers(self.shards.len());
         ShardedService {
             shards,
             workers,
             parallel: self.parallel,
             meta: self.meta.clone(),
             shard_charges: self.shard_charges.clone(),
-            assignment: self.assignment.clone(),
+            routes: self.routes.clone(),
             ledgers: self.ledgers.clone(),
             query_ledger: self.query_ledger.clone(),
             merge: self.merge.clone(),
@@ -1121,8 +1392,13 @@ impl Clone for ShardedService {
                 })
                 .collect(),
             deferred: None,
-            fill: vec![Vec::new(); self.shards.len()],
-            spare: Vec::new(),
+            fill,
+            spare,
+            route_scratch: Vec::new(),
+            round_pool: Vec::new(),
+            settle_scratch: Vec::new(),
+            merged_scratch: Vec::new(),
+            wrapper_sink: VecSink::subscribed([]),
             n_types: self.n_types,
             max_delay: self.max_delay,
             events_ingested: self.events_ingested,
@@ -1184,11 +1460,43 @@ impl ShardedService {
     /// [`CoreError::UnknownSubject`] rejection leaves the service — and
     /// the releases a partial batch would have produced — untouched.
     pub fn push_batch(&mut self, batch: Vec<KeyedEvent>) -> Result<BatchOutput, CoreError> {
-        // subscribed to no ids: BatchOutput carries releases only, so the
-        // per-query answer records would be built and dropped
-        let mut sink = VecSink::subscribed([]);
-        self.push_batch_into(batch, &mut sink)?;
-        Ok(sink.into())
+        self.with_wrapper_sink(|service, sink| service.push_batch_into(batch, sink))
+    }
+
+    /// A fresh round for submission, recycled from the pool when one is
+    /// available (its vectors keep their capacity across the pipeline).
+    fn take_round(&mut self) -> Round {
+        match self.round_pool.pop() {
+            Some(mut round) => {
+                round.reset(self.shards.len());
+                round
+            }
+            None => Round::new(self.shards.len()),
+        }
+    }
+
+    /// Run one sink-delivering operation through the persistent
+    /// no-subscription wrapper sink (subscribed to no query ids:
+    /// [`BatchOutput`] carries releases only, so answer records would be
+    /// built and dropped) and collect what it delivered. The sink lives
+    /// on the service — constructed once, reused by every legacy
+    /// return-value wrapper — and a release-less call moves nothing, so
+    /// the wrapper adds no per-call allocation. On error, deliveries the
+    /// failed call already made are discarded exactly as the per-call
+    /// sinks used to be.
+    fn with_wrapper_sink(
+        &mut self,
+        op: impl FnOnce(&mut Self, &mut VecSink) -> Result<(), CoreError>,
+    ) -> Result<BatchOutput, CoreError> {
+        let mut sink = std::mem::take(&mut self.wrapper_sink);
+        let result = op(self, &mut sink);
+        let output = BatchOutput {
+            shard_releases: std::mem::take(&mut sink.shard_releases),
+            merged: std::mem::take(&mut sink.merged),
+        };
+        sink.answers.clear();
+        self.wrapper_sink = sink;
+        result.map(|()| output)
     }
 
     /// Sink-delivering form of [`ShardedService::push_batch`]: every
@@ -1221,34 +1529,44 @@ impl ShardedService {
         self.fold_pending();
         self.flush_outbox(sink);
         self.take_deferred()?;
-        // atomic rejection: resolve every subject before any event moves
-        let routes: Vec<usize> = batch
-            .iter()
-            .map(|keyed| {
-                self.assignment
-                    .get(&keyed.subject)
-                    .copied()
-                    .ok_or(CoreError::UnknownSubject(keyed.subject.0))
-            })
-            .collect::<Result<_, _>>()?;
+        // atomic rejection: resolve every subject before any event moves.
+        // The resolution buffer is persistent scratch — cleared, refilled
+        // through the dense route table, and handed back below.
+        let mut routes = std::mem::take(&mut self.route_scratch);
+        routes.clear();
+        for keyed in &batch {
+            match self.routes.lookup(keyed.subject) {
+                Some(shard) => routes.push(shard),
+                None => {
+                    let unknown = keyed.subject.0;
+                    self.route_scratch = routes;
+                    return Err(CoreError::UnknownSubject(unknown));
+                }
+            }
+        }
         // journal the batch once it is known valid and before any event
         // moves: the log holds exactly the batches that were applied, and
         // a failed append rejects the batch as atomically as a bad subject
-        self.wal_append(|wal| wal.append_batch(&batch))?;
+        if let Err(e) = self.wal_append(|wal| wal.append_batch(&batch)) {
+            self.route_scratch = routes;
+            return Err(e);
+        }
         let n_events = batch.len() as u64;
-        let mut round = Round::new(self.shards.len());
+        let mut round = self.take_round();
         self.submit_poisons(&mut round);
         // partition into per-shard sub-batches in arrival order (event
         // ownership moves all the way through), mirroring each shard
         // buffer's clock; in parallel mode a filled sub-batch is submitted
         // immediately, overlapping shard work with the rest of the split
-        for (keyed, shard_idx) in batch.into_iter().zip(routes) {
+        for (keyed, &shard) in batch.into_iter().zip(&routes) {
+            let shard_idx = shard as usize;
             self.meta[shard_idx].observe(keyed.event.ts);
             self.fill[shard_idx].push(keyed.event);
             if self.parallel && self.fill[shard_idx].len() >= SUB_BATCH {
                 self.submit_fill(shard_idx, &mut round);
             }
         }
+        self.route_scratch = routes;
         // remainders, in shard order
         for shard_idx in 0..self.shards.len() {
             if !self.fill[shard_idx].is_empty() {
@@ -1278,9 +1596,7 @@ impl ShardedService {
     /// the global low watermark then drives every shard engine forward,
     /// releasing quiet windows.
     pub fn advance_watermark(&mut self, ts: Timestamp) -> Result<BatchOutput, CoreError> {
-        let mut sink = VecSink::subscribed([]);
-        self.advance_watermark_into(ts, &mut sink)?;
-        Ok(sink.into())
+        self.with_wrapper_sink(|service, sink| service.advance_watermark_into(ts, sink))
     }
 
     /// Sink-delivering form of [`ShardedService::advance_watermark`].
@@ -1299,7 +1615,7 @@ impl ShardedService {
         self.flush_outbox(sink);
         self.take_deferred()?;
         self.wal_append(|wal| wal.append(&WalRecord::Watermark(ts)))?;
-        let mut round = Round::new(self.shards.len());
+        let mut round = self.take_round();
         self.submit_poisons(&mut round);
         for shard_idx in 0..self.shards.len() {
             self.meta[shard_idx].observe(ts);
@@ -1323,9 +1639,7 @@ impl ShardedService {
     /// windows merge too), close the open windows, and merge. The service
     /// rejects ingestion afterwards.
     pub fn finish(&mut self) -> Result<BatchOutput, CoreError> {
-        let mut sink = VecSink::subscribed([]);
-        self.finish_into(&mut sink)?;
-        Ok(sink.into())
+        self.with_wrapper_sink(|service, sink| service.finish_into(sink))
     }
 
     /// Sink-delivering form of [`ShardedService::finish`].
@@ -1344,7 +1658,7 @@ impl ShardedService {
         self.take_deferred()?;
         self.wal_append(|wal| wal.append(&WalRecord::Finish))?;
         self.finished = true;
-        let mut flush = Round::new(self.shards.len());
+        let mut flush = self.take_round();
         for shard_idx in 0..self.shards.len() {
             self.submit_job(shard_idx, ShardJob::Flush, &mut flush);
         }
@@ -1357,7 +1671,7 @@ impl ShardedService {
             .map(|m| m.frontier)
             .max()
             .expect("n_shards >= 1");
-        let mut close = Round::new(self.shards.len());
+        let mut close = self.take_round();
         for shard_idx in 0..self.shards.len() {
             self.submit_job(shard_idx, ShardJob::Close(end), &mut close);
         }
@@ -1377,9 +1691,10 @@ impl ShardedService {
     /// the already-noised merged row, so computing them at fold time (even
     /// when no sink subscribes) changes no randomness downstream.
     fn drain_merged(&mut self) {
-        let mut rows = Vec::new();
+        let mut rows = std::mem::take(&mut self.merged_scratch);
+        rows.clear();
         self.merge.drain_into(&mut rows);
-        for mut row in rows {
+        for mut row in rows.drain(..) {
             self.control.observe_release(&row.protected_any);
             // a window tagged with an uninstalled epoch is runtime
             // corruption, not a caller bug: report it typed and deliver
@@ -1405,6 +1720,7 @@ impl ShardedService {
             }
             self.outbox.push_back(Delivery::Merged(row));
         }
+        self.merged_scratch = rows;
     }
 
     // ---- the runtime command surface (control plane) ----
@@ -1589,16 +1905,13 @@ impl ShardedService {
         // routing: newly active subjects become routable, retired ones
         // stop (their buffered events still drain through the engine)
         let n_shards = self.shards.len();
-        self.assignment = self
-            .control
-            .active_subjects()
-            .into_iter()
-            .map(|s| (s, Self::shard_for(s, n_shards)))
-            .collect();
+        self.routes.clear();
         for meta in &mut self.meta {
             meta.n_subjects = 0;
         }
-        for &shard_idx in self.assignment.values() {
+        for s in self.control.active_subjects() {
+            let shard_idx = Self::shard_for(s, n_shards);
+            self.routes.insert(s, shard_idx as u32);
             self.meta[shard_idx].n_subjects += 1;
         }
         self.install_plan(&plan)?;
@@ -1641,22 +1954,28 @@ impl ShardedService {
                 charges[epoch].clear();
             }
         }
-        let mut active: HashMap<SubjectId, Vec<(PatternId, Epsilon)>> = HashMap::new();
+        // every interned subject gets a ledger slot (dense-indexed; empty
+        // slots are inert — nothing charges them until a plan does)
+        if self.ledgers.len() < self.control.dense_count() {
+            self.ledgers
+                .resize_with(self.control.dense_count(), EpochLedger::new);
+        }
+        let mut active: Vec<Vec<(PatternId, Epsilon)>> = vec![Vec::new(); self.ledgers.len()];
         for &(subject, pid, eps) in &plan.charges {
-            let shard_idx = *self.assignment.get(&subject).ok_or_else(|| {
-                CoreError::InvalidService(format!(
+            let (Some(shard_idx), Some(dense)) = (
+                self.routes.lookup(subject),
+                self.control.dense_index(subject),
+            ) else {
+                return Err(CoreError::InvalidService(format!(
                     "epoch {} charges {subject} which is not routed to any shard",
                     plan.epoch
-                ))
-            })?;
-            self.shard_charges[shard_idx][epoch].push((subject, pid, eps));
-            active.entry(subject).or_default().push((pid, eps));
+                )));
+            };
+            self.shard_charges[shard_idx as usize][epoch].push((dense, pid, eps));
+            active[dense as usize].push((pid, eps));
         }
-        for subject in self.assignment.keys() {
-            self.ledgers.entry(*subject).or_default();
-        }
-        for (subject, ledger) in self.ledgers.iter_mut() {
-            let keep = active.remove(subject).unwrap_or_default();
+        for (dense, ledger) in self.ledgers.iter_mut().enumerate() {
+            let keep = std::mem::take(&mut active[dense]);
             for pid in ledger.keys() {
                 if !keep.iter().any(|(kept, _)| *kept == pid) {
                     ledger.retire(&pid, plan.epoch);
@@ -1674,7 +1993,14 @@ impl ShardedService {
     /// the fresh buffer while the full one travels to the worker, and the
     /// worker sends the emptied Vec back for reuse.
     fn submit_fill(&mut self, shard_idx: usize, round: &mut Round) {
-        let next = self.spare.pop().unwrap_or_default();
+        // the pool is pre-sized to cover every in-flight buffer (see
+        // `partition_buffers`), so the fallback should never fire — but
+        // if it does, start the replacement at full capacity instead of
+        // growing it push by push
+        let next = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(SUB_BATCH));
         let chunk = std::mem::replace(&mut self.fill[shard_idx], next);
         self.submit_job(shard_idx, ShardJob::Ingest(chunk), round);
     }
@@ -1730,15 +2056,11 @@ impl ShardedService {
         self.heal_workers();
     }
 
-    fn fold_round(&mut self, round: Round) {
-        let Round {
-            expected,
-            mut queued,
-            ends_call,
-        } = round;
+    fn fold_round(&mut self, mut round: Round) {
+        let mut releases = std::mem::take(&mut self.settle_scratch);
         for shard_idx in 0..self.shards.len() {
-            let mut releases = Vec::new();
-            for _ in 0..expected[shard_idx] {
+            releases.clear();
+            for _ in 0..round.expected[shard_idx] {
                 match self.workers[shard_idx].collect(shard_idx) {
                     Ok(reply) => self.absorb(shard_idx, reply, &mut releases),
                     Err(e) => {
@@ -1746,7 +2068,7 @@ impl ShardedService {
                         // heal by rebuilding this one shard from durability,
                         // recovering the round's missing releases in place
                         // so settlement continues in fault-free order
-                        queued[shard_idx].clear();
+                        round.queued[shard_idx].clear();
                         if let Err(heal_err) = self.heal_lost_replies(shard_idx, &mut releases, e) {
                             self.deferred.get_or_insert(heal_err);
                         }
@@ -1754,12 +2076,11 @@ impl ShardedService {
                     }
                 }
             }
-            let jobs = std::mem::take(&mut queued[shard_idx]);
-            if !jobs.is_empty() {
+            if !round.queued[shard_idx].is_empty() {
                 let shard = self.shards[shard_idx].clone();
                 match shard.lock() {
                     Ok(mut guard) => {
-                        for job in jobs {
+                        for job in round.queued[shard_idx].drain(..) {
                             // a poison that bounced off a dead worker is
                             // unachievable inline: executing it would
                             // panic the service thread, which the typed-
@@ -1778,7 +2099,14 @@ impl ShardedService {
                     }
                 };
             }
-            self.settle(shard_idx, releases);
+            self.settle(shard_idx, &mut releases);
+        }
+        self.settle_scratch = releases;
+        let ends_call = round.ends_call;
+        // recycle the round's vectors for the next submission (bounded:
+        // the pipeline holds at most a handful of rounds at once)
+        if self.round_pool.len() < 4 {
+            self.round_pool.push(round);
         }
         if ends_call {
             self.drain_merged();
@@ -1795,7 +2123,10 @@ impl ShardedService {
         meta.buffered = reply.buffered;
         meta.released = reply.released;
         if let Some(buf) = reply.recycled {
-            if self.spare.len() < 2 * self.shards.len() {
+            // retain enough spares to cover every buffer that can be in
+            // flight at once (a full queue, one executing, one filling,
+            // per shard) — fewer would force steady-state reallocation
+            if self.spare.len() < (QUEUE_DEPTH + 2) * self.shards.len() {
                 self.spare.push(buf);
             }
         }
@@ -2142,6 +2473,17 @@ impl ShardedService {
         self.wal.as_ref().map(|w| w.offset())
     }
 
+    /// The [`SubjectId`] behind one dense intern index. Total for every
+    /// index the service stores (the registry is append-only); a miss is
+    /// internal corruption, reported typed rather than panicking.
+    fn subject_for_dense(&self, dense: u32) -> Result<SubjectId, CoreError> {
+        self.control.subject_of_dense(dense).ok_or_else(|| {
+            CoreError::InvalidService(format!(
+                "dense subject index {dense} is not interned in the control plane"
+            ))
+        })
+    }
+
     /// Image the full service state into a [`ServiceCheckpoint`] — a
     /// **checkpoint-safe sync point**: every in-flight round folds and the
     /// outbox flushes into `sink` first, so the image never contains an
@@ -2189,13 +2531,26 @@ impl ShardedService {
                 released: m.released,
             })
             .collect();
-        // sorted so equal states encode byte-identically
-        let mut ledgers: Vec<_> = self
-            .ledgers
-            .iter()
-            .map(|(subject, ledger)| (*subject, ledger.snapshot()))
-            .collect();
+        // the wire format stays subject-keyed: dense indexes resolve back
+        // through the control plane at the image boundary, sorted so equal
+        // states encode byte-identically
+        let mut ledgers = Vec::with_capacity(self.ledgers.len());
+        for (dense, ledger) in self.ledgers.iter().enumerate() {
+            ledgers.push((self.subject_for_dense(dense as u32)?, ledger.snapshot()));
+        }
         ledgers.sort_unstable_by_key(|(subject, _)| *subject);
+        let mut shard_charges = Vec::with_capacity(self.shard_charges.len());
+        for per_epoch in &self.shard_charges {
+            let mut epochs = Vec::with_capacity(per_epoch.len());
+            for charges in per_epoch {
+                let mut wire = Vec::with_capacity(charges.len());
+                for &(dense, pid, eps) in charges {
+                    wire.push((self.subject_for_dense(dense)?, pid, eps));
+                }
+                epochs.push(wire);
+            }
+            shard_charges.push(epochs);
+        }
         let merge = MergeSnapshot {
             next_index: self.merge.next_index,
             rows: self
@@ -2216,7 +2571,7 @@ impl ShardedService {
             parallel: self.parallel,
             shards,
             meta,
-            shard_charges: self.shard_charges.clone(),
+            shard_charges,
             ledgers,
             query_ledger: self.query_ledger.snapshot(),
             merge,
@@ -2235,9 +2590,12 @@ impl ShardedService {
     /// returning the releases the drain delivered alongside the image
     /// (they are real output — a caller that discards them loses windows).
     pub fn checkpoint(&mut self) -> Result<(ServiceCheckpoint, BatchOutput), CoreError> {
-        let mut sink = VecSink::subscribed([]);
-        let checkpoint = self.checkpoint_into(&mut sink)?;
-        Ok((checkpoint, sink.into()))
+        let mut image = None;
+        let output = self.with_wrapper_sink(|service, sink| {
+            image = Some(service.checkpoint_into(sink)?);
+            Ok(())
+        })?;
+        Ok((image.expect("set on the Ok path above"), output))
     }
 
     /// Rebuild a service from a checkpoint image and the [`ServiceConfig`]
@@ -2278,19 +2636,54 @@ impl ShardedService {
             checkpoint.control,
         );
         let n_shards = config.n_shards;
-        let assignment: RouteMap = control
-            .active_subjects()
-            .into_iter()
-            .map(|s| (s, Self::shard_for(s, n_shards)))
-            .collect();
+        let mut routes = RouteTable::new();
+        for s in control.active_subjects() {
+            routes.insert(s, Self::shard_for(s, n_shards) as u32);
+        }
+        // the image is subject-keyed on the wire; re-key ledgers and
+        // charge schedules by the restored control plane's dense indexes
+        // (the intern table itself rides in the control snapshot)
+        let mut ledgers: Vec<EpochLedger<PatternId>> = Vec::new();
+        ledgers.resize_with(control.dense_count(), EpochLedger::new);
+        for (subject, snapshot) in checkpoint.ledgers {
+            let Some(dense) = control.dense_index(subject) else {
+                return Err(CoreError::Durability(format!(
+                    "checkpoint carries a ledger for {subject}, which the \
+                     imaged control plane never registered"
+                )));
+            };
+            ledgers[dense as usize] = EpochLedger::restore(snapshot);
+        }
+        let mut shard_charges = Vec::with_capacity(checkpoint.shard_charges.len());
+        for per_epoch in checkpoint.shard_charges {
+            let mut epochs = Vec::with_capacity(per_epoch.len());
+            for charges in per_epoch {
+                let mut dense_charges = Vec::with_capacity(charges.len());
+                for (subject, pid, eps) in charges {
+                    let Some(dense) = control.dense_index(subject) else {
+                        return Err(CoreError::Durability(format!(
+                            "checkpoint charge schedule references {subject}, \
+                             which the imaged control plane never registered"
+                        )));
+                    };
+                    dense_charges.push((dense, pid, eps));
+                }
+                epochs.push(dense_charges);
+            }
+            shard_charges.push(epochs);
+        }
         let mut shards = Vec::with_capacity(n_shards);
         for image in checkpoint.shards {
+            // same pre-reservation as the builder: a recovered service
+            // honors the zero-allocation steady-state contract immediately
+            let mut buffer = ReorderBuffer::restore(image.buffer);
+            buffer.reserve(SUB_BATCH);
             shards.push(Arc::new(Mutex::new(Shard {
-                buffer: ReorderBuffer::restore(image.buffer),
+                buffer,
                 engine: StreamingEngine::restore(image.engine)?,
                 rng: DpRng::from_state(image.rng),
                 frontier: image.frontier,
-                ready: Vec::new(),
+                ready: Vec::with_capacity(SUB_BATCH),
             })));
         }
         let mut meta: Vec<ShardMeta> = checkpoint
@@ -2305,8 +2698,8 @@ impl ShardedService {
                 released: m.released,
             })
             .collect();
-        for &shard_idx in assignment.values() {
-            meta[shard_idx].n_subjects += 1;
+        for (_, shard_idx) in routes.iter() {
+            meta[shard_idx as usize].n_subjects += 1;
         }
         let merge = MergeState {
             n_shards,
@@ -2339,18 +2732,15 @@ impl ShardedService {
         } else {
             Vec::new()
         };
+        let (fill, spare) = partition_buffers(n_shards);
         Ok(ShardedService {
             shards,
             workers,
             parallel,
             meta,
-            shard_charges: checkpoint.shard_charges,
-            assignment,
-            ledgers: checkpoint
-                .ledgers
-                .into_iter()
-                .map(|(subject, ledger)| (subject, EpochLedger::restore(ledger)))
-                .collect(),
+            shard_charges,
+            routes,
+            ledgers,
             query_ledger: EpochLedger::restore(checkpoint.query_ledger),
             merge,
             cores_by_epoch,
@@ -2361,8 +2751,13 @@ impl ShardedService {
             pending: VecDeque::new(),
             outbox: VecDeque::new(),
             deferred: None,
-            fill: vec![Vec::new(); n_shards],
-            spare: Vec::new(),
+            fill,
+            spare,
+            route_scratch: Vec::new(),
+            round_pool: Vec::new(),
+            settle_scratch: Vec::new(),
+            merged_scratch: Vec::new(),
+            wrapper_sink: VecSink::subscribed([]),
             n_types: config.n_types,
             max_delay: config.max_delay,
             events_ingested: checkpoint.events_ingested,
@@ -2423,7 +2818,7 @@ impl ShardedService {
     /// violation records the first [`CoreError`] for the next fallible
     /// call while deliveries keep flowing, so a corrupted plan cannot
     /// poison the whole service.
-    fn settle(&mut self, shard_idx: usize, releases: Vec<WindowRelease>) {
+    fn settle(&mut self, shard_idx: usize, releases: &mut Vec<WindowRelease>) {
         if releases.is_empty() {
             return;
         }
@@ -2443,11 +2838,12 @@ impl ShardedService {
                 i = j;
                 continue;
             };
-            for &(subject, pid, eps) in charges {
-                let Some(ledger) = self.ledgers.get_mut(&subject) else {
+            for &(dense, pid, eps) in charges {
+                let Some(ledger) = self.ledgers.get_mut(dense as usize) else {
                     self.deferred
                         .get_or_insert(CoreError::InvalidService(format!(
-                            "epoch {epoch} charges subject {subject} which has no budget ledger"
+                            "epoch {epoch} charges dense subject index {dense} \
+                             which has no budget ledger"
                         )));
                     continue;
                 };
@@ -2470,7 +2866,7 @@ impl ShardedService {
             }
             i = j;
         }
-        for release in releases {
+        for release in releases.drain(..) {
             self.merge.observe(&release);
             self.outbox.push_back(Delivery::Shard(ShardRelease {
                 shard: shard_idx,
@@ -2504,19 +2900,24 @@ impl ShardedService {
     /// precisely the reorder buffer's clock (late arrivals below the
     /// watermark never raise it).
     fn low_watermark_unsynced(&self) -> Option<Timestamp> {
-        let active: Vec<Option<Timestamp>> = self
-            .meta
-            .iter()
-            .filter(|m| m.n_subjects > 0)
-            .map(|m| m.watermark(self.max_delay))
-            .collect();
-        if active.is_empty() {
-            return None;
+        // a pure fold over the mirrors (no scratch): `None` when no shard
+        // has subjects, or when any subject-bearing shard has not yet
+        // observed stream time; the minimum watermark otherwise
+        let mut low: Option<Timestamp> = None;
+        let mut any_active = false;
+        for m in self.meta.iter().filter(|m| m.n_subjects > 0) {
+            any_active = true;
+            let wm = m.watermark(self.max_delay)?;
+            low = Some(match low {
+                Some(l) if l <= wm => l,
+                _ => wm,
+            });
         }
-        active
-            .into_iter()
-            .collect::<Option<Vec<_>>>()
-            .and_then(|wms| wms.into_iter().min())
+        if any_active {
+            low
+        } else {
+            None
+        }
     }
 
     fn ensure_live(&self) -> Result<(), CoreError> {
@@ -2575,7 +2976,7 @@ impl ShardedService {
 
     /// The *active* (non-retired) subjects, in id order.
     pub fn subjects(&self) -> Vec<SubjectId> {
-        let mut ids: Vec<SubjectId> = self.assignment.keys().copied().collect();
+        let mut ids: Vec<SubjectId> = self.routes.iter().map(|(subject, _)| subject).collect();
         ids.sort_unstable();
         ids
     }
@@ -2583,7 +2984,7 @@ impl ShardedService {
     /// The shard an active subject's events are routed to; `None` for
     /// unknown or retired subjects.
     pub fn subject_shard(&self, subject: SubjectId) -> Option<usize> {
-        self.assignment.get(&subject).copied()
+        self.routes.lookup(subject).map(|shard| shard as usize)
     }
 
     /// Budget spent so far *for one subject* on one of their patterns
@@ -2602,7 +3003,8 @@ impl ShardedService {
     /// spend that is already irrevocably committed on the shards.
     pub fn budget_spent(&mut self, subject: SubjectId, pattern: PatternId) -> Option<Epsilon> {
         self.fold_pending();
-        self.ledgers.get(&subject)?.try_spent(&pattern)
+        let dense = self.control.dense_index(subject)?;
+        self.ledgers.get(dense as usize)?.try_spent(&pattern)
     }
 
     /// Budget `subject` spent on `pattern` inside one epoch (`None` under
@@ -2615,7 +3017,10 @@ impl ShardedService {
         epoch: u64,
     ) -> Option<Epsilon> {
         self.fold_pending();
-        self.ledgers.get(&subject)?.spent_in_epoch(&pattern, epoch)
+        let dense = self.control.dense_index(subject)?;
+        self.ledgers
+            .get(dense as usize)?
+            .spent_in_epoch(&pattern, epoch)
     }
 
     /// Total events accepted by `push_batch` so far (dropped ones

@@ -26,6 +26,21 @@
 //! construction (and verified equivalent under a seeded
 //! [`DpRng`] in the test suite).
 //!
+//! # Allocation contract
+//!
+//! The drain-style entry points ([`StreamingEngine::push_into`],
+//! [`StreamingEngine::advance_watermark_into`]) are the per-event hot
+//! path of the sharded service above this layer, and they uphold a
+//! strict contract: **an event (or heartbeat) that closes no window
+//! performs no heap allocation.** Closed-window rows land in a
+//! persistent `closed_scratch` buffer that is drained and handed back on
+//! every call, and releases append into the *caller's* reused buffer —
+//! the only allocating work left is building the released window's
+//! protected view, which happens exactly once per window close, never
+//! per event. The sharded service's CI-gated zero-allocation ingest
+//! measurement (`bench-json --alloc` under a counting global allocator)
+//! bottoms out in this contract.
+//!
 //! [`FlipTable`]: crate::protect::FlipTable
 
 use std::collections::VecDeque;

@@ -709,6 +709,66 @@ mod tests {
             }
         }
 
+        /// The dense-index refactor property: a per-subject ledger table
+        /// keyed by dense interned indices (`Vec<EpochLedger>` plus a
+        /// subject→index map — the sharded service's zero-hash layout) is
+        /// observationally equal to the `HashMap`-keyed table it
+        /// replaced: same accept/refuse decisions, same spends, same
+        /// epoch decomposition, and identical sorted-by-subject
+        /// checkpoint snapshots.
+        #[test]
+        fn dense_ledger_table_matches_hashmap_table(
+            cap in 0.5f64..2.0,
+            ops in proptest::collection::vec(
+                (0u64..6, 0u32..3, 0u64..4, 0.1f64..2.0, 1usize..3, 0u8..3), 1..60),
+        ) {
+            let cap = Epsilon::new(cap).unwrap();
+            let mut sparse: HashMap<u64, EpochLedger<u32>> = HashMap::new();
+            let mut index: HashMap<u64, usize> = HashMap::new();
+            let mut dense: Vec<EpochLedger<u32>> = Vec::new();
+            for (subject, pattern, epoch, amount, times, op) in ops {
+                let amount = Epsilon::new(amount).unwrap();
+                // intern on first touch: the control plane assigns each
+                // subject its dense index exactly once
+                let slot = *index.entry(subject).or_insert_with(|| {
+                    dense.push(EpochLedger::new());
+                    dense.len() - 1
+                });
+                let model = sparse.entry(subject).or_default();
+                let table = &mut dense[slot];
+                match op {
+                    0 => prop_assert_eq!(
+                        model.register(pattern, cap).is_ok(),
+                        table.register(pattern, cap).is_ok()
+                    ),
+                    1 => prop_assert_eq!(
+                        model.charge_releases(pattern, epoch, amount, times).is_ok(),
+                        table.charge_releases(pattern, epoch, amount, times).is_ok()
+                    ),
+                    _ => {
+                        model.retire(&pattern, epoch);
+                        table.retire(&pattern, epoch);
+                    }
+                }
+                // every observation agrees after every operation
+                prop_assert_eq!(model.is_active(&pattern), table.is_active(&pattern));
+                prop_assert_eq!(model.try_spent(&pattern), table.try_spent(&pattern));
+                prop_assert_eq!(model.epochs(&pattern), table.epochs(&pattern));
+                prop_assert_eq!(
+                    model.spent_in_epoch(&pattern, epoch),
+                    table.spent_in_epoch(&pattern, epoch)
+                );
+            }
+            // the dense table iterated through the subject→index map in
+            // subject order reproduces the sparse table's checkpoint
+            // image bit for bit
+            let mut subjects: Vec<u64> = index.keys().copied().collect();
+            subjects.sort_unstable();
+            for s in subjects {
+                prop_assert_eq!(sparse[&s].snapshot(), dense[index[&s]].snapshot());
+            }
+        }
+
         #[test]
         fn split_even_conserves(total in 0.0f64..100.0, n in 1usize..50) {
             let e = Epsilon::new(total).unwrap();

@@ -15,6 +15,7 @@
 
 use std::time::Instant;
 
+use crate::alloc_meter;
 use pdp_cep::Pattern;
 use pdp_core::{
     quiet_poison_panics, write_checkpoint, CoreError, CountingSink, FaultPlan, KeyedEvent, PpmKind,
@@ -32,6 +33,29 @@ const WINDOW: TimeDelta = TimeDelta::from_millis(100);
 const MAX_DELAY: TimeDelta = TimeDelta::from_millis(40);
 const BATCH: usize = 512;
 const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Window length of the `--alloc` cells: large enough that the whole
+/// warmup + measured workload (plus reorder slack) fits inside one open
+/// window, so the measured region performs pure ingest — zero window
+/// closes, zero release-path work. The release path is allowed to
+/// allocate (it produces output); the steady-state ingest path is not.
+const ALLOC_WINDOW: TimeDelta = TimeDelta::from_millis(1 << 21);
+
+/// Warmup batches == measured batches per `--alloc` cell (full mode).
+/// The warmup segment is shaped identically to the measured one, so
+/// every lazily-grown buffer (route scratch, sub-batch pool, reply
+/// queue, WAL encode buffer) reaches its high-water mark before the
+/// counters start.
+const ALLOC_BATCHES_FULL: usize = 48;
+
+/// Warmup/measured batches per `--alloc` cell in smoke mode.
+const ALLOC_BATCHES_SMOKE: usize = 4;
+
+/// WAL-on `--alloc` gate: a durable round may cost at most this many
+/// allocations per *batch* (per-batch-constant, never per-event). In
+/// practice the persistent encode buffer makes it 0 after warmup; the
+/// slack absorbs OS-level jitter without letting per-event costs hide.
+const ALLOC_WAL_PER_BATCH_CAP: u64 = 8;
 
 /// Knobs of one runner invocation.
 #[derive(Debug, Clone)]
@@ -71,6 +95,15 @@ pub struct BenchJsonConfig {
     /// machinery's overhead on a run where every batch append fails
     /// transiently once.
     pub recovery: bool,
+    /// Also measure the `--alloc` scenario: steady-state ingest under
+    /// the counting global allocator ([`crate::alloc_meter`]), at every
+    /// shard count with the WAL off and on. The runner *fails* if a
+    /// WAL-off cell allocates at all, or a WAL-on cell allocates more
+    /// than a per-batch constant — the zero-allocation claim is a gate,
+    /// not a footnote. Requires the counting allocator to be installed
+    /// (the `experiments` binary installs it; library unit tests do
+    /// not, and the self-audit refuses to report meaningless zeros).
+    pub alloc: bool,
 }
 
 impl BenchJsonConfig {
@@ -87,6 +120,7 @@ impl BenchJsonConfig {
             scaling: false,
             durability: false,
             recovery: false,
+            alloc: false,
         }
     }
 
@@ -103,6 +137,7 @@ impl BenchJsonConfig {
             scaling: false,
             durability: false,
             recovery: false,
+            alloc: false,
         }
     }
 }
@@ -125,6 +160,32 @@ pub struct BenchCell {
     /// and on artifacts written before the field existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub churn_compile_ms: Option<f64>,
+}
+
+/// One `--alloc` measurement: heap acquisition of a warmed service's
+/// steady-state ingest, counted by the process-global
+/// [`crate::alloc_meter`] across *all* threads (shard workers included).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AllocCell {
+    /// Shard count of the service under test.
+    pub shards: usize,
+    /// Whether a write-ahead log was attached.
+    pub wal: bool,
+    /// Whether the parallel worker pool actually ran (a 1-core host
+    /// runs every cell inline; the `zero_alloc` regression test forces
+    /// parallel mode so both paths stay pinned regardless of host).
+    pub parallel: bool,
+    /// Events pushed in the measured segment.
+    pub events: u64,
+    /// Allocation calls (`alloc`/`alloc_zeroed`/`realloc`) during the
+    /// measured segment, process-wide. The WAL-off gate: exactly 0.
+    pub allocs: u64,
+    /// Bytes those allocations requested.
+    pub bytes: u64,
+    /// `allocs / events` — the headline number.
+    pub allocs_per_event: f64,
+    /// `bytes / events`.
+    pub bytes_per_event: f64,
 }
 
 /// Reference throughput of the code *before* a perf PR, for speedup
@@ -221,6 +282,12 @@ pub struct BenchReport {
     /// artifacts, so they keep parsing.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub recovery: Option<BenchRecovery>,
+    /// Steady-state allocation cells (the `--alloc` scenario): per shard
+    /// count, WAL off then on. Present only when the runner was invoked
+    /// with `--alloc` under the counting allocator; absent on earlier
+    /// artifacts, so they keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub alloc: Option<Vec<AllocCell>>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -234,6 +301,10 @@ pub struct BenchReport {
 const BASELINE_MAIN_INGEST: [f64; 3] = [2_130_000.0, 888_940.0, 506_950.0];
 
 fn service(n_shards: usize) -> Result<ShardedService, CoreError> {
+    service_with_window(n_shards, WINDOW)
+}
+
+fn service_with_window(n_shards: usize, window: TimeDelta) -> Result<ShardedService, CoreError> {
     let mut builder = ServiceBuilder::new(ServiceConfig {
         n_shards,
         n_types: N_TYPES,
@@ -241,7 +312,7 @@ fn service(n_shards: usize) -> Result<ShardedService, CoreError> {
         ppm: PpmKind::Uniform {
             eps: Epsilon::new(1.0).unwrap(),
         },
-        streaming: StreamingConfig::tumbling(WINDOW),
+        streaming: StreamingConfig::tumbling(window),
         max_delay: MAX_DELAY,
         seed: 1234,
         history_window: 0,
@@ -511,6 +582,118 @@ fn measure_recovery(reps: usize, smoke: bool) -> Result<BenchRecovery, CoreError
     })
 }
 
+/// The `--alloc` scenario: how much heap a *warmed* service's ingest
+/// acquires, counted by the process-global counting allocator.
+///
+/// The workload runs inside one enormous open window
+/// (`ALLOC_WINDOW`, ~35 min), so the measured region is pure steady-state
+/// ingest — routing, WAL append (when `wal`), sub-batch partitioning,
+/// pipelined shard execution, reorder buffering, open-window updates —
+/// with zero window closes and therefore zero legitimate release-path
+/// allocation. The warmup segment is shaped identically to the measured
+/// one (same batch count, same arrival law), so every lazily-grown
+/// buffer hits its high-water mark before the first counter read; both
+/// segments' batches are pre-built before warmup so the harness itself
+/// allocates nothing inside the measured region.
+///
+/// `force_parallel` pins the parallel worker pool on even on a 1-core
+/// host (the regression test uses it to cover both execution modes);
+/// `false` keeps whatever mode the service chose, which is what the
+/// committed cells report.
+pub fn measure_alloc(
+    n_shards: usize,
+    wal: bool,
+    force_parallel: bool,
+    n_batches: usize,
+) -> Result<AllocCell, String> {
+    if !alloc_meter::is_installed() {
+        return Err(
+            "--alloc needs the counting allocator, which this process did not install \
+             as #[global_allocator]; run through the `experiments` binary or the \
+             zero_alloc test harness"
+                .to_owned(),
+        );
+    }
+    let n_events = 2 * n_batches * BATCH;
+    // the jittered arrival law advances ~3 ms per event; the whole run
+    // (plus reorder slack) must fit inside the one open window
+    assert!(
+        (n_events as i64) * 3 + MAX_DELAY.millis() < ALLOC_WINDOW.millis(),
+        "alloc workload must stay inside a single open window"
+    );
+    let mut svc = service_with_window(n_shards, ALLOC_WINDOW).map_err(|e| e.to_string())?;
+    if force_parallel {
+        svc.set_parallel(true);
+    }
+    let dir = std::env::temp_dir().join(format!("pdp_bench_alloc_{}", std::process::id()));
+    if wal {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let wal_path = dir.join(format!("alloc_{n_shards}.wal"));
+        svc.attach_wal(WalWriter::create(&wal_path).map_err(|e| e.to_string())?);
+    }
+    // pre-chunk both segments: the measured loop moves prebuilt batches,
+    // it never clones slices
+    let events = arrivals(n_events);
+    let mut warmup: Vec<Vec<KeyedEvent>> =
+        events.chunks(BATCH).map(<[KeyedEvent]>::to_vec).collect();
+    let measured = warmup.split_off(n_batches);
+    for batch in warmup {
+        svc.push_batch(batch).map_err(|e| e.to_string())?;
+    }
+    svc.sync().map_err(|e| e.to_string())?;
+    let parallel = svc.is_parallel();
+    // diagnostic rerun support: PDP_ALLOC_TRAP=1 prints the backtrace of
+    // the first measured-region allocation (see `alloc_meter`)
+    let trap = std::env::var_os("PDP_ALLOC_TRAP").is_some();
+    let before = alloc_meter::counters();
+    if trap {
+        alloc_meter::trap_next_alloc();
+    }
+    for batch in measured {
+        svc.push_batch(batch).map_err(|e| e.to_string())?;
+    }
+    svc.sync().map_err(|e| e.to_string())?;
+    let delta = alloc_meter::counters().since(before);
+    alloc_meter::clear_trap();
+    drop(svc);
+    if wal {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let events = (n_batches * BATCH) as u64;
+    Ok(AllocCell {
+        shards: n_shards,
+        wal,
+        parallel,
+        events,
+        allocs: delta.allocs,
+        bytes: delta.bytes,
+        allocs_per_event: delta.allocs as f64 / events as f64,
+        bytes_per_event: delta.bytes as f64 / events as f64,
+    })
+}
+
+/// The gate [`run_bench_json`] applies to every `--alloc` cell (also
+/// used by CI and the `zero_alloc` regression test): WAL-off steady
+/// state must acquire **no** heap at all; WAL-on may cost at most a
+/// small per-batch constant, never a per-event one.
+pub fn check_alloc_cell(cell: &AllocCell, n_batches: usize) -> Result<(), String> {
+    if !cell.wal && cell.allocs != 0 {
+        return Err(format!(
+            "zero-allocation gate failed: {} shard(s), WAL off, steady-state ingest \
+             performed {} allocations ({} bytes) over {} events",
+            cell.shards, cell.allocs, cell.bytes, cell.events
+        ));
+    }
+    if cell.wal && cell.allocs > ALLOC_WAL_PER_BATCH_CAP * n_batches as u64 {
+        return Err(format!(
+            "WAL-on allocation gate failed: {} shard(s) allocated {} times over {} \
+             batches (cap {ALLOC_WAL_PER_BATCH_CAP} per batch) — a per-event cost is hiding",
+            cell.shards, cell.allocs, n_batches
+        ));
+    }
+    Ok(())
+}
+
 /// The `--churn` scenario: the same ingest workload, but every few
 /// batches one tenant registers a fresh private pattern, the previous
 /// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
@@ -582,6 +765,12 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     let mut churn = config.churn.then(Vec::new);
     let mut sink = config.sink.then(Vec::new);
     let mut durability = config.durability.then(Vec::new);
+    let mut alloc = config.alloc.then(Vec::new);
+    let alloc_batches = if config.smoke {
+        ALLOC_BATCHES_SMOKE
+    } else {
+        ALLOC_BATCHES_FULL
+    };
     for &n_shards in &SHARD_COUNTS {
         eprintln!(
             "bench-json: ingest @ {n_shards} shard(s), {} events…",
@@ -618,6 +807,21 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
             cells.push(
                 measure_durability(n_shards, &events, config.reps).map_err(|e| e.to_string())?,
             );
+        }
+        if let Some(cells) = alloc.as_mut() {
+            for wal in [false, true] {
+                eprintln!(
+                    "bench-json: alloc-tracked ingest @ {n_shards} shard(s), WAL {}, \
+                     {} warmup + {} measured batches…",
+                    if wal { "on" } else { "off" },
+                    alloc_batches,
+                    alloc_batches
+                );
+                let cell = measure_alloc(n_shards, wal, false, alloc_batches)?;
+                // gate immediately: a failed cell fails the whole run
+                check_alloc_cell(&cell, alloc_batches)?;
+                cells.push(cell);
+            }
         }
     }
     let recovery = if config.recovery {
@@ -669,6 +873,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         scaling,
         durability,
         recovery,
+        alloc,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -719,6 +924,14 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     if config.recovery && parsed.recovery.as_ref().is_none_or(|r| r.heal.is_empty()) {
         return Err(format!("{} round-trip lost recovery cells", config.out));
     }
+    if config.alloc
+        && parsed
+            .alloc
+            .as_ref()
+            .is_none_or(|cells| cells.len() != 2 * SHARD_COUNTS.len())
+    {
+        return Err(format!("{} round-trip lost alloc cells", config.out));
+    }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
 }
@@ -748,6 +961,7 @@ mod tests {
         assert!(report.scaling.is_none(), "scaling is opt-in");
         assert!(report.durability.is_none(), "durability is opt-in");
         assert!(report.recovery.is_none(), "recovery is opt-in");
+        assert!(report.alloc.is_none(), "alloc is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -906,7 +1120,22 @@ mod tests {
         assert!(parsed.scaling.is_none());
         assert!(parsed.durability.is_none());
         assert!(parsed.recovery.is_none());
+        assert!(parsed.alloc.is_none());
         assert!(parsed.baseline.is_none());
         assert!(parsed.ingest[0].churn_compile_ms.is_none());
+    }
+
+    /// Library unit-test binaries do not install the counting allocator,
+    /// so `--alloc` must refuse to run instead of reporting zeros that
+    /// mean "nobody was counting". (The positive path — real counting,
+    /// real gating — lives in the `zero_alloc` integration test, whose
+    /// binary does install it.)
+    #[test]
+    fn alloc_cells_refuse_to_run_without_the_counting_allocator() {
+        let err = measure_alloc(1, false, false, 1).unwrap_err();
+        assert!(
+            err.contains("counting allocator"),
+            "self-audit must name the missing allocator: {err}"
+        );
     }
 }

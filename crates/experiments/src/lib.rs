@@ -23,12 +23,17 @@
 //! * [`bench_json`] — the throughput runner behind
 //!   `experiments bench-json`: measures the sharded hot path (ingest
 //!   events/s, release windows/s at 1/4/8 shards) and writes
-//!   `BENCH_hotpath.json`, the repo's measured perf trajectory.
+//!   `BENCH_hotpath.json`, the repo's measured perf trajectory;
+//! * [`alloc_meter`] — the counting global allocator behind
+//!   `bench-json --alloc` and the `zero_alloc` regression test: turns
+//!   "steady-state ingest does not allocate" from a claim into a
+//!   measured, CI-gated number.
 //!
 //! The `experiments` binary drives everything and prints the tables
 //! recorded in EXPERIMENTS.md.
 
 pub mod ablations;
+pub mod alloc_meter;
 pub mod bench_json;
 pub mod fig4;
 pub mod runner;

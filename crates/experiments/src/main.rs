@@ -4,8 +4,9 @@
 //! experiments fig4 [--dataset taxi|synthetic|both] [--trials N] [--seed S] [--quick]
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
-//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--recovery] [--out PATH]
-//!                        # hot-path throughput → BENCH_hotpath.json
+//! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--recovery]
+//!                        [--alloc] [--out PATH]
+//!                        # hot-path throughput (+ allocation gate) → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
 //!
@@ -20,11 +21,18 @@ use std::env;
 use std::fs;
 
 use pdp_experiments::ablations::{self, AblationConfig};
+use pdp_experiments::alloc_meter::CountingAlloc;
 use pdp_experiments::bench_json::{run_bench_json, BenchJsonConfig};
 use pdp_experiments::fig4::{run_fig4, Dataset, Fig4Config};
 use pdp_experiments::sharded::run_fig4_sharded;
 use pdp_experiments::streaming::run_fig4_streaming;
 use pdp_metrics::{markdown_table, text_table};
+
+/// The counting allocator behind `bench-json --alloc`: two relaxed
+/// atomic adds per allocation, zero on the (allocation-free) hot path —
+/// cheap enough to leave installed for every command.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// How the Fig. 4 cells are served.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -78,6 +86,19 @@ fn main() {
                         println!(
                             "wal-on  {} shard(s): {:>12.0} events/s (write-ahead log attached)",
                             cell.shards, cell.per_sec
+                        );
+                    }
+                    for cell in report.alloc.iter().flatten() {
+                        println!(
+                            "alloc   {} shard(s), WAL {:>3}: {:.4} allocs/event, \
+                             {:.1} bytes/event ({} allocs over {} events, {})",
+                            cell.shards,
+                            if cell.wal { "on" } else { "off" },
+                            cell.allocs_per_event,
+                            cell.bytes_per_event,
+                            cell.allocs,
+                            cell.events,
+                            if cell.parallel { "parallel" } else { "inline" }
                         );
                     }
                     if let Some(recovery) = &report.recovery {
@@ -198,6 +219,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     config.scaling = args.iter().any(|a| a == "--scaling");
     config.durability = args.iter().any(|a| a == "--durability");
     config.recovery = args.iter().any(|a| a == "--recovery");
+    config.alloc = args.iter().any(|a| a == "--alloc");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

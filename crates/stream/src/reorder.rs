@@ -156,6 +156,15 @@ impl ReorderBuffer {
         n
     }
 
+    /// Pre-reserve heap capacity for at least `additional` more buffered
+    /// events. Hosts with a zero-allocation steady-state contract (the
+    /// sharded service) call this at construction so the heap reaches its
+    /// expected high-water capacity before measurement starts instead of
+    /// growing lazily mid-ingest.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// How many events arrived too late and were dropped.
     pub fn dropped(&self) -> u64 {
         self.dropped
