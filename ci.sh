@@ -62,12 +62,46 @@ cargo bench --no-run
 # scenario's time-to-heal and WAL-retry cells, and the --alloc
 # scenario's counting-allocator gate (the runner itself FAILS if warmed
 # steady-state ingest takes a single heap allocation with the WAL off,
-# or more than a small per-batch constant with it on) — and fails if
-# the artifact it writes does not parse back (the runner validates its
-# own output, all scenario cells included).
-echo "==> bench-json smoke (with churn + sink + scaling + durability + recovery + alloc scenarios)"
+# or more than a small per-batch constant with it on), and the
+# --latency scenario's TCP-edge tail-latency cells (the runner FAILS if
+# a cell's histograms are empty or its quantiles are not monotone) —
+# and fails if the artifact it writes does not parse back (the runner
+# validates its own output, all scenario cells included).
+echo "==> bench-json smoke (with churn + sink + scaling + durability + recovery + alloc + latency scenarios)"
 smoke_out="$(mktemp -t bench_smoke.XXXXXX.json)"
-cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --recovery --alloc --out "$smoke_out"
+cargo run --release -q -p pdp-experiments -- bench-json --smoke --churn --sink --scaling --durability --recovery --alloc --latency --out "$smoke_out"
 rm -f "$smoke_out"
+
+# The service-edge anchor, same rationale as the durability/chaos ones:
+# the same seeded schedule pushed through a real TCP server over
+# loopback must leave the service bit-for-bit identical to the
+# in-process run — deliveries, budget spends, watermark and epoch
+# included — and the adversarial suite must keep every malformed,
+# misordered or mis-directed frame a *typed* rejection rather than a
+# hang or a partial ingest.
+echo "==> TCP loopback equivalence + adversarial protocol anchors"
+cargo test -q -p pdp-server --test server_loopback --test adversarial_protocol
+
+# The deployable binaries themselves: a real pdp-server process on an
+# ephemeral port, a seeded pdp-load churn run against it (subscriptions,
+# watermarks, epoch transitions), then a graceful remote shutdown —
+# the gate fails on a non-zero exit, zero acked batches, or a server
+# that never comes down.
+echo "==> pdp-server / pdp-load loopback smoke"
+server_log="$(mktemp -t pdp_server.XXXXXX.log)"
+cargo run --release -q -p pdp-server --bin pdp-server -- --addr 127.0.0.1:0 --shards 4 >"$server_log" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^pdp-server listening on //p' "$server_log")"
+  [[ -n "$addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "pdp-server died before binding"; cat "$server_log"; exit 1; }
+  sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "pdp-server never announced its address"; cat "$server_log"; exit 1; }
+cargo run --release -q -p pdp-server --bin pdp-load -- --addr "$addr" \
+  --connections 3 --batches 12 --batch-size 64 --churn-every 5 --watermark-every 4 --shutdown
+wait "$server_pid"
+rm -f "$server_log"
 
 echo "CI green."

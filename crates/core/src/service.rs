@@ -1682,6 +1682,48 @@ impl ShardedService {
         self.take_deferred()
     }
 
+    /// Graceful close — the one correct teardown path. Equivalent to
+    /// calling [`ShardedService::finish`] (if the stream is still open)
+    /// followed by a WAL fsync, in the right order:
+    ///
+    /// 1. the pipeline drains and every in-flight round settles;
+    /// 2. every shard flushes its reorder buffer and closes its open
+    ///    windows on one aligned final frontier (skipped when the service
+    ///    is already finished — `shutdown` is idempotent);
+    /// 3. everything settled is delivered (here into the legacy
+    ///    [`BatchOutput`]; see [`ShardedService::shutdown_into`] for the
+    ///    sink form);
+    /// 4. the attached WAL, if any, is fsynced — the true durability
+    ///    barrier, so nothing accepted before the shutdown can be lost.
+    ///
+    /// Callers no longer need to know to call `sync()` / `finish` / the
+    /// WAL's own [`WalWriter::sync`] in the right order; the network
+    /// edge (`pdp-server`) tears the service down through exactly this
+    /// path.
+    pub fn shutdown(&mut self) -> Result<BatchOutput, CoreError> {
+        self.with_wrapper_sink(|service, sink| service.shutdown_into(sink))
+    }
+
+    /// Sink-delivering form of [`ShardedService::shutdown`]: settles the
+    /// pipeline, finishes the stream (unless already finished), flushes
+    /// every pending delivery into `sink`, and fsyncs the WAL. Idempotent:
+    /// a second call only re-drains (a no-op on an idle service) and
+    /// re-fsyncs.
+    pub fn shutdown_into<S: ReleaseSink>(&mut self, sink: &mut S) -> Result<(), CoreError> {
+        if self.finished {
+            // already sealed: just settle anything in flight and deliver
+            self.fold_pending();
+            self.flush_outbox(sink);
+            self.take_deferred()?;
+        } else {
+            self.finish_into(sink)?;
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
     /// Settle fully merged windows into the outbox — typed answers first
     /// (one [`QueryAnswer`] per active query, ascending id; subscription
     /// filtering happens at delivery), then the [`MergedRelease`] itself —
@@ -3483,6 +3525,44 @@ mod tests {
             .merged
             .iter()
             .all(|m| m.epoch != 2 || m.answers_any.len() == 1));
+    }
+
+    #[test]
+    fn shutdown_equals_finish_plus_wal_fsync() {
+        // shutdown on an open service delivers exactly what finish would
+        let mut reference = builder(2).build().unwrap();
+        let batch = vec![ke(1, 0, 2), ke(2, 3, 5), ke(3, 2, 12)];
+        reference.push_batch(batch.clone()).unwrap();
+        let finished = reference.finish().unwrap();
+
+        let dir = std::env::temp_dir().join(format!("pdp_shutdown_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_path = dir.join("shutdown.wal");
+        let mut svc = builder(2).build().unwrap();
+        svc.attach_wal(WalWriter::create(&wal_path).unwrap());
+        svc.push_batch(batch).unwrap();
+        let closed = svc.shutdown().unwrap();
+        assert_eq!(closed, finished, "shutdown delivers what finish would");
+        // sealed: further ingestion is rejected, a second shutdown is fine
+        assert!(svc.push_batch(vec![ke(1, 0, 40)]).is_err());
+        let again = svc.shutdown().unwrap();
+        assert!(again.merged.is_empty() && again.shard_releases.is_empty());
+        // the log survived the fsync barrier and ends with Finish
+        let wal = svc.detach_wal().unwrap();
+        drop(wal);
+        let records = crate::durability::read_wal_from(&wal_path, 0).unwrap();
+        assert!(matches!(records.last(), Some(WalRecord::Finish)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_after_finish_is_a_noop_drain() {
+        let mut svc = builder(1).build().unwrap();
+        svc.push_batch(vec![ke(1, 0, 2)]).unwrap();
+        let finished = svc.finish().unwrap();
+        assert!(!finished.merged.is_empty());
+        let closed = svc.shutdown().unwrap();
+        assert!(closed.merged.is_empty(), "everything was already delivered");
     }
 
     #[test]

@@ -23,7 +23,8 @@ use pdp_core::{
     WalWriter,
 };
 use pdp_dp::{DpRng, Epsilon};
-use pdp_metrics::Alpha;
+use pdp_metrics::{Alpha, LatencyHistogram};
+use pdp_server::{serve, Client, ServerConfig};
 use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,13 @@ const WINDOW: TimeDelta = TimeDelta::from_millis(100);
 const MAX_DELAY: TimeDelta = TimeDelta::from_millis(40);
 const BATCH: usize = 512;
 const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Batch size of the `--latency` cells. Much smaller than the
+/// throughput [`BATCH`]: each push is one timed request/ack round trip,
+/// so small batches yield enough samples for tail quantiles (625 acks
+/// in full mode) and keep each sample an honest "one client call"
+/// latency rather than a half-megabyte bulk transfer.
+const LATENCY_BATCH: usize = 32;
 
 /// Window length of the `--alloc` cells: large enough that the whole
 /// warmup + measured workload (plus reorder slack) fits inside one open
@@ -104,6 +112,15 @@ pub struct BenchJsonConfig {
     /// (the `experiments` binary installs it; library unit tests do
     /// not, and the self-audit refuses to report meaningless zeros).
     pub alloc: bool,
+    /// Also measure the `--latency` scenario: tail latency through the
+    /// TCP service edge — the same workload pushed by a real
+    /// `pdp-server` client over loopback, recording ingest-ack round
+    /// trips and watermark-to-release-delivery times into the in-repo
+    /// log-bucketed histogram and reporting p50/p99/p999/max per shard
+    /// count. The runner *fails* if a cell's histograms are empty or
+    /// its quantiles are not monotone — a zeroed latency table must
+    /// never land in the artifact looking like a great result.
+    pub latency: bool,
 }
 
 impl BenchJsonConfig {
@@ -121,6 +138,7 @@ impl BenchJsonConfig {
             durability: false,
             recovery: false,
             alloc: false,
+            latency: false,
         }
     }
 
@@ -138,6 +156,7 @@ impl BenchJsonConfig {
             durability: false,
             recovery: false,
             alloc: false,
+            latency: false,
         }
     }
 }
@@ -186,6 +205,48 @@ pub struct AllocCell {
     pub allocs_per_event: f64,
     /// `bytes / events`.
     pub bytes_per_event: f64,
+}
+
+/// One `--latency` measurement: tail latency through the TCP service
+/// edge over loopback. Every sample is a full client round trip — frame
+/// encode, socket write, server decode + validate, owner-thread service
+/// call, ack encode, socket read — so the numbers are what a real
+/// consumer of `pdp-server` would observe, not an in-process lower
+/// bound. Quantiles come from [`pdp_metrics::LatencyHistogram`]
+/// (log-bucketed, ~2% worst-case relative error, upper-edge reads), so
+/// they are conservative: the true quantile is never above the reported
+/// one’s bucket edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyCell {
+    /// Shard count of the service under test.
+    pub shards: usize,
+    /// Whether the parallel worker pool actually ran.
+    pub parallel: bool,
+    /// Timed ingest round trips (push → ack).
+    pub samples: u64,
+    /// `Deliver*` frames received across the run (each timed watermark
+    /// advance that produced at least one contributes a delivery
+    /// sample).
+    pub deliveries: u64,
+    /// Ingest-ack round-trip quantiles, nanoseconds.
+    pub ingest_ack_p50_ns: u64,
+    /// See [`LatencyCell::ingest_ack_p50_ns`].
+    pub ingest_ack_p99_ns: u64,
+    /// See [`LatencyCell::ingest_ack_p50_ns`].
+    pub ingest_ack_p999_ns: u64,
+    /// Worst observed ingest-ack round trip, nanoseconds (exact).
+    pub ingest_ack_max_ns: u64,
+    /// Release-delivery quantiles, nanoseconds: watermark send → all
+    /// resulting `Deliver*` frames received (deliveries precede the ack
+    /// on the wire, so the span covers window close, release, merge,
+    /// encode and fan-out).
+    pub delivery_p50_ns: u64,
+    /// See [`LatencyCell::delivery_p50_ns`].
+    pub delivery_p99_ns: u64,
+    /// See [`LatencyCell::delivery_p50_ns`].
+    pub delivery_p999_ns: u64,
+    /// Worst observed delivery span, nanoseconds (exact).
+    pub delivery_max_ns: u64,
 }
 
 /// Reference throughput of the code *before* a perf PR, for speedup
@@ -288,6 +349,12 @@ pub struct BenchReport {
     /// artifacts, so they keep parsing.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub alloc: Option<Vec<AllocCell>>,
+    /// Tail-latency cells through the TCP service edge (the `--latency`
+    /// scenario): ingest-ack and release-delivery p50/p99/p999 per shard
+    /// count. Present only with `--latency`; absent on earlier
+    /// artifacts, so they keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency: Option<Vec<LatencyCell>>,
     /// Pre-overhaul reference on the machine that produced the committed
     /// artifact (`null` in smoke runs — a CI host is a different
     /// machine, so the comparison would be meaningless there).
@@ -694,6 +761,124 @@ pub fn check_alloc_cell(cell: &AllocCell, n_batches: usize) -> Result<(), String
     Ok(())
 }
 
+/// The `--latency` scenario: the ingest workload of the throughput
+/// cells, but served through the real TCP edge (`pdp_server::serve` on
+/// an ephemeral loopback port, a real `Client` on the other side) and
+/// measured as *per-request* latency instead of aggregate throughput.
+///
+/// Each [`LATENCY_BATCH`]-event push is one timed round trip into the
+/// ingest-ack histogram. After every push the client advances the
+/// watermark to the batch's last event time; that round trip is timed
+/// too, and — because release deliveries are written to a subscribed
+/// connection *before* the ack of the frame that caused them — the span
+/// covers window close, noisy release, cross-shard merge, wire encode
+/// and fan-out. Watermark advances that release nothing (the reorder
+/// slack keeps windows open past their end time) record no delivery
+/// sample, so the delivery histogram holds only spans that did the
+/// work it claims to measure.
+fn measure_latency(n_shards: usize, n_events: usize) -> Result<LatencyCell, String> {
+    let svc = service(n_shards).map_err(|e| e.to_string())?;
+    let parallel = svc.is_parallel();
+    let handle = serve(svc, &ServerConfig::default()).map_err(|e| e.to_string())?;
+    let run = || -> Result<(LatencyHistogram, LatencyHistogram, u64), String> {
+        fn err<E: std::fmt::Display>(stage: &'static str) -> impl Fn(E) -> String {
+            move |e| format!("latency {stage}: {e}")
+        }
+        let mut client = Client::connect(handle.addr(), "bench-latency").map_err(err("connect"))?;
+        client
+            .subscribe(true, false, true)
+            .map_err(err("subscribe"))?;
+        let mut ingest_ack = LatencyHistogram::new();
+        let mut delivery = LatencyHistogram::new();
+        let mut deliveries = 0u64;
+        for chunk in arrivals(n_events).chunks(LATENCY_BATCH) {
+            let horizon = chunk.iter().map(|e| e.event.ts).max().expect("non-empty");
+            let start = Instant::now();
+            client.push_batch(chunk.to_vec()).map_err(err("push"))?;
+            ingest_ack.record(start.elapsed().as_nanos() as u64);
+            let start = Instant::now();
+            client
+                .advance_watermark(horizon)
+                .map_err(err("watermark"))?;
+            let span = start.elapsed().as_nanos() as u64;
+            let released = client.take_deliveries().len() as u64;
+            if released > 0 {
+                delivery.record(span);
+                deliveries += released;
+            }
+        }
+        client.shutdown().map_err(err("shutdown"))?;
+        Ok((ingest_ack, delivery, deliveries))
+    };
+    let result = run();
+    // join unconditionally: a measurement error must not leak the
+    // server threads (and on success the port must be released before
+    // the next cell binds its own)
+    let svc = handle.join();
+    let (ingest_ack, delivery, deliveries) = result?;
+    if svc.events_ingested() != n_events as u64 {
+        return Err(format!(
+            "latency run ingested {} of {n_events} events — acks lied",
+            svc.events_ingested()
+        ));
+    }
+    Ok(LatencyCell {
+        shards: n_shards,
+        parallel,
+        samples: ingest_ack.len(),
+        deliveries,
+        ingest_ack_p50_ns: ingest_ack.quantile(0.50),
+        ingest_ack_p99_ns: ingest_ack.quantile(0.99),
+        ingest_ack_p999_ns: ingest_ack.quantile(0.999),
+        ingest_ack_max_ns: ingest_ack.max(),
+        delivery_p50_ns: delivery.quantile(0.50),
+        delivery_p99_ns: delivery.quantile(0.99),
+        delivery_p999_ns: delivery.quantile(0.999),
+        delivery_max_ns: delivery.max(),
+    })
+}
+
+/// The gate [`run_bench_json`] applies to every `--latency` cell: both
+/// histograms must hold real samples and the reported quantiles must be
+/// monotone (p50 ≤ p99 ≤ p999 ≤ max) with a non-zero floor. A latency
+/// table of zeros is indistinguishable from a perfect result to a
+/// reader, so producing one fails the run instead.
+pub fn check_latency_cell(cell: &LatencyCell) -> Result<(), String> {
+    let check = |what: &str, n: u64, p50: u64, p99: u64, p999: u64, max: u64| {
+        if n == 0 || p50 == 0 {
+            return Err(format!(
+                "latency gate failed: {} shard(s) {what} histogram is empty or zeroed \
+                 ({n} samples, p50 {p50} ns)",
+                cell.shards
+            ));
+        }
+        if p50 > p99 || p99 > p999 || p999 > max {
+            return Err(format!(
+                "latency gate failed: {} shard(s) {what} quantiles are not monotone \
+                 (p50 {p50} / p99 {p99} / p999 {p999} / max {max} ns)",
+                cell.shards
+            ));
+        }
+        Ok(())
+    };
+    check(
+        "ingest-ack",
+        cell.samples,
+        cell.ingest_ack_p50_ns,
+        cell.ingest_ack_p99_ns,
+        cell.ingest_ack_p999_ns,
+        cell.ingest_ack_max_ns,
+    )?;
+    check(
+        "release-delivery",
+        cell.deliveries,
+        cell.delivery_p50_ns,
+        cell.delivery_p99_ns,
+        cell.delivery_p999_ns,
+        cell.delivery_max_ns,
+    )
+}
+
 /// The `--churn` scenario: the same ingest workload, but every few
 /// batches one tenant registers a fresh private pattern, the previous
 /// churn pattern is revoked, and `begin_epoch` recompiles + fans out the
@@ -766,6 +951,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     let mut sink = config.sink.then(Vec::new);
     let mut durability = config.durability.then(Vec::new);
     let mut alloc = config.alloc.then(Vec::new);
+    let mut latency = config.latency.then(Vec::new);
     let alloc_batches = if config.smoke {
         ALLOC_BATCHES_SMOKE
     } else {
@@ -823,6 +1009,17 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
                 cells.push(cell);
             }
         }
+        if let Some(cells) = latency.as_mut() {
+            eprintln!(
+                "bench-json: TCP-edge latency @ {n_shards} shard(s), {} events in \
+                 {LATENCY_BATCH}-event round trips…",
+                config.n_events
+            );
+            let cell = measure_latency(n_shards, config.n_events)?;
+            // gate immediately: a zeroed or non-monotone cell fails the run
+            check_latency_cell(&cell)?;
+            cells.push(cell);
+        }
     }
     let recovery = if config.recovery {
         eprintln!("bench-json: recovery (time-to-heal vs WAL tail, retry overhead)…");
@@ -874,6 +1071,7 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
         durability,
         recovery,
         alloc,
+        latency,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -932,6 +1130,14 @@ pub fn run_bench_json(config: &BenchJsonConfig) -> Result<BenchReport, String> {
     {
         return Err(format!("{} round-trip lost alloc cells", config.out));
     }
+    if config.latency
+        && parsed
+            .latency
+            .as_ref()
+            .is_none_or(|cells| cells.len() != SHARD_COUNTS.len())
+    {
+        return Err(format!("{} round-trip lost latency cells", config.out));
+    }
     eprintln!("wrote {} (validated)", config.out);
     Ok(report)
 }
@@ -962,6 +1168,7 @@ mod tests {
         assert!(report.durability.is_none(), "durability is opt-in");
         assert!(report.recovery.is_none(), "recovery is opt-in");
         assert!(report.alloc.is_none(), "alloc is opt-in");
+        assert!(report.latency.is_none(), "latency is opt-in");
         for cell in report.ingest.iter().chain(&report.release) {
             assert!(cell.per_sec.is_finite() && cell.per_sec > 0.0);
             assert!(cell.units > 0);
@@ -1030,6 +1237,41 @@ mod tests {
         }
         assert!(scaling.ratio_8_over_1.is_finite() && scaling.ratio_8_over_1 > 0.0);
         std::fs::remove_file(&config.out).ok();
+    }
+
+    #[test]
+    fn latency_cells_measure_the_tcp_edge() {
+        // one cell directly (the full runner spins 3 servers; a unit
+        // test needs one) — the measured path is identical
+        let cell = measure_latency(2, 1_000).expect("latency run succeeds");
+        check_latency_cell(&cell).expect("fresh cell passes its own gate");
+        assert_eq!(cell.shards, 2);
+        assert_eq!(cell.samples, (1_000usize.div_ceil(LATENCY_BATCH)) as u64);
+        assert!(cell.deliveries > 0, "the run must close windows");
+        // loopback TCP round trips are microseconds at least; a
+        // nanosecond-scale p50 means the clock never ran
+        assert!(cell.ingest_ack_p50_ns > 1_000);
+        assert!(cell.delivery_p50_ns > 1_000);
+    }
+
+    #[test]
+    fn latency_gate_rejects_zeroed_and_non_monotone_cells() {
+        let good = measure_latency(1, 200).expect("latency run succeeds");
+        let mut zeroed = good.clone();
+        zeroed.ingest_ack_p50_ns = 0;
+        assert!(check_latency_cell(&zeroed).is_err(), "zeroed p50 must fail");
+        let mut empty = good.clone();
+        empty.deliveries = 0;
+        assert!(
+            check_latency_cell(&empty).is_err(),
+            "no deliveries must fail"
+        );
+        let mut inverted = good;
+        inverted.delivery_p99_ns = inverted.delivery_p999_ns + 1;
+        assert!(
+            check_latency_cell(&inverted).is_err(),
+            "non-monotone quantiles must fail"
+        );
     }
 
     #[test]

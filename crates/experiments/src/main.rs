@@ -5,7 +5,7 @@
 //!                  [--streaming] [--sharded [--shards N]]
 //! experiments ablation <alpha|pattern-len|overlap|step-size|w-event|guarantee-levels|history|all>
 //! experiments bench-json [--smoke] [--churn] [--sink] [--scaling] [--durability] [--recovery]
-//!                        [--alloc] [--out PATH]
+//!                        [--alloc] [--latency] [--out PATH]
 //!                        # hot-path throughput (+ allocation gate) → BENCH_hotpath.json
 //! experiments all            # everything, printed as markdown + saved as JSON
 //! ```
@@ -98,6 +98,23 @@ fn main() {
                             cell.bytes_per_event,
                             cell.allocs,
                             cell.events,
+                            if cell.parallel { "parallel" } else { "inline" }
+                        );
+                    }
+                    for cell in report.latency.iter().flatten() {
+                        println!(
+                            "latency {} shard(s): ingest-ack p50 {:>7.1} µs  p99 {:>7.1} µs  \
+                             p999 {:>7.1} µs | delivery p50 {:>7.1} µs  p99 {:>7.1} µs  \
+                             p999 {:>7.1} µs ({} acks, {} deliveries, {})",
+                            cell.shards,
+                            cell.ingest_ack_p50_ns as f64 / 1e3,
+                            cell.ingest_ack_p99_ns as f64 / 1e3,
+                            cell.ingest_ack_p999_ns as f64 / 1e3,
+                            cell.delivery_p50_ns as f64 / 1e3,
+                            cell.delivery_p99_ns as f64 / 1e3,
+                            cell.delivery_p999_ns as f64 / 1e3,
+                            cell.samples,
+                            cell.deliveries,
                             if cell.parallel { "parallel" } else { "inline" }
                         );
                     }
@@ -220,6 +237,7 @@ fn parse_bench_json(args: &[String]) -> BenchJsonConfig {
     config.durability = args.iter().any(|a| a == "--durability");
     config.recovery = args.iter().any(|a| a == "--recovery");
     config.alloc = args.iter().any(|a| a == "--alloc");
+    config.latency = args.iter().any(|a| a == "--latency");
     if let Some(i) = args.iter().position(|a| a == "--out") {
         if let Some(path) = args.get(i + 1) {
             config.out = path.clone();

@@ -1,0 +1,132 @@
+//! The million-subject registration smoke: the control plane must
+//! absorb ≥ 1 M subject registrations in bounded time with memory
+//! growing *linearly* in the subject count, and the dense route table
+//! must still route correctly at the very top of the id range —
+//! including the ids above [`RouteTable::DIRECT_CAP`] that spill into
+//! the hashed overflow tier — with unknown ids still drawing the typed
+//! rejection. The routing half runs through the TCP service edge, so
+//! the whole chain (wire decode → route probe → shard ingest → ack) is
+//! what's smoked, not just the table in isolation.
+//!
+//! Lives in its own integration-test binary because it installs the
+//! counting global allocator (the linearity check is a measured claim,
+//! not an eyeball): sibling tests in the same process would pollute the
+//! counters.
+//!
+//! [`RouteTable::DIRECT_CAP`]: pdp_core::RouteTable::DIRECT_CAP
+
+use pdp_cep::Pattern;
+use pdp_core::{PpmKind, RouteTable, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId};
+use pdp_dp::Epsilon;
+use pdp_experiments::alloc_meter::{self, CountingAlloc};
+use pdp_metrics::Alpha;
+use pdp_server::{serve, Client, ClientError, ServerConfig};
+use pdp_stream::{Event, EventType, TimeDelta, Timestamp};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Past the dense tier's cap, so the hashed overflow tier is exercised.
+const N_SUBJECTS: u64 = RouteTable::DIRECT_CAP + 100_000; // 1_148_576
+
+fn config(n_shards: usize) -> ServiceConfig {
+    ServiceConfig {
+        n_shards,
+        n_types: 8,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).unwrap(),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_millis(100)),
+        max_delay: TimeDelta::from_millis(40),
+        seed: 99,
+        history_window: 0,
+    }
+}
+
+#[test]
+fn a_million_subjects_register_in_linear_memory_and_route_at_the_top() {
+    assert!(
+        alloc_meter::is_installed(),
+        "the counting allocator must be this binary's global allocator"
+    );
+
+    let mut builder = ServiceBuilder::new(config(4)).unwrap();
+    // Register in two equal halves and compare their heap acquisition:
+    // linear growth means the second half costs about as much as the
+    // first. Amortized-doubling containers book a whole realloc to
+    // whichever half triggers it, so the bound is a loose factor, not
+    // equality — quadratic behaviour (each insert touching all prior
+    // state) would blow past it by orders of magnitude.
+    let half = N_SUBJECTS / 2;
+    let before = alloc_meter::counters();
+    for s in 0..half {
+        builder.register_subject(SubjectId(s));
+    }
+    let mid = alloc_meter::counters();
+    for s in half..N_SUBJECTS {
+        builder.register_subject(SubjectId(s));
+    }
+    let after = alloc_meter::counters();
+    let first = mid.since(before);
+    let second = after.since(mid);
+    assert!(
+        second.bytes <= first.bytes.saturating_mul(4).max(1 << 20),
+        "second half cost {} bytes vs {} for the first — registration memory is not linear",
+        second.bytes,
+        first.bytes
+    );
+    let per_subject = (first.bytes + second.bytes) / N_SUBJECTS;
+    assert!(
+        per_subject < 512,
+        "{per_subject} bytes of heap per registered subject is not a dense table"
+    );
+
+    builder.register_target_query("t0?", Pattern::single("t0", EventType(0)));
+    let service = builder.build().unwrap();
+
+    // route through the TCP edge at the extremes of the id range
+    let handle = serve(service, &ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr(), "million").unwrap();
+    let probes = [
+        0,                          // bottom of the dense tier
+        half,                       // middle
+        RouteTable::DIRECT_CAP - 1, // last dense id
+        RouteTable::DIRECT_CAP,     // first overflow id
+        N_SUBJECTS - 1,             // very top of the range
+    ];
+    let batch: Vec<_> = probes
+        .iter()
+        .map(|&s| {
+            pdp_core::KeyedEvent::new(
+                SubjectId(s),
+                Event::new(EventType(0), Timestamp(s as i64 % 40)),
+            )
+        })
+        .collect();
+    let ack = client.push_batch(batch).unwrap();
+    assert_eq!(
+        ack.events_ingested,
+        probes.len() as u64,
+        "every probe subject must route"
+    );
+
+    // one past the top: typed rejection, nothing ingested
+    let err = client
+        .push_batch(vec![pdp_core::KeyedEvent::new(
+            SubjectId(N_SUBJECTS),
+            Event::new(EventType(0), Timestamp(0)),
+        )])
+        .unwrap_err();
+    let ClientError::Remote { message, .. } = err else {
+        panic!("expected a typed rejection, got {err:?}");
+    };
+    assert!(
+        message.contains(&N_SUBJECTS.to_string()),
+        "message: {message}"
+    );
+
+    client.shutdown().unwrap();
+    let service = handle.join();
+    assert_eq!(service.events_ingested(), probes.len() as u64);
+}

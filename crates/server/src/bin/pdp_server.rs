@@ -1,0 +1,105 @@
+//! The `pdp-server` binary: build a sharded service and serve it over
+//! TCP until a client sends `Shutdown`.
+//!
+//! ```text
+//! pdp-server [--addr 127.0.0.1:0] [--shards 4] [--subjects 256]
+//!            [--types 32] [--window-ms 100] [--max-delay-ms 40]
+//!            [--seed 1234]
+//! ```
+//!
+//! Prints `pdp-server listening on ADDR` to stdout once bound (CI and
+//! scripts parse this line to learn the ephemeral port), then blocks
+//! until graceful shutdown and prints the lifetime ingest count.
+
+use pdp_cep::Pattern;
+use pdp_core::{PpmKind, ServiceBuilder, ServiceConfig, StreamingConfig, SubjectId};
+use pdp_dp::Epsilon;
+use pdp_metrics::Alpha;
+use pdp_server::{serve, ServerConfig};
+use pdp_stream::{EventType, TimeDelta};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    subjects: u64,
+    types: usize,
+    window_ms: i64,
+    max_delay_ms: i64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 4,
+        subjects: 256,
+        types: 32,
+        window_ms: 100,
+        max_delay_ms: 40,
+        seed: 1234,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--subjects" => {
+                args.subjects = value("--subjects")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--types" => args.types = value("--types")?.parse().map_err(|e| format!("{e}"))?,
+            "--window-ms" => {
+                args.window_ms = value("--window-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--max-delay-ms" => {
+                args.max_delay_ms = value("--max-delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("pdp-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut builder = ServiceBuilder::new(ServiceConfig {
+        n_shards: args.shards,
+        n_types: args.types,
+        alpha: Alpha::HALF,
+        ppm: PpmKind::Uniform {
+            eps: Epsilon::new(1.0).expect("valid epsilon"),
+        },
+        streaming: StreamingConfig::tumbling(TimeDelta::from_millis(args.window_ms)),
+        max_delay: TimeDelta::from_millis(args.max_delay_ms),
+        seed: args.seed,
+        history_window: 0,
+    })
+    .expect("valid service config");
+    for s in 0..args.subjects {
+        builder.register_subject(SubjectId(s));
+    }
+    builder.register_target_query("t0?", Pattern::single("t0", EventType(0)));
+    builder.register_target_query("t1?", Pattern::single("t1", EventType(1)));
+    let service = builder.build().expect("service builds");
+
+    let config = ServerConfig {
+        addr: args.addr,
+        ..ServerConfig::default()
+    };
+    let handle = serve(service, &config).expect("bind listener");
+    println!("pdp-server listening on {}", handle.addr());
+    let service = handle.join();
+    println!(
+        "pdp-server stopped after ingesting {} events",
+        service.events_ingested()
+    );
+}

@@ -1,0 +1,276 @@
+//! A blocking client for the framed protocol.
+//!
+//! One [`Client`] is one connection: it performs the Hello handshake on
+//! connect, numbers its sequenced frames itself, and demultiplexes the
+//! reply stream — push deliveries ([`Frame::DeliverShard`] /
+//! [`Frame::DeliverAnswer`] / [`Frame::DeliverMerged`]) that arrive
+//! while waiting for a reply are buffered and read back with
+//! [`Client::take_deliveries`]. Because the server processes one
+//! connection's frames in order and emits a call's deliveries *before*
+//! its ack, draining the buffer after an acked call yields exactly the
+//! releases that call produced.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use pdp_core::KeyedEvent;
+use pdp_stream::Timestamp;
+
+use crate::frame::{
+    read_frame, write_frame, ErrorCode, Frame, FrameError, HealthRecord, WireCommand,
+};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport or codec failed.
+    Frame(FrameError),
+    /// The server answered with a typed [`Frame::Error`].
+    Remote {
+        /// The typed error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server closed the connection while a reply was pending.
+    Closed,
+    /// The server sent a frame that makes no sense here (protocol bug).
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server rejected request ({code:?}): {message}")
+            }
+            ClientError::Closed => write!(f, "connection closed while awaiting a reply"),
+            ClientError::Unexpected(what) => write!(f, "unexpected server frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A sequenced call's acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckInfo {
+    /// Total events the service has accepted so far.
+    pub events_ingested: u64,
+    /// The service's low watermark (populated on watermark acks).
+    pub low_watermark: Option<Timestamp>,
+}
+
+/// One connection to a `pdp-server`.
+pub struct Client {
+    write: TcpStream,
+    read: BufReader<TcpStream>,
+    next_seq: u64,
+    deliveries: VecDeque<Frame>,
+    /// Handshake: shard count behind the service.
+    pub n_shards: u32,
+    /// Handshake: whether the service runs parallel.
+    pub parallel: bool,
+    /// Handshake: the control-plane epoch at connect time.
+    pub epoch: u64,
+}
+
+impl Client {
+    /// Connect and handshake.
+    pub fn connect<A: ToSocketAddrs>(addr: A, name: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(FrameError::from)?;
+        // every call is a small request frame followed by a blocking
+        // read; letting Nagle hold it for a delayed ACK adds ~40 ms
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().map_err(FrameError::from)?;
+        let mut client = Client {
+            write: stream,
+            read: BufReader::new(read_half),
+            next_seq: 1,
+            deliveries: VecDeque::new(),
+            n_shards: 0,
+            parallel: false,
+            epoch: 0,
+        };
+        client.send(&Frame::Hello {
+            client: name.to_owned(),
+        })?;
+        match client.read_one()? {
+            Frame::HelloAck {
+                n_shards,
+                parallel,
+                epoch,
+            } => {
+                client.n_shards = n_shards;
+                client.parallel = parallel;
+                client.epoch = epoch;
+                Ok(client)
+            }
+            Frame::Error { code, message, .. } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        write_frame(&mut self.write, frame)?;
+        Ok(())
+    }
+
+    fn read_one(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.read)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Read frames until a non-delivery reply arrives; deliveries are
+    /// buffered for [`Client::take_deliveries`].
+    fn read_reply(&mut self) -> Result<Frame, ClientError> {
+        loop {
+            let frame = self.read_one()?;
+            match frame {
+                Frame::DeliverShard { .. }
+                | Frame::DeliverAnswer { .. }
+                | Frame::DeliverMerged { .. } => self.deliveries.push_back(frame),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    fn expect_ack(&mut self, seq: u64) -> Result<AckInfo, ClientError> {
+        match self.read_reply()? {
+            Frame::Ack {
+                seq: got,
+                events_ingested,
+                low_watermark,
+            } if got == seq => Ok(AckInfo {
+                events_ingested,
+                low_watermark,
+            }),
+            Frame::Error { code, message, .. } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    fn expect_ctrl_ok(&mut self, seq: u64) -> Result<u64, ClientError> {
+        match self.read_reply()? {
+            Frame::CtrlOk { seq: got, id } if got == seq => Ok(id),
+            Frame::Error { code, message, .. } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    fn take_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Ingest a batch; blocks until the server's ack (or typed reject).
+    pub fn push_batch(&mut self, events: Vec<KeyedEvent>) -> Result<AckInfo, ClientError> {
+        let seq = self.take_seq();
+        self.send(&Frame::PushBatch { seq, events })?;
+        self.expect_ack(seq)
+    }
+
+    /// Advance the service watermark; the ack carries the service's low
+    /// watermark after the advance.
+    pub fn advance_watermark(&mut self, watermark: Timestamp) -> Result<AckInfo, ClientError> {
+        let seq = self.take_seq();
+        self.send(&Frame::AdvanceWatermark { seq, watermark })?;
+        self.expect_ack(seq)
+    }
+
+    /// Subscribe this connection to release deliveries (fire-and-forget;
+    /// the server applies it before any later frame of this connection).
+    pub fn subscribe(
+        &mut self,
+        shard_releases: bool,
+        answers: bool,
+        merged: bool,
+    ) -> Result<(), ClientError> {
+        self.send(&Frame::Subscribe {
+            shard_releases,
+            answers,
+            merged,
+        })
+    }
+
+    /// Apply a control-plane mutation; returns the id the control plane
+    /// assigned.
+    pub fn control(&mut self, command: WireCommand) -> Result<u64, ClientError> {
+        let seq = self.take_seq();
+        self.send(&Frame::Control { seq, command })?;
+        self.expect_ctrl_ok(seq)
+    }
+
+    /// Compile staged control commands into a new epoch; returns the
+    /// epoch now current.
+    pub fn begin_epoch(&mut self) -> Result<u64, ClientError> {
+        let seq = self.take_seq();
+        self.send(&Frame::BeginEpoch { seq })?;
+        self.expect_ctrl_ok(seq)
+    }
+
+    /// Trigger a server-side checkpoint; returns the image's encoded
+    /// size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        let seq = self.take_seq();
+        self.send(&Frame::Checkpoint { seq })?;
+        self.expect_ctrl_ok(seq)
+    }
+
+    /// Request a supervision snapshot.
+    pub fn health(&mut self) -> Result<HealthRecord, ClientError> {
+        self.send(&Frame::Health)?;
+        match self.read_reply()? {
+            Frame::HealthInfo { record } => Ok(record),
+            Frame::Error { code, message, .. } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Gracefully shut the server down; returns the total events the
+    /// service accepted over its lifetime.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        self.send(&Frame::Shutdown)?;
+        match self.read_reply()? {
+            Frame::ShutdownAck { events_ingested } => Ok(events_ingested),
+            Frame::Error { code, message, .. } => Err(ClientError::Remote { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain the push deliveries buffered so far, in delivery order.
+    pub fn take_deliveries(&mut self) -> Vec<Frame> {
+        self.deliveries.drain(..).collect()
+    }
+
+    /// Send a raw frame without waiting for anything — test hook for
+    /// adversarial protocol tests (wrong sequence numbers, server-kind
+    /// frames, ...).
+    pub fn send_raw(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.send(frame)
+    }
+
+    /// Read one raw frame — test hook paired with [`Client::send_raw`].
+    pub fn read_raw(&mut self) -> Result<Frame, ClientError> {
+        self.read_one()
+    }
+
+    /// Write raw bytes to the socket — test hook for feeding the server
+    /// garbage that the typed API cannot produce.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        use std::io::Write;
+        self.write.write_all(bytes).map_err(FrameError::from)?;
+        Ok(())
+    }
+}

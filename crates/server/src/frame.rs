@@ -1,0 +1,1066 @@
+//! Typed frames and the checksummed envelope they travel in.
+//!
+//! # Envelope
+//!
+//! ```text
+//! [ body_len : u32 le ][ body : body_len bytes ][ fnv1a(body) : u64 le ]
+//! body = [ version : u8 = 1 ][ kind : u8 ][ payload ]
+//! ```
+//!
+//! `body_len` is bounded by [`MAX_FRAME`]; a longer announcement is a
+//! typed [`FrameError::Oversized`] *before* any allocation, so a hostile
+//! peer cannot make the server reserve gigabytes with four bytes. The
+//! trailing FNV-1a checksum covers the whole body (same hash the WAL
+//! frames use); a mismatch is [`FrameError::BadChecksum`]. Every decode
+//! error is typed — malformed input never panics and never hangs a
+//! reader thread.
+//!
+//! # Frame kinds
+//!
+//! Client → server kinds live below `0x80`, server → client kinds at
+//! `0x80 |` — see [`Frame`] for the full protocol table and the crate
+//! root for sequencing rules.
+
+use std::io::{ErrorKind, Read, Write};
+
+use pdp_cep::QueryId;
+use pdp_core::{KeyedEvent, SubjectId};
+use pdp_stream::{EventType, IndicatorVector, Timestamp};
+
+use crate::wire::{NetWire, WireReader, WireWriter};
+
+/// Protocol version spoken by this build. A peer announcing any other
+/// version is rejected with [`FrameError::BadVersion`] on its first
+/// frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on one frame body. Large enough for a multi-thousand
+/// event batch, small enough that a corrupted length cannot commit the
+/// reader to a giant allocation.
+pub const MAX_FRAME: u32 = 1 << 24;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+
+/// FNV-1a over `bytes` — the same checksum the durability layer frames
+/// with, computed independently here so the network protocol does not
+/// couple to checkpoint internals.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Every way a frame can fail to decode (or a connection fail to carry
+/// one). All variants are recoverable by the server: a malformed frame
+/// draws a typed [`Frame::Error`] reply and at worst closes that one
+/// connection — service state is never touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The payload (or stream) ended before the announced length.
+    Truncated,
+    /// The payload decoded completely but left this many bytes unread.
+    TrailingBytes(usize),
+    /// The announced body length exceeds [`MAX_FRAME`].
+    Oversized(u32),
+    /// The body checksum did not match.
+    BadChecksum { expected: u64, actual: u64 },
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// The frame kind byte is not part of the protocol.
+    UnknownKind(u8),
+    /// A payload field is structurally invalid (bad tag, bad utf-8,
+    /// implausible count, ...).
+    Malformed(String),
+    /// The underlying socket failed mid-frame.
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            FrameError::Oversized(n) => write!(f, "announced body of {n} bytes exceeds MAX_FRAME"),
+            FrameError::BadChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:#x}, body hashes to {actual:#x}"
+                )
+            }
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            FrameError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.kind())
+    }
+}
+
+/// A control-plane mutation carried over the wire (the `Control` frame's
+/// payload) — the churn surface `pdp-load` exercises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireCommand {
+    /// Register a subject for ingestion (idempotent).
+    RegisterSubject(SubjectId),
+    /// Retire a subject; its events are rejected from the next batch.
+    RetireSubject(SubjectId),
+    /// Register a private pattern for one subject.
+    RegisterPattern {
+        /// Owning subject.
+        subject: SubjectId,
+        /// Pattern name (diagnostic only).
+        name: String,
+        /// The pattern's element sequence (non-empty).
+        elements: Vec<EventType>,
+    },
+    /// Revoke a subject's private pattern by its returned id.
+    RevokePattern {
+        /// Owning subject.
+        subject: SubjectId,
+        /// The `PatternId` returned at registration, as its raw `u32`.
+        pattern: u32,
+    },
+    /// Add a consumer target-pattern query.
+    AddQuery {
+        /// Query name (diagnostic only).
+        name: String,
+        /// The target pattern's element sequence (non-empty).
+        elements: Vec<EventType>,
+    },
+    /// Remove a consumer query by stable id.
+    RemoveQuery(QueryId),
+}
+
+impl NetWire for WireCommand {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WireCommand::RegisterSubject(s) => {
+                0u8.encode(w);
+                s.encode(w);
+            }
+            WireCommand::RetireSubject(s) => {
+                1u8.encode(w);
+                s.encode(w);
+            }
+            WireCommand::RegisterPattern {
+                subject,
+                name,
+                elements,
+            } => {
+                2u8.encode(w);
+                subject.encode(w);
+                name.encode(w);
+                elements.encode(w);
+            }
+            WireCommand::RevokePattern { subject, pattern } => {
+                3u8.encode(w);
+                subject.encode(w);
+                pattern.encode(w);
+            }
+            WireCommand::AddQuery { name, elements } => {
+                4u8.encode(w);
+                name.encode(w);
+                elements.encode(w);
+            }
+            WireCommand::RemoveQuery(q) => {
+                5u8.encode(w);
+                q.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(match u8::decode(r)? {
+            0 => WireCommand::RegisterSubject(SubjectId::decode(r)?),
+            1 => WireCommand::RetireSubject(SubjectId::decode(r)?),
+            2 => WireCommand::RegisterPattern {
+                subject: SubjectId::decode(r)?,
+                name: String::decode(r)?,
+                elements: Vec::decode(r)?,
+            },
+            3 => WireCommand::RevokePattern {
+                subject: SubjectId::decode(r)?,
+                pattern: u32::decode(r)?,
+            },
+            4 => WireCommand::AddQuery {
+                name: String::decode(r)?,
+                elements: Vec::decode(r)?,
+            },
+            5 => WireCommand::RemoveQuery(QueryId::decode(r)?),
+            t => return Err(FrameError::Malformed(format!("invalid command tag {t}"))),
+        })
+    }
+}
+
+/// A typed answer on the wire — mirrors `pdp_core::Answer` exactly so the
+/// equivalence anchor can compare field-by-field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireAnswer {
+    /// Binary pattern detection.
+    Bool(bool),
+    /// Trailing-window detection count.
+    Count(u64),
+    /// Categorical label.
+    Categorical(String),
+    /// Noisy-argmax label.
+    Argmax(String),
+}
+
+impl NetWire for WireAnswer {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            WireAnswer::Bool(b) => {
+                0u8.encode(w);
+                b.encode(w);
+            }
+            WireAnswer::Count(n) => {
+                1u8.encode(w);
+                n.encode(w);
+            }
+            WireAnswer::Categorical(s) => {
+                2u8.encode(w);
+                s.encode(w);
+            }
+            WireAnswer::Argmax(s) => {
+                3u8.encode(w);
+                s.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(match u8::decode(r)? {
+            0 => WireAnswer::Bool(bool::decode(r)?),
+            1 => WireAnswer::Count(u64::decode(r)?),
+            2 => WireAnswer::Categorical(String::decode(r)?),
+            3 => WireAnswer::Argmax(String::decode(r)?),
+            t => return Err(FrameError::Malformed(format!("invalid answer tag {t}"))),
+        })
+    }
+}
+
+impl From<&pdp_core::Answer> for WireAnswer {
+    fn from(a: &pdp_core::Answer) -> Self {
+        match a {
+            pdp_core::Answer::Bool(b) => WireAnswer::Bool(*b),
+            pdp_core::Answer::Count(n) => WireAnswer::Count(*n as u64),
+            pdp_core::Answer::Categorical(s) => WireAnswer::Categorical(s.clone()),
+            pdp_core::Answer::Argmax(s) => WireAnswer::Argmax(s.clone()),
+        }
+    }
+}
+
+/// One shard's protected window release, as delivered to subscribers.
+///
+/// Deliberately **not** the in-process `WindowRelease`: that type seals
+/// the raw pre-protection detections (`TrustedAudit`) behind the trusted
+/// boundary, and the network edge must never carry them. This record
+/// holds exactly the public fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseRecord {
+    /// Sequential release index.
+    pub index: u64,
+    /// Start of the released window.
+    pub start: Timestamp,
+    /// The epoch whose plan protected and answered this window.
+    pub epoch: u64,
+    /// The protected indicator view — what consumers receive.
+    pub protected: IndicatorVector,
+    /// Typed answers, aligned with `query_ids`.
+    pub answers: Vec<WireAnswer>,
+    /// The stable ids `answers` is aligned with.
+    pub query_ids: Vec<QueryId>,
+}
+
+impl NetWire for ReleaseRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.index.encode(w);
+        self.start.encode(w);
+        self.epoch.encode(w);
+        self.protected.encode(w);
+        self.answers.encode(w);
+        self.query_ids.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(ReleaseRecord {
+            index: u64::decode(r)?,
+            start: Timestamp::decode(r)?,
+            epoch: u64::decode(r)?,
+            protected: IndicatorVector::decode(r)?,
+            answers: Vec::decode(r)?,
+            query_ids: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One merged (population-level) window release on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRecord {
+    /// Window index.
+    pub index: u64,
+    /// Start of the window.
+    pub start: Timestamp,
+    /// The releasing epoch.
+    pub epoch: u64,
+    /// Per query (positional): any shard answered truthily.
+    pub answers_any: Vec<bool>,
+    /// Per query (positional): how many shards answered truthily.
+    pub positive_shards: Vec<u64>,
+    /// Per-type disjunction of every shard's protected view.
+    pub protected_any: IndicatorVector,
+    /// Id-keyed typed answers, ascending by [`QueryId`].
+    pub typed: Vec<(QueryId, WireAnswer)>,
+}
+
+impl NetWire for MergedRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.index.encode(w);
+        self.start.encode(w);
+        self.epoch.encode(w);
+        self.answers_any.encode(w);
+        self.positive_shards.encode(w);
+        self.protected_any.encode(w);
+        self.typed.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(MergedRecord {
+            index: u64::decode(r)?,
+            start: Timestamp::decode(r)?,
+            epoch: u64::decode(r)?,
+            answers_any: Vec::decode(r)?,
+            positive_shards: Vec::decode(r)?,
+            protected_any: IndicatorVector::decode(r)?,
+            typed: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One id-keyed query answer on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerRecord {
+    /// The stable query id.
+    pub query: QueryId,
+    /// The window index the answer belongs to.
+    pub window: u64,
+    /// The releasing epoch.
+    pub epoch: u64,
+    /// The typed answer.
+    pub answer: WireAnswer,
+}
+
+impl NetWire for AnswerRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.query.encode(w);
+        self.window.encode(w);
+        self.epoch.encode(w);
+        self.answer.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(AnswerRecord {
+            query: QueryId::decode(r)?,
+            window: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            answer: WireAnswer::decode(r)?,
+        })
+    }
+}
+
+/// One shard's liveness row in a [`HealthRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealthRecord {
+    /// Shard index.
+    pub shard: u64,
+    /// A live worker serves this shard.
+    pub alive: bool,
+    /// The shard's mutex is poisoned.
+    pub poisoned: bool,
+    /// Heals performed on this shard.
+    pub heals: u32,
+}
+
+impl NetWire for ShardHealthRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.shard.encode(w);
+        self.alive.encode(w);
+        self.poisoned.encode(w);
+        self.heals.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(ShardHealthRecord {
+            shard: u64::decode(r)?,
+            alive: bool::decode(r)?,
+            poisoned: bool::decode(r)?,
+            heals: u32::decode(r)?,
+        })
+    }
+}
+
+/// The service's supervision snapshot on the wire (the public subset of
+/// `pdp_core::HealthReport`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRecord {
+    /// Rounds execute on worker threads.
+    pub parallel: bool,
+    /// The supervisor gave up on parallelism.
+    pub degraded: bool,
+    /// WAL append retries so far.
+    pub wal_retries: u64,
+    /// Total WAL append attempts.
+    pub wal_appends: u64,
+    /// Events accepted into the pipeline so far.
+    pub events_ingested: u64,
+    /// Current control-plane epoch.
+    pub epoch: u64,
+    /// Per-shard liveness.
+    pub shards: Vec<ShardHealthRecord>,
+}
+
+impl NetWire for HealthRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        self.parallel.encode(w);
+        self.degraded.encode(w);
+        self.wal_retries.encode(w);
+        self.wal_appends.encode(w);
+        self.events_ingested.encode(w);
+        self.epoch.encode(w);
+        self.shards.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(HealthRecord {
+            parallel: bool::decode(r)?,
+            degraded: bool::decode(r)?,
+            wal_retries: u64::decode(r)?,
+            wal_appends: u64::decode(r)?,
+            events_ingested: u64::decode(r)?,
+            epoch: u64::decode(r)?,
+            shards: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Typed error codes carried by [`Frame::Error`], so clients can react
+/// without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame could not be decoded (codec-level). The server closes
+    /// the connection after sending this — framing is lost.
+    BadFrame,
+    /// A sequenced frame arrived out of order (duplicate or reordered
+    /// client sequence number). The connection stays open.
+    BadSequence,
+    /// The service rejected the request (typed `CoreError`, e.g. an
+    /// unknown subject or a stale watermark). The connection stays open.
+    Rejected,
+    /// A frame kind arrived that this peer direction may not send.
+    BadDirection,
+}
+
+impl NetWire for ErrorCode {
+    fn encode(&self, w: &mut WireWriter) {
+        let b: u8 = match self {
+            ErrorCode::BadFrame => 0,
+            ErrorCode::BadSequence => 1,
+            ErrorCode::Rejected => 2,
+            ErrorCode::BadDirection => 3,
+        };
+        b.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(match u8::decode(r)? {
+            0 => ErrorCode::BadFrame,
+            1 => ErrorCode::BadSequence,
+            2 => ErrorCode::Rejected,
+            3 => ErrorCode::BadDirection,
+            t => return Err(FrameError::Malformed(format!("invalid error code {t}"))),
+        })
+    }
+}
+
+/// Every frame in the protocol. Kinds below `0x80` travel client →
+/// server; kinds with the high bit set travel server → client. See the
+/// crate root for the handshake and sequencing rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // ---- client → server -------------------------------------------------
+    /// `0x01` — handshake: must be the first frame on every connection.
+    Hello {
+        /// Free-form client name (diagnostics only).
+        client: String,
+    },
+    /// `0x02` — ingest a batch of keyed events. `seq` must be strictly
+    /// increasing per connection starting at 1.
+    PushBatch {
+        /// Per-connection client sequence number.
+        seq: u64,
+        /// The batch (may be empty: an empty push still drains the
+        /// pipeline's one-call lag).
+        events: Vec<KeyedEvent>,
+    },
+    /// `0x03` — advance the service watermark (sequenced like a push).
+    AdvanceWatermark {
+        /// Per-connection client sequence number.
+        seq: u64,
+        /// The new watermark.
+        watermark: Timestamp,
+    },
+    /// `0x04` — subscribe this connection to release deliveries.
+    Subscribe {
+        /// Receive per-shard releases ([`Frame::DeliverShard`]).
+        shard_releases: bool,
+        /// Receive id-keyed answers ([`Frame::DeliverAnswer`]).
+        answers: bool,
+        /// Receive merged windows ([`Frame::DeliverMerged`]).
+        merged: bool,
+    },
+    /// `0x05` — request a [`Frame::HealthInfo`] snapshot.
+    Health,
+    /// `0x06` — a sequenced control-plane mutation.
+    Control {
+        /// Per-connection client sequence number.
+        seq: u64,
+        /// The mutation.
+        command: WireCommand,
+    },
+    /// `0x07` — sequenced: compile staged control commands into a new
+    /// epoch at the next window boundary.
+    BeginEpoch {
+        /// Per-connection client sequence number.
+        seq: u64,
+    },
+    /// `0x08` — sequenced admin: settle the pipeline and image the
+    /// service state (the checkpoint stays server-side).
+    Checkpoint {
+        /// Per-connection client sequence number.
+        seq: u64,
+    },
+    /// `0x09` — graceful shutdown of the whole server: settles the
+    /// pipeline, flushes the sink outbox, fsyncs the WAL, then answers
+    /// [`Frame::ShutdownAck`] and closes every connection.
+    Shutdown,
+
+    // ---- server → client -------------------------------------------------
+    /// `0x81` — handshake reply.
+    HelloAck {
+        /// Shards behind this service.
+        n_shards: u32,
+        /// Whether rounds run on worker threads.
+        parallel: bool,
+        /// Current control-plane epoch.
+        epoch: u64,
+    },
+    /// `0x82` — a sequenced frame was applied.
+    Ack {
+        /// Echo of the client sequence number.
+        seq: u64,
+        /// Total events the service has accepted so far.
+        events_ingested: u64,
+        /// The service's current low watermark.
+        low_watermark: Option<Timestamp>,
+    },
+    /// `0x83` — a frame was rejected (typed; see [`ErrorCode`] for
+    /// whether the connection survives).
+    Error {
+        /// Echo of the offending sequence number, when one was readable.
+        seq: Option<u64>,
+        /// What went wrong, typed.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// `0x84` — push: one shard's protected window release.
+    DeliverShard {
+        /// The releasing shard.
+        shard: u64,
+        /// The release (public fields only — the audit stays sealed
+        /// server-side).
+        record: ReleaseRecord,
+    },
+    /// `0x85` — push: one id-keyed query answer.
+    DeliverAnswer {
+        /// The answer.
+        record: AnswerRecord,
+    },
+    /// `0x86` — push: one merged population-level window.
+    DeliverMerged {
+        /// The merged window.
+        record: MergedRecord,
+    },
+    /// `0x87` — reply to [`Frame::Health`].
+    HealthInfo {
+        /// The supervision snapshot.
+        record: HealthRecord,
+    },
+    /// `0x88` — the server finished its graceful teardown; the
+    /// connection closes after this frame.
+    ShutdownAck {
+        /// Total events the service accepted over its lifetime.
+        events_ingested: u64,
+    },
+    /// `0x89` — a sequenced control frame was applied.
+    CtrlOk {
+        /// Echo of the client sequence number.
+        seq: u64,
+        /// The id the control plane assigned (pattern / query /
+        /// subject id as raw integer; 0 when the command returns none).
+        id: u64,
+    },
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::PushBatch { .. } => 0x02,
+            Frame::AdvanceWatermark { .. } => 0x03,
+            Frame::Subscribe { .. } => 0x04,
+            Frame::Health => 0x05,
+            Frame::Control { .. } => 0x06,
+            Frame::BeginEpoch { .. } => 0x07,
+            Frame::Checkpoint { .. } => 0x08,
+            Frame::Shutdown => 0x09,
+            Frame::HelloAck { .. } => 0x81,
+            Frame::Ack { .. } => 0x82,
+            Frame::Error { .. } => 0x83,
+            Frame::DeliverShard { .. } => 0x84,
+            Frame::DeliverAnswer { .. } => 0x85,
+            Frame::DeliverMerged { .. } => 0x86,
+            Frame::HealthInfo { .. } => 0x87,
+            Frame::ShutdownAck { .. } => 0x88,
+            Frame::CtrlOk { .. } => 0x89,
+        }
+    }
+
+    /// True for kinds a client may send.
+    pub fn is_client_kind(&self) -> bool {
+        self.kind() < 0x80
+    }
+
+    /// The client sequence number, for sequenced kinds.
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            Frame::PushBatch { seq, .. }
+            | Frame::AdvanceWatermark { seq, .. }
+            | Frame::Control { seq, .. }
+            | Frame::BeginEpoch { seq }
+            | Frame::Checkpoint { seq } => Some(*seq),
+            _ => None,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut WireWriter) {
+        match self {
+            Frame::Hello { client } => client.encode(w),
+            Frame::PushBatch { seq, events } => {
+                seq.encode(w);
+                events.encode(w);
+            }
+            Frame::AdvanceWatermark { seq, watermark } => {
+                seq.encode(w);
+                watermark.encode(w);
+            }
+            Frame::Subscribe {
+                shard_releases,
+                answers,
+                merged,
+            } => {
+                shard_releases.encode(w);
+                answers.encode(w);
+                merged.encode(w);
+            }
+            Frame::Health | Frame::Shutdown => {}
+            Frame::Control { seq, command } => {
+                seq.encode(w);
+                command.encode(w);
+            }
+            Frame::BeginEpoch { seq } | Frame::Checkpoint { seq } => seq.encode(w),
+            Frame::HelloAck {
+                n_shards,
+                parallel,
+                epoch,
+            } => {
+                n_shards.encode(w);
+                parallel.encode(w);
+                epoch.encode(w);
+            }
+            Frame::Ack {
+                seq,
+                events_ingested,
+                low_watermark,
+            } => {
+                seq.encode(w);
+                events_ingested.encode(w);
+                low_watermark.encode(w);
+            }
+            Frame::Error { seq, code, message } => {
+                seq.encode(w);
+                code.encode(w);
+                message.encode(w);
+            }
+            Frame::DeliverShard { shard, record } => {
+                shard.encode(w);
+                record.encode(w);
+            }
+            Frame::DeliverAnswer { record } => record.encode(w),
+            Frame::DeliverMerged { record } => record.encode(w),
+            Frame::HealthInfo { record } => record.encode(w),
+            Frame::ShutdownAck { events_ingested } => events_ingested.encode(w),
+            Frame::CtrlOk { seq, id } => {
+                seq.encode(w);
+                id.encode(w);
+            }
+        }
+    }
+
+    fn decode_payload(kind: u8, r: &mut WireReader<'_>) -> Result<Frame, FrameError> {
+        Ok(match kind {
+            0x01 => Frame::Hello {
+                client: String::decode(r)?,
+            },
+            0x02 => Frame::PushBatch {
+                seq: u64::decode(r)?,
+                events: Vec::decode(r)?,
+            },
+            0x03 => Frame::AdvanceWatermark {
+                seq: u64::decode(r)?,
+                watermark: Timestamp::decode(r)?,
+            },
+            0x04 => Frame::Subscribe {
+                shard_releases: bool::decode(r)?,
+                answers: bool::decode(r)?,
+                merged: bool::decode(r)?,
+            },
+            0x05 => Frame::Health,
+            0x06 => Frame::Control {
+                seq: u64::decode(r)?,
+                command: WireCommand::decode(r)?,
+            },
+            0x07 => Frame::BeginEpoch {
+                seq: u64::decode(r)?,
+            },
+            0x08 => Frame::Checkpoint {
+                seq: u64::decode(r)?,
+            },
+            0x09 => Frame::Shutdown,
+            0x81 => Frame::HelloAck {
+                n_shards: u32::decode(r)?,
+                parallel: bool::decode(r)?,
+                epoch: u64::decode(r)?,
+            },
+            0x82 => Frame::Ack {
+                seq: u64::decode(r)?,
+                events_ingested: u64::decode(r)?,
+                low_watermark: Option::decode(r)?,
+            },
+            0x83 => Frame::Error {
+                seq: Option::decode(r)?,
+                code: ErrorCode::decode(r)?,
+                message: String::decode(r)?,
+            },
+            0x84 => Frame::DeliverShard {
+                shard: u64::decode(r)?,
+                record: ReleaseRecord::decode(r)?,
+            },
+            0x85 => Frame::DeliverAnswer {
+                record: AnswerRecord::decode(r)?,
+            },
+            0x86 => Frame::DeliverMerged {
+                record: MergedRecord::decode(r)?,
+            },
+            0x87 => Frame::HealthInfo {
+                record: HealthRecord::decode(r)?,
+            },
+            0x88 => Frame::ShutdownAck {
+                events_ingested: u64::decode(r)?,
+            },
+            0x89 => Frame::CtrlOk {
+                seq: u64::decode(r)?,
+                id: u64::decode(r)?,
+            },
+            k => return Err(FrameError::UnknownKind(k)),
+        })
+    }
+
+    /// Encode this frame as a full envelope (length prefix + body +
+    /// checksum), ready to write to a socket.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.buf.push(PROTOCOL_VERSION);
+        w.buf.push(self.kind());
+        self.encode_payload(&mut w);
+        let body = w.into_bytes();
+        debug_assert!(body.len() <= MAX_FRAME as usize);
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        out
+    }
+
+    /// Decode one frame body (version + kind + payload — the envelope's
+    /// middle section, after the checksum already verified).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = WireReader::new(body);
+        let version = u8::decode(&mut r)?;
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let kind = u8::decode(&mut r)?;
+        let frame = Frame::decode_payload(kind, &mut r)?;
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Write one frame to `w` (no internal buffering — callers batch writes
+/// with a `BufWriter` when throughput matters).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), FrameError> {
+    w.write_all(&frame.encode())?;
+    Ok(())
+}
+
+/// Read one frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream *at a frame boundary*
+/// (the peer closed between frames); EOF mid-frame is
+/// [`FrameError::Truncated`]. The announced length is validated against
+/// [`MAX_FRAME`] before any allocation, and the checksum before any
+/// payload decoding.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // hand-rolled first read: distinguish clean EOF from truncation
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_fully(r, &mut body)?;
+    let mut sum_bytes = [0u8; 8];
+    read_fully(r, &mut sum_bytes)?;
+    let expected = u64::from_le_bytes(sum_bytes);
+    let actual = fnv1a(&body);
+    if expected != actual {
+        return Err(FrameError::BadChecksum { expected, actual });
+    }
+    Frame::decode_body(&body).map(Some)
+}
+
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => Err(FrameError::Truncated),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdp_stream::{AttrValue, Event};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                client: "load-7".into(),
+            },
+            Frame::PushBatch {
+                seq: 1,
+                events: vec![KeyedEvent::new(
+                    SubjectId(4),
+                    Event::new(EventType(2), Timestamp(50)).with_attr("v", AttrValue::Int(3)),
+                )],
+            },
+            Frame::AdvanceWatermark {
+                seq: 2,
+                watermark: Timestamp(900),
+            },
+            Frame::Subscribe {
+                shard_releases: true,
+                answers: false,
+                merged: true,
+            },
+            Frame::Health,
+            Frame::Control {
+                seq: 3,
+                command: WireCommand::RegisterPattern {
+                    subject: SubjectId(4),
+                    name: "p".into(),
+                    elements: vec![EventType(1), EventType(2)],
+                },
+            },
+            Frame::BeginEpoch { seq: 4 },
+            Frame::Checkpoint { seq: 5 },
+            Frame::Shutdown,
+            Frame::HelloAck {
+                n_shards: 4,
+                parallel: true,
+                epoch: 2,
+            },
+            Frame::Ack {
+                seq: 9,
+                events_ingested: 512,
+                low_watermark: Some(Timestamp(880)),
+            },
+            Frame::Error {
+                seq: Some(10),
+                code: ErrorCode::BadSequence,
+                message: "expected 11".into(),
+            },
+            Frame::DeliverShard {
+                shard: 2,
+                record: ReleaseRecord {
+                    index: 7,
+                    start: Timestamp(700),
+                    epoch: 1,
+                    protected: IndicatorVector::from_present([EventType(1)], 32),
+                    answers: vec![WireAnswer::Bool(true), WireAnswer::Count(3)],
+                    query_ids: vec![QueryId(0), QueryId(5)],
+                },
+            },
+            Frame::DeliverAnswer {
+                record: AnswerRecord {
+                    query: QueryId(5),
+                    window: 7,
+                    epoch: 1,
+                    answer: WireAnswer::Argmax("hot".into()),
+                },
+            },
+            Frame::DeliverMerged {
+                record: MergedRecord {
+                    index: 7,
+                    start: Timestamp(700),
+                    epoch: 1,
+                    answers_any: vec![true, false],
+                    positive_shards: vec![3, 0],
+                    protected_any: IndicatorVector::from_present([EventType(1)], 32),
+                    typed: vec![(QueryId(0), WireAnswer::Bool(true))],
+                },
+            },
+            Frame::HealthInfo {
+                record: HealthRecord {
+                    parallel: true,
+                    degraded: false,
+                    wal_retries: 0,
+                    wal_appends: 12,
+                    events_ingested: 512,
+                    epoch: 2,
+                    shards: vec![ShardHealthRecord {
+                        shard: 0,
+                        alive: true,
+                        poisoned: false,
+                        heals: 0,
+                    }],
+                },
+            },
+            Frame::ShutdownAck {
+                events_ingested: 512,
+            },
+            Frame::CtrlOk { seq: 3, id: 9 },
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips_through_a_stream() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut cursor = &wire[..];
+        for f in &frames {
+            let back = read_frame(&mut cursor).unwrap().expect("frame present");
+            assert_eq!(&back, f);
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_streams_are_typed_not_hangs() {
+        let bytes = Frame::Health.encode();
+        // every strict prefix (except empty = clean EOF) is Truncated
+        for cut in 1..bytes.len() {
+            let mut cursor = &bytes[..cut];
+            assert_eq!(
+                read_frame(&mut cursor),
+                Err(FrameError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 64]);
+        let mut cursor = &bytes[..];
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn corrupted_body_fails_the_checksum() {
+        let mut bytes = Frame::Hello { client: "x".into() }.encode();
+        bytes[5] ^= 0xFF; // flip a body byte; the trailing hash no longer matches
+        let mut cursor = &bytes[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = Frame::Health.encode();
+        bytes[4] = 2; // the version byte is the first body byte
+                      // fix up the checksum so only the version is wrong
+        let body_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let sum = fnv1a(&bytes[4..4 + body_len]);
+        let sum_at = 4 + body_len;
+        bytes[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
+        let mut cursor = &bytes[..];
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::BadVersion(2)));
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut bytes = Frame::Health.encode();
+        bytes[5] = 0x7F; // kind byte
+        let body_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let sum = fnv1a(&bytes[4..4 + body_len]);
+        let sum_at = 4 + body_len;
+        bytes[sum_at..sum_at + 8].copy_from_slice(&sum.to_le_bytes());
+        let mut cursor = &bytes[..];
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_typed() {
+        // a Health frame with one extra payload byte
+        let body = vec![PROTOCOL_VERSION, 0x05, 0xAA];
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&fnv1a(&body).to_le_bytes());
+        let mut cursor = &bytes[..];
+        assert_eq!(read_frame(&mut cursor), Err(FrameError::TrailingBytes(1)));
+    }
+}

@@ -1,0 +1,89 @@
+//! # `pdp-server` — the network service edge
+//!
+//! A framed TCP front over the sharded pattern-level-DP service
+//! ([`pdp_core::ShardedService`]): clients push keyed event batches over
+//! a length-prefixed, checksummed binary protocol, subscribed consumers
+//! get protected releases pushed back, and an admin surface exposes
+//! health, checkpointing and graceful shutdown. Everything is `std`-only
+//! — `std::net` sockets and threads, no async runtime.
+//!
+//! ## Protocol specification
+//!
+//! Transport: TCP, framed. Every frame is
+//!
+//! ```text
+//! [ body_len : u32 le ][ body ][ fnv1a(body) : u64 le ]
+//! body = [ version : u8 = 1 ][ kind : u8 ][ payload ]
+//! ```
+//!
+//! with `body_len ≤ 16 MiB` ([`frame::MAX_FRAME`]). Payload fields use
+//! the little-endian, length-prefixed encoding of [`wire`]. Any decode
+//! failure is a typed [`frame::FrameError`]; the server answers
+//! `Error(BadFrame)` and closes that connection — other connections and
+//! the service itself are untouched.
+//!
+//! | kind | frame | direction | payload |
+//! |------|-------|-----------|---------|
+//! | `0x01` | `Hello` | C→S | client name |
+//! | `0x02` | `PushBatch` | C→S | seq, events |
+//! | `0x03` | `AdvanceWatermark` | C→S | seq, watermark |
+//! | `0x04` | `Subscribe` | C→S | shard/answer/merged flags |
+//! | `0x05` | `Health` | C→S | — |
+//! | `0x06` | `Control` | C→S | seq, control command |
+//! | `0x07` | `BeginEpoch` | C→S | seq |
+//! | `0x08` | `Checkpoint` | C→S | seq |
+//! | `0x09` | `Shutdown` | C→S | — |
+//! | `0x81` | `HelloAck` | S→C | shards, parallel, epoch |
+//! | `0x82` | `Ack` | S→C | seq, events, low watermark |
+//! | `0x83` | `Error` | S→C | seq?, code, message |
+//! | `0x84` | `DeliverShard` | S→C | shard, release record |
+//! | `0x85` | `DeliverAnswer` | S→C | answer record |
+//! | `0x86` | `DeliverMerged` | S→C | merged record |
+//! | `0x87` | `HealthInfo` | S→C | health record |
+//! | `0x88` | `ShutdownAck` | S→C | lifetime events |
+//! | `0x89` | `CtrlOk` | S→C | seq, assigned id |
+//!
+//! **Handshake.** The first frame on a connection must be `Hello`; the
+//! server answers `HelloAck`. Anything else is `Error(BadFrame)` + close.
+//!
+//! **Sequencing.** `PushBatch`, `AdvanceWatermark`, `Control`,
+//! `BeginEpoch` and `Checkpoint` carry a per-connection client sequence
+//! number, starting at 1 and strictly increasing. A duplicate or
+//! reordered number draws `Error(BadSequence)` — the frame is dropped
+//! *before* the service sees it and the connection stays open. Sequence
+//! numbers order one connection's requests; requests of different
+//! connections are serialized by the single service-owner thread in
+//! arrival order.
+//!
+//! **Deliveries.** A `Subscribe` flags which push records this
+//! connection receives. Deliveries produced by one call are written
+//! before that call's `Ack` on the requesting connection, preserving the
+//! in-process [`pdp_core::ReleaseSink`] delivery-order contract per
+//! connection. Release records carry only the public release fields —
+//! the sealed pre-protection audit never crosses the wire.
+//!
+//! **Backpressure.** Every queue between a socket and the service is
+//! bounded; see [`server`] for how a slow consumer or a saturated
+//! pipeline turns into TCP backpressure instead of unbounded buffering.
+//!
+//! **Shutdown.** `Shutdown` settles the pipeline, flushes the sink
+//! outbox, fsyncs the WAL ([`pdp_core::ShardedService::shutdown_into`]),
+//! answers `ShutdownAck`, then closes every connection.
+//!
+//! ## Pieces
+//!
+//! * [`server::serve`] — the threaded TCP server over a service
+//! * [`client::Client`] — the blocking client (also the test driver)
+//! * [`load`] — the seeded multi-connection load generator (`pdp-load`)
+//! * [`frame`] / [`wire`] — the protocol and its byte codec
+
+pub mod client;
+pub mod frame;
+pub mod load;
+pub mod server;
+pub mod wire;
+
+pub use client::{AckInfo, Client, ClientError};
+pub use frame::{Frame, FrameError, WireAnswer, WireCommand};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use server::{serve, ServerConfig, ServerHandle};

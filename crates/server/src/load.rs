@@ -1,0 +1,199 @@
+//! The seeded load generator behind the `pdp-load` binary.
+//!
+//! Each connection runs its own thread with its own
+//! [`DpRng`] seeded `base_seed + connection index`, so the *content* a
+//! connection sends (event types, subjects, jitter, churn operations) is
+//! deterministic per connection and run-to-run reproducible; only the
+//! cross-connection interleaving at the server is scheduling-dependent.
+//! Every connection drives its own subject slice, pushes sequenced
+//! batches with a monotone event-time clock, periodically advances the
+//! watermark (releasing windows), and — on a configurable cadence —
+//! exercises the control plane (register/retire a scratch subject,
+//! pattern add/revoke, epoch compile): the churn schedule from the
+//! bench's `--churn` scenario, driven over TCP.
+//!
+//! Per-connection ingest-ack round-trips are recorded into a
+//! [`LatencyHistogram`] and merged across connections into the returned
+//! [`LoadReport`].
+
+use std::time::Instant;
+
+use pdp_core::{KeyedEvent, SubjectId};
+use pdp_dp::DpRng;
+use pdp_metrics::LatencyHistogram;
+use pdp_stream::{Event, EventType, Timestamp};
+
+use crate::client::{Client, ClientError};
+use crate::frame::WireCommand;
+
+/// Knobs of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Batches each connection pushes.
+    pub batches: usize,
+    /// Events per batch.
+    pub batch_size: usize,
+    /// Subjects registered on the server, ids `0..n_subjects`. Each
+    /// connection keys events into its own slice of this range.
+    pub n_subjects: u64,
+    /// Event-type universe size (must match the server's).
+    pub n_types: usize,
+    /// Milliseconds of event time advanced per batch.
+    pub ms_per_batch: i64,
+    /// Advance the watermark every this many batches (0 = never).
+    pub watermark_every: usize,
+    /// Run a churn step (control-plane mutation + epoch compile) every
+    /// this many batches (0 = never).
+    pub churn_every: usize,
+    /// Base RNG seed; connection `i` uses `seed + i`.
+    pub seed: u64,
+    /// Subscribe connection 0 to merged deliveries.
+    pub subscribe: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            connections: 4,
+            batches: 50,
+            batch_size: 128,
+            n_subjects: 256,
+            n_types: 32,
+            ms_per_batch: 25,
+            watermark_every: 8,
+            churn_every: 16,
+            seed: 7,
+            subscribe: true,
+        }
+    }
+}
+
+/// What one load run did and observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Batches acknowledged across all connections.
+    pub batches_acked: u64,
+    /// Events pushed across all connections.
+    pub events_sent: u64,
+    /// Typed server rejections observed (e.g. a retired subject hit by
+    /// another connection's batch — expected under churn).
+    pub rejections: u64,
+    /// Control-plane operations applied.
+    pub churn_ops: u64,
+    /// Epoch compiles triggered.
+    pub epochs: u64,
+    /// Release deliveries received by the subscribed connection.
+    pub deliveries: u64,
+    /// Ingest-ack round-trip latencies (nanoseconds), all connections.
+    pub ingest_ack: LatencyHistogram,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: &LoadReport) {
+        self.batches_acked += other.batches_acked;
+        self.events_sent += other.events_sent;
+        self.rejections += other.rejections;
+        self.churn_ops += other.churn_ops;
+        self.epochs += other.epochs;
+        self.deliveries += other.deliveries;
+        if self.ingest_ack.is_empty() {
+            self.ingest_ack = other.ingest_ack.clone();
+        } else {
+            self.ingest_ack.merge(&other.ingest_ack);
+        }
+    }
+}
+
+fn connection_run(conn_idx: usize, config: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let mut rng = DpRng::seed_from(config.seed + conn_idx as u64);
+    let mut client = Client::connect(&config.addr, &format!("pdp-load-{conn_idx}"))?;
+    if config.subscribe && conn_idx == 0 {
+        client.subscribe(false, false, true)?;
+    }
+    // this connection's subject slice (at least one subject)
+    let span = (config.n_subjects / config.connections as u64).max(1);
+    let lo = (conn_idx as u64 * span) % config.n_subjects;
+    let mut report = LoadReport::default();
+    let mut clock = 0i64;
+    // a scratch subject id for churn, outside every slice
+    let scratch = config.n_subjects + conn_idx as u64;
+    let mut scratch_live = false;
+    for batch_idx in 0..config.batches {
+        let mut batch = Vec::with_capacity(config.batch_size);
+        for _ in 0..config.batch_size {
+            let subject = SubjectId(lo + rng.below(span as usize) as u64);
+            let ty = EventType(rng.below(config.n_types) as u32);
+            let jitter = rng.below(config.ms_per_batch.unsigned_abs() as usize + 1) as i64;
+            batch.push(KeyedEvent::new(
+                subject,
+                Event::new(ty, Timestamp(clock + jitter)),
+            ));
+        }
+        clock += config.ms_per_batch;
+        report.events_sent += batch.len() as u64;
+        let t0 = Instant::now();
+        match client.push_batch(batch) {
+            Ok(_) => {
+                report
+                    .ingest_ack
+                    .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                report.batches_acked += 1;
+            }
+            Err(ClientError::Remote { .. }) => report.rejections += 1,
+            Err(e) => return Err(e),
+        }
+        if config.watermark_every != 0 && (batch_idx + 1) % config.watermark_every == 0 {
+            client.advance_watermark(Timestamp(clock))?;
+        }
+        if config.churn_every != 0 && (batch_idx + 1) % config.churn_every == 0 {
+            // flip the scratch subject's registration and recompile
+            let op = if scratch_live {
+                WireCommand::RetireSubject(SubjectId(scratch))
+            } else {
+                WireCommand::RegisterSubject(SubjectId(scratch))
+            };
+            scratch_live = !scratch_live;
+            match client.control(op) {
+                Ok(_) => report.churn_ops += 1,
+                Err(ClientError::Remote { .. }) => report.rejections += 1,
+                Err(e) => return Err(e),
+            }
+            // a concurrent connection may have raced the compile (empty
+            // transitions are typed rejects, not failures)
+            match client.begin_epoch() {
+                Ok(_) => report.epochs += 1,
+                Err(ClientError::Remote { .. }) => report.rejections += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        report.deliveries += client.take_deliveries().len() as u64;
+    }
+    report.deliveries += client.take_deliveries().len() as u64;
+    Ok(report)
+}
+
+/// Run the load schedule against a serving `pdp-server`; blocks until
+/// every connection finished its batches. The server is left running —
+/// shut it down separately (e.g. [`Client::shutdown`]).
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let threads: Vec<_> = (0..config.connections.max(1))
+        .map(|i| {
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name(format!("pdp-load-{i}"))
+                .spawn(move || connection_run(i, &config))
+                .expect("spawn load thread")
+        })
+        .collect();
+    let mut merged = LoadReport::default();
+    for t in threads {
+        let report = t.join().expect("load thread panicked")?;
+        merged.merge(&report);
+    }
+    Ok(merged)
+}

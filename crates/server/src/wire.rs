@@ -1,0 +1,428 @@
+//! The little-endian byte codec under the framed protocol.
+//!
+//! Same idiom as `pdp_core::durability`'s checkpoint/WAL codec: a
+//! deliberately boring length-prefixed little-endian encoding where every
+//! `u64` travels at full precision, collections carry an explicit count,
+//! and the decode cursor is bounds-checked everywhere — a truncated or
+//! trailing-garbage payload is a typed [`FrameError`], never a panic or
+//! an out-of-bounds read. The network codec is its own module (rather
+//! than reusing the durability trait) because the two wire surfaces
+//! version independently: a checkpoint format bump must not break
+//! deployed clients, and vice versa.
+
+use pdp_cep::QueryId;
+use pdp_core::{KeyedEvent, SubjectId};
+use pdp_stream::{AttrValue, Event, EventType, IndicatorVector, Timestamp};
+
+use crate::frame::FrameError;
+
+/// Sanity bound on any single decoded collection length: a corrupted
+/// count must error, not attempt a huge allocation. (Frames themselves
+/// are already capped at [`crate::frame::MAX_FRAME`] bytes, so no honest
+/// payload comes near this.)
+pub(crate) const MAX_LEN: u64 = 1 << 28;
+
+/// Growable encode buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// A fresh buffer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked decode cursor.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::Truncated)?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reject trailing bytes: a payload must be consumed exactly.
+    pub fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+/// One type's encoding on the network wire. Deterministic: equal values
+/// encode to equal bytes.
+pub trait NetWire: Sized {
+    /// Append this value to `w`.
+    fn encode(&self, w: &mut WireWriter);
+    /// Decode one value from `r`.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError>;
+}
+
+impl NetWire for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(FrameError::Malformed(format!("invalid bool byte {b}"))),
+        }
+    }
+}
+
+impl NetWire for u8 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.buf.push(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl NetWire for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl NetWire for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl NetWire for i64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(i64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl NetWire for usize {
+    fn encode(&self, w: &mut WireWriter) {
+        (*self as u64).encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        let v = u64::decode(r)?;
+        if v > MAX_LEN {
+            return Err(FrameError::Malformed(format!("implausible size {v}")));
+        }
+        Ok(v as usize)
+    }
+}
+
+impl NetWire for f64 {
+    fn encode(&self, w: &mut WireWriter) {
+        self.to_bits().encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl NetWire for String {
+    fn encode(&self, w: &mut WireWriter) {
+        self.len().encode(w);
+        w.buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        let len = usize::decode(r)?;
+        String::from_utf8(r.take(len)?.to_vec())
+            .map_err(|_| FrameError::Malformed("invalid utf-8 string".into()))
+    }
+}
+
+impl<T: NetWire> NetWire for Vec<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        self.len().encode(w);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        let len = usize::decode(r)?;
+        let mut out = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: NetWire> NetWire for Option<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            None => false.encode(w),
+            Some(v) => {
+                true.encode(w);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(if bool::decode(r)? {
+            Some(T::decode(r)?)
+        } else {
+            None
+        })
+    }
+}
+
+impl<A: NetWire, B: NetWire> NetWire for (A, B) {
+    fn encode(&self, w: &mut WireWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+macro_rules! net_newtype {
+    ($ty:ty, $inner:ty, $ctor:expr, $get:expr) => {
+        impl NetWire for $ty {
+            fn encode(&self, w: &mut WireWriter) {
+                $get(self).encode(w);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+                Ok($ctor(<$inner>::decode(r)?))
+            }
+        }
+    };
+}
+
+net_newtype!(EventType, u32, EventType, |v: &EventType| v.0);
+net_newtype!(QueryId, u32, QueryId, |v: &QueryId| v.0);
+net_newtype!(SubjectId, u64, SubjectId, |v: &SubjectId| v.0);
+net_newtype!(Timestamp, i64, Timestamp, |v: &Timestamp| v.0);
+
+impl NetWire for AttrValue {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            AttrValue::Int(v) => {
+                0u8.encode(w);
+                v.encode(w);
+            }
+            AttrValue::Float(v) => {
+                1u8.encode(w);
+                v.encode(w);
+            }
+            AttrValue::Str(v) => {
+                2u8.encode(w);
+                v.encode(w);
+            }
+            AttrValue::Bool(v) => {
+                3u8.encode(w);
+                v.encode(w);
+            }
+            AttrValue::Location(x, y) => {
+                4u8.encode(w);
+                x.encode(w);
+                y.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(match u8::decode(r)? {
+            0 => AttrValue::Int(i64::decode(r)?),
+            1 => AttrValue::Float(f64::decode(r)?),
+            2 => AttrValue::Str(String::decode(r)?),
+            3 => AttrValue::Bool(bool::decode(r)?),
+            4 => AttrValue::Location(f64::decode(r)?, f64::decode(r)?),
+            t => return Err(FrameError::Malformed(format!("invalid attr tag {t}"))),
+        })
+    }
+}
+
+impl NetWire for Event {
+    fn encode(&self, w: &mut WireWriter) {
+        self.ty.encode(w);
+        self.ts.encode(w);
+        self.attr_count().encode(w);
+        for (name, value) in self.attrs() {
+            name.to_owned().encode(w);
+            value.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        let ty = EventType::decode(r)?;
+        let ts = Timestamp::decode(r)?;
+        let mut event = Event::new(ty, ts);
+        let n = usize::decode(r)?;
+        for _ in 0..n {
+            let name = String::decode(r)?;
+            let value = AttrValue::decode(r)?;
+            event.set_attr(&name, value);
+        }
+        Ok(event)
+    }
+}
+
+impl NetWire for KeyedEvent {
+    fn encode(&self, w: &mut WireWriter) {
+        self.subject.encode(w);
+        self.event.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        Ok(KeyedEvent {
+            subject: SubjectId::decode(r)?,
+            event: Event::decode(r)?,
+        })
+    }
+}
+
+impl NetWire for IndicatorVector {
+    fn encode(&self, w: &mut WireWriter) {
+        self.n_types().encode(w);
+        self.words().len().encode(w);
+        for word in self.words() {
+            word.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, FrameError> {
+        let n_types = usize::decode(r)?;
+        let n_words = usize::decode(r)?;
+        if n_words != n_types.div_ceil(64) {
+            return Err(FrameError::Malformed(format!(
+                "indicator vector of {n_types} types cannot have {n_words} words"
+            )));
+        }
+        let mut iv = IndicatorVector::empty(n_types);
+        for wd in 0..n_words {
+            let word = u64::decode(r)?;
+            // bits past n_types must be zero — a corrupted word could
+            // otherwise smuggle presence for types that do not exist
+            let valid = if (wd + 1) * 64 <= n_types {
+                u64::MAX
+            } else {
+                (1u64 << (n_types - wd * 64)) - 1
+            };
+            if word & !valid != 0 {
+                return Err(FrameError::Malformed(
+                    "indicator vector has bits past its type universe".into(),
+                ));
+            }
+            iv.xor_word(wd, word);
+        }
+        Ok(iv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: NetWire + PartialEq + std::fmt::Debug>(value: T) {
+        let mut w = WireWriter::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(-17i64);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip("héllo".to_owned());
+        roundtrip(Some(QueryId(7)));
+        roundtrip(Option::<QueryId>::None);
+        roundtrip(vec![SubjectId(1), SubjectId(u64::MAX)]);
+    }
+
+    #[test]
+    fn event_roundtrips_with_attrs() {
+        let e = Event::new(EventType(3), Timestamp(-44))
+            .with_attr("speed", AttrValue::Float(13.25))
+            .with_attr("cell", AttrValue::Location(1.5, -2.0))
+            .with_attr("note", AttrValue::Str("x".into()));
+        roundtrip(KeyedEvent::new(SubjectId(99), e));
+    }
+
+    #[test]
+    fn indicator_vector_roundtrips() {
+        roundtrip(IndicatorVector::from_present(
+            [EventType(0), EventType(63), EventType(64), EventType(99)],
+            130,
+        ));
+        roundtrip(IndicatorVector::empty(0));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut w = WireWriter::new();
+        "hello".to_owned().encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(matches!(String::decode(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut w = WireWriter::new();
+        7u32.encode(&mut w);
+        w.buf.push(0xFF);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        u32::decode(&mut r).unwrap();
+        assert!(matches!(r.finish(), Err(FrameError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn implausible_length_is_typed() {
+        let mut w = WireWriter::new();
+        u64::MAX.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(Vec::<u8>::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn out_of_universe_indicator_bits_are_typed() {
+        let mut w = WireWriter::new();
+        3usize.encode(&mut w); // n_types = 3
+        1usize.encode(&mut w); // one word
+        0b1111u64.encode(&mut w); // bit 3 is past the universe
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert!(IndicatorVector::decode(&mut r).is_err());
+    }
+}

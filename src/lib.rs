@@ -19,6 +19,7 @@
 //! | [`datasets`] | `pdp-datasets` | Algorithm 2 generator, taxi simulator |
 //! | [`metrics`] | `pdp-metrics` | precision/recall/Q/MRE, statistics |
 //! | [`experiments`] | `pdp-experiments` | Fig. 4 sweeps, ablations |
+//! | [`server`] | `pdp-server` | framed TCP service edge, client, load generator |
 
 pub use pdp_baselines as baselines;
 pub use pdp_cep as cep;
@@ -27,6 +28,7 @@ pub use pdp_datasets as datasets;
 pub use pdp_dp as dp;
 pub use pdp_experiments as experiments;
 pub use pdp_metrics as metrics;
+pub use pdp_server as server;
 pub use pdp_stream as stream;
 
 /// The names most programs start from.
